@@ -1,0 +1,75 @@
+// Shared setup for the figure-reproduction benches: the benchmark catalog,
+// the 8-phase workload trace (Sec. 6.1) and the offline fixed partitions.
+// Every bench prints the series its figure plots; EXPERIMENTS.md records
+// paper-vs-measured shapes.
+#ifndef WFIT_BENCH_BENCH_COMMON_H_
+#define WFIT_BENCH_BENCH_COMMON_H_
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "catalog/benchmark_schemas.h"
+#include "harness/offline_tuning.h"
+#include "optimizer/what_if.h"
+#include "workload/benchmark_trace.h"
+
+namespace wfit::bench {
+
+/// Full evaluation environment. The defaults reproduce the paper's setup:
+/// 8 phases x 200 statements over four datasets, idxCnt = 40,
+/// histSize = 100. Set WFIT_BENCH_FAST=1 to run a scaled-down trace
+/// (4 x 60) for smoke testing.
+class BenchEnv {
+ public:
+  explicit BenchEnv(uint64_t seed = 20120402) {
+    bool fast = std::getenv("WFIT_BENCH_FAST") != nullptr;
+    catalog_ = BuildBenchmarkCatalog(BenchmarkScale{fast ? 0.2 : 1.0});
+    pool_ = std::make_unique<IndexPool>(&catalog_);
+    model_ = std::make_unique<CostModel>(&catalog_, pool_.get());
+    optimizer_ = std::make_unique<WhatIfOptimizer>(model_.get());
+
+    TraceOptions trace_options;
+    trace_options.seed = seed;
+    if (fast) {
+      trace_options.num_phases = 4;
+      trace_options.statements_per_phase = 60;
+    }
+    trace_ = GenerateBenchmarkTrace(catalog_, trace_options);
+    workload_ = ToWorkload(trace_);
+  }
+
+  harness::OfflinePartitionResult FixedPartition(size_t state_cnt,
+                                                 size_t idx_cnt = 40) {
+    harness::OfflineTuningOptions options;
+    options.idx_cnt = idx_cnt;
+    options.state_cnt = state_cnt;
+    // The measurement pass is workload-only; share it across partitions.
+    if (!offline_stats_) {
+      offline_stats_ = std::make_unique<harness::OfflineStats>(
+          harness::ComputeOfflineStats(workload_, pool_.get(),
+                                       optimizer_.get(), options));
+    }
+    return harness::PartitionFromStats(*offline_stats_, options);
+  }
+
+  Catalog& catalog() { return catalog_; }
+  IndexPool& pool() { return *pool_; }
+  CostModel& model() { return *model_; }
+  WhatIfOptimizer& optimizer() { return *optimizer_; }
+  const Workload& workload() const { return workload_; }
+  const std::vector<TraceEntry>& trace() const { return trace_; }
+
+ private:
+  Catalog catalog_;
+  std::unique_ptr<IndexPool> pool_;
+  std::unique_ptr<CostModel> model_;
+  std::unique_ptr<WhatIfOptimizer> optimizer_;
+  std::vector<TraceEntry> trace_;
+  Workload workload_;
+  std::unique_ptr<harness::OfflineStats> offline_stats_;
+};
+
+}  // namespace wfit::bench
+
+#endif  // WFIT_BENCH_BENCH_COMMON_H_

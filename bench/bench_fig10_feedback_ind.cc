@@ -1,0 +1,43 @@
+// Figure 10: effect of feedback under the index-independence assumption.
+// WFIT-IND ignores all interactions (singleton parts), so its internal
+// statistics are inaccurate — good DBA votes (GOOD-IND) must still lift
+// its recommendations substantially.
+#include <iostream>
+
+#include "baselines/opt.h"
+#include "bench/bench_common.h"
+#include "core/wfa_plus.h"
+#include "harness/experiment.h"
+#include "harness/feedback_gen.h"
+#include "harness/reporting.h"
+
+int main() {
+  using namespace wfit;
+  bench::BenchEnv env;
+  harness::ExperimentDriver driver(&env.workload(), &env.optimizer());
+
+  auto p500 = env.FixedPartition(500);
+  OptimalPlanner planner(&env.pool(), &env.optimizer());
+  OptimalSchedule opt =
+      planner.Solve(env.workload(), p500.partition, IndexSet{});
+  harness::ExperimentSeries opt_series =
+      harness::SeriesFromPrefixOptimum(opt.prefix_optimum, "OPT");
+  std::vector<FeedbackEvent> v_good = GoodFeedback(opt, IndexSet{});
+
+  std::vector<harness::ExperimentSeries> series;
+  {
+    WfaPlus tuner(&env.pool(), &env.optimizer(), p500.singleton_partition,
+                  IndexSet{}, "GOOD-IND");
+    series.push_back(driver.Run(&tuner, IndexSet{}, v_good));
+  }
+  {
+    WfaPlus tuner(&env.pool(), &env.optimizer(), p500.singleton_partition,
+                  IndexSet{}, "WFIT-IND");
+    series.push_back(driver.Run(&tuner, IndexSet{}, {}));
+  }
+
+  harness::PrintRatioTable(
+      std::cout, opt_series, series,
+      "Figure 10: Feedback under independence assumption");
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Figure 11: effect of delayed DBA responses. The DBA requests and accepts
+// the current recommendation every T statements (V_T); accepting casts the
+// implicit votes derived from the adopted changes, which "renews the lease"
+// of the configuration. T = 1 grants WFIT full autonomy.
+#include <iostream>
+
+#include "baselines/opt.h"
+#include "bench/bench_common.h"
+#include "core/wfa_plus.h"
+#include "harness/experiment.h"
+#include "harness/reporting.h"
+
+int main() {
+  using namespace wfit;
+  bench::BenchEnv env;
+  harness::ExperimentDriver driver(&env.workload(), &env.optimizer());
+
+  auto p500 = env.FixedPartition(500);
+  OptimalPlanner planner(&env.pool(), &env.optimizer());
+  OptimalSchedule opt =
+      planner.Solve(env.workload(), p500.partition, IndexSet{});
+  harness::ExperimentSeries opt_series =
+      harness::SeriesFromPrefixOptimum(opt.prefix_optimum, "OPT");
+
+  std::vector<harness::ExperimentSeries> series;
+  for (size_t lag : {size_t{1}, size_t{25}, size_t{50}, size_t{75}}) {
+    WfaPlus tuner(&env.pool(), &env.optimizer(), p500.partition, IndexSet{},
+                  lag == 1 ? "WFIT" : "LAG " + std::to_string(lag));
+    harness::ExperimentOptions options;
+    options.lag = lag;
+    series.push_back(driver.Run(&tuner, IndexSet{}, {}, options));
+  }
+
+  harness::PrintRatioTable(std::cout, opt_series, series,
+                           "Figure 11: Effect of delayed responses");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 8: baseline performance evaluation. Fixed stable partitions with
+// stateCnt ∈ {2000, 500, 100}, WFIT-IND (all-singleton parts) and BC,
+// measured as cumulative totWork ratio against OPT (OPT = 1).
+#include <iostream>
+
+#include "baselines/bc.h"
+#include "baselines/opt.h"
+#include "bench/bench_common.h"
+#include "core/wfa_plus.h"
+#include "harness/experiment.h"
+#include "harness/reporting.h"
+
+int main() {
+  using namespace wfit;
+  bench::BenchEnv env;
+  harness::ExperimentDriver driver(&env.workload(), &env.optimizer());
+
+  std::cout << "Workload: " << env.workload().size() << " statements\n";
+  auto p2000 = env.FixedPartition(2000);
+  auto p500 = env.FixedPartition(500);
+  auto p100 = env.FixedPartition(100);
+  std::cout << "Mined universe: " << p2000.universe_size
+            << " candidate indices; |C| = " << p2000.candidates.size()
+            << "\n";
+
+  // OPT over the most detailed configuration space (stateCnt = 2000).
+  OptimalPlanner planner(&env.pool(), &env.optimizer());
+  OptimalSchedule opt =
+      planner.Solve(env.workload(), p2000.partition, IndexSet{});
+  harness::ExperimentSeries opt_series =
+      harness::SeriesFromPrefixOptimum(opt.prefix_optimum, "OPT");
+
+  std::vector<harness::ExperimentSeries> series;
+  {
+    WfaPlus tuner(&env.pool(), &env.optimizer(), p2000.partition, IndexSet{},
+                  "WFIT-2000");
+    series.push_back(driver.Run(&tuner, IndexSet{}, {}));
+  }
+  {
+    WfaPlus tuner(&env.pool(), &env.optimizer(), p500.partition, IndexSet{},
+                  "WFIT-500");
+    series.push_back(driver.Run(&tuner, IndexSet{}, {}));
+  }
+  {
+    WfaPlus tuner(&env.pool(), &env.optimizer(), p100.partition, IndexSet{},
+                  "WFIT-100");
+    series.push_back(driver.Run(&tuner, IndexSet{}, {}));
+  }
+  {
+    WfaPlus tuner(&env.pool(), &env.optimizer(), p2000.singleton_partition,
+                  IndexSet{}, "WFIT-IND");
+    series.push_back(driver.Run(&tuner, IndexSet{}, {}));
+  }
+  {
+    BcTuner tuner(&env.pool(), &env.optimizer(), p2000.candidates,
+                  IndexSet{});
+    series.push_back(driver.Run(&tuner, IndexSet{}, {}));
+  }
+
+  harness::PrintRatioTable(std::cout, opt_series, series,
+                           "Figure 8: Baseline performance evaluation");
+  std::cout << "\n";
+  harness::PrintOverheadTable(std::cout, series, env.workload().size());
+  return 0;
+}

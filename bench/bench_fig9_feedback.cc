@@ -1,0 +1,49 @@
+// Figure 9: effect of DBA feedback. VGOOD casts the votes a prescient DBA
+// would derive from OPT's schedule; VBAD mirrors them. Both run against the
+// no-feedback WFIT baseline on the stateCnt = 500 fixed partition.
+#include <iostream>
+
+#include "baselines/opt.h"
+#include "bench/bench_common.h"
+#include "core/wfa_plus.h"
+#include "harness/experiment.h"
+#include "harness/feedback_gen.h"
+#include "harness/reporting.h"
+
+int main() {
+  using namespace wfit;
+  bench::BenchEnv env;
+  harness::ExperimentDriver driver(&env.workload(), &env.optimizer());
+
+  auto p500 = env.FixedPartition(500);
+  OptimalPlanner planner(&env.pool(), &env.optimizer());
+  OptimalSchedule opt =
+      planner.Solve(env.workload(), p500.partition, IndexSet{});
+  harness::ExperimentSeries opt_series =
+      harness::SeriesFromPrefixOptimum(opt.prefix_optimum, "OPT");
+
+  std::vector<FeedbackEvent> v_good = GoodFeedback(opt, IndexSet{});
+  std::vector<FeedbackEvent> v_bad = BadFeedback(opt, IndexSet{});
+  std::cout << "Feedback events: " << v_good.size() << "\n";
+
+  std::vector<harness::ExperimentSeries> series;
+  {
+    WfaPlus tuner(&env.pool(), &env.optimizer(), p500.partition, IndexSet{},
+                  "GOOD");
+    series.push_back(driver.Run(&tuner, IndexSet{}, v_good));
+  }
+  {
+    WfaPlus tuner(&env.pool(), &env.optimizer(), p500.partition, IndexSet{},
+                  "WFIT");
+    series.push_back(driver.Run(&tuner, IndexSet{}, {}));
+  }
+  {
+    WfaPlus tuner(&env.pool(), &env.optimizer(), p500.partition, IndexSet{},
+                  "BAD");
+    series.push_back(driver.Run(&tuner, IndexSet{}, v_bad));
+  }
+
+  harness::PrintRatioTable(std::cout, opt_series, series,
+                           "Figure 9: Effect of DBA's feedback");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Micro-benchmark (ablation): IBG construction, cost lookups and doi
+// computation as the per-statement candidate count grows — the knobs behind
+// chooseCands' ibg_cap and the what-if call counts of Sec. 6.2.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "ibg/ibg.h"
+#include "ibg/interactions.h"
+#include "optimizer/index_extractor.h"
+#include "workload/binder.h"
+
+namespace {
+
+using namespace wfit;
+
+struct IbgFixture {
+  IbgFixture() : env(7), binder(&env.catalog()) {
+    auto bound = binder.BindSql(
+        "SELECT count(*) FROM tpch.lineitem "
+        "WHERE l_shipdate BETWEEN 9000 AND 9060 "
+        "AND l_quantity BETWEEN 1 AND 4 "
+        "AND l_extendedprice BETWEEN 1000 AND 2500 "
+        "AND l_discount = 0.05");
+    WFIT_CHECK(bound.ok(), bound.status().ToString());
+    query = std::move(bound).value();
+    // Intern a pool of candidate indices on the query's columns.
+    ExtractorOptions opts;
+    opts.max_candidates_per_statement = 24;
+    all_candidates = ExtractIndices(query, &env.pool(), opts);
+  }
+
+  bench::BenchEnv env;
+  Binder binder;
+  Statement query;
+  std::vector<IndexId> all_candidates;
+};
+
+IbgFixture& Fixture() {
+  static IbgFixture fixture;
+  return fixture;
+}
+
+void BM_IbgBuild(benchmark::State& state) {
+  IbgFixture& f = Fixture();
+  size_t n = std::min<size_t>(static_cast<size_t>(state.range(0)),
+                              f.all_candidates.size());
+  std::vector<IndexId> cands(f.all_candidates.begin(),
+                             f.all_candidates.begin() + n);
+  uint64_t calls = 0;
+  for (auto _ : state) {
+    IndexBenefitGraph ibg(f.query, f.env.optimizer(), cands);
+    calls += ibg.build_calls();
+    benchmark::DoNotOptimize(ibg.num_nodes());
+  }
+  state.counters["whatif_calls"] = benchmark::Counter(
+      static_cast<double>(calls), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_IbgBuild)->DenseRange(2, 12, 2);
+
+void BM_IbgCostLookup(benchmark::State& state) {
+  IbgFixture& f = Fixture();
+  size_t n = std::min<size_t>(8, f.all_candidates.size());
+  std::vector<IndexId> cands(f.all_candidates.begin(),
+                             f.all_candidates.begin() + n);
+  IndexBenefitGraph ibg(f.query, f.env.optimizer(), cands);
+  Mask mask = 0;
+  for (auto _ : state) {
+    mask = (mask + 1) & ((Mask{1} << n) - 1);
+    benchmark::DoNotOptimize(ibg.CostOf(mask));
+  }
+}
+BENCHMARK(BM_IbgCostLookup);
+
+void BM_ComputeInteractions(benchmark::State& state) {
+  IbgFixture& f = Fixture();
+  size_t n = std::min<size_t>(static_cast<size_t>(state.range(0)),
+                              f.all_candidates.size());
+  std::vector<IndexId> cands(f.all_candidates.begin(),
+                             f.all_candidates.begin() + n);
+  IndexBenefitGraph ibg(f.query, f.env.optimizer(), cands);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeInteractions(ibg).size());
+  }
+}
+BENCHMARK(BM_ComputeInteractions)->DenseRange(2, 12, 2);
+
+void BM_WhatIfOptimize(benchmark::State& state) {
+  IbgFixture& f = Fixture();
+  IndexSet config = IndexSet::FromVector(f.all_candidates);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.env.optimizer().Cost(f.query, config));
+  }
+}
+BENCHMARK(BM_WhatIfOptimize);
+
+}  // namespace
+
+BENCHMARK_MAIN();

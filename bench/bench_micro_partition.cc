@@ -1,0 +1,106 @@
+// Micro-benchmark (ablation): choosePartition's randomized search — cost
+// and achieved loss as functions of candidate count, stateCnt and
+// RAND_CNT. Motivates the paper's default knobs.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "common/rng.h"
+#include "core/partition.h"
+
+namespace {
+
+using namespace wfit;
+
+DoiFn RandomDoi(size_t n, uint64_t seed, double density) {
+  std::map<std::pair<IndexId, IndexId>, double> table;
+  Rng rng(seed);
+  for (IndexId a = 0; a < n; ++a) {
+    for (IndexId b = a + 1; b < n; ++b) {
+      if (rng.Bernoulli(density)) {
+        table[{a, b}] = rng.Uniform(0.1, 100.0);
+      }
+    }
+  }
+  return [table = std::move(table)](IndexId a, IndexId b) {
+    auto key = std::minmax(a, b);
+    auto it = table.find({key.first, key.second});
+    return it == table.end() ? 0.0 : it->second;
+  };
+}
+
+std::vector<IndexId> Indices(size_t n) {
+  std::vector<IndexId> out(n);
+  for (size_t i = 0; i < n; ++i) out[i] = static_cast<IndexId>(i);
+  return out;
+}
+
+void BM_ChoosePartitionByCount(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  DoiFn doi = RandomDoi(n, 11, 0.15);
+  PartitionOptions opts;
+  opts.state_cnt = 500;
+  Rng rng(1);
+  double last_loss = 0.0;
+  for (auto _ : state) {
+    auto parts = ChoosePartition(Indices(n), {}, doi, opts, &rng);
+    last_loss = PartitionLoss(parts, doi);
+    benchmark::DoNotOptimize(parts.size());
+  }
+  state.counters["loss"] = last_loss;
+}
+BENCHMARK(BM_ChoosePartitionByCount)->DenseRange(10, 40, 10);
+
+void BM_ChoosePartitionByStateCnt(benchmark::State& state) {
+  const size_t n = 40;
+  DoiFn doi = RandomDoi(n, 13, 0.15);
+  PartitionOptions opts;
+  opts.state_cnt = static_cast<size_t>(state.range(0));
+  Rng rng(2);
+  double last_loss = 0.0;
+  for (auto _ : state) {
+    auto parts = ChoosePartition(Indices(n), {}, doi, opts, &rng);
+    last_loss = PartitionLoss(parts, doi);
+    benchmark::DoNotOptimize(parts.size());
+  }
+  state.counters["loss"] = last_loss;
+}
+BENCHMARK(BM_ChoosePartitionByStateCnt)
+    ->Arg(100)
+    ->Arg(500)
+    ->Arg(2000)
+    ->Arg(10000);
+
+void BM_ChoosePartitionByRandCnt(benchmark::State& state) {
+  const size_t n = 30;
+  DoiFn doi = RandomDoi(n, 17, 0.2);
+  PartitionOptions opts;
+  opts.state_cnt = 500;
+  opts.rand_cnt = static_cast<int>(state.range(0));
+  Rng rng(3);
+  double last_loss = 0.0;
+  for (auto _ : state) {
+    auto parts = ChoosePartition(Indices(n), {}, doi, opts, &rng);
+    last_loss = PartitionLoss(parts, doi);
+    benchmark::DoNotOptimize(parts.size());
+  }
+  state.counters["loss"] = last_loss;
+}
+BENCHMARK(BM_ChoosePartitionByRandCnt)->Arg(1)->Arg(5)->Arg(10)->Arg(30);
+
+void BM_PartitionLoss(benchmark::State& state) {
+  const size_t n = 40;
+  DoiFn doi = RandomDoi(n, 19, 0.25);
+  Rng rng(4);
+  PartitionOptions opts;
+  opts.state_cnt = 1000;
+  auto parts = ChoosePartition(Indices(n), {}, doi, opts, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PartitionLoss(parts, doi));
+  }
+}
+BENCHMARK(BM_PartitionLoss);
+
+}  // namespace
+
+BENCHMARK_MAIN();

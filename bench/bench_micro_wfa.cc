@@ -1,0 +1,97 @@
+// Micro-benchmark (ablation): WFA's per-statement update cost. The
+// O(k·2^k) min-plus relaxation vs the naive O(4^k) reference shows why the
+// relaxation matters for stateCnt = 2000-sized parts.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/work_function.h"
+
+namespace {
+
+using wfit::Mask;
+using wfit::PartCostFn;
+using wfit::WfaInstance;
+
+WfaInstance MakeInstance(size_t k, uint64_t seed) {
+  wfit::Rng rng(seed);
+  std::vector<wfit::IndexId> members(k);
+  std::vector<double> create(k), drop(k);
+  for (size_t i = 0; i < k; ++i) {
+    members[i] = static_cast<wfit::IndexId>(i);
+    create[i] = static_cast<double>(rng.UniformInt(10, 200));
+    drop[i] = static_cast<double>(rng.UniformInt(0, 10));
+  }
+  return WfaInstance(members, create, drop, 0);
+}
+
+std::vector<double> RandomCosts(size_t k, uint64_t seed) {
+  wfit::Rng rng(seed);
+  std::vector<double> costs(size_t{1} << k);
+  for (double& c : costs) c = static_cast<double>(rng.UniformInt(0, 100));
+  return costs;
+}
+
+void BM_WfaAnalyzeQuery(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  WfaInstance wfa = MakeInstance(k, 1);
+  std::vector<double> costs = RandomCosts(k, 2);
+  PartCostFn fn = [&costs](Mask s) { return costs[s]; };
+  for (auto _ : state) {
+    wfa.AnalyzeQuery(fn);
+    benchmark::DoNotOptimize(wfa.recommendation());
+  }
+  state.SetComplexityN(static_cast<int64_t>(size_t{1} << k));
+}
+BENCHMARK(BM_WfaAnalyzeQuery)->DenseRange(2, 14, 2)->Complexity();
+
+// Naive O(4^k) reference, for the ablation comparison.
+void BM_WfaNaiveUpdate(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  const size_t n = size_t{1} << k;
+  wfit::Rng rng(3);
+  std::vector<double> create(k), drop(k), w(n, 0.0);
+  for (size_t i = 0; i < k; ++i) {
+    create[i] = static_cast<double>(rng.UniformInt(10, 200));
+    drop[i] = static_cast<double>(rng.UniformInt(0, 10));
+  }
+  std::vector<double> costs = RandomCosts(k, 4);
+  auto delta = [&](Mask from, Mask to) {
+    double cost = 0.0;
+    for (size_t i = 0; i < k; ++i) {
+      Mask m = Mask{1} << i;
+      if ((to & m) && !(from & m)) cost += create[i];
+      if ((from & m) && !(to & m)) cost += drop[i];
+    }
+    return cost;
+  };
+  for (auto _ : state) {
+    std::vector<double> v(n), next(n);
+    for (Mask s = 0; s < n; ++s) v[s] = w[s] + costs[s];
+    for (Mask s = 0; s < n; ++s) {
+      double best = v[s];
+      for (Mask x = 0; x < n; ++x) {
+        best = std::min(best, v[x] + delta(x, s));
+      }
+      next[s] = best;
+    }
+    benchmark::DoNotOptimize(next.data());
+    w = std::move(next);
+  }
+}
+BENCHMARK(BM_WfaNaiveUpdate)->DenseRange(2, 10, 2);
+
+void BM_WfaFeedback(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  WfaInstance wfa = MakeInstance(k, 5);
+  for (auto _ : state) {
+    wfa.ApplyFeedback(/*f_plus=*/1, /*f_minus=*/2);
+    benchmark::DoNotOptimize(wfa.recommendation());
+  }
+}
+BENCHMARK(BM_WfaFeedback)->DenseRange(2, 14, 4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

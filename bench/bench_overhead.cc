@@ -1,0 +1,74 @@
+// Sec. 6.2 "Overhead": per-statement analysis time and what-if optimizer
+// calls, as a function of stateCnt. The paper reports ~300 ms/statement for
+// its Java-on-DB2 prototype and 5-100 what-if calls per query; our
+// simulator's absolute times are far smaller, but the scaling trends in
+// stateCnt are the reproducible signal.
+#include <iostream>
+
+#include "baselines/bc.h"
+#include "bench/bench_common.h"
+#include "core/wfa_plus.h"
+#include "core/wfit.h"
+#include "harness/experiment.h"
+#include "harness/reporting.h"
+
+int main() {
+  using namespace wfit;
+  bench::BenchEnv env;
+  harness::ExperimentDriver driver(&env.workload(), &env.optimizer());
+
+  std::vector<harness::ExperimentSeries> series;
+  for (size_t state_cnt : {size_t{100}, size_t{500}, size_t{2000}}) {
+    auto fixed = env.FixedPartition(state_cnt);
+    WfaPlus tuner(&env.pool(), &env.optimizer(), fixed.partition, IndexSet{},
+                  "WFIT-" + std::to_string(state_cnt));
+    series.push_back(driver.Run(&tuner, IndexSet{}, {}));
+  }
+  {
+    auto fixed = env.FixedPartition(500);
+    WfaPlus tuner(&env.pool(), &env.optimizer(), fixed.singleton_partition,
+                  IndexSet{}, "WFIT-IND");
+    series.push_back(driver.Run(&tuner, IndexSet{}, {}));
+  }
+  {
+    auto fixed = env.FixedPartition(500);
+    BcTuner tuner(&env.pool(), &env.optimizer(), fixed.candidates,
+                  IndexSet{});
+    series.push_back(driver.Run(&tuner, IndexSet{}, {}));
+  }
+  {
+    WfitOptions options;
+    options.name = "WFIT-AUTO";
+    Wfit tuner(&env.pool(), &env.optimizer(), IndexSet{}, options);
+    series.push_back(driver.Run(&tuner, IndexSet{}, {}));
+  }
+
+  std::cout << "== Overhead (Sec. 6.2): analysis cost per statement ==\n";
+  harness::PrintOverheadTable(std::cout, series, env.workload().size());
+
+  // The paper notes what-if calls grow as candidates are mined from the
+  // workload: report first-quarter vs last-quarter averages for AUTO.
+  {
+    WfitOptions options;
+    options.name = "WFIT-AUTO";
+    Wfit tuner(&env.pool(), &env.optimizer(), IndexSet{}, options);
+    const Workload& w = env.workload();
+    size_t quarter = w.size() / 4;
+    uint64_t calls_start = 0, calls_end = 0;
+    for (size_t n = 0; n < w.size(); ++n) {
+      uint64_t before = env.optimizer().num_calls();
+      tuner.AnalyzeQuery(w[n]);
+      uint64_t used = env.optimizer().num_calls() - before;
+      if (n < quarter) calls_start += used;
+      if (n >= w.size() - quarter) calls_end += used;
+    }
+    std::cout << "\nWFIT-AUTO what-if calls/statement: first quarter "
+              << static_cast<double>(calls_start) /
+                     static_cast<double>(quarter)
+              << ", last quarter "
+              << static_cast<double>(calls_end) /
+                     static_cast<double>(quarter)
+              << " (paper: ~5 near the start, ~100 near the end)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,154 @@
+// A miniature semi-automatic index advisor, in the spirit of the paper's
+// middleware prototype: reads a ';'-separated SQL script, analyzes each
+// statement online, and prints the evolving recommendation. DBA votes are
+// embedded in the script as directives:
+//
+//     @vote+ table(col[,col...])     positive vote
+//     @vote- table(col[,col...])     negative vote
+//     @show                          print the current recommendation
+//
+// Usage: advisor_cli [script.sql]   (defaults to examples/sample_workload.sql,
+// falling back to a built-in script when the file is absent)
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "catalog/benchmark_schemas.h"
+#include "core/wfit.h"
+#include "workload/binder.h"
+
+namespace {
+
+const char* kBuiltinScript = R"sql(
+SELECT count(*) FROM tpce.security WHERE s_pe BETWEEN 60 AND 80;
+SELECT count(*) FROM tpce.security WHERE s_pe BETWEEN 20 AND 35;
+SELECT count(*) FROM tpce.security WHERE s_pe BETWEEN 90 AND 95;
+@show;
+SELECT count(*) FROM tpce.daily_market WHERE dm_date BETWEEN 9000 AND 9030;
+SELECT count(*) FROM tpce.daily_market WHERE dm_date BETWEEN 9100 AND 9140;
+@vote+ tpce.daily_market(dm_date,dm_close);
+@show;
+UPDATE tpce.daily_market SET dm_close = dm_close + 1 WHERE dm_date BETWEEN 9000 AND 9001;
+SELECT count(*) FROM tpce.security WHERE s_pe BETWEEN 50 AND 70;
+@show;
+)sql";
+
+using namespace wfit;
+
+/// Parses "table(col,col)" into an IndexDef; returns ok=false on errors.
+bool ParseIndexSpec(const std::string& spec, const Catalog& catalog,
+                    IndexDef* out) {
+  size_t open = spec.find('(');
+  size_t close = spec.rfind(')');
+  if (open == std::string::npos || close == std::string::npos ||
+      close < open) {
+    return false;
+  }
+  auto table = catalog.FindTable(spec.substr(0, open));
+  if (!table.ok()) return false;
+  out->table = *table;
+  out->columns.clear();
+  std::stringstream cols(spec.substr(open + 1, close - open - 1));
+  std::string col;
+  while (std::getline(cols, col, ',')) {
+    auto ordinal = catalog.FindColumn(*table, col);
+    if (!ordinal.ok()) return false;
+    out->columns.push_back(*ordinal);
+  }
+  return !out->columns.empty();
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  size_t e = s.find_last_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  return s.substr(b, e - b + 1);
+}
+
+/// Drops leading "--" comment lines so directives after comments work
+/// (the SQL lexer already skips comments inside statements).
+std::string StripLeadingComments(std::string s) {
+  while (true) {
+    s = Trim(s);
+    if (s.rfind("--", 0) != 0) return s;
+    size_t eol = s.find('\n');
+    if (eol == std::string::npos) return "";
+    s = s.substr(eol + 1);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string script;
+  std::string path =
+      argc > 1 ? argv[1] : std::string("examples/sample_workload.sql");
+  if (std::ifstream in{path}) {
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    script = buffer.str();
+    std::cout << "-- reading workload from " << path << "\n";
+  } else {
+    script = kBuiltinScript;
+    std::cout << "-- no script file found, using the built-in demo script\n";
+  }
+
+  Catalog catalog = BuildBenchmarkCatalog(BenchmarkScale{0.1});
+  IndexPool pool(&catalog);
+  CostModel cost_model(&catalog, &pool);
+  WhatIfOptimizer optimizer(&cost_model);
+  Binder binder(&catalog);
+
+  WfitOptions options;
+  options.candidates.idx_cnt = 16;
+  options.candidates.state_cnt = 256;
+  options.candidates.creation_penalty_factor = 1e-4;
+  Wfit tuner(&pool, &optimizer, IndexSet{}, options);
+
+  size_t analyzed = 0, errors = 0;
+  std::stringstream statements(script);
+  std::string raw;
+  while (std::getline(statements, raw, ';')) {
+    std::string text = StripLeadingComments(raw);
+    if (text.empty()) continue;
+    if (text[0] == '@') {
+      if (text.rfind("@show", 0) == 0) {
+        std::cout << "[advisor] recommendation: "
+                  << tuner.Recommendation().ToString(pool) << "\n";
+      } else if (text.rfind("@vote+", 0) == 0 ||
+                 text.rfind("@vote-", 0) == 0) {
+        bool positive = text[5] == '+';
+        IndexDef def;
+        if (!ParseIndexSpec(Trim(text.substr(6)), catalog, &def)) {
+          std::cout << "[advisor] bad vote spec: " << text << "\n";
+          ++errors;
+          continue;
+        }
+        IndexId id = pool.Intern(def);
+        tuner.Feedback(positive ? IndexSet{id} : IndexSet{},
+                       positive ? IndexSet{} : IndexSet{id});
+        std::cout << "[advisor] recorded " << (positive ? "+" : "-")
+                  << " vote on " << pool.Name(id) << "\n";
+      } else {
+        std::cout << "[advisor] unknown directive: " << text << "\n";
+        ++errors;
+      }
+      continue;
+    }
+    auto stmt = binder.BindSql(text);
+    if (!stmt.ok()) {
+      std::cout << "[advisor] cannot analyze (" << stmt.status().ToString()
+                << "): " << text << "\n";
+      ++errors;
+      continue;
+    }
+    tuner.AnalyzeQuery(*stmt);
+    ++analyzed;
+  }
+
+  std::cout << "\n-- analyzed " << analyzed << " statements (" << errors
+            << " errors)\n";
+  std::cout << "-- final recommendation: "
+            << tuner.Recommendation().ToString(pool) << "\n";
+  return errors == 0 ? 0 : 1;
+}

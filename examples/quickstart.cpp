@@ -1,0 +1,67 @@
+// Quickstart: the WFIT public API in ~60 lines of application code.
+//   1. Build (or load) a catalog and wire up the cost model + what-if
+//      optimizer.
+//   2. Create a Wfit tuner.
+//   3. Feed it the workload statement by statement (AnalyzeQuery) and read
+//      Recommendation() whenever you like.
+//   4. Cast votes with Feedback() — the next recommendations respect them.
+#include <iostream>
+
+#include "catalog/benchmark_schemas.h"
+#include "core/wfit.h"
+#include "optimizer/what_if.h"
+#include "workload/binder.h"
+
+int main() {
+  using namespace wfit;
+
+  // 1. A statistics-only catalog with the four benchmark datasets.
+  Catalog catalog = BuildBenchmarkCatalog(BenchmarkScale{0.1});
+  IndexPool pool(&catalog);
+  CostModel cost_model(&catalog, &pool);
+  WhatIfOptimizer optimizer(&cost_model);
+  Binder binder(&catalog);
+
+  // 2. A semi-automatic tuner starting from an empty physical design.
+  WfitOptions options;
+  options.candidates.idx_cnt = 16;
+  options.candidates.state_cnt = 256;
+  Wfit tuner(&pool, &optimizer, /*initial_materialized=*/IndexSet{}, options);
+
+  // 3. Analyze a small workload (the paper's running-example shapes).
+  const char* workload[] = {
+      "SELECT count(*) FROM tpce.security "
+      "WHERE s_pe BETWEEN 63.278 AND 86.091",
+      "SELECT count(*) FROM tpce.security "
+      "WHERE s_pe BETWEEN 40.0 AND 55.0 AND s_exch_date BETWEEN 8000 AND 9000",
+      "SELECT count(*) FROM tpce.security, tpce.daily_market "
+      "WHERE tpce.security.s_symb = tpce.daily_market.dm_s_symb "
+      "AND tpce.daily_market.dm_date BETWEEN 9100 AND 9130",
+      "UPDATE tpch.lineitem SET l_tax = l_tax + 0.000001 "
+      "WHERE l_extendedprice BETWEEN 65522.378 AND 66256.943",
+  };
+  for (int round = 0; round < 12; ++round) {
+    for (const char* sql : workload) {
+      auto stmt = binder.BindSql(sql);
+      if (!stmt.ok()) {
+        std::cerr << "bind error: " << stmt.status().ToString() << "\n";
+        return 1;
+      }
+      tuner.AnalyzeQuery(*stmt);
+    }
+  }
+  std::cout << "After 48 statements WFIT recommends:\n  "
+            << tuner.Recommendation().ToString(pool) << "\n";
+
+  // 4. Semi-automatic step: the DBA dislikes one of the recommended
+  //    indices and vetoes it; the recommendation must respect the vote.
+  IndexSet rec = tuner.Recommendation();
+  if (!rec.empty()) {
+    IndexId vetoed = *rec.begin();
+    std::cout << "DBA vetoes " << pool.Name(vetoed) << "\n";
+    tuner.Feedback(IndexSet{}, IndexSet{vetoed});
+    std::cout << "Recommendation is now:\n  "
+              << tuner.Recommendation().ToString(pool) << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+#include "baselines/bc.h"
+
+#include <algorithm>
+
+namespace wfit {
+
+BcTuner::BcTuner(const IndexPool* pool, const WhatIfOptimizer* optimizer,
+                 const IndexSet& candidates, const IndexSet& initial_config,
+                 const BcOptions& options)
+    : pool_(pool),
+      optimizer_(optimizer),
+      options_(options),
+      candidates_(candidates.begin(), candidates.end()),
+      last_gain_(candidates_.size(), 0.0) {
+  WFIT_CHECK(pool != nullptr && optimizer != nullptr,
+             "BcTuner requires pool and optimizer");
+  for (IndexId a : candidates_) {
+    instances_.push_back(WfaInstance(
+        {a}, optimizer->cost_model(),
+        /*initial_config=*/initial_config.Contains(a) ? 1u : 0u));
+  }
+}
+
+IndexSet BcTuner::Recommendation() const {
+  IndexSet out;
+  for (const WfaInstance& instance : instances_) {
+    out = out.Union(instance.RecommendationSet());
+  }
+  return out;
+}
+
+double BcTuner::LastGain(IndexId a) const {
+  for (size_t i = 0; i < candidates_.size(); ++i) {
+    if (candidates_[i] == a) return last_gain_[i];
+  }
+  return 0.0;
+}
+
+void BcTuner::AnalyzeQuery(const Statement& q) {
+  const double empty_cost = optimizer_->Cost(q, IndexSet{});
+  // The query's ideal configuration: what the optimizer would use if every
+  // candidate were materialized.
+  PlanSummary ideal =
+      optimizer_->Optimize(q, IndexSet::FromVector(candidates_));
+
+  for (size_t i = 0; i < candidates_.size(); ++i) {
+    IndexId a = candidates_[i];
+    // Independence assumption: measure a's benefit in isolation.
+    double isolated = empty_cost - optimizer_->Cost(q, IndexSet{a});
+    double gain = isolated;
+    if (isolated > 0.0 && !ideal.used.Contains(a)) {
+      gain = 0.0;  // heuristic adjustment: the ideal plan ignores a
+    }
+    gain *= options_.benefit_scale;
+    last_gain_[i] = gain;
+    // Feed the per-index account: with the index the statement "costs"
+    // empty_cost − gain, without it empty_cost.
+    instances_[i].AnalyzeQuery([empty_cost, gain](Mask s) {
+      return s == 0 ? empty_cost : empty_cost - gain;
+    });
+  }
+}
+
+}  // namespace wfit

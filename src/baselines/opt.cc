@@ -1,0 +1,160 @@
+#include "baselines/opt.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/wfa_plus.h"
+
+namespace wfit {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Per-part DP state.
+struct PartDp {
+  std::vector<IndexId> members;
+  std::vector<double> create_cost;
+  std::vector<double> drop_cost;
+  std::vector<double> dp;                  // current values, 2^k
+  std::vector<std::vector<Mask>> preds;    // preds[n][S] = S_{n-1}
+  Mask initial = 0;
+};
+
+/// One relaxed step with predecessor tracking:
+///   dp'[S] = min_X { dp[X] + δ(X, S) },  src[S] = argmin chain origin.
+void RelaxWithParents(PartDp* part, std::vector<Mask>* src_out) {
+  std::vector<double>& v = part->dp;
+  const size_t n = v.size();
+  std::vector<Mask> src(n);
+  for (Mask s = 0; s < n; ++s) src[s] = s;
+  for (size_t bit = 0; bit < part->members.size(); ++bit) {
+    const Mask m = Mask{1} << bit;
+    const double up = part->create_cost[bit];
+    const double down = part->drop_cost[bit];
+    for (Mask s = 0; s < n; ++s) {
+      if ((s & m) != 0) continue;
+      const Mask s1 = s | m;
+      const double v0 = v[s];
+      const double v1 = v[s1];
+      if (v1 + down < v0) {
+        v[s] = v1 + down;
+        src[s] = src[s1];
+      }
+      if (v0 + up < v1) {
+        v[s1] = v0 + up;
+        src[s1] = src[s];
+      }
+    }
+  }
+  *src_out = std::move(src);
+}
+
+}  // namespace
+
+OptimalPlanner::OptimalPlanner(const IndexPool* pool,
+                               const WhatIfOptimizer* optimizer)
+    : pool_(pool), optimizer_(optimizer) {
+  WFIT_CHECK(pool != nullptr && optimizer != nullptr,
+             "OptimalPlanner requires pool and optimizer");
+}
+
+OptimalSchedule OptimalPlanner::Solve(const Workload& workload,
+                                      const std::vector<IndexSet>& partition,
+                                      const IndexSet& initial) const {
+  const CostModel& model = optimizer_->cost_model();
+  const size_t num_statements = workload.size();
+
+  std::vector<PartDp> parts;
+  std::vector<IndexId> all_members;
+  for (const IndexSet& p : partition) {
+    WFIT_CHECK(p.size() <= 20, "OPT: part too large");
+    PartDp part;
+    part.members.assign(p.begin(), p.end());
+    for (size_t i = 0; i < part.members.size(); ++i) {
+      part.create_cost.push_back(model.CreateCost(part.members[i]));
+      part.drop_cost.push_back(model.DropCost(part.members[i]));
+      if (initial.Contains(part.members[i])) part.initial |= Mask{1} << i;
+      all_members.push_back(part.members[i]);
+    }
+    part.dp.assign(size_t{1} << part.members.size(), kInf);
+    part.dp[part.initial] = 0.0;
+    part.preds.resize(num_statements);
+    parts.push_back(std::move(part));
+  }
+  std::sort(all_members.begin(), all_members.end());
+
+  // Forward DP: per statement, transition (relax) then add query cost.
+  OptimalSchedule out;
+  out.prefix_optimum.reserve(num_statements);
+  double base_cost_total = 0.0;
+  for (size_t n = 0; n < num_statements; ++n) {
+    const Statement& q = workload[n];
+    base_cost_total += optimizer_->Cost(q, IndexSet{});
+    for (PartDp& part : parts) {
+      RelaxWithParents(&part, &part.preds[n]);
+      // Add cost(q_n, S) for every part configuration S via a per-part
+      // IBG (cost(q, X) with X ⊆ Ck never involves other parts).
+      std::vector<IndexId> relevant =
+          RelevantCandidates(q, *pool_, part.members);
+      if (relevant.empty()) continue;  // contribution is identically zero
+      IndexBenefitGraph ibg(q, *optimizer_, relevant);
+      std::vector<int> ibg_bit(part.members.size());
+      for (size_t i = 0; i < part.members.size(); ++i) {
+        ibg_bit[i] = ibg.BitOf(part.members[i]);
+      }
+      const size_t states = part.dp.size();
+      for (Mask s = 0; s < states; ++s) {
+        Mask m = 0;
+        Mask rest = s;
+        while (rest != 0) {
+          int bit = LowestBit(rest);
+          rest &= rest - 1;
+          int ib = ibg_bit[static_cast<size_t>(bit)];
+          if (ib >= 0) m |= Mask{1} << ib;
+        }
+        // Per-part objective: the part's share of the decomposed cost,
+        // cost(q, S ∩ Ck) − cost(q, ∅); the base cost is added once
+        // globally. Subtracting the base keeps per-part sums equal to the
+        // true totWork under stability (Eq. 2.1).
+        part.dp[s] += ibg.CostOf(m) - ibg.CostOf(0);
+      }
+    }
+    // The optimum for the prefix Q_{n+1}: each part is free to end in its
+    // cheapest state.
+    double prefix = base_cost_total;
+    for (const PartDp& part : parts) {
+      prefix += *std::min_element(part.dp.begin(), part.dp.end());
+    }
+    out.prefix_optimum.push_back(prefix);
+  }
+
+  // Backtrack each part from its cheapest final configuration.
+  out.configs.assign(num_statements, IndexSet{});
+  double total = base_cost_total;
+  for (PartDp& part : parts) {
+    Mask best = 0;
+    double best_value = kInf;
+    for (Mask s = 0; s < part.dp.size(); ++s) {
+      if (part.dp[s] < best_value) {
+        best_value = part.dp[s];
+        best = s;
+      }
+    }
+    total += best_value;
+    Mask cur = best;
+    for (size_t n = num_statements; n-- > 0;) {
+      Mask rest = cur;
+      while (rest != 0) {
+        int bit = LowestBit(rest);
+        rest &= rest - 1;
+        out.configs[n].Add(part.members[static_cast<size_t>(bit)]);
+      }
+      cur = part.preds[n][cur];
+    }
+  }
+  out.total_work = total;
+  return out;
+}
+
+}  // namespace wfit

@@ -1,0 +1,50 @@
+// OPT: the idealized offline algorithm of the evaluation (Sec. 6.1) — it
+// knows the whole workload in advance and picks the recommendation schedule
+// minimizing totWork. With a stable partition the objective decomposes per
+// part (Sec. 4.2 / Appendix A), so the global optimum is the union of exact
+// per-part dynamic programs over the index transition graph (Fig. 2). The
+// DP transition uses the same per-coordinate min-plus relaxation as WFA,
+// giving O(N · k · 2^k) per part instead of O(N · 4^k).
+#ifndef WFIT_BASELINES_OPT_H_
+#define WFIT_BASELINES_OPT_H_
+
+#include <vector>
+
+#include "core/index_set.h"
+#include "ibg/ibg.h"
+#include "optimizer/what_if.h"
+#include "workload/statement.h"
+
+namespace wfit {
+
+/// OPT's recommendation schedule: configs[n] is the configuration
+/// materialized while processing statement n (0-based).
+struct OptimalSchedule {
+  std::vector<IndexSet> configs;
+  /// Optimal total work as computed by the DP (query costs + transitions).
+  double total_work = 0.0;
+  /// prefix_optimum[n]: the optimal total work for the prefix ending at
+  /// statement n. This is the paper's OPT reference curve — "OPT can have
+  /// very different recommendation schedules for Qn and Qn+1" (Sec. 6.1) —
+  /// and it falls out of the forward DP for free.
+  std::vector<double> prefix_optimum;
+};
+
+class OptimalPlanner {
+ public:
+  OptimalPlanner(const IndexPool* pool, const WhatIfOptimizer* optimizer);
+
+  /// Solves for the optimal schedule over `partition`'s configuration
+  /// space, starting from `initial`. Parts are limited to 20 indices.
+  OptimalSchedule Solve(const Workload& workload,
+                        const std::vector<IndexSet>& partition,
+                        const IndexSet& initial) const;
+
+ private:
+  const IndexPool* pool_;
+  const WhatIfOptimizer* optimizer_;
+};
+
+}  // namespace wfit
+
+#endif  // WFIT_BASELINES_OPT_H_

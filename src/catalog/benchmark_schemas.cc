@@ -1,0 +1,259 @@
+#include "catalog/benchmark_schemas.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wfit {
+
+namespace {
+
+// Days are encoded as integers (days since 1990-01-01); dictionary-coded
+// strings use their code range as the numeric domain.
+ColumnInfo Col(std::string name, uint64_t distinct, uint32_t width,
+               double min_value, double max_value) {
+  ColumnInfo c;
+  c.name = std::move(name);
+  c.distinct_values = distinct;
+  c.width_bytes = width;
+  c.min_value = min_value;
+  c.max_value = max_value;
+  return c;
+}
+
+uint64_t Scaled(uint64_t rows, const BenchmarkScale& scale) {
+  double r = static_cast<double>(rows) * scale.factor;
+  return std::max<uint64_t>(1, static_cast<uint64_t>(std::llround(r)));
+}
+
+// Distinct counts of key-like columns scale with the table; enums do not.
+uint64_t ScaledDistinct(uint64_t distinct, uint64_t scaled_rows) {
+  return std::max<uint64_t>(1, std::min<uint64_t>(distinct, scaled_rows));
+}
+
+Status AddTable(Catalog* catalog, const BenchmarkScale& scale,
+                std::string dataset, std::string name, uint64_t rows,
+                std::vector<ColumnInfo> columns) {
+  TableInfo t;
+  t.dataset = std::move(dataset);
+  t.name = std::move(name);
+  t.row_count = Scaled(rows, scale);
+  for (ColumnInfo& c : columns) {
+    c.distinct_values = ScaledDistinct(c.distinct_values, t.row_count);
+  }
+  t.columns = std::move(columns);
+  return catalog->AddTable(std::move(t)).status();
+}
+
+}  // namespace
+
+Status AddTpchSchema(Catalog* catalog, const BenchmarkScale& scale) {
+  // Cardinalities follow TPC-H at SF 0.5 (the benchmark hosts four
+  // databases; each contributes roughly 0.7 GB).
+  WFIT_RETURN_IF_ERROR(AddTable(
+      catalog, scale, "tpch", "lineitem", 3000000,
+      {Col("l_orderkey", 750000, 8, 1, 3000000),
+       Col("l_partkey", 100000, 8, 1, 100000),
+       Col("l_suppkey", 5000, 8, 1, 5000),
+       Col("l_quantity", 50, 8, 1, 50),
+       Col("l_extendedprice", 500000, 8, 900, 105000),
+       Col("l_discount", 11, 8, 0.0, 0.10),
+       Col("l_tax", 9, 8, 0.0, 0.08),
+       Col("l_returnflag", 3, 4, 0, 2),
+       Col("l_shipdate", 2526, 8, 8036, 10562),
+       Col("l_receiptdate", 2555, 8, 8037, 10592)}));
+  WFIT_RETURN_IF_ERROR(AddTable(
+      catalog, scale, "tpch", "orders", 750000,
+      {Col("o_orderkey", 750000, 8, 1, 3000000),
+       Col("o_custkey", 50000, 8, 1, 75000),
+       Col("o_orderstatus", 3, 4, 0, 2),
+       Col("o_totalprice", 700000, 8, 850, 560000),
+       Col("o_orderdate", 2406, 8, 8036, 10441),
+       Col("o_orderpriority", 5, 4, 0, 4)}));
+  WFIT_RETURN_IF_ERROR(AddTable(
+      catalog, scale, "tpch", "customer", 75000,
+      {Col("c_custkey", 75000, 8, 1, 75000),
+       Col("c_nationkey", 25, 4, 0, 24),
+       Col("c_acctbal", 70000, 8, -1000, 10000),
+       Col("c_mktsegment", 5, 4, 0, 4)}));
+  WFIT_RETURN_IF_ERROR(AddTable(
+      catalog, scale, "tpch", "part", 100000,
+      {Col("p_partkey", 100000, 8, 1, 100000),
+       Col("p_brand", 25, 4, 0, 24),
+       Col("p_type", 150, 4, 0, 149),
+       Col("p_size", 50, 4, 1, 50),
+       Col("p_retailprice", 60000, 8, 900, 2100)}));
+  WFIT_RETURN_IF_ERROR(AddTable(
+      catalog, scale, "tpch", "supplier", 5000,
+      {Col("s_suppkey", 5000, 8, 1, 5000),
+       Col("s_nationkey", 25, 4, 0, 24),
+       Col("s_acctbal", 5000, 8, -1000, 10000)}));
+  WFIT_RETURN_IF_ERROR(AddTable(
+      catalog, scale, "tpch", "partsupp", 400000,
+      {Col("ps_partkey", 100000, 8, 1, 100000),
+       Col("ps_suppkey", 5000, 8, 1, 5000),
+       Col("ps_availqty", 10000, 8, 1, 10000),
+       Col("ps_supplycost", 100000, 8, 1, 1000)}));
+  WFIT_RETURN_IF_ERROR(AddTable(catalog, scale, "tpch", "nation", 25,
+                                {Col("n_nationkey", 25, 4, 0, 24),
+                                 Col("n_regionkey", 5, 4, 0, 4)}));
+  WFIT_RETURN_IF_ERROR(AddTable(catalog, scale, "tpch", "region", 5,
+                                {Col("r_regionkey", 5, 4, 0, 4),
+                                 Col("r_name", 5, 20, 0, 4)}));
+  return Status::Ok();
+}
+
+Status AddTpccSchema(Catalog* catalog, const BenchmarkScale& scale) {
+  // 50-warehouse TPC-C.
+  WFIT_RETURN_IF_ERROR(AddTable(catalog, scale, "tpcc", "warehouse", 50,
+                                {Col("w_id", 50, 4, 1, 50),
+                                 Col("w_tax", 40, 8, 0.0, 0.2),
+                                 Col("w_ytd", 50, 8, 0, 1e7)}));
+  WFIT_RETURN_IF_ERROR(AddTable(catalog, scale, "tpcc", "district", 500,
+                                {Col("d_w_id", 50, 4, 1, 50),
+                                 Col("d_id", 10, 4, 1, 10),
+                                 Col("d_tax", 100, 8, 0.0, 0.2),
+                                 Col("d_next_o_id", 500, 8, 1, 100000)}));
+  WFIT_RETURN_IF_ERROR(AddTable(
+      catalog, scale, "tpcc", "customer", 1500000,
+      {Col("c_w_id", 50, 4, 1, 50),
+       Col("c_d_id", 10, 4, 1, 10),
+       Col("c_id", 3000, 8, 1, 3000),
+       Col("c_last", 1000, 20, 0, 999),
+       Col("c_credit", 2, 4, 0, 1),
+       Col("c_balance", 100000, 8, -10000, 50000),
+       Col("c_since", 1500, 8, 9000, 10500)}));
+  WFIT_RETURN_IF_ERROR(AddTable(
+      catalog, scale, "tpcc", "orders", 1500000,
+      {Col("o_w_id", 50, 4, 1, 50),
+       Col("o_d_id", 10, 4, 1, 10),
+       Col("o_id", 100000, 8, 1, 100000),
+       Col("o_c_id", 3000, 8, 1, 3000),
+       Col("o_entry_d", 1500, 8, 9000, 10500),
+       Col("o_carrier_id", 10, 4, 1, 10)}));
+  WFIT_RETURN_IF_ERROR(AddTable(
+      catalog, scale, "tpcc", "order_line", 15000000,
+      {Col("ol_w_id", 50, 4, 1, 50),
+       Col("ol_d_id", 10, 4, 1, 10),
+       Col("ol_o_id", 100000, 8, 1, 100000),
+       Col("ol_number", 15, 4, 1, 15),
+       Col("ol_i_id", 100000, 8, 1, 100000),
+       Col("ol_amount", 500000, 8, 0, 10000),
+       Col("ol_delivery_d", 1500, 8, 9000, 10500)}));
+  WFIT_RETURN_IF_ERROR(AddTable(
+      catalog, scale, "tpcc", "stock", 5000000,
+      {Col("s_w_id", 50, 4, 1, 50),
+       Col("s_i_id", 100000, 8, 1, 100000),
+       Col("s_quantity", 100, 4, 0, 100),
+       Col("s_ytd", 100000, 8, 0, 100000),
+       Col("s_order_cnt", 1000, 4, 0, 1000)}));
+  WFIT_RETURN_IF_ERROR(AddTable(
+      catalog, scale, "tpcc", "item", 100000,
+      {Col("i_id", 100000, 8, 1, 100000),
+       Col("i_im_id", 10000, 8, 1, 10000),
+       Col("i_price", 9000, 8, 1, 100),
+       Col("i_name", 99000, 20, 0, 98999)}));
+  return Status::Ok();
+}
+
+Status AddTpceSchema(Catalog* catalog, const BenchmarkScale& scale) {
+  // 5000-customer TPC-E slice; the tables referenced by the paper's example
+  // query (security, company, daily_market) plus the trading core.
+  WFIT_RETURN_IF_ERROR(AddTable(
+      catalog, scale, "tpce", "security", 34250,
+      {Col("s_symb", 34250, 16, 0, 34249),
+       Col("s_co_id", 25000, 8, 1, 25000),
+       Col("s_pe", 20000, 8, 1.0, 120.0),
+       Col("s_exch_date", 9000, 8, 2000, 11000),
+       Col("s_52wk_high", 30000, 8, 1, 5000),
+       Col("s_dividend", 8000, 8, 0, 50)}));
+  WFIT_RETURN_IF_ERROR(AddTable(
+      catalog, scale, "tpce", "company", 25000,
+      {Col("co_id", 25000, 8, 1, 25000),
+       Col("co_name", 25000, 24, 0, 24999),
+       Col("co_open_date", 20000, 8, -60000, 10000),
+       Col("co_rate", 30, 4, 0, 29),
+       Col("co_country", 90, 4, 0, 89)}));
+  WFIT_RETURN_IF_ERROR(AddTable(
+      catalog, scale, "tpce", "daily_market", 2250000,
+      {Col("dm_date", 1305, 8, 9000, 10305),
+       Col("dm_s_symb", 34250, 16, 0, 34249),
+       Col("dm_close", 400000, 8, 1, 5000),
+       Col("dm_high", 400000, 8, 1, 5100),
+       Col("dm_low", 400000, 8, 0.5, 5000),
+       Col("dm_vol", 900000, 8, 0, 1e7)}));
+  WFIT_RETURN_IF_ERROR(AddTable(
+      catalog, scale, "tpce", "trade", 4000000,
+      {Col("t_id", 4000000, 8, 1, 4000000),
+       Col("t_dts", 1400000, 8, 9000, 10305),
+       Col("t_s_symb", 34250, 16, 0, 34249),
+       Col("t_ca_id", 25000, 8, 1, 25000),
+       Col("t_qty", 800, 4, 1, 800),
+       Col("t_trade_price", 500000, 8, 1, 5000),
+       Col("t_tax", 90000, 8, 0, 500)}));
+  WFIT_RETURN_IF_ERROR(AddTable(
+      catalog, scale, "tpce", "holding", 450000,
+      {Col("h_t_id", 450000, 8, 1, 4000000),
+       Col("h_ca_id", 25000, 8, 1, 25000),
+       Col("h_s_symb", 34250, 16, 0, 34249),
+       Col("h_dts", 400000, 8, 9000, 10305),
+       Col("h_qty", 800, 4, 1, 800),
+       Col("h_price", 400000, 8, 1, 5000)}));
+  WFIT_RETURN_IF_ERROR(AddTable(
+      catalog, scale, "tpce", "customer_account", 25000,
+      {Col("ca_id", 25000, 8, 1, 25000),
+       Col("ca_c_id", 5000, 8, 1, 5000),
+       Col("ca_bal", 24000, 8, -100000, 1e6),
+       Col("ca_tax_st", 3, 4, 0, 2)}));
+  return Status::Ok();
+}
+
+Status AddNrefSchema(Catalog* catalog, const BenchmarkScale& scale) {
+  // The PIR non-redundant reference protein database, as modeled by the
+  // online-tuning benchmark.
+  WFIT_RETURN_IF_ERROR(AddTable(
+      catalog, scale, "nref", "protein", 1000000,
+      {Col("p_id", 1000000, 8, 1, 1000000),
+       Col("p_seq_length", 8000, 4, 10, 36000),
+       Col("p_mol_weight", 700000, 8, 1000, 4000000),
+       Col("p_species", 50000, 4, 0, 49999),
+       Col("p_created", 5000, 8, 0, 5000)}));
+  WFIT_RETURN_IF_ERROR(AddTable(
+      catalog, scale, "nref", "neighboring_seq", 5000000,
+      {Col("n_p_id", 1000000, 8, 1, 1000000),
+       Col("n_neighbor_id", 1000000, 8, 1, 1000000),
+       Col("n_score", 10000, 8, 0, 1000),
+       Col("n_align_len", 5000, 4, 10, 36000)}));
+  WFIT_RETURN_IF_ERROR(AddTable(
+      catalog, scale, "nref", "annotation", 3000000,
+      {Col("a_p_id", 1000000, 8, 1, 1000000),
+       Col("a_type", 500, 4, 0, 499),
+       Col("a_date", 5000, 8, 0, 5000),
+       Col("a_source", 10000, 4, 0, 9999)}));
+  WFIT_RETURN_IF_ERROR(AddTable(
+      catalog, scale, "nref", "taxonomy", 50000,
+      {Col("tax_id", 50000, 8, 0, 49999),
+       Col("tax_parent", 20000, 8, 0, 49999),
+       Col("tax_rank", 30, 4, 0, 29)}));
+  return Status::Ok();
+}
+
+Catalog BuildBenchmarkCatalog(const BenchmarkScale& scale) {
+  Catalog catalog;
+  Status st = AddTpchSchema(&catalog, scale);
+  WFIT_CHECK(st.ok(), st.ToString());
+  st = AddTpccSchema(&catalog, scale);
+  WFIT_CHECK(st.ok(), st.ToString());
+  st = AddTpceSchema(&catalog, scale);
+  WFIT_CHECK(st.ok(), st.ToString());
+  st = AddNrefSchema(&catalog, scale);
+  WFIT_CHECK(st.ok(), st.ToString());
+  return catalog;
+}
+
+const std::vector<std::string>& BenchmarkDatasets() {
+  static const std::vector<std::string> kDatasets = {"tpch", "tpcc", "tpce",
+                                                     "nref"};
+  return kDatasets;
+}
+
+}  // namespace wfit

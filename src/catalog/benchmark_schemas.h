@@ -1,0 +1,38 @@
+// The four datasets of the online index-tuning benchmark (Schnaitter &
+// Polyzotis, SMDB'09) that the paper's evaluation runs on: TPC-H, TPC-C,
+// TPC-E and the real-life NREF protein database. Only statistics are
+// materialized (see DESIGN.md, substitution table).
+#ifndef WFIT_CATALOG_BENCHMARK_SCHEMAS_H_
+#define WFIT_CATALOG_BENCHMARK_SCHEMAS_H_
+
+#include "catalog/catalog.h"
+
+namespace wfit {
+
+/// Scale factor 1.0 reproduces the paper's ~2.9 GB multi-database host;
+/// smaller factors shrink row counts proportionally (floor of 1 row).
+struct BenchmarkScale {
+  double factor = 1.0;
+};
+
+/// Adds the TPC-H schema (8 tables) under dataset tag "tpch".
+Status AddTpchSchema(Catalog* catalog, const BenchmarkScale& scale = {});
+
+/// Adds the TPC-C schema (7 tables) under dataset tag "tpcc".
+Status AddTpccSchema(Catalog* catalog, const BenchmarkScale& scale = {});
+
+/// Adds the TPC-E schema (6 tables) under dataset tag "tpce".
+Status AddTpceSchema(Catalog* catalog, const BenchmarkScale& scale = {});
+
+/// Adds the NREF schema (4 tables) under dataset tag "nref".
+Status AddNrefSchema(Catalog* catalog, const BenchmarkScale& scale = {});
+
+/// Builds the full multi-database catalog used by the benchmark workload.
+Catalog BuildBenchmarkCatalog(const BenchmarkScale& scale = {});
+
+/// The dataset tags in benchmark order: {"tpch", "tpcc", "tpce", "nref"}.
+const std::vector<std::string>& BenchmarkDatasets();
+
+}  // namespace wfit
+
+#endif  // WFIT_CATALOG_BENCHMARK_SCHEMAS_H_

@@ -1,0 +1,90 @@
+#include "catalog/catalog.h"
+
+#include <unordered_set>
+
+namespace wfit {
+
+uint32_t TableInfo::RowWidth() const {
+  uint32_t width = 0;
+  for (const ColumnInfo& c : columns) width += c.width_bytes;
+  return width;
+}
+
+StatusOr<TableId> Catalog::AddTable(TableInfo table) {
+  if (table.name.empty() || table.dataset.empty()) {
+    return Status::InvalidArgument("table requires dataset and name");
+  }
+  if (table.columns.empty()) {
+    return Status::InvalidArgument("table " + table.qualified_name() +
+                                   " has no columns");
+  }
+  std::unordered_set<std::string> seen;
+  for (const ColumnInfo& c : table.columns) {
+    if (c.name.empty()) {
+      return Status::InvalidArgument("unnamed column in " +
+                                     table.qualified_name());
+    }
+    if (!seen.insert(c.name).second) {
+      return Status::InvalidArgument("duplicate column " + c.name + " in " +
+                                     table.qualified_name());
+    }
+    if (c.distinct_values == 0) {
+      return Status::InvalidArgument("column " + c.name +
+                                     " has zero distinct values");
+    }
+    if (c.max_value < c.min_value) {
+      return Status::InvalidArgument("column " + c.name +
+                                     " has empty domain");
+    }
+  }
+  std::string qualified = table.qualified_name();
+  if (by_qualified_name_.count(qualified) != 0) {
+    return Status::AlreadyExists("table " + qualified);
+  }
+  TableId id = static_cast<TableId>(tables_.size());
+  by_qualified_name_[qualified] = id;
+  auto [it, inserted] = by_bare_name_.emplace(table.name, id);
+  if (!inserted) it->second = kAmbiguous;
+  tables_.push_back(std::move(table));
+  return id;
+}
+
+StatusOr<TableId> Catalog::FindTable(const std::string& name) const {
+  if (auto it = by_qualified_name_.find(name);
+      it != by_qualified_name_.end()) {
+    return it->second;
+  }
+  if (auto it = by_bare_name_.find(name); it != by_bare_name_.end()) {
+    if (it->second == kAmbiguous) {
+      return Status::InvalidArgument("table name " + name +
+                                     " is ambiguous; qualify with dataset");
+    }
+    return it->second;
+  }
+  return Status::NotFound("table " + name);
+}
+
+StatusOr<uint32_t> Catalog::FindColumn(TableId table,
+                                       const std::string& name) const {
+  const TableInfo& t = this->table(table);
+  for (uint32_t i = 0; i < t.columns.size(); ++i) {
+    if (t.columns[i].name == name) return i;
+  }
+  return Status::NotFound("column " + name + " in " + t.qualified_name());
+}
+
+std::vector<TableId> Catalog::TablesOfDataset(
+    const std::string& dataset) const {
+  std::vector<TableId> out;
+  for (TableId id = 0; id < tables_.size(); ++id) {
+    if (tables_[id].dataset == dataset) out.push_back(id);
+  }
+  return out;
+}
+
+std::string Catalog::ColumnName(const ColumnRef& ref) const {
+  const TableInfo& t = table(ref.table);
+  return t.qualified_name() + "." + t.columns[ref.column].name;
+}
+
+}  // namespace wfit

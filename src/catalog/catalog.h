@@ -1,0 +1,105 @@
+// Schema catalog: tables, columns and their statistics. The cost model is
+// purely statistics-driven (as is the paper's evaluation, which measures
+// optimizer-estimated cost), so the catalog stores cardinalities and column
+// domains but no base data.
+#ifndef WFIT_CATALOG_CATALOG_H_
+#define WFIT_CATALOG_CATALOG_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace wfit {
+
+/// Dense table identifier: index into Catalog's table vector.
+using TableId = uint32_t;
+
+/// A column inside a specific table.
+struct ColumnRef {
+  TableId table = 0;
+  uint32_t column = 0;
+
+  friend bool operator==(const ColumnRef& a, const ColumnRef& b) {
+    return a.table == b.table && a.column == b.column;
+  }
+  friend bool operator!=(const ColumnRef& a, const ColumnRef& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const ColumnRef& a, const ColumnRef& b) {
+    return a.table != b.table ? a.table < b.table : a.column < b.column;
+  }
+};
+
+/// Per-column statistics. All columns are modeled with a numeric domain
+/// [min_value, max_value]; string-typed columns in the real benchmarks are
+/// mapped onto dictionary codes, which preserves selectivity arithmetic.
+struct ColumnInfo {
+  std::string name;
+  /// Number of distinct values; drives equality selectivity (1/distinct).
+  uint64_t distinct_values = 1;
+  /// Storage width in bytes; drives row width, index size and build cost.
+  uint32_t width_bytes = 8;
+  double min_value = 0.0;
+  double max_value = 1.0;
+};
+
+/// A base table with statistics.
+struct TableInfo {
+  /// Dataset tag, e.g. "tpch"; tables are addressed as "dataset.name".
+  std::string dataset;
+  std::string name;
+  uint64_t row_count = 0;
+  std::vector<ColumnInfo> columns;
+
+  std::string qualified_name() const { return dataset + "." + name; }
+
+  /// Sum of column widths: bytes per row, used for scan and build costs.
+  uint32_t RowWidth() const;
+};
+
+/// The schema catalog. Tables are registered once (AddTable) and then only
+/// read; TableId values remain stable for the catalog's lifetime.
+class Catalog {
+ public:
+  /// Registers a table. Fails with AlreadyExists if the qualified name is
+  /// taken, or InvalidArgument for empty/duplicate column lists.
+  StatusOr<TableId> AddTable(TableInfo table);
+
+  /// Looks up "dataset.name" (or a bare name if unambiguous).
+  StatusOr<TableId> FindTable(const std::string& name) const;
+
+  /// Looks up a column by name within a table.
+  StatusOr<uint32_t> FindColumn(TableId table, const std::string& name) const;
+
+  const TableInfo& table(TableId id) const {
+    WFIT_CHECK(id < tables_.size(), "bad TableId");
+    return tables_[id];
+  }
+  const ColumnInfo& column(const ColumnRef& ref) const {
+    const TableInfo& t = table(ref.table);
+    WFIT_CHECK(ref.column < t.columns.size(), "bad ColumnRef");
+    return t.columns[ref.column];
+  }
+  size_t num_tables() const { return tables_.size(); }
+
+  /// All tables belonging to a dataset tag.
+  std::vector<TableId> TablesOfDataset(const std::string& dataset) const;
+
+  /// Human-readable "dataset.table.column".
+  std::string ColumnName(const ColumnRef& ref) const;
+
+ private:
+  std::vector<TableInfo> tables_;
+  std::unordered_map<std::string, TableId> by_qualified_name_;
+  // Bare-name index; value is the table id, or kAmbiguous if several
+  // datasets reuse the name.
+  static constexpr TableId kAmbiguous = static_cast<TableId>(-1);
+  std::unordered_map<std::string, TableId> by_bare_name_;
+};
+
+}  // namespace wfit
+
+#endif  // WFIT_CATALOG_CATALOG_H_

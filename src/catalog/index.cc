@@ -1,0 +1,48 @@
+#include "catalog/index.h"
+
+namespace wfit {
+
+IndexId IndexPool::Intern(const IndexDef& def) {
+  WFIT_CHECK(!def.columns.empty(), "index with no columns");
+  WFIT_CHECK(def.table < catalog_->num_tables(), "index on unknown table");
+  const TableInfo& t = catalog_->table(def.table);
+  for (uint32_t c : def.columns) {
+    WFIT_CHECK(c < t.columns.size(), "index on unknown column");
+  }
+  auto it = interned_.find(def);
+  if (it != interned_.end()) return it->second;
+  IndexId id = static_cast<IndexId>(defs_.size());
+  defs_.push_back(def);
+  interned_.emplace(def, id);
+  return id;
+}
+
+std::string IndexPool::Name(IndexId id) const {
+  const IndexDef& d = def(id);
+  const TableInfo& t = catalog_->table(d.table);
+  std::string out = "ix_" + t.qualified_name() + "(";
+  for (size_t i = 0; i < d.columns.size(); ++i) {
+    if (i > 0) out += ",";
+    out += t.columns[d.columns[i]].name;
+  }
+  out += ")";
+  return out;
+}
+
+uint32_t IndexPool::EntryWidth(IndexId id) const {
+  const IndexDef& d = def(id);
+  const TableInfo& t = catalog_->table(d.table);
+  uint32_t width = 8;  // row pointer
+  for (uint32_t c : d.columns) width += t.columns[c].width_bytes;
+  return width;
+}
+
+std::vector<IndexId> IndexPool::IndicesOnTable(TableId table) const {
+  std::vector<IndexId> out;
+  for (IndexId id = 0; id < defs_.size(); ++id) {
+    if (defs_[id].table == table) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace wfit

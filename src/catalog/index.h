@@ -1,0 +1,75 @@
+// Secondary index definitions and the interning pool that assigns stable
+// IndexId values. An IndexId names one element of the paper's universe `I`
+// of possible indices; configurations are sets of IndexIds.
+#ifndef WFIT_CATALOG_INDEX_H_
+#define WFIT_CATALOG_INDEX_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/catalog.h"
+
+namespace wfit {
+
+/// Dense identifier for an interned index definition.
+using IndexId = uint32_t;
+
+/// A (possibly multi-column) B-tree index over one table. Column order is
+/// significant: a prefix of the key columns can serve equality/range
+/// predicates, and the full key serves ORDER BY.
+struct IndexDef {
+  TableId table = 0;
+  std::vector<uint32_t> columns;  // ordinals within `table`, non-empty
+
+  friend bool operator==(const IndexDef& a, const IndexDef& b) {
+    return a.table == b.table && a.columns == b.columns;
+  }
+};
+
+struct IndexDefHash {
+  size_t operator()(const IndexDef& d) const {
+    size_t h = std::hash<uint64_t>()(d.table);
+    for (uint32_t c : d.columns) h = h * 1315423911u + c + 0x9e3779b9;
+    return h;
+  }
+};
+
+/// Interns IndexDefs so every distinct index has exactly one IndexId.
+/// Append-only; ids remain valid for the pool's lifetime.
+class IndexPool {
+ public:
+  explicit IndexPool(const Catalog* catalog) : catalog_(catalog) {
+    WFIT_CHECK(catalog != nullptr, "IndexPool requires a catalog");
+  }
+
+  /// Returns the id for `def`, interning it on first sight.
+  IndexId Intern(const IndexDef& def);
+
+  const IndexDef& def(IndexId id) const {
+    WFIT_CHECK(id < defs_.size(), "bad IndexId");
+    return defs_[id];
+  }
+  size_t size() const { return defs_.size(); }
+  const Catalog& catalog() const { return *catalog_; }
+
+  /// Canonical display name, e.g. "ix_tpch.lineitem(l_shipdate,l_tax)".
+  std::string Name(IndexId id) const;
+
+  /// Width in bytes of one index entry (key columns + row pointer).
+  uint32_t EntryWidth(IndexId id) const;
+
+  /// All interned indices over `table`.
+  std::vector<IndexId> IndicesOnTable(TableId table) const;
+
+ private:
+  const Catalog* catalog_;
+  std::vector<IndexDef> defs_;
+  std::unordered_map<IndexDef, IndexId, IndexDefHash> interned_;
+};
+
+}  // namespace wfit
+
+#endif  // WFIT_CATALOG_INDEX_H_

@@ -1,0 +1,74 @@
+// Helpers for configurations represented as bitmasks. Within a stable
+// partition part, an index configuration is a subset of at most ~20 indices
+// and is stored as a uint32_t mask over the part's member list.
+#ifndef WFIT_COMMON_BITS_H_
+#define WFIT_COMMON_BITS_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace wfit {
+
+/// A configuration within a part: bit i set <=> the part's i-th index is
+/// materialized.
+using Mask = uint32_t;
+
+inline int PopCount(Mask m) { return std::popcount(m); }
+
+/// True iff `sub` is a subset of `super`.
+inline bool IsSubset(Mask sub, Mask super) { return (sub & ~super) == 0; }
+
+/// Index of the lowest set bit; undefined for m == 0.
+inline int LowestBit(Mask m) { return std::countr_zero(m); }
+
+/// Iterates all submasks of `universe` (including 0 and universe itself).
+/// Usage: for (SubmaskIterator it(u); !it.done(); it.Next()) use it.mask();
+class SubmaskIterator {
+ public:
+  explicit SubmaskIterator(Mask universe)
+      : universe_(universe), mask_(universe), done_(false) {}
+
+  bool done() const { return done_; }
+  Mask mask() const { return mask_; }
+
+  void Next() {
+    if (mask_ == 0) {
+      done_ = true;
+    } else {
+      mask_ = (mask_ - 1) & universe_;
+    }
+  }
+
+ private:
+  Mask universe_;
+  Mask mask_;
+  bool done_;
+};
+
+/// Keeps at most `count` lowest set bits of `m` (deterministic truncation
+/// for bounded subset enumerations).
+inline Mask KeepLowestBits(Mask m, int count) {
+  Mask out = 0;
+  int kept = 0;
+  while (m != 0 && kept < count) {
+    Mask low = m & (~m + 1);
+    out |= low;
+    m &= m - 1;
+    ++kept;
+  }
+  return out;
+}
+
+/// The paper's lexicographic tie-breaking order (Appendix B): X is preferred
+/// to Y iff the smallest index where they differ belongs to X. Returns true
+/// when `x` is strictly preferred to `y`.
+inline bool LexPrefers(Mask x, Mask y) {
+  Mask diff = x ^ y;
+  if (diff == 0) return false;
+  Mask low = diff & (~diff + 1);  // lowest differing bit
+  return (x & low) != 0;
+}
+
+}  // namespace wfit
+
+#endif  // WFIT_COMMON_BITS_H_

@@ -1,0 +1,38 @@
+// Internal invariant checking. WFIT_CHECK is always on (the library is a
+// research artifact where silent corruption of tuning state is worse than an
+// abort); WFIT_DCHECK compiles away in release builds.
+#ifndef WFIT_COMMON_CHECK_H_
+#define WFIT_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace wfit::internal {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::fprintf(stderr, "WFIT_CHECK failed: %s at %s:%d%s%s\n", expr, file,
+               line, msg.empty() ? "" : ": ", msg.c_str());
+  std::abort();
+}
+
+}  // namespace wfit::internal
+
+#define WFIT_CHECK(cond, ...)                                             \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::wfit::internal::CheckFailed(#cond, __FILE__, __LINE__,            \
+                                    ::std::string(__VA_ARGS__));          \
+    }                                                                     \
+  } while (0)
+
+#ifndef NDEBUG
+#define WFIT_DCHECK(cond, ...) WFIT_CHECK(cond, ##__VA_ARGS__)
+#else
+#define WFIT_DCHECK(cond, ...) \
+  do {                         \
+  } while (0)
+#endif
+
+#endif  // WFIT_COMMON_CHECK_H_

@@ -1,0 +1,46 @@
+#include "common/rng.h"
+
+namespace wfit {
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  WFIT_CHECK(lo <= hi, "UniformInt: empty range");
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::Uniform(double lo, double hi) {
+  WFIT_CHECK(lo <= hi, "Uniform: empty range");
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+size_t Rng::PickWeighted(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    WFIT_CHECK(w >= 0.0, "PickWeighted: negative weight");
+    total += w;
+  }
+  WFIT_CHECK(total > 0.0, "PickWeighted: all weights zero");
+  double r = Uniform(0.0, total);
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  // Floating-point edge: return the last positive-weight index.
+  for (size_t i = weights.size(); i > 0; --i) {
+    if (weights[i - 1] > 0.0) return i - 1;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::Fork() { return Rng(engine_()); }
+
+}  // namespace wfit

@@ -1,0 +1,54 @@
+// Deterministic random number generation. All stochastic components of the
+// library (workload generator, choosePartition's randomized search) draw from
+// an explicitly seeded Rng so that every experiment is reproducible.
+#ifndef WFIT_COMMON_RNG_H_
+#define WFIT_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/check.h"
+
+namespace wfit {
+
+/// A seeded Mersenne Twister with convenience draws. Not thread-safe; each
+/// component owns its own instance.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform real in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Index drawn proportionally to non-negative weights. Requires at least
+  /// one strictly positive weight.
+  size_t PickWeighted(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    for (size_t i = items->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap((*items)[i - 1], (*items)[j]);
+    }
+  }
+
+  /// Derive an independent child generator (for per-phase streams).
+  Rng Fork();
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace wfit
+
+#endif  // WFIT_COMMON_RNG_H_

@@ -1,0 +1,118 @@
+// Status / StatusOr: exception-free error propagation in the style of
+// RocksDB's Status and Abseil's StatusOr. Library code returns Status (or
+// StatusOr<T>) from any operation that can fail on user input; internal
+// invariant violations use WFIT_CHECK (common/check.h) instead.
+#ifndef WFIT_COMMON_STATUS_H_
+#define WFIT_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+namespace wfit {
+
+/// Error taxonomy for the library. Kept deliberately small; codes are part of
+/// the public API contract and are matched by tests.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+};
+
+/// Result of an operation that can fail. Cheap to copy in the OK case.
+class Status {
+ public:
+  /// Default-constructed Status is OK.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "InvalidArgument: bad selectivity".
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or a non-OK Status. Accessing the value of a
+/// failed StatusOr aborts (programming error).
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value (mirrors absl::StatusOr ergonomics).
+  StatusOr(T value) : status_(Status::Ok()), value_(std::move(value)) {}
+  /// Implicit construction from a non-OK status.
+  StatusOr(Status status) : status_(std::move(status)) {
+    WFIT_CHECK(!status_.ok(), "StatusOr constructed from OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    WFIT_CHECK(ok(), "value() called on failed StatusOr: " +
+                         status_.ToString());
+    return value_;
+  }
+  T& value() & {
+    WFIT_CHECK(ok(), "value() called on failed StatusOr: " +
+                         status_.ToString());
+    return value_;
+  }
+  T&& value() && {
+    WFIT_CHECK(ok(), "value() called on failed StatusOr: " +
+                         status_.ToString());
+    return std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+/// Propagate a non-OK status to the caller.
+#define WFIT_RETURN_IF_ERROR(expr)            \
+  do {                                        \
+    ::wfit::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+}  // namespace wfit
+
+#endif  // WFIT_COMMON_STATUS_H_

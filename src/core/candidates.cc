@@ -1,0 +1,127 @@
+#include "core/candidates.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/wfa_plus.h"
+#include "ibg/interactions.h"
+
+namespace wfit {
+
+CandidateSelector::CandidateSelector(IndexPool* pool,
+                                     const WhatIfOptimizer* optimizer,
+                                     const CandidateOptions& options,
+                                     uint64_t seed)
+    : pool_(pool),
+      optimizer_(optimizer),
+      options_(options),
+      rng_(seed),
+      idx_stats_(options.hist_size),
+      int_stats_(options.hist_size) {
+  WFIT_CHECK(pool != nullptr && optimizer != nullptr,
+             "CandidateSelector requires pool and optimizer");
+}
+
+std::vector<IndexId> CandidateSelector::TopIndices(
+    const std::vector<IndexId>& x, size_t u, const IndexSet& monitored) const {
+  if (u == 0 || x.empty()) return {};
+  struct Scored {
+    IndexId id;
+    double score;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(x.size());
+  for (IndexId a : x) {
+    double score = idx_stats_.CurrentBenefit(a, position_);
+    if (!monitored.Contains(a)) {
+      // A new index must displace a monitored one: charge (a scaled share
+      // of) its materialization cost as required extra evidence.
+      score -= options_.creation_penalty_factor *
+               optimizer_->cost_model().CreateCost(a);
+    }
+    scored.push_back(Scored{a, score});
+  }
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const Scored& a, const Scored& b) {
+                     if (a.score != b.score) return a.score > b.score;
+                     return a.id < b.id;
+                   });
+  std::vector<IndexId> out;
+  for (const Scored& s : scored) {
+    if (out.size() >= u) break;
+    if (s.score <= 0.0) break;  // no evidence of benefit: stop adding
+    out.push_back(s.id);
+  }
+  return out;
+}
+
+CandidateAnalysis CandidateSelector::ChooseCands(
+    const Statement& q, const IndexSet& materialized,
+    const std::vector<IndexSet>& current_partition) {
+  ++position_;
+
+  // Line 1: U ← U ∪ extractIndices(q).
+  for (IndexId id : ExtractIndices(q, pool_, options_.extractor)) {
+    universe_.Add(id);
+  }
+
+  // Line 2: the statement's IBG over the query-relevant slice of U,
+  // ranked by current benefit: the mask cap and the what-if node budget
+  // both shed from the low-benefit tail.
+  std::vector<IndexId> relevant = RelevantCandidates(
+      q, *pool_, std::vector<IndexId>(universe_.begin(), universe_.end()),
+      /*cap=*/std::numeric_limits<size_t>::max());
+  std::stable_sort(relevant.begin(), relevant.end(),
+                   [&](IndexId a, IndexId b) {
+                     double ba = idx_stats_.CurrentBenefit(a, position_);
+                     double bb = idx_stats_.CurrentBenefit(b, position_);
+                     if (ba != bb) return ba > bb;
+                     return a < b;
+                   });
+  if (relevant.size() > options_.ibg_cap) {
+    relevant.resize(options_.ibg_cap);
+  }
+  auto ibg = std::make_shared<IndexBenefitGraph>(q, *optimizer_, relevant,
+                                                 options_.ibg_node_budget);
+
+  // Line 3: updateStats — benefits βn and pairwise doi from the IBG.
+  for (size_t bit = 0; bit < ibg->candidates().size(); ++bit) {
+    double beta = ibg->MaxBenefit(static_cast<int>(bit));
+    idx_stats_.Record(ibg->candidates()[bit], position_, beta);
+  }
+  for (const InteractionEntry& entry : ComputeInteractions(*ibg)) {
+    int_stats_.Record(entry.a, entry.b, position_, entry.doi);
+  }
+
+  // Lines 4-5: D ← M ∪ topIndices(U − M, idxCnt − |M|).
+  IndexSet monitored;
+  for (const IndexSet& part : current_partition) {
+    monitored = monitored.Union(part);
+  }
+  std::vector<IndexId> not_materialized;
+  for (IndexId a : universe_) {
+    if (!materialized.Contains(a)) not_materialized.push_back(a);
+  }
+  size_t budget = options_.idx_cnt > materialized.size()
+                      ? options_.idx_cnt - materialized.size()
+                      : 0;
+  std::vector<IndexId> top = TopIndices(not_materialized, budget, monitored);
+  IndexSet d = materialized;
+  for (IndexId a : top) d.Add(a);
+
+  // Line 6: choosePartition(D, stateCnt).
+  DoiFn doi = [this](IndexId a, IndexId b) {
+    return int_stats_.CurrentDoi(a, b, position_);
+  };
+  PartitionOptions popts;
+  popts.state_cnt = options_.state_cnt;
+  popts.rand_cnt = options_.rand_cnt;
+  CandidateAnalysis out;
+  out.partition =
+      ChoosePartition(std::vector<IndexId>(d.begin(), d.end()),
+                      current_partition, doi, popts, &rng_);
+  out.ibg = std::move(ibg);
+  return out;
+}
+
+}  // namespace wfit

@@ -1,0 +1,90 @@
+// chooseCands (Sec. 5.2.2, Fig. 6): online maintenance of the candidate set
+// and its stable partition. Per statement it (1) extracts interesting
+// indices into the growing universe U, (2) builds the statement's IBG,
+// (3) refreshes benefit/interaction statistics, (4) picks the top idxCnt
+// indices (topIndices) keeping materialized ones, and (5) re-partitions
+// under the stateCnt bound (core/partition.h).
+#ifndef WFIT_CORE_CANDIDATES_H_
+#define WFIT_CORE_CANDIDATES_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/partition.h"
+#include "core/stats.h"
+#include "ibg/ibg.h"
+#include "optimizer/index_extractor.h"
+
+namespace wfit {
+
+struct CandidateOptions {
+  /// Upper bound on monitored indices (paper: idxCnt, default 40).
+  size_t idx_cnt = 40;
+  /// Upper bound on Σ 2^|Dm| (paper: stateCnt, default 500).
+  size_t state_cnt = 500;
+  /// Statistics window (paper: histSize, default 100).
+  size_t hist_size = 100;
+  /// Randomized partition-search iterations (paper: RAND_CNT).
+  int rand_cnt = 10;
+  /// Per-query IBG candidate cap (masks are 32-bit).
+  size_t ibg_cap = 25;
+  /// Per-query what-if budget: IBG node closure limit (paper: 5-100 calls
+  /// per query). Exceeding it sheds the lowest-benefit candidates.
+  size_t ibg_node_budget = 150;
+  /// topIndices scores a non-monitored index as
+  ///   benefit*(b) − creation_penalty_factor · δ+(b).
+  /// The paper uses factor 1; benefit* is a per-statement average while δ+
+  /// is absolute, so the default scales by 1/histSize (see DESIGN.md).
+  double creation_penalty_factor = 0.01;
+  ExtractorOptions extractor;
+};
+
+/// Result of analyzing one statement.
+struct CandidateAnalysis {
+  /// The new stable partition {D1, ..., DM}.
+  std::vector<IndexSet> partition;
+  /// The statement's IBG (over the query-relevant slice of U); reused by
+  /// WFIT to feed the per-part cost functions.
+  std::shared_ptr<IndexBenefitGraph> ibg;
+};
+
+class CandidateSelector {
+ public:
+  CandidateSelector(IndexPool* pool, const WhatIfOptimizer* optimizer,
+                    const CandidateOptions& options, uint64_t seed);
+
+  /// Runs chooseCands for the next statement. `materialized` is the set M
+  /// the DBA currently has built (always retained as candidates);
+  /// `current_partition` seeds both topIndices scoring and the baseline
+  /// partition.
+  CandidateAnalysis ChooseCands(const Statement& q,
+                                const IndexSet& materialized,
+                                const std::vector<IndexSet>& current_partition);
+
+  /// Adds an index to the universe (e.g. a DBA vote on an unmonitored
+  /// index) so the next statement can consider it.
+  void AddToUniverse(IndexId id) { universe_.Add(id); }
+
+  uint64_t statements_seen() const { return position_; }
+  const IndexSet& universe() const { return universe_; }
+  const BenefitStats& benefit_stats() const { return idx_stats_; }
+  const InteractionStats& interaction_stats() const { return int_stats_; }
+
+ private:
+  /// topIndices(X, u): up to u ids from X with the highest scores.
+  std::vector<IndexId> TopIndices(const std::vector<IndexId>& x, size_t u,
+                                  const IndexSet& monitored) const;
+
+  IndexPool* pool_;
+  const WhatIfOptimizer* optimizer_;
+  CandidateOptions options_;
+  Rng rng_;
+  IndexSet universe_;          // U
+  BenefitStats idx_stats_;     // idxStats
+  InteractionStats int_stats_; // intStats
+  uint64_t position_ = 0;      // statements analyzed (1-based after ++)
+};
+
+}  // namespace wfit
+
+#endif  // WFIT_CORE_CANDIDATES_H_

@@ -1,0 +1,94 @@
+#include "core/index_set.h"
+
+#include <algorithm>
+
+namespace wfit {
+
+IndexSet::IndexSet(std::initializer_list<IndexId> ids) : ids_(ids) {
+  std::sort(ids_.begin(), ids_.end());
+  ids_.erase(std::unique(ids_.begin(), ids_.end()), ids_.end());
+}
+
+IndexSet IndexSet::FromVector(std::vector<IndexId> ids) {
+  IndexSet out;
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  out.ids_ = std::move(ids);
+  return out;
+}
+
+bool IndexSet::Contains(IndexId id) const {
+  return std::binary_search(ids_.begin(), ids_.end(), id);
+}
+
+bool IndexSet::Add(IndexId id) {
+  auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+  if (it != ids_.end() && *it == id) return false;
+  ids_.insert(it, id);
+  return true;
+}
+
+bool IndexSet::Remove(IndexId id) {
+  auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+  if (it == ids_.end() || *it != id) return false;
+  ids_.erase(it);
+  return true;
+}
+
+IndexSet IndexSet::Union(const IndexSet& other) const {
+  IndexSet out;
+  out.ids_.reserve(ids_.size() + other.ids_.size());
+  std::set_union(ids_.begin(), ids_.end(), other.ids_.begin(),
+                 other.ids_.end(), std::back_inserter(out.ids_));
+  return out;
+}
+
+IndexSet IndexSet::Intersect(const IndexSet& other) const {
+  IndexSet out;
+  std::set_intersection(ids_.begin(), ids_.end(), other.ids_.begin(),
+                        other.ids_.end(), std::back_inserter(out.ids_));
+  return out;
+}
+
+IndexSet IndexSet::Minus(const IndexSet& other) const {
+  IndexSet out;
+  std::set_difference(ids_.begin(), ids_.end(), other.ids_.begin(),
+                      other.ids_.end(), std::back_inserter(out.ids_));
+  return out;
+}
+
+bool IndexSet::IsSubsetOf(const IndexSet& other) const {
+  return std::includes(other.ids_.begin(), other.ids_.end(), ids_.begin(),
+                       ids_.end());
+}
+
+size_t IndexSet::Hash() const {
+  size_t h = 1469598103934665603ull;
+  for (IndexId id : ids_) {
+    h ^= id + 1;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string IndexSet::ToString(const IndexPool& pool) const {
+  std::string out = "{";
+  for (size_t i = 0; i < ids_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += pool.Name(ids_[i]);
+  }
+  out += "}";
+  return out;
+}
+
+std::string IndexSet::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < ids_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(ids_[i]);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace wfit

@@ -1,0 +1,68 @@
+// IndexSet: a set of interned IndexIds, the "configuration" X ⊆ I of the
+// paper. Stored as a sorted vector: configurations are tiny (tens of ids),
+// and sorted storage gives cheap deterministic iteration, set algebra and
+// hashing.
+#ifndef WFIT_CORE_INDEX_SET_H_
+#define WFIT_CORE_INDEX_SET_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "catalog/index.h"
+
+namespace wfit {
+
+class IndexSet {
+ public:
+  IndexSet() = default;
+  IndexSet(std::initializer_list<IndexId> ids);
+  /// Builds from an arbitrary (possibly unsorted, duplicated) vector.
+  static IndexSet FromVector(std::vector<IndexId> ids);
+
+  bool Contains(IndexId id) const;
+  /// Inserts `id`; returns true if it was not already present.
+  bool Add(IndexId id);
+  /// Removes `id`; returns true if it was present.
+  bool Remove(IndexId id);
+
+  size_t size() const { return ids_.size(); }
+  bool empty() const { return ids_.empty(); }
+  void clear() { ids_.clear(); }
+
+  auto begin() const { return ids_.begin(); }
+  auto end() const { return ids_.end(); }
+  const std::vector<IndexId>& ids() const { return ids_; }
+
+  IndexSet Union(const IndexSet& other) const;
+  IndexSet Intersect(const IndexSet& other) const;
+  IndexSet Minus(const IndexSet& other) const;
+  bool IsSubsetOf(const IndexSet& other) const;
+
+  friend bool operator==(const IndexSet& a, const IndexSet& b) {
+    return a.ids_ == b.ids_;
+  }
+  friend bool operator!=(const IndexSet& a, const IndexSet& b) {
+    return !(a == b);
+  }
+
+  /// FNV-style hash over the sorted contents (for memo caches).
+  size_t Hash() const;
+
+  /// "{ix_a, ix_b}" using the pool's display names.
+  std::string ToString(const IndexPool& pool) const;
+  /// "{3, 7, 12}" raw ids.
+  std::string ToString() const;
+
+ private:
+  std::vector<IndexId> ids_;  // sorted, unique
+};
+
+struct IndexSetHash {
+  size_t operator()(const IndexSet& s) const { return s.Hash(); }
+};
+
+}  // namespace wfit
+
+#endif  // WFIT_CORE_INDEX_SET_H_

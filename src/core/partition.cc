@@ -1,0 +1,153 @@
+#include "core/partition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <set>
+
+namespace wfit {
+
+namespace {
+
+double CrossLoss(const IndexSet& a, const IndexSet& b, const DoiFn& doi) {
+  double total = 0.0;
+  for (IndexId x : a) {
+    for (IndexId y : b) total += doi(x, y);
+  }
+  return total;
+}
+
+/// States used by a part of size k: 2^k.
+size_t StatesOf(size_t k) { return size_t{1} << k; }
+
+}  // namespace
+
+double PartitionLoss(const std::vector<IndexSet>& parts, const DoiFn& doi) {
+  double total = 0.0;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    for (size_t j = i + 1; j < parts.size(); ++j) {
+      total += CrossLoss(parts[i], parts[j], doi);
+    }
+  }
+  return total;
+}
+
+size_t PartitionStates(const std::vector<IndexSet>& parts) {
+  size_t total = 0;
+  for (const IndexSet& p : parts) total += StatesOf(p.size());
+  return total;
+}
+
+void CanonicalizePartition(std::vector<IndexSet>* parts) {
+  parts->erase(std::remove_if(parts->begin(), parts->end(),
+                              [](const IndexSet& p) { return p.empty(); }),
+               parts->end());
+  std::sort(parts->begin(), parts->end(),
+            [](const IndexSet& a, const IndexSet& b) {
+              return *a.begin() < *b.begin();
+            });
+}
+
+std::vector<IndexSet> ChoosePartition(
+    const std::vector<IndexId>& indices,
+    const std::vector<IndexSet>& current_partition, const DoiFn& doi,
+    const PartitionOptions& options, Rng* rng) {
+  WFIT_CHECK(rng != nullptr, "ChoosePartition requires an Rng");
+  IndexSet d = IndexSet::FromVector(indices);
+  WFIT_CHECK(2 * d.size() <= options.state_cnt || d.size() <= 1,
+             "state_cnt cannot accommodate even singleton parts");
+
+  auto feasible = [&](const std::vector<IndexSet>& parts) {
+    if (PartitionStates(parts) > options.state_cnt) return false;
+    for (const IndexSet& p : parts) {
+      if (p.size() > options.max_part_size) return false;
+    }
+    return true;
+  };
+
+  std::vector<IndexSet> best;
+  double best_loss = std::numeric_limits<double>::infinity();
+  bool have_best = false;
+
+  // Baseline: current partition restricted to D, plus singletons for the
+  // new indices (Fig. 7, lines 2-7).
+  {
+    std::vector<IndexSet> base;
+    IndexSet covered;
+    for (const IndexSet& part : current_partition) {
+      IndexSet kept = part.Intersect(d);
+      if (!kept.empty()) {
+        covered = covered.Union(kept);
+        base.push_back(std::move(kept));
+      }
+    }
+    for (IndexId a : d) {
+      if (!covered.Contains(a)) base.push_back(IndexSet{a});
+    }
+    if (feasible(base)) {
+      best_loss = PartitionLoss(base, doi);
+      best = std::move(base);
+      have_best = true;
+    }
+  }
+
+  // Randomized merge searches (Fig. 7, lines 8-20).
+  for (int iter = 0; iter < options.rand_cnt; ++iter) {
+    std::vector<IndexSet> parts;
+    for (IndexId a : d) parts.push_back(IndexSet{a});
+
+    while (true) {
+      // E: mergeable pairs with positive cross loss.
+      struct Candidate {
+        size_t i, j;
+        double loss;
+        double weight;
+      };
+      std::vector<Candidate> e, e1;
+      size_t current_states = PartitionStates(parts);
+      for (size_t i = 0; i < parts.size(); ++i) {
+        for (size_t j = i + 1; j < parts.size(); ++j) {
+          double cross = CrossLoss(parts[i], parts[j], doi);
+          if (cross <= 0.0) continue;
+          size_t ni = parts[i].size(), nj = parts[j].size();
+          if (ni + nj > options.max_part_size) continue;
+          size_t merged_states = current_states - StatesOf(ni) -
+                                 StatesOf(nj) + StatesOf(ni + nj);
+          if (merged_states > options.state_cnt) continue;
+          Candidate c{i, j, cross, 0.0};
+          if (ni == 1 && nj == 1) {
+            c.weight = cross;
+            e1.push_back(c);
+          } else {
+            double denom = static_cast<double>(StatesOf(ni + nj) -
+                                               StatesOf(ni) - StatesOf(nj));
+            c.weight = cross / std::max(1.0, denom);
+            e.push_back(c);
+          }
+        }
+      }
+      const std::vector<Candidate>& pool = !e1.empty() ? e1 : e;
+      if (pool.empty()) break;
+      std::vector<double> weights;
+      weights.reserve(pool.size());
+      for (const Candidate& c : pool) weights.push_back(c.weight);
+      const Candidate& pick = pool[rng->PickWeighted(weights)];
+      parts[pick.i] = parts[pick.i].Union(parts[pick.j]);
+      parts.erase(parts.begin() + static_cast<ptrdiff_t>(pick.j));
+    }
+
+    double loss = PartitionLoss(parts, doi);
+    if (!have_best || loss < best_loss) {
+      best_loss = loss;
+      best = std::move(parts);
+      have_best = true;
+    }
+  }
+
+  WFIT_CHECK(have_best, "no feasible partition found");
+  CanonicalizePartition(&best);
+  return best;
+}
+
+}  // namespace wfit

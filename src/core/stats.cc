@@ -1,0 +1,63 @@
+#include "core/stats.h"
+
+#include <algorithm>
+
+namespace wfit {
+
+void RecencyWindow::Record(uint64_t n, double value) {
+  WFIT_CHECK(entries_.empty() || entries_.front().first <= n,
+             "RecencyWindow positions must be non-decreasing");
+  entries_.emplace_front(n, value);
+  if (entries_.size() > hist_size_) entries_.pop_back();
+}
+
+double RecencyWindow::CurrentValue(uint64_t now) const {
+  if (entries_.empty()) return 0.0;
+  double best = 0.0;
+  double sum = 0.0;
+  for (const auto& [n, v] : entries_) {  // newest -> oldest
+    sum += v;
+    // now >= n always holds; the window spans the most recent now-n+1
+    // statements.
+    double denom = static_cast<double>(now - n + 1);
+    best = std::max(best, sum / denom);
+  }
+  return best;
+}
+
+void BenefitStats::Record(IndexId a, uint64_t n, double beta) {
+  if (beta <= 0.0) return;
+  auto [it, inserted] = windows_.try_emplace(a, hist_size_);
+  it->second.Record(n, beta);
+}
+
+double BenefitStats::CurrentBenefit(IndexId a, uint64_t now) const {
+  auto it = windows_.find(a);
+  if (it == windows_.end()) return 0.0;
+  return it->second.CurrentValue(now);
+}
+
+uint64_t InteractionStats::Key(IndexId a, IndexId b) {
+  IndexId lo = std::min(a, b);
+  IndexId hi = std::max(a, b);
+  return (static_cast<uint64_t>(lo) << 32) | hi;
+}
+
+void InteractionStats::Record(IndexId a, IndexId b, uint64_t n, double d) {
+  if (d <= 0.0) return;
+  WFIT_CHECK(a != b, "interaction of an index with itself");
+  auto [it, inserted] = windows_.try_emplace(Key(a, b), hist_size_);
+  it->second.Record(n, d);
+}
+
+double InteractionStats::CurrentDoi(IndexId a, IndexId b, uint64_t now) const {
+  auto it = windows_.find(Key(a, b));
+  if (it == windows_.end()) return 0.0;
+  return it->second.CurrentValue(now);
+}
+
+bool InteractionStats::HasInteraction(IndexId a, IndexId b) const {
+  return windows_.count(Key(a, b)) != 0;
+}
+
+}  // namespace wfit

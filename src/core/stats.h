@@ -1,0 +1,82 @@
+// Workload statistics maintained by chooseCands (Sec. 5.2.2):
+//   idxStats[a]  — (n, βn) entries, βn = max benefit of index a for query n;
+//   intStats[a,b] — (n, d) entries, d = doi_qn(a, b);
+// both windowed to the histSize most recent positive entries. The derived
+// "current benefit" benefit*_N and "current degree of interaction" doi*_N
+// use the LRU-K-inspired maximum-over-suffix-averages formula.
+#ifndef WFIT_CORE_STATS_H_
+#define WFIT_CORE_STATS_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "catalog/index.h"
+
+namespace wfit {
+
+/// One windowed series of (position, value) entries with the paper's
+/// current-value formula:
+///   value*_N = max_ℓ (v1 + ... + vℓ) / (N − nℓ + 1),
+/// entries ordered newest first. Recent entries get small denominators, so
+/// recently useful indices score high (cf. LRU-K).
+class RecencyWindow {
+ public:
+  explicit RecencyWindow(size_t hist_size) : hist_size_(hist_size) {}
+
+  /// Appends an entry for workload position n (1-based, increasing).
+  void Record(uint64_t n, double value);
+
+  /// value*_N; zero when the window is empty.
+  double CurrentValue(uint64_t now) const;
+
+  bool empty() const { return entries_.empty(); }
+  size_t size() const { return entries_.size(); }
+
+ private:
+  size_t hist_size_;
+  std::deque<std::pair<uint64_t, double>> entries_;  // newest at front
+};
+
+/// idxStats: per-index benefit windows.
+class BenefitStats {
+ public:
+  explicit BenefitStats(size_t hist_size) : hist_size_(hist_size) {}
+
+  /// Records βn for index a at position n; ignored unless βn > 0
+  /// (the paper stores positive-benefit entries only).
+  void Record(IndexId a, uint64_t n, double beta);
+
+  /// benefit*_N(a).
+  double CurrentBenefit(IndexId a, uint64_t now) const;
+
+ private:
+  size_t hist_size_;
+  std::unordered_map<IndexId, RecencyWindow> windows_;
+};
+
+/// intStats: per-pair doi windows. Pairs are unordered.
+class InteractionStats {
+ public:
+  explicit InteractionStats(size_t hist_size) : hist_size_(hist_size) {}
+
+  /// Records doi_qn(a, b) = d at position n; ignored unless d > 0.
+  void Record(IndexId a, IndexId b, uint64_t n, double d);
+
+  /// doi*_N(a, b).
+  double CurrentDoi(IndexId a, IndexId b, uint64_t now) const;
+
+  /// True if any entry was ever recorded for the pair.
+  bool HasInteraction(IndexId a, IndexId b) const;
+
+ private:
+  static uint64_t Key(IndexId a, IndexId b);
+  size_t hist_size_;
+  std::unordered_map<uint64_t, RecencyWindow> windows_;
+};
+
+}  // namespace wfit
+
+#endif  // WFIT_CORE_STATS_H_

@@ -1,0 +1,74 @@
+// WFIT (Sec. 5): the end-to-end semi-automatic tuner. Extends WFA+ with
+// (a) the DBA feedback mechanism of Fig. 4 — consistency override plus the
+// work-function adjustment enforcing inequality (5.1) — and (b) automatic
+// candidate maintenance: chooseCands (Fig. 6) decides the candidate set and
+// stable partition per statement, and repartition (Fig. 5) migrates the
+// work-function state whenever the partition changes.
+//
+// The evaluation's "WFIT with a fixed stable partition" configuration is
+// WfaPlus (core/wfa_plus.h), which shares the recommendation and feedback
+// logic; this class is the AUTO configuration of Fig. 12 and the production
+// deployment mode.
+#ifndef WFIT_CORE_WFIT_H_
+#define WFIT_CORE_WFIT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/candidates.h"
+#include "core/tuner.h"
+#include "core/work_function.h"
+
+namespace wfit {
+
+struct WfitOptions {
+  CandidateOptions candidates;
+  std::string name = "WFIT";
+  /// Seed for choosePartition's randomized search.
+  uint64_t seed = 20120402;
+};
+
+class Wfit : public Tuner {
+ public:
+  /// Initialization per Fig. 4: C = S0 with singleton parts; candidates
+  /// evolve automatically from the workload.
+  Wfit(IndexPool* pool, const WhatIfOptimizer* optimizer,
+       const IndexSet& initial_materialized, const WfitOptions& options);
+
+  void AnalyzeQuery(const Statement& q) override;
+  IndexSet Recommendation() const override;
+
+  /// Fig. 4 feedback. Votes on indices outside the candidate set are
+  /// honored by opening a singleton part for them (positive votes) and by
+  /// seeding the candidate universe, so the consistency constraint
+  /// (F+ ⊆ S ∧ S ∩ F− = ∅) holds for arbitrary votes.
+  void Feedback(const IndexSet& f_plus, const IndexSet& f_minus) override;
+
+  std::string name() const override { return options_.name; }
+
+  const std::vector<IndexSet>& partition() const { return partition_; }
+  const IndexSet& candidate_set() const { return candidate_set_; }
+  uint64_t repartition_count() const { return repartitions_; }
+  size_t TotalStates() const;
+  const CandidateSelector& selector() const { return *selector_; }
+
+ private:
+  /// Fig. 5: adopt `new_partition`, rebuilding every WfaInstance with
+  /// work-function values transferred from the old partition.
+  void Repartition(const std::vector<IndexSet>& new_partition);
+
+  IndexPool* pool_;
+  const WhatIfOptimizer* optimizer_;
+  WfitOptions options_;
+  std::unique_ptr<CandidateSelector> selector_;
+  std::vector<IndexSet> partition_;      // {C1, ..., CK}
+  std::vector<WfaInstance> instances_;   // WFA(k) per part
+  IndexSet candidate_set_;               // C = ∪k Ck
+  IndexSet initial_materialized_;        // S0 (repartition line 7)
+  uint64_t repartitions_ = 0;
+};
+
+}  // namespace wfit
+
+#endif  // WFIT_CORE_WFIT_H_

@@ -1,0 +1,41 @@
+#include "harness/feedback_gen.h"
+
+namespace wfit {
+
+namespace {
+
+std::vector<FeedbackEvent> FromSchedule(const OptimalSchedule& opt,
+                                        const IndexSet& initial,
+                                        bool mirrored) {
+  std::vector<FeedbackEvent> events;
+  const IndexSet* prev = &initial;
+  for (size_t n = 0; n < opt.configs.size(); ++n) {
+    IndexSet created = opt.configs[n].Minus(*prev);
+    IndexSet dropped = prev->Minus(opt.configs[n]);
+    if (!created.empty() || !dropped.empty()) {
+      FeedbackEvent event;
+      // The transition into configs[n] happens after OPT has seen statement
+      // n-1 and before statement n.
+      event.after_statement = static_cast<int64_t>(n) - 1;
+      event.f_plus = mirrored ? dropped : created;
+      event.f_minus = mirrored ? created : dropped;
+      events.push_back(std::move(event));
+    }
+    prev = &opt.configs[n];
+  }
+  return events;
+}
+
+}  // namespace
+
+std::vector<FeedbackEvent> GoodFeedback(const OptimalSchedule& opt,
+                                        const IndexSet& initial) {
+  return FromSchedule(opt, initial, /*mirrored=*/false);
+}
+
+std::vector<FeedbackEvent> BadFeedback(const OptimalSchedule& opt,
+                                       const IndexSet& initial) {
+  return FromSchedule(opt, initial, /*mirrored=*/true);
+}
+
+}  // namespace wfit

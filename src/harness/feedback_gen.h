@@ -1,0 +1,35 @@
+// DBA feedback synthesis (Sec. 6.2, "The Effect of Feedback"): the
+// prescient DBA votes exactly where OPT changes its configuration — a
+// positive vote when OPT creates an index after query n and a negative vote
+// when it drops one (VGOOD); VBAD is the mirror image with the vote signs
+// swapped.
+#ifndef WFIT_HARNESS_FEEDBACK_GEN_H_
+#define WFIT_HARNESS_FEEDBACK_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/opt.h"
+#include "core/index_set.h"
+
+namespace wfit {
+
+/// One feedback element of the stream V. Applied after the tuner analyzes
+/// statement `after_statement` (0-based); -1 means before any statement.
+struct FeedbackEvent {
+  int64_t after_statement = -1;
+  IndexSet f_plus;
+  IndexSet f_minus;
+};
+
+/// VGOOD: votes mirroring OPT's create/drop events.
+std::vector<FeedbackEvent> GoodFeedback(const OptimalSchedule& opt,
+                                        const IndexSet& initial);
+
+/// VBAD: VGOOD with positive and negative votes swapped.
+std::vector<FeedbackEvent> BadFeedback(const OptimalSchedule& opt,
+                                       const IndexSet& initial);
+
+}  // namespace wfit
+
+#endif  // WFIT_HARNESS_FEEDBACK_GEN_H_

@@ -1,0 +1,107 @@
+#include "harness/offline_tuning.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/wfa_plus.h"
+#include "ibg/ibg.h"
+#include "ibg/interactions.h"
+
+namespace wfit::harness {
+
+OfflineStats ComputeOfflineStats(const Workload& workload, IndexPool* pool,
+                                 const WhatIfOptimizer* optimizer,
+                                 const OfflineTuningOptions& options) {
+  WFIT_CHECK(pool != nullptr && optimizer != nullptr,
+             "ComputeOfflineStats requires pool and optimizer");
+  OfflineStats stats;
+
+  // Pass 1: mine the universe U (extractIndices over every statement).
+  std::vector<std::vector<IndexId>> extracted(workload.size());
+  for (size_t n = 0; n < workload.size(); ++n) {
+    extracted[n] = ExtractIndices(workload[n], pool, options.extractor);
+    for (IndexId id : extracted[n]) stats.universe.Add(id);
+  }
+
+  // Pass 2: average benefit and doi over the whole workload, measured on
+  // each statement's own candidate slice via its IBG. Ranked by the
+  // benefit accumulated so far, so budget-based shedding drops the tail.
+  std::vector<IndexId> slice(stats.universe.begin(), stats.universe.end());
+  for (size_t n = 0; n < workload.size(); ++n) {
+    std::vector<IndexId> relevant = RelevantCandidates(
+        workload[n], *pool, slice, std::numeric_limits<size_t>::max());
+    std::stable_sort(relevant.begin(), relevant.end(),
+                     [&stats](IndexId a, IndexId b) {
+                       auto va = stats.total_benefit.find(a);
+                       auto vb = stats.total_benefit.find(b);
+                       double ba =
+                           va == stats.total_benefit.end() ? 0.0 : va->second;
+                       double bb =
+                           vb == stats.total_benefit.end() ? 0.0 : vb->second;
+                       if (ba != bb) return ba > bb;
+                       return a < b;
+                     });
+    if (relevant.size() > options.ibg_cap) relevant.resize(options.ibg_cap);
+    if (relevant.empty()) continue;
+    IndexBenefitGraph ibg(workload[n], *optimizer, relevant,
+                          options.ibg_node_budget);
+    for (size_t bit = 0; bit < ibg.candidates().size(); ++bit) {
+      double beta = ibg.MaxBenefit(static_cast<int>(bit));
+      if (beta > 0.0) stats.total_benefit[ibg.candidates()[bit]] += beta;
+    }
+    for (const InteractionEntry& e : ComputeInteractions(ibg)) {
+      auto key = std::minmax(e.a, e.b);
+      stats.total_doi[{key.first, key.second}] += e.doi;
+    }
+  }
+  return stats;
+}
+
+OfflinePartitionResult PartitionFromStats(
+    const OfflineStats& stats, const OfflineTuningOptions& options) {
+  // Top idx_cnt by average (== total/N) benefit.
+  std::vector<std::pair<IndexId, double>> scored;
+  for (const auto& [id, benefit] : stats.total_benefit) {
+    scored.emplace_back(id, benefit);
+  }
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const auto& a, const auto& b) {
+                     if (a.second != b.second) return a.second > b.second;
+                     return a.first < b.first;
+                   });
+  OfflinePartitionResult out;
+  out.universe_size = stats.universe.size();
+  for (const auto& [id, benefit] : scored) {
+    if (out.candidates.size() >= options.idx_cnt) break;
+    if (benefit <= 0.0) break;
+    out.candidates.Add(id);
+  }
+
+  // Partition under state_cnt using workload-average doi.
+  DoiFn doi = [&stats](IndexId a, IndexId b) {
+    auto key = std::minmax(a, b);
+    auto it = stats.total_doi.find({key.first, key.second});
+    return it == stats.total_doi.end() ? 0.0 : it->second;
+  };
+  PartitionOptions popts;
+  popts.state_cnt = options.state_cnt;
+  popts.rand_cnt = options.rand_cnt;
+  Rng rng(options.seed);
+  out.partition = ChoosePartition(
+      std::vector<IndexId>(out.candidates.begin(), out.candidates.end()), {},
+      doi, popts, &rng);
+  for (IndexId id : out.candidates) {
+    out.singleton_partition.push_back(IndexSet{id});
+  }
+  return out;
+}
+
+OfflinePartitionResult ComputeFixedPartition(
+    const Workload& workload, IndexPool* pool,
+    const WhatIfOptimizer* optimizer, const OfflineTuningOptions& options) {
+  OfflineStats stats =
+      ComputeOfflineStats(workload, pool, optimizer, options);
+  return PartitionFromStats(stats, options);
+}
+
+}  // namespace wfit::harness

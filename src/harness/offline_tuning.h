@@ -1,0 +1,73 @@
+// Offline computation of the fixed stable partition used by the evaluation
+// (Sec. 6.1, "Generating the Fixed Stable Partition"): mine candidates from
+// the whole workload, score them by workload-average benefit and degree of
+// interaction (instead of chooseCands' recency windows), keep the top
+// idxCnt, and partition under stateCnt. This gives every compared algorithm
+// the same configuration space.
+#ifndef WFIT_HARNESS_OFFLINE_TUNING_H_
+#define WFIT_HARNESS_OFFLINE_TUNING_H_
+
+#include <map>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/partition.h"
+#include "optimizer/index_extractor.h"
+#include "optimizer/what_if.h"
+#include "workload/statement.h"
+
+namespace wfit::harness {
+
+struct OfflineTuningOptions {
+  size_t idx_cnt = 40;
+  size_t state_cnt = 500;
+  int rand_cnt = 10;
+  uint64_t seed = 7;
+  ExtractorOptions extractor;
+  /// Per-query IBG cap (see core/candidates.h).
+  size_t ibg_cap = 25;
+  /// Per-query what-if node budget (see core/candidates.h).
+  size_t ibg_node_budget = 300;
+};
+
+struct OfflinePartitionResult {
+  /// The fixed candidate set C (top idx_cnt by average benefit).
+  IndexSet candidates;
+  /// Stable partition {C1, ..., CK} of C under state_cnt.
+  std::vector<IndexSet> partition;
+  /// Singleton partition of C (the WFIT-IND configuration).
+  std::vector<IndexSet> singleton_partition;
+  /// Total candidates mined from the workload (paper: ~300).
+  size_t universe_size = 0;
+};
+
+/// Workload-aggregate statistics: the expensive measurement pass, shared
+/// across partitions with different idx_cnt/state_cnt (the Fig. 8 bench
+/// derives three partitions from one pass).
+struct OfflineStats {
+  IndexSet universe;
+  std::unordered_map<IndexId, double> total_benefit;
+  std::map<std::pair<IndexId, IndexId>, double> total_doi;
+};
+
+/// Mines candidates and measures per-index benefit / pairwise doi over the
+/// whole workload.
+OfflineStats ComputeOfflineStats(const Workload& workload, IndexPool* pool,
+                                 const WhatIfOptimizer* optimizer,
+                                 const OfflineTuningOptions& options);
+
+/// Derives the fixed candidate set and stable partition from measured
+/// statistics. Deterministic in `options.seed`.
+OfflinePartitionResult PartitionFromStats(const OfflineStats& stats,
+                                          const OfflineTuningOptions& options);
+
+/// Convenience: ComputeOfflineStats + PartitionFromStats.
+OfflinePartitionResult ComputeFixedPartition(const Workload& workload,
+                                             IndexPool* pool,
+                                             const WhatIfOptimizer* optimizer,
+                                             const OfflineTuningOptions& options);
+
+}  // namespace wfit::harness
+
+#endif  // WFIT_HARNESS_OFFLINE_TUNING_H_

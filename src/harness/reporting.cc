@@ -1,0 +1,77 @@
+#include "harness/reporting.h"
+
+#include <iomanip>
+
+namespace wfit::harness {
+
+namespace {
+
+double RatioAt(const ExperimentSeries& opt, const ExperimentSeries& s,
+               size_t row) {
+  double denom = s.total_at_checkpoint[row];
+  if (denom <= 0.0) return 1.0;
+  return opt.total_at_checkpoint[row] / denom;
+}
+
+}  // namespace
+
+void PrintRatioTable(std::ostream& os, const ExperimentSeries& opt,
+                     const std::vector<ExperimentSeries>& series,
+                     const std::string& title) {
+  os << "== " << title << " ==\n";
+  os << "Total Work Ratio (OPT=1)\n";
+  os << std::setw(8) << "query#";
+  for (const ExperimentSeries& s : series) {
+    os << std::setw(14) << s.name;
+  }
+  os << "\n";
+  for (size_t row = 0; row < opt.checkpoints.size(); ++row) {
+    os << std::setw(8) << opt.checkpoints[row];
+    for (const ExperimentSeries& s : series) {
+      WFIT_CHECK(s.checkpoints.size() == opt.checkpoints.size(),
+                 "checkpoint mismatch between series");
+      os << std::setw(14) << std::fixed << std::setprecision(4)
+         << RatioAt(opt, s, row);
+    }
+    os << "\n";
+  }
+  os.flush();
+}
+
+void WriteRatioCsv(std::ostream& os, const ExperimentSeries& opt,
+                   const std::vector<ExperimentSeries>& series) {
+  os << "query";
+  for (const ExperimentSeries& s : series) os << "," << s.name;
+  os << "\n";
+  for (size_t row = 0; row < opt.checkpoints.size(); ++row) {
+    os << opt.checkpoints[row];
+    for (const ExperimentSeries& s : series) {
+      os << "," << RatioAt(opt, s, row);
+    }
+    os << "\n";
+  }
+  os.flush();
+}
+
+void PrintOverheadTable(std::ostream& os,
+                        const std::vector<ExperimentSeries>& series,
+                        size_t num_statements) {
+  os << std::setw(14) << "tuner" << std::setw(18) << "ms/statement"
+     << std::setw(18) << "what-if/stmt" << "\n";
+  for (const ExperimentSeries& s : series) {
+    double ms = num_statements == 0
+                    ? 0.0
+                    : 1000.0 * s.analyze_seconds /
+                          static_cast<double>(num_statements);
+    double calls = num_statements == 0
+                       ? 0.0
+                       : static_cast<double>(s.what_if_calls) /
+                             static_cast<double>(num_statements);
+    os << std::setw(14) << s.name << std::setw(18) << std::fixed
+       << std::setprecision(3) << ms << std::setw(18) << std::setprecision(1)
+       << calls << "\n";
+  }
+  os.flush();
+}
+
+}  // namespace wfit::harness

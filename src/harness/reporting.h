@@ -1,0 +1,33 @@
+// Console / CSV rendering of experiment series: the "Total Work Ratio
+// (OPT=1)" curves the paper plots in Figs. 8-12.
+#ifndef WFIT_HARNESS_REPORTING_H_
+#define WFIT_HARNESS_REPORTING_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+
+namespace wfit::harness {
+
+/// Prints one row per checkpoint: statement count, then
+/// totWork(OPT)/totWork(A) for every series (1.0 means optimal; > 1.0
+/// means the series beats the restricted OPT, cf. Fig. 12).
+void PrintRatioTable(std::ostream& os, const ExperimentSeries& opt,
+                     const std::vector<ExperimentSeries>& series,
+                     const std::string& title);
+
+/// Same table as CSV (header row + one line per checkpoint).
+void WriteRatioCsv(std::ostream& os, const ExperimentSeries& opt,
+                   const std::vector<ExperimentSeries>& series);
+
+/// Prints per-tuner overhead: analysis ms/statement and what-if calls per
+/// statement (the paper's Sec. 6.2 "Overhead" study).
+void PrintOverheadTable(std::ostream& os,
+                        const std::vector<ExperimentSeries>& series,
+                        size_t num_statements);
+
+}  // namespace wfit::harness
+
+#endif  // WFIT_HARNESS_REPORTING_H_

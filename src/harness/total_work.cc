@@ -1,0 +1,16 @@
+#include "harness/total_work.h"
+
+namespace wfit {
+
+double TotalWorkMeter::Step(const Statement& q, const IndexSet& config) {
+  const CostModel& model = optimizer_->cost_model();
+  double transition = model.TransitionCost(current_, config);
+  double query_cost = optimizer_->Cost(q, config);
+  current_ = config;
+  transition_total_ += transition;
+  total_ += transition + query_cost;
+  cumulative_.push_back(total_);
+  return transition + query_cost;
+}
+
+}  // namespace wfit

@@ -1,0 +1,41 @@
+// totWork accounting (Sec. 3.1): for each statement the system pays the
+// transition to the adopted configuration plus the statement's cost under
+// it:  totWork = Σn cost(qn, Sn) + δ(Sn−1, Sn).
+#ifndef WFIT_HARNESS_TOTAL_WORK_H_
+#define WFIT_HARNESS_TOTAL_WORK_H_
+
+#include <vector>
+
+#include "optimizer/what_if.h"
+
+namespace wfit {
+
+class TotalWorkMeter {
+ public:
+  TotalWorkMeter(const WhatIfOptimizer* optimizer, IndexSet initial)
+      : optimizer_(optimizer), current_(std::move(initial)) {
+    WFIT_CHECK(optimizer != nullptr, "TotalWorkMeter requires an optimizer");
+  }
+
+  /// Adopts `config` for `q`: accumulates δ(prev, config) + cost(q, config).
+  /// Returns this step's contribution.
+  double Step(const Statement& q, const IndexSet& config);
+
+  double total() const { return total_; }
+  const IndexSet& current_config() const { return current_; }
+  /// Cumulative total work after each step.
+  const std::vector<double>& cumulative() const { return cumulative_; }
+  /// Transition cost paid so far (diagnostics).
+  double transition_total() const { return transition_total_; }
+
+ private:
+  const WhatIfOptimizer* optimizer_;
+  IndexSet current_;
+  double total_ = 0.0;
+  double transition_total_ = 0.0;
+  std::vector<double> cumulative_;
+};
+
+}  // namespace wfit
+
+#endif  // WFIT_HARNESS_TOTAL_WORK_H_

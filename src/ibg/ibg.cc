@@ -1,0 +1,147 @@
+#include "ibg/ibg.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+namespace wfit {
+
+IndexBenefitGraph::IndexBenefitGraph(const Statement& q,
+                                     const WhatIfOptimizer& optimizer,
+                                     std::vector<IndexId> candidates,
+                                     size_t max_nodes)
+    : candidates_(std::move(candidates)) {
+  WFIT_CHECK(candidates_.size() <= 25, "IBG: too many candidates for a mask");
+  WFIT_CHECK(max_nodes >= 1, "IBG: node budget must allow the root");
+  uint64_t calls_before = optimizer.num_calls();
+  while (!TryBuild(q, optimizer, max_nodes)) {
+    // Budget exceeded: shed the tail half of the candidate list (callers
+    // rank by benefit) and rebuild.
+    size_t keep = candidates_.size() / 2;
+    truncated_.insert(truncated_.end(), candidates_.begin() + keep,
+                      candidates_.end());
+    candidates_.resize(keep);
+  }
+  build_calls_ = optimizer.num_calls() - calls_before;
+}
+
+bool IndexBenefitGraph::TryBuild(const Statement& q,
+                                 const WhatIfOptimizer& optimizer,
+                                 size_t max_nodes) {
+  nodes_.clear();
+  cost_cache_.clear();
+  bit_of_.clear();
+  relevant_used_ = 0;
+  for (size_t i = 0; i < candidates_.size(); ++i) {
+    bit_of_[candidates_[i]] = static_cast<int>(i);
+  }
+  root_ = candidates_.empty()
+              ? 0
+              : static_cast<Mask>((1u << candidates_.size()) - 1);
+
+  std::deque<Mask> frontier = {root_};
+  while (!frontier.empty()) {
+    Mask y = frontier.front();
+    frontier.pop_front();
+    if (nodes_.count(y) != 0) continue;
+    if (nodes_.size() >= max_nodes && !candidates_.empty()) return false;
+    PlanSummary plan = optimizer.Optimize(q, ToSet(y));
+    Mask used = ToMask(plan.used);
+    WFIT_CHECK(IsSubset(used, y), "optimizer used an index outside the config");
+    nodes_[y] = Node{plan.cost, used};
+    relevant_used_ |= used;
+    // One child per used index: remove it.
+    Mask rest = used;
+    while (rest != 0) {
+      int bit = LowestBit(rest);
+      rest &= rest - 1;
+      Mask child = y & ~(Mask{1} << bit);
+      if (nodes_.count(child) == 0) frontier.push_back(child);
+    }
+  }
+  return true;
+}
+
+double IndexBenefitGraph::CostOf(Mask subset) const {
+  WFIT_CHECK(IsSubset(subset, root_), "CostOf: mask outside candidate set");
+  // Only plan-relevant bits can change the answer; projecting first makes
+  // the memo cache dense.
+  const Mask key = subset & relevant_used_;
+  if (auto it = cost_cache_.find(key); it != cost_cache_.end()) {
+    return it->second;
+  }
+  Mask y = root_;
+  while (true) {
+    auto it = nodes_.find(y);
+    WFIT_CHECK(it != nodes_.end(), "IBG descent reached a missing node");
+    Mask extra = it->second.used & ~subset;
+    if (extra == 0) {
+      cost_cache_.emplace(key, it->second.cost);
+      return it->second.cost;
+    }
+    y &= ~(Mask{1} << LowestBit(extra));
+  }
+}
+
+Mask IndexBenefitGraph::UsedAt(Mask subset) const {
+  WFIT_CHECK(IsSubset(subset, root_), "UsedAt: mask outside candidate set");
+  Mask y = root_;
+  while (true) {
+    auto it = nodes_.find(y);
+    WFIT_CHECK(it != nodes_.end(), "IBG descent reached a missing node");
+    Mask extra = it->second.used & ~subset;
+    if (extra == 0) return it->second.used;
+    y &= ~(Mask{1} << LowestBit(extra));
+  }
+}
+
+double IndexBenefitGraph::BenefitOf(int bit, Mask context) const {
+  Mask without = context & ~(Mask{1} << bit);
+  Mask with = without | (Mask{1} << bit);
+  return CostOf(without) - CostOf(with);
+}
+
+double IndexBenefitGraph::MaxBenefit(int bit) const {
+  Mask self = Mask{1} << bit;
+  if ((relevant_used_ & self) == 0) {
+    // Never used in any plan: it cannot produce positive benefit, but an
+    // update's maintenance can still be triggered; check the empty context.
+    return BenefitOf(bit, 0);
+  }
+  // Bound the enumeration: beyond kMaxEnumerationBits plan-relevant
+  // indices, keep the lowest bits (deterministic truncation).
+  Mask universe =
+      KeepLowestBits(relevant_used_ & ~self, kMaxEnumerationBits);
+  double best = -std::numeric_limits<double>::infinity();
+  for (SubmaskIterator it(universe); !it.done(); it.Next()) {
+    best = std::max(best, BenefitOf(bit, it.mask()));
+  }
+  return best;
+}
+
+int IndexBenefitGraph::BitOf(IndexId id) const {
+  auto it = bit_of_.find(id);
+  return it == bit_of_.end() ? -1 : it->second;
+}
+
+Mask IndexBenefitGraph::ToMask(const IndexSet& set) const {
+  Mask m = 0;
+  for (IndexId id : set) {
+    int bit = BitOf(id);
+    if (bit >= 0) m |= Mask{1} << bit;
+  }
+  return m;
+}
+
+IndexSet IndexBenefitGraph::ToSet(Mask mask) const {
+  IndexSet out;
+  Mask rest = mask;
+  while (rest != 0) {
+    int bit = LowestBit(rest);
+    rest &= rest - 1;
+    out.Add(candidates_[static_cast<size_t>(bit)]);
+  }
+  return out;
+}
+
+}  // namespace wfit

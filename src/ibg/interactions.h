@@ -1,0 +1,32 @@
+// Degree of interaction between index pairs (Sec. 2 of the paper):
+//   doi_q(a,b) = max_X |benefit_q({a}, X) − benefit_q({a}, X ∪ {b})|
+// computed exactly over the IBG: only indices that appear in some plan
+// (IBG::relevant_used) can influence cost, so the max is enumerated over
+// subsets of that mask. doi is symmetric in (a, b); tests verify this.
+#ifndef WFIT_IBG_INTERACTIONS_H_
+#define WFIT_IBG_INTERACTIONS_H_
+
+#include <vector>
+
+#include "ibg/ibg.h"
+
+namespace wfit {
+
+/// doi_q for one pair of local bits. Returns 0 when either index never
+/// appears in a plan of q.
+double DegreeOfInteraction(const IndexBenefitGraph& ibg, int bit_a, int bit_b);
+
+/// One interacting pair, in global IndexId terms.
+struct InteractionEntry {
+  IndexId a = 0;
+  IndexId b = 0;
+  double doi = 0.0;
+};
+
+/// All pairs with doi > 0, over the IBG's candidates.
+std::vector<InteractionEntry> ComputeInteractions(
+    const IndexBenefitGraph& ibg);
+
+}  // namespace wfit
+
+#endif  // WFIT_IBG_INTERACTIONS_H_

@@ -1,0 +1,76 @@
+// The cost model behind the what-if optimizer: statistics-based costing of
+// scans, index probes, intersections, joins, sorts, index maintenance, and
+// the transition costs δ+/δ− of creating and dropping indices. Constants
+// follow the usual page/CPU split of System-R descendants (cf. PostgreSQL's
+// seq_page_cost/random_page_cost).
+#ifndef WFIT_OPTIMIZER_COST_MODEL_H_
+#define WFIT_OPTIMIZER_COST_MODEL_H_
+
+#include "catalog/catalog.h"
+#include "catalog/index.h"
+#include "core/index_set.h"
+
+namespace wfit {
+
+struct CostModelOptions {
+  double page_size_bytes = 8192.0;
+  double seq_page_cost = 1.0;
+  double random_page_cost = 4.0;
+  double cpu_tuple_cost = 0.005;
+  double cpu_index_tuple_cost = 0.0025;
+  double cpu_operator_cost = 0.001;
+  /// Cost of one B-tree root-to-leaf descent.
+  double btree_probe_cost = 3.0;
+  /// Per-tuple n·log2(n) multiplier for sorts.
+  double sort_tuple_cost = 0.002;
+  /// Index creation: base-table scan + sort + index write, scaled by this
+  /// factor (δ is asymmetric: creation dominates).
+  double build_cost_factor = 1.0;
+  /// Dropping an index is a catalog operation: small flat cost.
+  double drop_cost = 20.0;
+  /// Per modified row, per affected index: descend + leaf write.
+  double index_maintenance_per_row = 2.0;
+  /// Per modified row cost on the base table (heap write).
+  double base_write_per_row = 4.0;
+};
+
+/// Pure cost arithmetic; all methods are const and deterministic.
+class CostModel {
+ public:
+  CostModel(const Catalog* catalog, const IndexPool* pool,
+            const CostModelOptions& options = {});
+
+  const CostModelOptions& options() const { return options_; }
+  const Catalog& catalog() const { return *catalog_; }
+  const IndexPool& pool() const { return *pool_; }
+
+  /// Heap pages of a table.
+  double TablePages(TableId t) const;
+  /// Full sequential scan (I/O + per-tuple CPU).
+  double TableScanCost(TableId t) const;
+  /// Leaf pages of a full index.
+  double IndexPages(IndexId a) const;
+
+  /// δ+(a): cost to create index a (scan + sort + write).
+  double CreateCost(IndexId a) const;
+  /// δ−(a): cost to drop index a.
+  double DropCost(IndexId a) const;
+  /// δ(X, Y): create Y−X, drop X−Y. Asymmetric; satisfies the triangle
+  /// inequality (verified by tests).
+  double TransitionCost(const IndexSet& from, const IndexSet& to) const;
+
+  /// Maintenance charge for `rows` modified rows against index a.
+  double MaintenanceCost(IndexId a, double rows) const;
+
+  /// Cost to sort n tuples.
+  double SortCost(double rows) const;
+
+ private:
+  const Catalog* catalog_;
+  const IndexPool* pool_;
+  CostModelOptions options_;
+};
+
+}  // namespace wfit
+
+#endif  // WFIT_OPTIMIZER_COST_MODEL_H_

@@ -1,0 +1,129 @@
+#include "optimizer/index_extractor.h"
+
+#include <algorithm>
+#include <set>
+
+namespace wfit {
+
+namespace {
+
+/// Emits `def` into `out` unless the cap is hit or the def was seen.
+class Emitter {
+ public:
+  Emitter(IndexPool* pool, size_t cap) : pool_(pool), cap_(cap) {}
+
+  void Emit(const IndexDef& def) {
+    if (out_.size() >= cap_) return;
+    IndexId id = pool_->Intern(def);
+    if (seen_.insert(id).second) out_.push_back(id);
+  }
+
+  std::vector<IndexId> Take() { return std::move(out_); }
+
+ private:
+  IndexPool* pool_;
+  size_t cap_;
+  std::set<IndexId> seen_;
+  std::vector<IndexId> out_;
+};
+
+}  // namespace
+
+std::vector<IndexId> ExtractIndices(const Statement& q, IndexPool* pool,
+                                    const ExtractorOptions& options) {
+  WFIT_CHECK(pool != nullptr, "ExtractIndices requires a pool");
+  Emitter emit(pool, options.max_candidates_per_statement);
+
+  // Pass 1: single-column indices on sargable predicate columns
+  // (equality predicates first — they make the best leading keys).
+  for (bool want_equality : {true, false}) {
+    for (const StatementTable& t : q.tables) {
+      for (const ScanPredicate& p : t.predicates) {
+        if (!p.sargable || p.equality != want_equality) continue;
+        emit.Emit(IndexDef{t.table, {p.column.column}});
+      }
+    }
+  }
+
+  // Pass 2: join columns (enable index-nested-loop plans).
+  for (const JoinClause& j : q.joins) {
+    emit.Emit(IndexDef{j.left.table, {j.left.column}});
+    emit.Emit(IndexDef{j.right.table, {j.right.column}});
+  }
+
+  // Pass 3: ORDER BY leading column (sort avoidance).
+  for (const ColumnRef& c : q.order_by) {
+    emit.Emit(IndexDef{c.table, {c.column}});
+  }
+
+  if (options.composite_candidates) {
+    // Pass 4: per-table composites: equality columns (ordinal order) then
+    // one range column; pairs of sargable predicate columns.
+    for (const StatementTable& t : q.tables) {
+      std::vector<uint32_t> eq_cols, range_cols;
+      for (const ScanPredicate& p : t.predicates) {
+        if (!p.sargable) continue;
+        (p.equality ? eq_cols : range_cols).push_back(p.column.column);
+      }
+      std::sort(eq_cols.begin(), eq_cols.end());
+      eq_cols.erase(std::unique(eq_cols.begin(), eq_cols.end()),
+                    eq_cols.end());
+      std::sort(range_cols.begin(), range_cols.end());
+      range_cols.erase(std::unique(range_cols.begin(), range_cols.end()),
+                       range_cols.end());
+      if (eq_cols.size() >= 2) {
+        emit.Emit(IndexDef{t.table, eq_cols});
+      }
+      for (uint32_t r : range_cols) {
+        if (!eq_cols.empty()) {
+          std::vector<uint32_t> cols = eq_cols;
+          cols.push_back(r);
+          emit.Emit(IndexDef{t.table, cols});
+        }
+      }
+      // Range-range pairs (intersection alternative as one composite).
+      if (range_cols.size() >= 2) {
+        emit.Emit(IndexDef{t.table, {range_cols[0], range_cols[1]}});
+      }
+      // Equality prefix + ORDER BY column (filter and avoid the sort).
+      for (const ColumnRef& oc : q.order_by) {
+        if (oc.table != t.table) continue;
+        for (uint32_t e : eq_cols) {
+          if (e != oc.column) {
+            emit.Emit(IndexDef{t.table, {e, oc.column}});
+          }
+        }
+      }
+    }
+  }
+
+  // Pass 5: covering candidates for narrow statements: sargable predicate
+  // columns first (prefix usable), then the remaining referenced columns.
+  for (const StatementTable& t : q.tables) {
+    if (t.referenced_columns.size() == 0 ||
+        t.referenced_columns.size() > options.covering_max_columns) {
+      continue;
+    }
+    std::vector<uint32_t> cols;
+    for (const ScanPredicate& p : t.predicates) {
+      if (!p.sargable) continue;
+      if (std::find(cols.begin(), cols.end(), p.column.column) == cols.end()) {
+        cols.push_back(p.column.column);
+      }
+    }
+    std::vector<uint32_t> rest = t.referenced_columns;
+    std::sort(rest.begin(), rest.end());
+    for (uint32_t c : rest) {
+      if (std::find(cols.begin(), cols.end(), c) == cols.end()) {
+        cols.push_back(c);
+      }
+    }
+    if (cols.size() >= 2) {
+      emit.Emit(IndexDef{t.table, cols});
+    }
+  }
+
+  return emit.Take();
+}
+
+}  // namespace wfit

@@ -1,0 +1,35 @@
+// extractIndices(q): syntactic candidate generation, the role DB2's design
+// advisor plays for the paper's prototype (Fig. 6, line 1). Produces
+// single-column indices for sargable predicates and join columns, composite
+// indices for predicate combinations, sort-avoiding indices for ORDER BY,
+// and covering indices when the statement references few columns.
+#ifndef WFIT_OPTIMIZER_INDEX_EXTRACTOR_H_
+#define WFIT_OPTIMIZER_INDEX_EXTRACTOR_H_
+
+#include <vector>
+
+#include "catalog/index.h"
+#include "core/index_set.h"
+#include "workload/statement.h"
+
+namespace wfit {
+
+struct ExtractorOptions {
+  /// Hard cap on candidates emitted per statement.
+  size_t max_candidates_per_statement = 12;
+  /// Emit composite (multi-column) candidates.
+  bool composite_candidates = true;
+  /// Emit covering candidates when a table slice references at most this
+  /// many columns.
+  size_t covering_max_columns = 3;
+};
+
+/// Extracts candidate indices for `q`, interning them in `pool`.
+/// Deterministic: candidates are emitted in priority order (predicate
+/// singles, join singles, composites, covering) and truncated to the cap.
+std::vector<IndexId> ExtractIndices(const Statement& q, IndexPool* pool,
+                                    const ExtractorOptions& options = {});
+
+}  // namespace wfit
+
+#endif  // WFIT_OPTIMIZER_INDEX_EXTRACTOR_H_

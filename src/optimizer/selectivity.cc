@@ -1,0 +1,66 @@
+#include "optimizer/selectivity.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wfit {
+
+namespace {
+
+double Clamp01(double v) { return std::min(1.0, std::max(0.0, v)); }
+
+double DomainWidth(const ColumnInfo& col) {
+  return std::max(col.max_value - col.min_value, 1e-12);
+}
+
+}  // namespace
+
+double EqualitySelectivity(const ColumnInfo& col) {
+  return 1.0 / static_cast<double>(std::max<uint64_t>(1, col.distinct_values));
+}
+
+double RangeSelectivity(const ColumnInfo& col, double lo, double hi) {
+  if (hi < lo) return 0.0;
+  double clipped_lo = std::max(lo, col.min_value);
+  double clipped_hi = std::min(hi, col.max_value);
+  if (clipped_hi < clipped_lo) return 0.0;
+  double frac = (clipped_hi - clipped_lo) / DomainWidth(col);
+  // A degenerate range still selects at least one value group.
+  return Clamp01(std::max(frac, EqualitySelectivity(col)));
+}
+
+double CompareSelectivity(const ColumnInfo& col, sql::CompareOp op, double v) {
+  switch (op) {
+    case sql::CompareOp::kEq:
+      if (v < col.min_value || v > col.max_value) return 0.0;
+      return EqualitySelectivity(col);
+    case sql::CompareOp::kNe:
+      return Clamp01(1.0 - EqualitySelectivity(col));
+    case sql::CompareOp::kLt:
+    case sql::CompareOp::kLe:
+      return RangeSelectivity(col, col.min_value, v);
+    case sql::CompareOp::kGt:
+    case sql::CompareOp::kGe:
+      return RangeSelectivity(col, v, col.max_value);
+  }
+  return 1.0;
+}
+
+double JoinSelectivity(const ColumnInfo& a, const ColumnInfo& b) {
+  uint64_t d = std::max({a.distinct_values, b.distinct_values,
+                         static_cast<uint64_t>(1)});
+  return 1.0 / static_cast<double>(d);
+}
+
+double MapStringToDomain(const ColumnInfo& col, const std::string& text) {
+  // FNV-1a, folded into [0, 1).
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : text) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  double unit = static_cast<double>(h % 1000000ull) / 1000000.0;
+  return col.min_value + unit * (col.max_value - col.min_value);
+}
+
+}  // namespace wfit

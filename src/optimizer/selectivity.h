@@ -1,0 +1,32 @@
+// Selectivity estimation from column statistics. Uniformity and
+// independence assumptions throughout, matching what a textbook
+// System-R-style optimizer would estimate.
+#ifndef WFIT_OPTIMIZER_SELECTIVITY_H_
+#define WFIT_OPTIMIZER_SELECTIVITY_H_
+
+#include "catalog/catalog.h"
+#include "sql/ast.h"
+
+namespace wfit {
+
+/// P(col = v): 1/distinct.
+double EqualitySelectivity(const ColumnInfo& col);
+
+/// P(lo <= col <= hi): domain overlap fraction, clamped to [0,1], with a
+/// floor of one distinct value's worth of selectivity.
+double RangeSelectivity(const ColumnInfo& col, double lo, double hi);
+
+/// P(col op v) for scalar comparisons.
+double CompareSelectivity(const ColumnInfo& col, sql::CompareOp op, double v);
+
+/// Equi-join selectivity: 1/max(distinct(a), distinct(b)).
+double JoinSelectivity(const ColumnInfo& a, const ColumnInfo& b);
+
+/// Deterministically maps a string literal into a column's numeric domain
+/// (dictionary-code simulation) so that string predicates get plausible
+/// selectivities.
+double MapStringToDomain(const ColumnInfo& col, const std::string& text);
+
+}  // namespace wfit
+
+#endif  // WFIT_OPTIMIZER_SELECTIVITY_H_

@@ -1,0 +1,85 @@
+// The what-if optimizer: cost(q, X) for a statement q under a hypothetical
+// index configuration X, plus the set of indices the chosen plan uses. This
+// plays the role of DB2's what-if mode in the paper's prototype; see
+// DESIGN.md for the substitution argument.
+//
+// Plan space per table: sequential scan, index scan/seek with B-tree prefix
+// matching (leading equalities + one range), index-only (covering) scans,
+// sort-avoiding index scans for ORDER BY, and two-index intersections —
+// the intersections and covering plans are what create the index
+// interactions that WFIT's stable partitions model. Multi-table SELECTs use
+// a left-deep chain ordered by filtered cardinality with a choice of
+// hash join or index-nested-loop per step. Updates pay a locate cost (which
+// indices can reduce) plus per-index maintenance (which indices inflate).
+#ifndef WFIT_OPTIMIZER_WHAT_IF_H_
+#define WFIT_OPTIMIZER_WHAT_IF_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "optimizer/cost_model.h"
+#include "workload/statement.h"
+
+namespace wfit {
+
+/// Result of one what-if optimization.
+struct PlanSummary {
+  double cost = 0.0;
+  /// Indices the winning plan touches; always a subset of the hypothetical
+  /// configuration, and minimal under cost ties.
+  IndexSet used;
+};
+
+class WhatIfOptimizer {
+ public:
+  explicit WhatIfOptimizer(const CostModel* model) : model_(model) {
+    WFIT_CHECK(model != nullptr, "WhatIfOptimizer requires a cost model");
+  }
+
+  /// cost(q, X) with used-index reporting. Increments the what-if call
+  /// counter (the paper reports calls/query as the main overhead metric).
+  PlanSummary Optimize(const Statement& q, const IndexSet& x) const;
+
+  /// Convenience: cost only.
+  double Cost(const Statement& q, const IndexSet& x) const {
+    return Optimize(q, x).cost;
+  }
+
+  uint64_t num_calls() const { return num_calls_; }
+  void ResetCallCount() { num_calls_ = 0; }
+
+  const CostModel& cost_model() const { return *model_; }
+
+ private:
+  struct AccessPath {
+    double cost = 0.0;
+    double out_rows = 0.0;
+    IndexSet used;
+    /// True when rows are produced in `order_col` order (sort avoided).
+    bool sorted = false;
+  };
+
+  /// Best access path for one table slice of the statement. `needs_fetch`
+  /// forces heap access (updates must fetch rows regardless of covering).
+  AccessPath BestTableAccess(const StatementTable& t,
+                             const std::vector<IndexId>& available,
+                             const ColumnRef* order_col,
+                             bool needs_fetch) const;
+
+  /// All single-index candidate paths on `t` (helper for BestTableAccess).
+  std::vector<AccessPath> SingleIndexPaths(const StatementTable& t,
+                                           const std::vector<IndexId>& available,
+                                           const ColumnRef* order_col,
+                                           bool needs_fetch) const;
+
+  PlanSummary OptimizeSelect(const Statement& q, const IndexSet& x) const;
+  PlanSummary OptimizeUpdate(const Statement& q, const IndexSet& x) const;
+
+  const CostModel* model_;
+  mutable uint64_t num_calls_ = 0;
+};
+
+}  // namespace wfit
+
+#endif  // WFIT_OPTIMIZER_WHAT_IF_H_

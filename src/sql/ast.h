@@ -1,0 +1,82 @@
+// Abstract syntax for the SQL subset used by the workload: single-block
+// SELECT with conjunctive WHERE, plus UPDATE / DELETE / multi-row INSERT.
+// This mirrors the statement shapes of the paper's benchmark workload
+// (Sec. 6.1): join queries with mixed-selectivity predicates and update
+// statements with range predicates.
+#ifndef WFIT_SQL_AST_H_
+#define WFIT_SQL_AST_H_
+
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace wfit::sql {
+
+/// Column reference as written: optional qualifier (table or dataset.table)
+/// plus column name.
+struct ColumnName {
+  std::string qualifier;  // may be empty or "dataset.table"
+  std::string column;
+};
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// A scalar literal: either numeric or string. String literals are mapped
+/// onto the column's numeric domain by the binder.
+struct Literal {
+  bool is_string = false;
+  double number = 0.0;
+  std::string text;
+};
+
+/// One conjunct of a WHERE clause.
+struct Predicate {
+  enum class Kind { kCompare, kBetween, kJoin } kind = Kind::kCompare;
+  ColumnName lhs;
+  // kCompare:
+  CompareOp op = CompareOp::kEq;
+  Literal value;
+  // kBetween:
+  Literal low, high;
+  // kJoin (column = column):
+  ColumnName rhs;
+};
+
+struct TableRef {
+  std::string name;   // "table" or "dataset.table"
+  std::string alias;  // empty if none
+};
+
+struct SelectStmt {
+  bool count_star = false;
+  std::vector<ColumnName> select_list;  // empty iff count_star
+  std::vector<TableRef> from;
+  std::vector<Predicate> where;
+  std::vector<ColumnName> group_by;
+  std::vector<ColumnName> order_by;
+};
+
+struct UpdateStmt {
+  std::string table;
+  /// Assigned columns; the right-hand sides are parsed but not evaluated
+  /// (the cost model needs only which columns change and how many rows).
+  std::vector<std::string> set_columns;
+  std::vector<Predicate> where;
+};
+
+struct DeleteStmt {
+  std::string table;
+  std::vector<Predicate> where;
+};
+
+struct InsertStmt {
+  std::string table;
+  /// Number of VALUES tuples in the statement.
+  uint64_t num_rows = 0;
+};
+
+using SqlStatement = std::variant<SelectStmt, UpdateStmt, DeleteStmt, InsertStmt>;
+
+}  // namespace wfit::sql
+
+#endif  // WFIT_SQL_AST_H_

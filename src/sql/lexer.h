@@ -1,0 +1,21 @@
+// Hand-rolled lexer for the SQL subset. Keywords are not distinguished here;
+// the parser matches identifiers case-insensitively against keywords so that
+// quoted-identifier support never becomes a lexer concern.
+#ifndef WFIT_SQL_LEXER_H_
+#define WFIT_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/token.h"
+
+namespace wfit::sql {
+
+/// Tokenizes `input`. The returned vector always ends with a kEnd token.
+/// Fails with InvalidArgument on unterminated strings or stray characters.
+StatusOr<std::vector<Token>> Lex(const std::string& input);
+
+}  // namespace wfit::sql
+
+#endif  // WFIT_SQL_LEXER_H_

@@ -1,0 +1,401 @@
+#include "sql/parser.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "sql/lexer.h"
+
+namespace wfit::sql {
+
+namespace {
+
+std::string Lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+/// Token-stream cursor with keyword matching. All Parse* methods return a
+/// Status and write into out-parameters (Google style: outputs last).
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Status ParseStatement(SqlStatement* out);
+  bool AtEnd() {
+    SkipSemicolons();
+    return Peek().kind == TokenKind::kEnd;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  const Token& Advance() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+
+  bool PeekKeyword(const std::string& kw, size_t ahead = 0) const {
+    const Token& t = Peek(ahead);
+    return t.kind == TokenKind::kIdentifier && Lower(t.text) == kw;
+  }
+  bool MatchKeyword(const std::string& kw) {
+    if (!PeekKeyword(kw)) return false;
+    Advance();
+    return true;
+  }
+  bool Match(TokenKind kind) {
+    if (Peek().kind != kind) return false;
+    Advance();
+    return true;
+  }
+  Status Expect(TokenKind kind, const std::string& what) {
+    if (!Match(kind)) return ErrorHere("expected " + what);
+    return Status::Ok();
+  }
+  Status ExpectKeyword(const std::string& kw) {
+    if (!MatchKeyword(kw)) return ErrorHere("expected keyword " + kw);
+    return Status::Ok();
+  }
+  Status ErrorHere(const std::string& msg) const {
+    return Status::InvalidArgument(msg + " at offset " +
+                                   std::to_string(Peek().offset));
+  }
+  void SkipSemicolons() {
+    while (Peek().kind == TokenKind::kSemicolon) Advance();
+  }
+
+  Status ParseSelect(SelectStmt* out);
+  Status ParseUpdate(UpdateStmt* out);
+  Status ParseDelete(DeleteStmt* out);
+  Status ParseInsert(InsertStmt* out);
+
+  Status ParseColumnName(ColumnName* out);
+  Status ParseTableName(std::string* out);
+  Status ParseLiteral(Literal* out);
+  Status ParseWhere(std::vector<Predicate>* out);
+  Status ParsePredicate(Predicate* out);
+  Status ParseColumnList(std::vector<ColumnName>* out);
+  Status SkipScalarExpr();
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+Status Parser::ParseColumnName(ColumnName* out) {
+  if (Peek().kind != TokenKind::kIdentifier) {
+    return ErrorHere("expected column name");
+  }
+  std::string first = Advance().text;
+  std::string second, third;
+  if (Match(TokenKind::kDot)) {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return ErrorHere("expected identifier after '.'");
+    }
+    second = Advance().text;
+    if (Match(TokenKind::kDot)) {
+      if (Peek().kind != TokenKind::kIdentifier) {
+        return ErrorHere("expected identifier after '.'");
+      }
+      third = Advance().text;
+    }
+  }
+  if (!third.empty()) {
+    out->qualifier = first + "." + second;  // dataset.table.column
+    out->column = third;
+  } else if (!second.empty()) {
+    out->qualifier = first;  // table.column or alias.column
+    out->column = second;
+  } else {
+    out->qualifier.clear();
+    out->column = first;
+  }
+  return Status::Ok();
+}
+
+Status Parser::ParseTableName(std::string* out) {
+  if (Peek().kind != TokenKind::kIdentifier) {
+    return ErrorHere("expected table name");
+  }
+  *out = Advance().text;
+  if (Match(TokenKind::kDot)) {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return ErrorHere("expected identifier after '.'");
+    }
+    *out += "." + Advance().text;
+  }
+  return Status::Ok();
+}
+
+Status Parser::ParseLiteral(Literal* out) {
+  bool negative = false;
+  while (Peek().kind == TokenKind::kMinus || Peek().kind == TokenKind::kPlus) {
+    if (Advance().kind == TokenKind::kMinus) negative = !negative;
+  }
+  const Token& t = Peek();
+  if (t.kind == TokenKind::kNumber) {
+    out->is_string = false;
+    out->number = negative ? -t.number : t.number;
+    Advance();
+    return Status::Ok();
+  }
+  if (t.kind == TokenKind::kString) {
+    if (negative) return ErrorHere("cannot negate a string literal");
+    out->is_string = true;
+    out->text = t.text;
+    Advance();
+    return Status::Ok();
+  }
+  return ErrorHere("expected literal");
+}
+
+Status Parser::ParsePredicate(Predicate* out) {
+  WFIT_RETURN_IF_ERROR(ParseColumnName(&out->lhs));
+  if (MatchKeyword("between")) {
+    out->kind = Predicate::Kind::kBetween;
+    WFIT_RETURN_IF_ERROR(ParseLiteral(&out->low));
+    WFIT_RETURN_IF_ERROR(ExpectKeyword("and"));
+    WFIT_RETURN_IF_ERROR(ParseLiteral(&out->high));
+    return Status::Ok();
+  }
+  CompareOp op;
+  switch (Peek().kind) {
+    case TokenKind::kEq: op = CompareOp::kEq; break;
+    case TokenKind::kNe: op = CompareOp::kNe; break;
+    case TokenKind::kLt: op = CompareOp::kLt; break;
+    case TokenKind::kLe: op = CompareOp::kLe; break;
+    case TokenKind::kGt: op = CompareOp::kGt; break;
+    case TokenKind::kGe: op = CompareOp::kGe; break;
+    default:
+      return ErrorHere("expected comparison operator or BETWEEN");
+  }
+  Advance();
+  // Column-to-column comparison (only '=' joins are supported) vs literal.
+  if (Peek().kind == TokenKind::kIdentifier) {
+    if (op != CompareOp::kEq) {
+      return ErrorHere("only equality joins are supported");
+    }
+    out->kind = Predicate::Kind::kJoin;
+    out->op = op;
+    return ParseColumnName(&out->rhs);
+  }
+  out->kind = Predicate::Kind::kCompare;
+  out->op = op;
+  return ParseLiteral(&out->value);
+}
+
+Status Parser::ParseWhere(std::vector<Predicate>* out) {
+  if (!MatchKeyword("where")) return Status::Ok();
+  do {
+    Predicate p;
+    WFIT_RETURN_IF_ERROR(ParsePredicate(&p));
+    out->push_back(std::move(p));
+  } while (MatchKeyword("and"));
+  return Status::Ok();
+}
+
+Status Parser::ParseColumnList(std::vector<ColumnName>* out) {
+  do {
+    ColumnName c;
+    WFIT_RETURN_IF_ERROR(ParseColumnName(&c));
+    out->push_back(std::move(c));
+  } while (Match(TokenKind::kComma));
+  return Status::Ok();
+}
+
+Status Parser::ParseSelect(SelectStmt* out) {
+  WFIT_RETURN_IF_ERROR(ExpectKeyword("select"));
+  if (PeekKeyword("count")) {
+    Advance();
+    WFIT_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'(' after count"));
+    WFIT_RETURN_IF_ERROR(Expect(TokenKind::kStar, "'*' in count(*)"));
+    WFIT_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')' after count(*)"));
+    out->count_star = true;
+  } else if (Match(TokenKind::kStar)) {
+    out->count_star = false;  // SELECT *: select list stays empty on purpose
+  } else {
+    WFIT_RETURN_IF_ERROR(ParseColumnList(&out->select_list));
+  }
+  WFIT_RETURN_IF_ERROR(ExpectKeyword("from"));
+  do {
+    TableRef ref;
+    WFIT_RETURN_IF_ERROR(ParseTableName(&ref.name));
+    if (MatchKeyword("as")) {
+      if (Peek().kind != TokenKind::kIdentifier) {
+        return ErrorHere("expected alias after AS");
+      }
+      ref.alias = Advance().text;
+    } else if (Peek().kind == TokenKind::kIdentifier &&
+               !PeekKeyword("where") && !PeekKeyword("group") &&
+               !PeekKeyword("order")) {
+      ref.alias = Advance().text;
+    }
+    out->from.push_back(std::move(ref));
+  } while (Match(TokenKind::kComma));
+  WFIT_RETURN_IF_ERROR(ParseWhere(&out->where));
+  if (MatchKeyword("group")) {
+    WFIT_RETURN_IF_ERROR(ExpectKeyword("by"));
+    WFIT_RETURN_IF_ERROR(ParseColumnList(&out->group_by));
+  }
+  if (MatchKeyword("order")) {
+    WFIT_RETURN_IF_ERROR(ExpectKeyword("by"));
+    WFIT_RETURN_IF_ERROR(ParseColumnList(&out->order_by));
+    // ASC/DESC does not affect costing; accept and discard.
+    if (PeekKeyword("asc") || PeekKeyword("desc")) Advance();
+  }
+  return Status::Ok();
+}
+
+// Consumes a scalar expression on the right-hand side of SET: literals,
+// column refs, function calls and +/- chains. Only the shape is validated.
+Status Parser::SkipScalarExpr() {
+  int depth = 0;
+  bool expect_operand = true;
+  while (true) {
+    const Token& t = Peek();
+    if (t.kind == TokenKind::kEnd) {
+      if (depth > 0) return ErrorHere("unbalanced parentheses in SET");
+      if (expect_operand) return ErrorHere("incomplete expression in SET");
+      return Status::Ok();
+    }
+    if (depth == 0 && !expect_operand &&
+        (t.kind == TokenKind::kComma || t.kind == TokenKind::kSemicolon ||
+         PeekKeyword("where"))) {
+      return Status::Ok();
+    }
+    switch (t.kind) {
+      case TokenKind::kLParen:
+        ++depth;
+        Advance();
+        expect_operand = true;
+        break;
+      case TokenKind::kRParen:
+        if (depth == 0) return ErrorHere("unbalanced ')' in SET");
+        --depth;
+        Advance();
+        expect_operand = false;
+        break;
+      case TokenKind::kNumber:
+      case TokenKind::kString:
+        Advance();
+        expect_operand = false;
+        break;
+      case TokenKind::kIdentifier:
+        Advance();
+        // Function call or qualified column.
+        while (Peek().kind == TokenKind::kDot) {
+          Advance();
+          if (Peek().kind != TokenKind::kIdentifier) {
+            return ErrorHere("expected identifier after '.'");
+          }
+          Advance();
+        }
+        expect_operand = false;
+        break;
+      case TokenKind::kPlus:
+      case TokenKind::kMinus:
+      case TokenKind::kStar:
+        Advance();
+        expect_operand = true;
+        break;
+      default:
+        return ErrorHere("unexpected token in SET expression");
+    }
+  }
+}
+
+Status Parser::ParseUpdate(UpdateStmt* out) {
+  WFIT_RETURN_IF_ERROR(ExpectKeyword("update"));
+  WFIT_RETURN_IF_ERROR(ParseTableName(&out->table));
+  WFIT_RETURN_IF_ERROR(ExpectKeyword("set"));
+  do {
+    ColumnName col;
+    WFIT_RETURN_IF_ERROR(ParseColumnName(&col));
+    out->set_columns.push_back(col.column);
+    WFIT_RETURN_IF_ERROR(Expect(TokenKind::kEq, "'=' in SET"));
+    WFIT_RETURN_IF_ERROR(SkipScalarExpr());
+  } while (Match(TokenKind::kComma));
+  return ParseWhere(&out->where);
+}
+
+Status Parser::ParseDelete(DeleteStmt* out) {
+  WFIT_RETURN_IF_ERROR(ExpectKeyword("delete"));
+  WFIT_RETURN_IF_ERROR(ExpectKeyword("from"));
+  WFIT_RETURN_IF_ERROR(ParseTableName(&out->table));
+  return ParseWhere(&out->where);
+}
+
+Status Parser::ParseInsert(InsertStmt* out) {
+  WFIT_RETURN_IF_ERROR(ExpectKeyword("insert"));
+  WFIT_RETURN_IF_ERROR(ExpectKeyword("into"));
+  WFIT_RETURN_IF_ERROR(ParseTableName(&out->table));
+  WFIT_RETURN_IF_ERROR(ExpectKeyword("values"));
+  out->num_rows = 0;
+  do {
+    WFIT_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'(' in VALUES"));
+    int depth = 1;
+    while (depth > 0) {
+      const Token& t = Advance();
+      if (t.kind == TokenKind::kLParen) ++depth;
+      else if (t.kind == TokenKind::kRParen) --depth;
+      else if (t.kind == TokenKind::kEnd) {
+        return ErrorHere("unterminated VALUES tuple");
+      }
+    }
+    ++out->num_rows;
+  } while (Match(TokenKind::kComma));
+  return Status::Ok();
+}
+
+Status Parser::ParseStatement(SqlStatement* out) {
+  SkipSemicolons();
+  if (PeekKeyword("select")) {
+    SelectStmt s;
+    WFIT_RETURN_IF_ERROR(ParseSelect(&s));
+    *out = std::move(s);
+  } else if (PeekKeyword("update")) {
+    UpdateStmt s;
+    WFIT_RETURN_IF_ERROR(ParseUpdate(&s));
+    *out = std::move(s);
+  } else if (PeekKeyword("delete")) {
+    DeleteStmt s;
+    WFIT_RETURN_IF_ERROR(ParseDelete(&s));
+    *out = std::move(s);
+  } else if (PeekKeyword("insert")) {
+    InsertStmt s;
+    WFIT_RETURN_IF_ERROR(ParseInsert(&s));
+    *out = std::move(s);
+  } else {
+    return ErrorHere("expected SELECT, UPDATE, DELETE or INSERT");
+  }
+  SkipSemicolons();
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<SqlStatement> ParseStatement(const std::string& text) {
+  auto tokens = Lex(text);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(tokens).value());
+  SqlStatement stmt;
+  WFIT_RETURN_IF_ERROR(parser.ParseStatement(&stmt));
+  if (!parser.AtEnd()) {
+    return Status::InvalidArgument("trailing input after statement");
+  }
+  return stmt;
+}
+
+StatusOr<std::vector<SqlStatement>> ParseScript(const std::string& text) {
+  auto tokens = Lex(text);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(tokens).value());
+  std::vector<SqlStatement> out;
+  while (!parser.AtEnd()) {
+    SqlStatement stmt;
+    WFIT_RETURN_IF_ERROR(parser.ParseStatement(&stmt));
+    out.push_back(std::move(stmt));
+  }
+  return out;
+}
+
+}  // namespace wfit::sql

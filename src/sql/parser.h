@@ -1,0 +1,21 @@
+// Recursive-descent parser for the SQL subset (see sql/ast.h).
+#ifndef WFIT_SQL_PARSER_H_
+#define WFIT_SQL_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace wfit::sql {
+
+/// Parses a single statement (trailing semicolon optional).
+StatusOr<SqlStatement> ParseStatement(const std::string& text);
+
+/// Parses a ';'-separated script; empty statements are skipped.
+StatusOr<std::vector<SqlStatement>> ParseScript(const std::string& text);
+
+}  // namespace wfit::sql
+
+#endif  // WFIT_SQL_PARSER_H_

@@ -1,0 +1,122 @@
+#include "sql/printer.h"
+
+#include <sstream>
+
+namespace wfit::sql {
+
+namespace {
+
+std::string FormatNumber(double v) {
+  std::ostringstream os;
+  os.precision(12);
+  os << v;
+  return os.str();
+}
+
+std::string PrintColumn(const ColumnName& c) {
+  if (c.qualifier.empty()) return c.column;
+  return c.qualifier + "." + c.column;
+}
+
+std::string PrintLiteral(const Literal& l) {
+  if (l.is_string) return "'" + l.text + "'";
+  return FormatNumber(l.number);
+}
+
+const char* OpText(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq: return "=";
+    case CompareOp::kNe: return "<>";
+    case CompareOp::kLt: return "<";
+    case CompareOp::kLe: return "<=";
+    case CompareOp::kGt: return ">";
+    case CompareOp::kGe: return ">=";
+  }
+  return "=";
+}
+
+std::string PrintPredicate(const Predicate& p) {
+  switch (p.kind) {
+    case Predicate::Kind::kBetween:
+      return PrintColumn(p.lhs) + " BETWEEN " + PrintLiteral(p.low) + " AND " +
+             PrintLiteral(p.high);
+    case Predicate::Kind::kJoin:
+      return PrintColumn(p.lhs) + " = " + PrintColumn(p.rhs);
+    case Predicate::Kind::kCompare:
+      return PrintColumn(p.lhs) + " " + OpText(p.op) + " " +
+             PrintLiteral(p.value);
+  }
+  return "";
+}
+
+std::string PrintWhere(const std::vector<Predicate>& where) {
+  if (where.empty()) return "";
+  std::string out = " WHERE ";
+  for (size_t i = 0; i < where.size(); ++i) {
+    if (i > 0) out += " AND ";
+    out += PrintPredicate(where[i]);
+  }
+  return out;
+}
+
+std::string PrintColumnList(const std::vector<ColumnName>& cols) {
+  std::string out;
+  for (size_t i = 0; i < cols.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += PrintColumn(cols[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Print(const SelectStmt& stmt) {
+  std::string out = "SELECT ";
+  if (stmt.count_star) {
+    out += "count(*)";
+  } else if (stmt.select_list.empty()) {
+    out += "*";
+  } else {
+    out += PrintColumnList(stmt.select_list);
+  }
+  out += " FROM ";
+  for (size_t i = 0; i < stmt.from.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += stmt.from[i].name;
+    if (!stmt.from[i].alias.empty()) out += " " + stmt.from[i].alias;
+  }
+  out += PrintWhere(stmt.where);
+  if (!stmt.group_by.empty()) out += " GROUP BY " + PrintColumnList(stmt.group_by);
+  if (!stmt.order_by.empty()) out += " ORDER BY " + PrintColumnList(stmt.order_by);
+  return out;
+}
+
+std::string Print(const UpdateStmt& stmt) {
+  std::string out = "UPDATE " + stmt.table + " SET ";
+  for (size_t i = 0; i < stmt.set_columns.size(); ++i) {
+    if (i > 0) out += ", ";
+    // RHS expressions are not preserved; a self-assignment round-trips.
+    out += stmt.set_columns[i] + " = " + stmt.set_columns[i] + " + 0";
+  }
+  out += PrintWhere(stmt.where);
+  return out;
+}
+
+std::string Print(const DeleteStmt& stmt) {
+  return "DELETE FROM " + stmt.table + PrintWhere(stmt.where);
+}
+
+std::string Print(const InsertStmt& stmt) {
+  std::string out = "INSERT INTO " + stmt.table + " VALUES ";
+  for (uint64_t i = 0; i < stmt.num_rows; ++i) {
+    if (i > 0) out += ", ";
+    out += "(0)";
+  }
+  return out;
+}
+
+std::string Print(const SqlStatement& stmt) {
+  return std::visit([](const auto& s) { return Print(s); }, stmt);
+}
+
+}  // namespace wfit::sql

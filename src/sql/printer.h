@@ -1,0 +1,21 @@
+// Renders AST statements back to SQL text. Round-tripping through
+// ParseStatement(Print(stmt)) yields an equivalent AST (checked by tests);
+// the workload generator uses this to emit its statements as SQL.
+#ifndef WFIT_SQL_PRINTER_H_
+#define WFIT_SQL_PRINTER_H_
+
+#include <string>
+
+#include "sql/ast.h"
+
+namespace wfit::sql {
+
+std::string Print(const SqlStatement& stmt);
+std::string Print(const SelectStmt& stmt);
+std::string Print(const UpdateStmt& stmt);
+std::string Print(const DeleteStmt& stmt);
+std::string Print(const InsertStmt& stmt);
+
+}  // namespace wfit::sql
+
+#endif  // WFIT_SQL_PRINTER_H_

@@ -1,0 +1,39 @@
+// Token model for the SQL subset understood by the workload front end.
+#ifndef WFIT_SQL_TOKEN_H_
+#define WFIT_SQL_TOKEN_H_
+
+#include <string>
+
+namespace wfit::sql {
+
+enum class TokenKind {
+  kIdentifier,   // table / column / function names (case-preserved)
+  kNumber,       // numeric literal (double)
+  kString,       // quoted literal, quotes stripped
+  kComma,
+  kDot,
+  kStar,
+  kLParen,
+  kRParen,
+  kEq,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kNe,
+  kPlus,
+  kMinus,
+  kSemicolon,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;    // identifier / string payload
+  double number = 0.0; // kNumber payload
+  size_t offset = 0;   // byte offset in the input, for error messages
+};
+
+}  // namespace wfit::sql
+
+#endif  // WFIT_SQL_TOKEN_H_

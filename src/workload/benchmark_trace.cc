@@ -1,0 +1,54 @@
+#include "workload/benchmark_trace.h"
+
+#include "catalog/benchmark_schemas.h"
+
+namespace wfit {
+
+std::vector<TraceEntry> GenerateBenchmarkTrace(const Catalog& catalog,
+                                               const TraceOptions& options) {
+  WFIT_CHECK(options.num_phases > 0 && options.statements_per_phase > 0,
+             "empty trace requested");
+  WFIT_CHECK(!options.update_fractions.empty(),
+             "update_fractions must be non-empty");
+  // Datasets actually present in the catalog, in benchmark order.
+  std::vector<std::string> datasets;
+  for (const std::string& d : BenchmarkDatasets()) {
+    if (!catalog.TablesOfDataset(d).empty()) datasets.push_back(d);
+  }
+  WFIT_CHECK(!datasets.empty(), "catalog has no benchmark datasets");
+
+  StatementGenerator generator(&catalog, options.generator, options.seed);
+  Rng rng(options.seed ^ 0x5eed5eedull);
+
+  std::vector<TraceEntry> trace;
+  trace.reserve(static_cast<size_t>(options.num_phases) *
+                static_cast<size_t>(options.statements_per_phase));
+  for (int phase = 0; phase < options.num_phases; ++phase) {
+    const std::string& primary = datasets[phase % datasets.size()];
+    const std::string& secondary = datasets[(phase + 1) % datasets.size()];
+    double update_fraction =
+        options.update_fractions[phase % options.update_fractions.size()];
+    for (int i = 0; i < options.statements_per_phase; ++i) {
+      TraceEntry entry;
+      entry.phase = phase;
+      entry.dataset =
+          rng.Bernoulli(options.focus_weight) ? primary : secondary;
+      if (rng.Bernoulli(update_fraction)) {
+        entry.statement = generator.GenerateUpdate(entry.dataset);
+      } else {
+        entry.statement = generator.GenerateQuery(entry.dataset);
+      }
+      trace.push_back(std::move(entry));
+    }
+  }
+  return trace;
+}
+
+Workload ToWorkload(const std::vector<TraceEntry>& trace) {
+  Workload out;
+  out.reserve(trace.size());
+  for (const TraceEntry& e : trace) out.push_back(e.statement);
+  return out;
+}
+
+}  // namespace wfit

@@ -1,0 +1,49 @@
+// The paper's evaluation workload (Sec. 6.1): eight consecutive phases of
+// 200 statements each; every phase favors specific datasets, adjacent phases
+// overlap in their focus, and phases alternate in query/update mix. This is
+// the "stress test" workload of the online-tuning benchmark [15].
+#ifndef WFIT_WORKLOAD_BENCHMARK_TRACE_H_
+#define WFIT_WORKLOAD_BENCHMARK_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "workload/generator.h"
+#include "workload/statement.h"
+
+namespace wfit {
+
+struct TraceOptions {
+  int num_phases = 8;
+  int statements_per_phase = 200;
+  uint64_t seed = 20120402;
+  /// Probability a statement targets the phase's primary dataset (the
+  /// remainder goes to the secondary, which becomes primary next phase —
+  /// "adjacent phases overlap in the focused data sets").
+  double focus_weight = 0.75;
+  /// Per-phase fraction of update statements; cycled if shorter than
+  /// num_phases. Early phases are read-mostly (the paper notes the earlier
+  /// queries are "mostly read-only statements").
+  std::vector<double> update_fractions = {0.02, 0.08, 0.20, 0.38,
+                                          0.15, 0.42, 0.25, 0.45};
+  GeneratorOptions generator;
+};
+
+struct TraceEntry {
+  Statement statement;
+  int phase = 0;
+  std::string dataset;
+};
+
+/// Generates the full trace; deterministic in TraceOptions::seed.
+std::vector<TraceEntry> GenerateBenchmarkTrace(const Catalog& catalog,
+                                               const TraceOptions& options);
+
+/// Strips trace metadata, leaving the plain workload stream Q.
+Workload ToWorkload(const std::vector<TraceEntry>& trace);
+
+}  // namespace wfit
+
+#endif  // WFIT_WORKLOAD_BENCHMARK_TRACE_H_

@@ -1,0 +1,242 @@
+#include "workload/binder.h"
+
+#include <algorithm>
+#include <map>
+
+#include "optimizer/selectivity.h"
+#include "sql/parser.h"
+
+namespace wfit {
+
+namespace {
+
+/// Column resolution scope: the FROM-clause tables with their aliases.
+class Scope {
+ public:
+  explicit Scope(const Catalog* catalog) : catalog_(catalog) {}
+
+  Status AddTable(const std::string& name, const std::string& alias) {
+    auto id = catalog_->FindTable(name);
+    if (!id.ok()) return id.status();
+    if (!alias.empty()) {
+      if (!aliases_.emplace(alias, *id).second) {
+        return Status::InvalidArgument("duplicate alias " + alias);
+      }
+    }
+    // Also register the table's own names for unaliased qualification.
+    aliases_.emplace(name, *id);
+    aliases_.emplace(catalog_->table(*id).name, *id);
+    tables_.push_back(*id);
+    return Status::Ok();
+  }
+
+  const std::vector<TableId>& tables() const { return tables_; }
+
+  StatusOr<ColumnRef> Resolve(const sql::ColumnName& name) const {
+    if (!name.qualifier.empty()) {
+      auto it = aliases_.find(name.qualifier);
+      if (it == aliases_.end()) {
+        return Status::NotFound("unknown table qualifier " + name.qualifier);
+      }
+      auto col = catalog_->FindColumn(it->second, name.column);
+      if (!col.ok()) return col.status();
+      return ColumnRef{it->second, *col};
+    }
+    // Unqualified: must be unique across the FROM tables.
+    bool found = false;
+    ColumnRef ref;
+    for (TableId t : tables_) {
+      auto col = catalog_->FindColumn(t, name.column);
+      if (col.ok()) {
+        if (found) {
+          return Status::InvalidArgument("ambiguous column " + name.column);
+        }
+        found = true;
+        ref = ColumnRef{t, *col};
+      }
+    }
+    if (!found) return Status::NotFound("unknown column " + name.column);
+    return ref;
+  }
+
+ private:
+  const Catalog* catalog_;
+  std::map<std::string, TableId> aliases_;
+  std::vector<TableId> tables_;
+};
+
+double LiteralValue(const ColumnInfo& col, const sql::Literal& lit) {
+  if (lit.is_string) return MapStringToDomain(col, lit.text);
+  return lit.number;
+}
+
+/// Appends `column` to the table slice's referenced set (deduplicated).
+void Reference(Statement* stmt, const ColumnRef& ref) {
+  for (StatementTable& t : stmt->tables) {
+    if (t.table != ref.table) continue;
+    auto& cols = t.referenced_columns;
+    if (std::find(cols.begin(), cols.end(), ref.column) == cols.end()) {
+      cols.push_back(ref.column);
+    }
+    return;
+  }
+}
+
+StatementTable* SliceFor(Statement* stmt, TableId table) {
+  for (StatementTable& t : stmt->tables) {
+    if (t.table == table) return &t;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+StatusOr<Statement> Binder::Bind(const sql::SqlStatement& sql_stmt) const {
+  Statement out;
+
+  auto bind_scan_predicates = [&](const Scope& scope,
+                                  const std::vector<sql::Predicate>& where)
+      -> Status {
+    for (const sql::Predicate& p : where) {
+      auto lhs = scope.Resolve(p.lhs);
+      if (!lhs.ok()) return lhs.status();
+      const ColumnInfo& col = catalog_->column(*lhs);
+      if (p.kind == sql::Predicate::Kind::kJoin) {
+        auto rhs = scope.Resolve(p.rhs);
+        if (!rhs.ok()) return rhs.status();
+        if (lhs->table == rhs->table) {
+          return Status::InvalidArgument(
+              "self-join predicates within one table are not supported");
+        }
+        out.joins.push_back(JoinClause{*lhs, *rhs});
+        Reference(&out, *lhs);
+        Reference(&out, *rhs);
+        continue;
+      }
+      ScanPredicate sp;
+      sp.column = *lhs;
+      if (p.kind == sql::Predicate::Kind::kBetween) {
+        double lo = LiteralValue(col, p.low);
+        double hi = LiteralValue(col, p.high);
+        if (hi < lo) std::swap(lo, hi);
+        sp.equality = false;
+        sp.sargable = true;
+        sp.selectivity = RangeSelectivity(col, lo, hi);
+      } else {
+        double v = LiteralValue(col, p.value);
+        sp.equality = (p.op == sql::CompareOp::kEq);
+        sp.sargable = (p.op != sql::CompareOp::kNe);
+        sp.selectivity = CompareSelectivity(col, p.op, v);
+      }
+      StatementTable* slice = SliceFor(&out, lhs->table);
+      WFIT_CHECK(slice != nullptr, "predicate on table outside FROM");
+      slice->predicates.push_back(sp);
+      Reference(&out, *lhs);
+    }
+    return Status::Ok();
+  };
+
+  if (const auto* sel = std::get_if<sql::SelectStmt>(&sql_stmt)) {
+    out.kind = StatementKind::kSelect;
+    Scope scope(catalog_);
+    if (sel->from.empty()) {
+      return Status::InvalidArgument("SELECT requires a FROM clause");
+    }
+    for (const sql::TableRef& ref : sel->from) {
+      WFIT_RETURN_IF_ERROR(scope.AddTable(ref.name, ref.alias));
+    }
+    for (TableId t : scope.tables()) {
+      // A table may legitimately appear once only; duplicates would make
+      // column references ambiguous anyway.
+      if (SliceFor(&out, t) != nullptr) {
+        return Status::InvalidArgument("table repeated in FROM");
+      }
+      StatementTable st;
+      st.table = t;
+      out.tables.push_back(std::move(st));
+    }
+    if (sel->select_list.empty() && !sel->count_star) {
+      // SELECT *: every column of every table is referenced.
+      for (StatementTable& t : out.tables) {
+        const TableInfo& info = catalog_->table(t.table);
+        for (uint32_t c = 0; c < info.columns.size(); ++c) {
+          t.referenced_columns.push_back(c);
+        }
+      }
+    }
+    for (const sql::ColumnName& c : sel->select_list) {
+      auto ref = scope.Resolve(c);
+      if (!ref.ok()) return ref.status();
+      Reference(&out, *ref);
+    }
+    WFIT_RETURN_IF_ERROR(bind_scan_predicates(scope, sel->where));
+    for (const sql::ColumnName& c : sel->group_by) {
+      auto ref = scope.Resolve(c);
+      if (!ref.ok()) return ref.status();
+      out.group_by.push_back(*ref);
+      Reference(&out, *ref);
+    }
+    for (const sql::ColumnName& c : sel->order_by) {
+      auto ref = scope.Resolve(c);
+      if (!ref.ok()) return ref.status();
+      out.order_by.push_back(*ref);
+      Reference(&out, *ref);
+    }
+    return out;
+  }
+
+  if (const auto* upd = std::get_if<sql::UpdateStmt>(&sql_stmt)) {
+    out.kind = StatementKind::kUpdate;
+    Scope scope(catalog_);
+    WFIT_RETURN_IF_ERROR(scope.AddTable(upd->table, ""));
+    StatementTable st;
+    st.table = scope.tables()[0];
+    out.tables.push_back(std::move(st));
+    for (const std::string& col_name : upd->set_columns) {
+      auto col = catalog_->FindColumn(out.tables[0].table, col_name);
+      if (!col.ok()) return col.status();
+      out.set_columns.push_back(*col);
+      Reference(&out, ColumnRef{out.tables[0].table, *col});
+    }
+    if (out.set_columns.empty()) {
+      return Status::InvalidArgument("UPDATE with empty SET list");
+    }
+    WFIT_RETURN_IF_ERROR(bind_scan_predicates(scope, upd->where));
+    return out;
+  }
+
+  if (const auto* del = std::get_if<sql::DeleteStmt>(&sql_stmt)) {
+    out.kind = StatementKind::kDelete;
+    Scope scope(catalog_);
+    WFIT_RETURN_IF_ERROR(scope.AddTable(del->table, ""));
+    StatementTable st;
+    st.table = scope.tables()[0];
+    out.tables.push_back(std::move(st));
+    WFIT_RETURN_IF_ERROR(bind_scan_predicates(scope, del->where));
+    return out;
+  }
+
+  const auto& ins = std::get<sql::InsertStmt>(sql_stmt);
+  out.kind = StatementKind::kInsert;
+  Scope scope(catalog_);
+  WFIT_RETURN_IF_ERROR(scope.AddTable(ins.table, ""));
+  StatementTable st;
+  st.table = scope.tables()[0];
+  out.tables.push_back(std::move(st));
+  if (ins.num_rows == 0) {
+    return Status::InvalidArgument("INSERT with no VALUES tuples");
+  }
+  out.insert_rows = ins.num_rows;
+  return out;
+}
+
+StatusOr<Statement> Binder::BindSql(const std::string& text) const {
+  auto parsed = sql::ParseStatement(text);
+  if (!parsed.ok()) return parsed.status();
+  auto bound = Bind(*parsed);
+  if (!bound.ok()) return bound.status();
+  bound->sql = text;
+  return bound;
+}
+
+}  // namespace wfit

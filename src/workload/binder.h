@@ -1,0 +1,36 @@
+// Binds SQL ASTs against a catalog: resolves tables/columns, estimates
+// predicate selectivities and produces the logical Statement the optimizer
+// costs.
+#ifndef WFIT_WORKLOAD_BINDER_H_
+#define WFIT_WORKLOAD_BINDER_H_
+
+#include <string>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "sql/ast.h"
+#include "workload/statement.h"
+
+namespace wfit {
+
+/// Stateless binder over one catalog.
+class Binder {
+ public:
+  explicit Binder(const Catalog* catalog) : catalog_(catalog) {
+    WFIT_CHECK(catalog != nullptr, "Binder requires a catalog");
+  }
+
+  /// Binds a parsed statement. Fails with NotFound / InvalidArgument on
+  /// unresolvable names or ambiguous references.
+  StatusOr<Statement> Bind(const sql::SqlStatement& stmt) const;
+
+  /// Convenience: parse + bind; keeps the original text in Statement::sql.
+  StatusOr<Statement> BindSql(const std::string& text) const;
+
+ private:
+  const Catalog* catalog_;
+};
+
+}  // namespace wfit
+
+#endif  // WFIT_WORKLOAD_BINDER_H_

@@ -1,0 +1,269 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "sql/printer.h"
+
+namespace wfit {
+
+namespace {
+
+/// Columns with few distinct values only make sense as equality predicates.
+constexpr uint64_t kEnumDistinctThreshold = 64;
+
+sql::ColumnName Qualified(const Catalog& catalog, const ColumnRef& ref) {
+  sql::ColumnName name;
+  name.qualifier = catalog.table(ref.table).qualified_name();
+  name.column = catalog.column(ref).name;
+  return name;
+}
+
+}  // namespace
+
+StatementGenerator::StatementGenerator(const Catalog* catalog,
+                                       const GeneratorOptions& options,
+                                       uint64_t seed)
+    : catalog_(catalog), options_(options), rng_(seed), binder_(catalog) {
+  WFIT_CHECK(catalog != nullptr, "generator requires a catalog");
+  BuildJoinGraph();
+}
+
+void StatementGenerator::AddEdge(const std::string& lt, const std::string& lc,
+                                 const std::string& rt,
+                                 const std::string& rc) {
+  auto ltid = catalog_->FindTable(lt);
+  auto rtid = catalog_->FindTable(rt);
+  if (!ltid.ok() || !rtid.ok()) return;  // schema not loaded; skip
+  auto lcol = catalog_->FindColumn(*ltid, lc);
+  auto rcol = catalog_->FindColumn(*rtid, rc);
+  if (!lcol.ok() || !rcol.ok()) return;
+  edges_.push_back(JoinEdge{ColumnRef{*ltid, *lcol}, ColumnRef{*rtid, *rcol}});
+}
+
+void StatementGenerator::BuildJoinGraph() {
+  // Foreign-key style equi-join edges, per dataset. Missing datasets are
+  // skipped so the generator also works on partial catalogs.
+  // TPC-H
+  AddEdge("tpch.lineitem", "l_orderkey", "tpch.orders", "o_orderkey");
+  AddEdge("tpch.orders", "o_custkey", "tpch.customer", "c_custkey");
+  AddEdge("tpch.lineitem", "l_partkey", "tpch.part", "p_partkey");
+  AddEdge("tpch.lineitem", "l_suppkey", "tpch.supplier", "s_suppkey");
+  AddEdge("tpch.partsupp", "ps_partkey", "tpch.part", "p_partkey");
+  AddEdge("tpch.partsupp", "ps_suppkey", "tpch.supplier", "s_suppkey");
+  AddEdge("tpch.customer", "c_nationkey", "tpch.nation", "n_nationkey");
+  AddEdge("tpch.supplier", "s_nationkey", "tpch.nation", "n_nationkey");
+  AddEdge("tpch.nation", "n_regionkey", "tpch.region", "r_regionkey");
+  // TPC-C
+  AddEdge("tpcc.district", "d_w_id", "tpcc.warehouse", "w_id");
+  AddEdge("tpcc.customer", "c_w_id", "tpcc.warehouse", "w_id");
+  AddEdge("tpcc.orders", "o_c_id", "tpcc.customer", "c_id");
+  AddEdge("tpcc.order_line", "ol_o_id", "tpcc.orders", "o_id");
+  AddEdge("tpcc.order_line", "ol_i_id", "tpcc.item", "i_id");
+  AddEdge("tpcc.stock", "s_i_id", "tpcc.item", "i_id");
+  AddEdge("tpcc.stock", "s_w_id", "tpcc.warehouse", "w_id");
+  // TPC-E
+  AddEdge("tpce.security", "s_co_id", "tpce.company", "co_id");
+  AddEdge("tpce.daily_market", "dm_s_symb", "tpce.security", "s_symb");
+  AddEdge("tpce.trade", "t_s_symb", "tpce.security", "s_symb");
+  AddEdge("tpce.trade", "t_ca_id", "tpce.customer_account", "ca_id");
+  AddEdge("tpce.holding", "h_ca_id", "tpce.customer_account", "ca_id");
+  AddEdge("tpce.holding", "h_s_symb", "tpce.security", "s_symb");
+  // NREF
+  AddEdge("nref.neighboring_seq", "n_p_id", "nref.protein", "p_id");
+  AddEdge("nref.annotation", "a_p_id", "nref.protein", "p_id");
+  AddEdge("nref.protein", "p_species", "nref.taxonomy", "tax_id");
+}
+
+std::vector<const StatementGenerator::JoinEdge*>
+StatementGenerator::EdgesTouching(TableId t) const {
+  std::vector<const JoinEdge*> out;
+  for (const JoinEdge& e : edges_) {
+    if (e.left.table == t || e.right.table == t) out.push_back(&e);
+  }
+  return out;
+}
+
+TableId StatementGenerator::PickTable(const std::string& dataset,
+                                      bool weight_by_size) {
+  std::vector<TableId> tables = catalog_->TablesOfDataset(dataset);
+  WFIT_CHECK(!tables.empty(), "unknown dataset " + dataset);
+  std::vector<double> weights;
+  weights.reserve(tables.size());
+  for (TableId t : tables) {
+    double rows = static_cast<double>(catalog_->table(t).row_count);
+    weights.push_back(weight_by_size ? std::log2(rows + 2.0) : 1.0);
+  }
+  return tables[rng_.PickWeighted(weights)];
+}
+
+void StatementGenerator::AddPredicate(TableId table, double sel_exp_min,
+                                      double sel_exp_max,
+                                      bool require_selective,
+                                      std::vector<sql::Predicate>* where) {
+  const TableInfo& info = catalog_->table(table);
+  std::vector<uint32_t> eligible;
+  for (uint32_t i = 0; i < info.columns.size(); ++i) {
+    if (!require_selective ||
+        info.columns[i].distinct_values > kEnumDistinctThreshold) {
+      eligible.push_back(i);
+    }
+  }
+  if (eligible.empty()) {
+    for (uint32_t i = 0; i < info.columns.size(); ++i) eligible.push_back(i);
+  }
+  uint32_t col = eligible[static_cast<size_t>(
+      rng_.UniformInt(0, static_cast<int64_t>(eligible.size()) - 1))];
+  const ColumnInfo& c = info.columns[col];
+  sql::Predicate p;
+  p.lhs = Qualified(*catalog_, ColumnRef{table, col});
+  if (c.distinct_values <= kEnumDistinctThreshold || rng_.Bernoulli(0.25)) {
+    // Equality on an enum-ish or occasionally any column.
+    p.kind = sql::Predicate::Kind::kCompare;
+    p.op = sql::CompareOp::kEq;
+    p.value.is_string = false;
+    double v = c.min_value +
+               std::floor(rng_.Uniform(0.0, 1.0) *
+                          static_cast<double>(c.distinct_values)) *
+                   (c.max_value - c.min_value) /
+                   static_cast<double>(std::max<uint64_t>(1, c.distinct_values));
+    p.value.number = v;
+  } else {
+    // Range with log-uniform selectivity.
+    double sel = std::pow(10.0, rng_.Uniform(sel_exp_min, sel_exp_max));
+    double width = (c.max_value - c.min_value) * sel;
+    double center = rng_.Uniform(c.min_value, c.max_value);
+    p.kind = sql::Predicate::Kind::kBetween;
+    p.low.is_string = false;
+    p.low.number = std::max(c.min_value, center - width / 2);
+    p.high.is_string = false;
+    p.high.number = std::min(c.max_value, p.low.number + width);
+  }
+  where->push_back(std::move(p));
+}
+
+Statement StatementGenerator::Finish(const sql::SqlStatement& ast) {
+  std::string text = sql::Print(ast);
+  auto bound = binder_.BindSql(text);
+  WFIT_CHECK(bound.ok(), "generator produced unbindable SQL: " +
+                             bound.status().ToString() + " [" + text + "]");
+  return std::move(bound).value();
+}
+
+Statement StatementGenerator::GenerateQuery(const std::string& dataset) {
+  sql::SelectStmt sel;
+  TableId seed_table = PickTable(dataset, /*weight_by_size=*/true);
+  std::set<TableId> in_query = {seed_table};
+  std::vector<TableId> frontier = {seed_table};
+
+  // Random walk over the join graph.
+  int joins = 0;
+  while (joins < options_.max_joins &&
+         rng_.Bernoulli(options_.join_extend_prob)) {
+    // Collect edges that connect the query to a new table.
+    std::vector<const JoinEdge*> expanding;
+    for (TableId t : in_query) {
+      for (const JoinEdge* e : EdgesTouching(t)) {
+        TableId other = (e->left.table == t) ? e->right.table : e->left.table;
+        if (in_query.count(other) == 0) expanding.push_back(e);
+      }
+    }
+    if (expanding.empty()) break;
+    const JoinEdge* e = expanding[static_cast<size_t>(
+        rng_.UniformInt(0, static_cast<int64_t>(expanding.size()) - 1))];
+    sql::Predicate join;
+    join.kind = sql::Predicate::Kind::kJoin;
+    join.op = sql::CompareOp::kEq;
+    join.lhs = Qualified(*catalog_, e->left);
+    join.rhs = Qualified(*catalog_, e->right);
+    sel.where.push_back(std::move(join));
+    in_query.insert(e->left.table);
+    in_query.insert(e->right.table);
+    ++joins;
+  }
+
+  for (TableId t : in_query) {
+    sql::TableRef ref;
+    ref.name = catalog_->table(t).qualified_name();
+    sel.from.push_back(std::move(ref));
+  }
+
+  // Predicates: at least one on the seed table.
+  AddPredicate(seed_table, options_.query_sel_exp_min,
+               options_.query_sel_exp_max, /*require_selective=*/false,
+               &sel.where);
+  if (rng_.Bernoulli(options_.second_pred_prob)) {
+    AddPredicate(seed_table, options_.query_sel_exp_min,
+                 options_.query_sel_exp_max, /*require_selective=*/false,
+                 &sel.where);
+  }
+  for (TableId t : in_query) {
+    if (t == seed_table) continue;
+    if (rng_.Bernoulli(options_.joined_table_pred_prob)) {
+      AddPredicate(t, options_.query_sel_exp_min, options_.query_sel_exp_max,
+                   /*require_selective=*/false, &sel.where);
+    }
+  }
+
+  // Select list.
+  if (rng_.Bernoulli(options_.count_star_prob)) {
+    sel.count_star = true;
+  } else {
+    const TableInfo& info = catalog_->table(seed_table);
+    int ncols = static_cast<int>(rng_.UniformInt(1, 2));
+    for (int i = 0; i < ncols; ++i) {
+      uint32_t col = static_cast<uint32_t>(
+          rng_.UniformInt(0, static_cast<int64_t>(info.columns.size()) - 1));
+      sel.select_list.push_back(
+          Qualified(*catalog_, ColumnRef{seed_table, col}));
+    }
+  }
+
+  if (rng_.Bernoulli(options_.order_by_prob)) {
+    const TableInfo& info = catalog_->table(seed_table);
+    uint32_t col = static_cast<uint32_t>(
+        rng_.UniformInt(0, static_cast<int64_t>(info.columns.size()) - 1));
+    sel.order_by.push_back(Qualified(*catalog_, ColumnRef{seed_table, col}));
+  }
+
+  return Finish(sel);
+}
+
+Statement StatementGenerator::GenerateUpdate(const std::string& dataset) {
+  double r = rng_.Uniform(0.0, 1.0);
+  TableId table = PickTable(dataset, /*weight_by_size=*/true);
+  const TableInfo& info = catalog_->table(table);
+  const std::string qualified = info.qualified_name();
+
+  if (r < options_.insert_fraction) {
+    sql::InsertStmt ins;
+    ins.table = qualified;
+    ins.num_rows = static_cast<uint64_t>(rng_.UniformInt(1, 20));
+    return Finish(ins);
+  }
+  if (r < options_.insert_fraction + options_.delete_fraction) {
+    sql::DeleteStmt del;
+    del.table = qualified;
+    AddPredicate(table, options_.update_sel_exp_min,
+                 options_.update_sel_exp_max, /*require_selective=*/true,
+                 &del.where);
+    return Finish(del);
+  }
+  sql::UpdateStmt upd;
+  upd.table = qualified;
+  int nset = static_cast<int>(rng_.UniformInt(1, 2));
+  std::set<std::string> chosen;
+  for (int i = 0; i < nset; ++i) {
+    uint32_t col = static_cast<uint32_t>(
+        rng_.UniformInt(0, static_cast<int64_t>(info.columns.size()) - 1));
+    chosen.insert(info.columns[col].name);
+  }
+  upd.set_columns.assign(chosen.begin(), chosen.end());
+  AddPredicate(table, options_.update_sel_exp_min,
+               options_.update_sel_exp_max, /*require_selective=*/true,
+               &upd.where);
+  return Finish(upd);
+}
+
+}  // namespace wfit

@@ -1,0 +1,89 @@
+// Random statement generator over the benchmark catalog. Reproduces the
+// statement shapes of the paper's workload (Sec. 6.1): join queries with
+// mixed-selectivity predicates (the paper's example joins tpce.security,
+// tpce.company and tpce.daily_market) and low-selectivity UPDATE statements.
+// Generated statements go through the SQL printer, parser and binder, so the
+// whole front end is exercised on every generated statement.
+#ifndef WFIT_WORKLOAD_GENERATOR_H_
+#define WFIT_WORKLOAD_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/rng.h"
+#include "workload/binder.h"
+#include "workload/statement.h"
+
+namespace wfit {
+
+/// Knobs for statement generation; defaults match the benchmark's mix.
+struct GeneratorOptions {
+  /// Probability of extending the join chain by one more table.
+  double join_extend_prob = 0.55;
+  int max_joins = 2;
+  double order_by_prob = 0.25;
+  /// Probability that a joined table receives a predicate of its own.
+  double joined_table_pred_prob = 0.6;
+  /// Probability that the seed table receives a second predicate. The
+  /// benchmark stresses index interactions (Sec. 6.1), so two-predicate
+  /// tables — where index intersections and composites matter — are common.
+  double second_pred_prob = 0.7;
+  /// log10 selectivity range for query range predicates. Medium
+  /// selectivities are where single-index plans become fetch-bound and
+  /// multi-index plans pay off, i.e. where interactions live.
+  double query_sel_exp_min = -3.8;
+  double query_sel_exp_max = -1.0;
+  /// log10 selectivity range for update/delete WHERE predicates.
+  double update_sel_exp_min = -4.5;
+  double update_sel_exp_max = -2.0;
+  /// Within update statements: fraction that are DELETE / INSERT
+  /// (remainder are UPDATE).
+  double delete_fraction = 0.15;
+  double insert_fraction = 0.10;
+  double count_star_prob = 0.35;
+};
+
+/// Deterministic, seeded generator. One instance per experiment.
+class StatementGenerator {
+ public:
+  StatementGenerator(const Catalog* catalog, const GeneratorOptions& options,
+                     uint64_t seed);
+
+  /// Generates a read-only query over tables of `dataset`.
+  Statement GenerateQuery(const std::string& dataset);
+
+  /// Generates an UPDATE/DELETE/INSERT over a table of `dataset`.
+  Statement GenerateUpdate(const std::string& dataset);
+
+  const GeneratorOptions& options() const { return options_; }
+
+ private:
+  struct JoinEdge {
+    ColumnRef left;
+    ColumnRef right;
+  };
+
+  void BuildJoinGraph();
+  void AddEdge(const std::string& lt, const std::string& lc,
+               const std::string& rt, const std::string& rc);
+  std::vector<const JoinEdge*> EdgesTouching(TableId t) const;
+  TableId PickTable(const std::string& dataset, bool weight_by_size);
+  /// Builds one predicate on `table` and renders it into `where`. With
+  /// `require_selective`, enum-like columns are avoided so the predicate
+  /// stays low-selectivity (update statements must touch few rows).
+  void AddPredicate(TableId table, double sel_exp_min, double sel_exp_max,
+                    bool require_selective,
+                    std::vector<sql::Predicate>* where);
+  Statement Finish(const sql::SqlStatement& ast);
+
+  const Catalog* catalog_;
+  GeneratorOptions options_;
+  Rng rng_;
+  Binder binder_;
+  std::vector<JoinEdge> edges_;
+};
+
+}  // namespace wfit
+
+#endif  // WFIT_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,136 @@
+#include "baselines/bc.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace wfit {
+namespace {
+
+using testing::TestDb;
+
+TEST(BcTest, StartsWithInitialConfig) {
+  TestDb db;
+  IndexId ia = db.Ix("t1", {"a"});
+  BcTuner bc(&db.pool(), &db.optimizer(), IndexSet{ia}, IndexSet{ia});
+  EXPECT_EQ(bc.Recommendation(), IndexSet{ia});
+  EXPECT_EQ(bc.name(), "BC");
+}
+
+TEST(BcTest, InitialConfigClampedToCandidates) {
+  TestDb db;
+  IndexId ia = db.Ix("t1", {"a"});
+  IndexId ib = db.Ix("t1", {"b"});
+  BcTuner bc(&db.pool(), &db.optimizer(), IndexSet{ia}, IndexSet{ia, ib});
+  EXPECT_EQ(bc.Recommendation(), IndexSet{ia});
+}
+
+TEST(BcTest, AccumulatesBenefitThenCreates) {
+  TestDb db;
+  IndexId ia = db.Ix("t1", {"a"});
+  BcTuner bc(&db.pool(), &db.optimizer(), IndexSet{ia}, IndexSet{});
+  Statement q = db.Bind("SELECT count(*) FROM t1 WHERE a BETWEEN 0 AND 120");
+  bc.AnalyzeQuery(q);
+  // One query is not enough to pay the build cost, but the signal is live.
+  EXPECT_FALSE(bc.Recommendation().Contains(ia));
+  EXPECT_GT(bc.LastGain(ia), 0.0);
+  int n = 1;
+  for (; n < 200 && !bc.Recommendation().Contains(ia); ++n) {
+    bc.AnalyzeQuery(q);
+  }
+  EXPECT_TRUE(bc.Recommendation().Contains(ia));
+  EXPECT_GT(n, 1);  // hysteresis: not instant
+}
+
+TEST(BcTest, DropsIndexAfterSustainedLosses) {
+  TestDb db;
+  IndexId ia = db.Ix("t1", {"a"});
+  BcTuner bc(&db.pool(), &db.optimizer(), IndexSet{ia}, IndexSet{ia});
+  Statement u = db.Bind("UPDATE t1 SET a = a + 1 WHERE k BETWEEN 0 AND 9000");
+  int n = 0;
+  for (; n < 500 && bc.Recommendation().Contains(ia); ++n) {
+    bc.AnalyzeQuery(u);
+    EXPECT_LT(bc.LastGain(ia), 0.0);  // maintenance always counts
+  }
+  EXPECT_LT(n, 500) << "BC never dropped a hurtful index";
+  EXPECT_GT(n, 1) << "BC dropped without hysteresis";
+}
+
+TEST(BcTest, IdealPlanGateBlocksLosingAlternatives) {
+  // ix(a) and ix(c,a) both serve the predicate pair, but only the plan
+  // winner receives credit (BC's heuristic interaction adjustment).
+  TestDb db;
+  IndexId ia = db.Ix("t1", {"a"});
+  IndexId ica = db.Ix("t1", {"c", "a"});
+  BcTuner bc(&db.pool(), &db.optimizer(), IndexSet{ia, ica}, IndexSet{});
+  Statement q = db.Bind(
+      "SELECT count(*) FROM t1 WHERE c = 5 AND a BETWEEN 0 AND 1000");
+  bc.AnalyzeQuery(q);
+  // Exactly one of the two alternatives gets the (positive) credit.
+  int credited = (bc.LastGain(ia) > 0.0 ? 1 : 0) +
+                 (bc.LastGain(ica) > 0.0 ? 1 : 0);
+  EXPECT_EQ(credited, 1);
+}
+
+TEST(BcTest, IndependenceAssumptionMisestimatesInteractingPair) {
+  // Two medium-selectivity predicates whose indexes interact (they serve
+  // the same query and intersect). BC's independence assumption credits
+  // each index its full isolated benefit, so the claims add up to far more
+  // than the jointly attainable improvement — the over-crediting that makes
+  // BC build redundant indexes where one (or a targeted pair) suffices.
+  // WFIT's exact per-configuration costs cannot make this error.
+  TestDb db;
+  IndexId ia = db.Ix("t1", {"a"});
+  IndexId ib = db.Ix("t1", {"b"});
+  BcTuner bc(&db.pool(), &db.optimizer(), IndexSet{ia, ib}, IndexSet{});
+  Statement q = db.Bind(
+      "SELECT d FROM t1 WHERE a BETWEEN 0 AND 400 AND b BETWEEN 0 AND 200");
+  double joint = db.optimizer().Cost(q, IndexSet{}) -
+                 db.optimizer().Cost(q, IndexSet{ia, ib});
+  ASSERT_GT(joint, 0.0);
+  bc.AnalyzeQuery(q);
+  double claimed = bc.LastGain(ia) + bc.LastGain(ib);
+  EXPECT_GT(claimed, 1.2 * joint);
+}
+
+TEST(BcTest, IgnoresFeedbackSilently) {
+  TestDb db;
+  IndexId ia = db.Ix("t1", {"a"});
+  BcTuner bc(&db.pool(), &db.optimizer(), IndexSet{ia}, IndexSet{});
+  bc.Feedback(IndexSet{ia}, IndexSet{});  // must be a harmless no-op
+  EXPECT_FALSE(bc.Recommendation().Contains(ia));
+}
+
+TEST(BcTest, BenefitScaleControlsEagerness) {
+  TestDb db;
+  IndexId ia = db.Ix("t1", {"a"});
+  Statement q = db.Bind("SELECT count(*) FROM t1 WHERE a BETWEEN 0 AND 120");
+  BcOptions eager;
+  eager.benefit_scale = 3.0;
+  BcOptions lazy;
+  lazy.benefit_scale = 0.3;
+  BcTuner bc_eager(&db.pool(), &db.optimizer(), IndexSet{ia}, IndexSet{},
+                   eager);
+  BcTuner bc_lazy(&db.pool(), &db.optimizer(), IndexSet{ia}, IndexSet{},
+                  lazy);
+  int eager_steps = 0, lazy_steps = 0;
+  for (; eager_steps < 600 && !bc_eager.Recommendation().Contains(ia);
+       ++eager_steps) {
+    bc_eager.AnalyzeQuery(q);
+  }
+  for (; lazy_steps < 600 && !bc_lazy.Recommendation().Contains(ia);
+       ++lazy_steps) {
+    bc_lazy.AnalyzeQuery(q);
+  }
+  EXPECT_LT(eager_steps, lazy_steps);
+}
+
+TEST(BcTest, UnknownIndexHasZeroLastGain) {
+  TestDb db;
+  IndexId ia = db.Ix("t1", {"a"});
+  BcTuner bc(&db.pool(), &db.optimizer(), IndexSet{ia}, IndexSet{});
+  EXPECT_DOUBLE_EQ(bc.LastGain(db.Ix("t2", {"x"})), 0.0);
+}
+
+}  // namespace
+}  // namespace wfit

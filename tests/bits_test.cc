@@ -1,0 +1,84 @@
+#include "common/bits.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace wfit {
+namespace {
+
+TEST(BitsTest, PopCount) {
+  EXPECT_EQ(PopCount(0u), 0);
+  EXPECT_EQ(PopCount(0b1011u), 3);
+  EXPECT_EQ(PopCount(0xFFFFFFFFu), 32);
+}
+
+TEST(BitsTest, IsSubset) {
+  EXPECT_TRUE(IsSubset(0b001, 0b011));
+  EXPECT_TRUE(IsSubset(0b000, 0b000));
+  EXPECT_TRUE(IsSubset(0b011, 0b011));
+  EXPECT_FALSE(IsSubset(0b100, 0b011));
+}
+
+TEST(BitsTest, LowestBit) {
+  EXPECT_EQ(LowestBit(0b1000), 3);
+  EXPECT_EQ(LowestBit(0b0001), 0);
+  EXPECT_EQ(LowestBit(0b0110), 1);
+}
+
+TEST(BitsTest, SubmaskIteratorEnumeratesAllSubsets) {
+  Mask universe = 0b10110;
+  std::set<Mask> seen;
+  for (SubmaskIterator it(universe); !it.done(); it.Next()) {
+    EXPECT_TRUE(IsSubset(it.mask(), universe));
+    EXPECT_TRUE(seen.insert(it.mask()).second) << "duplicate submask";
+  }
+  EXPECT_EQ(seen.size(), size_t{1} << PopCount(universe));
+}
+
+TEST(BitsTest, SubmaskIteratorOfEmptyMask) {
+  SubmaskIterator it(0);
+  EXPECT_FALSE(it.done());
+  EXPECT_EQ(it.mask(), 0u);
+  it.Next();
+  EXPECT_TRUE(it.done());
+}
+
+TEST(BitsTest, LexPrefersFavorsLowestDifferingBitSet) {
+  // Appendix B: X preferred to Y iff the smallest differing index is in X.
+  EXPECT_TRUE(LexPrefers(0b001, 0b010));   // differ at bit 0, X has it
+  EXPECT_FALSE(LexPrefers(0b010, 0b001));  // differ at bit 0, Y has it
+  EXPECT_TRUE(LexPrefers(0b011, 0b010));
+  EXPECT_FALSE(LexPrefers(0b000, 0b000));  // equal: no strict preference
+  EXPECT_TRUE(LexPrefers(0b101, 0b110));   // lowest diff bit 0 belongs to X
+}
+
+TEST(BitsTest, LexPrefersIsTotalOnDistinctMasks) {
+  for (Mask x = 0; x < 16; ++x) {
+    for (Mask y = 0; y < 16; ++y) {
+      if (x == y) {
+        EXPECT_FALSE(LexPrefers(x, y));
+        continue;
+      }
+      EXPECT_NE(LexPrefers(x, y), LexPrefers(y, x))
+          << "x=" << x << " y=" << y;
+    }
+  }
+}
+
+TEST(BitsTest, LexPrefersIsTransitive) {
+  for (Mask a = 0; a < 16; ++a) {
+    for (Mask b = 0; b < 16; ++b) {
+      for (Mask c = 0; c < 16; ++c) {
+        if (LexPrefers(a, b) && LexPrefers(b, c)) {
+          EXPECT_TRUE(LexPrefers(a, c))
+              << "a=" << a << " b=" << b << " c=" << c;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wfit

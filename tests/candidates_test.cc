@@ -1,0 +1,176 @@
+#include "core/candidates.h"
+
+#include <gtest/gtest.h>
+
+#include "optimizer/index_extractor.h"
+#include "tests/test_util.h"
+
+namespace wfit {
+namespace {
+
+using testing::TestDb;
+
+TEST(ExtractorTest, SingleColumnCandidatesForPredicates) {
+  TestDb db;
+  Statement q = db.Bind(
+      "SELECT count(*) FROM t1 WHERE a = 5 AND b BETWEEN 0 AND 10");
+  std::vector<IndexId> cands = ExtractIndices(q, &db.pool());
+  IndexSet set = IndexSet::FromVector(cands);
+  EXPECT_TRUE(set.Contains(db.Ix("t1", {"a"})));
+  EXPECT_TRUE(set.Contains(db.Ix("t1", {"b"})));
+}
+
+TEST(ExtractorTest, CompositeEqualityPlusRange) {
+  TestDb db;
+  Statement q = db.Bind(
+      "SELECT count(*) FROM t1 WHERE c = 5 AND a BETWEEN 0 AND 10");
+  IndexSet set = IndexSet::FromVector(ExtractIndices(q, &db.pool()));
+  // Composite (c, a): equality column then range column.
+  EXPECT_TRUE(set.Contains(db.Ix("t1", {"c", "a"})));
+}
+
+TEST(ExtractorTest, JoinColumnsExtracted) {
+  TestDb db;
+  Statement q =
+      db.Bind("SELECT count(*) FROM t1, t2 WHERE t1.k = t2.fk AND t2.x = 1");
+  IndexSet set = IndexSet::FromVector(ExtractIndices(q, &db.pool()));
+  EXPECT_TRUE(set.Contains(db.Ix("t1", {"k"})));
+  EXPECT_TRUE(set.Contains(db.Ix("t2", {"fk"})));
+}
+
+TEST(ExtractorTest, OrderByColumnExtracted) {
+  TestDb db;
+  Statement q = db.Bind("SELECT d FROM t1 WHERE c = 1 ORDER BY a");
+  IndexSet set = IndexSet::FromVector(ExtractIndices(q, &db.pool()));
+  EXPECT_TRUE(set.Contains(db.Ix("t1", {"a"})));
+  // Equality prefix + sort column composite.
+  EXPECT_TRUE(set.Contains(db.Ix("t1", {"c", "a"})));
+}
+
+TEST(ExtractorTest, UpdateWherePredicatesYieldCandidates) {
+  TestDb db;
+  Statement u = db.Bind("UPDATE t1 SET d = d + 1 WHERE a BETWEEN 0 AND 9");
+  IndexSet set = IndexSet::FromVector(ExtractIndices(u, &db.pool()));
+  EXPECT_TRUE(set.Contains(db.Ix("t1", {"a"})));
+}
+
+TEST(ExtractorTest, RespectsCandidateCap) {
+  TestDb db;
+  Statement q = db.Bind(
+      "SELECT count(*) FROM t1, t2 WHERE t1.k = t2.fk AND t1.a = 1 AND "
+      "t1.b = 2 AND t1.c = 3 AND t2.x = 4 AND t2.y = 5 ORDER BY t1.d");
+  ExtractorOptions opts;
+  opts.max_candidates_per_statement = 5;
+  EXPECT_LE(ExtractIndices(q, &db.pool(), opts).size(), 5u);
+}
+
+TEST(ExtractorTest, NonSargablePredicatesYieldNoSingleColumnCandidate) {
+  TestDb db;
+  Statement q = db.Bind("SELECT count(*) FROM t1 WHERE c <> 5");
+  std::vector<IndexId> cands = ExtractIndices(q, &db.pool());
+  IndexSet set = IndexSet::FromVector(cands);
+  EXPECT_FALSE(set.Contains(db.Ix("t1", {"c"})));
+}
+
+TEST(ExtractorTest, DeterministicOutput) {
+  TestDb db;
+  Statement q = db.Bind(
+      "SELECT count(*) FROM t1 WHERE a = 1 AND b BETWEEN 0 AND 5");
+  auto c1 = ExtractIndices(q, &db.pool());
+  auto c2 = ExtractIndices(q, &db.pool());
+  EXPECT_EQ(c1, c2);
+}
+
+TEST(CandidateSelectorTest, UniverseGrowsWithStatements) {
+  TestDb db;
+  CandidateOptions opts;
+  CandidateSelector selector(&db.pool(), &db.optimizer(), opts, 1);
+  EXPECT_EQ(selector.universe().size(), 0u);
+  Statement q1 = db.Bind("SELECT count(*) FROM t1 WHERE a = 5");
+  selector.ChooseCands(q1, IndexSet{}, {});
+  size_t after_q1 = selector.universe().size();
+  EXPECT_GT(after_q1, 0u);
+  Statement q2 = db.Bind("SELECT count(*) FROM t2 WHERE x = 5");
+  selector.ChooseCands(q2, IndexSet{}, {});
+  EXPECT_GT(selector.universe().size(), after_q1);
+}
+
+TEST(CandidateSelectorTest, MaterializedIndicesAlwaysRetained) {
+  TestDb db;
+  CandidateOptions opts;
+  opts.idx_cnt = 2;
+  CandidateSelector selector(&db.pool(), &db.optimizer(), opts, 1);
+  IndexId keep = db.Ix("t2", {"y"});
+  Statement q = db.Bind("SELECT count(*) FROM t1 WHERE a = 5");
+  CandidateAnalysis analysis =
+      selector.ChooseCands(q, IndexSet{keep}, {IndexSet{keep}});
+  IndexSet covered;
+  for (const IndexSet& p : analysis.partition) covered = covered.Union(p);
+  EXPECT_TRUE(covered.Contains(keep));
+}
+
+TEST(CandidateSelectorTest, PartitionObeysStateBudget) {
+  TestDb db;
+  CandidateOptions opts;
+  opts.idx_cnt = 10;
+  opts.state_cnt = 24;
+  CandidateSelector selector(&db.pool(), &db.optimizer(), opts, 1);
+  std::vector<IndexSet> partition;
+  IndexSet materialized;
+  for (int round = 0; round < 10; ++round) {
+    Statement q = db.Bind(
+        "SELECT d FROM t1 WHERE a BETWEEN 0 AND 200 AND b BETWEEN 0 AND "
+        "100");
+    CandidateAnalysis analysis =
+        selector.ChooseCands(q, materialized, partition);
+    partition = analysis.partition;
+    EXPECT_LE(PartitionStates(partition), opts.state_cnt);
+  }
+}
+
+TEST(CandidateSelectorTest, BeneficialIndexEntersCandidates) {
+  TestDb db;
+  CandidateOptions opts;
+  opts.idx_cnt = 4;
+  // Make entry easy: small evidence threshold.
+  opts.creation_penalty_factor = 1e-6;
+  CandidateSelector selector(&db.pool(), &db.optimizer(), opts, 1);
+  std::vector<IndexSet> partition;
+  Statement q = db.Bind("SELECT count(*) FROM t1 WHERE a BETWEEN 0 AND 150");
+  CandidateAnalysis analysis = selector.ChooseCands(q, IndexSet{}, partition);
+  // After one highly beneficial statement the index on a is a candidate.
+  analysis = selector.ChooseCands(q, IndexSet{}, analysis.partition);
+  IndexSet covered;
+  for (const IndexSet& p : analysis.partition) covered = covered.Union(p);
+  EXPECT_TRUE(covered.Contains(db.Ix("t1", {"a"})));
+}
+
+TEST(CandidateSelectorTest, IdxCntBoundsPartitionSize) {
+  TestDb db;
+  CandidateOptions opts;
+  opts.idx_cnt = 3;
+  opts.creation_penalty_factor = 1e-6;
+  CandidateSelector selector(&db.pool(), &db.optimizer(), opts, 1);
+  std::vector<IndexSet> partition;
+  std::vector<std::string> queries = {
+      "SELECT count(*) FROM t1 WHERE a BETWEEN 0 AND 100",
+      "SELECT count(*) FROM t1 WHERE b BETWEEN 0 AND 50",
+      "SELECT count(*) FROM t2 WHERE x = 5",
+      "SELECT count(*) FROM t1 WHERE c = 2",
+      "SELECT count(*) FROM t2 WHERE fk BETWEEN 0 AND 900",
+  };
+  for (int round = 0; round < 3; ++round) {
+    for (const std::string& sql : queries) {
+      Statement q = db.Bind(sql);
+      CandidateAnalysis analysis =
+          selector.ChooseCands(q, IndexSet{}, partition);
+      partition = analysis.partition;
+      size_t total = 0;
+      for (const IndexSet& p : partition) total += p.size();
+      EXPECT_LE(total, opts.idx_cnt);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wfit

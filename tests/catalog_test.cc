@@ -1,0 +1,170 @@
+#include "catalog/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/benchmark_schemas.h"
+
+namespace wfit {
+namespace {
+
+ColumnInfo Col(const std::string& name, uint64_t distinct = 10) {
+  ColumnInfo c;
+  c.name = name;
+  c.distinct_values = distinct;
+  c.width_bytes = 8;
+  c.min_value = 0;
+  c.max_value = 100;
+  return c;
+}
+
+TableInfo SmallTable(const std::string& dataset, const std::string& name) {
+  TableInfo t;
+  t.dataset = dataset;
+  t.name = name;
+  t.row_count = 1000;
+  t.columns = {Col("id"), Col("v")};
+  return t;
+}
+
+TEST(CatalogTest, AddAndFindQualified) {
+  Catalog c;
+  auto id = c.AddTable(SmallTable("ds", "t"));
+  ASSERT_TRUE(id.ok());
+  auto found = c.FindTable("ds.t");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, *id);
+  EXPECT_EQ(c.table(*found).qualified_name(), "ds.t");
+}
+
+TEST(CatalogTest, BareNameWorksWhenUnambiguous) {
+  Catalog c;
+  ASSERT_TRUE(c.AddTable(SmallTable("ds", "t")).ok());
+  EXPECT_TRUE(c.FindTable("t").ok());
+}
+
+TEST(CatalogTest, BareNameAmbiguousAcrossDatasets) {
+  Catalog c;
+  ASSERT_TRUE(c.AddTable(SmallTable("ds1", "t")).ok());
+  ASSERT_TRUE(c.AddTable(SmallTable("ds2", "t")).ok());
+  auto found = c.FindTable("t");
+  ASSERT_FALSE(found.ok());
+  EXPECT_EQ(found.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(c.FindTable("ds1.t").ok());
+  EXPECT_TRUE(c.FindTable("ds2.t").ok());
+}
+
+TEST(CatalogTest, MissingTableIsNotFound) {
+  Catalog c;
+  EXPECT_EQ(c.FindTable("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, DuplicateTableRejected) {
+  Catalog c;
+  ASSERT_TRUE(c.AddTable(SmallTable("ds", "t")).ok());
+  auto again = c.AddTable(SmallTable("ds", "t"));
+  EXPECT_EQ(again.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, RejectsBadTables) {
+  Catalog c;
+  TableInfo no_cols = SmallTable("ds", "t");
+  no_cols.columns.clear();
+  EXPECT_EQ(c.AddTable(no_cols).status().code(),
+            StatusCode::kInvalidArgument);
+
+  TableInfo dup_cols = SmallTable("ds", "t2");
+  dup_cols.columns = {Col("x"), Col("x")};
+  EXPECT_EQ(c.AddTable(dup_cols).status().code(),
+            StatusCode::kInvalidArgument);
+
+  TableInfo zero_distinct = SmallTable("ds", "t3");
+  zero_distinct.columns[0].distinct_values = 0;
+  EXPECT_EQ(c.AddTable(zero_distinct).status().code(),
+            StatusCode::kInvalidArgument);
+
+  TableInfo bad_domain = SmallTable("ds", "t4");
+  bad_domain.columns[0].min_value = 10;
+  bad_domain.columns[0].max_value = 5;
+  EXPECT_EQ(c.AddTable(bad_domain).status().code(),
+            StatusCode::kInvalidArgument);
+
+  TableInfo no_dataset = SmallTable("", "t5");
+  EXPECT_EQ(c.AddTable(no_dataset).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CatalogTest, FindColumn) {
+  Catalog c;
+  auto id = c.AddTable(SmallTable("ds", "t"));
+  ASSERT_TRUE(id.ok());
+  auto col = c.FindColumn(*id, "v");
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ(*col, 1u);
+  EXPECT_EQ(c.FindColumn(*id, "zz").status().code(), StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, RowWidthSumsColumns) {
+  TableInfo t = SmallTable("ds", "t");
+  EXPECT_EQ(t.RowWidth(), 16u);
+}
+
+TEST(CatalogTest, ColumnNameRendering) {
+  Catalog c;
+  auto id = c.AddTable(SmallTable("ds", "t"));
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(c.ColumnName(ColumnRef{*id, 1}), "ds.t.v");
+}
+
+TEST(BenchmarkSchemaTest, AllFourDatasetsPresent) {
+  Catalog c = BuildBenchmarkCatalog();
+  for (const std::string& ds : BenchmarkDatasets()) {
+    EXPECT_FALSE(c.TablesOfDataset(ds).empty()) << ds;
+  }
+  EXPECT_EQ(BenchmarkDatasets().size(), 4u);
+  // 8 + 7 + 6 + 4 tables.
+  EXPECT_EQ(c.num_tables(), 25u);
+}
+
+TEST(BenchmarkSchemaTest, PaperExampleTablesExist) {
+  // The paper's example query joins these three TPC-E tables.
+  Catalog c = BuildBenchmarkCatalog();
+  for (const char* name :
+       {"tpce.security", "tpce.company", "tpce.daily_market"}) {
+    auto id = c.FindTable(name);
+    ASSERT_TRUE(id.ok()) << name;
+  }
+  auto security = c.FindTable("tpce.security");
+  EXPECT_TRUE(c.FindColumn(*security, "s_pe").ok());
+  EXPECT_TRUE(c.FindColumn(*security, "s_exch_date").ok());
+  // And the example update targets tpch.lineitem.l_extendedprice / l_tax.
+  auto lineitem = c.FindTable("tpch.lineitem");
+  ASSERT_TRUE(lineitem.ok());
+  EXPECT_TRUE(c.FindColumn(*lineitem, "l_extendedprice").ok());
+  EXPECT_TRUE(c.FindColumn(*lineitem, "l_tax").ok());
+}
+
+TEST(BenchmarkSchemaTest, ScaleFactorShrinksRowCounts) {
+  Catalog full = BuildBenchmarkCatalog();
+  Catalog small = BuildBenchmarkCatalog(BenchmarkScale{0.01});
+  auto fl = full.FindTable("tpch.lineitem");
+  auto sl = small.FindTable("tpch.lineitem");
+  ASSERT_TRUE(fl.ok() && sl.ok());
+  EXPECT_GT(full.table(*fl).row_count, 50 * small.table(*sl).row_count);
+  EXPECT_GE(small.table(*sl).row_count, 1u);
+}
+
+TEST(BenchmarkSchemaTest, DistinctNeverExceedsRows) {
+  Catalog c = BuildBenchmarkCatalog(BenchmarkScale{0.05});
+  for (TableId id = 0; id < c.num_tables(); ++id) {
+    const TableInfo& t = c.table(id);
+    for (const ColumnInfo& col : t.columns) {
+      EXPECT_LE(col.distinct_values, t.row_count)
+          << t.qualified_name() << "." << col.name;
+      EXPECT_GE(col.distinct_values, 1u);
+      EXPECT_LE(col.min_value, col.max_value);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wfit

@@ -1,0 +1,129 @@
+#include "optimizer/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tests/test_util.h"
+
+namespace wfit {
+namespace {
+
+using testing::TestDb;
+
+TEST(CostModelTest, TablePagesScaleWithRowsAndWidth) {
+  TestDb db;
+  auto t1 = db.catalog().FindTable("t1");
+  auto t3 = db.catalog().FindTable("t3");
+  ASSERT_TRUE(t1.ok() && t3.ok());
+  EXPECT_GT(db.model().TablePages(*t1), db.model().TablePages(*t3));
+  EXPECT_GE(db.model().TablePages(*t3), 1.0);
+}
+
+TEST(CostModelTest, ScanCostExceedsPageCost) {
+  TestDb db;
+  auto t1 = db.catalog().FindTable("t1");
+  ASSERT_TRUE(t1.ok());
+  EXPECT_GT(db.model().TableScanCost(*t1), db.model().TablePages(*t1));
+}
+
+TEST(CostModelTest, CreationDominatesDrop) {
+  TestDb db;
+  IndexId a = db.Ix("t1", {"a"});
+  EXPECT_GT(db.model().CreateCost(a), 100 * db.model().DropCost(a));
+}
+
+TEST(CostModelTest, WiderIndexCostsMoreToCreate) {
+  TestDb db;
+  IndexId narrow = db.Ix("t1", {"a"});
+  IndexId wide = db.Ix("t1", {"a", "b", "d"});
+  EXPECT_GT(db.model().CreateCost(wide), db.model().CreateCost(narrow));
+}
+
+TEST(CostModelTest, BiggerTableIndexCostsMore) {
+  TestDb db;
+  IndexId big = db.Ix("t1", {"a"});
+  IndexId small = db.Ix("t3", {"v"});
+  EXPECT_GT(db.model().CreateCost(big), db.model().CreateCost(small));
+}
+
+TEST(CostModelTest, TransitionCostComposition) {
+  TestDb db;
+  IndexId a = db.Ix("t1", {"a"});
+  IndexId b = db.Ix("t1", {"b"});
+  const CostModel& m = db.model();
+  IndexSet empty;
+  IndexSet both{a, b};
+  EXPECT_DOUBLE_EQ(m.TransitionCost(empty, both),
+                   m.CreateCost(a) + m.CreateCost(b));
+  EXPECT_DOUBLE_EQ(m.TransitionCost(both, empty),
+                   m.DropCost(a) + m.DropCost(b));
+  EXPECT_DOUBLE_EQ(m.TransitionCost(both, both), 0.0);
+  EXPECT_DOUBLE_EQ(m.TransitionCost(IndexSet{a}, IndexSet{b}),
+                   m.DropCost(a) + m.CreateCost(b));
+}
+
+TEST(CostModelTest, DeltaIsAsymmetric) {
+  TestDb db;
+  IndexId a = db.Ix("t1", {"a"});
+  IndexSet empty, with_a{a};
+  EXPECT_NE(db.model().TransitionCost(empty, with_a),
+            db.model().TransitionCost(with_a, empty));
+}
+
+TEST(CostModelTest, TriangleInequalityOnRandomSets) {
+  // δ(X, Y) ≤ δ(X, Z) + δ(Z, Y) — required by the WFA analysis (Sec. 2).
+  TestDb db;
+  std::vector<IndexId> ids = {
+      db.Ix("t1", {"a"}), db.Ix("t1", {"b"}), db.Ix("t1", {"c"}),
+      db.Ix("t2", {"x"}), db.Ix("t2", {"y"}), db.Ix("t3", {"v"}),
+  };
+  Rng rng(99);
+  auto random_set = [&]() {
+    IndexSet s;
+    for (IndexId id : ids) {
+      if (rng.Bernoulli(0.5)) s.Add(id);
+    }
+    return s;
+  };
+  for (int trial = 0; trial < 500; ++trial) {
+    IndexSet x = random_set(), y = random_set(), z = random_set();
+    double direct = db.model().TransitionCost(x, y);
+    double via = db.model().TransitionCost(x, z) +
+                 db.model().TransitionCost(z, y);
+    EXPECT_LE(direct, via + 1e-9);
+  }
+}
+
+TEST(CostModelTest, MaintenanceScalesWithRows) {
+  TestDb db;
+  IndexId a = db.Ix("t1", {"a"});
+  double small = db.model().MaintenanceCost(a, 10);
+  double large = db.model().MaintenanceCost(a, 1000);
+  EXPECT_GT(large, small);
+  EXPECT_DOUBLE_EQ(db.model().MaintenanceCost(a, 0), 0.0);
+}
+
+TEST(CostModelTest, SortCostGrowsSuperlinearly) {
+  TestDb db;
+  double s1 = db.model().SortCost(1000);
+  double s2 = db.model().SortCost(2000);
+  EXPECT_GT(s2, 2.0 * s1);
+  EXPECT_DOUBLE_EQ(db.model().SortCost(1.0), 0.0);
+}
+
+TEST(CostModelTest, OptionsArePluggable) {
+  CostModelOptions expensive;
+  expensive.random_page_cost = 40.0;
+  TestDb cheap_db;
+  TestDb pricey_db(expensive);
+  IndexId a_cheap = cheap_db.Ix("t1", {"a"});
+  IndexId a_pricey = pricey_db.Ix("t1", {"a"});
+  // Creation cost is unaffected by random_page_cost...
+  EXPECT_DOUBLE_EQ(cheap_db.model().CreateCost(a_cheap),
+                   pricey_db.model().CreateCost(a_pricey));
+  // ...but fetch-heavy query plans will differ (covered in what_if_test).
+  EXPECT_EQ(pricey_db.model().options().random_page_cost, 40.0);
+}
+
+}  // namespace
+}  // namespace wfit

@@ -1,0 +1,99 @@
+#include "harness/feedback_gen.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace wfit {
+namespace {
+
+using testing::TestDb;
+
+OptimalSchedule MakeSchedule(std::vector<IndexSet> configs) {
+  OptimalSchedule s;
+  s.configs = std::move(configs);
+  return s;
+}
+
+TEST(FeedbackGenTest, VotesMirrorScheduleTransitions) {
+  OptimalSchedule opt = MakeSchedule({
+      IndexSet{1},        // created before statement 0
+      IndexSet{1},        // unchanged
+      IndexSet{2},        // drop 1, create 2 before statement 2
+      IndexSet{2},
+  });
+  std::vector<FeedbackEvent> good = GoodFeedback(opt, IndexSet{});
+  ASSERT_EQ(good.size(), 2u);
+  EXPECT_EQ(good[0].after_statement, -1);
+  EXPECT_EQ(good[0].f_plus, IndexSet{1});
+  EXPECT_TRUE(good[0].f_minus.empty());
+  EXPECT_EQ(good[1].after_statement, 1);
+  EXPECT_EQ(good[1].f_plus, IndexSet{2});
+  EXPECT_EQ(good[1].f_minus, IndexSet{1});
+}
+
+TEST(FeedbackGenTest, BadFeedbackSwapsVotes) {
+  OptimalSchedule opt = MakeSchedule({IndexSet{1}, IndexSet{}});
+  std::vector<FeedbackEvent> good = GoodFeedback(opt, IndexSet{});
+  std::vector<FeedbackEvent> bad = BadFeedback(opt, IndexSet{});
+  ASSERT_EQ(good.size(), bad.size());
+  for (size_t i = 0; i < good.size(); ++i) {
+    EXPECT_EQ(good[i].after_statement, bad[i].after_statement);
+    EXPECT_EQ(good[i].f_plus, bad[i].f_minus);
+    EXPECT_EQ(good[i].f_minus, bad[i].f_plus);
+  }
+}
+
+TEST(FeedbackGenTest, InitialConfigSuppressesSpuriousFirstEvent) {
+  OptimalSchedule opt = MakeSchedule({IndexSet{1}, IndexSet{1}});
+  std::vector<FeedbackEvent> good = GoodFeedback(opt, IndexSet{1});
+  EXPECT_TRUE(good.empty());
+}
+
+TEST(FeedbackGenTest, StableScheduleProducesNoVotes) {
+  OptimalSchedule opt =
+      MakeSchedule({IndexSet{3, 4}, IndexSet{3, 4}, IndexSet{3, 4}});
+  EXPECT_TRUE(GoodFeedback(opt, IndexSet{3, 4}).empty());
+}
+
+TEST(FeedbackGenTest, EventsAreOrderedByPosition) {
+  OptimalSchedule opt = MakeSchedule(
+      {IndexSet{}, IndexSet{1}, IndexSet{1, 2}, IndexSet{2}, IndexSet{2}});
+  std::vector<FeedbackEvent> good = GoodFeedback(opt, IndexSet{});
+  ASSERT_EQ(good.size(), 3u);
+  for (size_t i = 1; i < good.size(); ++i) {
+    EXPECT_LT(good[i - 1].after_statement, good[i].after_statement);
+  }
+}
+
+TEST(FeedbackGenTest, EndToEndGoodVotesFromRealOpt) {
+  // Derive VGOOD from an actual OPT schedule: every event's votes must be
+  // disjoint and reference only partition indices.
+  TestDb db;
+  IndexSet part{db.Ix("t1", {"a"}), db.Ix("t1", {"b"})};
+  Workload w;
+  for (int i = 0; i < 10; ++i) {
+    w.push_back(db.Bind("SELECT count(*) FROM t1 WHERE a BETWEEN 0 AND 150"));
+  }
+  for (int i = 0; i < 10; ++i) {
+    w.push_back(db.Bind("UPDATE t1 SET a = a + 1 WHERE k BETWEEN 0 AND 9000"));
+  }
+  OptimalPlanner planner(&db.pool(), &db.optimizer());
+  OptimalSchedule opt = planner.Solve(w, {part}, IndexSet{});
+  std::vector<FeedbackEvent> good = GoodFeedback(opt, IndexSet{});
+  EXPECT_FALSE(good.empty());
+  IndexSet universe;
+  for (const IndexSet& p : std::vector<IndexSet>{part}) {
+    universe = universe.Union(p);
+  }
+  for (const FeedbackEvent& e : good) {
+    EXPECT_TRUE(e.f_plus.Intersect(e.f_minus).empty());
+    EXPECT_TRUE(e.f_plus.IsSubsetOf(universe));
+    EXPECT_TRUE(e.f_minus.IsSubsetOf(universe));
+    EXPECT_GE(e.after_statement, -1);
+    EXPECT_LT(e.after_statement, static_cast<int64_t>(w.size()));
+  }
+}
+
+}  // namespace
+}  // namespace wfit

@@ -1,0 +1,170 @@
+#include "workload/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "catalog/benchmark_schemas.h"
+#include "workload/benchmark_trace.h"
+
+namespace wfit {
+namespace {
+
+TEST(GeneratorTest, DeterministicForSameSeed) {
+  Catalog catalog = BuildBenchmarkCatalog();
+  StatementGenerator g1(&catalog, {}, 42);
+  StatementGenerator g2(&catalog, {}, 42);
+  for (int i = 0; i < 25; ++i) {
+    EXPECT_EQ(g1.GenerateQuery("tpch").sql, g2.GenerateQuery("tpch").sql);
+    EXPECT_EQ(g1.GenerateUpdate("tpcc").sql, g2.GenerateUpdate("tpcc").sql);
+  }
+}
+
+TEST(GeneratorTest, QueriesStayWithinDataset) {
+  Catalog catalog = BuildBenchmarkCatalog();
+  StatementGenerator gen(&catalog, {}, 7);
+  for (int i = 0; i < 50; ++i) {
+    Statement q = gen.GenerateQuery("tpce");
+    EXPECT_EQ(q.kind, StatementKind::kSelect);
+    for (const StatementTable& t : q.tables) {
+      EXPECT_EQ(catalog.table(t.table).dataset, "tpce");
+    }
+  }
+}
+
+TEST(GeneratorTest, QueriesHaveAtLeastOnePredicate) {
+  Catalog catalog = BuildBenchmarkCatalog();
+  StatementGenerator gen(&catalog, {}, 11);
+  for (int i = 0; i < 50; ++i) {
+    Statement q = gen.GenerateQuery("nref");
+    size_t total_preds = 0;
+    for (const StatementTable& t : q.tables) {
+      total_preds += t.predicates.size();
+    }
+    EXPECT_GE(total_preds, 1u) << q.sql;
+  }
+}
+
+TEST(GeneratorTest, JoinsAreConnectedAndBounded) {
+  Catalog catalog = BuildBenchmarkCatalog();
+  GeneratorOptions opts;
+  opts.join_extend_prob = 1.0;  // force maximal join chains
+  StatementGenerator gen(&catalog, opts, 13);
+  for (int i = 0; i < 50; ++i) {
+    Statement q = gen.GenerateQuery("tpch");
+    EXPECT_LE(q.joins.size(), static_cast<size_t>(opts.max_joins));
+    // #tables == #joins + 1 for a connected acyclic join chain.
+    EXPECT_EQ(q.tables.size(), q.joins.size() + 1);
+  }
+}
+
+TEST(GeneratorTest, UpdatesProduceAllThreeKinds) {
+  Catalog catalog = BuildBenchmarkCatalog();
+  StatementGenerator gen(&catalog, {}, 17);
+  std::set<StatementKind> kinds;
+  for (int i = 0; i < 200; ++i) {
+    kinds.insert(gen.GenerateUpdate("tpch").kind);
+  }
+  EXPECT_TRUE(kinds.count(StatementKind::kUpdate));
+  EXPECT_TRUE(kinds.count(StatementKind::kDelete));
+  EXPECT_TRUE(kinds.count(StatementKind::kInsert));
+  EXPECT_FALSE(kinds.count(StatementKind::kSelect));
+}
+
+TEST(GeneratorTest, UpdatesHaveLowSelectivity) {
+  Catalog catalog = BuildBenchmarkCatalog();
+  StatementGenerator gen(&catalog, {}, 19);
+  for (int i = 0; i < 100; ++i) {
+    Statement u = gen.GenerateUpdate("tpce");
+    if (u.kind == StatementKind::kInsert) continue;
+    double sel = Statement::CombinedSelectivity(u.tables[0]);
+    EXPECT_LE(sel, 0.11) << u.sql;  // equality on enum columns can reach ~0.1
+  }
+}
+
+TEST(GeneratorTest, GeneratedSqlRoundTripsThroughParser) {
+  // Finish() already parses; this asserts the SQL text is non-empty and
+  // carries the dataset name.
+  Catalog catalog = BuildBenchmarkCatalog();
+  StatementGenerator gen(&catalog, {}, 23);
+  for (int i = 0; i < 20; ++i) {
+    Statement q = gen.GenerateQuery("tpcc");
+    EXPECT_NE(q.sql.find("tpcc."), std::string::npos) << q.sql;
+  }
+}
+
+TEST(TraceTest, PhaseStructure) {
+  Catalog catalog = BuildBenchmarkCatalog();
+  TraceOptions opts;
+  opts.num_phases = 4;
+  opts.statements_per_phase = 50;
+  std::vector<TraceEntry> trace = GenerateBenchmarkTrace(catalog, opts);
+  ASSERT_EQ(trace.size(), 200u);
+  for (size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(trace[i].phase, static_cast<int>(i / 50));
+  }
+}
+
+TEST(TraceTest, PhasesFocusOnTwoDatasets) {
+  Catalog catalog = BuildBenchmarkCatalog();
+  TraceOptions opts;
+  opts.num_phases = 8;
+  opts.statements_per_phase = 100;
+  std::vector<TraceEntry> trace = GenerateBenchmarkTrace(catalog, opts);
+  for (int phase = 0; phase < 8; ++phase) {
+    std::set<std::string> datasets;
+    int primary_count = 0;
+    const std::string primary = BenchmarkDatasets()[phase % 4];
+    for (const TraceEntry& e : trace) {
+      if (e.phase != phase) continue;
+      datasets.insert(e.dataset);
+      if (e.dataset == primary) ++primary_count;
+    }
+    EXPECT_LE(datasets.size(), 2u);
+    EXPECT_GT(primary_count, 50);  // focus_weight = 0.75 of 100
+  }
+}
+
+TEST(TraceTest, UpdateFractionsVaryByPhase) {
+  Catalog catalog = BuildBenchmarkCatalog();
+  TraceOptions opts;
+  opts.num_phases = 2;
+  opts.statements_per_phase = 300;
+  opts.update_fractions = {0.0, 0.5};
+  std::vector<TraceEntry> trace = GenerateBenchmarkTrace(catalog, opts);
+  int updates_phase0 = 0, updates_phase1 = 0;
+  for (const TraceEntry& e : trace) {
+    if (e.statement.IsUpdateStatement()) {
+      (e.phase == 0 ? updates_phase0 : updates_phase1)++;
+    }
+  }
+  EXPECT_EQ(updates_phase0, 0);
+  EXPECT_NEAR(updates_phase1, 150, 45);
+}
+
+TEST(TraceTest, DeterministicInSeed) {
+  Catalog catalog = BuildBenchmarkCatalog();
+  TraceOptions opts;
+  opts.num_phases = 2;
+  opts.statements_per_phase = 30;
+  auto t1 = GenerateBenchmarkTrace(catalog, opts);
+  auto t2 = GenerateBenchmarkTrace(catalog, opts);
+  ASSERT_EQ(t1.size(), t2.size());
+  for (size_t i = 0; i < t1.size(); ++i) {
+    EXPECT_EQ(t1[i].statement.sql, t2[i].statement.sql);
+  }
+}
+
+TEST(TraceTest, ToWorkloadStripsMetadata) {
+  Catalog catalog = BuildBenchmarkCatalog();
+  TraceOptions opts;
+  opts.num_phases = 1;
+  opts.statements_per_phase = 10;
+  auto trace = GenerateBenchmarkTrace(catalog, opts);
+  Workload w = ToWorkload(trace);
+  ASSERT_EQ(w.size(), 10u);
+  EXPECT_EQ(w[3].sql, trace[3].statement.sql);
+}
+
+}  // namespace
+}  // namespace wfit

@@ -1,0 +1,71 @@
+#include "catalog/index.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace wfit {
+namespace {
+
+using testing::TestDb;
+
+TEST(IndexPoolTest, InternIsIdempotent) {
+  TestDb db;
+  IndexId a = db.Ix("t1", {"a"});
+  IndexId a2 = db.Ix("t1", {"a"});
+  EXPECT_EQ(a, a2);
+  EXPECT_EQ(db.pool().size(), 1u);
+}
+
+TEST(IndexPoolTest, ColumnOrderMatters) {
+  TestDb db;
+  IndexId ab = db.Ix("t1", {"a", "b"});
+  IndexId ba = db.Ix("t1", {"b", "a"});
+  EXPECT_NE(ab, ba);
+}
+
+TEST(IndexPoolTest, DifferentTablesDifferentIndices) {
+  TestDb db;
+  // "fk" on t2 vs "a" on t1: distinct ids even with same ordinal.
+  IndexId i1 = db.Ix("t1", {"k"});
+  IndexId i2 = db.Ix("t2", {"fk"});
+  EXPECT_NE(i1, i2);
+}
+
+TEST(IndexPoolTest, NameIncludesTableAndColumns) {
+  TestDb db;
+  IndexId ab = db.Ix("t1", {"a", "b"});
+  EXPECT_EQ(db.pool().Name(ab), "ix_test.t1(a,b)");
+}
+
+TEST(IndexPoolTest, EntryWidthIsKeyPlusRowPointer) {
+  TestDb db;
+  IndexId a = db.Ix("t1", {"a"});       // 8-byte column
+  IndexId ab = db.Ix("t1", {"a", "b"}); // two 8-byte columns
+  EXPECT_EQ(db.pool().EntryWidth(a), 16u);
+  EXPECT_EQ(db.pool().EntryWidth(ab), 24u);
+}
+
+TEST(IndexPoolTest, IndicesOnTable) {
+  TestDb db;
+  IndexId a = db.Ix("t1", {"a"});
+  IndexId b = db.Ix("t1", {"b"});
+  IndexId x = db.Ix("t2", {"x"});
+  auto t1id = db.catalog().FindTable("t1");
+  ASSERT_TRUE(t1id.ok());
+  std::vector<IndexId> on_t1 = db.pool().IndicesOnTable(*t1id);
+  EXPECT_EQ(on_t1.size(), 2u);
+  EXPECT_NE(std::find(on_t1.begin(), on_t1.end(), a), on_t1.end());
+  EXPECT_NE(std::find(on_t1.begin(), on_t1.end(), b), on_t1.end());
+  EXPECT_EQ(std::find(on_t1.begin(), on_t1.end(), x), on_t1.end());
+}
+
+TEST(IndexPoolDeathTest, EmptyColumnListAborts) {
+  TestDb db;
+  IndexDef def;
+  def.table = 0;
+  EXPECT_DEATH({ db.pool().Intern(def); }, "no columns");
+}
+
+}  // namespace
+}  // namespace wfit

@@ -1,0 +1,84 @@
+#include "core/index_set.h"
+
+#include <gtest/gtest.h>
+
+namespace wfit {
+namespace {
+
+TEST(IndexSetTest, InitializerListSortsAndDedupes) {
+  IndexSet s{5, 1, 3, 1, 5};
+  EXPECT_EQ(s.size(), 3u);
+  std::vector<IndexId> ids(s.begin(), s.end());
+  EXPECT_EQ(ids, (std::vector<IndexId>{1, 3, 5}));
+}
+
+TEST(IndexSetTest, FromVector) {
+  IndexSet s = IndexSet::FromVector({9, 2, 2, 7});
+  EXPECT_EQ(s.ToString(), "{2, 7, 9}");
+}
+
+TEST(IndexSetTest, AddRemoveContains) {
+  IndexSet s;
+  EXPECT_TRUE(s.Add(4));
+  EXPECT_FALSE(s.Add(4));
+  EXPECT_TRUE(s.Contains(4));
+  EXPECT_TRUE(s.Remove(4));
+  EXPECT_FALSE(s.Remove(4));
+  EXPECT_FALSE(s.Contains(4));
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(IndexSetTest, SetAlgebra) {
+  IndexSet a{1, 2, 3};
+  IndexSet b{3, 4};
+  EXPECT_EQ(a.Union(b), (IndexSet{1, 2, 3, 4}));
+  EXPECT_EQ(a.Intersect(b), (IndexSet{3}));
+  EXPECT_EQ(a.Minus(b), (IndexSet{1, 2}));
+  EXPECT_EQ(b.Minus(a), (IndexSet{4}));
+}
+
+TEST(IndexSetTest, SubsetChecks) {
+  IndexSet a{1, 3};
+  IndexSet b{1, 2, 3};
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+  EXPECT_TRUE(IndexSet{}.IsSubsetOf(a));
+  EXPECT_TRUE(a.IsSubsetOf(a));
+}
+
+TEST(IndexSetTest, EqualityAndHash) {
+  IndexSet a{1, 2};
+  IndexSet b{2, 1};
+  IndexSet c{1, 2, 3};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  // Hash inequality is not guaranteed in theory, but must hold for these
+  // small distinct sets in practice.
+  EXPECT_NE(a.Hash(), c.Hash());
+}
+
+TEST(IndexSetTest, AlgebraLeavesOperandsUntouched) {
+  IndexSet a{1, 2};
+  IndexSet b{2, 3};
+  (void)a.Union(b);
+  (void)a.Minus(b);
+  (void)a.Intersect(b);
+  EXPECT_EQ(a, (IndexSet{1, 2}));
+  EXPECT_EQ(b, (IndexSet{2, 3}));
+}
+
+TEST(IndexSetTest, IterationIsSorted) {
+  IndexSet s;
+  for (IndexId id : {9u, 4u, 7u, 1u}) s.Add(id);
+  IndexId prev = 0;
+  bool first = true;
+  for (IndexId id : s) {
+    if (!first) EXPECT_GT(id, prev);
+    prev = id;
+    first = false;
+  }
+}
+
+}  // namespace
+}  // namespace wfit

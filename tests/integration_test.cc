@@ -1,0 +1,158 @@
+// End-to-end mini-reproduction: a scaled-down benchmark trace, the offline
+// fixed partition, and all tuners (WFA+/WFIT, WFIT-IND, BC) measured
+// against OPT — the same pipeline the Fig. 8 bench runs at full scale.
+#include <gtest/gtest.h>
+
+#include "baselines/bc.h"
+#include "baselines/opt.h"
+#include "catalog/benchmark_schemas.h"
+#include "core/wfa_plus.h"
+#include "core/wfit.h"
+#include "harness/experiment.h"
+#include "harness/offline_tuning.h"
+#include "workload/benchmark_trace.h"
+
+namespace wfit {
+namespace {
+
+using harness::ExperimentDriver;
+using harness::ExperimentSeries;
+
+struct MiniBench {
+  /// Shared across tests: construction runs the offline tuning pipeline,
+  /// which is the expensive part.
+  static MiniBench& Shared() {
+    static MiniBench bench;
+    return bench;
+  }
+
+  MiniBench() {
+    catalog = BuildBenchmarkCatalog(BenchmarkScale{0.2});
+    pool = std::make_unique<IndexPool>(&catalog);
+    model = std::make_unique<CostModel>(&catalog, pool.get());
+    optimizer = std::make_unique<WhatIfOptimizer>(model.get());
+
+    TraceOptions trace_options;
+    trace_options.num_phases = 4;
+    trace_options.statements_per_phase = 40;
+    trace_options.seed = 99;
+    workload = ToWorkload(GenerateBenchmarkTrace(catalog, trace_options));
+
+    harness::OfflineTuningOptions offline;
+    offline.idx_cnt = 12;
+    offline.state_cnt = 128;
+    fixed = harness::ComputeFixedPartition(workload, pool.get(),
+                                           optimizer.get(), offline);
+  }
+
+  Catalog catalog;
+  std::unique_ptr<IndexPool> pool;
+  std::unique_ptr<CostModel> model;
+  std::unique_ptr<WhatIfOptimizer> optimizer;
+  Workload workload;
+  harness::OfflinePartitionResult fixed;
+};
+
+TEST(IntegrationTest, OfflinePartitionIsWellFormed) {
+  MiniBench& bench = MiniBench::Shared();
+  EXPECT_GT(bench.fixed.universe_size, bench.fixed.candidates.size());
+  EXPECT_LE(bench.fixed.candidates.size(), 12u);
+  EXPECT_GT(bench.fixed.candidates.size(), 0u);
+  EXPECT_LE(PartitionStates(bench.fixed.partition), 128u);
+  IndexSet covered;
+  for (const IndexSet& p : bench.fixed.partition) {
+    covered = covered.Union(p);
+  }
+  EXPECT_EQ(covered, bench.fixed.candidates);
+  EXPECT_EQ(bench.fixed.singleton_partition.size(),
+            bench.fixed.candidates.size());
+}
+
+TEST(IntegrationTest, FullPipelineOrdering) {
+  MiniBench& bench = MiniBench::Shared();
+  ExperimentDriver driver(&bench.workload, bench.optimizer.get());
+
+  OptimalPlanner planner(bench.pool.get(), bench.optimizer.get());
+  OptimalSchedule opt =
+      planner.Solve(bench.workload, bench.fixed.partition, IndexSet{});
+  ExperimentSeries opt_series =
+      driver.Replay(opt.configs, IndexSet{}, "OPT");
+
+  WfaPlus wfit_fixed(bench.pool.get(), bench.optimizer.get(),
+                     bench.fixed.partition, IndexSet{}, "WFIT");
+  ExperimentSeries wfit_series = driver.Run(&wfit_fixed, IndexSet{}, {});
+
+  WfaPlus wfit_ind(bench.pool.get(), bench.optimizer.get(),
+                   bench.fixed.singleton_partition, IndexSet{}, "WFIT-IND");
+  ExperimentSeries ind_series = driver.Run(&wfit_ind, IndexSet{}, {});
+
+  BcTuner bc(bench.pool.get(), bench.optimizer.get(),
+             bench.fixed.candidates, IndexSet{});
+  ExperimentSeries bc_series = driver.Run(&bc, IndexSet{}, {});
+
+  // OPT is optimal over this configuration space (the partition is built
+  // from measured interactions, so cross-part effects are negligible).
+  EXPECT_LE(opt_series.final_total, wfit_series.final_total * 1.02);
+  EXPECT_LE(opt_series.final_total, ind_series.final_total * 1.02);
+  EXPECT_LE(opt_series.final_total, bc_series.final_total * 1.02);
+
+  // WFIT must land in OPT's ballpark (paper: > 90%; slack for the mini
+  // trace) and must not lose to BC.
+  EXPECT_GT(opt_series.final_total / wfit_series.final_total, 0.6);
+  EXPECT_LE(wfit_series.final_total, bc_series.final_total * 1.10);
+}
+
+TEST(IntegrationTest, AutoWfitRunsTheWholeTrace) {
+  MiniBench& bench = MiniBench::Shared();
+  ExperimentDriver driver(&bench.workload, bench.optimizer.get());
+  WfitOptions options;
+  options.candidates.idx_cnt = 12;
+  options.candidates.state_cnt = 128;
+  options.candidates.creation_penalty_factor = 0.01;
+  Wfit auto_tuner(bench.pool.get(), bench.optimizer.get(), IndexSet{},
+                  options);
+  ExperimentSeries series = driver.Run(&auto_tuner, IndexSet{}, {});
+  EXPECT_EQ(series.cumulative.size(), bench.workload.size());
+  EXPECT_GT(series.final_total, 0.0);
+  EXPECT_GT(auto_tuner.repartition_count(), 0u);
+  // The tuner must keep its self-imposed budgets.
+  EXPECT_LE(auto_tuner.TotalStates(), 128u);
+  size_t total_candidates = 0;
+  for (const IndexSet& p : auto_tuner.partition()) {
+    total_candidates += p.size();
+  }
+  EXPECT_LE(total_candidates, 12u);
+}
+
+TEST(IntegrationTest, GoodFeedbackNeverHurtsMuchBadFeedbackRecovers) {
+  MiniBench& bench = MiniBench::Shared();
+  ExperimentDriver driver(&bench.workload, bench.optimizer.get());
+  OptimalPlanner planner(bench.pool.get(), bench.optimizer.get());
+  OptimalSchedule opt =
+      planner.Solve(bench.workload, bench.fixed.partition, IndexSet{});
+  ExperimentSeries opt_series =
+      driver.Replay(opt.configs, IndexSet{}, "OPT");
+
+  auto run_with = [&](const std::vector<FeedbackEvent>& feedback,
+                      const std::string& name) {
+    WfaPlus tuner(bench.pool.get(), bench.optimizer.get(),
+                  bench.fixed.partition, IndexSet{}, name);
+    return driver.Run(&tuner, IndexSet{}, feedback);
+  };
+
+  ExperimentSeries none = run_with({}, "WFIT");
+  ExperimentSeries good =
+      run_with(GoodFeedback(opt, IndexSet{}), "GOOD");
+  ExperimentSeries bad = run_with(BadFeedback(opt, IndexSet{}), "BAD");
+
+  // Good votes should help (or at worst be neutral within noise).
+  EXPECT_LE(good.final_total, none.final_total * 1.05);
+  // Bad votes cost something but may not be catastrophic.
+  EXPECT_GE(bad.final_total, good.final_total * 0.999);
+  EXPECT_LE(opt_series.final_total, bad.final_total * 1.02);
+  // Recovery: still within a small factor of optimal by the end.
+  EXPECT_GT(opt_series.final_total / bad.final_total, 0.5);
+}
+
+}  // namespace
+}  // namespace wfit

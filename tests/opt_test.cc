@@ -1,0 +1,196 @@
+#include "baselines/opt.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "harness/experiment.h"
+#include "tests/test_util.h"
+
+namespace wfit {
+namespace {
+
+using testing::TestDb;
+
+/// Brute force: enumerate every configuration sequence over the part's
+/// subsets and return the minimum total work.
+double BruteForceOptimum(TestDb& db, const Workload& workload,
+                         const std::vector<IndexId>& members,
+                         const IndexSet& initial) {
+  const size_t n = size_t{1} << members.size();
+  auto to_set = [&](size_t mask) {
+    IndexSet s;
+    for (size_t i = 0; i < members.size(); ++i) {
+      if (mask & (size_t{1} << i)) s.Add(members[i]);
+    }
+    return s;
+  };
+  std::vector<double> dp(n, std::numeric_limits<double>::infinity());
+  size_t init_mask = 0;
+  for (size_t i = 0; i < members.size(); ++i) {
+    if (initial.Contains(members[i])) init_mask |= size_t{1} << i;
+  }
+  dp[init_mask] = 0.0;
+  for (const Statement& q : workload) {
+    std::vector<double> next(n, std::numeric_limits<double>::infinity());
+    for (size_t to = 0; to < n; ++to) {
+      IndexSet to_set_value = to_set(to);
+      double query_cost = db.optimizer().Cost(q, to_set_value);
+      for (size_t from = 0; from < n; ++from) {
+        double transition =
+            db.model().TransitionCost(to_set(from), to_set_value);
+        next[to] = std::min(next[to], dp[from] + transition + query_cost);
+      }
+    }
+    dp = std::move(next);
+  }
+  return *std::min_element(dp.begin(), dp.end());
+}
+
+Workload SmallWorkload(TestDb& db, uint64_t seed, int n) {
+  Rng rng(seed);
+  std::vector<std::string> pool = {
+      "SELECT count(*) FROM t1 WHERE a BETWEEN 0 AND 100",
+      "SELECT count(*) FROM t1 WHERE b BETWEEN 0 AND 40",
+      "UPDATE t1 SET a = a + 1 WHERE k BETWEEN 0 AND 3000",
+      "SELECT d FROM t1 WHERE a = 5 AND b BETWEEN 0 AND 60",
+      "UPDATE t1 SET b = b + 1 WHERE k BETWEEN 0 AND 3000",
+  };
+  Workload w;
+  for (int i = 0; i < n; ++i) {
+    w.push_back(db.Bind(pool[static_cast<size_t>(rng.UniformInt(0, 4))]));
+  }
+  return w;
+}
+
+TEST(OptTest, MatchesBruteForceOnSinglePart) {
+  TestDb db;
+  std::vector<IndexId> members = {db.Ix("t1", {"a"}), db.Ix("t1", {"b"})};
+  IndexSet part = IndexSet::FromVector(members);
+  for (uint64_t seed : {1u, 2u, 3u, 4u}) {
+    Workload w = SmallWorkload(db, seed, 8);
+    OptimalPlanner planner(&db.pool(), &db.optimizer());
+    OptimalSchedule schedule = planner.Solve(w, {part}, IndexSet{});
+    harness::ExperimentDriver driver(&w, &db.optimizer());
+    harness::ExperimentSeries replay =
+        driver.Replay(schedule.configs, IndexSet{}, "OPT");
+    double brute = BruteForceOptimum(db, w, members, IndexSet{});
+    EXPECT_NEAR(replay.final_total, brute, 1e-6 * std::max(1.0, brute))
+        << "seed " << seed;
+    EXPECT_NEAR(schedule.total_work, brute, 1e-6 * std::max(1.0, brute))
+        << "seed " << seed;
+  }
+}
+
+TEST(OptTest, MultiPartDecomposesCorrectly) {
+  // With single-table statements, the per-table partition is stable and
+  // the DP's reported total must equal the replayed (true) total work.
+  TestDb db;
+  IndexSet p1{db.Ix("t1", {"a"}), db.Ix("t1", {"b"})};
+  IndexSet p2{db.Ix("t2", {"x"})};
+  Workload w;
+  Rng rng(77);
+  std::vector<std::string> pool = {
+      "SELECT count(*) FROM t1 WHERE a BETWEEN 0 AND 100",
+      "SELECT count(*) FROM t2 WHERE x = 4",
+      "UPDATE t1 SET b = b + 1 WHERE k BETWEEN 0 AND 1000",
+      "SELECT count(*) FROM t2 WHERE x BETWEEN 0 AND 25",
+  };
+  for (int i = 0; i < 12; ++i) {
+    w.push_back(db.Bind(pool[static_cast<size_t>(rng.UniformInt(0, 3))]));
+  }
+  OptimalPlanner planner(&db.pool(), &db.optimizer());
+  OptimalSchedule schedule = planner.Solve(w, {p1, p2}, IndexSet{});
+  harness::ExperimentDriver driver(&w, &db.optimizer());
+  harness::ExperimentSeries replay =
+      driver.Replay(schedule.configs, IndexSet{}, "OPT");
+  EXPECT_NEAR(schedule.total_work, replay.final_total,
+              1e-6 * std::max(1.0, replay.final_total));
+}
+
+TEST(OptTest, NeverWorseThanStaticConfigurations) {
+  TestDb db;
+  IndexId ia = db.Ix("t1", {"a"});
+  IndexId ib = db.Ix("t1", {"b"});
+  IndexSet part{ia, ib};
+  Workload w = SmallWorkload(db, 9, 15);
+  OptimalPlanner planner(&db.pool(), &db.optimizer());
+  OptimalSchedule schedule = planner.Solve(w, {part}, IndexSet{});
+  harness::ExperimentDriver driver(&w, &db.optimizer());
+  double opt_total =
+      driver.Replay(schedule.configs, IndexSet{}, "OPT").final_total;
+  for (const IndexSet& fixed :
+       {IndexSet{}, IndexSet{ia}, IndexSet{ib}, IndexSet{ia, ib}}) {
+    std::vector<IndexSet> static_schedule(w.size(), fixed);
+    double static_total =
+        driver.Replay(static_schedule, IndexSet{}, "static").final_total;
+    EXPECT_LE(opt_total, static_total + 1e-6);
+  }
+}
+
+TEST(OptTest, RespectsInitialConfiguration) {
+  TestDb db;
+  IndexId ia = db.Ix("t1", {"a"});
+  IndexSet part{ia};
+  // A workload that never references t1.a: OPT should keep (not rebuild)
+  // the index only if dropping costs more; with drop cost > 0 and zero
+  // benefit, dropping once is optimal over a long horizon of updates.
+  Workload w;
+  for (int i = 0; i < 10; ++i) {
+    w.push_back(db.Bind("UPDATE t1 SET a = a + 1 WHERE k BETWEEN 0 AND 4000"));
+  }
+  OptimalPlanner planner(&db.pool(), &db.optimizer());
+  OptimalSchedule schedule = planner.Solve(w, {part}, IndexSet{ia});
+  EXPECT_FALSE(schedule.configs.back().Contains(ia));
+}
+
+TEST(OptTest, PrefixOptimumIsConsistent) {
+  TestDb db;
+  std::vector<IndexId> members = {db.Ix("t1", {"a"}), db.Ix("t1", {"b"})};
+  IndexSet part = IndexSet::FromVector(members);
+  Workload w = SmallWorkload(db, 21, 10);
+  OptimalPlanner planner(&db.pool(), &db.optimizer());
+  OptimalSchedule schedule = planner.Solve(w, {part}, IndexSet{});
+  ASSERT_EQ(schedule.prefix_optimum.size(), w.size());
+  // The last prefix optimum is the whole-workload optimum.
+  EXPECT_NEAR(schedule.prefix_optimum.back(), schedule.total_work,
+              1e-6 * std::max(1.0, schedule.total_work));
+  // Prefix optima are non-decreasing (costs are non-negative).
+  for (size_t n = 1; n < schedule.prefix_optimum.size(); ++n) {
+    EXPECT_GE(schedule.prefix_optimum[n] + 1e-9,
+              schedule.prefix_optimum[n - 1]);
+  }
+  // Each prefix optimum must equal Solve() on the truncated workload.
+  for (size_t len : {size_t{3}, size_t{7}}) {
+    Workload prefix(w.begin(), w.begin() + static_cast<ptrdiff_t>(len));
+    OptimalSchedule sub = planner.Solve(prefix, {part}, IndexSet{});
+    EXPECT_NEAR(schedule.prefix_optimum[len - 1], sub.total_work,
+                1e-6 * std::max(1.0, sub.total_work));
+  }
+  // And no online run over the same space can beat any prefix optimum.
+  harness::ExperimentDriver driver(&w, &db.optimizer());
+  harness::ExperimentSeries opt_series =
+      harness::SeriesFromPrefixOptimum(schedule.prefix_optimum, "OPT");
+  EXPECT_EQ(opt_series.final_total, schedule.prefix_optimum.back());
+}
+
+TEST(OptTest, ScheduleLengthMatchesWorkload) {
+  TestDb db;
+  Workload w = SmallWorkload(db, 3, 5);
+  OptimalPlanner planner(&db.pool(), &db.optimizer());
+  OptimalSchedule schedule =
+      planner.Solve(w, {IndexSet{db.Ix("t1", {"a"})}}, IndexSet{});
+  EXPECT_EQ(schedule.configs.size(), w.size());
+}
+
+TEST(OptTest, EmptyWorkloadYieldsZeroWork) {
+  TestDb db;
+  Workload w;
+  OptimalPlanner planner(&db.pool(), &db.optimizer());
+  OptimalSchedule schedule =
+      planner.Solve(w, {IndexSet{db.Ix("t1", {"a"})}}, IndexSet{});
+  EXPECT_TRUE(schedule.configs.empty());
+  EXPECT_DOUBLE_EQ(schedule.total_work, 0.0);
+}
+
+}  // namespace
+}  // namespace wfit

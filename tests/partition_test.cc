@@ -1,0 +1,161 @@
+#include "core/partition.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace wfit {
+namespace {
+
+PartitionOptions opts_default() { return PartitionOptions{}; }
+
+DoiFn TableDoi(std::map<std::pair<IndexId, IndexId>, double> table) {
+  return [table = std::move(table)](IndexId a, IndexId b) {
+    auto key = std::minmax(a, b);
+    auto it = table.find({key.first, key.second});
+    return it == table.end() ? 0.0 : it->second;
+  };
+}
+
+TEST(PartitionLossTest, NoCrossInteractionsMeansZeroLoss) {
+  DoiFn doi = TableDoi({{{1, 2}, 5.0}});
+  std::vector<IndexSet> parts = {IndexSet{1, 2}, IndexSet{3}};
+  EXPECT_DOUBLE_EQ(PartitionLoss(parts, doi), 0.0);
+}
+
+TEST(PartitionLossTest, CrossPairsSum) {
+  DoiFn doi = TableDoi({{{1, 3}, 5.0}, {{2, 3}, 2.0}, {{1, 2}, 9.0}});
+  std::vector<IndexSet> parts = {IndexSet{1, 2}, IndexSet{3}};
+  // 1-3 and 2-3 cross; 1-2 does not.
+  EXPECT_DOUBLE_EQ(PartitionLoss(parts, doi), 7.0);
+}
+
+TEST(PartitionStatesTest, SumsPowersOfTwo) {
+  std::vector<IndexSet> parts = {IndexSet{1, 2, 3}, IndexSet{4}, IndexSet{5, 6}};
+  EXPECT_EQ(PartitionStates(parts), 8u + 2u + 4u);
+}
+
+TEST(CanonicalizeTest, SortsByMinElementAndDropsEmpties) {
+  std::vector<IndexSet> parts = {IndexSet{5}, IndexSet{}, IndexSet{1, 9}};
+  CanonicalizePartition(&parts);
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0], (IndexSet{1, 9}));
+  EXPECT_EQ(parts[1], (IndexSet{5}));
+}
+
+TEST(ChoosePartitionTest, MergesInteractingPair) {
+  Rng rng(1);
+  DoiFn doi = TableDoi({{{1, 2}, 10.0}});
+  PartitionOptions opts;
+  opts.state_cnt = 100;
+  std::vector<IndexSet> result =
+      ChoosePartition({1, 2, 3}, {}, doi, opts, &rng);
+  // 1 and 2 interact strongly and the budget allows the merge: loss 0.
+  EXPECT_DOUBLE_EQ(PartitionLoss(result, doi), 0.0);
+  bool merged = false;
+  for (const IndexSet& p : result) {
+    if (p.Contains(1) && p.Contains(2)) merged = true;
+  }
+  EXPECT_TRUE(merged);
+}
+
+TEST(ChoosePartitionTest, RespectsStateBudget) {
+  Rng rng(2);
+  // Everything interacts with everything: an unconstrained solution would
+  // be one big part of 6 (2^6 = 64 states).
+  std::map<std::pair<IndexId, IndexId>, double> table;
+  for (IndexId a = 1; a <= 6; ++a) {
+    for (IndexId b = a + 1; b <= 6; ++b) table[{a, b}] = 1.0;
+  }
+  PartitionOptions opts;
+  opts.state_cnt = 20;  // forces splitting
+  std::vector<IndexSet> result =
+      ChoosePartition({1, 2, 3, 4, 5, 6}, {}, TableDoi(table), opts, &rng);
+  EXPECT_LE(PartitionStates(result), opts.state_cnt);
+  IndexSet covered;
+  for (const IndexSet& p : result) covered = covered.Union(p);
+  EXPECT_EQ(covered.size(), 6u);
+}
+
+TEST(ChoosePartitionTest, PartitionCoversExactlyTheInput) {
+  Rng rng(3);
+  DoiFn doi = TableDoi({});
+  PartitionOptions opts;
+  std::vector<IndexSet> result =
+      ChoosePartition({4, 8, 15, 16}, {}, doi, opts, &rng);
+  IndexSet covered;
+  size_t total = 0;
+  for (const IndexSet& p : result) {
+    covered = covered.Union(p);
+    total += p.size();
+  }
+  EXPECT_EQ(covered, (IndexSet{4, 8, 15, 16}));
+  EXPECT_EQ(total, 4u);  // disjoint
+}
+
+TEST(ChoosePartitionTest, NoInteractionsYieldsSingletons) {
+  Rng rng(4);
+  PartitionOptions opts;
+  std::vector<IndexSet> result =
+      ChoosePartition({1, 2, 3}, {}, TableDoi({}), opts, &rng);
+  EXPECT_EQ(result.size(), 3u);
+  for (const IndexSet& p : result) EXPECT_EQ(p.size(), 1u);
+}
+
+TEST(ChoosePartitionTest, BaselineKeepsCurrentPartitionWhenGood) {
+  Rng rng(5);
+  DoiFn doi = TableDoi({{{1, 2}, 3.0}});
+  std::vector<IndexSet> current = {IndexSet{1, 2}, IndexSet{3}};
+  PartitionOptions opts;
+  std::vector<IndexSet> result =
+      ChoosePartition({1, 2, 3}, current, doi, opts, &rng);
+  EXPECT_DOUBLE_EQ(PartitionLoss(result, doi), 0.0);
+}
+
+TEST(ChoosePartitionTest, DropsVanishedIndicesFromBaseline) {
+  Rng rng(6);
+  DoiFn doi = TableDoi({});
+  std::vector<IndexSet> current = {IndexSet{1, 2}, IndexSet{3}};
+  // 2 is no longer a candidate.
+  std::vector<IndexSet> result =
+      ChoosePartition({1, 3}, current, doi, opts_default(), &rng);
+  IndexSet covered;
+  for (const IndexSet& p : result) covered = covered.Union(p);
+  EXPECT_EQ(covered, (IndexSet{1, 3}));
+}
+
+TEST(ChoosePartitionTest, RespectsMaxPartSize) {
+  Rng rng(7);
+  std::map<std::pair<IndexId, IndexId>, double> table;
+  for (IndexId a = 1; a <= 8; ++a) {
+    for (IndexId b = a + 1; b <= 8; ++b) table[{a, b}] = 1.0;
+  }
+  PartitionOptions opts;
+  opts.state_cnt = 100000;
+  opts.max_part_size = 3;
+  std::vector<IndexSet> result =
+      ChoosePartition({1, 2, 3, 4, 5, 6, 7, 8}, {}, TableDoi(table), opts,
+                      &rng);
+  for (const IndexSet& p : result) EXPECT_LE(p.size(), 3u);
+}
+
+TEST(ChoosePartitionTest, DeterministicForSameSeed) {
+  std::map<std::pair<IndexId, IndexId>, double> table;
+  for (IndexId a = 1; a <= 6; ++a) {
+    for (IndexId b = a + 1; b <= 6; ++b) {
+      table[{a, b}] = static_cast<double>((a * 7 + b) % 5);
+    }
+  }
+  PartitionOptions opts;
+  opts.state_cnt = 24;
+  Rng rng1(42), rng2(42);
+  auto r1 = ChoosePartition({1, 2, 3, 4, 5, 6}, {}, TableDoi(table), opts,
+                            &rng1);
+  auto r2 = ChoosePartition({1, 2, 3, 4, 5, 6}, {}, TableDoi(table), opts,
+                            &rng2);
+  EXPECT_EQ(r1.size(), r2.size());
+  for (size_t i = 0; i < r1.size(); ++i) EXPECT_EQ(r1[i], r2[i]);
+}
+
+}  // namespace
+}  // namespace wfit

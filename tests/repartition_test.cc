@@ -1,0 +1,152 @@
+// Repartitioning semantics (Fig. 5 / Lemma B.1): merging per-part work
+// functions with x[X] = Σk w(k)[Ck ∩ X] reproduces — exactly, up to the
+// constant the lemma identifies — the work function a joint instance would
+// have computed, provided the old partition was stable. These tests drive
+// WfaInstance directly with synthetic decomposable cost functions, so the
+// equality can be asserted bit for bit.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/work_function.h"
+
+namespace wfit {
+namespace {
+
+/// Decomposable two-index task system: cost(S) = ca[S∩{a}] + cb[S∩{b}].
+/// With this convention the lemma's correction term vanishes, so the merged
+/// work function must equal the joint one exactly.
+struct TwoPartSystem {
+  std::vector<double> create = {35.0, 50.0};
+  std::vector<double> drop = {2.0, 3.0};
+
+  WfaInstance MakeA() const { return WfaInstance({0}, {create[0]}, {drop[0]}, 0); }
+  WfaInstance MakeB() const { return WfaInstance({1}, {create[1]}, {drop[1]}, 0); }
+  WfaInstance MakeJoint() const {
+    return WfaInstance({0, 1}, create, drop, 0);
+  }
+};
+
+TEST(RepartitionMathTest, MergedWorkFunctionEqualsJointOnStableParts) {
+  TwoPartSystem sys;
+  WfaInstance a = sys.MakeA();
+  WfaInstance b = sys.MakeB();
+  WfaInstance joint = sys.MakeJoint();
+
+  Rng rng(404);
+  for (int round = 0; round < 30; ++round) {
+    double ca0 = static_cast<double>(rng.UniformInt(0, 40));
+    double ca1 = static_cast<double>(rng.UniformInt(0, 40));
+    double cb0 = static_cast<double>(rng.UniformInt(0, 40));
+    double cb1 = static_cast<double>(rng.UniformInt(0, 40));
+    a.AnalyzeQuery([&](Mask s) { return s == 0 ? ca0 : ca1; });
+    b.AnalyzeQuery([&](Mask s) { return s == 0 ? cb0 : cb1; });
+    joint.AnalyzeQuery([&](Mask s) {
+      return ((s & 1) ? ca1 : ca0) + ((s & 2) ? cb1 : cb0);
+    });
+
+    // Fig. 5 line 6: merge the singleton work functions.
+    for (Mask x = 0; x < 4; ++x) {
+      double merged = a.work_value(x & 1) + b.work_value((x >> 1) & 1);
+      ASSERT_NEAR(merged, joint.work_value(x), 1e-9)
+          << "round " << round << " state " << x;
+    }
+    // And the union of the singleton recommendations equals the joint one
+    // (Theorem 4.2 in miniature).
+    Mask unioned = a.recommendation() | (b.recommendation() << 1);
+    ASSERT_EQ(unioned, joint.recommendation()) << "round " << round;
+  }
+}
+
+TEST(RepartitionMathTest, MergedInstanceContinuesLikeJointInstance) {
+  // Run apart, merge via Fig. 5, then verify the merged instance behaves
+  // identically to the joint instance on subsequent statements.
+  TwoPartSystem sys;
+  WfaInstance a = sys.MakeA();
+  WfaInstance b = sys.MakeB();
+  WfaInstance joint = sys.MakeJoint();
+
+  Rng rng(505);
+  auto step = [&](WfaInstance& ia, WfaInstance& ib, WfaInstance& ij) {
+    double ca0 = static_cast<double>(rng.UniformInt(0, 50));
+    double ca1 = static_cast<double>(rng.UniformInt(0, 50));
+    double cb0 = static_cast<double>(rng.UniformInt(0, 50));
+    double cb1 = static_cast<double>(rng.UniformInt(0, 50));
+    ia.AnalyzeQuery([&](Mask s) { return s == 0 ? ca0 : ca1; });
+    ib.AnalyzeQuery([&](Mask s) { return s == 0 ? cb0 : cb1; });
+    ij.AnalyzeQuery([&](Mask s) {
+      return ((s & 1) ? ca1 : ca0) + ((s & 2) ? cb1 : cb0);
+    });
+  };
+  for (int i = 0; i < 10; ++i) step(a, b, joint);
+
+  // Merge {a}, {b} -> {a, b} exactly as Wfit::Repartition does.
+  std::vector<double> x(4);
+  for (Mask m = 0; m < 4; ++m) {
+    x[m] = a.work_value(m & 1) + b.work_value((m >> 1) & 1);
+  }
+  Mask merged_rec = a.recommendation() | (b.recommendation() << 1);
+  WfaInstance merged({0, 1}, sys.create, sys.drop, x, merged_rec);
+  ASSERT_EQ(merged.recommendation(), joint.recommendation());
+
+  // Continue both on identical joint costs: they must never diverge.
+  Rng rng2(606);
+  for (int round = 0; round < 25; ++round) {
+    std::vector<double> costs(4);
+    for (Mask s = 0; s < 4; ++s) {
+      costs[s] = static_cast<double>(rng2.UniformInt(0, 60));
+    }
+    PartCostFn fn = [&costs](Mask s) { return costs[s]; };
+    merged.AnalyzeQuery(fn);
+    joint.AnalyzeQuery(fn);
+    for (Mask s = 0; s < 4; ++s) {
+      ASSERT_NEAR(merged.work_value(s), joint.work_value(s), 1e-9);
+    }
+    ASSERT_EQ(merged.recommendation(), joint.recommendation())
+        << "round " << round;
+  }
+}
+
+TEST(RepartitionMathTest, SplitRecoversSingletonBehaviour) {
+  // The reverse direction of the example in Sec. 5.2.1: splitting a joint
+  // instance into singletons with w(1)[m] = x[m within part] keeps the
+  // recommendations of the parts equal to the joint projections, as long
+  // as the indices truly do not interact.
+  TwoPartSystem sys;
+  WfaInstance joint = sys.MakeJoint();
+  Rng rng(707);
+  for (int i = 0; i < 12; ++i) {
+    double ca0 = static_cast<double>(rng.UniformInt(0, 50));
+    double ca1 = static_cast<double>(rng.UniformInt(0, 50));
+    double cb0 = static_cast<double>(rng.UniformInt(0, 50));
+    double cb1 = static_cast<double>(rng.UniformInt(0, 50));
+    joint.AnalyzeQuery([&](Mask s) {
+      return ((s & 1) ? ca1 : ca0) + ((s & 2) ? cb1 : cb0);
+    });
+  }
+  // Split per the paper: w(1)[m] = x[{a}-projection], w(2)[m] = x[{b}-...].
+  WfaInstance split_a({0}, {sys.create[0]}, {sys.drop[0]},
+                      {joint.work_value(0), joint.work_value(1)},
+                      joint.recommendation() & 1);
+  WfaInstance split_b({1}, {sys.create[1]}, {sys.drop[1]},
+                      {joint.work_value(0), joint.work_value(2)},
+                      (joint.recommendation() >> 1) & 1);
+  Rng rng2(808);
+  for (int round = 0; round < 20; ++round) {
+    double ca0 = static_cast<double>(rng2.UniformInt(0, 50));
+    double ca1 = static_cast<double>(rng2.UniformInt(0, 50));
+    double cb0 = static_cast<double>(rng2.UniformInt(0, 50));
+    double cb1 = static_cast<double>(rng2.UniformInt(0, 50));
+    split_a.AnalyzeQuery([&](Mask s) { return s == 0 ? ca0 : ca1; });
+    split_b.AnalyzeQuery([&](Mask s) { return s == 0 ? cb0 : cb1; });
+    joint.AnalyzeQuery([&](Mask s) {
+      return ((s & 1) ? ca1 : ca0) + ((s & 2) ? cb1 : cb0);
+    });
+    Mask unioned = split_a.recommendation() | (split_b.recommendation() << 1);
+    ASSERT_EQ(unioned, joint.recommendation()) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace wfit

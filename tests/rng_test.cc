@@ -1,0 +1,115 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace wfit {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000000), b.UniformInt(0, 1000000));
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 50 && !any_diff; ++i) {
+    any_diff = a.UniformInt(0, 1 << 30) != b.UniformInt(0, 1 << 30);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, UniformIntWithinBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformIntDegenerateRange) {
+  Rng rng(7);
+  EXPECT_EQ(rng.UniformInt(3, 3), 3);
+}
+
+TEST(RngTest, UniformRealWithinBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.Uniform(2.0, 3.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(11);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRoughlyCalibrated) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.25) ? 1 : 0;
+  double rate = static_cast<double>(hits) / n;
+  EXPECT_NEAR(rate, 0.25, 0.02);
+}
+
+TEST(RngTest, PickWeightedRespectsZeroWeights) {
+  Rng rng(17);
+  std::vector<double> weights = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.PickWeighted(weights), 1u);
+  }
+}
+
+TEST(RngTest, PickWeightedRoughlyProportional) {
+  Rng rng(19);
+  std::vector<double> weights = {1.0, 3.0};
+  int counts[2] = {0, 0};
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[rng.PickWeighted(weights)];
+  double frac = static_cast<double>(counts[1]) / n;
+  EXPECT_NEAR(frac, 0.75, 0.02);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(23);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(&shuffled);
+  std::multiset<int> a(v.begin(), v.end());
+  std::multiset<int> b(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RngTest, ForkIsIndependentButDeterministic) {
+  Rng a(31), b(31);
+  Rng fa = a.Fork();
+  Rng fb = b.Fork();
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(fa.UniformInt(0, 1 << 20), fb.UniformInt(0, 1 << 20));
+  }
+}
+
+TEST(RngDeathTest, EmptyRangeAborts) {
+  Rng rng(1);
+  EXPECT_DEATH({ (void)rng.UniformInt(2, 1); }, "empty range");
+}
+
+TEST(RngDeathTest, AllZeroWeightsAborts) {
+  Rng rng(1);
+  std::vector<double> weights = {0.0, 0.0};
+  EXPECT_DEATH({ (void)rng.PickWeighted(weights); }, "all weights zero");
+}
+
+}  // namespace
+}  // namespace wfit

@@ -1,0 +1,86 @@
+#include "optimizer/selectivity.h"
+
+#include <gtest/gtest.h>
+
+namespace wfit {
+namespace {
+
+ColumnInfo Col(uint64_t distinct, double lo, double hi) {
+  ColumnInfo c;
+  c.name = "c";
+  c.distinct_values = distinct;
+  c.width_bytes = 8;
+  c.min_value = lo;
+  c.max_value = hi;
+  return c;
+}
+
+TEST(SelectivityTest, Equality) {
+  EXPECT_DOUBLE_EQ(EqualitySelectivity(Col(100, 0, 1)), 0.01);
+  EXPECT_DOUBLE_EQ(EqualitySelectivity(Col(1, 0, 1)), 1.0);
+}
+
+TEST(SelectivityTest, RangeBasic) {
+  ColumnInfo c = Col(1000, 0, 100);
+  EXPECT_NEAR(RangeSelectivity(c, 0, 10), 0.1, 1e-12);
+  EXPECT_NEAR(RangeSelectivity(c, 0, 100), 1.0, 1e-12);
+}
+
+TEST(SelectivityTest, RangeClampsToDomain) {
+  ColumnInfo c = Col(1000, 0, 100);
+  EXPECT_NEAR(RangeSelectivity(c, -50, 10), 0.1, 1e-12);
+  EXPECT_NEAR(RangeSelectivity(c, -50, 150), 1.0, 1e-12);
+}
+
+TEST(SelectivityTest, RangeOutsideDomainIsZero) {
+  ColumnInfo c = Col(1000, 0, 100);
+  EXPECT_DOUBLE_EQ(RangeSelectivity(c, 200, 300), 0.0);
+  EXPECT_DOUBLE_EQ(RangeSelectivity(c, 10, 5), 0.0);
+}
+
+TEST(SelectivityTest, DegenerateRangeFloorsAtOneValueGroup) {
+  ColumnInfo c = Col(1000, 0, 100);
+  // A point range selects at least 1/distinct.
+  EXPECT_DOUBLE_EQ(RangeSelectivity(c, 50, 50), 1.0 / 1000);
+}
+
+TEST(SelectivityTest, CompareOps) {
+  ColumnInfo c = Col(100, 0, 100);
+  EXPECT_DOUBLE_EQ(CompareSelectivity(c, sql::CompareOp::kEq, 5), 0.01);
+  EXPECT_DOUBLE_EQ(CompareSelectivity(c, sql::CompareOp::kEq, 500), 0.0);
+  EXPECT_NEAR(CompareSelectivity(c, sql::CompareOp::kLt, 25), 0.25, 1e-12);
+  EXPECT_NEAR(CompareSelectivity(c, sql::CompareOp::kGe, 75), 0.25, 1e-12);
+  EXPECT_NEAR(CompareSelectivity(c, sql::CompareOp::kNe, 5), 0.99, 1e-12);
+}
+
+TEST(SelectivityTest, JoinUsesLargerDistinctCount) {
+  EXPECT_DOUBLE_EQ(JoinSelectivity(Col(100, 0, 1), Col(1000, 0, 1)), 0.001);
+  EXPECT_DOUBLE_EQ(JoinSelectivity(Col(1000, 0, 1), Col(100, 0, 1)), 0.001);
+}
+
+TEST(SelectivityTest, StringMappingIsDeterministicAndInDomain) {
+  ColumnInfo c = Col(100, 10, 20);
+  double v1 = MapStringToDomain(c, "hello");
+  double v2 = MapStringToDomain(c, "hello");
+  double v3 = MapStringToDomain(c, "world");
+  EXPECT_DOUBLE_EQ(v1, v2);
+  EXPECT_NE(v1, v3);
+  EXPECT_GE(v1, 10.0);
+  EXPECT_LE(v1, 20.0);
+}
+
+class RangeWidthSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RangeWidthSweep, SelectivityProportionalToWidth) {
+  ColumnInfo c = Col(1000000, 0, 1000);
+  double width = GetParam();
+  double sel = RangeSelectivity(c, 100, 100 + width);
+  EXPECT_NEAR(sel, width / 1000.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, RangeWidthSweep,
+                         ::testing::Values(0.01, 0.1, 1.0, 10.0, 100.0,
+                                           500.0));
+
+}  // namespace
+}  // namespace wfit

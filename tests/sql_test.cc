@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include "sql/lexer.h"
+#include "sql/parser.h"
+#include "sql/printer.h"
+
+namespace wfit::sql {
+namespace {
+
+TEST(LexerTest, BasicTokens) {
+  auto tokens = Lex("SELECT a, b FROM t WHERE x >= 1.5;");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_GE(tokens->size(), 11u);
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ((*tokens)[0].text, "SELECT");
+  EXPECT_EQ(tokens->back().kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, NumbersAndNegatives) {
+  auto tokens = Lex("12 3.25 1e6 .5");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_DOUBLE_EQ((*tokens)[0].number, 12.0);
+  EXPECT_DOUBLE_EQ((*tokens)[1].number, 3.25);
+  EXPECT_DOUBLE_EQ((*tokens)[2].number, 1e6);
+  EXPECT_DOUBLE_EQ((*tokens)[3].number, 0.5);
+}
+
+TEST(LexerTest, StringsWithEscapedQuote) {
+  auto tokens = Lex("'it''s'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kString);
+  EXPECT_EQ((*tokens)[0].text, "it's");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  auto tokens = Lex("'oops");
+  EXPECT_FALSE(tokens.ok());
+  EXPECT_EQ(tokens.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LexerTest, ComparisonOperators) {
+  auto tokens = Lex("< <= > >= = <> !=");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kLt);
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kLe);
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kGt);
+  EXPECT_EQ((*tokens)[3].kind, TokenKind::kGe);
+  EXPECT_EQ((*tokens)[4].kind, TokenKind::kEq);
+  EXPECT_EQ((*tokens)[5].kind, TokenKind::kNe);
+  EXPECT_EQ((*tokens)[6].kind, TokenKind::kNe);
+}
+
+TEST(LexerTest, LineComments) {
+  auto tokens = Lex("a -- comment here\n b");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 3u);  // a, b, end
+  EXPECT_EQ((*tokens)[1].text, "b");
+}
+
+TEST(ParserTest, SimpleSelect) {
+  auto stmt = ParseStatement("SELECT count(*) FROM t WHERE a = 5");
+  ASSERT_TRUE(stmt.ok());
+  const auto& sel = std::get<SelectStmt>(*stmt);
+  EXPECT_TRUE(sel.count_star);
+  ASSERT_EQ(sel.from.size(), 1u);
+  EXPECT_EQ(sel.from[0].name, "t");
+  ASSERT_EQ(sel.where.size(), 1u);
+  EXPECT_EQ(sel.where[0].kind, Predicate::Kind::kCompare);
+  EXPECT_EQ(sel.where[0].op, CompareOp::kEq);
+  EXPECT_DOUBLE_EQ(sel.where[0].value.number, 5.0);
+}
+
+TEST(ParserTest, PaperExampleQueryParses) {
+  // Sec. 6.1's example query, verbatim modulo whitespace.
+  const char* sql =
+      "SELECT count(*) "
+      "FROM tpce.security table1, tpce.company table2, "
+      "     tpce.daily_market table0 "
+      "WHERE table1.s_pe BETWEEN 63.278 AND 86.091 "
+      "AND table1.s_exch_date BETWEEN '1995-05-12-01.46.40' "
+      "    AND '2006-07-10-01.46.40' "
+      "AND table2.co_open_date BETWEEN '1812-08-05-03.21.02' "
+      "    AND '1812-12-12-03.21.02' "
+      "AND table1.s_symb = table0.dm_s_symb "
+      "AND table2.co_id = table1.s_co_id";
+  auto stmt = ParseStatement(sql);
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const auto& sel = std::get<SelectStmt>(*stmt);
+  EXPECT_TRUE(sel.count_star);
+  EXPECT_EQ(sel.from.size(), 3u);
+  EXPECT_EQ(sel.from[0].alias, "table1");
+  ASSERT_EQ(sel.where.size(), 5u);
+  EXPECT_EQ(sel.where[0].kind, Predicate::Kind::kBetween);
+  EXPECT_EQ(sel.where[1].kind, Predicate::Kind::kBetween);
+  EXPECT_TRUE(sel.where[1].low.is_string);
+  EXPECT_EQ(sel.where[3].kind, Predicate::Kind::kJoin);
+  EXPECT_EQ(sel.where[4].kind, Predicate::Kind::kJoin);
+}
+
+TEST(ParserTest, PaperExampleUpdateParses) {
+  // Sec. 6.1's example update, with its user-defined function in SET.
+  const char* sql =
+      "UPDATE tpch.lineitem "
+      "SET l_tax = l_tax + RANDOM_SIGN()*0.000001 "
+      "WHERE l_extendedprice BETWEEN 65522.378 AND 66256.943";
+  auto stmt = ParseStatement(sql);
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const auto& upd = std::get<UpdateStmt>(*stmt);
+  EXPECT_EQ(upd.table, "tpch.lineitem");
+  ASSERT_EQ(upd.set_columns.size(), 1u);
+  EXPECT_EQ(upd.set_columns[0], "l_tax");
+  ASSERT_EQ(upd.where.size(), 1u);
+  EXPECT_EQ(upd.where[0].kind, Predicate::Kind::kBetween);
+}
+
+TEST(ParserTest, SelectWithOrderAndGroup) {
+  auto stmt = ParseStatement(
+      "SELECT a FROM t WHERE b < 3 GROUP BY a ORDER BY a DESC");
+  ASSERT_TRUE(stmt.ok());
+  const auto& sel = std::get<SelectStmt>(*stmt);
+  ASSERT_EQ(sel.group_by.size(), 1u);
+  ASSERT_EQ(sel.order_by.size(), 1u);
+  EXPECT_EQ(sel.order_by[0].column, "a");
+}
+
+TEST(ParserTest, SelectStar) {
+  auto stmt = ParseStatement("SELECT * FROM t");
+  ASSERT_TRUE(stmt.ok());
+  const auto& sel = std::get<SelectStmt>(*stmt);
+  EXPECT_FALSE(sel.count_star);
+  EXPECT_TRUE(sel.select_list.empty());
+}
+
+TEST(ParserTest, DeleteStatement) {
+  auto stmt = ParseStatement("DELETE FROM ds.t WHERE a BETWEEN 1 AND 2");
+  ASSERT_TRUE(stmt.ok());
+  const auto& del = std::get<DeleteStmt>(*stmt);
+  EXPECT_EQ(del.table, "ds.t");
+  EXPECT_EQ(del.where.size(), 1u);
+}
+
+TEST(ParserTest, InsertCountsTuples) {
+  auto stmt = ParseStatement("INSERT INTO t VALUES (1, 2), (3, 4), (5, 6)");
+  ASSERT_TRUE(stmt.ok());
+  const auto& ins = std::get<InsertStmt>(*stmt);
+  EXPECT_EQ(ins.table, "t");
+  EXPECT_EQ(ins.num_rows, 3u);
+}
+
+TEST(ParserTest, NegativeLiterals) {
+  auto stmt = ParseStatement("SELECT count(*) FROM t WHERE a > -5");
+  ASSERT_TRUE(stmt.ok());
+  const auto& sel = std::get<SelectStmt>(*stmt);
+  EXPECT_DOUBLE_EQ(sel.where[0].value.number, -5.0);
+}
+
+TEST(ParserTest, KeywordsAreCaseInsensitive) {
+  auto stmt = ParseStatement("select count(*) from t where a = 1");
+  EXPECT_TRUE(stmt.ok());
+}
+
+TEST(ParserTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseStatement("FOO BAR").ok());
+  EXPECT_FALSE(ParseStatement("SELECT count(*) FROM").ok());
+  EXPECT_FALSE(ParseStatement("SELECT count(*) FROM t WHERE").ok());
+  EXPECT_FALSE(ParseStatement("UPDATE t SET").ok());
+  EXPECT_FALSE(ParseStatement("SELECT count(*) FROM t trailing junk=").ok());
+}
+
+TEST(ParserTest, RejectsNonEqualityJoin) {
+  EXPECT_FALSE(ParseStatement("SELECT count(*) FROM a, b WHERE a.x < b.y").ok());
+}
+
+TEST(ParserTest, ScriptParsesMultipleStatements) {
+  auto script = ParseScript(
+      "SELECT count(*) FROM t; DELETE FROM t WHERE a = 1;\n"
+      "INSERT INTO t VALUES (1)");
+  ASSERT_TRUE(script.ok()) << script.status().ToString();
+  EXPECT_EQ(script->size(), 3u);
+}
+
+TEST(PrinterTest, SelectRoundTrip) {
+  const char* sql =
+      "SELECT count(*) FROM ds.t WHERE a BETWEEN 1 AND 2 AND b = 3 "
+      "ORDER BY c";
+  auto stmt = ParseStatement(sql);
+  ASSERT_TRUE(stmt.ok());
+  std::string printed = Print(*stmt);
+  auto reparsed = ParseStatement(printed);
+  ASSERT_TRUE(reparsed.ok()) << printed;
+  EXPECT_EQ(Print(*reparsed), printed);  // fixed point after one round
+}
+
+TEST(PrinterTest, UpdateRoundTrip) {
+  auto stmt = ParseStatement("UPDATE t SET a = a + 1 WHERE b = 2");
+  ASSERT_TRUE(stmt.ok());
+  std::string printed = Print(*stmt);
+  auto reparsed = ParseStatement(printed);
+  ASSERT_TRUE(reparsed.ok()) << printed;
+  const auto& upd = std::get<UpdateStmt>(*reparsed);
+  EXPECT_EQ(upd.set_columns, std::vector<std::string>{"a"});
+}
+
+TEST(PrinterTest, InsertRoundTripPreservesRowCount) {
+  auto stmt = ParseStatement("INSERT INTO t VALUES (1), (2), (3), (4)");
+  ASSERT_TRUE(stmt.ok());
+  auto reparsed = ParseStatement(Print(*stmt));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(std::get<InsertStmt>(*reparsed).num_rows, 4u);
+}
+
+TEST(PrinterTest, JoinPredicateRoundTrip) {
+  auto stmt = ParseStatement(
+      "SELECT count(*) FROM a, b WHERE a.x = b.y AND a.z = 1");
+  ASSERT_TRUE(stmt.ok());
+  auto reparsed = ParseStatement(Print(*stmt));
+  ASSERT_TRUE(reparsed.ok());
+  const auto& sel = std::get<SelectStmt>(*reparsed);
+  EXPECT_EQ(sel.where[0].kind, Predicate::Kind::kJoin);
+}
+
+}  // namespace
+}  // namespace wfit::sql

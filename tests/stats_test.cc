@@ -1,0 +1,111 @@
+#include "core/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace wfit {
+namespace {
+
+TEST(RecencyWindowTest, EmptyWindowIsZero) {
+  RecencyWindow w(10);
+  EXPECT_DOUBLE_EQ(w.CurrentValue(100), 0.0);
+  EXPECT_TRUE(w.empty());
+}
+
+TEST(RecencyWindowTest, SingleEntryFormula) {
+  RecencyWindow w(10);
+  w.Record(5, 12.0);
+  // value*_N = 12 / (N − 5 + 1).
+  EXPECT_DOUBLE_EQ(w.CurrentValue(5), 12.0);
+  EXPECT_DOUBLE_EQ(w.CurrentValue(10), 12.0 / 6.0);
+  EXPECT_DOUBLE_EQ(w.CurrentValue(16), 1.0);
+}
+
+TEST(RecencyWindowTest, MaxOverSuffixAverages) {
+  // Entries (n=1,b=10), (n=9,b=1), now N=10:
+  //   ℓ=1: 1 / (10−9+1)      = 0.5
+  //   ℓ=2: (1+10) / (10−1+1) = 1.1   <- max
+  RecencyWindow w(10);
+  w.Record(1, 10.0);
+  w.Record(9, 1.0);
+  EXPECT_DOUBLE_EQ(w.CurrentValue(10), 1.1);
+}
+
+TEST(RecencyWindowTest, RecentSpikesDominate) {
+  // A big recent benefit outweighs a long history of small ones.
+  RecencyWindow w(100);
+  for (uint64_t n = 1; n <= 50; ++n) w.Record(n, 1.0);
+  w.Record(51, 100.0);
+  // ℓ=1: 100/1 = 100 clearly the max.
+  EXPECT_DOUBLE_EQ(w.CurrentValue(51), 100.0);
+}
+
+TEST(RecencyWindowTest, HistSizeEvictsOldest) {
+  RecencyWindow w(3);
+  w.Record(1, 1000.0);  // will be evicted
+  w.Record(2, 1.0);
+  w.Record(3, 1.0);
+  w.Record(4, 1.0);
+  EXPECT_EQ(w.size(), 3u);
+  // If the 1000 entry survived, the value at N=4 would be ≥ 1000/4 = 250.
+  EXPECT_LT(w.CurrentValue(4), 10.0);
+}
+
+TEST(RecencyWindowDeathTest, DecreasingPositionsAbort) {
+  RecencyWindow w(4);
+  w.Record(10, 1.0);
+  EXPECT_DEATH({ w.Record(9, 1.0); }, "non-decreasing");
+}
+
+TEST(BenefitStatsTest, IgnoresNonPositiveBenefits) {
+  BenefitStats stats(10);
+  stats.Record(1, 1, 0.0);
+  stats.Record(1, 2, -5.0);
+  EXPECT_DOUBLE_EQ(stats.CurrentBenefit(1, 5), 0.0);
+  stats.Record(1, 3, 6.0);
+  EXPECT_GT(stats.CurrentBenefit(1, 3), 0.0);
+}
+
+TEST(BenefitStatsTest, UnknownIndexIsZero) {
+  BenefitStats stats(10);
+  EXPECT_DOUBLE_EQ(stats.CurrentBenefit(42, 100), 0.0);
+}
+
+TEST(BenefitStatsTest, TracksIndicesIndependently) {
+  BenefitStats stats(10);
+  stats.Record(1, 5, 10.0);
+  stats.Record(2, 5, 20.0);
+  EXPECT_DOUBLE_EQ(stats.CurrentBenefit(1, 5), 10.0);
+  EXPECT_DOUBLE_EQ(stats.CurrentBenefit(2, 5), 20.0);
+}
+
+TEST(InteractionStatsTest, PairKeyIsUnordered) {
+  InteractionStats stats(10);
+  stats.Record(3, 7, 1, 5.0);
+  EXPECT_DOUBLE_EQ(stats.CurrentDoi(3, 7, 1), 5.0);
+  EXPECT_DOUBLE_EQ(stats.CurrentDoi(7, 3, 1), 5.0);
+  EXPECT_TRUE(stats.HasInteraction(7, 3));
+  EXPECT_FALSE(stats.HasInteraction(3, 8));
+}
+
+TEST(InteractionStatsTest, IgnoresZeroDoi) {
+  InteractionStats stats(10);
+  stats.Record(1, 2, 1, 0.0);
+  EXPECT_FALSE(stats.HasInteraction(1, 2));
+}
+
+TEST(InteractionStatsDeathTest, SelfPairAborts) {
+  InteractionStats stats(10);
+  EXPECT_DEATH({ stats.Record(4, 4, 1, 1.0); }, "itself");
+}
+
+TEST(InteractionStatsTest, DecaysWithDistance) {
+  InteractionStats stats(10);
+  stats.Record(1, 2, 10, 8.0);
+  double near = stats.CurrentDoi(1, 2, 10);
+  double far = stats.CurrentDoi(1, 2, 100);
+  EXPECT_GT(near, far);
+  EXPECT_GT(far, 0.0);
+}
+
+}  // namespace
+}  // namespace wfit

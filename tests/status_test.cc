@@ -1,0 +1,86 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace wfit {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  struct Case {
+    Status status;
+    StatusCode code;
+    const char* rendered;
+  };
+  const Case cases[] = {
+      {Status::InvalidArgument("m"), StatusCode::kInvalidArgument,
+       "InvalidArgument: m"},
+      {Status::NotFound("m"), StatusCode::kNotFound, "NotFound: m"},
+      {Status::AlreadyExists("m"), StatusCode::kAlreadyExists,
+       "AlreadyExists: m"},
+      {Status::OutOfRange("m"), StatusCode::kOutOfRange, "OutOfRange: m"},
+      {Status::FailedPrecondition("m"), StatusCode::kFailedPrecondition,
+       "FailedPrecondition: m"},
+      {Status::Internal("m"), StatusCode::kInternal, "Internal: m"},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_EQ(c.status.message(), "m");
+    EXPECT_EQ(c.status.ToString(), c.rendered);
+  }
+}
+
+TEST(StatusTest, EmptyMessageRendersCodeOnly) {
+  EXPECT_EQ(Status::NotFound("").ToString(), "NotFound");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(v.value(), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v(Status::NotFound("nope"));
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> v(std::string("payload"));
+  std::string taken = std::move(v).value();
+  EXPECT_EQ(taken, "payload");
+}
+
+TEST(StatusOrTest, ArrowOperator) {
+  StatusOr<std::string> v(std::string("abc"));
+  EXPECT_EQ(v->size(), 3u);
+}
+
+Status Fails() { return Status::OutOfRange("deep"); }
+Status Propagates() {
+  WFIT_RETURN_IF_ERROR(Fails());
+  return Status::Ok();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  Status s = Propagates();
+  EXPECT_EQ(s.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(s.message(), "deep");
+}
+
+TEST(StatusDeathTest, ValueOnErrorAborts) {
+  StatusOr<int> v(Status::Internal("boom"));
+  EXPECT_DEATH({ (void)v.value(); }, "StatusOr");
+}
+
+}  // namespace
+}  // namespace wfit

@@ -1,0 +1,199 @@
+#include "core/wfa_plus.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/opt.h"
+#include "common/rng.h"
+#include "harness/experiment.h"
+#include "tests/test_util.h"
+
+namespace wfit {
+namespace {
+
+using testing::TestDb;
+
+std::vector<Statement> MixedWorkload(TestDb& db, uint64_t seed, int n) {
+  // Single-table statements over t1 / t2 / t3: indices on different tables
+  // cannot interact, so {indices(t1)}, {indices(t2)}, ... is stable.
+  std::vector<std::string> pool = {
+      "SELECT count(*) FROM t1 WHERE a BETWEEN 0 AND 120",
+      "SELECT count(*) FROM t1 WHERE a = 7 AND b BETWEEN 0 AND 60",
+      "SELECT d FROM t1 WHERE b BETWEEN 0 AND 40",
+      "UPDATE t1 SET a = a + 1 WHERE b BETWEEN 0 AND 4",
+      "SELECT count(*) FROM t2 WHERE x = 11",
+      "SELECT count(*) FROM t2 WHERE x BETWEEN 0 AND 30",
+      "DELETE FROM t2 WHERE x = 3",
+      "SELECT count(*) FROM t3 WHERE v = 5",
+  };
+  Rng rng(seed);
+  std::vector<Statement> out;
+  for (int i = 0; i < n; ++i) {
+    out.push_back(db.Bind(
+        pool[static_cast<size_t>(rng.UniformInt(0, 7))]));
+  }
+  return out;
+}
+
+TEST(WfaPlusTest, RelevantCandidatesFiltersByTable) {
+  TestDb db;
+  Statement q = db.Bind("SELECT count(*) FROM t1 WHERE a = 1");
+  std::vector<IndexId> universe = {db.Ix("t1", {"a"}), db.Ix("t2", {"x"}),
+                                   db.Ix("t1", {"b"})};
+  std::vector<IndexId> relevant = RelevantCandidates(q, db.pool(), universe);
+  EXPECT_EQ(relevant.size(), 2u);
+  for (IndexId id : relevant) {
+    EXPECT_EQ(db.pool().def(id).table, 0u);
+  }
+}
+
+TEST(WfaPlusTest, RelevantCandidatesHonorsCap) {
+  TestDb db;
+  Statement q = db.Bind("SELECT count(*) FROM t1 WHERE a = 1");
+  std::vector<IndexId> universe;
+  for (const char* col : {"k", "a", "b", "c", "d"}) {
+    universe.push_back(db.Ix("t1", {col}));
+  }
+  EXPECT_EQ(RelevantCandidates(q, db.pool(), universe, 3).size(), 3u);
+}
+
+TEST(WfaPlusTest, Theorem42PartitionedEqualsMonolithic) {
+  // WFA+ on the stable partition {t1-indices}, {t2-indices}, {t3-indices}
+  // must recommend exactly what a single monolithic WFA over all indices
+  // recommends, statement by statement (Theorem 4.2).
+  TestDb db;
+  IndexSet t1_part{db.Ix("t1", {"a"}), db.Ix("t1", {"b"}),
+                   db.Ix("t1", {"a", "b"})};
+  IndexSet t2_part{db.Ix("t2", {"x"})};
+  IndexSet t3_part{db.Ix("t3", {"v"})};
+  IndexSet all = t1_part.Union(t2_part).Union(t3_part);
+
+  WfaPlus partitioned(&db.pool(), &db.optimizer(),
+                      {t1_part, t2_part, t3_part}, IndexSet{});
+  WfaPlus monolithic(&db.pool(), &db.optimizer(), {all}, IndexSet{});
+
+  for (const Statement& q : MixedWorkload(db, 31337, 60)) {
+    partitioned.AnalyzeQuery(q);
+    monolithic.AnalyzeQuery(q);
+    ASSERT_EQ(partitioned.Recommendation(), monolithic.Recommendation())
+        << "diverged on: " << q.sql;
+  }
+}
+
+TEST(WfaPlusTest, Theorem42HoldsWithNonEmptyInitialConfig) {
+  TestDb db;
+  IndexSet t1_part{db.Ix("t1", {"a"}), db.Ix("t1", {"b"})};
+  IndexSet t2_part{db.Ix("t2", {"x"})};
+  IndexSet initial{db.Ix("t1", {"a"}), db.Ix("t2", {"x"})};
+  IndexSet all = t1_part.Union(t2_part);
+
+  WfaPlus partitioned(&db.pool(), &db.optimizer(), {t1_part, t2_part},
+                      initial);
+  WfaPlus monolithic(&db.pool(), &db.optimizer(), {all}, initial);
+  EXPECT_EQ(partitioned.Recommendation(), initial);
+  EXPECT_EQ(monolithic.Recommendation(), initial);
+
+  for (const Statement& q : MixedWorkload(db, 555, 40)) {
+    partitioned.AnalyzeQuery(q);
+    monolithic.AnalyzeQuery(q);
+    ASSERT_EQ(partitioned.Recommendation(), monolithic.Recommendation())
+        << "diverged on: " << q.sql;
+  }
+}
+
+TEST(WfaPlusTest, TotalStatesSumsParts) {
+  TestDb db;
+  IndexSet p1{db.Ix("t1", {"a"}), db.Ix("t1", {"b"})};
+  IndexSet p2{db.Ix("t2", {"x"})};
+  WfaPlus tuner(&db.pool(), &db.optimizer(), {p1, p2}, IndexSet{});
+  EXPECT_EQ(tuner.TotalStates(), 4u + 2u);
+}
+
+TEST(WfaPlusTest, RecommendsBeneficialIndexUnderRepeatedQueries) {
+  TestDb db;
+  IndexId ia = db.Ix("t1", {"a"});
+  WfaPlus tuner(&db.pool(), &db.optimizer(), {IndexSet{ia}}, IndexSet{});
+  Statement q = db.Bind("SELECT count(*) FROM t1 WHERE a = 42");
+  // The index pays for itself after enough repetitions.
+  for (int i = 0; i < 100 && !tuner.Recommendation().Contains(ia); ++i) {
+    tuner.AnalyzeQuery(q);
+  }
+  EXPECT_TRUE(tuner.Recommendation().Contains(ia));
+}
+
+TEST(WfaPlusTest, DropsIndexUnderUpdateHeavyWorkload) {
+  TestDb db;
+  IndexId ia = db.Ix("t1", {"a"});
+  WfaPlus tuner(&db.pool(), &db.optimizer(), {IndexSet{ia}}, IndexSet{ia});
+  Statement u = db.Bind("UPDATE t1 SET a = a + 1 WHERE k BETWEEN 0 AND 5000");
+  for (int i = 0; i < 200 && tuner.Recommendation().Contains(ia); ++i) {
+    tuner.AnalyzeQuery(u);
+  }
+  EXPECT_FALSE(tuner.Recommendation().Contains(ia));
+}
+
+TEST(WfaPlusTest, FeedbackForcesConsistency) {
+  TestDb db;
+  IndexId ia = db.Ix("t1", {"a"});
+  IndexId ib = db.Ix("t1", {"b"});
+  WfaPlus tuner(&db.pool(), &db.optimizer(), {IndexSet{ia, ib}},
+                IndexSet{ib});
+  tuner.Feedback(IndexSet{ia}, IndexSet{ib});
+  IndexSet rec = tuner.Recommendation();
+  EXPECT_TRUE(rec.Contains(ia));
+  EXPECT_FALSE(rec.Contains(ib));
+}
+
+TEST(WfaPlusTest, CompetitiveRatioBoundHolds) {
+  // Theorem 4.1 sanity check: totWork(WFA) ≤ (2^{|C|+1} − 1) · totWork(OPT)
+  // + α on a small exactly-solvable instance. α is bounded by the maximum
+  // transition cost times the ratio (cf. Appendix A's μ term).
+  TestDb db;
+  IndexId ia = db.Ix("t1", {"a"});
+  IndexId ib = db.Ix("t1", {"b"});
+  IndexSet part{ia, ib};
+
+  Workload workload;
+  Rng rng(2024);
+  std::vector<std::string> pool = {
+      "SELECT count(*) FROM t1 WHERE a BETWEEN 0 AND 90",
+      "SELECT count(*) FROM t1 WHERE b BETWEEN 0 AND 45",
+      "UPDATE t1 SET a = a + 1, b = b + 1 WHERE k BETWEEN 0 AND 2000",
+      "SELECT d FROM t1 WHERE a = 5 AND b BETWEEN 0 AND 70",
+  };
+  for (int i = 0; i < 40; ++i) {
+    workload.push_back(
+        db.Bind(pool[static_cast<size_t>(rng.UniformInt(0, 3))]));
+  }
+
+  harness::ExperimentDriver driver(&workload, &db.optimizer());
+  WfaPlus wfa(&db.pool(), &db.optimizer(), {part}, IndexSet{}, "WFA");
+  harness::ExperimentSeries wfa_series =
+      driver.Run(&wfa, IndexSet{}, {});
+
+  OptimalPlanner planner(&db.pool(), &db.optimizer());
+  OptimalSchedule opt = planner.Solve(workload, {part}, IndexSet{});
+  harness::ExperimentSeries opt_series =
+      driver.Replay(opt.configs, IndexSet{}, "OPT");
+
+  double ratio_bound = std::pow(2.0, 3) - 1;  // 2^{|C|+1} − 1 with |C| = 2
+  double alpha = ratio_bound * (db.model().CreateCost(ia) +
+                                db.model().CreateCost(ib));
+  EXPECT_LE(wfa_series.final_total,
+            ratio_bound * opt_series.final_total + alpha);
+  // And OPT is really no worse than WFA.
+  EXPECT_LE(opt_series.final_total, wfa_series.final_total + 1e-6);
+}
+
+TEST(WfaPlusDeathTest, OverlappingPartsAbort) {
+  TestDb db;
+  IndexId ia = db.Ix("t1", {"a"});
+  EXPECT_DEATH(
+      {
+        WfaPlus tuner(&db.pool(), &db.optimizer(),
+                      {IndexSet{ia}, IndexSet{ia}}, IndexSet{});
+      },
+      "disjoint");
+}
+
+}  // namespace
+}  // namespace wfit

@@ -1,0 +1,215 @@
+#include "optimizer/what_if.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tests/test_util.h"
+
+namespace wfit {
+namespace {
+
+using testing::TestDb;
+
+TEST(WhatIfTest, EmptyConfigUsesTableScan) {
+  TestDb db;
+  Statement q = db.Bind("SELECT count(*) FROM t1 WHERE a = 5");
+  PlanSummary plan = db.optimizer().Optimize(q, IndexSet{});
+  EXPECT_TRUE(plan.used.empty());
+  auto t1 = db.catalog().FindTable("t1");
+  EXPECT_GE(plan.cost, db.model().TablePages(*t1));
+}
+
+TEST(WhatIfTest, SelectiveIndexBeatsScan) {
+  TestDb db;
+  Statement q = db.Bind("SELECT count(*) FROM t1 WHERE a = 5");
+  IndexId a = db.Ix("t1", {"a"});
+  double scan = db.optimizer().Cost(q, IndexSet{});
+  PlanSummary plan = db.optimizer().Optimize(q, IndexSet{a});
+  EXPECT_LT(plan.cost, scan / 10);
+  EXPECT_TRUE(plan.used.Contains(a));
+}
+
+TEST(WhatIfTest, UsedIsSubsetOfConfig) {
+  TestDb db;
+  Statement q = db.Bind(
+      "SELECT count(*) FROM t1 WHERE a BETWEEN 0 AND 100 AND b = 7");
+  IndexSet config{db.Ix("t1", {"a"}), db.Ix("t1", {"b"}),
+                  db.Ix("t2", {"x"})};
+  PlanSummary plan = db.optimizer().Optimize(q, config);
+  EXPECT_TRUE(plan.used.IsSubsetOf(config));
+  // The t2 index cannot serve a t1-only query.
+  EXPECT_FALSE(plan.used.Contains(db.Ix("t2", {"x"})));
+}
+
+TEST(WhatIfTest, QueryCostMonotoneInConfig) {
+  // Adding indices never hurts a SELECT: the plan space only grows.
+  TestDb db;
+  Rng rng(4242);
+  std::vector<IndexId> ids = {
+      db.Ix("t1", {"a"}),      db.Ix("t1", {"b"}),
+      db.Ix("t1", {"a", "b"}), db.Ix("t1", {"c"}),
+      db.Ix("t2", {"x"}),      db.Ix("t2", {"fk"}),
+  };
+  std::vector<Statement> queries = {
+      db.Bind("SELECT count(*) FROM t1 WHERE a BETWEEN 0 AND 50"),
+      db.Bind("SELECT count(*) FROM t1 WHERE a = 3 AND b BETWEEN 0 AND 10"),
+      db.Bind("SELECT count(*) FROM t1, t2 WHERE t1.k = t2.fk AND t2.x = 1"),
+      db.Bind("SELECT d FROM t1 WHERE c = 5 ORDER BY a"),
+  };
+  for (const Statement& q : queries) {
+    for (int trial = 0; trial < 60; ++trial) {
+      IndexSet base;
+      for (IndexId id : ids) {
+        if (rng.Bernoulli(0.4)) base.Add(id);
+      }
+      IndexSet super = base;
+      for (IndexId id : ids) {
+        if (rng.Bernoulli(0.3)) super.Add(id);
+      }
+      EXPECT_LE(db.optimizer().Cost(q, super),
+                db.optimizer().Cost(q, base) + 1e-9)
+          << q.sql;
+    }
+  }
+}
+
+TEST(WhatIfTest, IntersectionCreatesInteraction) {
+  // Two medium-selectivity range predicates: each index alone barely helps
+  // (fetch-bound), together they intersect — benefit of a depends on b.
+  TestDb db;
+  Statement q = db.Bind(
+      "SELECT d FROM t1 WHERE a BETWEEN 0 AND 200 AND b BETWEEN 0 AND 100");
+  IndexId ia = db.Ix("t1", {"a"});
+  IndexId ib = db.Ix("t1", {"b"});
+  double c_none = db.optimizer().Cost(q, IndexSet{});
+  double c_a = db.optimizer().Cost(q, IndexSet{ia});
+  double c_b = db.optimizer().Cost(q, IndexSet{ib});
+  double c_ab = db.optimizer().Cost(q, IndexSet{ia, ib});
+  double benefit_a_alone = c_none - c_a;
+  double benefit_a_given_b = c_b - c_ab;
+  EXPECT_GT(c_none, 0);
+  // Interaction: the two marginal benefits differ materially.
+  EXPECT_GT(std::abs(benefit_a_alone - benefit_a_given_b),
+            0.01 * std::max(1.0, std::abs(benefit_a_alone)));
+  // And the pair is genuinely better than either alone.
+  EXPECT_LT(c_ab, std::min(c_a, c_b));
+  PlanSummary plan = db.optimizer().Optimize(q, IndexSet{ia, ib});
+  EXPECT_EQ(plan.used.size(), 2u);
+}
+
+TEST(WhatIfTest, CoveringIndexAvoidsFetch) {
+  TestDb db;
+  // count(*) with one range predicate: a single-column index is covering.
+  Statement q = db.Bind("SELECT count(*) FROM t1 WHERE a BETWEEN 0 AND 2000");
+  IndexId ia = db.Ix("t1", {"a"});
+  double with_index = db.optimizer().Cost(q, IndexSet{ia});
+  double without = db.optimizer().Cost(q, IndexSet{});
+  // Covering scan of ~20% of the index should be far below the heap scan.
+  EXPECT_LT(with_index, without / 5);
+}
+
+TEST(WhatIfTest, CompositeIndexServesEqualityPlusRange) {
+  TestDb db;
+  Statement q = db.Bind(
+      "SELECT count(*) FROM t1 WHERE c = 5 AND a BETWEEN 0 AND 1000");
+  IndexId c_only = db.Ix("t1", {"c"});
+  IndexId c_then_a = db.Ix("t1", {"c", "a"});
+  double cost_single = db.optimizer().Cost(q, IndexSet{c_only});
+  double cost_composite = db.optimizer().Cost(q, IndexSet{c_then_a});
+  EXPECT_LT(cost_composite, cost_single);
+}
+
+TEST(WhatIfTest, OrderByIndexAvoidsSort) {
+  TestDb db;
+  Statement q = db.Bind(
+      "SELECT d FROM t1 WHERE a BETWEEN 0 AND 5000 ORDER BY a");
+  IndexId ia = db.Ix("t1", {"a"});
+  IndexId ib = db.Ix("t1", {"b"});  // irrelevant to the sort
+  double with_sort_avoider = db.optimizer().Cost(q, IndexSet{ia});
+  double with_other = db.optimizer().Cost(q, IndexSet{ib});
+  EXPECT_LT(with_sort_avoider, with_other);
+}
+
+TEST(WhatIfTest, IndexNestedLoopJoinUsesJoinColumnIndex) {
+  TestDb db;
+  Statement q = db.Bind(
+      "SELECT count(*) FROM t1, t2 WHERE t1.k = t2.fk AND t2.y = 3");
+  IndexId k_index = db.Ix("t1", {"k"});
+  double without = db.optimizer().Cost(q, IndexSet{});
+  PlanSummary with_inl = db.optimizer().Optimize(q, IndexSet{k_index});
+  EXPECT_LT(with_inl.cost, without);
+  EXPECT_TRUE(with_inl.used.Contains(k_index));
+}
+
+TEST(WhatIfTest, UpdateMaintenancePenalizesIndexes) {
+  TestDb db;
+  Statement u = db.Bind("UPDATE t1 SET a = a + 1 WHERE k BETWEEN 0 AND 1000");
+  IndexId ia = db.Ix("t1", {"a"});  // contains the SET column -> affected
+  double without = db.optimizer().Cost(u, IndexSet{});
+  double with_a = db.optimizer().Cost(u, IndexSet{ia});
+  EXPECT_GT(with_a, without);
+}
+
+TEST(WhatIfTest, UpdateOnlyMaintainsAffectedIndexes) {
+  TestDb db;
+  Statement u = db.Bind("UPDATE t1 SET a = a + 1 WHERE k BETWEEN 0 AND 1000");
+  IndexId ib = db.Ix("t1", {"b"});  // b is not assigned -> unaffected
+  double without = db.optimizer().Cost(u, IndexSet{});
+  double with_b = db.optimizer().Cost(u, IndexSet{ib});
+  EXPECT_DOUBLE_EQ(with_b, without);
+}
+
+TEST(WhatIfTest, UpdateLocateCanBenefitFromIndex) {
+  TestDb db;
+  // The WHERE column is indexed and unassigned: locate gets cheaper, and
+  // the index incurs no maintenance.
+  Statement u = db.Bind("UPDATE t1 SET d = d + 1 WHERE a = 17");
+  IndexId ia = db.Ix("t1", {"a"});
+  double without = db.optimizer().Cost(u, IndexSet{});
+  double with_a = db.optimizer().Cost(u, IndexSet{ia});
+  EXPECT_LT(with_a, without);
+}
+
+TEST(WhatIfTest, DeleteMaintainsAllIndexesOnTable) {
+  TestDb db;
+  Statement d = db.Bind("DELETE FROM t1 WHERE a = 17");
+  IndexId ib = db.Ix("t1", {"b"});
+  IndexSet with_b{ib};
+  PlanSummary plan = db.optimizer().Optimize(d, with_b);
+  EXPECT_TRUE(plan.used.Contains(ib));  // maintenance makes it relevant
+}
+
+TEST(WhatIfTest, InsertCostScalesWithRowsAndIndexes) {
+  TestDb db;
+  Statement small = db.Bind("INSERT INTO t2 VALUES (1,2,3)");
+  Statement big = db.Bind(
+      "INSERT INTO t2 VALUES (1,2,3),(1,2,3),(1,2,3),(1,2,3),(1,2,3),"
+      "(1,2,3),(1,2,3),(1,2,3),(1,2,3),(1,2,3)");
+  IndexId ix = db.Ix("t2", {"x"});
+  EXPECT_LT(db.optimizer().Cost(small, IndexSet{}),
+            db.optimizer().Cost(big, IndexSet{}));
+  EXPECT_LT(db.optimizer().Cost(big, IndexSet{}),
+            db.optimizer().Cost(big, IndexSet{ix}));
+}
+
+TEST(WhatIfTest, CallCounterTracksOptimizations) {
+  TestDb db;
+  Statement q = db.Bind("SELECT count(*) FROM t3 WHERE v = 1");
+  uint64_t before = db.optimizer().num_calls();
+  db.optimizer().Cost(q, IndexSet{});
+  db.optimizer().Cost(q, IndexSet{});
+  EXPECT_EQ(db.optimizer().num_calls(), before + 2);
+  db.optimizer().ResetCallCount();
+  EXPECT_EQ(db.optimizer().num_calls(), 0u);
+}
+
+TEST(WhatIfTest, IrrelevantIndexLeavesCostUnchanged) {
+  TestDb db;
+  Statement q = db.Bind("SELECT count(*) FROM t1 WHERE a = 5");
+  IndexId on_t2 = db.Ix("t2", {"x"});
+  EXPECT_DOUBLE_EQ(db.optimizer().Cost(q, IndexSet{}),
+                   db.optimizer().Cost(q, IndexSet{on_t2}));
+}
+
+}  // namespace
+}  // namespace wfit

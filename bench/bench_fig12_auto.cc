@@ -35,7 +35,7 @@ int main() {
     options.candidates.hist_size = 100;
     Wfit tuner(&env.pool(), &env.optimizer(), IndexSet{}, options);
     series.push_back(driver.Run(&tuner, IndexSet{}, {}));
-    repartitions = tuner.repartition_count();
+    repartitions = tuner.RepartitionCount();
     universe = tuner.selector().universe().size();
   }
   {

@@ -1,0 +1,162 @@
+// Online tuning service throughput: sustained ingest rate (statements per
+// minute) and snapshot-read latency under concurrent producers, with the
+// queue bound enforced throughout. Two configurations are measured:
+//
+//   pipeline-only  — a no-op tuner isolates the queue + worker + snapshot
+//                    machinery (the service's intrinsic ceiling);
+//   WFIT           — end-to-end analysis on the benchmark workload.
+//
+// Set WFIT_BENCH_FAST=1 for a scaled-down smoke run.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/wfit.h"
+#include "harness/reporting.h"
+#include "service/tuner_service.h"
+
+namespace wfit {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Isolates the service machinery: analysis is free, so the measured rate
+/// is the ingestion pipeline's own ceiling.
+class NullTuner : public Tuner {
+ public:
+  void AnalyzeQuery(const Statement& q) override { (void)q; }
+  IndexSet Recommendation() const override { return IndexSet{}; }
+  std::string name() const override { return "null"; }
+};
+
+struct RunResult {
+  double wall_seconds = 0.0;
+  double statements_per_minute = 0.0;
+  std::vector<double> read_latency_us;  // sorted
+  service::MetricsSnapshot metrics;
+};
+
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  size_t i = static_cast<size_t>(p * static_cast<double>(sorted.size() - 1));
+  return sorted[i];
+}
+
+/// Streams `total` statements (the workload, cycled) from `producers`
+/// threads while one reader hammers Recommendation().
+RunResult RunService(std::unique_ptr<Tuner> tuner, const Workload& workload,
+                     size_t total, int producers, size_t queue_capacity) {
+  service::TunerServiceOptions options;
+  options.queue_capacity = queue_capacity;
+  options.max_batch = 32;
+  service::TunerService service(std::move(tuner), options);
+  service.Start();
+
+  std::atomic<bool> done{false};
+  RunResult result;
+  std::thread reader([&] {
+    // Sample continuously; cap retained samples to bound memory.
+    while (!done.load(std::memory_order_relaxed)) {
+      Clock::time_point t0 = Clock::now();
+      auto snap = service.Recommendation();
+      double us = std::chrono::duration<double, std::micro>(Clock::now() - t0)
+                      .count();
+      if (snap != nullptr && result.read_latency_us.size() < 2000000) {
+        result.read_latency_us.push_back(us);
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  Clock::time_point start = Clock::now();
+  std::vector<std::thread> threads;
+  for (int p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      // Each producer streams its strided share of the cycled workload.
+      for (size_t i = p; i < total; i += producers) {
+        service.Submit(workload[i % workload.size()]);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  service.Shutdown();
+  result.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  done.store(true);
+  reader.join();
+
+  result.statements_per_minute =
+      60.0 * static_cast<double>(total) / result.wall_seconds;
+  result.metrics = service.Metrics();
+  std::sort(result.read_latency_us.begin(), result.read_latency_us.end());
+  return result;
+}
+
+void Report(const std::string& title, const RunResult& r, size_t total) {
+  wfit::harness::PrintServiceMetrics(std::cout, title, r.metrics);
+  std::cout << "  wall time            " << r.wall_seconds << " s\n"
+            << "  sustained ingest     "
+            << static_cast<uint64_t>(r.statements_per_minute)
+            << " statements/min\n"
+            << "  snapshot reads       " << r.read_latency_us.size()
+            << "  (p50 " << Percentile(r.read_latency_us, 0.5) << " us, p99 "
+            << Percentile(r.read_latency_us, 0.99) << " us, max "
+            << (r.read_latency_us.empty() ? 0.0 : r.read_latency_us.back())
+            << " us)\n";
+  bool bounded = r.metrics.queue_high_water <= r.metrics.queue_capacity;
+  bool fast_enough = r.statements_per_minute >= 100000.0;
+  std::cout << "  queue bounded        " << (bounded ? "yes" : "NO") << "\n"
+            << "  >=100k stmts/min     " << (fast_enough ? "yes" : "NO")
+            << "\n";
+  if (r.metrics.statements_analyzed != total) {
+    std::cout << "  WARNING: analyzed " << r.metrics.statements_analyzed
+              << " != submitted " << total << "\n";
+  }
+}
+
+}  // namespace
+}  // namespace wfit
+
+int main() {
+  using namespace wfit;
+  bool fast = std::getenv("WFIT_BENCH_FAST") != nullptr;
+  bench::BenchEnv env;
+  const Workload& workload = env.workload();
+  const int producers = 4;
+
+  {
+    size_t total = fast ? 50000 : 400000;
+    auto r = RunService(std::make_unique<NullTuner>(), workload, total,
+                        producers, /*queue_capacity=*/4096);
+    Report("service pipeline only (null tuner), " + std::to_string(total) +
+               " statements, " + std::to_string(producers) + " producers",
+           r, total);
+  }
+
+  {
+    size_t total = fast ? 2000 : 8000;
+    // Lean candidate budget: the service targets sustained ingest, so the
+    // tuner runs with a small monitored set (cf. WFIT-100 in the paper).
+    WfitOptions options;
+    options.candidates.idx_cnt = 8;
+    options.candidates.state_cnt = 100;
+    options.candidates.hist_size = 50;
+    options.candidates.ibg_cap = 12;
+    options.candidates.ibg_node_budget = 60;
+    auto tuner = std::make_unique<Wfit>(&env.pool(), &env.optimizer(),
+                                        IndexSet{}, options);
+    auto r = RunService(std::move(tuner), workload, total, producers,
+                        /*queue_capacity=*/1024);
+    Report("WFIT end-to-end, " + std::to_string(total) + " statements, " +
+               std::to_string(producers) + " producers",
+           r, total);
+  }
+  return 0;
+}

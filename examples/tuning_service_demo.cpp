@@ -1,0 +1,98 @@
+// The online tuning service end to end: multiple producer threads replay a
+// generated benchmark workload into a TunerService wrapping WFIT, while a
+// DBA thread concurrently reads recommendation snapshots and casts votes.
+// Ends with the harness metrics report and the Prometheus text export.
+#include <atomic>
+#include <chrono>
+#include <iostream>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "catalog/benchmark_schemas.h"
+#include "core/wfit.h"
+#include "harness/reporting.h"
+#include "optimizer/what_if.h"
+#include "service/tuner_service.h"
+#include "workload/benchmark_trace.h"
+
+int main() {
+  using namespace wfit;
+
+  // Environment: the benchmark catalog at reduced scale plus a generated
+  // 4-phase trace, so the demo runs in seconds.
+  Catalog catalog = BuildBenchmarkCatalog(BenchmarkScale{0.2});
+  IndexPool pool(&catalog);
+  CostModel cost_model(&catalog, &pool);
+  WhatIfOptimizer optimizer(&cost_model);
+  TraceOptions trace_options;
+  trace_options.num_phases = 4;
+  trace_options.statements_per_phase = 150;
+  Workload workload = ToWorkload(GenerateBenchmarkTrace(catalog, trace_options));
+
+  // The service owns the tuner; all analysis happens on its worker thread.
+  WfitOptions wfit_options;
+  wfit_options.candidates.idx_cnt = 16;
+  wfit_options.candidates.state_cnt = 256;
+  service::TunerServiceOptions service_options;
+  service_options.queue_capacity = 64;
+  service_options.max_batch = 16;
+  service::TunerService service(
+      std::make_unique<Wfit>(&pool, &optimizer, IndexSet{}, wfit_options),
+      service_options);
+  service.Start();
+
+  // Three producers replay the workload with explicit sequence numbers, so
+  // the analysis order is the workload order no matter how they interleave.
+  const int kProducers = 3;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (size_t seq = p; seq < workload.size(); seq += kProducers) {
+        service.SubmitAt(seq, workload[seq]);
+      }
+    });
+  }
+
+  // The DBA: wakes up at checkpoints, inspects the current snapshot (a
+  // non-blocking read), vetoes the widest recommended index and endorses
+  // the rest — the paper's semi-automatic loop, online.
+  std::thread dba([&] {
+    for (size_t checkpoint = 100; checkpoint <= workload.size();
+         checkpoint += 100) {
+      if (!service.WaitUntilAnalyzed(checkpoint)) break;
+      auto snap = service.Recommendation();
+      std::cout << "[dba] after " << snap->analyzed << " statements (v"
+                << snap->version << "): "
+                << snap->configuration.ToString(pool) << "\n";
+      if (snap->configuration.empty()) continue;
+      IndexId veto = *snap->configuration.begin();
+      for (IndexId id : snap->configuration) {
+        if (pool.def(id).columns.size() > pool.def(veto).columns.size()) {
+          veto = id;
+        }
+      }
+      IndexSet keep = snap->configuration;
+      keep.Remove(veto);
+      std::cout << "[dba]   veto " << pool.Name(veto) << ", endorse "
+                << keep.ToString(pool) << "\n";
+      service.FeedbackAfter(checkpoint - 1, keep, IndexSet{veto});
+    }
+  });
+
+  for (auto& t : producers) t.join();
+  dba.join();
+  service.Shutdown();
+
+  auto final_snap = service.Recommendation();
+  std::cout << "\nFinal recommendation after " << final_snap->analyzed
+            << " statements:\n  " << final_snap->configuration.ToString(pool)
+            << "\n\n";
+  harness::PrintServiceMetrics(std::cout, "tuning service metrics",
+                               service.Metrics());
+  std::cout << "\n--- text export (excerpt) ---\n";
+  std::string text = service::ExportText(service.Metrics());
+  std::cout << text.substr(0, text.find("# HELP wfit_service_queue_depth"))
+            << "...\n";
+  return 0;
+}

@@ -58,7 +58,7 @@ int main() {
   std::cout << std::setprecision(2)
             << "speedup from online tuning:  "
             << frozen.total() / adaptive.total() << "x\n";
-  std::cout << "stable partition changed " << tuner.repartition_count()
+  std::cout << "stable partition changed " << tuner.RepartitionCount()
             << " times across the phase shifts\n";
   return 0;
 }

@@ -5,6 +5,7 @@
 #ifndef WFIT_CORE_TUNER_H_
 #define WFIT_CORE_TUNER_H_
 
+#include <cstdint>
 #include <string>
 
 #include "core/index_set.h"
@@ -31,6 +32,11 @@ class Tuner {
 
   /// Display name for reports.
   virtual std::string name() const = 0;
+
+  /// Number of internal state reorganizations performed so far (WFIT's
+  /// repartitions). Drivers — the experiment harness and the online
+  /// tuning service — report it; tuners without the notion return 0.
+  virtual uint64_t RepartitionCount() const { return 0; }
 };
 
 }  // namespace wfit

@@ -49,7 +49,7 @@ class Wfit : public Tuner {
 
   const std::vector<IndexSet>& partition() const { return partition_; }
   const IndexSet& candidate_set() const { return candidate_set_; }
-  uint64_t repartition_count() const { return repartitions_; }
+  uint64_t RepartitionCount() const override { return repartitions_; }
   size_t TotalStates() const;
   const CandidateSelector& selector() const { return *selector_; }
 

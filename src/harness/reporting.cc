@@ -74,4 +74,32 @@ void PrintOverheadTable(std::ostream& os,
   os.flush();
 }
 
+void PrintServiceMetrics(std::ostream& os, const std::string& title,
+                         const service::MetricsSnapshot& m) {
+  os << "== " << title << " ==\n";
+  os << std::setw(26) << "statements submitted" << std::setw(14)
+     << m.statements_submitted << "\n";
+  os << std::setw(26) << "statements analyzed" << std::setw(14)
+     << m.statements_analyzed << "\n";
+  os << std::setw(26) << "batches" << std::setw(14) << m.batches
+     << "   (mean " << std::fixed << std::setprecision(2) << m.mean_batch()
+     << ", max " << m.max_batch << ")\n";
+  os << std::setw(26) << "queue depth / capacity" << std::setw(14)
+     << m.queue_depth << "   (high water " << m.queue_high_water << " of "
+     << m.queue_capacity << ")\n";
+  os << std::setw(26) << "backpressure waits" << std::setw(14)
+     << m.push_waits << "   (rejections " << m.submit_rejected << ")\n";
+  os << std::setw(26) << "feedback applied" << std::setw(14)
+     << m.feedback_applied << "\n";
+  os << std::setw(26) << "repartitions" << std::setw(14) << m.repartitions
+     << "\n";
+  os << std::setw(26) << "snapshot version" << std::setw(14)
+     << m.snapshot_version << "\n";
+  os << std::setw(26) << "analysis latency mean" << std::setw(14)
+     << std::setprecision(1) << m.mean_latency_us() << " us   (p50<="
+     << m.LatencyQuantileUpperUs(0.5) << ", p99<="
+     << m.LatencyQuantileUpperUs(0.99) << ")\n";
+  os.flush();
+}
+
 }  // namespace wfit::harness

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "harness/experiment.h"
+#include "service/metrics.h"
 
 namespace wfit::harness {
 
@@ -27,6 +28,12 @@ void WriteRatioCsv(std::ostream& os, const ExperimentSeries& opt,
 void PrintOverheadTable(std::ostream& os,
                         const std::vector<ExperimentSeries>& series,
                         size_t num_statements);
+
+/// Human-readable summary of an online tuning service run: ingest volume,
+/// queue pressure, batch shape, latency distribution and feedback counts.
+/// (Machine-readable export is service::ExportText.)
+void PrintServiceMetrics(std::ostream& os, const std::string& title,
+                         const service::MetricsSnapshot& m);
 
 }  // namespace wfit::harness
 

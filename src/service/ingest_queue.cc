@@ -1,0 +1,132 @@
+#include "service/ingest_queue.h"
+
+#include "common/check.h"
+
+namespace wfit::service {
+
+IngestQueue::IngestQueue(size_t capacity) : capacity_(capacity) {
+  WFIT_CHECK(capacity > 0, "IngestQueue capacity must be positive");
+  ring_.resize(capacity);
+}
+
+bool IngestQueue::PushLocked(std::unique_lock<std::mutex>& lock, uint64_t seq,
+                             Statement&& stmt) {
+  // A producer may enter while its slot is still occupied by an
+  // undelivered predecessor lap; wait until the slot's lap is ours.
+  bool waited = false;
+  while (!closed_ && seq >= next_pop_seq_ + capacity_) {
+    waited = true;
+    not_full_.wait(lock);
+  }
+  if (closed_) {
+    // The ticket was already assigned; leave a tombstone so the consumer
+    // can drain past the hole instead of stranding later accepted pushes.
+    abandoned_.insert(seq);
+    not_empty_.notify_all();
+    return false;
+  }
+  if (waited) ++push_waits_;
+  WFIT_CHECK(!ring_[seq % capacity_].has_value(),
+             "IngestQueue: duplicate sequence number");
+  ring_[seq % capacity_] = std::move(stmt);
+  ++buffered_;
+  ++total_pushed_;
+  if (buffered_ > high_water_) high_water_ = buffered_;
+  if (seq == next_pop_seq_) not_empty_.notify_one();
+  return true;
+}
+
+bool IngestQueue::Push(Statement stmt) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (closed_) return false;
+  // Take the ticket up front so concurrent implicit pushes get distinct
+  // slots; the blocked producer keeps its place in sequence order.
+  uint64_t seq = next_ticket_++;
+  return PushLocked(lock, seq, std::move(stmt));
+}
+
+bool IngestQueue::PushAt(uint64_t seq, Statement stmt) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (closed_) return false;
+  // A stale sequence number would silently land a full ring lap ahead;
+  // make it as loud as the duplicate-slot case.
+  WFIT_CHECK(seq >= next_pop_seq_,
+             "IngestQueue: sequence number already delivered");
+  if (seq >= next_ticket_) next_ticket_ = seq + 1;
+  return PushLocked(lock, seq, std::move(stmt));
+}
+
+bool IngestQueue::TryPush(Statement stmt) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (closed_ || next_ticket_ >= next_pop_seq_ + capacity_) return false;
+  uint64_t seq = next_ticket_++;
+  return PushLocked(lock, seq, std::move(stmt));
+}
+
+size_t IngestQueue::PopBatch(std::vector<Statement>* out, size_t max_batch,
+                             uint64_t* first_seq) {
+  WFIT_CHECK(out != nullptr && max_batch > 0,
+             "PopBatch requires an output vector and a positive batch size");
+  std::unique_lock<std::mutex> lock(mu_);
+  not_empty_.wait(lock, [&] { return SlotReady(next_pop_seq_) || closed_; });
+  size_t popped = 0;
+  while (popped < max_batch) {
+    // Tombstones from pushes abandoned at close are skipped, so accepted
+    // statements behind them still drain. Only at the start of a batch:
+    // delivered batches stay sequence-contiguous.
+    if (auto it = abandoned_.find(next_pop_seq_); it != abandoned_.end()) {
+      if (popped > 0) break;
+      abandoned_.erase(it);
+      ++next_pop_seq_;
+      continue;
+    }
+    if (!SlotReady(next_pop_seq_)) break;
+    if (popped == 0 && first_seq != nullptr) *first_seq = next_pop_seq_;
+    out->push_back(std::move(*ring_[next_pop_seq_ % capacity_]));
+    ring_[next_pop_seq_ % capacity_].reset();
+    ++next_pop_seq_;
+    --buffered_;
+    ++popped;
+  }
+  if (popped > 0) not_full_.notify_all();
+  return popped;
+}
+
+void IngestQueue::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+bool IngestQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+size_t IngestQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return buffered_;
+}
+
+size_t IngestQueue::high_water() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return high_water_;
+}
+
+uint64_t IngestQueue::push_waits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return push_waits_;
+}
+
+uint64_t IngestQueue::total_pushed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_pushed_;
+}
+
+uint64_t IngestQueue::next_pop_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_pop_seq_;
+}
+
+}  // namespace wfit::service

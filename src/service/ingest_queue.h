@@ -1,0 +1,106 @@
+// IngestQueue: a bounded, sequence-ordered MPSC queue of workload
+// statements — the intake of the online tuning service.
+//
+// Every statement occupies a slot determined by its sequence number in a
+// fixed-size ring. Producers either take a ticket implicitly (Push), which
+// sequences statements in arrival order, or supply an explicit sequence
+// number (PushAt), which lets N threads replay a partitioned workload while
+// the consumer still drains it in the exact original order. The consumer
+// (PopBatch) only ever releases the contiguous prefix, so analysis order is
+// a pure function of the sequence numbers — never of thread scheduling.
+//
+// Backpressure: a producer whose sequence number lies more than `capacity`
+// slots ahead of the consumer blocks (Push/PushAt) or is refused (TryPush).
+// Memory is therefore bounded by `capacity` statements regardless of how
+// many producers race.
+#ifndef WFIT_SERVICE_INGEST_QUEUE_H_
+#define WFIT_SERVICE_INGEST_QUEUE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "workload/statement.h"
+
+namespace wfit::service {
+
+class IngestQueue {
+ public:
+  explicit IngestQueue(size_t capacity);
+
+  IngestQueue(const IngestQueue&) = delete;
+  IngestQueue& operator=(const IngestQueue&) = delete;
+
+  /// Enqueues with the next implicit sequence number (arrival order).
+  /// Blocks while the ring is full. Returns false iff the queue is closed.
+  bool Push(Statement stmt);
+
+  /// Enqueues at an explicit sequence number. `seq` must not have been used
+  /// before; the contiguous delivery contract requires that every sequence
+  /// number below the highest pushed one is eventually pushed exactly once.
+  /// Mixing PushAt with implicit Push in one queue is not supported.
+  /// Blocks while `seq` is ≥ capacity slots ahead of the consumer. Returns
+  /// false iff the queue is closed.
+  bool PushAt(uint64_t seq, Statement stmt);
+
+  /// Non-blocking Push: returns false (without enqueueing) if the ring is
+  /// full or the queue is closed.
+  bool TryPush(Statement stmt);
+
+  /// Blocks until at least one statement is deliverable or the queue is
+  /// closed and fully drained. Appends up to `max_batch` statements of the
+  /// contiguous sequence prefix to `*out` and returns the count; returns 0
+  /// only at end-of-stream. The sequence number of the first popped
+  /// statement is written to `*first_seq` (if non-null).
+  size_t PopBatch(std::vector<Statement>* out, size_t max_batch,
+                  uint64_t* first_seq = nullptr);
+
+  /// Closes the intake: subsequent pushes fail, and PopBatch drains what
+  /// remains of the contiguous prefix, then reports end-of-stream.
+  void Close();
+
+  size_t capacity() const { return capacity_; }
+  bool closed() const;
+
+  /// Number of statements currently buffered (including any non-contiguous
+  /// ones waiting for a predecessor).
+  size_t depth() const;
+  /// Maximum depth ever observed.
+  size_t high_water() const;
+  /// Blocking pushes that had to wait for space at least once.
+  uint64_t push_waits() const;
+  uint64_t total_pushed() const;
+  /// Next sequence number the consumer will deliver.
+  uint64_t next_pop_seq() const;
+
+ private:
+  bool PushLocked(std::unique_lock<std::mutex>& lock, uint64_t seq,
+                  Statement&& stmt);
+  bool SlotReady(uint64_t seq) const {
+    return ring_[seq % capacity_].has_value();
+  }
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::vector<std::optional<Statement>> ring_;
+  uint64_t next_ticket_ = 0;   // next implicit sequence number
+  uint64_t next_pop_seq_ = 0;  // consumer cursor
+  size_t buffered_ = 0;        // slots currently occupied
+  /// Sequence numbers whose push was abandoned when the queue closed;
+  /// the consumer drains past them (only non-empty after Close()).
+  std::set<uint64_t> abandoned_;
+  bool closed_ = false;
+  // Stats.
+  size_t high_water_ = 0;
+  uint64_t push_waits_ = 0;
+  uint64_t total_pushed_ = 0;
+};
+
+}  // namespace wfit::service
+
+#endif  // WFIT_SERVICE_INGEST_QUEUE_H_

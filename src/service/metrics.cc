@@ -1,0 +1,150 @@
+#include "service/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace wfit::service {
+
+uint64_t MetricsSnapshot::latency_count() const {
+  uint64_t n = 0;
+  for (uint64_t c : latency_counts) n += c;
+  return n;
+}
+
+double MetricsSnapshot::mean_latency_us() const {
+  uint64_t n = latency_count();
+  return n == 0 ? 0.0 : latency_total_us / static_cast<double>(n);
+}
+
+double MetricsSnapshot::mean_batch() const {
+  return batches == 0
+             ? 0.0
+             : static_cast<double>(statements_analyzed) /
+                   static_cast<double>(batches);
+}
+
+double MetricsSnapshot::LatencyQuantileUpperUs(double q) const {
+  uint64_t n = latency_count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t target = static_cast<uint64_t>(std::ceil(q * n));
+  target = std::max<uint64_t>(target, 1);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < latency_counts.size(); ++i) {
+    seen += latency_counts[i];
+    if (seen >= target) {
+      return i < kLatencyBucketUpperUs.size()
+                 ? kLatencyBucketUpperUs[i]
+                 : std::numeric_limits<double>::infinity();
+    }
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+namespace {
+
+void Counter(std::ostream& os, const char* name, uint64_t v,
+             const char* help) {
+  os << "# HELP wfit_service_" << name << " " << help << "\n"
+     << "# TYPE wfit_service_" << name << " counter\n"
+     << "wfit_service_" << name << " " << v << "\n";
+}
+
+void Gauge(std::ostream& os, const char* name, uint64_t v, const char* help) {
+  os << "# HELP wfit_service_" << name << " " << help << "\n"
+     << "# TYPE wfit_service_" << name << " gauge\n"
+     << "wfit_service_" << name << " " << v << "\n";
+}
+
+}  // namespace
+
+void ExportText(const MetricsSnapshot& s, std::ostream& os) {
+  Counter(os, "statements_submitted_total", s.statements_submitted,
+          "Statements accepted into the ingest queue");
+  Counter(os, "submit_rejected_total", s.submit_rejected,
+          "Non-blocking submissions refused because the queue was full");
+  Gauge(os, "queue_depth", s.queue_depth, "Current ingest queue depth");
+  Gauge(os, "queue_capacity", s.queue_capacity, "Ingest queue capacity");
+  Gauge(os, "queue_high_water", s.queue_high_water,
+        "Maximum ingest queue depth observed");
+  Counter(os, "push_waits_total", s.push_waits,
+          "Blocking submissions that waited on backpressure");
+  Counter(os, "statements_analyzed_total", s.statements_analyzed,
+          "Statements analyzed by the tuner worker");
+  Counter(os, "batches_total", s.batches, "Analysis batches drained");
+  Gauge(os, "max_batch", s.max_batch, "Largest batch drained");
+  Counter(os, "feedback_applied_total", s.feedback_applied,
+          "DBA feedback events applied");
+  Counter(os, "repartitions_total", s.repartitions,
+          "Tuner state repartitions");
+  Gauge(os, "recommendation_version", s.snapshot_version,
+        "Version of the published recommendation snapshot");
+
+  os << "# HELP wfit_service_analysis_latency_us AnalyzeQuery latency\n"
+     << "# TYPE wfit_service_analysis_latency_us histogram\n";
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < s.latency_counts.size(); ++i) {
+    cumulative += s.latency_counts[i];
+    os << "wfit_service_analysis_latency_us_bucket{le=\"";
+    if (i < kLatencyBucketUpperUs.size()) {
+      os << kLatencyBucketUpperUs[i];
+    } else {
+      os << "+Inf";
+    }
+    os << "\"} " << cumulative << "\n";
+  }
+  os << "wfit_service_analysis_latency_us_sum " << s.latency_total_us << "\n"
+     << "wfit_service_analysis_latency_us_count " << cumulative << "\n";
+}
+
+std::string ExportText(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  ExportText(snapshot, os);
+  return os.str();
+}
+
+void ServiceMetrics::OnBatch(uint64_t size) {
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t prev = max_batch_.load(std::memory_order_relaxed);
+  while (size > prev &&
+         !max_batch_.compare_exchange_weak(prev, size,
+                                           std::memory_order_relaxed)) {
+  }
+}
+
+void ServiceMetrics::OnAnalyzed(double latency_us) {
+  analyzed_.fetch_add(1, std::memory_order_relaxed);
+  size_t bucket = kLatencyBucketUpperUs.size();
+  for (size_t i = 0; i < kLatencyBucketUpperUs.size(); ++i) {
+    if (latency_us <= kLatencyBucketUpperUs[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  latency_counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  latency_total_ns_.fetch_add(static_cast<uint64_t>(latency_us * 1000.0),
+                              std::memory_order_relaxed);
+}
+
+MetricsSnapshot ServiceMetrics::Snapshot() const {
+  MetricsSnapshot s;
+  s.statements_submitted = submitted_.load(std::memory_order_relaxed);
+  s.submit_rejected = rejected_.load(std::memory_order_relaxed);
+  s.statements_analyzed = analyzed_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.max_batch = max_batch_.load(std::memory_order_relaxed);
+  s.feedback_applied = feedback_.load(std::memory_order_relaxed);
+  s.repartitions = repartitions_.load(std::memory_order_relaxed);
+  s.snapshot_version = version_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < s.latency_counts.size(); ++i) {
+    s.latency_counts[i] = latency_counts_[i].load(std::memory_order_relaxed);
+  }
+  s.latency_total_us =
+      static_cast<double>(latency_total_ns_.load(std::memory_order_relaxed)) /
+      1000.0;
+  return s;
+}
+
+}  // namespace wfit::service

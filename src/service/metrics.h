@@ -1,0 +1,100 @@
+// ServiceMetrics: thread-safe counters/gauges/histograms for the online
+// tuning service, with a Prometheus-style text export. Producers, the
+// analysis worker and metric readers touch disjoint atomics, so recording
+// never serializes the hot path.
+#ifndef WFIT_SERVICE_METRICS_H_
+#define WFIT_SERVICE_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace wfit::service {
+
+/// Upper bounds (microseconds) of the analysis-latency buckets; the last
+/// bucket is +inf. Log-spaced: WFIT analysis spans ~10us (cache hit, tiny
+/// IBG) to ~100ms (repartition storms).
+inline constexpr std::array<double, 8> kLatencyBucketUpperUs = {
+    10.0, 50.0, 250.0, 1000.0, 5000.0, 25000.0, 100000.0, 500000.0};
+inline constexpr size_t kLatencyBucketCount = kLatencyBucketUpperUs.size() + 1;
+
+/// A point-in-time copy of every service metric, safe to read at leisure.
+struct MetricsSnapshot {
+  // Ingestion.
+  uint64_t statements_submitted = 0;
+  uint64_t submit_rejected = 0;  // TrySubmit refusals (queue full)
+  uint64_t queue_depth = 0;      // gauge at snapshot time
+  uint64_t queue_capacity = 0;
+  uint64_t queue_high_water = 0;  // max depth ever observed
+  uint64_t push_waits = 0;        // blocking pushes that hit backpressure
+
+  // Analysis.
+  uint64_t statements_analyzed = 0;
+  uint64_t batches = 0;
+  uint64_t max_batch = 0;
+  uint64_t feedback_applied = 0;
+  uint64_t repartitions = 0;  // from Tuner::RepartitionCount()
+
+  // Snapshot publication.
+  uint64_t snapshot_version = 0;
+
+  // Analysis latency histogram (per AnalyzeQuery call).
+  std::array<uint64_t, kLatencyBucketCount> latency_counts{};
+  double latency_total_us = 0.0;
+
+  uint64_t latency_count() const;
+  double mean_latency_us() const;
+  double mean_batch() const;
+  /// Smallest bucket upper bound covering quantile `q` of latencies (a
+  /// conservative estimate; exact values are not retained).
+  double LatencyQuantileUpperUs(double q) const;
+};
+
+/// Writes the snapshot in Prometheus text exposition format
+/// (`wfit_service_*` metric families).
+void ExportText(const MetricsSnapshot& snapshot, std::ostream& os);
+std::string ExportText(const MetricsSnapshot& snapshot);
+
+/// The live, concurrently-updated metrics. TunerService owns one; the
+/// ingest queue contributes its gauges when the service snapshots.
+class ServiceMetrics {
+ public:
+  void OnSubmit() { submitted_.fetch_add(1, std::memory_order_relaxed); }
+  void OnSubmitRejected() {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void OnBatch(uint64_t size);
+  void OnAnalyzed(double latency_us);
+  void OnFeedback() { feedback_.fetch_add(1, std::memory_order_relaxed); }
+  void OnPublish() { version_.fetch_add(1, std::memory_order_relaxed); }
+  void SetRepartitions(uint64_t n) {
+    repartitions_.store(n, std::memory_order_relaxed);
+  }
+
+  uint64_t snapshot_version() const {
+    return version_.load(std::memory_order_relaxed);
+  }
+
+  /// Queue gauges are merged in by the caller (TunerService) so this class
+  /// stays decoupled from IngestQueue.
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> analyzed_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> max_batch_{0};
+  std::atomic<uint64_t> feedback_{0};
+  std::atomic<uint64_t> repartitions_{0};
+  std::atomic<uint64_t> version_{0};
+  std::array<std::atomic<uint64_t>, kLatencyBucketCount> latency_counts_{};
+  std::atomic<uint64_t> latency_total_ns_{0};
+};
+
+}  // namespace wfit::service
+
+#endif  // WFIT_SERVICE_METRICS_H_

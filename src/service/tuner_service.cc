@@ -1,0 +1,197 @@
+#include "service/tuner_service.h"
+
+#include <chrono>
+#include <limits>
+
+#include "common/check.h"
+
+namespace wfit::service {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double MicrosSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - start)
+      .count();
+}
+}  // namespace
+
+TunerService::TunerService(std::unique_ptr<Tuner> tuner,
+                           TunerServiceOptions options)
+    : tuner_(std::move(tuner)),
+      options_(options),
+      queue_(options.queue_capacity) {
+  WFIT_CHECK(tuner_ != nullptr, "TunerService requires a tuner");
+  WFIT_CHECK(options_.max_batch > 0, "max_batch must be positive");
+}
+
+TunerService::~TunerService() { Shutdown(); }
+
+void TunerService::Start() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  WFIT_CHECK(!started_, "TunerService::Start called twice");
+  started_ = true;
+  Publish();  // initial configuration, analyzed == 0
+  worker_ = std::thread([this] { WorkerLoop(); });
+}
+
+void TunerService::Shutdown() {
+  queue_.Close();
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (started_ && !joined_) {
+    worker_.join();
+    joined_ = true;
+  }
+}
+
+bool TunerService::Submit(Statement stmt) {
+  if (!queue_.Push(std::move(stmt))) return false;
+  metrics_.OnSubmit();
+  return true;
+}
+
+bool TunerService::TrySubmit(Statement stmt) {
+  if (!queue_.TryPush(std::move(stmt))) {
+    metrics_.OnSubmitRejected();
+    return false;
+  }
+  metrics_.OnSubmit();
+  return true;
+}
+
+bool TunerService::SubmitAt(uint64_t seq, Statement stmt) {
+  if (!queue_.PushAt(seq, std::move(stmt))) return false;
+  metrics_.OnSubmit();
+  return true;
+}
+
+void TunerService::Feedback(IndexSet f_plus, IndexSet f_minus) {
+  std::lock_guard<std::mutex> lock(feedback_mu_);
+  asap_feedback_.emplace_back(std::move(f_plus), std::move(f_minus));
+}
+
+void TunerService::FeedbackAfter(uint64_t after_seq, IndexSet f_plus,
+                                 IndexSet f_minus) {
+  std::lock_guard<std::mutex> lock(feedback_mu_);
+  pending_feedback_.emplace(after_seq,
+                            std::make_pair(std::move(f_plus),
+                                           std::move(f_minus)));
+}
+
+std::shared_ptr<const RecommendationSnapshot> TunerService::Recommendation()
+    const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return snapshot_;
+}
+
+bool TunerService::WaitUntilAnalyzed(uint64_t n) const {
+  std::unique_lock<std::mutex> lock(progress_mu_);
+  progress_cv_.wait(lock, [&] { return analyzed_ >= n || worker_done_; });
+  return analyzed_ >= n;
+}
+
+uint64_t TunerService::analyzed() const {
+  std::lock_guard<std::mutex> lock(progress_mu_);
+  return analyzed_;
+}
+
+MetricsSnapshot TunerService::Metrics() const {
+  MetricsSnapshot s = metrics_.Snapshot();
+  s.queue_depth = queue_.depth();
+  s.queue_capacity = queue_.capacity();
+  s.queue_high_water = queue_.high_water();
+  s.push_waits = queue_.push_waits();
+  return s;
+}
+
+std::vector<IndexSet> TunerService::History() const {
+  std::lock_guard<std::mutex> lock(history_mu_);
+  return history_;
+}
+
+bool TunerService::ApplyFeedback(uint64_t seq, bool inclusive,
+                                 bool with_asap) {
+  // Collect under the lock, apply outside it: Tuner::Feedback can be
+  // expensive and producers must not block on it when casting votes.
+  std::vector<std::pair<IndexSet, IndexSet>> to_apply;
+  {
+    std::lock_guard<std::mutex> lock(feedback_mu_);
+    if (with_asap) {
+      to_apply.swap(asap_feedback_);
+    }
+    auto end = inclusive ? pending_feedback_.upper_bound(seq)
+                         : pending_feedback_.lower_bound(seq);
+    for (auto it = pending_feedback_.begin(); it != end; ++it) {
+      to_apply.push_back(std::move(it->second));
+    }
+    pending_feedback_.erase(pending_feedback_.begin(), end);
+  }
+  for (auto& [f_plus, f_minus] : to_apply) {
+    tuner_->Feedback(f_plus, f_minus);
+    metrics_.OnFeedback();
+  }
+  return !to_apply.empty();
+}
+
+bool TunerService::ApplyAllFeedback() {
+  return ApplyFeedback(std::numeric_limits<uint64_t>::max(),
+                       /*inclusive=*/true, /*with_asap=*/true);
+}
+
+void TunerService::Publish() {
+  auto snapshot = std::make_shared<RecommendationSnapshot>();
+  snapshot->configuration = tuner_->Recommendation();
+  {
+    std::lock_guard<std::mutex> lock(progress_mu_);
+    snapshot->analyzed = analyzed_;
+  }
+  metrics_.OnPublish();
+  snapshot->version = metrics_.snapshot_version();
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  snapshot_ = std::move(snapshot);
+}
+
+void TunerService::WorkerLoop() {
+  std::vector<Statement> batch;
+  batch.reserve(options_.max_batch);
+  while (true) {
+    batch.clear();
+    uint64_t first_seq = 0;
+    size_t n = queue_.PopBatch(&batch, options_.max_batch, &first_seq);
+    if (n == 0) break;  // closed and drained
+    metrics_.OnBatch(n);
+    for (size_t i = 0; i < n; ++i) {
+      uint64_t seq = first_seq + i;
+      // Votes that arrived since the last boundary (ASAP, or keyed to an
+      // already-analyzed statement) apply before this statement.
+      bool fed = ApplyFeedback(seq, /*inclusive=*/false, /*with_asap=*/true);
+      Clock::time_point start = Clock::now();
+      tuner_->AnalyzeQuery(batch[i]);
+      metrics_.OnAnalyzed(MicrosSince(start));
+      metrics_.SetRepartitions(tuner_->RepartitionCount());
+      // Deterministic interleave: votes keyed to this statement apply
+      // right after it, before its recommendation is recorded.
+      fed |= ApplyFeedback(seq, /*inclusive=*/true, /*with_asap=*/false);
+      (void)fed;
+      {
+        std::lock_guard<std::mutex> lock(progress_mu_);
+        analyzed_ = seq + 1;
+      }
+      if (options_.record_history) {
+        std::lock_guard<std::mutex> lock(history_mu_);
+        history_.push_back(tuner_->Recommendation());
+      }
+      Publish();
+      progress_cv_.notify_all();
+    }
+  }
+  // Drain path: votes cast after the final statement still take effect.
+  if (ApplyAllFeedback()) Publish();
+  {
+    std::lock_guard<std::mutex> lock(progress_mu_);
+    worker_done_ = true;
+  }
+  progress_cv_.notify_all();  // waiters must not hang once we stop
+}
+
+}  // namespace wfit::service

@@ -1,0 +1,167 @@
+// TunerService: a thread-safe online tuning service wrapping any Tuner
+// (WFIT, WFA+, BC) behind a concurrent ingestion pipeline.
+//
+//   producers ──Submit/SubmitAt──▶ IngestQueue (bounded, sequence-ordered)
+//                                       │  PopBatch
+//                                       ▼
+//                              analysis worker thread
+//                        (AnalyzeQuery per statement, DBA
+//                         feedback interleaved at statement
+//                         boundaries, snapshot publication)
+//                                       │
+//              Recommendation() ◀── versioned snapshot (readers never
+//                                   block on analysis)
+//
+// Determinism contract: the analysis order equals the sequence-number
+// order of submitted statements, and feedback registered with
+// FeedbackAfter(k, ...) is applied immediately after statement k — so a
+// multi-threaded replay of a workload (statement i submitted at sequence i
+// from any thread) produces exactly the recommendation trajectory of a
+// serial run of the same tuner on the same workload.
+#ifndef WFIT_SERVICE_TUNER_SERVICE_H_
+#define WFIT_SERVICE_TUNER_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/index_set.h"
+#include "core/tuner.h"
+#include "service/ingest_queue.h"
+#include "service/metrics.h"
+#include "workload/statement.h"
+
+namespace wfit::service {
+
+struct TunerServiceOptions {
+  /// Bound on buffered statements; producers beyond it experience
+  /// backpressure.
+  size_t queue_capacity = 1024;
+  /// The worker drains at most this many statements per batch.
+  size_t max_batch = 32;
+  /// Record the recommendation after every analyzed statement (for
+  /// determinism tests and offline inspection). Off in production.
+  bool record_history = false;
+};
+
+/// An immutable, versioned view of the tuner's recommendation. Obtained
+/// lock-free of the analysis path; hold it as long as convenient.
+struct RecommendationSnapshot {
+  IndexSet configuration;
+  /// Statements analyzed when this snapshot was published.
+  uint64_t analyzed = 0;
+  /// Monotone publication counter (feedback application also bumps it).
+  uint64_t version = 0;
+};
+
+class TunerService {
+ public:
+  /// The service takes ownership of the tuner: after Start() the worker
+  /// thread is the only caller of tuner->AnalyzeQuery()/Feedback(), which
+  /// is what makes single-threaded Tuner implementations safe to serve
+  /// concurrent producers.
+  TunerService(std::unique_ptr<Tuner> tuner, TunerServiceOptions options = {});
+
+  /// Shuts down (draining buffered statements) if still running.
+  ~TunerService();
+
+  TunerService(const TunerService&) = delete;
+  TunerService& operator=(const TunerService&) = delete;
+
+  /// Spawns the analysis worker. Must be called exactly once.
+  void Start();
+
+  /// Closes the intake, waits for every buffered statement to be analyzed
+  /// and pending feedback to be applied, and joins the worker. Idempotent.
+  void Shutdown();
+
+  /// Blocking submission in arrival order; returns false iff shut down.
+  bool Submit(Statement stmt);
+  /// Non-blocking submission; returns false if the queue is full or the
+  /// service is shut down (counted in metrics as a rejection).
+  bool TrySubmit(Statement stmt);
+  /// Deterministic submission: the statement is analyzed as the `seq`-th
+  /// of the stream regardless of which thread submits first. See
+  /// IngestQueue::PushAt for the contiguity contract.
+  bool SubmitAt(uint64_t seq, Statement stmt);
+
+  /// Registers a DBA vote applied at the next statement boundary (i.e.
+  /// before the next AnalyzeQuery), serialized with analysis.
+  void Feedback(IndexSet f_plus, IndexSet f_minus);
+  /// Registers a DBA vote applied immediately after statement `after_seq`
+  /// is analyzed — the deterministic variant. If that statement was
+  /// already analyzed, the vote is applied at the next boundary.
+  void FeedbackAfter(uint64_t after_seq, IndexSet f_plus, IndexSet f_minus);
+
+  /// Current published snapshot; never blocks on analysis. Non-null once
+  /// Start() has run (the first snapshot carries the initial
+  /// configuration with analyzed == 0).
+  std::shared_ptr<const RecommendationSnapshot> Recommendation() const;
+
+  /// Blocks until at least `n` statements have been analyzed, or the
+  /// worker has stopped (shutdown). Returns true iff `n` was reached.
+  bool WaitUntilAnalyzed(uint64_t n) const;
+  uint64_t analyzed() const;
+
+  /// Merged service + queue metrics.
+  MetricsSnapshot Metrics() const;
+
+  /// Per-statement recommendation history; statement i's entry is the
+  /// recommendation right after it was analyzed (feedback applied at that
+  /// boundary included). Requires options.record_history; call after
+  /// Shutdown() or synchronize via WaitUntilAnalyzed().
+  std::vector<IndexSet> History() const;
+
+  const Tuner& tuner() const { return *tuner_; }
+  std::string name() const { return tuner_->name(); }
+
+ private:
+  void WorkerLoop();
+  /// Applies ASAP feedback plus keyed feedback with after_seq < `seq`
+  /// (with_asap) or after_seq <= `seq` (boundary application). Returns
+  /// true if any vote was applied.
+  bool ApplyFeedback(uint64_t seq, bool inclusive, bool with_asap);
+  /// Applies everything still pending (drain path).
+  bool ApplyAllFeedback();
+  void Publish();
+
+  std::unique_ptr<Tuner> tuner_;
+  TunerServiceOptions options_;
+  IngestQueue queue_;
+  ServiceMetrics metrics_;
+  std::thread worker_;
+  // Lifecycle state; guarded so Shutdown() is safe to race with the
+  // destructor or another owner thread.
+  std::mutex lifecycle_mu_;
+  bool started_ = false;
+  bool joined_ = false;
+
+  // Pending feedback: keyed entries apply right after their statement;
+  // ASAP entries apply at the next statement boundary. FIFO within a key.
+  mutable std::mutex feedback_mu_;
+  std::multimap<uint64_t, std::pair<IndexSet, IndexSet>> pending_feedback_;
+  std::vector<std::pair<IndexSet, IndexSet>> asap_feedback_;
+
+  // Published snapshot (pointer swap under a short critical section).
+  mutable std::mutex snapshot_mu_;
+  std::shared_ptr<const RecommendationSnapshot> snapshot_;
+
+  // Analysis progress for WaitUntilAnalyzed.
+  mutable std::mutex progress_mu_;
+  mutable std::condition_variable progress_cv_;
+  uint64_t analyzed_ = 0;
+  bool worker_done_ = false;
+
+  mutable std::mutex history_mu_;
+  std::vector<IndexSet> history_;
+};
+
+}  // namespace wfit::service
+
+#endif  // WFIT_SERVICE_TUNER_SERVICE_H_

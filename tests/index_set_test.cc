@@ -74,7 +74,9 @@ TEST(IndexSetTest, IterationIsSorted) {
   IndexId prev = 0;
   bool first = true;
   for (IndexId id : s) {
-    if (!first) EXPECT_GT(id, prev);
+    if (!first) {
+      EXPECT_GT(id, prev);
+    }
     prev = id;
     first = false;
   }

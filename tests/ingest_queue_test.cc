@@ -1,0 +1,173 @@
+#include "service/ingest_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace wfit::service {
+namespace {
+
+/// Statements in these tests only need an identity; the sql field is a
+/// convenient payload.
+Statement Tagged(const std::string& tag) {
+  Statement s;
+  s.sql = tag;
+  return s;
+}
+
+std::vector<std::string> Tags(const std::vector<Statement>& batch) {
+  std::vector<std::string> tags;
+  for (const Statement& s : batch) tags.push_back(s.sql);
+  return tags;
+}
+
+TEST(IngestQueueTest, DeliversFifoSingleThread) {
+  IngestQueue q(8);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(q.Push(Tagged(std::to_string(i))));
+  }
+  EXPECT_EQ(q.depth(), 5u);
+  std::vector<Statement> batch;
+  uint64_t first_seq = 99;
+  EXPECT_EQ(q.PopBatch(&batch, 10, &first_seq), 5u);
+  EXPECT_EQ(first_seq, 0u);
+  EXPECT_EQ(Tags(batch), (std::vector<std::string>{"0", "1", "2", "3", "4"}));
+  EXPECT_EQ(q.depth(), 0u);
+}
+
+TEST(IngestQueueTest, PopBatchRespectsMaxBatch) {
+  IngestQueue q(16);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(q.Push(Tagged("s")));
+  std::vector<Statement> batch;
+  EXPECT_EQ(q.PopBatch(&batch, 4), 4u);
+  EXPECT_EQ(q.depth(), 6u);
+  batch.clear();
+  uint64_t first_seq = 0;
+  EXPECT_EQ(q.PopBatch(&batch, 100, &first_seq), 6u);
+  EXPECT_EQ(first_seq, 4u);
+}
+
+TEST(IngestQueueTest, TryPushRefusesWhenFull) {
+  IngestQueue q(2);
+  EXPECT_TRUE(q.TryPush(Tagged("a")));
+  EXPECT_TRUE(q.TryPush(Tagged("b")));
+  EXPECT_FALSE(q.TryPush(Tagged("c")));
+  std::vector<Statement> batch;
+  EXPECT_EQ(q.PopBatch(&batch, 1), 1u);
+  EXPECT_TRUE(q.TryPush(Tagged("c")));
+  EXPECT_EQ(q.depth(), 2u);
+}
+
+TEST(IngestQueueTest, PushBlocksOnBackpressureAndResumes) {
+  IngestQueue q(1);
+  EXPECT_TRUE(q.Push(Tagged("0")));
+  std::thread producer([&] {
+    EXPECT_TRUE(q.Push(Tagged("1")));  // blocks until the pop below
+    EXPECT_TRUE(q.Push(Tagged("2")));
+  });
+  std::vector<Statement> batch;
+  size_t got = 0;
+  while (got < 3) {
+    got += q.PopBatch(&batch, 1);
+  }
+  producer.join();
+  EXPECT_EQ(Tags(batch), (std::vector<std::string>{"0", "1", "2"}));
+  EXPECT_GE(q.push_waits(), 1u);
+  EXPECT_EQ(q.high_water(), 1u);
+}
+
+TEST(IngestQueueTest, ExplicitSequenceDeliveredInOrder) {
+  IngestQueue q(8);
+  EXPECT_TRUE(q.PushAt(2, Tagged("2")));
+  EXPECT_TRUE(q.PushAt(0, Tagged("0")));
+  // Only the contiguous prefix {0} is deliverable; 2 waits for 1.
+  std::vector<Statement> batch;
+  EXPECT_EQ(q.PopBatch(&batch, 10), 1u);
+  EXPECT_EQ(batch.back().sql, "0");
+  EXPECT_TRUE(q.PushAt(1, Tagged("1")));
+  batch.clear();
+  EXPECT_EQ(q.PopBatch(&batch, 10), 2u);
+  EXPECT_EQ(Tags(batch), (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(IngestQueueTest, CloseDrainsThenReportsEndOfStream) {
+  IngestQueue q(8);
+  EXPECT_TRUE(q.Push(Tagged("a")));
+  EXPECT_TRUE(q.Push(Tagged("b")));
+  q.Close();
+  EXPECT_FALSE(q.Push(Tagged("c")));
+  EXPECT_FALSE(q.TryPush(Tagged("c")));
+  EXPECT_FALSE(q.PushAt(7, Tagged("c")));
+  std::vector<Statement> batch;
+  EXPECT_EQ(q.PopBatch(&batch, 10), 2u);
+  EXPECT_EQ(q.PopBatch(&batch, 10), 0u);  // end of stream, no block
+}
+
+TEST(IngestQueueTest, CloseUnblocksWaitingConsumer) {
+  IngestQueue q(4);
+  std::thread closer([&] { q.Close(); });
+  std::vector<Statement> batch;
+  EXPECT_EQ(q.PopBatch(&batch, 1), 0u);
+  closer.join();
+}
+
+TEST(IngestQueueTest, MultiProducerImplicitTicketsDeliverEachOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 250;
+  IngestQueue q(32);
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.Push(Tagged(std::to_string(p * kPerProducer + i))));
+      }
+    });
+  }
+  std::multiset<std::string> seen;
+  std::vector<Statement> batch;
+  while (seen.size() < kProducers * kPerProducer) {
+    batch.clear();
+    size_t n = q.PopBatch(&batch, 7);
+    ASSERT_GT(n, 0u);
+    for (const Statement& s : batch) seen.insert(s.sql);
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(seen.size(), static_cast<size_t>(kProducers * kPerProducer));
+  // Exactly-once delivery: no tag repeats.
+  EXPECT_EQ(seen.size(), std::set<std::string>(seen.begin(), seen.end()).size());
+  EXPECT_LE(q.high_water(), 32u);
+  EXPECT_EQ(q.total_pushed(), static_cast<uint64_t>(kProducers * kPerProducer));
+}
+
+TEST(IngestQueueTest, MultiProducerExplicitSequenceRestoresTotalOrder) {
+  constexpr int kProducers = 4;
+  constexpr uint64_t kTotal = 600;
+  IngestQueue q(16);  // much smaller than the stream: exercises blocking
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (uint64_t seq = p; seq < kTotal; seq += kProducers) {
+        ASSERT_TRUE(q.PushAt(seq, Tagged(std::to_string(seq))));
+      }
+    });
+  }
+  std::vector<std::string> delivered;
+  std::vector<Statement> batch;
+  while (delivered.size() < kTotal) {
+    batch.clear();
+    size_t n = q.PopBatch(&batch, 13);
+    ASSERT_GT(n, 0u);
+    for (const Statement& s : batch) delivered.push_back(s.sql);
+  }
+  for (auto& t : producers) t.join();
+  for (uint64_t i = 0; i < kTotal; ++i) {
+    ASSERT_EQ(delivered[i], std::to_string(i));
+  }
+}
+
+}  // namespace
+}  // namespace wfit::service

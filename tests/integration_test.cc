@@ -114,7 +114,7 @@ TEST(IntegrationTest, AutoWfitRunsTheWholeTrace) {
   ExperimentSeries series = driver.Run(&auto_tuner, IndexSet{}, {});
   EXPECT_EQ(series.cumulative.size(), bench.workload.size());
   EXPECT_GT(series.final_total, 0.0);
-  EXPECT_GT(auto_tuner.repartition_count(), 0u);
+  EXPECT_GT(auto_tuner.RepartitionCount(), 0u);
   // The tuner must keep its self-imposed budgets.
   EXPECT_LE(auto_tuner.TotalStates(), 128u);
   size_t total_candidates = 0;

@@ -124,7 +124,7 @@ TEST(WfitTest, RepartitionHappensAndCountsAreTracked) {
       tuner.AnalyzeQuery(q);
     }
   }
-  EXPECT_GT(tuner.repartition_count(), 0u);
+  EXPECT_GT(tuner.RepartitionCount(), 0u);
   EXPECT_LE(tuner.TotalStates(), FastOptions().candidates.state_cnt);
 }
 

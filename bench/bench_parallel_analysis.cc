@@ -1,0 +1,217 @@
+// Parallel per-part analysis engine: end-to-end WFIT statement throughput
+// at 1 / 2 / 8 analysis threads on the benchmark workload at full candidate
+// scale (idxCnt = 40, stateCnt = 500), with interleaved DBA feedback.
+//
+// Three tuner configurations are measured:
+//
+//   WFA+ (paper partition)  — the paper's evaluation configuration
+//                             (stateCnt 500); per-part tasks are tiny
+//                             (~10 us), so this row mostly shows the
+//                             dispatch overhead floor;
+//   WFA+ (scaled-up parts)  — stateCnt 64k: per-part work-function state
+//                             is 100x larger, the regime the parallel
+//                             engine is built for (per-part relaxation +
+//                             IBG tasks in the 0.1-1 ms range);
+//   WFIT (auto)             — adds chooseCands (serial per statement), so
+//                             the speedup shows the Amdahl effect of the
+//                             candidate-maintenance stage.
+//
+// For every thread count the recommendation trajectory is recorded and
+// compared bit-for-bit — the determinism contract of the engine. The
+// statement-scoped what-if memo hit rate is reported alongside. Results are
+// merged into BENCH_service.json for the perf trajectory.
+//
+// NOTE: wall-clock speedup requires actual cores; on a single-core host the
+// trajectories still validate but the parallel runs will not be faster.
+// Set WFIT_BENCH_FAST=1 for a scaled-down smoke run.
+#include <chrono>
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/worker_pool.h"
+#include "core/wfa_plus.h"
+#include "core/wfit.h"
+#include "harness/reporting.h"
+
+namespace wfit {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct RunStats {
+  double seconds = 0.0;
+  double stmts_per_minute = 0.0;
+  uint64_t what_if_calls = 0;
+  WhatIfCacheCounters cache;
+  std::vector<IndexSet> trajectory;
+};
+
+/// Replays the workload through `tuner` with deterministic interleaved
+/// feedback (every 150th statement the DBA vetoes the first recommended
+/// index — identical across runs as long as trajectories are identical).
+RunStats Replay(Tuner* tuner, const Workload& w,
+                const WhatIfOptimizer& real_optimizer) {
+  RunStats stats;
+  stats.trajectory.reserve(w.size());
+  uint64_t calls_before = real_optimizer.num_calls();
+  Clock::time_point t0 = Clock::now();
+  for (size_t i = 0; i < w.size(); ++i) {
+    tuner->AnalyzeQuery(w[i]);
+    if (i > 0 && i % 150 == 0) {
+      IndexSet rec = tuner->Recommendation();
+      if (!rec.empty()) {
+        tuner->Feedback(IndexSet{}, IndexSet{*rec.begin()});
+      }
+    }
+    stats.trajectory.push_back(tuner->Recommendation());
+  }
+  stats.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  stats.stmts_per_minute =
+      60.0 * static_cast<double>(w.size()) / stats.seconds;
+  stats.what_if_calls = real_optimizer.num_calls() - calls_before;
+  stats.cache = tuner->WhatIfCache();
+  return stats;
+}
+
+bool TrajectoriesMatch(const std::vector<IndexSet>& a,
+                       const std::vector<IndexSet>& b, const char* label) {
+  if (a.size() != b.size()) {
+    std::cout << "  TRAJECTORY MISMATCH (" << label << "): length\n";
+    return false;
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) {
+      std::cout << "  TRAJECTORY MISMATCH (" << label << ") at statement "
+                << i << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+void PrintRow(size_t threads, const RunStats& r, const RunStats& base) {
+  std::cout << std::setw(10) << threads << std::setw(12) << std::fixed
+            << std::setprecision(2) << r.seconds << std::setw(16)
+            << static_cast<uint64_t>(r.stmts_per_minute) << std::setw(10)
+            << std::setprecision(2) << base.seconds / r.seconds
+            << std::setw(14) << r.what_if_calls << std::setw(12)
+            << std::setprecision(3) << r.cache.hit_rate() << "\n";
+}
+
+}  // namespace
+}  // namespace wfit
+
+int main() {
+  using namespace wfit;
+  const bool fast = std::getenv("WFIT_BENCH_FAST") != nullptr;
+  bench::BenchEnv env;
+  const Workload& workload = env.workload();
+  const std::vector<size_t> thread_counts = {1, 2, 8};
+
+  std::cout << "parallel per-part analysis engine, " << workload.size()
+            << " statements, hardware_concurrency = "
+            << WorkerPool::DefaultThreads() << "\n";
+
+  std::vector<std::pair<std::string, double>> json;
+  bool all_identical = true;
+
+  // --- WFA+ over offline fixed stable partitions (full candidate scale) -
+  // Paper-scale parts (stateCnt 500) and scaled-up parts (stateCnt 64k):
+  // the first shows the dispatch-overhead floor on tiny tasks, the second
+  // the regime where per-part state dominates and the fan-out pays.
+  struct FixedConfig {
+    const char* label;
+    const char* json_prefix;
+    size_t state_cnt;
+  };
+  const std::vector<FixedConfig> fixed_configs = {
+      {"WFA+ paper partition (stateCnt 500)", "parallel_wfa_plus", 500},
+      {"WFA+ scaled-up parts (stateCnt 64k)", "parallel_wfa_plus_big",
+       size_t{1} << 16},
+  };
+  for (const FixedConfig& config : fixed_configs) {
+    harness::OfflinePartitionResult fixed =
+        env.FixedPartition(config.state_cnt, /*idx_cnt=*/40);
+    std::cout << "\n" << config.label << ": " << fixed.partition.size()
+              << " parts, " << fixed.candidates.size() << " candidates\n";
+    std::cout << std::setw(10) << "threads" << std::setw(12) << "wall s"
+              << std::setw(16) << "stmts/min" << std::setw(10) << "speedup"
+              << std::setw(14) << "what-if" << std::setw(12) << "hit rate"
+              << "\n";
+    RunStats base;
+    for (size_t threads : thread_counts) {
+      WfaPlus tuner(&env.pool(), &env.optimizer(), fixed.partition,
+                    IndexSet{});
+      std::unique_ptr<WorkerPool> pool;
+      if (threads > 1) {
+        // threads - 1 workers + the calling thread = `threads` total.
+        pool = std::make_unique<WorkerPool>(threads - 1);
+        tuner.SetAnalysisPool(pool.get());
+      }
+      RunStats r = Replay(&tuner, workload, env.optimizer());
+      if (threads == 1) base = r;
+      PrintRow(threads, r, base);
+      all_identical =
+          all_identical &&
+          TrajectoriesMatch(base.trajectory, r.trajectory, config.label);
+      json.emplace_back(std::string(config.json_prefix) +
+                            "_stmts_per_min_t" + std::to_string(threads),
+                        r.stmts_per_minute);
+      if (threads == thread_counts.back()) {
+        json.emplace_back(std::string(config.json_prefix) + "_speedup_t8",
+                          base.seconds / r.seconds);
+        json.emplace_back(std::string(config.json_prefix) + "_cache_hit_rate",
+                          r.cache.hit_rate());
+      }
+    }
+  }
+
+  // --- Full WFIT (automatic candidate maintenance, full scale) ----------
+  {
+    WfitOptions options;  // paper defaults: idxCnt 40, stateCnt 500
+    std::cout << "\nWFIT auto (idxCnt " << options.candidates.idx_cnt
+              << ", stateCnt " << options.candidates.state_cnt << ")\n";
+    std::cout << std::setw(10) << "threads" << std::setw(12) << "wall s"
+              << std::setw(16) << "stmts/min" << std::setw(10) << "speedup"
+              << std::setw(14) << "what-if" << std::setw(12) << "hit rate"
+              << "\n";
+    RunStats base;
+    for (size_t threads : thread_counts) {
+      Wfit tuner(&env.pool(), &env.optimizer(), IndexSet{}, options);
+      std::unique_ptr<WorkerPool> pool;
+      if (threads > 1) {
+        // threads - 1 workers + the calling thread = `threads` total.
+        pool = std::make_unique<WorkerPool>(threads - 1);
+        tuner.SetAnalysisPool(pool.get());
+      }
+      RunStats r = Replay(&tuner, workload, env.optimizer());
+      if (threads == 1) base = r;
+      PrintRow(threads, r, base);
+      all_identical = all_identical &&
+                      TrajectoriesMatch(base.trajectory, r.trajectory, "WFIT");
+      json.emplace_back(
+          "parallel_wfit_stmts_per_min_t" + std::to_string(threads),
+          r.stmts_per_minute);
+      if (threads == thread_counts.back()) {
+        json.emplace_back("parallel_wfit_speedup_t8",
+                          base.seconds / r.seconds);
+        json.emplace_back("parallel_wfit_cache_hit_rate",
+                          r.cache.hit_rate());
+      }
+    }
+  }
+
+  std::cout << "\ntrajectories identical across thread counts: "
+            << (all_identical ? "yes" : "NO") << "\n";
+  json.emplace_back("parallel_trajectories_identical",
+                    all_identical ? 1.0 : 0.0);
+  json.emplace_back("parallel_bench_fast_mode", fast ? 1.0 : 0.0);
+  harness::UpdateBenchJson("BENCH_service.json", json);
+  std::cout << "wrote BENCH_service.json\n";
+  return all_identical ? 0 : 1;
+}

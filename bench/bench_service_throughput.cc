@@ -4,8 +4,13 @@
 //
 //   pipeline-only  — a no-op tuner isolates the queue + worker + snapshot
 //                    machinery (the service's intrinsic ceiling);
-//   WFIT           — end-to-end analysis on the benchmark workload.
+//   WFIT serial    — end-to-end analysis on the benchmark workload with
+//                    analysis_threads = 1;
+//   WFIT parallel  — same tuner with the per-part analysis fanned out
+//                    across the service-owned worker pool.
 //
+// Headline numbers (sustained stmts/min, what-if cache hit rate) are merged
+// into BENCH_service.json for the perf trajectory.
 // Set WFIT_BENCH_FAST=1 for a scaled-down smoke run.
 #include <algorithm>
 #include <atomic>
@@ -18,6 +23,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "common/worker_pool.h"
 #include "core/wfit.h"
 #include "harness/reporting.h"
 #include "service/tuner_service.h"
@@ -52,10 +58,12 @@ double Percentile(const std::vector<double>& sorted, double p) {
 /// Streams `total` statements (the workload, cycled) from `producers`
 /// threads while one reader hammers Recommendation().
 RunResult RunService(std::unique_ptr<Tuner> tuner, const Workload& workload,
-                     size_t total, int producers, size_t queue_capacity) {
+                     size_t total, int producers, size_t queue_capacity,
+                     size_t analysis_threads = 1) {
   service::TunerServiceOptions options;
   options.queue_capacity = queue_capacity;
   options.max_batch = 32;
+  options.analysis_threads = analysis_threads;
   service::TunerService service(std::move(tuner), options);
   service.Start();
 
@@ -131,6 +139,8 @@ int main() {
   const Workload& workload = env.workload();
   const int producers = 4;
 
+  std::vector<std::pair<std::string, double>> json;
+
   {
     size_t total = fast ? 50000 : 400000;
     auto r = RunService(std::make_unique<NullTuner>(), workload, total,
@@ -138,6 +148,8 @@ int main() {
     Report("service pipeline only (null tuner), " + std::to_string(total) +
                " statements, " + std::to_string(producers) + " producers",
            r, total);
+    json.emplace_back("service_pipeline_stmts_per_min",
+                      r.statements_per_minute);
   }
 
   {
@@ -150,13 +162,43 @@ int main() {
     options.candidates.hist_size = 50;
     options.candidates.ibg_cap = 12;
     options.candidates.ibg_node_budget = 60;
-    auto tuner = std::make_unique<Wfit>(&env.pool(), &env.optimizer(),
-                                        IndexSet{}, options);
-    auto r = RunService(std::move(tuner), workload, total, producers,
-                        /*queue_capacity=*/1024);
-    Report("WFIT end-to-end, " + std::to_string(total) + " statements, " +
+
+    auto serial_tuner = std::make_unique<Wfit>(&env.pool(), &env.optimizer(),
+                                               IndexSet{}, options);
+    auto serial = RunService(std::move(serial_tuner), workload, total,
+                             producers, /*queue_capacity=*/1024,
+                             /*analysis_threads=*/1);
+    Report("WFIT end-to-end (serial analysis), " + std::to_string(total) +
+               " statements, " + std::to_string(producers) + " producers",
+           serial, total);
+
+    const size_t threads = WorkerPool::DefaultThreads();
+    auto parallel_tuner = std::make_unique<Wfit>(
+        &env.pool(), &env.optimizer(), IndexSet{}, options);
+    auto parallel = RunService(std::move(parallel_tuner), workload, total,
+                               producers, /*queue_capacity=*/1024,
+                               /*analysis_threads=*/threads);
+    Report("WFIT end-to-end (parallel analysis, " + std::to_string(threads) +
+               " threads), " + std::to_string(total) + " statements, " +
                std::to_string(producers) + " producers",
-           r, total);
+           parallel, total);
+
+    json.emplace_back("service_wfit_serial_stmts_per_min",
+                      serial.statements_per_minute);
+    json.emplace_back("service_wfit_parallel_stmts_per_min",
+                      parallel.statements_per_minute);
+    json.emplace_back("service_wfit_parallel_threads",
+                      static_cast<double>(threads));
+    json.emplace_back("what_if_cache_hit_rate",
+                      parallel.metrics.what_if_cache_hit_rate());
+    json.emplace_back("what_if_cache_hits",
+                      static_cast<double>(parallel.metrics.what_if_cache_hits));
+    json.emplace_back(
+        "what_if_cache_misses",
+        static_cast<double>(parallel.metrics.what_if_cache_misses));
   }
+
+  harness::UpdateBenchJson("BENCH_service.json", json);
+  std::cout << "wrote BENCH_service.json\n";
   return 0;
 }

@@ -1,0 +1,109 @@
+#include "common/worker_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <utility>
+
+#include "common/check.h"
+
+namespace wfit {
+
+size_t WorkerPool::DefaultThreads() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+WorkerPool::WorkerPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = DefaultThreads();
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::Submit(std::function<void()> task) {
+  WFIT_CHECK(task != nullptr, "WorkerPool::Submit requires a task");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    WFIT_CHECK(!stop_, "WorkerPool::Submit after shutdown");
+    tasks_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void WorkerPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stop_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stop_ and drained
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+void WorkerPool::ParallelFor(size_t n, const std::function<void(size_t)>& body) {
+  if (n == 0) return;
+  if (n == 1 || threads_.empty()) {
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  // Shared loop state. Helpers hold the shared_ptr, so a task that fires
+  // after the loop already finished (all iterations claimed) is a no-op
+  // rather than a dangling access.
+  struct Shared {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    size_t total = 0;
+    const std::function<void(size_t)>* body = nullptr;
+    std::mutex m;
+    std::condition_variable done_cv;
+    std::exception_ptr error;
+  };
+  auto shared = std::make_shared<Shared>();
+  shared->total = n;
+  shared->body = &body;
+
+  auto drain = [shared] {
+    size_t i;
+    while ((i = shared->next.fetch_add(1)) < shared->total) {
+      try {
+        (*shared->body)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(shared->m);
+        if (!shared->error) shared->error = std::current_exception();
+      }
+      if (shared->done.fetch_add(1) + 1 == shared->total) {
+        // Notify under the mutex so the caller's predicate check cannot
+        // miss the final completion.
+        std::lock_guard<std::mutex> lock(shared->m);
+        shared->done_cv.notify_all();
+      }
+    }
+  };
+
+  const size_t helpers = std::min(threads_.size(), n - 1);
+  for (size_t h = 0; h < helpers; ++h) Submit(drain);
+  drain();  // the caller works too — nested ParallelFor cannot deadlock
+
+  std::unique_lock<std::mutex> lock(shared->m);
+  shared->done_cv.wait(lock,
+                       [&] { return shared->done.load() == shared->total; });
+  if (shared->error) std::rethrow_exception(shared->error);
+}
+
+}  // namespace wfit

@@ -1,0 +1,67 @@
+// A fixed-size worker pool shared by CPU-bound fan-out work: per-part IBG
+// construction and WFA updates inside one statement, and any future
+// multi-tenant analysis sharing. Two usage modes:
+//
+//   Submit(task)        — fire-and-forget FIFO task execution;
+//   ParallelFor(n, fn)  — run fn(0..n-1) across the pool and the calling
+//                         thread, returning when every iteration is done.
+//
+// ParallelFor is cooperative: the caller participates in the loop, so a
+// ParallelFor issued from inside a pool task (nested parallelism) degrades
+// to caller-only execution instead of deadlocking, and a pool whose workers
+// are busy never stalls the caller. Iteration *assignment* to threads is
+// nondeterministic; callers must keep iterations independent (the analysis
+// engine's per-part tasks touch disjoint WfaInstances).
+#ifndef WFIT_COMMON_WORKER_POOL_H_
+#define WFIT_COMMON_WORKER_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wfit {
+
+class WorkerPool {
+ public:
+  /// Spawns `num_threads` workers; 0 means DefaultThreads(). A pool of one
+  /// thread is legal but ParallelFor callers also run iterations, so
+  /// size the pool to the total desired concurrency.
+  explicit WorkerPool(size_t num_threads = 0);
+
+  /// Joins all workers after draining submitted tasks.
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// max(1, std::thread::hardware_concurrency()).
+  static size_t DefaultThreads();
+
+  /// Enqueues a task for asynchronous execution (FIFO dispatch).
+  void Submit(std::function<void()> task);
+
+  /// Runs body(0) .. body(n-1) across the pool, with the calling thread
+  /// pulling iterations too. Returns when all n iterations completed. If
+  /// any iteration throws, the first exception is rethrown here (after all
+  /// iterations have been claimed; in-flight ones still finish).
+  void ParallelFor(size_t n, const std::function<void(size_t)>& body);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  bool stop_ = false;
+};
+
+}  // namespace wfit
+
+#endif  // WFIT_COMMON_WORKER_POOL_H_

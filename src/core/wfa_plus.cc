@@ -5,19 +5,35 @@
 
 namespace wfit {
 
-std::vector<IndexId> RelevantCandidates(const Statement& q,
+std::vector<TableId> StatementTables(const Statement& q) {
+  std::vector<TableId> tables;
+  tables.reserve(q.tables.size());
+  for (const StatementTable& t : q.tables) tables.push_back(t.table);
+  std::sort(tables.begin(), tables.end());
+  tables.erase(std::unique(tables.begin(), tables.end()), tables.end());
+  return tables;
+}
+
+std::vector<IndexId> RelevantCandidates(const std::vector<TableId>& tables,
                                         const IndexPool& pool,
                                         const std::vector<IndexId>& universe,
                                         size_t cap) {
-  std::set<TableId> tables;
-  for (const StatementTable& t : q.tables) tables.insert(t.table);
   std::vector<IndexId> out;
   for (IndexId id : universe) {
-    if (tables.count(pool.def(id).table) != 0) out.push_back(id);
+    if (std::binary_search(tables.begin(), tables.end(), pool.def(id).table)) {
+      out.push_back(id);
+    }
   }
   std::sort(out.begin(), out.end());
   if (out.size() > cap) out.resize(cap);
   return out;
+}
+
+std::vector<IndexId> RelevantCandidates(const Statement& q,
+                                        const IndexPool& pool,
+                                        const std::vector<IndexId>& universe,
+                                        size_t cap) {
+  return RelevantCandidates(StatementTables(q), pool, universe, cap);
 }
 
 WfaPlus::WfaPlus(const IndexPool* pool, const WhatIfOptimizer* optimizer,
@@ -31,6 +47,7 @@ WfaPlus::WfaPlus(const IndexPool* pool, const WhatIfOptimizer* optimizer,
       ibg_node_budget_(ibg_node_budget) {
   WFIT_CHECK(pool != nullptr && optimizer != nullptr,
              "WfaPlus requires pool and optimizer");
+  memo_ = std::make_unique<CachingWhatIfOptimizer>(optimizer);
   std::set<IndexId> seen;
   for (const IndexSet& part : partition_) {
     WFIT_CHECK(!part.empty(), "empty part in stable partition");
@@ -57,22 +74,26 @@ void WfaPlus::AnalyzeQuery(const Statement& q) {
   // part's statement-relevant members get their own (small) benefit graph.
   // This keeps every candidate's signal exact — a single statement-wide
   // graph would have to shed candidates under the mask/node budgets.
-  AnalyzePartitioned(q, *pool_, *optimizer_, ibg_node_budget_, &instances_);
+  memo_->BeginStatement(&q);
+  AnalyzePartitioned(q, *pool_, *memo_, ibg_node_budget_, &instances_,
+                     analysis_pool_);
 }
 
 void AnalyzePartitioned(const Statement& q, const IndexPool& pool,
                         const WhatIfOptimizer& optimizer,
                         size_t ibg_node_budget,
-                        std::vector<WfaInstance>* instances) {
-  for (WfaInstance& instance : *instances) {
+                        std::vector<WfaInstance>* instances,
+                        WorkerPool* workers) {
+  const std::vector<TableId> tables = StatementTables(q);
+  auto analyze_part = [&](WfaInstance& instance) {
     const std::vector<IndexId>& members = instance.members();
-    std::vector<IndexId> relevant = RelevantCandidates(q, pool, members);
+    std::vector<IndexId> relevant = RelevantCandidates(tables, pool, members);
     if (relevant.empty()) {
       // The statement cannot touch this part: a constant cost function
       // leaves the work-function differentials (hence all decisions)
       // unchanged, so skip the what-if machinery entirely.
       instance.AnalyzeQuery([](Mask) { return 0.0; });
-      continue;
+      return;
     }
     IndexBenefitGraph ibg(q, optimizer, relevant, ibg_node_budget);
     std::vector<int> ibg_bit(members.size());
@@ -90,7 +111,18 @@ void AnalyzePartitioned(const Statement& q, const IndexPool& pool,
       }
       return ibg.CostOf(m);
     });
+  };
+
+  if (workers == nullptr || instances->size() <= 1) {
+    for (WfaInstance& instance : *instances) analyze_part(instance);
+    return;
   }
+  // Parallel fan-out, joined before the statement completes: task i owns
+  // instance i exclusively, so the statement-level serialization contract
+  // (parallel replay == serial replay, bit for bit) is preserved.
+  workers->ParallelFor(instances->size(), [&](size_t i) {
+    analyze_part((*instances)[i]);
+  });
 }
 
 IndexSet WfaPlus::Recommendation() const {

@@ -1,8 +1,16 @@
 // WFA+ (Sec. 4.2): divide-and-conquer WFA over a stable partition
-// {C1, ..., CK}. One WfaInstance per part; per statement, a single IBG over
-// the statement-relevant candidates supplies every part's cost function.
-// Recommendations are the union of per-part recommendations; Theorem 4.2
-// (equivalence with monolithic WFA on stable partitions) is property-tested.
+// {C1, ..., CK}. One WfaInstance per part; per statement, each
+// statement-relevant part gets its own (small) benefit graph supplying its
+// cost function. Recommendations are the union of per-part recommendations;
+// Theorem 4.2 (equivalence with monolithic WFA on stable partitions) is
+// property-tested.
+//
+// The per-part work — IBG node closure plus the WFA min-plus update — is
+// independent across parts (the paper's own decomposition, Sec. 5/Fig. 6),
+// so AnalyzePartitioned optionally fans it out across a WorkerPool and
+// joins before the statement completes. Results are bit-for-bit identical
+// to the serial loop: each task touches only its own WfaInstance, and the
+// shared what-if layer is a pure function of (statement, configuration).
 //
 // This class is also the paper's "WFIT with a fixed stable partition"
 // configuration used throughout the evaluation (Figs. 8–11); the full WFIT
@@ -13,14 +21,27 @@
 #include <memory>
 #include <vector>
 
+#include "common/worker_pool.h"
 #include "core/tuner.h"
 #include "core/work_function.h"
 #include "ibg/ibg.h"
+#include "optimizer/caching_what_if.h"
 
 namespace wfit {
 
-/// Candidates from `universe` that can influence `q`: indices on tables the
-/// statement touches, capped at `cap` (IBG masks are 32-bit). Deterministic.
+/// The sorted set of tables `q` touches (hoisted out of RelevantCandidates
+/// so per-part filtering rebuilds it once per statement, not once per part).
+std::vector<TableId> StatementTables(const Statement& q);
+
+/// Candidates from `universe` that can influence a statement touching
+/// `tables` (sorted): indices on those tables, capped at `cap` (IBG masks
+/// are 32-bit). Deterministic.
+std::vector<IndexId> RelevantCandidates(const std::vector<TableId>& tables,
+                                        const IndexPool& pool,
+                                        const std::vector<IndexId>& universe,
+                                        size_t cap = 25);
+
+/// Convenience overload deriving the table set from `q` directly.
 std::vector<IndexId> RelevantCandidates(const Statement& q,
                                         const IndexPool& pool,
                                         const std::vector<IndexId>& universe,
@@ -28,10 +49,14 @@ std::vector<IndexId> RelevantCandidates(const Statement& q,
 
 /// Runs one statement through a set of per-part WFA instances, building one
 /// IBG per statement-relevant part (shared by WfaPlus, Wfit and tests).
+/// With a non-null `workers`, per-part work runs on the pool (plus the
+/// calling thread) and joins before returning; the outcome is identical to
+/// the serial loop.
 void AnalyzePartitioned(const Statement& q, const IndexPool& pool,
                         const WhatIfOptimizer& optimizer,
                         size_t ibg_node_budget,
-                        std::vector<WfaInstance>* instances);
+                        std::vector<WfaInstance>* instances,
+                        WorkerPool* workers = nullptr);
 
 class WfaPlus : public Tuner {
  public:
@@ -49,6 +74,11 @@ class WfaPlus : public Tuner {
   void Feedback(const IndexSet& f_plus, const IndexSet& f_minus) override;
   std::string name() const override { return name_; }
 
+  void SetAnalysisPool(WorkerPool* pool) override { analysis_pool_ = pool; }
+  WhatIfCacheCounters WhatIfCache() const override {
+    return {memo_->hits(), memo_->misses()};
+  }
+
   const std::vector<IndexSet>& partition() const { return partition_; }
   const std::vector<WfaInstance>& instances() const { return instances_; }
   /// All monitored candidates (∪k Ck).
@@ -60,6 +90,10 @@ class WfaPlus : public Tuner {
  private:
   const IndexPool* pool_;
   const WhatIfOptimizer* optimizer_;
+  /// Statement-scoped probe memo layered over optimizer_; per-part IBGs of
+  /// one statement dedupe their configuration probes through it.
+  std::unique_ptr<CachingWhatIfOptimizer> memo_;
+  WorkerPool* analysis_pool_ = nullptr;
   std::vector<IndexSet> partition_;
   std::vector<WfaInstance> instances_;
   std::vector<IndexId> all_members_;

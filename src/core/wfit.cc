@@ -14,8 +14,11 @@ Wfit::Wfit(IndexPool* pool, const WhatIfOptimizer* optimizer,
       initial_materialized_(initial_materialized) {
   WFIT_CHECK(pool != nullptr && optimizer != nullptr,
              "Wfit requires pool and optimizer");
+  memo_ = std::make_unique<CachingWhatIfOptimizer>(optimizer);
+  // The selector probes through the memo too: its statement-wide IBG and
+  // the per-part IBGs of the same statement share configuration probes.
   selector_ = std::make_unique<CandidateSelector>(
-      pool, optimizer, options.candidates, options.seed);
+      pool, memo_.get(), options.candidates, options.seed);
   // Fig. 4 initialization: C = S0, one singleton part per initial index.
   for (IndexId a : initial_materialized) {
     partition_.push_back(IndexSet{a});
@@ -27,11 +30,15 @@ Wfit::Wfit(IndexPool* pool, const WhatIfOptimizer* optimizer,
 }
 
 IndexSet Wfit::Recommendation() const {
-  IndexSet out;
-  for (const WfaInstance& instance : instances_) {
-    out = out.Union(instance.RecommendationSet());
+  if (!rec_valid_) {
+    IndexSet out;
+    for (const WfaInstance& instance : instances_) {
+      out = out.Union(instance.RecommendationSet());
+    }
+    cached_rec_ = std::move(out);
+    rec_valid_ = true;
   }
-  return out;
+  return cached_rec_;
 }
 
 size_t Wfit::TotalStates() const {
@@ -94,9 +101,14 @@ void Wfit::Repartition(const std::vector<IndexSet>& new_partition) {
   partition_ = new_partition;
   candidate_set_ = new_universe;
   ++repartitions_;
+  rec_valid_ = false;
 }
 
 void Wfit::AnalyzeQuery(const Statement& q) {
+  // Scope the what-if memo to this statement: chooseCands' statement-wide
+  // IBG and the per-part IBGs below dedupe identical configuration probes.
+  memo_->BeginStatement(&q);
+
   // Fig. 6: chooseCands; M = what the DBA has materialized (the adopted
   // recommendation in this library's harness convention).
   CandidateAnalysis analysis =
@@ -112,9 +124,12 @@ void Wfit::AnalyzeQuery(const Statement& q) {
 
   // WFA+ step: one exact IBG per statement-relevant part (the selector's
   // statement-wide IBG serves the statistics only; per-part graphs keep
-  // every monitored candidate's cost signal exact).
-  AnalyzePartitioned(q, *pool_, *optimizer_,
-                     options_.candidates.ibg_node_budget, &instances_);
+  // every monitored candidate's cost signal exact). Per-part work fans out
+  // across the analysis pool when one is attached.
+  AnalyzePartitioned(q, *pool_, *memo_,
+                     options_.candidates.ibg_node_budget, &instances_,
+                     analysis_pool_);
+  rec_valid_ = false;
 }
 
 void Wfit::Feedback(const IndexSet& f_plus, const IndexSet& f_minus) {
@@ -137,6 +152,7 @@ void Wfit::Feedback(const IndexSet& f_plus, const IndexSet& f_minus) {
     instance.ApplyFeedback(instance.ToMask(f_plus),
                            instance.ToMask(f_minus));
   }
+  rec_valid_ = false;
 }
 
 }  // namespace wfit

@@ -16,9 +16,11 @@
 #include <string>
 #include <vector>
 
+#include "common/worker_pool.h"
 #include "core/candidates.h"
 #include "core/tuner.h"
 #include "core/work_function.h"
+#include "optimizer/caching_what_if.h"
 
 namespace wfit {
 
@@ -37,6 +39,11 @@ class Wfit : public Tuner {
        const IndexSet& initial_materialized, const WfitOptions& options);
 
   void AnalyzeQuery(const Statement& q) override;
+  /// NOTE: memoizes the per-part union in mutable state, so despite being
+  /// const it must not race with itself or any mutating call. All Tuner
+  /// entry points share one serialization domain (the service's analysis
+  /// worker; the harness loop) — concurrent readers need a snapshot layer
+  /// (service::TunerService::Recommendation) instead.
   IndexSet Recommendation() const override;
 
   /// Fig. 4 feedback. Votes on indices outside the candidate set are
@@ -46,6 +53,14 @@ class Wfit : public Tuner {
   void Feedback(const IndexSet& f_plus, const IndexSet& f_minus) override;
 
   std::string name() const override { return options_.name; }
+
+  /// Intra-statement parallelism: per-part IBG construction and WFA
+  /// updates fan out across `pool` (nullptr = serial). Deterministic: the
+  /// recommendation trajectory is independent of the pool size.
+  void SetAnalysisPool(WorkerPool* pool) override { analysis_pool_ = pool; }
+  WhatIfCacheCounters WhatIfCache() const override {
+    return {memo_->hits(), memo_->misses()};
+  }
 
   const std::vector<IndexSet>& partition() const { return partition_; }
   const IndexSet& candidate_set() const { return candidate_set_; }
@@ -60,6 +75,12 @@ class Wfit : public Tuner {
 
   IndexPool* pool_;
   const WhatIfOptimizer* optimizer_;
+  /// Statement-scoped what-if memo layered over optimizer_. The selector's
+  /// statement-wide IBG and every per-part IBG probe through it, so
+  /// identical configuration probes within one statement cost one real
+  /// optimizer call.
+  std::unique_ptr<CachingWhatIfOptimizer> memo_;
+  WorkerPool* analysis_pool_ = nullptr;
   WfitOptions options_;
   std::unique_ptr<CandidateSelector> selector_;
   std::vector<IndexSet> partition_;      // {C1, ..., CK}
@@ -67,6 +88,12 @@ class Wfit : public Tuner {
   IndexSet candidate_set_;               // C = ∪k Ck
   IndexSet initial_materialized_;        // S0 (repartition line 7)
   uint64_t repartitions_ = 0;
+  /// Recommendation() re-unions every instance's recommendation; it is
+  /// called at least twice per statement (chooseCands input, snapshot
+  /// publication), so the union is cached and invalidated whenever
+  /// instance state changes (analyze / feedback / repartition).
+  mutable IndexSet cached_rec_;
+  mutable bool rec_valid_ = false;
 };
 
 }  // namespace wfit

@@ -130,11 +130,16 @@ void WfaInstance::Relax(std::vector<double>* v) const {
 void WfaInstance::AnalyzeQuery(const PartCostFn& cost) {
   const size_t n = w_.size();
   // Stage 1: new work function w'[S] = min_X { w[X] + cost(X) + δ(X, S) }.
+  // Both buffers are filled in one pass and the relaxed one is swapped
+  // into w_ at the end (double-buffering instead of a per-statement copy).
   v_scratch_.resize(n);
+  relax_scratch_.resize(n);
   for (Mask s = 0; s < n; ++s) {
-    v_scratch_[s] = w_[s] + cost(s);
+    const double v = w_[s] + cost(s);
+    v_scratch_[s] = v;
+    relax_scratch_[s] = v;
   }
-  std::vector<double> relaxed = v_scratch_;
+  std::vector<double>& relaxed = relax_scratch_;
   Relax(&relaxed);
 
   // Stage 2: recommendation = argmin score(S) among S with S ∈ p[S], i.e.
@@ -155,7 +160,7 @@ void WfaInstance::AnalyzeQuery(const PartCostFn& cost) {
     }
   }
   WFIT_CHECK(have_best, "no self-path state found (Lemma 9.2 violated)");
-  w_ = std::move(relaxed);
+  std::swap(w_, relax_scratch_);
   curr_rec_ = best;
 }
 

@@ -90,8 +90,12 @@ class WfaInstance {
   std::vector<double> drop_cost_;    // δ− per member bit
   std::vector<double> w_;            // work function, 2^|members| entries
   Mask curr_rec_ = 0;
-  // Scratch buffers reused across AnalyzeQuery calls.
+  // Scratch buffers reused across AnalyzeQuery calls: v_scratch_ holds
+  // w[S] + cost(S) (the self-path reference), relax_scratch_ its relaxed
+  // copy which becomes the new work function by swap — no per-statement
+  // vector allocation.
   mutable std::vector<double> v_scratch_;
+  mutable std::vector<double> relax_scratch_;
 };
 
 }  // namespace wfit

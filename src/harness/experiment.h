@@ -32,9 +32,13 @@ struct ExperimentSeries {
   std::vector<size_t> checkpoints;
   std::vector<double> total_at_checkpoint;
   double final_total = 0.0;
-  /// Tuner-only analysis time (seconds) and what-if calls.
+  /// Tuner-only analysis time (seconds) and what-if calls (real optimizer
+  /// invocations; memoized probes do not count).
   double analyze_seconds = 0.0;
   uint64_t what_if_calls = 0;
+  /// Statement-scoped what-if memo counters (zero for tuners without one).
+  uint64_t what_if_cache_hits = 0;
+  uint64_t what_if_cache_misses = 0;
 };
 
 class ExperimentDriver {

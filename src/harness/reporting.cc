@@ -1,6 +1,10 @@
 #include "harness/reporting.h"
 
+#include <cctype>
+#include <fstream>
 #include <iomanip>
+#include <map>
+#include <sstream>
 
 namespace wfit::harness {
 
@@ -57,7 +61,8 @@ void PrintOverheadTable(std::ostream& os,
                         const std::vector<ExperimentSeries>& series,
                         size_t num_statements) {
   os << std::setw(14) << "tuner" << std::setw(18) << "ms/statement"
-     << std::setw(18) << "what-if/stmt" << "\n";
+     << std::setw(18) << "what-if/stmt" << std::setw(18) << "cache hit%"
+     << "\n";
   for (const ExperimentSeries& s : series) {
     double ms = num_statements == 0
                     ? 0.0
@@ -67,9 +72,14 @@ void PrintOverheadTable(std::ostream& os,
                        ? 0.0
                        : static_cast<double>(s.what_if_calls) /
                              static_cast<double>(num_statements);
+    uint64_t probes = s.what_if_cache_hits + s.what_if_cache_misses;
+    double hit_pct = probes == 0
+                         ? 0.0
+                         : 100.0 * static_cast<double>(s.what_if_cache_hits) /
+                               static_cast<double>(probes);
     os << std::setw(14) << s.name << std::setw(18) << std::fixed
        << std::setprecision(3) << ms << std::setw(18) << std::setprecision(1)
-       << calls << "\n";
+       << calls << std::setw(18) << std::setprecision(1) << hit_pct << "\n";
   }
   os.flush();
 }
@@ -93,6 +103,12 @@ void PrintServiceMetrics(std::ostream& os, const std::string& title,
      << m.feedback_applied << "\n";
   os << std::setw(26) << "repartitions" << std::setw(14) << m.repartitions
      << "\n";
+  os << std::setw(26) << "analysis threads" << std::setw(14)
+     << m.analysis_threads << "\n";
+  os << std::setw(26) << "what-if cache" << std::setw(14)
+     << m.what_if_cache_hits << "   (hits; misses "
+     << m.what_if_cache_misses << ", hit rate " << std::setprecision(3)
+     << m.what_if_cache_hit_rate() << ")\n";
   os << std::setw(26) << "snapshot version" << std::setw(14)
      << m.snapshot_version << "\n";
   os << std::setw(26) << "analysis latency mean" << std::setw(14)
@@ -100,6 +116,79 @@ void PrintServiceMetrics(std::ostream& os, const std::string& title,
      << m.LatencyQuantileUpperUs(0.5) << ", p99<="
      << m.LatencyQuantileUpperUs(0.99) << ")\n";
   os.flush();
+}
+
+namespace {
+
+/// Parses a flat one-level JSON object of numeric members, as written by
+/// UpdateBenchJson. Anything unparseable is skipped (the merge then simply
+/// rewrites the file from `fields`).
+std::map<std::string, double> ReadFlatJson(const std::string& path) {
+  std::map<std::string, double> out;
+  std::ifstream in(path);
+  if (!in) return out;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  size_t pos = 0;
+  while (true) {
+    size_t key_start = text.find('"', pos);
+    if (key_start == std::string::npos) break;
+    size_t key_end = text.find('"', key_start + 1);
+    if (key_end == std::string::npos) break;
+    std::string key = text.substr(key_start + 1, key_end - key_start - 1);
+    size_t colon = text.find(':', key_end);
+    if (colon == std::string::npos) break;
+    size_t value_start = colon + 1;
+    while (value_start < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[value_start]))) {
+      ++value_start;
+    }
+    if (value_start < text.size() && text[value_start] == '"') {
+      // String member: skip the whole value so its contents are not
+      // mistaken for the next key.
+      size_t close = text.find('"', value_start + 1);
+      if (close == std::string::npos) break;
+      pos = close + 1;
+      continue;
+    }
+    size_t value_end = value_start;
+    while (value_end < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[value_end])) ||
+            text[value_end] == '-' || text[value_end] == '+' ||
+            text[value_end] == '.' || text[value_end] == 'e' ||
+            text[value_end] == 'E')) {
+      ++value_end;
+    }
+    if (value_end > value_start) {
+      try {
+        out[key] = std::stod(text.substr(value_start, value_end - value_start));
+      } catch (...) {
+        // Not a number (e.g. a string member): skip it.
+      }
+    }
+    pos = value_end > key_end ? value_end : key_end + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+void UpdateBenchJson(
+    const std::string& path,
+    const std::vector<std::pair<std::string, double>>& fields) {
+  std::map<std::string, double> merged = ReadFlatJson(path);
+  for (const auto& [key, value] : fields) merged[key] = value;
+  std::ofstream out(path, std::ios::trunc);
+  WFIT_CHECK(out.good(), "UpdateBenchJson: cannot open " + path);
+  out << "{\n";
+  size_t i = 0;
+  for (const auto& [key, value] : merged) {
+    out << "  \"" << key << "\": " << std::setprecision(12) << value;
+    if (++i < merged.size()) out << ",";
+    out << "\n";
+  }
+  out << "}\n";
 }
 
 }  // namespace wfit::harness

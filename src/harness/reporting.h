@@ -5,6 +5,7 @@
 
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "harness/experiment.h"
@@ -34,6 +35,16 @@ void PrintOverheadTable(std::ostream& os,
 /// (Machine-readable export is service::ExportText.)
 void PrintServiceMetrics(std::ostream& os, const std::string& title,
                          const service::MetricsSnapshot& m);
+
+/// Merges flat numeric metrics into a JSON file of one object with
+/// "key": value members (the benches' machine-readable perf trajectory,
+/// e.g. BENCH_service.json). Existing keys not in `fields` are preserved;
+/// keys in `fields` are overwritten; the result is written sorted by key.
+/// Only files previously produced by this function (or any flat one-level
+/// object of numeric members) are understood.
+void UpdateBenchJson(
+    const std::string& path,
+    const std::vector<std::pair<std::string, double>>& fields);
 
 }  // namespace wfit::harness
 

@@ -13,8 +13,7 @@ IndexBenefitGraph::IndexBenefitGraph(const Statement& q,
     : candidates_(std::move(candidates)) {
   WFIT_CHECK(candidates_.size() <= 25, "IBG: too many candidates for a mask");
   WFIT_CHECK(max_nodes >= 1, "IBG: node budget must allow the root");
-  uint64_t calls_before = optimizer.num_calls();
-  while (!TryBuild(q, optimizer, max_nodes)) {
+  while (!TryBuild(q, optimizer, max_nodes, &build_calls_)) {
     // Budget exceeded: shed the tail half of the candidate list (callers
     // rank by benefit) and rebuild.
     size_t keep = candidates_.size() / 2;
@@ -22,12 +21,11 @@ IndexBenefitGraph::IndexBenefitGraph(const Statement& q,
                       candidates_.end());
     candidates_.resize(keep);
   }
-  build_calls_ = optimizer.num_calls() - calls_before;
 }
 
 bool IndexBenefitGraph::TryBuild(const Statement& q,
                                  const WhatIfOptimizer& optimizer,
-                                 size_t max_nodes) {
+                                 size_t max_nodes, uint64_t* calls) {
   nodes_.clear();
   cost_cache_.clear();
   bit_of_.clear();
@@ -45,6 +43,7 @@ bool IndexBenefitGraph::TryBuild(const Statement& q,
     frontier.pop_front();
     if (nodes_.count(y) != 0) continue;
     if (nodes_.size() >= max_nodes && !candidates_.empty()) return false;
+    ++*calls;
     PlanSummary plan = optimizer.Optimize(q, ToSet(y));
     Mask used = ToMask(plan.used);
     WFIT_CHECK(IsSubset(used, y), "optimizer used an index outside the config");

@@ -84,8 +84,11 @@ class IndexBenefitGraph {
   };
 
   /// BFS over the node closure; returns false when `max_nodes` is hit.
+  /// Accumulates the optimizer calls it issued into `*calls` (counted
+  /// locally: the optimizer's global counter cannot attribute calls when
+  /// several IBGs build concurrently on a worker pool).
   bool TryBuild(const Statement& q, const WhatIfOptimizer& optimizer,
-                size_t max_nodes);
+                size_t max_nodes, uint64_t* calls);
 
   std::vector<IndexId> candidates_;
   std::vector<IndexId> truncated_;

@@ -1,0 +1,56 @@
+#include "optimizer/caching_what_if.h"
+
+namespace wfit {
+
+namespace {
+
+/// Validates `base` before the base-class initializer dereferences it.
+const CostModel* BaseModel(const WhatIfOptimizer* base) {
+  WFIT_CHECK(base != nullptr, "CachingWhatIfOptimizer requires a base");
+  return &base->cost_model();
+}
+
+}  // namespace
+
+CachingWhatIfOptimizer::CachingWhatIfOptimizer(const WhatIfOptimizer* base)
+    : WhatIfOptimizer(BaseModel(base)), base_(base) {}
+
+void CachingWhatIfOptimizer::BeginStatement(const Statement* q) {
+  std::lock_guard<std::mutex> lock(mu_);
+  scope_ = q;
+  cache_.clear();
+}
+
+size_t CachingWhatIfOptimizer::scoped_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.size();
+}
+
+PlanSummary CachingWhatIfOptimizer::Optimize(const Statement& q,
+                                             const IndexSet& x) const {
+  num_calls_.fetch_add(1, std::memory_order_relaxed);
+  if (&q != scope_) {
+    bypasses_.fetch_add(1, std::memory_order_relaxed);
+    return base_->Optimize(q, x);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(x);
+    if (it != cache_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  // Computed outside the lock: concurrent probes of the same configuration
+  // may both run the base optimizer (each counted as a miss); the values
+  // are identical, so the duplicate insert below is a benign no-op.
+  PlanSummary plan = base_->Optimize(q, x);
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cache_.emplace(x, plan);
+  }
+  return plan;
+}
+
+}  // namespace wfit

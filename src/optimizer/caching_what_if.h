@@ -1,0 +1,71 @@
+// CachingWhatIfOptimizer: a statement-scoped memo over any WhatIfOptimizer.
+//
+// WFIT's per-statement work probes cost(q, X) from several places — the
+// candidate selector's statement-wide IBG and one IBG per stable-partition
+// part — and those probes overlap (shared subsets, the IBG node-budget
+// retry path re-probing surviving configurations). The decorator
+// deduplicates identical (q, X) probes within one statement: callers scope
+// it with BeginStatement(&q), which clears the table, and every probe for a
+// different statement bypasses the cache entirely, so a stale cost can
+// never leak across statements.
+//
+// Thread safety: Optimize may be called concurrently from worker-pool
+// threads analyzing different parts of the same statement; the table is
+// mutex-protected and the counters are atomic. BeginStatement must be
+// called from the (single) analysis thread between statements, never while
+// probes are in flight.
+#ifndef WFIT_OPTIMIZER_CACHING_WHAT_IF_H_
+#define WFIT_OPTIMIZER_CACHING_WHAT_IF_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/index_set.h"
+#include "optimizer/what_if.h"
+
+namespace wfit {
+
+class CachingWhatIfOptimizer final : public WhatIfOptimizer {
+ public:
+  /// Decorates `base` (not owned; must outlive the decorator). cost_model()
+  /// passes through to the base model, so WfaInstance construction and
+  /// transition costing are unchanged.
+  explicit CachingWhatIfOptimizer(const WhatIfOptimizer* base);
+
+  /// Scopes the cache to `q` and clears all entries. Pass nullptr to
+  /// disable caching (every probe bypasses to the base optimizer).
+  void BeginStatement(const Statement* q);
+
+  /// Returns the memoized plan when (q, X) was already probed for the
+  /// scoped statement; otherwise delegates to the base optimizer and
+  /// memoizes. Probes for non-scoped statements delegate without caching.
+  PlanSummary Optimize(const Statement& q, const IndexSet& x) const override;
+
+  /// Monotone counters across the decorator's lifetime (the cache itself
+  /// is cleared per statement). num_calls() == hits + misses + bypasses.
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  uint64_t bypasses() const {
+    return bypasses_.load(std::memory_order_relaxed);
+  }
+
+  /// Entries currently memoized for the scoped statement (for tests).
+  size_t scoped_entries() const;
+
+  const WhatIfOptimizer* base() const { return base_; }
+
+ private:
+  const WhatIfOptimizer* base_;
+  const Statement* scope_ = nullptr;
+  mutable std::mutex mu_;
+  mutable std::unordered_map<IndexSet, PlanSummary, IndexSetHash> cache_;
+  mutable std::atomic<uint64_t> hits_{0};
+  mutable std::atomic<uint64_t> misses_{0};
+  mutable std::atomic<uint64_t> bypasses_{0};
+};
+
+}  // namespace wfit
+
+#endif  // WFIT_OPTIMIZER_CACHING_WHAT_IF_H_

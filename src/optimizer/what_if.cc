@@ -422,7 +422,7 @@ PlanSummary WhatIfOptimizer::OptimizeUpdate(const Statement& q,
 
 PlanSummary WhatIfOptimizer::Optimize(const Statement& q,
                                       const IndexSet& x) const {
-  ++num_calls_;
+  num_calls_.fetch_add(1, std::memory_order_relaxed);
   if (q.kind == StatementKind::kSelect) return OptimizeSelect(q, x);
   return OptimizeUpdate(q, x);
 }

@@ -14,6 +14,7 @@
 #ifndef WFIT_OPTIMIZER_WHAT_IF_H_
 #define WFIT_OPTIMIZER_WHAT_IF_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -31,25 +32,40 @@ struct PlanSummary {
   IndexSet used;
 };
 
+/// The interface is virtual so decorators (CachingWhatIfOptimizer) can be
+/// layered over the real optimizer; Optimize is safe to call concurrently
+/// from multiple threads (cost arithmetic is pure, the call counter is
+/// atomic), which the parallel per-part analysis engine relies on.
 class WhatIfOptimizer {
  public:
   explicit WhatIfOptimizer(const CostModel* model) : model_(model) {
     WFIT_CHECK(model != nullptr, "WhatIfOptimizer requires a cost model");
   }
+  virtual ~WhatIfOptimizer() = default;
+
+  WhatIfOptimizer(const WhatIfOptimizer&) = delete;
+  WhatIfOptimizer& operator=(const WhatIfOptimizer&) = delete;
 
   /// cost(q, X) with used-index reporting. Increments the what-if call
   /// counter (the paper reports calls/query as the main overhead metric).
-  PlanSummary Optimize(const Statement& q, const IndexSet& x) const;
+  virtual PlanSummary Optimize(const Statement& q, const IndexSet& x) const;
 
   /// Convenience: cost only.
   double Cost(const Statement& q, const IndexSet& x) const {
     return Optimize(q, x).cost;
   }
 
-  uint64_t num_calls() const { return num_calls_; }
-  void ResetCallCount() { num_calls_ = 0; }
+  uint64_t num_calls() const {
+    return num_calls_.load(std::memory_order_relaxed);
+  }
+  void ResetCallCount() { num_calls_.store(0, std::memory_order_relaxed); }
 
   const CostModel& cost_model() const { return *model_; }
+
+ protected:
+  /// Calls served by this layer (decorators count probes; the concrete
+  /// optimizer counts real optimizations).
+  mutable std::atomic<uint64_t> num_calls_{0};
 
  private:
   struct AccessPath {
@@ -77,7 +93,6 @@ class WhatIfOptimizer {
   PlanSummary OptimizeUpdate(const Statement& q, const IndexSet& x) const;
 
   const CostModel* model_;
-  mutable uint64_t num_calls_ = 0;
 };
 
 }  // namespace wfit

@@ -25,6 +25,13 @@ double MetricsSnapshot::mean_batch() const {
                    static_cast<double>(batches);
 }
 
+double MetricsSnapshot::what_if_cache_hit_rate() const {
+  uint64_t probes = what_if_cache_hits + what_if_cache_misses;
+  return probes == 0 ? 0.0
+                     : static_cast<double>(what_if_cache_hits) /
+                           static_cast<double>(probes);
+}
+
 double MetricsSnapshot::LatencyQuantileUpperUs(double q) const {
   uint64_t n = latency_count();
   if (n == 0) return 0.0;
@@ -79,6 +86,12 @@ void ExportText(const MetricsSnapshot& s, std::ostream& os) {
           "DBA feedback events applied");
   Counter(os, "repartitions_total", s.repartitions,
           "Tuner state repartitions");
+  Gauge(os, "analysis_threads", s.analysis_threads,
+        "Worker-pool width for intra-statement parallel analysis");
+  Counter(os, "what_if_cache_hits_total", s.what_if_cache_hits,
+          "What-if probes served from the statement-scoped memo");
+  Counter(os, "what_if_cache_misses_total", s.what_if_cache_misses,
+          "What-if probes that reached the real optimizer");
   Gauge(os, "recommendation_version", s.snapshot_version,
         "Version of the published recommendation snapshot");
 
@@ -137,6 +150,9 @@ MetricsSnapshot ServiceMetrics::Snapshot() const {
   s.max_batch = max_batch_.load(std::memory_order_relaxed);
   s.feedback_applied = feedback_.load(std::memory_order_relaxed);
   s.repartitions = repartitions_.load(std::memory_order_relaxed);
+  s.what_if_cache_hits = wi_hits_.load(std::memory_order_relaxed);
+  s.what_if_cache_misses = wi_misses_.load(std::memory_order_relaxed);
+  s.analysis_threads = analysis_threads_.load(std::memory_order_relaxed);
   s.snapshot_version = version_.load(std::memory_order_relaxed);
   for (size_t i = 0; i < s.latency_counts.size(); ++i) {
     s.latency_counts[i] = latency_counts_[i].load(std::memory_order_relaxed);

@@ -37,6 +37,12 @@ struct MetricsSnapshot {
   uint64_t max_batch = 0;
   uint64_t feedback_applied = 0;
   uint64_t repartitions = 0;  // from Tuner::RepartitionCount()
+  uint64_t analysis_threads = 1;  // worker-pool width (1 = serial)
+
+  // What-if memoization (statement-scoped cache inside the tuner; from
+  // Tuner::WhatIfCache()). Every hit is one avoided optimizer call.
+  uint64_t what_if_cache_hits = 0;
+  uint64_t what_if_cache_misses = 0;
 
   // Snapshot publication.
   uint64_t snapshot_version = 0;
@@ -48,6 +54,8 @@ struct MetricsSnapshot {
   uint64_t latency_count() const;
   double mean_latency_us() const;
   double mean_batch() const;
+  /// hits / (hits + misses); 0 when no probes were memoized.
+  double what_if_cache_hit_rate() const;
   /// Smallest bucket upper bound covering quantile `q` of latencies (a
   /// conservative estimate; exact values are not retained).
   double LatencyQuantileUpperUs(double q) const;
@@ -73,6 +81,13 @@ class ServiceMetrics {
   void SetRepartitions(uint64_t n) {
     repartitions_.store(n, std::memory_order_relaxed);
   }
+  void SetWhatIfCache(uint64_t hits, uint64_t misses) {
+    wi_hits_.store(hits, std::memory_order_relaxed);
+    wi_misses_.store(misses, std::memory_order_relaxed);
+  }
+  void SetAnalysisThreads(uint64_t n) {
+    analysis_threads_.store(n, std::memory_order_relaxed);
+  }
 
   uint64_t snapshot_version() const {
     return version_.load(std::memory_order_relaxed);
@@ -90,6 +105,9 @@ class ServiceMetrics {
   std::atomic<uint64_t> max_batch_{0};
   std::atomic<uint64_t> feedback_{0};
   std::atomic<uint64_t> repartitions_{0};
+  std::atomic<uint64_t> wi_hits_{0};
+  std::atomic<uint64_t> wi_misses_{0};
+  std::atomic<uint64_t> analysis_threads_{1};
   std::atomic<uint64_t> version_{0};
   std::array<std::atomic<uint64_t>, kLatencyBucketCount> latency_counts_{};
   std::atomic<uint64_t> latency_total_ns_{0};

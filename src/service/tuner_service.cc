@@ -31,6 +31,16 @@ void TunerService::Start() {
   std::lock_guard<std::mutex> lock(lifecycle_mu_);
   WFIT_CHECK(!started_, "TunerService::Start called twice");
   started_ = true;
+  const size_t threads = options_.analysis_threads == 0
+                             ? WorkerPool::DefaultThreads()
+                             : options_.analysis_threads;
+  if (threads > 1) {
+    // The analysis worker participates in every ParallelFor, so a pool of
+    // threads - 1 gives exactly `threads` concurrent analysis workers.
+    analysis_pool_ = std::make_unique<WorkerPool>(threads - 1);
+    tuner_->SetAnalysisPool(analysis_pool_.get());
+  }
+  metrics_.SetAnalysisThreads(threads);
   Publish();  // initial configuration, analyzed == 0
   worker_ = std::thread([this] { WorkerLoop(); });
 }
@@ -169,6 +179,8 @@ void TunerService::WorkerLoop() {
       tuner_->AnalyzeQuery(batch[i]);
       metrics_.OnAnalyzed(MicrosSince(start));
       metrics_.SetRepartitions(tuner_->RepartitionCount());
+      WhatIfCacheCounters cache = tuner_->WhatIfCache();
+      metrics_.SetWhatIfCache(cache.hits, cache.misses);
       // Deterministic interleave: votes keyed to this statement apply
       // right after it, before its recommendation is recorded.
       fed |= ApplyFeedback(seq, /*inclusive=*/true, /*with_asap=*/false);

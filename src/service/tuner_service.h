@@ -31,6 +31,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/worker_pool.h"
 #include "core/index_set.h"
 #include "core/tuner.h"
 #include "service/ingest_queue.h"
@@ -45,6 +46,12 @@ struct TunerServiceOptions {
   size_t queue_capacity = 1024;
   /// The worker drains at most this many statements per batch.
   size_t max_batch = 32;
+  /// Width of the analysis worker pool for intra-statement parallelism
+  /// (per-part IBG construction + WFA updates fan out across it). 0 means
+  /// hardware_concurrency; 1 means serial analysis (no pool). Statements
+  /// remain strictly serialized either way — only work *inside* one
+  /// statement parallelizes, so the determinism contract is unchanged.
+  size_t analysis_threads = 0;
   /// Record the recommendation after every analyzed statement (for
   /// determinism tests and offline inspection). Off in production.
   bool record_history = false;
@@ -134,6 +141,9 @@ class TunerService {
   std::unique_ptr<Tuner> tuner_;
   TunerServiceOptions options_;
   IngestQueue queue_;
+  /// Owned pool for intra-statement parallel analysis; created by Start()
+  /// when the resolved analysis_threads exceeds one.
+  std::unique_ptr<WorkerPool> analysis_pool_;
   ServiceMetrics metrics_;
   std::thread worker_;
   // Lifecycle state; guarded so Shutdown() is safe to race with the

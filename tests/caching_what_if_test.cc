@@ -1,0 +1,143 @@
+#include "optimizer/caching_what_if.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/worker_pool.h"
+#include "tests/test_util.h"
+
+namespace wfit {
+namespace {
+
+using wfit::testing::TestDb;
+
+TEST(CachingWhatIfTest, MissThenHitWithinOneStatement) {
+  TestDb db;
+  IndexId a = db.Ix("t1", {"a"});
+  Statement q = db.Bind("SELECT count(*) FROM t1 WHERE a BETWEEN 0 AND 100");
+  CachingWhatIfOptimizer memo(&db.optimizer());
+  memo.BeginStatement(&q);
+
+  uint64_t base_before = db.optimizer().num_calls();
+  PlanSummary first = memo.Optimize(q, IndexSet{a});
+  PlanSummary second = memo.Optimize(q, IndexSet{a});
+  EXPECT_EQ(db.optimizer().num_calls(), base_before + 1)
+      << "the second probe must be served from the memo";
+  EXPECT_EQ(memo.hits(), 1u);
+  EXPECT_EQ(memo.misses(), 1u);
+  EXPECT_EQ(memo.bypasses(), 0u);
+  EXPECT_EQ(memo.num_calls(), 2u);
+  EXPECT_DOUBLE_EQ(first.cost, second.cost);
+  EXPECT_EQ(first.used, second.used);
+}
+
+TEST(CachingWhatIfTest, ValuesMatchTheBaseOptimizer) {
+  TestDb db;
+  IndexId a = db.Ix("t1", {"a"});
+  IndexId b = db.Ix("t1", {"b"});
+  IndexId x = db.Ix("t2", {"x"});
+  Statement q = db.Bind(
+      "SELECT count(*) FROM t1, t2 WHERE t1.k = t2.fk AND t1.a = 5");
+  CachingWhatIfOptimizer memo(&db.optimizer());
+  memo.BeginStatement(&q);
+  std::vector<IndexSet> configs = {IndexSet{}, IndexSet{a}, IndexSet{a, b},
+                                   IndexSet{a, b, x}, IndexSet{x}};
+  for (const IndexSet& c : configs) {
+    PlanSummary direct = db.optimizer().Optimize(q, c);
+    PlanSummary cached_cold = memo.Optimize(q, c);
+    PlanSummary cached_warm = memo.Optimize(q, c);
+    EXPECT_DOUBLE_EQ(direct.cost, cached_cold.cost) << c.ToString();
+    EXPECT_DOUBLE_EQ(direct.cost, cached_warm.cost) << c.ToString();
+    EXPECT_EQ(direct.used, cached_warm.used) << c.ToString();
+  }
+  EXPECT_EQ(memo.hits(), configs.size());
+  EXPECT_EQ(memo.misses(), configs.size());
+}
+
+TEST(CachingWhatIfTest, NoStaleCostsAcrossStatements) {
+  TestDb db;
+  IndexId a = db.Ix("t1", {"a"});
+  // Same table, same index, different predicates: the costs differ, so a
+  // stale cache entry would be observable.
+  Statement q1 = db.Bind("SELECT count(*) FROM t1 WHERE a BETWEEN 0 AND 100");
+  Statement q2 = db.Bind("SELECT count(*) FROM t1 WHERE a = 7");
+  double direct1 = db.optimizer().Cost(q1, IndexSet{a});
+  double direct2 = db.optimizer().Cost(q2, IndexSet{a});
+  ASSERT_NE(direct1, direct2) << "test needs distinguishable statements";
+
+  CachingWhatIfOptimizer memo(&db.optimizer());
+  memo.BeginStatement(&q1);
+  EXPECT_DOUBLE_EQ(memo.Optimize(q1, IndexSet{a}).cost, direct1);
+  EXPECT_GT(memo.scoped_entries(), 0u);
+
+  memo.BeginStatement(&q2);
+  EXPECT_EQ(memo.scoped_entries(), 0u) << "BeginStatement must clear";
+  EXPECT_DOUBLE_EQ(memo.Optimize(q2, IndexSet{a}).cost, direct2);
+
+  // And back: q1's entry is gone, so this is a fresh miss with q1's cost.
+  memo.BeginStatement(&q1);
+  uint64_t misses_before = memo.misses();
+  EXPECT_DOUBLE_EQ(memo.Optimize(q1, IndexSet{a}).cost, direct1);
+  EXPECT_EQ(memo.misses(), misses_before + 1);
+}
+
+TEST(CachingWhatIfTest, ProbesOutsideTheScopedStatementBypass) {
+  TestDb db;
+  IndexId a = db.Ix("t1", {"a"});
+  Statement scoped = db.Bind("SELECT count(*) FROM t1 WHERE a = 1");
+  Statement other = db.Bind("SELECT count(*) FROM t1 WHERE a = 2");
+  CachingWhatIfOptimizer memo(&db.optimizer());
+  memo.BeginStatement(&scoped);
+
+  double direct = db.optimizer().Cost(other, IndexSet{a});
+  EXPECT_DOUBLE_EQ(memo.Optimize(other, IndexSet{a}).cost, direct);
+  EXPECT_DOUBLE_EQ(memo.Optimize(other, IndexSet{a}).cost, direct);
+  EXPECT_EQ(memo.bypasses(), 2u) << "non-scoped probes never cache";
+  EXPECT_EQ(memo.hits(), 0u);
+  EXPECT_EQ(memo.misses(), 0u);
+}
+
+TEST(CachingWhatIfTest, CostModelPassesThroughToTheBase) {
+  TestDb db;
+  CachingWhatIfOptimizer memo(&db.optimizer());
+  EXPECT_EQ(&memo.cost_model(), &db.optimizer().cost_model());
+}
+
+TEST(CachingWhatIfTest, ConcurrentProbesAreConsistent) {
+  TestDb db;
+  IndexId a = db.Ix("t1", {"a"});
+  IndexId b = db.Ix("t1", {"b"});
+  IndexId c = db.Ix("t1", {"c"});
+  Statement q = db.Bind(
+      "SELECT count(*) FROM t1 WHERE a BETWEEN 0 AND 150 AND c = 3");
+  std::vector<IndexSet> configs = {IndexSet{},     IndexSet{a},
+                                   IndexSet{b},    IndexSet{c},
+                                   IndexSet{a, b}, IndexSet{a, c},
+                                   IndexSet{b, c}, IndexSet{a, b, c}};
+  std::vector<double> expected;
+  for (const IndexSet& cfg : configs) {
+    expected.push_back(db.optimizer().Cost(q, cfg));
+  }
+
+  CachingWhatIfOptimizer memo(&db.optimizer());
+  memo.BeginStatement(&q);
+  WorkerPool pool(4);
+  constexpr size_t kProbes = 400;
+  std::vector<double> got(kProbes);
+  pool.ParallelFor(kProbes, [&](size_t i) {
+    got[i] = memo.Optimize(q, configs[i % configs.size()]).cost;
+  });
+  for (size_t i = 0; i < kProbes; ++i) {
+    EXPECT_DOUBLE_EQ(got[i], expected[i % configs.size()]) << "probe " << i;
+  }
+  EXPECT_EQ(memo.hits() + memo.misses(), kProbes);
+  // Duplicate concurrent computation of a not-yet-inserted key is allowed,
+  // but bounded by the thread count per key in practice; leave generous
+  // slack (5 threads x 8 keys) so the assertion never flakes.
+  EXPECT_GE(memo.hits(), kProbes - 5 * configs.size());
+}
+
+}  // namespace
+}  // namespace wfit

@@ -1,0 +1,112 @@
+#include "common/worker_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace wfit {
+namespace {
+
+TEST(WorkerPoolTest, DefaultThreadsIsPositive) {
+  EXPECT_GE(WorkerPool::DefaultThreads(), 1u);
+}
+
+TEST(WorkerPoolTest, ParallelForRunsEveryIndexExactlyOnce) {
+  WorkerPool pool(4);
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<int>> counts(kN);
+  pool.ParallelFor(kN, [&](size_t i) {
+    counts[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(counts[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(WorkerPoolTest, ParallelForHandlesEdgeSizes) {
+  WorkerPool pool(2);
+  std::atomic<int> ran{0};
+  pool.ParallelFor(0, [&](size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 0);
+  pool.ParallelFor(1, [&](size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 1);
+  // More iterations than threads.
+  pool.ParallelFor(64, [&](size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 65);
+}
+
+TEST(WorkerPoolTest, ParallelForIsReusableAcrossCalls) {
+  WorkerPool pool(3);
+  uint64_t total = 0;
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<uint64_t> sum{0};
+    pool.ParallelFor(17, [&](size_t i) {
+      sum.fetch_add(i, std::memory_order_relaxed);
+    });
+    total += sum.load();
+  }
+  EXPECT_EQ(total, 50u * (16u * 17u / 2u));
+}
+
+TEST(WorkerPoolTest, ParallelForPropagatesException) {
+  WorkerPool pool(4);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      pool.ParallelFor(32,
+                       [&](size_t i) {
+                         if (i == 7) throw std::runtime_error("boom");
+                         completed.fetch_add(1, std::memory_order_relaxed);
+                       }),
+      std::runtime_error);
+  // Every other iteration still ran to completion before the rethrow.
+  EXPECT_EQ(completed.load(), 31);
+}
+
+TEST(WorkerPoolTest, NestedParallelForCompletes) {
+  WorkerPool pool(2);
+  std::atomic<int> inner_runs{0};
+  // A ParallelFor issued from inside a pool task must not deadlock even
+  // when every worker is busy: the issuing task runs the loop itself.
+  pool.ParallelFor(4, [&](size_t) {
+    pool.ParallelFor(8, [&](size_t) {
+      inner_runs.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(inner_runs.load(), 32);
+}
+
+TEST(WorkerPoolTest, SubmitRunsTasksAsynchronously) {
+  WorkerPool pool(2);
+  std::mutex mu;
+  std::condition_variable cv;
+  int done = 0;
+  for (int i = 0; i < 20; ++i) {
+    pool.Submit([&] {
+      std::lock_guard<std::mutex> lock(mu);
+      ++done;
+      cv.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return done == 20; });
+  EXPECT_EQ(done, 20);
+}
+
+TEST(WorkerPoolTest, DestructorDrainsSubmittedTasks) {
+  std::atomic<int> done{0};
+  {
+    WorkerPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&] { done.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }
+  EXPECT_EQ(done.load(), 100);
+}
+
+}  // namespace
+}  // namespace wfit

@@ -1,12 +1,34 @@
-// The online tuning service end to end: multiple producer threads replay a
-// generated benchmark workload into a TunerService wrapping WFIT, while a
-// DBA thread concurrently reads recommendation snapshots and casts votes.
+// The online tuning service end to end: producer threads replay a generated
+// benchmark workload into a TunerService wrapping WFIT in deterministic
+// stages, while a DBA inspects recommendation snapshots and casts votes.
 // Ends with the harness metrics report and the Prometheus text export.
-#include <atomic>
-#include <chrono>
+//
+// With --checkpoint_dir the service becomes crash-recoverable: every
+// statement is write-ahead journaled and state snapshots are taken on a
+// cadence. The full kill/recover demo (what the CI crash-recovery smoke
+// runs):
+//
+//   tuning_service_demo --trajectory_out=ref.txt            # reference
+//   tuning_service_demo --checkpoint_dir=ckpt --kill_after=300   # dies
+//   tuning_service_demo --checkpoint_dir=ckpt
+//       --trajectory_out=rec.txt --reference=ref.txt        # recovers,
+//                                                           # verifies
+//
+// The third run loads the latest snapshot, replays the journal suffix,
+// finishes the workload, and checks its recommendation trajectory against
+// the uninterrupted reference — bit-for-bit.
+#include <algorithm>
+#include <csignal>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
+#include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "catalog/benchmark_schemas.h"
@@ -16,73 +38,196 @@
 #include "service/tuner_service.h"
 #include "workload/benchmark_trace.h"
 
-int main() {
-  using namespace wfit;
+namespace {
+
+using namespace wfit;
+
+struct Flags {
+  std::string checkpoint_dir;
+  std::string trajectory_out;
+  std::string reference;
+  size_t statements = 600;
+  uint64_t checkpoint_every = 200;
+  uint64_t kill_after = 0;  // 0 = never
+};
+
+Flags ParseFlags(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&](const char* name) -> const char* {
+      std::string prefix = std::string("--") + name + "=";
+      return arg.rfind(prefix, 0) == 0 ? arg.c_str() + prefix.size()
+                                       : nullptr;
+    };
+    if (const char* v = value("checkpoint_dir")) {
+      flags.checkpoint_dir = v;
+    } else if (const char* v = value("trajectory_out")) {
+      flags.trajectory_out = v;
+    } else if (const char* v = value("reference")) {
+      flags.reference = v;
+    } else if (const char* v = value("statements")) {
+      flags.statements = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else if (const char* v = value("checkpoint_every")) {
+      flags.checkpoint_every = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("kill_after")) {
+      flags.kill_after = std::strtoull(v, nullptr, 10);
+    } else {
+      std::cerr << "unknown flag: " << arg << "\n"
+                << "usage: tuning_service_demo [--checkpoint_dir=DIR] "
+                   "[--statements=N] [--checkpoint_every=N] "
+                   "[--kill_after=K] [--trajectory_out=F] "
+                   "[--reference=F]\n";
+      std::exit(64);
+    }
+  }
+  return flags;
+}
+
+/// Deterministic DBA votes, recomputable after a crash: each stage
+/// endorses one pre-interned index and vetoes another, rotating through
+/// the list.
+struct Vote {
+  IndexSet plus;
+  IndexSet minus;
+};
+
+Vote VoteForStage(size_t stage, const std::vector<IndexId>& candidates) {
+  Vote v;
+  v.plus.Add(candidates[stage % candidates.size()]);
+  v.minus.Add(candidates[(stage + 1) % candidates.size()]);
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags = ParseFlags(argc, argv);
 
   // Environment: the benchmark catalog at reduced scale plus a generated
-  // 4-phase trace, so the demo runs in seconds.
+  // 4-phase trace, so the demo runs in seconds. Everything is seeded, so
+  // every invocation — including a recovery — sees the same workload.
   Catalog catalog = BuildBenchmarkCatalog(BenchmarkScale{0.2});
   IndexPool pool(&catalog);
   CostModel cost_model(&catalog, &pool);
   WhatIfOptimizer optimizer(&cost_model);
   TraceOptions trace_options;
   trace_options.num_phases = 4;
-  trace_options.statements_per_phase = 150;
-  Workload workload = ToWorkload(GenerateBenchmarkTrace(catalog, trace_options));
+  trace_options.statements_per_phase = (flags.statements + 3) / 4;
+  Workload workload =
+      ToWorkload(GenerateBenchmarkTrace(catalog, trace_options));
+  workload.resize(flags.statements);
 
-  // The service owns the tuner; all analysis happens on its worker thread.
+  // Vote candidates interned before anything else, in a fixed order, so
+  // their ids agree between the original and the recovered process.
+  auto intern = [&](const char* table, std::vector<const char*> cols) {
+    IndexDef def;
+    def.table = *catalog.FindTable(table);
+    for (const char* c : cols) {
+      def.columns.push_back(*catalog.FindColumn(def.table, c));
+    }
+    return pool.Intern(def);
+  };
+  std::vector<IndexId> vote_candidates = {
+      intern("tpch.lineitem", {"l_shipdate"}),
+      intern("tpch.lineitem", {"l_partkey"}),
+      intern("tpch.orders", {"o_orderdate"}),
+  };
+
   WfitOptions wfit_options;
   wfit_options.candidates.idx_cnt = 16;
   wfit_options.candidates.state_cnt = 256;
   service::TunerServiceOptions service_options;
   service_options.queue_capacity = 64;
   service_options.max_batch = 16;
-  service::TunerService service(
+  service_options.record_history = true;
+  service_options.checkpoint_dir = flags.checkpoint_dir;
+  service_options.checkpoint_every_statements = flags.checkpoint_every;
+
+  // The service owns the tuner; with a checkpoint_dir, Open() first
+  // recovers whatever an earlier (possibly killed) process left behind.
+  service::RecoveryStats recovery;
+  auto opened = service::TunerService::Open(
       std::make_unique<Wfit>(&pool, &optimizer, IndexSet{}, wfit_options),
-      service_options);
+      &pool, service_options, &recovery);
+  if (!opened.ok()) {
+    std::cerr << "recovery failed: " << opened.status().ToString() << "\n";
+    return 1;
+  }
+  service::TunerService& service = **opened;
+  const uint64_t recovered = recovery.analyzed;
+  if (!flags.checkpoint_dir.empty()) {
+    std::cout << "[recover] dir=" << flags.checkpoint_dir
+              << " snapshot_loaded=" << recovery.snapshot_loaded
+              << " snapshot_analyzed=" << recovery.snapshot_analyzed
+              << " replayed_statements=" << recovery.replayed_statements
+              << " replayed_feedback=" << recovery.replayed_feedback
+              << " resumed_at=" << recovered << "\n";
+  }
   service.Start();
 
-  // Three producers replay the workload with explicit sequence numbers, so
-  // the analysis order is the workload order no matter how they interleave.
-  const int kProducers = 3;
-  std::vector<std::thread> producers;
-  for (int p = 0; p < kProducers; ++p) {
-    producers.emplace_back([&, p] {
-      for (size_t seq = p; seq < workload.size(); seq += kProducers) {
-        service.SubmitAt(seq, workload[seq]);
+  // Optional crash injection: a real SIGKILL once enough statements have
+  // been analyzed — no destructors, no drain, exactly like a machine
+  // reset. The exit code (137) tells the harness the kill happened.
+  std::thread killer;
+  if (flags.kill_after > 0) {
+    killer = std::thread([&] {
+      if (service.WaitUntilAnalyzed(flags.kill_after)) {
+        std::cout << "[crash] SIGKILL after "
+                  << service.analyzed() << " statements\n"
+                  << std::flush;
+        ::raise(SIGKILL);
       }
     });
   }
 
-  // The DBA: wakes up at checkpoints, inspects the current snapshot (a
-  // non-blocking read), vetoes the widest recommended index and endorses
-  // the rest — the paper's semi-automatic loop, online.
-  std::thread dba([&] {
-    for (size_t checkpoint = 100; checkpoint <= workload.size();
-         checkpoint += 100) {
-      if (!service.WaitUntilAnalyzed(checkpoint)) break;
-      auto snap = service.Recommendation();
-      std::cout << "[dba] after " << snap->analyzed << " statements (v"
-                << snap->version << "): "
-                << snap->configuration.ToString(pool) << "\n";
-      if (snap->configuration.empty()) continue;
-      IndexId veto = *snap->configuration.begin();
-      for (IndexId id : snap->configuration) {
-        if (pool.def(id).columns.size() > pool.def(veto).columns.size()) {
-          veto = id;
-        }
+  // Deterministic staged replay: submit one stage from 3 producers, wait
+  // for it to be analyzed, let the DBA inspect + vote, move on. The vote
+  // for stage s applies after statement s+49 (mid-next-stage), so its
+  // boundary is pinned no matter how threads interleave — which is what
+  // makes the trajectory reproducible across crashes.
+  const size_t kStage = 100;
+  const uint64_t kVoteOffset = 50;
+  for (size_t stage_start = 0; stage_start < workload.size();
+       stage_start += kStage) {
+    const size_t stage_end =
+        std::min(stage_start + kStage, workload.size());
+    if (stage_start > 0) {
+      const uint64_t vote_at = stage_start + kVoteOffset - 1;
+      // Skip votes the recovered state already reflects (their effect was
+      // journaled before the crash).
+      if (recovered <= vote_at && vote_at + 1 < workload.size()) {
+        Vote vote = VoteForStage(stage_start / kStage, vote_candidates);
+        std::cout << "[dba] stage " << stage_start << ": endorse "
+                  << vote.plus.ToString(pool) << ", veto "
+                  << vote.minus.ToString(pool) << " (after statement "
+                  << vote_at << ")\n";
+        service.FeedbackAfter(vote_at, vote.plus, vote.minus);
       }
-      IndexSet keep = snap->configuration;
-      keep.Remove(veto);
-      std::cout << "[dba]   veto " << pool.Name(veto) << ", endorse "
-                << keep.ToString(pool) << "\n";
-      service.FeedbackAfter(checkpoint - 1, keep, IndexSet{veto});
     }
-  });
-
-  for (auto& t : producers) t.join();
-  dba.join();
+    if (stage_end <= recovered) continue;  // replayed from the journal
+    const size_t first = std::max<size_t>(stage_start, recovered);
+    const int kProducers = 3;
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&, p, first, stage_end] {
+        for (size_t seq = first + static_cast<size_t>(p); seq < stage_end;
+             seq += kProducers) {
+          service.SubmitAt(seq, workload[seq]);
+        }
+      });
+    }
+    for (auto& t : producers) t.join();
+    service.WaitUntilAnalyzed(stage_end);
+    auto snap = service.Recommendation();
+    std::cout << "[dba] after " << snap->analyzed << " statements (v"
+              << snap->version << "): "
+              << snap->configuration.ToString(pool) << "\n";
+  }
   service.Shutdown();
+  // Only reached when the kill never fired (or was disabled): the waiter
+  // unblocks at worker shutdown.
+  if (killer.joinable()) killer.join();
 
   auto final_snap = service.Recommendation();
   std::cout << "\nFinal recommendation after " << final_snap->analyzed
@@ -94,5 +239,62 @@ int main() {
   std::string text = service::ExportText(service.Metrics());
   std::cout << text.substr(0, text.find("# HELP wfit_service_queue_depth"))
             << "...\n";
+
+  // Trajectory lines: "seq {ids}" for every statement THIS run analyzed
+  // (after a recovery that starts at the snapshot the replay resumed
+  // from). The reference run covers the whole workload.
+  std::vector<IndexSet> history = service.History();
+  const uint64_t history_start =
+      recovery.snapshot_loaded ? recovery.snapshot_analyzed : 0;
+  if (!flags.trajectory_out.empty()) {
+    std::ofstream out(flags.trajectory_out, std::ios::trunc);
+    for (size_t i = 0; i < history.size(); ++i) {
+      out << (history_start + i) << " " << history[i].ToString() << "\n";
+    }
+    std::cout << "[trajectory] wrote " << history.size() << " entries to "
+              << flags.trajectory_out << "\n";
+  }
+  if (!flags.reference.empty()) {
+    std::ifstream ref(flags.reference);
+    if (!ref) {
+      std::cerr << "cannot read reference " << flags.reference << "\n";
+      return 1;
+    }
+    std::unordered_map<uint64_t, std::string> expected;
+    std::string line;
+    while (std::getline(ref, line)) {
+      std::istringstream is(line);
+      uint64_t seq = 0;
+      is >> seq;
+      std::string rest;
+      std::getline(is, rest);
+      expected[seq] = rest;
+    }
+    size_t mismatches = 0;
+    for (size_t i = 0; i < history.size(); ++i) {
+      const uint64_t seq = history_start + i;
+      auto it = expected.find(seq);
+      std::string got = " " + history[i].ToString();
+      if (it == expected.end() || it->second != got) {
+        if (++mismatches <= 5) {
+          std::cerr << "[verify] statement " << seq << ": got" << got
+                    << ", reference"
+                    << (it == expected.end() ? std::string(" <missing>")
+                                             : it->second)
+                    << "\n";
+        }
+      }
+    }
+    if (mismatches > 0) {
+      std::cerr << "[verify] FAILED: " << mismatches << " of "
+                << history.size()
+                << " recommendations diverge from the reference\n";
+      return 2;
+    }
+    std::cout << "[verify] OK: " << history.size()
+              << " recommendations match the reference trajectory"
+              << " (statements " << history_start << ".."
+              << (history_start + history.size()) << ")\n";
+  }
   return 0;
 }

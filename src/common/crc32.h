@@ -1,0 +1,28 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the checksum
+// guarding every persisted frame: snapshot headers/payloads and journal
+// records (persist/). One-shot and incremental forms; the incremental form
+// lets framing code checksum scattered buffers without concatenating them.
+#ifndef WFIT_COMMON_CRC32_H_
+#define WFIT_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace wfit {
+
+/// Extends a running CRC-32 with `len` more bytes. Seed a fresh computation
+/// with crc == 0; the return value feeds the next call.
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t len);
+
+/// One-shot CRC-32 of a buffer. Crc32("123456789") == 0xCBF43926.
+inline uint32_t Crc32(const void* data, size_t len) {
+  return Crc32Update(0, data, len);
+}
+inline uint32_t Crc32(std::string_view bytes) {
+  return Crc32Update(0, bytes.data(), bytes.size());
+}
+
+}  // namespace wfit
+
+#endif  // WFIT_COMMON_CRC32_H_

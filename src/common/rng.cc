@@ -1,5 +1,7 @@
 #include "common/rng.h"
 
+#include <sstream>
+
 namespace wfit {
 
 int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
@@ -42,5 +44,20 @@ size_t Rng::PickWeighted(const std::vector<double>& weights) {
 }
 
 Rng Rng::Fork() { return Rng(engine_()); }
+
+std::string Rng::SaveState() const {
+  std::ostringstream os;
+  os << engine_;
+  return os.str();
+}
+
+bool Rng::LoadState(const std::string& state) {
+  std::istringstream is(state);
+  std::mt19937_64 restored;
+  is >> restored;
+  if (is.fail()) return false;
+  engine_ = restored;
+  return true;
+}
 
 }  // namespace wfit

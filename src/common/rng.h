@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <random>
+#include <string>
 #include <vector>
 
 #include "common/check.h"
@@ -42,6 +43,13 @@ class Rng {
 
   /// Derive an independent child generator (for per-phase streams).
   Rng Fork();
+
+  /// Exact engine state as text (the standard library's stream format), so
+  /// persist/ snapshots can resume the stream at its current position.
+  std::string SaveState() const;
+  /// Restores a state produced by SaveState. Returns false (leaving the
+  /// engine untouched) if `state` does not parse.
+  bool LoadState(const std::string& state);
 
   std::mt19937_64& engine() { return engine_; }
 

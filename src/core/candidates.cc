@@ -55,6 +55,33 @@ std::vector<IndexId> CandidateSelector::TopIndices(
   return out;
 }
 
+SelectorState CandidateSelector::ExportState() const {
+  SelectorState state;
+  state.universe = universe_;
+  state.position = position_;
+  state.rng_state = rng_.SaveState();
+  state.benefit_windows = idx_stats_.Export();
+  state.interaction_windows = int_stats_.Export();
+  return state;
+}
+
+Status CandidateSelector::RestoreState(const SelectorState& state) {
+  if (!rng_.LoadState(state.rng_state)) {
+    return Status::InvalidArgument("selector state: bad RNG state");
+  }
+  universe_ = state.universe;
+  position_ = state.position;
+  idx_stats_ = BenefitStats(options_.hist_size);
+  for (const auto& [id, entries] : state.benefit_windows) {
+    idx_stats_.RestoreWindow(id, entries);
+  }
+  int_stats_ = InteractionStats(options_.hist_size);
+  for (const auto& [key, entries] : state.interaction_windows) {
+    int_stats_.RestoreWindow(key, entries);
+  }
+  return Status::Ok();
+}
+
 CandidateAnalysis CandidateSelector::ChooseCands(
     const Statement& q, const IndexSet& materialized,
     const std::vector<IndexSet>& current_partition) {

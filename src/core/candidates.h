@@ -8,8 +8,11 @@
 #define WFIT_CORE_CANDIDATES_H_
 
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "common/status.h"
 #include "core/partition.h"
 #include "core/stats.h"
 #include "ibg/ibg.h"
@@ -37,6 +40,24 @@ struct CandidateOptions {
   /// is absolute, so the default scales by 1/histSize (see DESIGN.md).
   double creation_penalty_factor = 0.01;
   ExtractorOptions extractor;
+};
+
+/// The selector's complete mutable state — what persist/ snapshots so a
+/// restarted WFIT resumes candidate maintenance exactly where it left off:
+/// the candidate universe U, the workload position, the RNG stream position
+/// of choosePartition's randomized search, and the windowed
+/// benefit/interaction statistics.
+struct SelectorState {
+  IndexSet universe;
+  uint64_t position = 0;
+  /// Rng::SaveState text for the partition-search engine.
+  std::string rng_state;
+  /// idxStats windows, sorted by index id, entries oldest first.
+  std::vector<std::pair<IndexId, std::vector<std::pair<uint64_t, double>>>>
+      benefit_windows;
+  /// intStats windows keyed by packed pair key, sorted, oldest first.
+  std::vector<std::pair<uint64_t, std::vector<std::pair<uint64_t, double>>>>
+      interaction_windows;
 };
 
 /// Result of analyzing one statement.
@@ -69,6 +90,13 @@ class CandidateSelector {
   const IndexSet& universe() const { return universe_; }
   const BenefitStats& benefit_stats() const { return idx_stats_; }
   const InteractionStats& interaction_stats() const { return int_stats_; }
+
+  /// Snapshot hooks (persist/): ExportState captures, RestoreState replaces
+  /// the selector's mutable state. Restoring fails (InvalidArgument, state
+  /// untouched except already-restored windows) only on an unparseable RNG
+  /// state. Options and seed stay with the constructor.
+  SelectorState ExportState() const;
+  Status RestoreState(const SelectorState& state);
 
  private:
   /// topIndices(X, u): up to u ids from X with the highest scores.

@@ -25,6 +25,16 @@ double RecencyWindow::CurrentValue(uint64_t now) const {
   return best;
 }
 
+std::vector<std::pair<uint64_t, double>> RecencyWindow::Entries() const {
+  return {entries_.rbegin(), entries_.rend()};
+}
+
+void RecencyWindow::RestoreEntries(
+    const std::vector<std::pair<uint64_t, double>>& oldest_first) {
+  entries_.clear();
+  for (const auto& [n, v] : oldest_first) Record(n, v);
+}
+
 void BenefitStats::Record(IndexId a, uint64_t n, double beta) {
   if (beta <= 0.0) return;
   auto [it, inserted] = windows_.try_emplace(a, hist_size_);
@@ -35,6 +45,26 @@ double BenefitStats::CurrentBenefit(IndexId a, uint64_t now) const {
   auto it = windows_.find(a);
   if (it == windows_.end()) return 0.0;
   return it->second.CurrentValue(now);
+}
+
+std::vector<std::pair<IndexId, std::vector<std::pair<uint64_t, double>>>>
+BenefitStats::Export() const {
+  std::vector<std::pair<IndexId, std::vector<std::pair<uint64_t, double>>>>
+      out;
+  out.reserve(windows_.size());
+  for (const auto& [id, window] : windows_) {
+    out.emplace_back(id, window.Entries());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+void BenefitStats::RestoreWindow(
+    IndexId a, const std::vector<std::pair<uint64_t, double>>& entries) {
+  auto [it, inserted] = windows_.insert_or_assign(a, RecencyWindow(hist_size_));
+  (void)inserted;
+  it->second.RestoreEntries(entries);
 }
 
 uint64_t InteractionStats::Key(IndexId a, IndexId b) {
@@ -58,6 +88,27 @@ double InteractionStats::CurrentDoi(IndexId a, IndexId b, uint64_t now) const {
 
 bool InteractionStats::HasInteraction(IndexId a, IndexId b) const {
   return windows_.count(Key(a, b)) != 0;
+}
+
+std::vector<std::pair<uint64_t, std::vector<std::pair<uint64_t, double>>>>
+InteractionStats::Export() const {
+  std::vector<std::pair<uint64_t, std::vector<std::pair<uint64_t, double>>>>
+      out;
+  out.reserve(windows_.size());
+  for (const auto& [key, window] : windows_) {
+    out.emplace_back(key, window.Entries());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+void InteractionStats::RestoreWindow(
+    uint64_t key, const std::vector<std::pair<uint64_t, double>>& entries) {
+  auto [it, inserted] =
+      windows_.insert_or_assign(key, RecencyWindow(hist_size_));
+  (void)inserted;
+  it->second.RestoreEntries(entries);
 }
 
 }  // namespace wfit

@@ -35,6 +35,12 @@ class RecencyWindow {
   bool empty() const { return entries_.empty(); }
   size_t size() const { return entries_.size(); }
 
+  /// Oldest-first copy of the window contents (persist/ snapshots).
+  std::vector<std::pair<uint64_t, double>> Entries() const;
+  /// Replaces the window with `oldest_first` entries (positions
+  /// non-decreasing), trimming to hist_size as Record would.
+  void RestoreEntries(const std::vector<std::pair<uint64_t, double>>& oldest_first);
+
  private:
   size_t hist_size_;
   std::deque<std::pair<uint64_t, double>> entries_;  // newest at front
@@ -51,6 +57,15 @@ class BenefitStats {
 
   /// benefit*_N(a).
   double CurrentBenefit(IndexId a, uint64_t now) const;
+
+  /// Every non-empty window keyed by index id, sorted by id, entries
+  /// oldest first (persist/ snapshots; map iteration order is laundered
+  /// through the sort so exports are deterministic).
+  std::vector<std::pair<IndexId, std::vector<std::pair<uint64_t, double>>>>
+  Export() const;
+  /// Re-creates one exported window (replaces any existing one for `a`).
+  void RestoreWindow(IndexId a,
+                     const std::vector<std::pair<uint64_t, double>>& entries);
 
  private:
   size_t hist_size_;
@@ -70,6 +85,14 @@ class InteractionStats {
 
   /// True if any entry was ever recorded for the pair.
   bool HasInteraction(IndexId a, IndexId b) const;
+
+  /// Every window keyed by the packed pair key (lo << 32 | hi), sorted by
+  /// key, entries oldest first (persist/ snapshots).
+  std::vector<std::pair<uint64_t, std::vector<std::pair<uint64_t, double>>>>
+  Export() const;
+  /// Re-creates one exported window under its packed pair key.
+  void RestoreWindow(uint64_t key,
+                     const std::vector<std::pair<uint64_t, double>>& entries);
 
  private:
   static uint64_t Key(IndexId a, IndexId b);

@@ -132,6 +132,76 @@ void Wfit::AnalyzeQuery(const Statement& q) {
   rec_valid_ = false;
 }
 
+WfitState Wfit::ExportState() const {
+  WfitState state;
+  state.instance_members.reserve(instances_.size());
+  state.work_values.reserve(instances_.size());
+  state.current_recs.reserve(instances_.size());
+  for (const WfaInstance& instance : instances_) {
+    state.instance_members.push_back(instance.members());
+    state.work_values.push_back(instance.work_values());
+    state.current_recs.push_back(instance.recommendation());
+  }
+  state.candidate_set = candidate_set_;
+  state.initial_materialized = initial_materialized_;
+  state.repartitions = repartitions_;
+  state.feedback_events = feedback_events_;
+  state.selector = selector_->ExportState();
+  return state;
+}
+
+Status Wfit::RestoreState(const WfitState& state) {
+  const size_t parts = state.instance_members.size();
+  if (state.work_values.size() != parts ||
+      state.current_recs.size() != parts) {
+    return Status::InvalidArgument("wfit state: ragged per-part vectors");
+  }
+  IndexSet member_union;
+  for (size_t i = 0; i < parts; ++i) {
+    const std::vector<IndexId>& members = state.instance_members[i];
+    if (members.empty() || members.size() > 20) {
+      return Status::InvalidArgument("wfit state: bad part size");
+    }
+    const size_t n = size_t{1} << members.size();
+    if (state.work_values[i].size() != n || state.current_recs[i] >= n) {
+      return Status::InvalidArgument("wfit state: work function shape");
+    }
+    for (IndexId id : members) {
+      if (id >= pool_->size()) {
+        return Status::InvalidArgument("wfit state: member outside pool");
+      }
+      if (!member_union.Add(id)) {
+        return Status::InvalidArgument("wfit state: parts not disjoint");
+      }
+    }
+  }
+  if (member_union != state.candidate_set) {
+    return Status::InvalidArgument(
+        "wfit state: candidate set does not match the partition");
+  }
+  WFIT_RETURN_IF_ERROR(selector_->RestoreState(state.selector));
+
+  const CostModel& model = optimizer_->cost_model();
+  std::vector<IndexSet> partition;
+  std::vector<WfaInstance> instances;
+  partition.reserve(parts);
+  instances.reserve(parts);
+  for (size_t i = 0; i < parts; ++i) {
+    partition.push_back(IndexSet::FromVector(state.instance_members[i]));
+    instances.push_back(WfaInstance(state.instance_members[i], model,
+                                    state.work_values[i],
+                                    state.current_recs[i]));
+  }
+  partition_ = std::move(partition);
+  instances_ = std::move(instances);
+  candidate_set_ = state.candidate_set;
+  initial_materialized_ = state.initial_materialized;
+  repartitions_ = state.repartitions;
+  feedback_events_ = state.feedback_events;
+  rec_valid_ = false;
+  return Status::Ok();
+}
+
 void Wfit::Feedback(const IndexSet& f_plus, const IndexSet& f_minus) {
   // Seed the universe with every voted index: even when a vote cannot be
   // honored structurally, the index becomes a candidate for the future.
@@ -152,6 +222,7 @@ void Wfit::Feedback(const IndexSet& f_plus, const IndexSet& f_minus) {
     instance.ApplyFeedback(instance.ToMask(f_plus),
                            instance.ToMask(f_minus));
   }
+  ++feedback_events_;
   rec_valid_ = false;
 }
 

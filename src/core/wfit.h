@@ -31,6 +31,22 @@ struct WfitOptions {
   uint64_t seed = 20120402;
 };
 
+/// The complete mutable state of a Wfit tuner (persist/ snapshots). The
+/// partition is stored as per-instance member lists — not IndexSets — so
+/// each WfaInstance's mask bit order is preserved exactly; together with
+/// the constructor arguments (pool, optimizer, options) this determines
+/// all future behavior bit for bit.
+struct WfitState {
+  std::vector<std::vector<IndexId>> instance_members;  // {D1, ..., DM}
+  std::vector<std::vector<double>> work_values;        // w(m) per part
+  std::vector<Mask> current_recs;                      // currRec per part
+  IndexSet candidate_set;                              // C = ∪m Dm
+  IndexSet initial_materialized;                       // S0
+  uint64_t repartitions = 0;
+  uint64_t feedback_events = 0;
+  SelectorState selector;
+};
+
 class Wfit : public Tuner {
  public:
   /// Initialization per Fig. 4: C = S0 with singleton parts; candidates
@@ -64,9 +80,23 @@ class Wfit : public Tuner {
 
   const std::vector<IndexSet>& partition() const { return partition_; }
   const IndexSet& candidate_set() const { return candidate_set_; }
+  const std::vector<WfaInstance>& instances() const { return instances_; }
+  const IndexSet& initial_materialized() const {
+    return initial_materialized_;
+  }
   uint64_t RepartitionCount() const override { return repartitions_; }
+  /// DBA votes applied so far (persisted alongside the work functions).
+  uint64_t FeedbackCount() const { return feedback_events_; }
   size_t TotalStates() const;
   const CandidateSelector& selector() const { return *selector_; }
+
+  /// Snapshot hooks (persist/): ExportState captures every mutable field;
+  /// RestoreState replaces them on a tuner constructed with the same
+  /// (pool, optimizer, options) — IndexIds in the state refer to the
+  /// pool's interning order, which persist/ restores first. Validated:
+  /// returns InvalidArgument (state unchanged) on inconsistent shapes.
+  WfitState ExportState() const;
+  Status RestoreState(const WfitState& state);
 
  private:
   /// Fig. 5: adopt `new_partition`, rebuilding every WfaInstance with
@@ -88,6 +118,7 @@ class Wfit : public Tuner {
   IndexSet candidate_set_;               // C = ∪k Ck
   IndexSet initial_materialized_;        // S0 (repartition line 7)
   uint64_t repartitions_ = 0;
+  uint64_t feedback_events_ = 0;
   /// Recommendation() re-unions every instance's recommendation; it is
   /// called at least twice per statement (chooseCands input, snapshot
   /// publication), so the union is cached and invalidated whenever

@@ -70,6 +70,9 @@ class WfaInstance {
     WFIT_CHECK(s < w_.size(), "work_value: mask out of range");
     return w_[s];
   }
+  /// The complete work function, indexed by part-local mask (persist/
+  /// snapshots; restore via the explicit-work-function constructors).
+  const std::vector<double>& work_values() const { return w_; }
   /// score(S) = w[S] + δ(S, currRec) (for tests).
   double Score(Mask s) const { return w_[s] + Delta(s, curr_rec_); }
 

@@ -115,6 +115,20 @@ void PrintServiceMetrics(std::ostream& os, const std::string& title,
      << std::setprecision(1) << m.mean_latency_us() << " us   (p50<="
      << m.LatencyQuantileUpperUs(0.5) << ", p99<="
      << m.LatencyQuantileUpperUs(0.99) << ")\n";
+  if (m.journal_records > 0 || m.checkpoints_written > 0) {
+    os << std::setw(26) << "journal records" << std::setw(14)
+       << m.journal_records << "   (" << m.journal_bytes << " bytes, "
+       << m.journal_syncs << " fsync batches)\n";
+    os << std::setw(26) << "checkpoints written" << std::setw(14)
+       << m.checkpoints_written << "   (last @" << m.last_checkpoint_seq
+       << ", " << m.last_snapshot_bytes << " bytes, failures "
+       << m.checkpoint_failures << ")\n";
+    os << std::setw(26) << "recovery replayed" << std::setw(14)
+       << m.recovery_replayed_statements << "   (+"
+       << m.recovery_replayed_feedback << " votes, snapshot loaded "
+       << m.recovery_snapshot_loaded << ", skipped "
+       << m.recovery_snapshots_skipped << ")\n";
+  }
   os.flush();
 }
 

@@ -10,7 +10,7 @@ IngestQueue::IngestQueue(size_t capacity) : capacity_(capacity) {
 }
 
 bool IngestQueue::PushLocked(std::unique_lock<std::mutex>& lock, uint64_t seq,
-                             Statement&& stmt) {
+                             Statement&& stmt, bool drop_duplicate) {
   // A producer may enter while its slot is still occupied by an
   // undelivered predecessor lap; wait until the slot's lap is ours.
   bool waited = false;
@@ -26,8 +26,14 @@ bool IngestQueue::PushLocked(std::unique_lock<std::mutex>& lock, uint64_t seq,
     return false;
   }
   if (waited) ++push_waits_;
-  WFIT_CHECK(!ring_[seq % capacity_].has_value(),
-             "IngestQueue: duplicate sequence number");
+  if (ring_[seq % capacity_].has_value()) {
+    // Within the window the slot can only hold `seq` itself. Explicit
+    // sequence numbers tolerate duplicates (recovery requeues a journaled
+    // suffix that producers may also resubmit — first wins); implicit
+    // ticketed pushes cannot collide, so there it is a caller bug.
+    WFIT_CHECK(drop_duplicate, "IngestQueue: duplicate sequence number");
+    return false;
+  }
   ring_[seq % capacity_] = std::move(stmt);
   ++buffered_;
   ++total_pushed_;
@@ -42,25 +48,33 @@ bool IngestQueue::Push(Statement stmt) {
   // Take the ticket up front so concurrent implicit pushes get distinct
   // slots; the blocked producer keeps its place in sequence order.
   uint64_t seq = next_ticket_++;
-  return PushLocked(lock, seq, std::move(stmt));
+  return PushLocked(lock, seq, std::move(stmt), /*drop_duplicate=*/false);
 }
 
 bool IngestQueue::PushAt(uint64_t seq, Statement stmt) {
   std::unique_lock<std::mutex> lock(mu_);
   if (closed_) return false;
-  // A stale sequence number would silently land a full ring lap ahead;
-  // make it as loud as the duplicate-slot case.
-  WFIT_CHECK(seq >= next_pop_seq_,
-             "IngestQueue: sequence number already delivered");
+  // An already-delivered sequence number is refused, not re-queued: after
+  // recovery a producer may replay a workload prefix the journal already
+  // covered, and exactly-once analysis means dropping those here.
+  if (seq < next_pop_seq_) return false;
   if (seq >= next_ticket_) next_ticket_ = seq + 1;
-  return PushLocked(lock, seq, std::move(stmt));
+  return PushLocked(lock, seq, std::move(stmt), /*drop_duplicate=*/true);
+}
+
+void IngestQueue::StartAt(uint64_t seq) {
+  std::lock_guard<std::mutex> lock(mu_);
+  WFIT_CHECK(total_pushed_ == 0 && buffered_ == 0,
+             "IngestQueue::StartAt requires an unused queue");
+  next_ticket_ = seq;
+  next_pop_seq_ = seq;
 }
 
 bool IngestQueue::TryPush(Statement stmt) {
   std::unique_lock<std::mutex> lock(mu_);
   if (closed_ || next_ticket_ >= next_pop_seq_ + capacity_) return false;
   uint64_t seq = next_ticket_++;
-  return PushLocked(lock, seq, std::move(stmt));
+  return PushLocked(lock, seq, std::move(stmt), /*drop_duplicate=*/false);
 }
 
 size_t IngestQueue::PopBatch(std::vector<Statement>* out, size_t max_batch,

@@ -43,12 +43,19 @@ class IngestQueue {
   /// number below the highest pushed one is eventually pushed exactly once.
   /// Mixing PushAt with implicit Push in one queue is not supported.
   /// Blocks while `seq` is ≥ capacity slots ahead of the consumer. Returns
-  /// false iff the queue is closed.
+  /// false iff the queue is closed, `seq` was already delivered, or `seq`
+  /// is already buffered (a recovered workload re-submitted by a producer
+  /// is dropped, first push wins — the exactly-once contract).
   bool PushAt(uint64_t seq, Statement stmt);
 
   /// Non-blocking Push: returns false (without enqueueing) if the ring is
   /// full or the queue is closed.
   bool TryPush(Statement stmt);
+
+  /// Repositions the sequence domain so the first delivered statement is
+  /// `seq` (recovery: statements below `seq` were already analyzed from
+  /// the journal). Must be called before any push.
+  void StartAt(uint64_t seq);
 
   /// Blocks until at least one statement is deliverable or the queue is
   /// closed and fully drained. Appends up to `max_batch` statements of the
@@ -78,7 +85,7 @@ class IngestQueue {
 
  private:
   bool PushLocked(std::unique_lock<std::mutex>& lock, uint64_t seq,
-                  Statement&& stmt);
+                  Statement&& stmt, bool drop_duplicate);
   bool SlotReady(uint64_t seq) const {
     return ring_[seq % capacity_].has_value();
   }

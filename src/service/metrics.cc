@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iomanip>
 #include <limits>
 #include <sstream>
 
@@ -30,6 +31,12 @@ double MetricsSnapshot::what_if_cache_hit_rate() const {
   return probes == 0 ? 0.0
                      : static_cast<double>(what_if_cache_hits) /
                            static_cast<double>(probes);
+}
+
+double MetricsSnapshot::checkpoint_age_seconds(
+    double now_unix_seconds) const {
+  if (last_checkpoint_unix_seconds <= 0.0) return 0.0;
+  return std::max(0.0, now_unix_seconds - last_checkpoint_unix_seconds);
 }
 
 double MetricsSnapshot::LatencyQuantileUpperUs(double q) const {
@@ -94,6 +101,45 @@ void ExportText(const MetricsSnapshot& s, std::ostream& os) {
           "What-if probes that reached the real optimizer");
   Gauge(os, "recommendation_version", s.snapshot_version,
         "Version of the published recommendation snapshot");
+  Counter(os, "checkpoints_written_total", s.checkpoints_written,
+          "Durable state snapshots written");
+  Counter(os, "checkpoint_failures_total", s.checkpoint_failures,
+          "Snapshot writes that failed");
+  Gauge(os, "checkpoint_last_seq", s.last_checkpoint_seq,
+        "Statements analyzed at the last checkpoint");
+  os << "# HELP wfit_service_checkpoint_last_unix_seconds Wall time of the"
+        " last checkpoint\n"
+     << "# TYPE wfit_service_checkpoint_last_unix_seconds gauge\n"
+     << "wfit_service_checkpoint_last_unix_seconds ";
+  {
+    // Default stream precision (6 digits) would truncate a unix timestamp
+    // to ±thousands of seconds; checkpoint-age alerts need it exact.
+    std::ostringstream ts;
+    ts << std::fixed << std::setprecision(3)
+       << s.last_checkpoint_unix_seconds;
+    os << ts.str() << "\n";
+  }
+  Gauge(os, "snapshot_bytes", s.last_snapshot_bytes,
+        "Size of the last snapshot written");
+  Counter(os, "journal_records_total", s.journal_records,
+          "Records in the write-ahead journal");
+  Counter(os, "journal_bytes_total", s.journal_bytes,
+          "Bytes in the write-ahead journal");
+  Counter(os, "journal_syncs_total", s.journal_syncs,
+          "fsync batches applied to the journal");
+  Counter(os, "journal_failures_total", s.journal_failures,
+          "Journal write/fsync failures (nonzero = journaling disabled)");
+  Gauge(os, "recovery_snapshot_loaded", s.recovery_snapshot_loaded,
+        "1 if the last startup restored a snapshot");
+  Counter(os, "recovery_snapshots_skipped_total",
+          s.recovery_snapshots_skipped,
+          "Corrupt or mismatched snapshots skipped during recovery");
+  Counter(os, "recovery_replayed_statements_total",
+          s.recovery_replayed_statements,
+          "Journal statements replayed at the last startup");
+  Counter(os, "recovery_replayed_feedback_total",
+          s.recovery_replayed_feedback,
+          "Journal feedback votes replayed at the last startup");
 
   os << "# HELP wfit_service_analysis_latency_us AnalyzeQuery latency\n"
      << "# TYPE wfit_service_analysis_latency_us histogram\n";
@@ -154,6 +200,27 @@ MetricsSnapshot ServiceMetrics::Snapshot() const {
   s.what_if_cache_misses = wi_misses_.load(std::memory_order_relaxed);
   s.analysis_threads = analysis_threads_.load(std::memory_order_relaxed);
   s.snapshot_version = version_.load(std::memory_order_relaxed);
+  s.checkpoints_written = checkpoints_.load(std::memory_order_relaxed);
+  s.checkpoint_failures =
+      checkpoint_failures_.load(std::memory_order_relaxed);
+  s.last_checkpoint_seq = last_checkpoint_seq_.load(std::memory_order_relaxed);
+  s.last_checkpoint_unix_seconds =
+      static_cast<double>(
+          last_checkpoint_unix_ms_.load(std::memory_order_relaxed)) /
+      1000.0;
+  s.last_snapshot_bytes = last_snapshot_bytes_.load(std::memory_order_relaxed);
+  s.journal_records = journal_records_.load(std::memory_order_relaxed);
+  s.journal_bytes = journal_bytes_.load(std::memory_order_relaxed);
+  s.journal_syncs = journal_syncs_.load(std::memory_order_relaxed);
+  s.journal_failures = journal_failures_.load(std::memory_order_relaxed);
+  s.recovery_snapshot_loaded =
+      recovery_loaded_.load(std::memory_order_relaxed);
+  s.recovery_snapshots_skipped =
+      recovery_skipped_.load(std::memory_order_relaxed);
+  s.recovery_replayed_statements =
+      recovery_statements_.load(std::memory_order_relaxed);
+  s.recovery_replayed_feedback =
+      recovery_feedback_.load(std::memory_order_relaxed);
   for (size_t i = 0; i < s.latency_counts.size(); ++i) {
     s.latency_counts[i] = latency_counts_[i].load(std::memory_order_relaxed);
   }

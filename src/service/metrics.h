@@ -47,6 +47,29 @@ struct MetricsSnapshot {
   // Snapshot publication.
   uint64_t snapshot_version = 0;
 
+  // Durability (persist/): checkpointing and write-ahead journal. All
+  // zero when the service runs without a checkpoint_dir.
+  uint64_t checkpoints_written = 0;
+  uint64_t checkpoint_failures = 0;
+  uint64_t last_checkpoint_seq = 0;       // analyzed count at last snapshot
+  double last_checkpoint_unix_seconds = 0.0;  // wall time of last snapshot
+  uint64_t last_snapshot_bytes = 0;
+  uint64_t journal_records = 0;           // records in the journal file
+  uint64_t journal_bytes = 0;
+  uint64_t journal_syncs = 0;
+  /// Journal write/fsync failures; any nonzero value means journaling was
+  /// permanently disabled for this process (durability degraded).
+  uint64_t journal_failures = 0;
+  // Recovery (set once at Open): what the last startup replayed.
+  uint64_t recovery_snapshot_loaded = 0;  // 1 if a snapshot restored
+  uint64_t recovery_snapshots_skipped = 0;  // corrupt snapshots passed over
+  uint64_t recovery_replayed_statements = 0;
+  uint64_t recovery_replayed_feedback = 0;
+
+  /// Seconds since the last checkpoint at `now_unix_seconds`; 0 before the
+  /// first checkpoint.
+  double checkpoint_age_seconds(double now_unix_seconds) const;
+
   // Analysis latency histogram (per AnalyzeQuery call).
   std::array<uint64_t, kLatencyBucketCount> latency_counts{};
   double latency_total_us = 0.0;
@@ -88,6 +111,38 @@ class ServiceMetrics {
   void SetAnalysisThreads(uint64_t n) {
     analysis_threads_.store(n, std::memory_order_relaxed);
   }
+  void OnCheckpoint(uint64_t analyzed_seq, uint64_t bytes,
+                    double unix_seconds) {
+    checkpoints_.fetch_add(1, std::memory_order_relaxed);
+    last_checkpoint_seq_.store(analyzed_seq, std::memory_order_relaxed);
+    last_snapshot_bytes_.store(bytes, std::memory_order_relaxed);
+    last_checkpoint_unix_ms_.store(
+        static_cast<uint64_t>(unix_seconds * 1000.0),
+        std::memory_order_relaxed);
+  }
+  void OnCheckpointFailure() {
+    checkpoint_failures_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void OnJournalFailure() {
+    journal_failures_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// Journal gauges are pushed by the worker after each batch (the writer
+  /// is single-threaded; readers just need a coherent snapshot).
+  void SetJournal(uint64_t records, uint64_t bytes, uint64_t syncs) {
+    journal_records_.store(records, std::memory_order_relaxed);
+    journal_bytes_.store(bytes, std::memory_order_relaxed);
+    journal_syncs_.store(syncs, std::memory_order_relaxed);
+  }
+  /// Set once after recovery, before the worker starts.
+  void SetRecovery(bool snapshot_loaded, uint64_t snapshots_skipped,
+                   uint64_t replayed_statements, uint64_t replayed_feedback) {
+    recovery_loaded_.store(snapshot_loaded ? 1 : 0,
+                           std::memory_order_relaxed);
+    recovery_skipped_.store(snapshots_skipped, std::memory_order_relaxed);
+    recovery_statements_.store(replayed_statements,
+                               std::memory_order_relaxed);
+    recovery_feedback_.store(replayed_feedback, std::memory_order_relaxed);
+  }
 
   uint64_t snapshot_version() const {
     return version_.load(std::memory_order_relaxed);
@@ -109,6 +164,19 @@ class ServiceMetrics {
   std::atomic<uint64_t> wi_misses_{0};
   std::atomic<uint64_t> analysis_threads_{1};
   std::atomic<uint64_t> version_{0};
+  std::atomic<uint64_t> checkpoints_{0};
+  std::atomic<uint64_t> checkpoint_failures_{0};
+  std::atomic<uint64_t> last_checkpoint_seq_{0};
+  std::atomic<uint64_t> last_checkpoint_unix_ms_{0};
+  std::atomic<uint64_t> last_snapshot_bytes_{0};
+  std::atomic<uint64_t> journal_records_{0};
+  std::atomic<uint64_t> journal_bytes_{0};
+  std::atomic<uint64_t> journal_syncs_{0};
+  std::atomic<uint64_t> journal_failures_{0};
+  std::atomic<uint64_t> recovery_loaded_{0};
+  std::atomic<uint64_t> recovery_skipped_{0};
+  std::atomic<uint64_t> recovery_statements_{0};
+  std::atomic<uint64_t> recovery_feedback_{0};
   std::array<std::atomic<uint64_t>, kLatencyBucketCount> latency_counts_{};
   std::atomic<uint64_t> latency_total_ns_{0};
 };

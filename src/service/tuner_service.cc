@@ -1,9 +1,14 @@
 #include "service/tuner_service.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <filesystem>
 #include <limits>
+#include <map>
 
 #include "common/check.h"
+#include "persist/snapshot.h"
 
 namespace wfit::service {
 
@@ -14,6 +19,14 @@ double MicrosSince(Clock::time_point start) {
   return std::chrono::duration<double, std::micro>(Clock::now() - start)
       .count();
 }
+
+double UnixSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+constexpr char kJournalFile[] = "journal.wfj";
 }  // namespace
 
 TunerService::TunerService(std::unique_ptr<Tuner> tuner,
@@ -23,6 +36,185 @@ TunerService::TunerService(std::unique_ptr<Tuner> tuner,
       queue_(options.queue_capacity) {
   WFIT_CHECK(tuner_ != nullptr, "TunerService requires a tuner");
   WFIT_CHECK(options_.max_batch > 0, "max_batch must be positive");
+  WFIT_CHECK(options_.checkpoint_dir.empty(),
+             "checkpointing services must be created via TunerService::Open");
+}
+
+StatusOr<std::unique_ptr<TunerService>> TunerService::Open(
+    std::unique_ptr<Tuner> tuner, IndexPool* pool,
+    TunerServiceOptions options, RecoveryStats* recovery) {
+  std::string dir = std::move(options.checkpoint_dir);
+  options.checkpoint_dir.clear();
+  auto service =
+      std::make_unique<TunerService>(std::move(tuner), std::move(options));
+  if (!dir.empty()) {
+    WFIT_CHECK(pool != nullptr,
+               "TunerService::Open: checkpointing requires the index pool");
+    service->options_.checkpoint_dir = std::move(dir);
+    service->pool_ = pool;
+    RecoveryStats stats;
+    WFIT_RETURN_IF_ERROR(service->Recover(&stats));
+    if (recovery != nullptr) *recovery = stats;
+  } else if (recovery != nullptr) {
+    *recovery = RecoveryStats{};
+  }
+  return service;
+}
+
+Status TunerService::Recover(RecoveryStats* stats) {
+  namespace fs = std::filesystem;
+  const std::string& dir = options_.checkpoint_dir;
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create checkpoint dir " + dir);
+  }
+
+  persist::SnapshotLoadResult loaded =
+      persist::LoadLatestSnapshot(dir, tuner_.get(), pool_);
+  stats->snapshot_loaded = loaded.loaded;
+  stats->snapshot_analyzed = loaded.meta.analyzed;
+  stats->snapshots_skipped = loaded.skipped;
+  uint64_t analyzed = loaded.loaded ? loaded.meta.analyzed : 0;
+  const uint64_t start_lsn = loaded.loaded ? loaded.meta.journal_lsn : 0;
+
+  const std::string journal_path = (fs::path(dir) / kJournalFile).string();
+  uint64_t valid_bytes = 0;
+  uint64_t total_records = 0;
+  // Set when the snapshot references journal records the file no longer
+  // holds (journal deleted or truncated externally): the snapshot is
+  // authoritative, nothing is replayed, and a fresh checkpoint below
+  // re-stamps the LSN domain so future recoveries line up again.
+  bool lsn_domain_mismatch = false;
+  // Journaled intake past the durable trajectory point, re-queued below
+  // (backed by `read`, which outlives the pushes).
+  std::vector<const persist::JournalRecord*> requeue;
+  StatusOr<persist::JournalReadResult> read =
+      persist::ReadJournal(journal_path);
+  if (read.ok() && start_lsn > read->records.size()) {
+    valid_bytes = read->valid_bytes;
+    total_records = read->records.size();
+    lsn_domain_mismatch = true;
+  } else if (read.ok()) {
+    valid_bytes = read->valid_bytes;
+    total_records = read->records.size();
+    // Replay the suffix past the snapshot, exactly once. Statements appear
+    // in sequence order; votes may be journaled after the batch's WAL
+    // statement records, so they are split into a separate queue — but
+    // application order among votes IS their journal order, so a simple
+    // cursor over that queue, gated by each vote's (boundary, slot),
+    // reproduces the original interleave exactly. kAnalyzed markers bound
+    // the trajectory-bearing replay: a WAL statement record alone only
+    // proves the statement was ingested, not that the votes at its
+    // boundaries are durable, so statements past the last contiguous
+    // marker are handed back to the queue as fresh intake instead (the
+    // driver can still pin votes at those future boundaries).
+    std::vector<const persist::JournalRecord*> statements;
+    std::vector<const persist::JournalRecord*> votes;
+    uint64_t durable = analyzed;  // contiguous analyzed markers
+    for (size_t i = static_cast<size_t>(start_lsn);
+         i < read->records.size(); ++i) {
+      const persist::JournalRecord& r = read->records[i];
+      switch (r.type) {
+        case persist::JournalRecordType::kStatement:
+          // Strictly increasing first-occurrence order: a crash after a
+          // requeue can leave a statement WAL-journaled twice (identical
+          // bytes); later copies are skipped.
+          if (r.seq >= analyzed &&
+              (statements.empty() || r.seq > statements.back()->seq)) {
+            statements.push_back(&r);
+          }
+          break;
+        case persist::JournalRecordType::kFeedback:
+          votes.push_back(&r);
+          break;
+        case persist::JournalRecordType::kAnalyzed:
+          if (r.seq == durable) ++durable;
+          break;
+      }
+    }
+    size_t vote_cursor = 0;
+    auto apply_vote = [&] {
+      const persist::JournalRecord* v = votes[vote_cursor++];
+      tuner_->Feedback(v->f_plus, v->f_minus);
+      ++stats->replayed_feedback;
+    };
+    size_t si = 0;
+    for (; si < statements.size(); ++si) {
+      const persist::JournalRecord* r = statements[si];
+      if (r->seq >= durable) break;  // unanalyzed intake: re-queued below
+      if (r->seq != analyzed) break;  // gap: stop at the usable prefix
+      // Pre-statement slot: everything applied before this statement ran.
+      while (vote_cursor < votes.size() &&
+             votes[vote_cursor]->boundary <= r->seq) {
+        apply_vote();
+      }
+      tuner_->AnalyzeQuery(r->statement);
+      ++analyzed;
+      ++stats->replayed_statements;
+      // Post-statement slot: votes keyed to this statement applied before
+      // its recommendation was recorded.
+      while (vote_cursor < votes.size() &&
+             votes[vote_cursor]->boundary == analyzed &&
+             votes[vote_cursor]->post) {
+        apply_vote();
+      }
+      if (options_.record_history) {
+        history_.push_back(tuner_->Recommendation());
+      }
+    }
+    // Trailing votes (up to and including the final boundary).
+    while (vote_cursor < votes.size() &&
+           votes[vote_cursor]->boundary <= analyzed) {
+      apply_vote();
+    }
+    // Journaled-but-unanalyzed intake (at most one batch): back into the
+    // queue, contiguously from the recovery point.
+    uint64_t next_intake = analyzed;
+    for (; si < statements.size(); ++si) {
+      if (statements[si]->seq != next_intake) break;
+      requeue.push_back(statements[si]);
+      ++next_intake;
+    }
+  } else if (read.status().code() != StatusCode::kNotFound) {
+    return read.status();
+  } else if (start_lsn > 0) {
+    lsn_domain_mismatch = true;  // snapshot references a vanished journal
+  }
+
+  journal_ = std::make_unique<persist::JournalWriter>();
+  WFIT_RETURN_IF_ERROR(journal_->Open(journal_path, valid_bytes,
+                                      total_records));
+  queue_.StartAt(analyzed);
+  for (const persist::JournalRecord* r : requeue) {
+    // At most one batch (≤ queue capacity), so these never block. A
+    // producer replaying the workload may resubmit the same sequence
+    // numbers; PushAt drops the duplicates.
+    queue_.PushAt(r->seq, r->statement);
+    ++stats->requeued_statements;
+  }
+  // Requeued statements are already in the journal; the worker must not
+  // WAL them a second time when it pops them.
+  journal_stmt_skip_until_ = analyzed + requeue.size();
+  analyzed_ = analyzed;
+  stats->analyzed = analyzed;
+  last_checkpoint_analyzed_ = loaded.loaded ? loaded.meta.analyzed : 0;
+  have_checkpoint_ = loaded.loaded;
+  if (lsn_domain_mismatch) {
+    std::fprintf(stderr,
+                 "[tuner_service] journal behind snapshot (lsn %llu > %llu "
+                 "records) — recovering at the snapshot and re-stamping\n",
+                 static_cast<unsigned long long>(start_lsn),
+                 static_cast<unsigned long long>(total_records));
+    // Overwrite the newest snapshot with one whose journal_lsn matches the
+    // actual file, so the next recovery replays from a consistent base.
+    have_checkpoint_ = false;
+    MaybeCheckpoint(/*force=*/true);
+  }
+  metrics_.SetRecovery(stats->snapshot_loaded, stats->snapshots_skipped,
+                       stats->replayed_statements, stats->replayed_feedback);
+  PushJournalMetrics();
+  return Status::Ok();
 }
 
 TunerService::~TunerService() { Shutdown(); }
@@ -120,7 +312,8 @@ std::vector<IndexSet> TunerService::History() const {
 }
 
 bool TunerService::ApplyFeedback(uint64_t seq, bool inclusive,
-                                 bool with_asap) {
+                                 bool with_asap, uint64_t boundary,
+                                 bool post) {
   // Collect under the lock, apply outside it: Tuner::Feedback can be
   // expensive and producers must not block on it when casting votes.
   std::vector<std::pair<IndexSet, IndexSet>> to_apply;
@@ -137,6 +330,11 @@ bool TunerService::ApplyFeedback(uint64_t seq, bool inclusive,
     pending_feedback_.erase(pending_feedback_.begin(), end);
   }
   for (auto& [f_plus, f_minus] : to_apply) {
+    // WAL: the vote's effect boundary hits the journal before the vote
+    // mutates the tuner, so replay applies it at exactly this point.
+    JournalAppend([&](persist::JournalWriter* j) {
+      return j->AppendFeedback(boundary, post, f_plus, f_minus);
+    });
     tuner_->Feedback(f_plus, f_minus);
     metrics_.OnFeedback();
   }
@@ -145,7 +343,81 @@ bool TunerService::ApplyFeedback(uint64_t seq, bool inclusive,
 
 bool TunerService::ApplyAllFeedback() {
   return ApplyFeedback(std::numeric_limits<uint64_t>::max(),
-                       /*inclusive=*/true, /*with_asap=*/true);
+                       /*inclusive=*/true, /*with_asap=*/true,
+                       /*boundary=*/analyzed_, /*post=*/true);
+}
+
+template <typename Fn>
+void TunerService::JournalAppend(Fn&& fn) {
+  if (journal_ == nullptr) return;
+  Status st = fn(journal_.get());
+  if (!st.ok()) {
+    // Durability degrades but the service stays up; a stale journal tail
+    // simply bounds how far a future recovery can replay.
+    std::fprintf(stderr,
+                 "[tuner_service] journal write failed, disabling "
+                 "persistence: %s\n",
+                 st.ToString().c_str());
+    metrics_.OnJournalFailure();
+    journal_->Close();
+    journal_.reset();
+    journal_dirty_ = false;
+    return;
+  }
+  journal_dirty_ = true;
+}
+
+void TunerService::SyncJournalIfDirty() {
+  if (journal_ == nullptr || !journal_dirty_) return;
+  if (!options_.sync_journal) {
+    journal_dirty_ = false;
+    return;
+  }
+  Status st = journal_->Sync();
+  if (!st.ok()) {
+    std::fprintf(stderr,
+                 "[tuner_service] journal fsync failed, disabling "
+                 "persistence: %s\n",
+                 st.ToString().c_str());
+    metrics_.OnJournalFailure();
+    journal_->Close();
+    journal_.reset();
+  }
+  journal_dirty_ = false;
+}
+
+void TunerService::MaybeCheckpoint(bool force) {
+  if (journal_ == nullptr || pool_ == nullptr) return;
+  const uint64_t analyzed = analyzed_;  // worker thread owns all writes
+  if (have_checkpoint_ && analyzed == last_checkpoint_analyzed_) return;
+  if (!force &&
+      analyzed - last_checkpoint_analyzed_ <
+          options_.checkpoint_every_statements) {
+    return;
+  }
+  // The snapshot's journal_lsn must cover everything applied so far, and
+  // the covered records must be durable before the snapshot supersedes
+  // them.
+  SyncJournalIfDirty();
+  if (journal_ == nullptr) return;  // sync failure disabled persistence
+  persist::SnapshotMeta meta;
+  meta.analyzed = analyzed;
+  meta.journal_lsn = journal_->lsn();
+  StatusOr<uint64_t> bytes =
+      persist::WriteSnapshot(options_.checkpoint_dir, *tuner_, *pool_, meta);
+  if (!bytes.ok()) {
+    metrics_.OnCheckpointFailure();
+    return;
+  }
+  last_checkpoint_analyzed_ = analyzed;
+  have_checkpoint_ = true;
+  metrics_.OnCheckpoint(analyzed, *bytes, UnixSeconds());
+}
+
+void TunerService::PushJournalMetrics() {
+  if (journal_ == nullptr) return;
+  metrics_.SetJournal(journal_->lsn(), journal_->bytes(),
+                      journal_->syncs());
 }
 
 void TunerService::Publish() {
@@ -170,11 +442,27 @@ void TunerService::WorkerLoop() {
     size_t n = queue_.PopBatch(&batch, options_.max_batch, &first_seq);
     if (n == 0) break;  // closed and drained
     metrics_.OnBatch(n);
+    // Write-ahead: the whole batch hits the journal (one fsync) before any
+    // of it is analyzed, so a crash can lose unanalyzed intake but never
+    // analyzed statements. Statements requeued by recovery are already in
+    // the journal and are not re-appended.
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t seq = first_seq + i;
+      if (seq < journal_stmt_skip_until_) continue;
+      JournalAppend([&](persist::JournalWriter* j) {
+        return j->AppendStatement(seq, batch[i]);
+      });
+    }
+    // One fsync covers the whole batch: every statement analyzed below is
+    // already durable.
+    SyncJournalIfDirty();
     for (size_t i = 0; i < n; ++i) {
       uint64_t seq = first_seq + i;
       // Votes that arrived since the last boundary (ASAP, or keyed to an
-      // already-analyzed statement) apply before this statement.
-      bool fed = ApplyFeedback(seq, /*inclusive=*/false, /*with_asap=*/true);
+      // already-analyzed statement) apply before this statement — i.e. at
+      // boundary `seq`.
+      bool fed = ApplyFeedback(seq, /*inclusive=*/false, /*with_asap=*/true,
+                               /*boundary=*/seq, /*post=*/false);
       Clock::time_point start = Clock::now();
       tuner_->AnalyzeQuery(batch[i]);
       metrics_.OnAnalyzed(MicrosSince(start));
@@ -183,8 +471,17 @@ void TunerService::WorkerLoop() {
       metrics_.SetWhatIfCache(cache.hits, cache.misses);
       // Deterministic interleave: votes keyed to this statement apply
       // right after it, before its recommendation is recorded.
-      fed |= ApplyFeedback(seq, /*inclusive=*/true, /*with_asap=*/false);
+      fed |= ApplyFeedback(seq, /*inclusive=*/true, /*with_asap=*/false,
+                           /*boundary=*/seq + 1, /*post=*/true);
       (void)fed;
+      // The marker seals this statement's effects (its votes precede it in
+      // the journal): recovery replays the trajectory only through the
+      // last contiguous durable marker, so a crash can never replay past
+      // a boundary whose vote was still in memory. Synced once per batch —
+      // an unsynced tail rolls the recovery point back, never forward.
+      JournalAppend([&](persist::JournalWriter* j) {
+        return j->AppendAnalyzed(seq);
+      });
       {
         std::lock_guard<std::mutex> lock(progress_mu_);
         analyzed_ = seq + 1;
@@ -196,9 +493,17 @@ void TunerService::WorkerLoop() {
       Publish();
       progress_cv_.notify_all();
     }
+    // Trailing votes of the batch become durable before the worker blocks
+    // on the queue again (their effect is already published).
+    SyncJournalIfDirty();
+    MaybeCheckpoint(/*force=*/false);
+    PushJournalMetrics();
   }
   // Drain path: votes cast after the final statement still take effect.
   if (ApplyAllFeedback()) Publish();
+  SyncJournalIfDirty();
+  MaybeCheckpoint(/*force=*/options_.checkpoint_on_shutdown);
+  PushJournalMetrics();
   {
     std::lock_guard<std::mutex> lock(progress_mu_);
     worker_done_ = true;

@@ -18,6 +18,16 @@
 // multi-threaded replay of a workload (statement i submitted at sequence i
 // from any thread) produces exactly the recommendation trajectory of a
 // serial run of the same tuner on the same workload.
+//
+// Durability contract (options.checkpoint_dir, created via Open): every
+// ingested statement is appended to a write-ahead journal and fsynced
+// before analysis; applied DBA votes are journaled with the boundary at
+// which they took effect and made durable before any later analysis. State
+// snapshots are taken at batch boundaries (serialized with analysis, so
+// they are consistent) every checkpoint_every_statements. After a crash,
+// Open loads the newest valid snapshot (falling back past corrupt ones)
+// and replays only the journal suffix beyond it — the recovered service
+// continues the exact recommendation trajectory of an uninterrupted run.
 #ifndef WFIT_SERVICE_TUNER_SERVICE_H_
 #define WFIT_SERVICE_TUNER_SERVICE_H_
 
@@ -31,9 +41,11 @@
 #include <utility>
 #include <vector>
 
+#include "common/status.h"
 #include "common/worker_pool.h"
 #include "core/index_set.h"
 #include "core/tuner.h"
+#include "persist/journal.h"
 #include "service/ingest_queue.h"
 #include "service/metrics.h"
 #include "workload/statement.h"
@@ -55,6 +67,42 @@ struct TunerServiceOptions {
   /// Record the recommendation after every analyzed statement (for
   /// determinism tests and offline inspection). Off in production.
   bool record_history = false;
+
+  // --- Durability (persist/) --------------------------------------------
+  /// Directory for the write-ahead journal + state snapshots. Empty
+  /// disables persistence. Services with a checkpoint_dir must be created
+  /// through TunerService::Open, which runs recovery first.
+  std::string checkpoint_dir;
+  /// Snapshot cadence: a checkpoint is taken at the first batch boundary
+  /// after this many statements since the last one.
+  uint64_t checkpoint_every_statements = 1024;
+  /// Take a final checkpoint when the worker drains at Shutdown.
+  bool checkpoint_on_shutdown = true;
+  /// fsync the journal once per ingested batch (before analysis) and
+  /// whenever applied feedback precedes further analysis. Disabling trades
+  /// crash durability for throughput (the journal is still written).
+  bool sync_journal = true;
+};
+
+/// What recovery found and replayed (TunerService::Open).
+struct RecoveryStats {
+  /// True when a snapshot restored cleanly; false on a cold start (any
+  /// journal is then replayed from the beginning).
+  bool snapshot_loaded = false;
+  uint64_t snapshot_analyzed = 0;
+  /// Corrupt / version-mismatched snapshots skipped before one loaded.
+  uint64_t snapshots_skipped = 0;
+  uint64_t replayed_statements = 0;
+  uint64_t replayed_feedback = 0;
+  /// Statements that were WAL-journaled but not yet durably analyzed at
+  /// the crash (at most one batch): put back into the ingest queue so the
+  /// restarted worker analyzes them — after any votes the driver re-pins
+  /// at their boundaries.
+  uint64_t requeued_statements = 0;
+  /// Total statements reflected in the recovered state; producers replaying
+  /// a deterministic workload should resume submitting at this sequence,
+  /// and re-register votes for boundaries >= it.
+  uint64_t analyzed = 0;
 };
 
 /// An immutable, versioned view of the tuner's recommendation. Obtained
@@ -72,8 +120,21 @@ class TunerService {
   /// The service takes ownership of the tuner: after Start() the worker
   /// thread is the only caller of tuner->AnalyzeQuery()/Feedback(), which
   /// is what makes single-threaded Tuner implementations safe to serve
-  /// concurrent producers.
+  /// concurrent producers. Requires options.checkpoint_dir to be empty —
+  /// durable services are created through Open so recovery always runs.
   TunerService(std::unique_ptr<Tuner> tuner, TunerServiceOptions options = {});
+
+  /// Creates a service with durability: loads the latest valid snapshot
+  /// from options.checkpoint_dir (falling back past corrupt ones), replays
+  /// the journal suffix beyond it — exactly once — and opens the journal
+  /// for appending. The tuner must be constructed with the same
+  /// configuration (and `pool`) as the run that wrote the checkpoint; on a
+  /// fresh directory this is an ordinary cold start. Call Start() on the
+  /// result as usual. With an empty checkpoint_dir, equivalent to the
+  /// constructor (pool may then be null).
+  static StatusOr<std::unique_ptr<TunerService>> Open(
+      std::unique_ptr<Tuner> tuner, IndexPool* pool,
+      TunerServiceOptions options = {}, RecoveryStats* recovery = nullptr);
 
   /// Shuts down (draining buffered statements) if still running.
   ~TunerService();
@@ -95,7 +156,9 @@ class TunerService {
   bool TrySubmit(Statement stmt);
   /// Deterministic submission: the statement is analyzed as the `seq`-th
   /// of the stream regardless of which thread submits first. See
-  /// IngestQueue::PushAt for the contiguity contract.
+  /// IngestQueue::PushAt for the contiguity contract. Returns false when
+  /// shut down or when `seq` is already covered by recovered state (the
+  /// statement is dropped — exactly-once analysis).
   bool SubmitAt(uint64_t seq, Statement stmt);
 
   /// Registers a DBA vote applied at the next statement boundary (i.e.
@@ -131,16 +194,42 @@ class TunerService {
  private:
   void WorkerLoop();
   /// Applies ASAP feedback plus keyed feedback with after_seq < `seq`
-  /// (with_asap) or after_seq <= `seq` (boundary application). Returns
-  /// true if any vote was applied.
-  bool ApplyFeedback(uint64_t seq, bool inclusive, bool with_asap);
+  /// (with_asap) or after_seq <= `seq` (boundary application), journaling
+  /// each applied vote at `boundary` (the analyzed count at application
+  /// time) in the pre-statement (post=false) or post-statement (post=true)
+  /// slot. Returns true if any vote was applied.
+  bool ApplyFeedback(uint64_t seq, bool inclusive, bool with_asap,
+                     uint64_t boundary, bool post);
   /// Applies everything still pending (drain path).
   bool ApplyAllFeedback();
   void Publish();
 
+  // --- persist/ integration (worker thread only) ------------------------
+  /// Recovery at Open: snapshot restore + journal suffix replay.
+  Status Recover(RecoveryStats* stats);
+  /// Appends one record through `fn`; a failure permanently disables
+  /// journaling + checkpointing (durability degrades, service lives on).
+  template <typename Fn>
+  void JournalAppend(Fn&& fn);
+  void SyncJournalIfDirty();
+  /// Snapshot at a batch boundary once the cadence has elapsed (`force`
+  /// for the shutdown checkpoint).
+  void MaybeCheckpoint(bool force);
+  void PushJournalMetrics();
+
   std::unique_ptr<Tuner> tuner_;
   TunerServiceOptions options_;
   IngestQueue queue_;
+  /// Pool backing the tuner's index ids; needed (and non-null) only when
+  /// checkpointing, to persist/verify the interning order.
+  IndexPool* pool_ = nullptr;
+  std::unique_ptr<persist::JournalWriter> journal_;
+  bool journal_dirty_ = false;
+  uint64_t last_checkpoint_analyzed_ = 0;
+  bool have_checkpoint_ = false;
+  /// Statements below this sequence are already in the journal (recovery
+  /// requeued them); the worker skips their WAL append.
+  uint64_t journal_stmt_skip_until_ = 0;
   /// Owned pool for intra-statement parallel analysis; created by Start()
   /// when the resolved analysis_threads exceeds one.
   std::unique_ptr<WorkerPool> analysis_pool_;

@@ -1,0 +1,43 @@
+#include "common/crc32.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace wfit {
+namespace {
+
+TEST(Crc32Test, KnownVectors) {
+  // The canonical check value for CRC-32/IEEE.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+  EXPECT_EQ(Crc32("a"), 0xE8B7BE43u);
+  EXPECT_EQ(Crc32("abc"), 0x352441C2u);
+  EXPECT_EQ(Crc32("The quick brown fox jumps over the lazy dog"),
+            0x414FA339u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  const std::string data = "write-ahead journals need torn-tail detection";
+  uint32_t one_shot = Crc32(data);
+  for (size_t split = 0; split <= data.size(); ++split) {
+    uint32_t crc = Crc32Update(0, data.data(), split);
+    crc = Crc32Update(crc, data.data() + split, data.size() - split);
+    EXPECT_EQ(crc, one_shot) << "split at " << split;
+  }
+}
+
+TEST(Crc32Test, DetectsSingleBitFlips) {
+  std::string data = "snapshot payload";
+  const uint32_t clean = Crc32(data);
+  for (size_t byte = 0; byte < data.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupt = data;
+      corrupt[byte] = static_cast<char>(corrupt[byte] ^ (1 << bit));
+      EXPECT_NE(Crc32(corrupt), clean);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wfit

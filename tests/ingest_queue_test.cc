@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <set>
 #include <string>
 #include <thread>
@@ -69,6 +70,10 @@ TEST(IngestQueueTest, PushBlocksOnBackpressureAndResumes) {
     EXPECT_TRUE(q.Push(Tagged("1")));  // blocks until the pop below
     EXPECT_TRUE(q.Push(Tagged("2")));
   });
+  // Let the producer actually hit the full ring before draining; popping
+  // too early lets both pushes through without a wait and the counter
+  // assertion below turns flaky.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
   std::vector<Statement> batch;
   size_t got = 0;
   while (got < 3) {

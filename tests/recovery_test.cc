@@ -1,0 +1,418 @@
+// The durability headline invariant: kill the service after statement k,
+// recover from checkpoint_dir, finish the workload — the recommendation
+// trajectory is bit-for-bit identical to an uninterrupted run. Covered for
+// WFIT (auto candidate maintenance) and WFA+ (fixed stable partition),
+// with interleaved DBA feedback, at analysis_threads 1 and 8, with and
+// without a usable snapshot (journal-only cold start).
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/wfa_plus.h"
+#include "core/wfit.h"
+#include "persist/journal.h"
+#include "service/tuner_service.h"
+#include "tests/test_util.h"
+
+namespace wfit::service {
+namespace {
+
+namespace fs = std::filesystem;
+using wfit::testing::TestDb;
+
+constexpr size_t kTotal = 200;
+constexpr size_t kCrashAt = 137;
+
+WfitOptions FastOptions() {
+  WfitOptions options;
+  options.candidates.idx_cnt = 8;
+  options.candidates.state_cnt = 64;
+  options.candidates.hist_size = 50;
+  options.candidates.creation_penalty_factor = 1e-6;
+  return options;
+}
+
+Workload BuildWorkload(TestDb& db, size_t n) {
+  const char* shapes[] = {
+      "SELECT count(*) FROM t1 WHERE a BETWEEN 0 AND 150",
+      "SELECT count(*) FROM t1 WHERE b BETWEEN 100 AND 220",
+      "SELECT count(*) FROM t1, t2 WHERE t1.k = t2.fk AND t1.a = 5",
+      "SELECT count(*) FROM t2 WHERE x BETWEEN 10 AND 40",
+      "UPDATE t1 SET d = 1 WHERE a = 77",
+      "SELECT count(*) FROM t1 WHERE a BETWEEN 0 AND 150 AND c = 3",
+      "SELECT count(*) FROM t3 WHERE v = 9",
+      "UPDATE t2 SET y = 2 WHERE x = 17",
+  };
+  Workload w;
+  for (size_t i = 0; i < n; ++i) {
+    w.push_back(db.Bind(shapes[i % (sizeof(shapes) / sizeof(shapes[0]))]));
+  }
+  return w;
+}
+
+enum class Kind { kWfit, kWfaPlus };
+
+/// Every run interns the vote targets first, in a fixed order, so IndexIds
+/// agree across "processes" (fresh TestDb instances).
+std::vector<IndexId> SeedIds(TestDb& db) {
+  return {db.Ix("t1", {"a"}), db.Ix("t2", {"x"}), db.Ix("t1", {"b"})};
+}
+
+std::unique_ptr<Tuner> MakeTuner(Kind kind, TestDb& db) {
+  if (kind == Kind::kWfit) {
+    return std::make_unique<Wfit>(&db.pool(), &db.optimizer(), IndexSet{},
+                                  FastOptions());
+  }
+  std::vector<IndexSet> parts{
+      IndexSet{db.Ix("t1", {"a"}), db.Ix("t1", {"b"})},
+      IndexSet{db.Ix("t2", {"x"})},
+      IndexSet{db.Ix("t3", {"v"})},
+  };
+  return std::make_unique<WfaPlus>(&db.pool(), &db.optimizer(),
+                                   std::move(parts), IndexSet{});
+}
+
+struct Vote {
+  uint64_t after;
+  IndexSet plus;
+  IndexSet minus;
+};
+
+std::vector<Vote> MakeVotes(const std::vector<IndexId>& ids) {
+  return {
+      {30, IndexSet{ids[0]}, IndexSet{}},
+      {81, IndexSet{}, IndexSet{ids[1]}},
+      {kCrashAt - 1, IndexSet{ids[2]}, IndexSet{ids[0]}},
+      {163, IndexSet{ids[0]}, IndexSet{ids[2]}},
+  };
+}
+
+TunerServiceOptions BaseOptions(size_t threads) {
+  TunerServiceOptions options;
+  options.queue_capacity = 64;
+  options.max_batch = 5;
+  options.analysis_threads = threads;
+  options.record_history = true;
+  return options;
+}
+
+/// Submits w[first, last) from two producers with explicit sequence
+/// numbers (stale sequences are dropped by the exactly-once contract).
+void Produce(TunerService& service, const Workload& w, size_t first,
+             size_t last) {
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 2; ++p) {
+    producers.emplace_back([&, p] {
+      for (size_t seq = first + static_cast<size_t>(p); seq < last;
+           seq += 2) {
+        service.SubmitAt(seq, w[seq]);
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+}
+
+std::vector<IndexSet> ReferenceHistory(Kind kind, size_t threads) {
+  TestDb db;
+  std::vector<IndexId> ids = SeedIds(db);
+  std::unique_ptr<Tuner> tuner = MakeTuner(kind, db);
+  Workload w = BuildWorkload(db, kTotal);
+  TunerService service(std::move(tuner), BaseOptions(threads));
+  service.Start();
+  for (const Vote& v : MakeVotes(ids)) {
+    service.FeedbackAfter(v.after, v.plus, v.minus);
+  }
+  Produce(service, w, 0, kTotal);
+  service.Shutdown();
+  return service.History();
+}
+
+/// The crash + recover flow. Returns the reference-aligned suffix: the
+/// recovered run's history starting at `*out_start` (the snapshot's
+/// analyzed count, or 0 for a journal-only cold start).
+std::vector<IndexSet> CrashAndRecover(Kind kind, size_t threads,
+                                      bool drop_snapshots,
+                                      uint64_t* out_start,
+                                      RecoveryStats* out_stats) {
+  const std::string dir =
+      (fs::path(::testing::TempDir()) /
+       ("wfit_recovery_" + std::to_string(::getpid()) + "_" +
+        std::to_string(static_cast<int>(kind)) + "_" +
+        std::to_string(threads) + (drop_snapshots ? "_nosnap" : "")))
+          .string();
+  fs::remove_all(dir);
+
+  TunerServiceOptions options = BaseOptions(threads);
+  options.checkpoint_dir = dir;
+  options.checkpoint_every_statements = 50;
+  // Simulate the crash: no final checkpoint, so recovery must replay the
+  // journal suffix past the last periodic snapshot.
+  options.checkpoint_on_shutdown = false;
+
+  // "Process 1": analyze the first kCrashAt statements, then die.
+  {
+    TestDb db;
+    std::vector<IndexId> ids = SeedIds(db);
+    std::unique_ptr<Tuner> tuner = MakeTuner(kind, db);
+    Workload w = BuildWorkload(db, kTotal);
+    auto service =
+        TunerService::Open(std::move(tuner), &db.pool(), options);
+    EXPECT_TRUE(service.ok()) << service.status().ToString();
+    (*service)->Start();
+    for (const Vote& v : MakeVotes(ids)) {
+      if (v.after < kCrashAt) {
+        (*service)->FeedbackAfter(v.after, v.plus, v.minus);
+      }
+    }
+    Produce(**service, w, 0, kCrashAt);
+    EXPECT_TRUE((*service)->WaitUntilAnalyzed(kCrashAt));
+    (*service)->Shutdown();
+    MetricsSnapshot m = (*service)->Metrics();
+    EXPECT_GE(m.journal_records, kCrashAt);
+    if (!drop_snapshots) {
+      EXPECT_GE(m.checkpoints_written, 1u);
+    }
+  }
+  if (drop_snapshots) {
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      if (entry.path().extension() == ".wfsnap") fs::remove(entry.path());
+    }
+  }
+
+  // "Process 2": fresh everything, recover, finish the workload — the
+  // producers replay the whole workload; recovered statements are dropped.
+  TestDb db;
+  std::vector<IndexId> ids = SeedIds(db);
+  std::unique_ptr<Tuner> tuner = MakeTuner(kind, db);
+  Workload w = BuildWorkload(db, kTotal);
+  RecoveryStats stats;
+  auto service =
+      TunerService::Open(std::move(tuner), &db.pool(), options, &stats);
+  EXPECT_TRUE(service.ok()) << service.status().ToString();
+  EXPECT_EQ(stats.analyzed, kCrashAt);
+  (*service)->Start();
+  for (const Vote& v : MakeVotes(ids)) {
+    if (v.after >= kCrashAt) {
+      (*service)->FeedbackAfter(v.after, v.plus, v.minus);
+    }
+  }
+  Produce(**service, w, 0, kTotal);
+  (*service)->Shutdown();
+  *out_start = stats.snapshot_loaded ? stats.snapshot_analyzed : 0;
+  if (out_stats != nullptr) *out_stats = stats;
+  return (*service)->History();
+}
+
+void CheckRecoveryMatchesReference(Kind kind, size_t threads,
+                                   bool drop_snapshots) {
+  std::vector<IndexSet> reference = ReferenceHistory(kind, threads);
+  ASSERT_EQ(reference.size(), kTotal);
+  uint64_t start = 0;
+  RecoveryStats stats;
+  std::vector<IndexSet> recovered =
+      CrashAndRecover(kind, threads, drop_snapshots, &start, &stats);
+  ASSERT_EQ(recovered.size(), kTotal - start);
+  for (size_t i = 0; i < recovered.size(); ++i) {
+    ASSERT_EQ(recovered[i], reference[start + i])
+        << "trajectory diverged at statement " << (start + i)
+        << " (recovery started at " << start << ")";
+  }
+  if (drop_snapshots) {
+    EXPECT_FALSE(stats.snapshot_loaded);
+    EXPECT_EQ(stats.replayed_statements, kCrashAt);
+  } else {
+    EXPECT_TRUE(stats.snapshot_loaded);
+    EXPECT_GE(stats.snapshot_analyzed, 50u);
+    EXPECT_EQ(stats.replayed_statements, kCrashAt - stats.snapshot_analyzed);
+  }
+}
+
+TEST(RecoveryTest, WfitBitForBitSerial) {
+  CheckRecoveryMatchesReference(Kind::kWfit, 1, /*drop_snapshots=*/false);
+}
+
+TEST(RecoveryTest, WfitBitForBitParallel8) {
+  CheckRecoveryMatchesReference(Kind::kWfit, 8, /*drop_snapshots=*/false);
+}
+
+TEST(RecoveryTest, WfaPlusBitForBitSerial) {
+  CheckRecoveryMatchesReference(Kind::kWfaPlus, 1, /*drop_snapshots=*/false);
+}
+
+TEST(RecoveryTest, WfaPlusBitForBitParallel8) {
+  CheckRecoveryMatchesReference(Kind::kWfaPlus, 8, /*drop_snapshots=*/false);
+}
+
+TEST(RecoveryTest, JournalOnlyColdStartReplaysEverything) {
+  CheckRecoveryMatchesReference(Kind::kWfit, 1, /*drop_snapshots=*/true);
+}
+
+TEST(RecoveryTest, WalAheadOfAnalysisRequeuesIntakeAndKeepsVoteBoundaries) {
+  // The crash window the analyzed markers exist for: the batch WAL made
+  // statements 0..9 durable, but only 0..5 finished analysis (markers)
+  // before the crash — and a vote keyed after statement 7 died in memory.
+  // Recovery must resume the trajectory at 6 and hand 6..9 back as intake,
+  // so the driver's re-registered vote still lands exactly after 7.
+  const std::string dir =
+      (fs::path(::testing::TempDir()) /
+       ("wfit_recovery_wal_ahead_" + std::to_string(::getpid())))
+          .string();
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  {
+    TestDb db;
+    SeedIds(db);
+    Workload w = BuildWorkload(db, 10);
+    persist::JournalWriter jw;
+    ASSERT_TRUE(jw.Open((fs::path(dir) / "journal.wfj").string(), 0, 0).ok());
+    for (uint64_t seq = 0; seq < 10; ++seq) {
+      ASSERT_TRUE(jw.AppendStatement(seq, w[seq]).ok());
+    }
+    for (uint64_t seq = 0; seq < 6; ++seq) {
+      ASSERT_TRUE(jw.AppendAnalyzed(seq).ok());
+    }
+    ASSERT_TRUE(jw.Sync().ok());
+  }
+
+  TestDb db;
+  std::vector<IndexId> ids = SeedIds(db);
+  Workload w = BuildWorkload(db, 10);
+  TunerServiceOptions options = BaseOptions(1);
+  options.checkpoint_dir = dir;
+  RecoveryStats stats;
+  auto service = TunerService::Open(MakeTuner(Kind::kWfit, db), &db.pool(),
+                                    options, &stats);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  EXPECT_EQ(stats.analyzed, 6u);
+  EXPECT_EQ(stats.replayed_statements, 6u);
+  EXPECT_EQ(stats.requeued_statements, 4u);
+  (*service)->Start();
+  (*service)->FeedbackAfter(7, IndexSet{ids[0]}, IndexSet{ids[1]});
+  // The producer replays the whole workload: 0..5 are dropped as already
+  // analyzed, 6..9 collide with the requeued copies and are dropped too.
+  Produce(**service, w, 0, 10);
+  (*service)->Shutdown();
+  std::vector<IndexSet> history = (*service)->History();
+  ASSERT_EQ(history.size(), 10u);
+
+  // Serial reference: the uninterrupted run with the vote after 7.
+  TestDb ref_db;
+  std::vector<IndexId> ref_ids = SeedIds(ref_db);
+  Workload ref_w = BuildWorkload(ref_db, 10);
+  std::unique_ptr<Tuner> ref = MakeTuner(Kind::kWfit, ref_db);
+  for (size_t i = 0; i < 10; ++i) {
+    ref->AnalyzeQuery(ref_w[i]);
+    if (i == 7) ref->Feedback(IndexSet{ref_ids[0]}, IndexSet{ref_ids[1]});
+    ASSERT_EQ(history[i], ref->Recommendation())
+        << "diverged at statement " << i;
+  }
+}
+
+TEST(RecoveryTest, JournalDeletedAfterCheckpointStillRecovers) {
+  const std::string dir =
+      (fs::path(::testing::TempDir()) /
+       ("wfit_recovery_nojournal_" + std::to_string(::getpid())))
+          .string();
+  fs::remove_all(dir);
+  TunerServiceOptions options = BaseOptions(1);
+  options.checkpoint_dir = dir;
+  options.checkpoint_every_statements = 16;
+
+  IndexSet final_rec;
+  {
+    TestDb db;
+    SeedIds(db);
+    Workload w = BuildWorkload(db, 40);
+    auto service = TunerService::Open(MakeTuner(Kind::kWfit, db), &db.pool(),
+                                      options);
+    ASSERT_TRUE(service.ok());
+    (*service)->Start();
+    Produce(**service, w, 0, 40);
+    (*service)->Shutdown();  // shutdown checkpoint covers the journal
+    final_rec = (*service)->Recommendation()->configuration;
+  }
+  // An operator (or disk cleanup) removes the journal; the snapshot
+  // references journal records that no longer exist. Recovery must accept
+  // the snapshot as authoritative and re-stamp the LSN domain so future
+  // recoveries stay consistent.
+  fs::remove(fs::path(dir) / "journal.wfj");
+  {
+    TestDb db;
+    SeedIds(db);
+    Workload w = BuildWorkload(db, 60);
+    RecoveryStats stats;
+    auto service = TunerService::Open(MakeTuner(Kind::kWfit, db), &db.pool(),
+                                      options, &stats);
+    ASSERT_TRUE(service.ok()) << service.status().ToString();
+    EXPECT_TRUE(stats.snapshot_loaded);
+    EXPECT_EQ(stats.analyzed, 40u);
+    EXPECT_EQ(stats.replayed_statements, 0u);
+    EXPECT_EQ((*service)->tuner().Recommendation(), final_rec);
+    // Continue past the re-stamp, crash-style, and recover once more: the
+    // fresh journal + re-stamped snapshot must line up.
+    (*service)->Start();
+    Produce(**service, w, 40, 60);
+    (*service)->Shutdown();
+  }
+  {
+    TestDb db;
+    SeedIds(db);
+    RecoveryStats stats;
+    auto service = TunerService::Open(MakeTuner(Kind::kWfit, db), &db.pool(),
+                                      options, &stats);
+    ASSERT_TRUE(service.ok()) << service.status().ToString();
+    EXPECT_EQ(stats.analyzed, 60u);
+  }
+}
+
+TEST(RecoveryTest, FreshDirectoryIsAColdStartWithJournaling) {
+  const std::string dir =
+      (fs::path(::testing::TempDir()) /
+       ("wfit_recovery_fresh_" + std::to_string(::getpid())))
+          .string();
+  fs::remove_all(dir);
+  TestDb db;
+  std::vector<IndexId> ids = SeedIds(db);
+  std::unique_ptr<Tuner> tuner = MakeTuner(Kind::kWfit, db);
+  Workload w = BuildWorkload(db, 40);
+  TunerServiceOptions options = BaseOptions(1);
+  options.checkpoint_dir = dir;
+  options.checkpoint_every_statements = 16;
+  RecoveryStats stats;
+  auto service =
+      TunerService::Open(std::move(tuner), &db.pool(), options, &stats);
+  ASSERT_TRUE(service.ok());
+  EXPECT_FALSE(stats.snapshot_loaded);
+  EXPECT_EQ(stats.analyzed, 0u);
+  (*service)->Start();
+  Produce(**service, w, 0, 40);
+  (*service)->Shutdown();
+  MetricsSnapshot m = (*service)->Metrics();
+  // One WAL record + one analyzed marker per statement.
+  EXPECT_EQ(m.journal_records, 80u);
+  EXPECT_GE(m.checkpoints_written, 2u);  // cadence + shutdown checkpoint
+  EXPECT_GT(m.last_snapshot_bytes, 0u);
+  EXPECT_EQ(m.last_checkpoint_seq, 40u);
+  EXPECT_GT(m.journal_syncs, 0u);
+  // The shutdown checkpoint makes restart instant: nothing to replay.
+  TestDb db2;
+  SeedIds(db2);
+  RecoveryStats stats2;
+  auto service2 = TunerService::Open(MakeTuner(Kind::kWfit, db2),
+                                     &db2.pool(), options, &stats2);
+  ASSERT_TRUE(service2.ok()) << service2.status().ToString();
+  EXPECT_TRUE(stats2.snapshot_loaded);
+  EXPECT_EQ(stats2.analyzed, 40u);
+  EXPECT_EQ(stats2.replayed_statements, 0u);
+  // Not started yet: read the restored tuner directly.
+  EXPECT_EQ((*service2)->tuner().Recommendation(),
+            (*service)->Recommendation()->configuration);
+}
+
+}  // namespace
+}  // namespace wfit::service

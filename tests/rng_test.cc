@@ -100,6 +100,28 @@ TEST(RngTest, ForkIsIndependentButDeterministic) {
   }
 }
 
+TEST(RngTest, SaveAndLoadStateResumesStreamExactly) {
+  Rng a(20120402);
+  for (int i = 0; i < 1000; ++i) (void)a.UniformInt(0, 1 << 30);
+  std::string state = a.SaveState();
+  // Drain more draws from `a`, then rewind a fresh engine to the saved
+  // position: the streams must coincide from there on.
+  std::vector<int64_t> expected;
+  for (int i = 0; i < 50; ++i) expected.push_back(a.UniformInt(0, 1 << 30));
+  Rng b(1);
+  ASSERT_TRUE(b.LoadState(state));
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(b.UniformInt(0, 1 << 30), expected[static_cast<size_t>(i)]);
+  }
+}
+
+TEST(RngTest, LoadStateRejectsGarbage) {
+  Rng a(7);
+  int64_t before = a.UniformInt(0, 100);
+  (void)before;
+  EXPECT_FALSE(a.LoadState("not an engine state"));
+}
+
 TEST(RngDeathTest, EmptyRangeAborts) {
   Rng rng(1);
   EXPECT_DEATH({ (void)rng.UniformInt(2, 1); }, "empty range");

@@ -227,6 +227,9 @@ TEST(TunerServiceTest, BackpressureBoundsQueueAndRejectsTrySubmit) {
 
 TEST(TunerServiceTest, MetricsCountersAndTextExport) {
   TestDb db;
+  // Interned before the worker starts: the pool is not synchronized, so
+  // voting threads must not intern concurrently with analysis.
+  IndexId voted = db.Ix("t1", {"a"});
   Workload w = BuildWorkload(db, 32);
   TunerServiceOptions options;
   options.max_batch = 4;
@@ -236,7 +239,7 @@ TEST(TunerServiceTest, MetricsCountersAndTextExport) {
       options);
   service.Start();
   for (const Statement& q : w) ASSERT_TRUE(service.Submit(q));
-  service.Feedback(IndexSet{db.Ix("t1", {"a"})}, IndexSet{});
+  service.Feedback(IndexSet{voted}, IndexSet{});
   service.Shutdown();
 
   MetricsSnapshot m = service.Metrics();

@@ -1,9 +1,17 @@
 // Micro-benchmark (ablation): IBG construction, cost lookups and doi
 // computation as the per-statement candidate count grows — the knobs behind
-// chooseCands' ibg_cap and the what-if call counts of Sec. 6.2.
+// chooseCands' ibg_cap and the what-if call counts of Sec. 6.2. The custom
+// main additionally merges a machine-readable `ibg_build_us_micro`
+// (12-candidate build on this fixture's query) into BENCH_service.json so
+// the enumeration core's perf trajectory is tracked across PRs
+// (`ibg_build_us` proper is emitted by bench_wfit_hotpath at selector
+// scale).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
 #include "bench/bench_common.h"
+#include "harness/reporting.h"
 #include "ibg/ibg.h"
 #include "ibg/interactions.h"
 #include "optimizer/index_extractor.h"
@@ -95,4 +103,28 @@ BENCHMARK(BM_WhatIfOptimize);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  // Machine-readable perf trajectory: mean 12-candidate build latency.
+  IbgFixture& f = Fixture();
+  size_t n = std::min<size_t>(12, f.all_candidates.size());
+  std::vector<IndexId> cands(f.all_candidates.begin(),
+                             f.all_candidates.begin() + n);
+  using Clock = std::chrono::steady_clock;
+  constexpr int kReps = 200;
+  Clock::time_point t0 = Clock::now();
+  for (int i = 0; i < kReps; ++i) {
+    IndexBenefitGraph ibg(f.query, f.env.optimizer(), cands);
+    benchmark::DoNotOptimize(ibg.num_nodes());
+  }
+  double us =
+      std::chrono::duration<double, std::micro>(Clock::now() - t0).count() /
+      kReps;
+  wfit::harness::UpdateBenchJson("BENCH_service.json",
+                                 {{"ibg_build_us_micro", us}});
+  return 0;
+}

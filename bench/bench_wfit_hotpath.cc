@@ -1,0 +1,239 @@
+// The WFIT hot path end to end: chooseCands (statement-wide IBG, stats
+// refresh, topIndices, choosePartition) plus the per-part WFA step, at full
+// candidate scale (idxCnt 40, stateCnt 500) on the paper's benchmark trace.
+//
+// Reported series (merged into BENCH_service.json):
+//
+//   wfit_auto_stmts_per_min       — single-threaded WFIT-auto throughput on
+//                                   the benchmark trace; THE number to
+//                                   compare across PRs (PR 2 baseline:
+//                                   ~9.4k/min in the same container);
+//   wfit_auto_stmts_per_min_t8    — same with an 8-wide analysis pool
+//                                   (parallel IBG + per-part fan-out; reads
+//                                   as ~1x on a single-core host);
+//   ibg_build_us                  — mean statement-wide IBG build latency
+//                                   at selector scale;
+//   whatif_cross_stmt_hit_rate    — cross-statement cache hit rate on a
+//                                   repeated-template workload (the OLTP /
+//                                   prepared-statement regime), plus the
+//                                   cached-vs-uncached speedup there.
+//
+// Determinism gates (process exits nonzero on violation): trajectories
+// bit-for-bit identical at 1/2/8 analysis threads AND with the
+// cross-statement cache disabled vs enabled.
+//
+// Set WFIT_BENCH_FAST=1 for a scaled-down smoke run.
+#include <chrono>
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/worker_pool.h"
+#include "core/wfit.h"
+#include "harness/reporting.h"
+#include "optimizer/index_extractor.h"
+
+namespace wfit {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct RunStats {
+  double seconds = 0.0;
+  double stmts_per_minute = 0.0;
+  uint64_t what_if_calls = 0;
+  WhatIfCacheCounters cache;
+  std::vector<IndexSet> trajectory;
+};
+
+/// Replays the workload with deterministic interleaved feedback (identical
+/// cadence to bench_parallel_analysis, so the stmts/min series is
+/// comparable across PRs).
+RunStats Replay(Tuner* tuner, const Workload& w,
+                const WhatIfOptimizer& real_optimizer) {
+  RunStats stats;
+  stats.trajectory.reserve(w.size());
+  uint64_t calls_before = real_optimizer.num_calls();
+  Clock::time_point t0 = Clock::now();
+  for (size_t i = 0; i < w.size(); ++i) {
+    tuner->AnalyzeQuery(w[i]);
+    if (i > 0 && i % 150 == 0) {
+      IndexSet rec = tuner->Recommendation();
+      if (!rec.empty()) {
+        tuner->Feedback(IndexSet{}, IndexSet{*rec.begin()});
+      }
+    }
+    stats.trajectory.push_back(tuner->Recommendation());
+  }
+  stats.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  stats.stmts_per_minute =
+      60.0 * static_cast<double>(w.size()) / stats.seconds;
+  stats.what_if_calls = real_optimizer.num_calls() - calls_before;
+  stats.cache = tuner->WhatIfCache();
+  return stats;
+}
+
+bool Check(bool ok, const char* what) {
+  if (!ok) std::cout << "DETERMINISM VIOLATION: " << what << "\n";
+  return ok;
+}
+
+bool SameTrajectory(const std::vector<IndexSet>& a,
+                    const std::vector<IndexSet>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+}  // namespace wfit
+
+int main() {
+  using namespace wfit;
+  const bool fast = std::getenv("WFIT_BENCH_FAST") != nullptr;
+  bench::BenchEnv env;
+  const Workload& workload = env.workload();
+  bool ok = true;
+  std::vector<std::pair<std::string, double>> json;
+
+  std::cout << "WFIT hot path, " << workload.size()
+            << " statements (benchmark trace), hardware_concurrency = "
+            << WorkerPool::DefaultThreads() << "\n\n";
+
+  // --- WFIT auto on the benchmark trace, 1/2/8 analysis threads ---------
+  {
+    WfitOptions options;  // paper defaults: idxCnt 40, stateCnt 500
+    std::cout << "WFIT auto (idxCnt " << options.candidates.idx_cnt
+              << ", stateCnt " << options.candidates.state_cnt << ")\n"
+              << std::setw(10) << "threads" << std::setw(12) << "wall s"
+              << std::setw(16) << "stmts/min" << std::setw(14) << "what-if"
+              << std::setw(12) << "hit rate" << std::setw(12) << "cross"
+              << "\n";
+    RunStats base;
+    for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+      Wfit tuner(&env.pool(), &env.optimizer(), IndexSet{}, options);
+      std::unique_ptr<WorkerPool> pool;
+      if (threads > 1) {
+        pool = std::make_unique<WorkerPool>(threads - 1);
+        tuner.SetAnalysisPool(pool.get());
+      }
+      RunStats r = Replay(&tuner, workload, env.optimizer());
+      std::cout << std::setw(10) << threads << std::setw(12) << std::fixed
+                << std::setprecision(2) << r.seconds << std::setw(16)
+                << static_cast<uint64_t>(r.stmts_per_minute) << std::setw(14)
+                << r.what_if_calls << std::setw(12) << std::setprecision(3)
+                << r.cache.hit_rate() << std::setw(12)
+                << r.cache.cross_hit_rate() << "\n";
+      if (threads == 1) {
+        base = r;
+        json.emplace_back("wfit_auto_stmts_per_min", r.stmts_per_minute);
+      } else {
+        ok &= Check(SameTrajectory(base.trajectory, r.trajectory),
+                    "thread-count trajectory mismatch");
+        json.emplace_back(
+            "wfit_auto_stmts_per_min_t" + std::to_string(threads),
+            r.stmts_per_minute);
+      }
+    }
+
+    // Cross-statement cache disabled: identical trajectory, slower.
+    WfitOptions no_cache = options;
+    no_cache.cross_cache.max_templates = 0;
+    Wfit uncached(&env.pool(), &env.optimizer(), IndexSet{}, no_cache);
+    RunStats r = Replay(&uncached, workload, env.optimizer());
+    std::cout << std::setw(10) << "no-cache" << std::setw(12) << std::fixed
+              << std::setprecision(2) << r.seconds << std::setw(16)
+              << static_cast<uint64_t>(r.stmts_per_minute) << std::setw(14)
+              << r.what_if_calls << std::setw(12) << std::setprecision(3)
+              << r.cache.hit_rate() << std::setw(12) << 0.0 << "\n";
+    ok &= Check(SameTrajectory(base.trajectory, r.trajectory),
+                "cold/warm cross-statement cache trajectory mismatch");
+  }
+
+  // --- Statement-wide IBG build latency at selector scale ---------------
+  {
+    ExtractorOptions xopts;
+    xopts.max_candidates_per_statement = 24;
+    std::vector<IndexId> cands;
+    // The first query that yields a wide candidate slate.
+    const Statement* q = nullptr;
+    for (const Statement& stmt : workload) {
+      std::vector<IndexId> extracted = ExtractIndices(stmt, &env.pool(), xopts);
+      if (extracted.size() >= 8 &&
+          (q == nullptr || extracted.size() > cands.size())) {
+        q = &stmt;
+        cands = std::move(extracted);
+      }
+      if (cands.size() >= 12) break;
+    }
+    WFIT_CHECK(q != nullptr,
+               "benchmark trace yielded no statement with >= 8 candidates");
+    const int reps = fast ? 50 : 300;
+    Clock::time_point t0 = Clock::now();
+    uint64_t nodes = 0;
+    for (int i = 0; i < reps; ++i) {
+      IndexBenefitGraph ibg(*q, env.optimizer(), cands, /*max_nodes=*/150);
+      nodes += ibg.num_nodes();
+    }
+    double us = std::chrono::duration<double, std::micro>(Clock::now() - t0)
+                    .count() /
+                reps;
+    std::cout << "\nIBG build (" << cands.size() << " candidates, "
+              << nodes / static_cast<uint64_t>(reps)
+              << " nodes): " << std::fixed << std::setprecision(1) << us
+              << " us\n";
+    json.emplace_back("ibg_build_us", us);
+  }
+
+  // --- Cross-statement cache on a repeated-template workload ------------
+  {
+    // The OLTP regime: a fixed set of templates cycling (prepared
+    // statements). Sampled from the benchmark trace for realistic shapes.
+    const size_t num_templates = 24;
+    const size_t repeats = fast ? 20 : 60;
+    Workload templated;
+    templated.reserve(num_templates * repeats);
+    for (size_t r = 0; r < repeats; ++r) {
+      for (size_t t = 0; t < num_templates && t < workload.size(); ++t) {
+        templated.push_back(workload[t]);
+      }
+    }
+    WfitOptions options;
+    Wfit cached(&env.pool(), &env.optimizer(), IndexSet{}, options);
+    RunStats with_cache = Replay(&cached, templated, env.optimizer());
+    WfitOptions no_cache = options;
+    no_cache.cross_cache.max_templates = 0;
+    Wfit uncached(&env.pool(), &env.optimizer(), IndexSet{}, no_cache);
+    RunStats without = Replay(&uncached, templated, env.optimizer());
+    ok &= Check(SameTrajectory(with_cache.trajectory, without.trajectory),
+                "templated-workload cache trajectory mismatch");
+    std::cout << "\nrepeated templates (" << num_templates << " x " << repeats
+              << "): cached " << static_cast<uint64_t>(
+                     with_cache.stmts_per_minute)
+              << " stmts/min vs uncached "
+              << static_cast<uint64_t>(without.stmts_per_minute)
+              << " (speedup " << std::setprecision(2)
+              << with_cache.stmts_per_minute / without.stmts_per_minute
+              << "), cross hit rate " << std::setprecision(3)
+              << with_cache.cache.cross_hit_rate() << ", real what-if "
+              << with_cache.what_if_calls << " vs " << without.what_if_calls
+              << "\n";
+    json.emplace_back("whatif_cross_stmt_hit_rate",
+                      with_cache.cache.cross_hit_rate());
+    json.emplace_back("whatif_cross_stmt_speedup",
+                      with_cache.stmts_per_minute / without.stmts_per_minute);
+  }
+
+  json.emplace_back("wfit_hotpath_trajectories_identical", ok ? 1.0 : 0.0);
+  json.emplace_back("wfit_hotpath_fast_mode", fast ? 1.0 : 0.0);
+  harness::UpdateBenchJson("BENCH_service.json", json);
+  std::cout << "\ntrajectory determinism (threads x cache): "
+            << (ok ? "yes" : "NO") << "\nwrote BENCH_service.json\n";
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,121 @@
+// Open-addressed hash tables keyed by configuration Mask, used by the IBG
+// enumeration core. The std::unordered_map node tables dominated chooseCands'
+// profile (one heap node per IBG node, pointer-chasing per benefit/doi cost
+// lookup); these flat tables keep every slot in one contiguous allocation,
+// probe linearly, and can be pre-sized from the IBG's node-closure bound so
+// the common case never rehashes.
+//
+// Restrictions (all satisfied by IBG masks): keys are < 0xFFFFFFFF (the
+// empty-slot sentinel; IBG masks use at most 25 bits), there is no erase,
+// and values are trivially movable.
+#ifndef WFIT_COMMON_FLAT_MASK_MAP_H_
+#define WFIT_COMMON_FLAT_MASK_MAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/bits.h"
+#include "common/check.h"
+
+namespace wfit {
+
+template <typename V>
+class FlatMaskMap {
+ public:
+  static constexpr Mask kEmptyKey = 0xFFFFFFFFu;
+
+  FlatMaskMap() = default;
+
+  /// Drops all entries and pre-sizes the table for `expected` insertions
+  /// without rehashing. Capacity is retained across Reset calls when
+  /// sufficient, so per-statement reuse is allocation-free.
+  void Reset(size_t expected) {
+    size_t cap = 16;
+    while (cap * 7 < (expected + 1) * 10) cap <<= 1;  // load factor <= 0.7
+    if (cap > slots_.size()) {
+      slots_.assign(cap, Slot{});
+    } else {
+      for (Slot& s : slots_) s.key = kEmptyKey;
+    }
+    size_ = 0;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Pointer to the value for `key`, or nullptr when absent.
+  const V* Find(Mask key) const {
+    if (slots_.empty()) return nullptr;
+    const size_t cap_mask = slots_.size() - 1;
+    size_t i = Hash(key) & cap_mask;
+    while (true) {
+      const Slot& s = slots_[i];
+      if (s.key == key) return &s.value;
+      if (s.key == kEmptyKey) return nullptr;
+      i = (i + 1) & cap_mask;
+    }
+  }
+  V* Find(Mask key) {
+    return const_cast<V*>(static_cast<const FlatMaskMap*>(this)->Find(key));
+  }
+
+  bool Contains(Mask key) const { return Find(key) != nullptr; }
+
+  /// Inserts (key, value); `key` must not be present (IBG tables never
+  /// overwrite — a node/cost is computed exactly once).
+  void Insert(Mask key, V value) {
+    WFIT_DCHECK(key != kEmptyKey, "FlatMaskMap: reserved key");
+    if (slots_.empty() || (size_ + 1) * 10 > slots_.size() * 7) {
+      Grow();
+    }
+    const size_t cap_mask = slots_.size() - 1;
+    size_t i = Hash(key) & cap_mask;
+    while (slots_[i].key != kEmptyKey) {
+      WFIT_DCHECK(slots_[i].key != key, "FlatMaskMap: duplicate insert");
+      i = (i + 1) & cap_mask;
+    }
+    slots_[i].key = key;
+    slots_[i].value = std::move(value);
+    ++size_;
+  }
+
+  /// Visits every (key, value) pair in unspecified order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Slot& s : slots_) {
+      if (s.key != kEmptyKey) fn(s.key, s.value);
+    }
+  }
+
+ private:
+  struct Slot {
+    Mask key = kEmptyKey;
+    V value{};
+  };
+
+  static size_t Hash(Mask key) {
+    // Fibonacci multiplicative mix: masks are dense low-bit patterns, so a
+    // single 64-bit multiply spreads them across the table.
+    uint64_t h = static_cast<uint64_t>(key) * 0x9E3779B97F4A7C15ull;
+    return static_cast<size_t>(h >> 32);
+  }
+
+  void Grow() {
+    std::vector<Slot> old = std::move(slots_);
+    size_t cap = old.empty() ? 16 : old.size() * 2;
+    slots_.assign(cap, Slot{});
+    size_ = 0;
+    for (Slot& s : old) {
+      if (s.key != kEmptyKey) Insert(s.key, std::move(s.value));
+    }
+  }
+
+  std::vector<Slot> slots_;
+  size_t size_ = 0;
+};
+
+}  // namespace wfit
+
+#endif  // WFIT_COMMON_FLAT_MASK_MAP_H_

@@ -22,8 +22,18 @@ CandidateSelector::CandidateSelector(IndexPool* pool,
              "CandidateSelector requires pool and optimizer");
 }
 
+double CandidateSelector::UniverseBenefit(
+    IndexId a, const std::vector<double>& benefit_of) const {
+  // universe_ is sorted; every queried id comes from it.
+  const std::vector<IndexId>& ids = universe_.ids();
+  auto it = std::lower_bound(ids.begin(), ids.end(), a);
+  WFIT_DCHECK(it != ids.end() && *it == a, "id outside the universe");
+  return benefit_of[static_cast<size_t>(it - ids.begin())];
+}
+
 std::vector<IndexId> CandidateSelector::TopIndices(
-    const std::vector<IndexId>& x, size_t u, const IndexSet& monitored) const {
+    const std::vector<IndexId>& x, size_t u, const IndexSet& monitored,
+    const std::vector<double>& benefit_of) const {
   if (u == 0 || x.empty()) return {};
   struct Scored {
     IndexId id;
@@ -32,7 +42,7 @@ std::vector<IndexId> CandidateSelector::TopIndices(
   std::vector<Scored> scored;
   scored.reserve(x.size());
   for (IndexId a : x) {
-    double score = idx_stats_.CurrentBenefit(a, position_);
+    double score = UniverseBenefit(a, benefit_of);
     if (!monitored.Contains(a)) {
       // A new index must displace a monitored one: charge (a scaled share
       // of) its materialization cost as required extra evidence.
@@ -92,24 +102,35 @@ CandidateAnalysis CandidateSelector::ChooseCands(
     universe_.Add(id);
   }
 
+  // Current benefit per universe id, computed ONCE per statement (aligned
+  // with universe_.ids()): the ranking sort below and topIndices both
+  // consume it, instead of re-walking the stats windows per comparison.
+  const std::vector<IndexId>& universe_ids = universe_.ids();
+  benefit_scratch_.clear();
+  benefit_scratch_.reserve(universe_ids.size());
+  for (IndexId a : universe_ids) {
+    benefit_scratch_.push_back(idx_stats_.CurrentBenefit(a, position_));
+  }
+
   // Line 2: the statement's IBG over the query-relevant slice of U,
   // ranked by current benefit: the mask cap and the what-if node budget
-  // both shed from the low-benefit tail.
-  std::vector<IndexId> relevant = RelevantCandidates(
-      q, *pool_, std::vector<IndexId>(universe_.begin(), universe_.end()),
-      /*cap=*/std::numeric_limits<size_t>::max());
-  std::stable_sort(relevant.begin(), relevant.end(),
+  // both shed from the low-benefit tail. Probes fan out across the
+  // analysis pool when one is attached (deterministic level-sync build).
+  relevant_scratch_ = RelevantCandidates(
+      q, *pool_, universe_ids, /*cap=*/std::numeric_limits<size_t>::max());
+  std::stable_sort(relevant_scratch_.begin(), relevant_scratch_.end(),
                    [&](IndexId a, IndexId b) {
-                     double ba = idx_stats_.CurrentBenefit(a, position_);
-                     double bb = idx_stats_.CurrentBenefit(b, position_);
+                     double ba = UniverseBenefit(a, benefit_scratch_);
+                     double bb = UniverseBenefit(b, benefit_scratch_);
                      if (ba != bb) return ba > bb;
                      return a < b;
                    });
-  if (relevant.size() > options_.ibg_cap) {
-    relevant.resize(options_.ibg_cap);
+  if (relevant_scratch_.size() > options_.ibg_cap) {
+    relevant_scratch_.resize(options_.ibg_cap);
   }
-  auto ibg = std::make_shared<IndexBenefitGraph>(q, *optimizer_, relevant,
-                                                 options_.ibg_node_budget);
+  auto ibg = std::make_shared<IndexBenefitGraph>(
+      q, *optimizer_, relevant_scratch_, options_.ibg_node_budget,
+      analysis_pool_);
 
   // Line 3: updateStats — benefits βn and pairwise doi from the IBG.
   for (size_t bit = 0; bit < ibg->candidates().size(); ++bit) {
@@ -120,23 +141,32 @@ CandidateAnalysis CandidateSelector::ChooseCands(
     int_stats_.Record(entry.a, entry.b, position_, entry.doi);
   }
 
-  // Lines 4-5: D ← M ∪ topIndices(U − M, idxCnt − |M|).
+  // Lines 4-5: D ← M ∪ topIndices(U − M, idxCnt − |M|). topIndices scores
+  // with the statistics INCLUDING this statement's Record calls above, so
+  // the benefit scratch is refreshed here (the ranking scratch deliberately
+  // predated them, exactly like the original two separate passes).
+  benefit_scratch_.clear();
+  for (IndexId a : universe_ids) {
+    benefit_scratch_.push_back(idx_stats_.CurrentBenefit(a, position_));
+  }
   IndexSet monitored;
   for (const IndexSet& part : current_partition) {
     monitored = monitored.Union(part);
   }
-  std::vector<IndexId> not_materialized;
-  for (IndexId a : universe_) {
-    if (!materialized.Contains(a)) not_materialized.push_back(a);
+  not_materialized_scratch_.clear();
+  for (IndexId a : universe_ids) {
+    if (!materialized.Contains(a)) not_materialized_scratch_.push_back(a);
   }
   size_t budget = options_.idx_cnt > materialized.size()
                       ? options_.idx_cnt - materialized.size()
                       : 0;
-  std::vector<IndexId> top = TopIndices(not_materialized, budget, monitored);
+  std::vector<IndexId> top = TopIndices(not_materialized_scratch_, budget,
+                                        monitored, benefit_scratch_);
   IndexSet d = materialized;
   for (IndexId a : top) d.Add(a);
 
-  // Line 6: choosePartition(D, stateCnt).
+  // Line 6: choosePartition(D, stateCnt). The search evaluates this
+  // exactly once per D pair (it builds its own dense doi matrix).
   DoiFn doi = [this](IndexId a, IndexId b) {
     return int_stats_.CurrentDoi(a, b, position_);
   };
@@ -145,8 +175,7 @@ CandidateAnalysis CandidateSelector::ChooseCands(
   popts.rand_cnt = options_.rand_cnt;
   CandidateAnalysis out;
   out.partition =
-      ChoosePartition(std::vector<IndexId>(d.begin(), d.end()),
-                      current_partition, doi, popts, &rng_);
+      ChoosePartition(d.ids(), current_partition, doi, popts, &rng_);
   out.ibg = std::move(ibg);
   return out;
 }

@@ -20,6 +20,8 @@
 
 namespace wfit {
 
+class WorkerPool;
+
 struct CandidateOptions {
   /// Upper bound on monitored indices (paper: idxCnt, default 40).
   size_t idx_cnt = 40;
@@ -74,6 +76,11 @@ class CandidateSelector {
   CandidateSelector(IndexPool* pool, const WhatIfOptimizer* optimizer,
                     const CandidateOptions& options, uint64_t seed);
 
+  /// Fans the statement-wide IBG's what-if probes across `pool`
+  /// (nullptr = serial). Deterministic: chooseCands' outcome is
+  /// independent of the pool width.
+  void SetAnalysisPool(WorkerPool* pool) { analysis_pool_ = pool; }
+
   /// Runs chooseCands for the next statement. `materialized` is the set M
   /// the DBA currently has built (always retained as candidates);
   /// `current_partition` seeds both topIndices scoring and the baseline
@@ -100,17 +107,35 @@ class CandidateSelector {
 
  private:
   /// topIndices(X, u): up to u ids from X with the highest scores.
+  /// `benefit_of[i]` is the precomputed current benefit of the i-th
+  /// universe id (aligned with universe_.ids()).
   std::vector<IndexId> TopIndices(const std::vector<IndexId>& x, size_t u,
-                                  const IndexSet& monitored) const;
+                                  const IndexSet& monitored,
+                                  const std::vector<double>& benefit_of) const;
+
+  /// The precomputed benefit of universe member `a` from a scratch vector
+  /// aligned with universe_.ids().
+  double UniverseBenefit(IndexId a,
+                         const std::vector<double>& benefit_of) const;
 
   IndexPool* pool_;
   const WhatIfOptimizer* optimizer_;
   CandidateOptions options_;
   Rng rng_;
+  WorkerPool* analysis_pool_ = nullptr;
   IndexSet universe_;          // U
   BenefitStats idx_stats_;     // idxStats
   InteractionStats int_stats_; // intStats
   uint64_t position_ = 0;      // statements analyzed (1-based after ++)
+  // Per-statement scratch, hoisted so ChooseCands is allocation-stable:
+  // current benefit per universe id (computed once per statement — the
+  // ranking sort and topIndices both read it instead of re-walking the
+  // stats windows per comparison). choosePartition's own doi memoization
+  // lives inside ChoosePartition (core/partition.cc: dense doi matrix +
+  // cross-loss cache).
+  std::vector<double> benefit_scratch_;
+  std::vector<IndexId> relevant_scratch_;
+  std::vector<IndexId> not_materialized_scratch_;
 };
 
 }  // namespace wfit

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <iterator>
 #include <limits>
 #include <set>
 
@@ -58,57 +59,124 @@ std::vector<IndexSet> ChoosePartition(
   WFIT_CHECK(2 * d.size() <= options.state_cnt || d.size() <= 1,
              "state_cnt cannot accommodate even singleton parts");
 
-  auto feasible = [&](const std::vector<IndexSet>& parts) {
-    if (PartitionStates(parts) > options.state_cnt) return false;
-    for (const IndexSet& p : parts) {
-      if (p.size() > options.max_part_size) return false;
+  // The search below evaluates pairwise cross losses O(|D|^2) times per
+  // merge round, times rand_cnt rounds of rounds — querying the DoiFn
+  // (a stats-window walk) each time dominated the WFIT hot path. Evaluate
+  // doi exactly ONCE per pair into a dense |D|x|D| matrix and run the whole
+  // search over dense member indices. Iteration orders are unchanged, so
+  // every loss/weight sums in the same order and the RNG stream consumption
+  // is identical: the chosen partitions match the direct implementation bit
+  // for bit.
+  const std::vector<IndexId>& ids = d.ids();
+  const size_t n = ids.size();
+  std::vector<double> doi_matrix(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double v = doi(ids[i], ids[j]);
+      doi_matrix[i * n + j] = v;
+      doi_matrix[j * n + i] = v;
     }
-    return true;
+  }
+  // Parts as sorted vectors of dense member indices (sorted => the same
+  // ascending-id iteration order as IndexSet).
+  using DensePart = std::vector<uint32_t>;
+  auto cross_dense = [&](const DensePart& a, const DensePart& b) {
+    double total = 0.0;
+    for (uint32_t x : a) {
+      const double* row = &doi_matrix[x * n];
+      for (uint32_t y : b) total += row[y];
+    }
+    return total;
+  };
+  auto loss_dense = [&](const std::vector<DensePart>& parts) {
+    double total = 0.0;
+    for (size_t i = 0; i < parts.size(); ++i) {
+      for (size_t j = i + 1; j < parts.size(); ++j) {
+        total += cross_dense(parts[i], parts[j]);
+      }
+    }
+    return total;
+  };
+  auto states_dense = [](const std::vector<DensePart>& parts) {
+    size_t total = 0;
+    for (const DensePart& p : parts) total += StatesOf(p.size());
+    return total;
+  };
+  auto to_sets = [&](const std::vector<DensePart>& parts) {
+    std::vector<IndexSet> out;
+    out.reserve(parts.size());
+    for (const DensePart& p : parts) {
+      IndexSet set;
+      for (uint32_t x : p) set.Add(ids[x]);
+      out.push_back(std::move(set));
+    }
+    return out;
   };
 
-  std::vector<IndexSet> best;
+  std::vector<DensePart> best;
   double best_loss = std::numeric_limits<double>::infinity();
   bool have_best = false;
 
   // Baseline: current partition restricted to D, plus singletons for the
   // new indices (Fig. 7, lines 2-7).
   {
-    std::vector<IndexSet> base;
-    IndexSet covered;
+    std::vector<DensePart> base;
+    std::vector<bool> covered(n, false);
     for (const IndexSet& part : current_partition) {
-      IndexSet kept = part.Intersect(d);
-      if (!kept.empty()) {
-        covered = covered.Union(kept);
-        base.push_back(std::move(kept));
+      DensePart kept;
+      for (size_t x = 0; x < n; ++x) {
+        if (part.Contains(ids[x])) {
+          kept.push_back(static_cast<uint32_t>(x));
+          covered[x] = true;
+        }
       }
+      if (!kept.empty()) base.push_back(std::move(kept));
     }
-    for (IndexId a : d) {
-      if (!covered.Contains(a)) base.push_back(IndexSet{a});
+    for (size_t x = 0; x < n; ++x) {
+      if (!covered[x]) base.push_back(DensePart{static_cast<uint32_t>(x)});
     }
-    if (feasible(base)) {
-      best_loss = PartitionLoss(base, doi);
+    bool feasible = states_dense(base) <= options.state_cnt;
+    for (const DensePart& p : base) {
+      feasible = feasible && p.size() <= options.max_part_size;
+    }
+    if (feasible) {
+      best_loss = loss_dense(base);
       best = std::move(base);
       have_best = true;
     }
   }
 
-  // Randomized merge searches (Fig. 7, lines 8-20).
+  // Randomized merge searches (Fig. 7, lines 8-20). The pairwise cross
+  // losses are cached between merge rounds: a merge only changes the
+  // crosses involving the merged part, and those are recomputed from
+  // scratch (not incrementally summed), so every cached value is exactly
+  // the double a full recomputation would produce.
+  struct Candidate {
+    size_t i, j;
+    double loss;
+    double weight;
+  };
+  std::vector<Candidate> e, e1;
+  std::vector<double> weights;
+  std::vector<double> cross_cache;  // row-major over current part indices
   for (int iter = 0; iter < options.rand_cnt; ++iter) {
-    std::vector<IndexSet> parts;
-    for (IndexId a : d) parts.push_back(IndexSet{a});
+    std::vector<DensePart> parts;
+    parts.reserve(n);
+    for (size_t x = 0; x < n; ++x) {
+      parts.push_back(DensePart{static_cast<uint32_t>(x)});
+    }
+    // All-singleton start: part crosses ARE the doi matrix.
+    cross_cache = doi_matrix;
+    size_t current_states = states_dense(parts);
 
     while (true) {
       // E: mergeable pairs with positive cross loss.
-      struct Candidate {
-        size_t i, j;
-        double loss;
-        double weight;
-      };
-      std::vector<Candidate> e, e1;
-      size_t current_states = PartitionStates(parts);
-      for (size_t i = 0; i < parts.size(); ++i) {
-        for (size_t j = i + 1; j < parts.size(); ++j) {
-          double cross = CrossLoss(parts[i], parts[j], doi);
+      e.clear();
+      e1.clear();
+      const size_t p = parts.size();
+      for (size_t i = 0; i < p; ++i) {
+        for (size_t j = i + 1; j < p; ++j) {
+          double cross = cross_cache[i * p + j];
           if (cross <= 0.0) continue;
           size_t ni = parts[i].size(), nj = parts[j].size();
           if (ni + nj > options.max_part_size) continue;
@@ -129,15 +197,44 @@ std::vector<IndexSet> ChoosePartition(
       }
       const std::vector<Candidate>& pool = !e1.empty() ? e1 : e;
       if (pool.empty()) break;
-      std::vector<double> weights;
+      weights.clear();
       weights.reserve(pool.size());
       for (const Candidate& c : pool) weights.push_back(c.weight);
       const Candidate& pick = pool[rng->PickWeighted(weights)];
-      parts[pick.i] = parts[pick.i].Union(parts[pick.j]);
+      // Sorted merge keeps ascending iteration order (== IndexSet::Union).
+      DensePart merged;
+      merged.reserve(parts[pick.i].size() + parts[pick.j].size());
+      std::merge(parts[pick.i].begin(), parts[pick.i].end(),
+                 parts[pick.j].begin(), parts[pick.j].end(),
+                 std::back_inserter(merged));
+      current_states += StatesOf(merged.size()) -
+                        StatesOf(parts[pick.i].size()) -
+                        StatesOf(parts[pick.j].size());
+      parts[pick.i] = std::move(merged);
       parts.erase(parts.begin() + static_cast<ptrdiff_t>(pick.j));
+      // Shrink the cross cache: drop row/column pick.j, then refresh the
+      // merged part's row and column.
+      const size_t q = parts.size();  // == p - 1
+      for (size_t i = 0, src_i = 0; i < q; ++i, ++src_i) {
+        if (src_i == pick.j) ++src_i;
+        for (size_t j = 0, src_j = 0; j < q; ++j, ++src_j) {
+          if (src_j == pick.j) ++src_j;
+          cross_cache[i * q + j] = cross_cache[src_i * p + src_j];
+        }
+      }
+      cross_cache.resize(q * q);
+      for (size_t k = 0; k < q; ++k) {
+        if (k == pick.i) continue;
+        // Argument order matches the (i < j) full recomputation exactly, so
+        // the summation order — hence the double — is identical.
+        double v = k < pick.i ? cross_dense(parts[k], parts[pick.i])
+                              : cross_dense(parts[pick.i], parts[k]);
+        cross_cache[pick.i * q + k] = v;
+        cross_cache[k * q + pick.i] = v;
+      }
     }
 
-    double loss = PartitionLoss(parts, doi);
+    double loss = loss_dense(parts);
     if (!have_best || loss < best_loss) {
       best_loss = loss;
       best = std::move(parts);
@@ -146,8 +243,9 @@ std::vector<IndexSet> ChoosePartition(
   }
 
   WFIT_CHECK(have_best, "no feasible partition found");
-  CanonicalizePartition(&best);
-  return best;
+  std::vector<IndexSet> out = to_sets(best);
+  CanonicalizePartition(&out);
+  return out;
 }
 
 }  // namespace wfit

@@ -5,33 +5,53 @@
 namespace wfit {
 
 void RecencyWindow::Record(uint64_t n, double value) {
-  WFIT_CHECK(entries_.empty() || entries_.front().first <= n,
+  WFIT_CHECK(buf_.empty() || buf_[newest_].first <= n,
              "RecencyWindow positions must be non-decreasing");
-  entries_.emplace_front(n, value);
-  if (entries_.size() > hist_size_) entries_.pop_back();
+  if (hist_size_ == 0) return;  // history disabled: window stays empty
+  if (buf_.size() < hist_size_) {
+    buf_.emplace_back(n, value);
+    newest_ = buf_.size() - 1;
+  } else {
+    newest_ = (newest_ + 1) % hist_size_;
+    buf_[newest_] = {n, value};  // overwrites the oldest slot
+  }
 }
 
 double RecencyWindow::CurrentValue(uint64_t now) const {
-  if (entries_.empty()) return 0.0;
+  if (buf_.empty()) return 0.0;
   double best = 0.0;
   double sum = 0.0;
-  for (const auto& [n, v] : entries_) {  // newest -> oldest
+  const size_t count = buf_.size();
+  size_t idx = newest_;
+  for (size_t i = 0; i < count; ++i) {  // newest -> oldest
+    const auto& [n, v] = buf_[idx];
     sum += v;
     // now >= n always holds; the window spans the most recent now-n+1
     // statements.
     double denom = static_cast<double>(now - n + 1);
     best = std::max(best, sum / denom);
+    idx = (idx + count - 1) % count;
   }
   return best;
 }
 
 std::vector<std::pair<uint64_t, double>> RecencyWindow::Entries() const {
-  return {entries_.rbegin(), entries_.rend()};
+  std::vector<std::pair<uint64_t, double>> out;
+  if (buf_.empty()) return out;
+  out.reserve(buf_.size());
+  const size_t count = buf_.size();
+  size_t idx = (newest_ + 1) % count;  // oldest slot (0 until the ring wraps)
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back(buf_[idx]);
+    idx = (idx + 1) % count;
+  }
+  return out;
 }
 
 void RecencyWindow::RestoreEntries(
     const std::vector<std::pair<uint64_t, double>>& oldest_first) {
-  entries_.clear();
+  buf_.clear();
+  newest_ = 0;
   for (const auto& [n, v] : oldest_first) Record(n, v);
 }
 

@@ -8,7 +8,6 @@
 #define WFIT_CORE_STATS_H_
 
 #include <cstdint>
-#include <deque>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -20,8 +19,13 @@ namespace wfit {
 /// One windowed series of (position, value) entries with the paper's
 /// current-value formula:
 ///   value*_N = max_ℓ (v1 + ... + vℓ) / (N − nℓ + 1),
-/// entries ordered newest first. Recent entries get small denominators, so
+/// evaluated newest to oldest. Recent entries get small denominators, so
 /// recently useful indices score high (cf. LRU-K).
+///
+/// Storage is a ring buffer that grows lazily up to hist_size and then
+/// overwrites the oldest slot in place — chooseCands records into hundreds
+/// of windows per statement, and the previous deque churned an allocation
+/// per chunk-boundary crossing on that path.
 class RecencyWindow {
  public:
   explicit RecencyWindow(size_t hist_size) : hist_size_(hist_size) {}
@@ -32,8 +36,8 @@ class RecencyWindow {
   /// value*_N; zero when the window is empty.
   double CurrentValue(uint64_t now) const;
 
-  bool empty() const { return entries_.empty(); }
-  size_t size() const { return entries_.size(); }
+  bool empty() const { return buf_.empty(); }
+  size_t size() const { return buf_.size(); }
 
   /// Oldest-first copy of the window contents (persist/ snapshots).
   std::vector<std::pair<uint64_t, double>> Entries() const;
@@ -43,7 +47,10 @@ class RecencyWindow {
 
  private:
   size_t hist_size_;
-  std::deque<std::pair<uint64_t, double>> entries_;  // newest at front
+  /// Ring: grows to hist_size_, then wraps. newest_ indexes the most
+  /// recent entry; the oldest is the next slot once the ring is full.
+  std::vector<std::pair<uint64_t, double>> buf_;
+  size_t newest_ = 0;
 };
 
 /// idxStats: per-index benefit windows.

@@ -19,13 +19,24 @@ class WorkerPool;
 /// optimizer probes (hit_rate is the paper-relevant savings: every hit is
 /// one optimizer invocation avoided).
 struct WhatIfCacheCounters {
+  /// Statement-scoped tier: identical probes within one statement.
   uint64_t hits = 0;
   uint64_t misses = 0;
+  /// Cross-statement tier: probes answered from an earlier structurally
+  /// identical statement (repeated templates).
+  uint64_t cross_hits = 0;
 
-  uint64_t probes() const { return hits + misses; }
+  uint64_t probes() const { return hits + cross_hits + misses; }
   double hit_rate() const {
     uint64_t p = probes();
-    return p == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(p);
+    return p == 0 ? 0.0
+                  : static_cast<double>(hits + cross_hits) /
+                        static_cast<double>(p);
+  }
+  double cross_hit_rate() const {
+    uint64_t p = probes();
+    return p == 0 ? 0.0
+                  : static_cast<double>(cross_hits) / static_cast<double>(p);
   }
 };
 

@@ -39,7 +39,8 @@ std::vector<IndexId> RelevantCandidates(const Statement& q,
 WfaPlus::WfaPlus(const IndexPool* pool, const WhatIfOptimizer* optimizer,
                  std::vector<IndexSet> partition,
                  const IndexSet& initial_config, std::string display_name,
-                 size_t ibg_node_budget)
+                 size_t ibg_node_budget,
+                 const CrossStatementCacheOptions& cross_cache)
     : pool_(pool),
       optimizer_(optimizer),
       partition_(std::move(partition)),
@@ -47,7 +48,7 @@ WfaPlus::WfaPlus(const IndexPool* pool, const WhatIfOptimizer* optimizer,
       ibg_node_budget_(ibg_node_budget) {
   WFIT_CHECK(pool != nullptr && optimizer != nullptr,
              "WfaPlus requires pool and optimizer");
-  memo_ = std::make_unique<CachingWhatIfOptimizer>(optimizer);
+  memo_ = std::make_unique<CachingWhatIfOptimizer>(optimizer, cross_cache);
   std::set<IndexId> seen;
   for (const IndexSet& part : partition_) {
     WFIT_CHECK(!part.empty(), "empty part in stable partition");

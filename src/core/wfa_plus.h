@@ -79,7 +79,8 @@ class WfaPlus : public Tuner {
   /// shed last when the budget forces truncation.
   WfaPlus(const IndexPool* pool, const WhatIfOptimizer* optimizer,
           std::vector<IndexSet> partition, const IndexSet& initial_config,
-          std::string display_name = "WFA+", size_t ibg_node_budget = 300);
+          std::string display_name = "WFA+", size_t ibg_node_budget = 300,
+          const CrossStatementCacheOptions& cross_cache = {});
 
   void AnalyzeQuery(const Statement& q) override;
   IndexSet Recommendation() const override;
@@ -88,7 +89,7 @@ class WfaPlus : public Tuner {
 
   void SetAnalysisPool(WorkerPool* pool) override { analysis_pool_ = pool; }
   WhatIfCacheCounters WhatIfCache() const override {
-    return {memo_->hits(), memo_->misses()};
+    return {memo_->hits(), memo_->misses(), memo_->cross_hits()};
   }
 
   const std::vector<IndexSet>& partition() const { return partition_; }

@@ -14,7 +14,8 @@ Wfit::Wfit(IndexPool* pool, const WhatIfOptimizer* optimizer,
       initial_materialized_(initial_materialized) {
   WFIT_CHECK(pool != nullptr && optimizer != nullptr,
              "Wfit requires pool and optimizer");
-  memo_ = std::make_unique<CachingWhatIfOptimizer>(optimizer);
+  memo_ = std::make_unique<CachingWhatIfOptimizer>(optimizer,
+                                                   options.cross_cache);
   // The selector probes through the memo too: its statement-wide IBG and
   // the per-part IBGs of the same statement share configuration probes.
   selector_ = std::make_unique<CandidateSelector>(

@@ -29,6 +29,12 @@ struct WfitOptions {
   std::string name = "WFIT";
   /// Seed for choosePartition's randomized search.
   uint64_t seed = 20120402;
+  /// Cross-statement what-if memoization (templates repeat in generator and
+  /// OLTP workloads). Purely a probe-avoidance layer: trajectories are
+  /// bit-for-bit identical with it cold, warm, or disabled
+  /// (max_templates = 0), and it is never persisted — recovery restarts
+  /// cold.
+  CrossStatementCacheOptions cross_cache;
 };
 
 /// The complete mutable state of a Wfit tuner (persist/ snapshots). The
@@ -70,12 +76,16 @@ class Wfit : public Tuner {
 
   std::string name() const override { return options_.name; }
 
-  /// Intra-statement parallelism: per-part IBG construction and WFA
-  /// updates fan out across `pool` (nullptr = serial). Deterministic: the
-  /// recommendation trajectory is independent of the pool size.
-  void SetAnalysisPool(WorkerPool* pool) override { analysis_pool_ = pool; }
+  /// Intra-statement parallelism: the selector's statement-wide IBG build
+  /// plus per-part IBG construction and WFA updates fan out across `pool`
+  /// (nullptr = serial). Deterministic: the recommendation trajectory is
+  /// independent of the pool size.
+  void SetAnalysisPool(WorkerPool* pool) override {
+    analysis_pool_ = pool;
+    selector_->SetAnalysisPool(pool);
+  }
   WhatIfCacheCounters WhatIfCache() const override {
-    return {memo_->hits(), memo_->misses()};
+    return {memo_->hits(), memo_->misses(), memo_->cross_hits()};
   }
 
   const std::vector<IndexSet>& partition() const { return partition_; }

@@ -80,6 +80,7 @@ ExperimentSeries ExperimentDriver::Run(
   const WhatIfCacheCounters cache_after = tuner->WhatIfCache();
   series.what_if_cache_hits = cache_after.hits - cache_before.hits;
   series.what_if_cache_misses = cache_after.misses - cache_before.misses;
+  series.what_if_cross_hits = cache_after.cross_hits - cache_before.cross_hits;
   return series;
 }
 

@@ -36,9 +36,11 @@ struct ExperimentSeries {
   /// invocations; memoized probes do not count).
   double analyze_seconds = 0.0;
   uint64_t what_if_calls = 0;
-  /// Statement-scoped what-if memo counters (zero for tuners without one).
+  /// What-if memo counters (zero for tuners without one): statement-scoped
+  /// tier, cross-statement template tier, and real optimizer calls.
   uint64_t what_if_cache_hits = 0;
   uint64_t what_if_cache_misses = 0;
+  uint64_t what_if_cross_hits = 0;
 };
 
 class ExperimentDriver {

@@ -72,10 +72,11 @@ void PrintOverheadTable(std::ostream& os,
                        ? 0.0
                        : static_cast<double>(s.what_if_calls) /
                              static_cast<double>(num_statements);
-    uint64_t probes = s.what_if_cache_hits + s.what_if_cache_misses;
+    uint64_t memo_hits = s.what_if_cache_hits + s.what_if_cross_hits;
+    uint64_t probes = memo_hits + s.what_if_cache_misses;
     double hit_pct = probes == 0
                          ? 0.0
-                         : 100.0 * static_cast<double>(s.what_if_cache_hits) /
+                         : 100.0 * static_cast<double>(memo_hits) /
                                static_cast<double>(probes);
     os << std::setw(14) << s.name << std::setw(18) << std::fixed
        << std::setprecision(3) << ms << std::setw(18) << std::setprecision(1)
@@ -106,8 +107,9 @@ void PrintServiceMetrics(std::ostream& os, const std::string& title,
   os << std::setw(26) << "analysis threads" << std::setw(14)
      << m.analysis_threads << "\n";
   os << std::setw(26) << "what-if cache" << std::setw(14)
-     << m.what_if_cache_hits << "   (hits; misses "
-     << m.what_if_cache_misses << ", hit rate " << std::setprecision(3)
+     << m.what_if_cache_hits << "   (stmt hits; cross "
+     << m.what_if_cross_hits << ", misses " << m.what_if_cache_misses
+     << ", hit rate " << std::setprecision(3)
      << m.what_if_cache_hit_rate() << ")\n";
   os << std::setw(26) << "snapshot version" << std::setw(14)
      << m.snapshot_version << "\n";

@@ -1,18 +1,37 @@
 #include "ibg/ibg.h"
 
 #include <algorithm>
-#include <deque>
 #include <limits>
+#include <thread>
+
+#include "common/worker_pool.h"
 
 namespace wfit {
+
+namespace {
+
+/// Builds `set` from `mask` over `candidates` reusing `set`'s capacity.
+void ToSetInto(const std::vector<IndexId>& candidates, Mask mask,
+               IndexSet* set) {
+  set->clear();
+  Mask rest = mask;
+  while (rest != 0) {
+    int bit = LowestBit(rest);
+    rest &= rest - 1;
+    set->Add(candidates[static_cast<size_t>(bit)]);
+  }
+}
+
+}  // namespace
 
 IndexBenefitGraph::IndexBenefitGraph(const Statement& q,
                                      const WhatIfOptimizer& optimizer,
                                      std::vector<IndexId> candidates,
-                                     size_t max_nodes)
+                                     size_t max_nodes, WorkerPool* pool)
     : candidates_(std::move(candidates)) {
   WFIT_CHECK(candidates_.size() <= 25, "IBG: too many candidates for a mask");
   WFIT_CHECK(max_nodes >= 1, "IBG: node budget must allow the root");
+  pool_ = pool;
   while (!TryBuild(q, optimizer, max_nodes, &build_calls_)) {
     // Budget exceeded: shed the tail half of the candidate list (callers
     // rank by benefit) and rebuild.
@@ -21,83 +40,165 @@ IndexBenefitGraph::IndexBenefitGraph(const Statement& q,
                       candidates_.end());
     candidates_.resize(keep);
   }
+  pool_ = nullptr;  // construction-only; not used by lookups
 }
 
 bool IndexBenefitGraph::TryBuild(const Statement& q,
                                  const WhatIfOptimizer& optimizer,
                                  size_t max_nodes, uint64_t* calls) {
-  nodes_.clear();
-  cost_cache_.clear();
+  const size_t n = candidates_.size();
+  // Closure bound: the graph can never exceed min(2^n, budget + 1) nodes
+  // (the level that would cross the budget is never probed).
+  const size_t bound = std::min(size_t{1} << n, max_nodes + 1);
+  nodes_.Reset(std::min(bound, size_t{1} << 12));
+  cost_cache_.Reset(64);
+  enum_ready_ = false;
   bit_of_.clear();
   relevant_used_ = 0;
-  for (size_t i = 0; i < candidates_.size(); ++i) {
+  for (size_t i = 0; i < n; ++i) {
     bit_of_[candidates_[i]] = static_cast<int>(i);
   }
-  root_ = candidates_.empty()
-              ? 0
-              : static_cast<Mask>((1u << candidates_.size()) - 1);
+  root_ = n == 0 ? 0 : static_cast<Mask>((1u << n) - 1);
 
-  std::deque<Mask> frontier = {root_};
-  while (!frontier.empty()) {
-    Mask y = frontier.front();
-    frontier.pop_front();
-    if (nodes_.count(y) != 0) continue;
-    if (nodes_.size() >= max_nodes && !candidates_.empty()) return false;
-    ++*calls;
-    PlanSummary plan = optimizer.Optimize(q, ToSet(y));
-    Mask used = ToMask(plan.used);
-    WFIT_CHECK(IsSubset(used, y), "optimizer used an index outside the config");
-    nodes_[y] = Node{plan.cost, used};
-    relevant_used_ |= used;
-    // One child per used index: remove it.
-    Mask rest = used;
-    while (rest != 0) {
-      int bit = LowestBit(rest);
-      rest &= rest - 1;
-      Mask child = y & ~(Mask{1} << bit);
-      if (nodes_.count(child) == 0) frontier.push_back(child);
+  // Level-synchronous BFS. All masks of one level are distinct and absent
+  // from lower levels (a level-ℓ node has exactly ℓ bits removed from the
+  // root), so the per-level budget check and the canonical (ascending mask)
+  // merge order make the outcome independent of probe scheduling.
+  std::vector<Mask> level = {root_};
+  std::vector<Mask> next_level;
+  std::vector<PlanSummary> plans;
+  std::vector<IndexSet> configs;
+  while (!level.empty()) {
+    if (nodes_.size() + level.size() > max_nodes && n != 0) return false;
+    // Probe the whole level: independent pure what-if calls.
+    plans.resize(level.size());
+    if (pool_ != nullptr && level.size() > 1) {
+      configs.resize(level.size());
+      for (size_t i = 0; i < level.size(); ++i) {
+        ToSetInto(candidates_, level[i], &configs[i]);
+      }
+      pool_->ParallelFor(level.size(), [&](size_t i) {
+        plans[i] = optimizer.Optimize(q, configs[i]);
+      });
+    } else {
+      IndexSet scratch;
+      for (size_t i = 0; i < level.size(); ++i) {
+        ToSetInto(candidates_, level[i], &scratch);
+        plans[i] = optimizer.Optimize(q, scratch);
+      }
     }
+    *calls += level.size();
+    // Merge serially in level order and collect the next frontier.
+    next_level.clear();
+    for (size_t i = 0; i < level.size(); ++i) {
+      const Mask y = level[i];
+      Mask used = ToMask(plans[i].used);
+      WFIT_CHECK(IsSubset(used, y),
+                 "optimizer used an index outside the config");
+      nodes_.Insert(y, Node{plans[i].cost, used});
+      relevant_used_ |= used;
+      // One child per used index: remove it.
+      Mask rest = used;
+      while (rest != 0) {
+        int bit = LowestBit(rest);
+        rest &= rest - 1;
+        next_level.push_back(y & ~(Mask{1} << bit));
+      }
+    }
+    // Canonical mask order; duplicates (several parents sharing a child)
+    // collapse here.
+    std::sort(next_level.begin(), next_level.end());
+    next_level.erase(std::unique(next_level.begin(), next_level.end()),
+                     next_level.end());
+    level.swap(next_level);
   }
   return true;
 }
 
-double IndexBenefitGraph::CostOf(Mask subset) const {
-  WFIT_CHECK(IsSubset(subset, root_), "CostOf: mask outside candidate set");
-  // Only plan-relevant bits can change the answer; projecting first makes
-  // the memo cache dense.
-  const Mask key = subset & relevant_used_;
-  if (auto it = cost_cache_.find(key); it != cost_cache_.end()) {
-    return it->second;
+void IndexBenefitGraph::CheckSingleReader() const {
+  const uint64_t id =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) | 1;
+  uint64_t expected = 0;
+  if (reader_.compare_exchange_strong(expected, id,
+                                      std::memory_order_relaxed)) {
+    return;  // first memoizing reader claims the graph
   }
+  WFIT_CHECK(expected == id,
+             "IndexBenefitGraph: memoizing reads from two threads (cost "
+             "lookups mutate the memo caches; give each thread its own IBG)");
+}
+
+const IndexBenefitGraph::Node& IndexBenefitGraph::Covering(
+    Mask subset) const {
   Mask y = root_;
   while (true) {
-    auto it = nodes_.find(y);
-    WFIT_CHECK(it != nodes_.end(), "IBG descent reached a missing node");
-    Mask extra = it->second.used & ~subset;
-    if (extra == 0) {
-      cost_cache_.emplace(key, it->second.cost);
-      return it->second.cost;
-    }
+    const Node* node = nodes_.Find(y);
+    WFIT_CHECK(node != nullptr, "IBG descent reached a missing node");
+    Mask extra = node->used & ~subset;
+    if (extra == 0) return *node;
     y &= ~(Mask{1} << LowestBit(extra));
   }
 }
 
+double IndexBenefitGraph::CostOf(Mask subset) const {
+  WFIT_DCHECK(IsSubset(subset, root_), "CostOf: mask outside candidate set");
+  // Only plan-relevant bits can change the answer; projecting first makes
+  // the memo caches dense.
+  const Mask key = subset & relevant_used_;
+  if (enum_ready_ && IsSubset(key, enum_universe_)) {
+    // Dense fast path: the benefit/doi enumeration domain.
+    Mask rest = key;
+    size_t idx = 0;
+    while (rest != 0) {
+      int bit = LowestBit(rest);
+      rest &= rest - 1;
+      idx |= size_t{1} << enum_pos_[bit];
+    }
+    return enum_costs_[idx];
+  }
+  CheckSingleReader();
+  if (const double* cached = cost_cache_.Find(key)) return *cached;
+  double cost = Covering(key).cost;
+  cost_cache_.Insert(key, cost);
+  return cost;
+}
+
 Mask IndexBenefitGraph::UsedAt(Mask subset) const {
   WFIT_CHECK(IsSubset(subset, root_), "UsedAt: mask outside candidate set");
-  Mask y = root_;
-  while (true) {
-    auto it = nodes_.find(y);
-    WFIT_CHECK(it != nodes_.end(), "IBG descent reached a missing node");
-    Mask extra = it->second.used & ~subset;
-    if (extra == 0) return it->second.used;
-    y &= ~(Mask{1} << LowestBit(extra));
-  }
+  return Covering(subset).used;
 }
 
 double IndexBenefitGraph::BenefitOf(int bit, Mask context) const {
   Mask without = context & ~(Mask{1} << bit);
   Mask with = without | (Mask{1} << bit);
   return CostOf(without) - CostOf(with);
+}
+
+void IndexBenefitGraph::PrepareEnumeration() const {
+  if (enum_ready_) return;
+  CheckSingleReader();
+  enum_universe_ = KeepLowestBits(relevant_used_, kMaxEnumerationBits);
+  int k = 0;
+  for (Mask rest = enum_universe_; rest != 0; rest &= rest - 1) {
+    enum_pos_[LowestBit(rest)] = static_cast<uint8_t>(k++);
+  }
+  enum_costs_.resize(size_t{1} << k);
+  // Expand each dense index back to its mask and take one descent; the
+  // 2^k ≤ 4096 descents replace the millions of memoized hash lookups the
+  // per-context searches would otherwise issue.
+  for (size_t idx = 0; idx < enum_costs_.size(); ++idx) {
+    Mask m = 0;
+    size_t bits = idx;
+    Mask universe = enum_universe_;
+    while (bits != 0) {
+      int low = LowestBit(universe);
+      if (bits & 1) m |= Mask{1} << low;
+      universe &= universe - 1;
+      bits >>= 1;
+    }
+    enum_costs_[idx] = Covering(m).cost;
+  }
+  enum_ready_ = true;
 }
 
 double IndexBenefitGraph::MaxBenefit(int bit) const {
@@ -107,10 +208,14 @@ double IndexBenefitGraph::MaxBenefit(int bit) const {
     // update's maintenance can still be triggered; check the empty context.
     return BenefitOf(bit, 0);
   }
+  PrepareEnumeration();
   // Bound the enumeration: beyond kMaxEnumerationBits plan-relevant
-  // indices, keep the lowest bits (deterministic truncation).
-  Mask universe =
-      KeepLowestBits(relevant_used_ & ~self, kMaxEnumerationBits);
+  // indices, keep the lowest bits (deterministic truncation). The universe
+  // is computed exactly as before the dense memo existed — when self is
+  // among the lowest relevant bits it may include one bit beyond
+  // enum_universe_, and those contexts simply take the memoized-descent
+  // path instead of the dense array.
+  Mask universe = KeepLowestBits(relevant_used_ & ~self, kMaxEnumerationBits);
   double best = -std::numeric_limits<double>::infinity();
   for (SubmaskIterator it(universe); !it.done(); it.Next()) {
     best = std::max(best, BenefitOf(bit, it.mask()));
@@ -134,12 +239,7 @@ Mask IndexBenefitGraph::ToMask(const IndexSet& set) const {
 
 IndexSet IndexBenefitGraph::ToSet(Mask mask) const {
   IndexSet out;
-  Mask rest = mask;
-  while (rest != 0) {
-    int bit = LowestBit(rest);
-    rest &= rest - 1;
-    out.Add(candidates_[static_cast<size_t>(bit)]);
-  }
+  ToSetInto(candidates_, mask, &out);
   return out;
 }
 

@@ -5,17 +5,37 @@
 // children remove one used index each. The cost of an arbitrary subset is
 // found by descending from the root while removing used indices that are
 // not in the subset ("covering node" lookup).
+//
+// Construction is a level-synchronous BFS: all nodes of one level are
+// independent what-if probes (a node's children depend only on its own
+// `used` set), so with a WorkerPool attached the frontier fans out across
+// worker threads and the results are merged serially in canonical mask
+// order. Node sets, truncation decisions and relevant_used() are therefore
+// byte-identical at any pool width — the determinism contract
+// tests/ibg_parallel_test.cc proves.
+//
+// Thread safety after construction: the node table is immutable, but cost
+// lookups memoize into mutable caches, so an IBG must be read by ONE thread
+// at a time. This is enforced (cheaply, always on): the first memoizing
+// read pins the reader thread and any other thread aborts. The engine
+// honors the contract by construction — each per-part IBG is built and
+// consumed inside a single worker task, and the selector's statement-wide
+// IBG is consumed only by the analysis thread.
 #ifndef WFIT_IBG_IBG_H_
 #define WFIT_IBG_IBG_H_
 
+#include <atomic>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
 
 #include "common/bits.h"
+#include "common/flat_mask_map.h"
 #include "optimizer/what_if.h"
 
 namespace wfit {
+
+class WorkerPool;
 
 class IndexBenefitGraph {
  public:
@@ -30,9 +50,13 @@ class IndexBenefitGraph {
   /// candidate list — callers that rank candidates by current benefit
   /// (chooseCands does) therefore shed the least valuable ones first.
   /// Dropped candidates are reported via truncated_candidates().
+  ///
+  /// With a non-null `pool`, each BFS level's what-if probes run across the
+  /// pool (plus the calling thread); the resulting graph is byte-identical
+  /// to the serial build.
   IndexBenefitGraph(const Statement& q, const WhatIfOptimizer& optimizer,
                     std::vector<IndexId> candidates,
-                    size_t max_nodes = 1u << 20);
+                    size_t max_nodes = 1u << 20, WorkerPool* pool = nullptr);
 
   /// Candidates shed by the node-budget fallback (empty in the common case).
   const std::vector<IndexId>& truncated_candidates() const {
@@ -65,6 +89,14 @@ class IndexBenefitGraph {
   /// Enumeration budget for benefit/doi context searches.
   static constexpr int kMaxEnumerationBits = 12;
 
+  /// Precomputes cost(q, X) for every X in the benefit/doi enumeration
+  /// domain (the lowest kMaxEnumerationBits of relevant_used()) into a
+  /// dense array, turning the O(2^k) context searches of MaxBenefit and
+  /// DegreeOfInteraction into array reads instead of per-context hashed
+  /// descents. Idempotent; called automatically by MaxBenefit and the doi
+  /// code. Counts as a memoizing read (single-reader contract).
+  void PrepareEnumeration() const;
+
   /// Local bit of a global index id, or -1 if not a candidate.
   int BitOf(IndexId id) const;
 
@@ -83,19 +115,40 @@ class IndexBenefitGraph {
     Mask used = 0;
   };
 
-  /// BFS over the node closure; returns false when `max_nodes` is hit.
+  /// Level-synchronous BFS over the node closure; returns false when the
+  /// closure exceeds `max_nodes` (decided per level BEFORE probing it, so
+  /// the outcome and the probe count are independent of the pool width).
   /// Accumulates the optimizer calls it issued into `*calls` (counted
   /// locally: the optimizer's global counter cannot attribute calls when
   /// several IBGs build concurrently on a worker pool).
   bool TryBuild(const Statement& q, const WhatIfOptimizer& optimizer,
                 size_t max_nodes, uint64_t* calls);
 
+  /// Descends from the root to the covering node of `subset` (no memo).
+  const Node& Covering(Mask subset) const;
+
+  /// Aborts if a second thread issues memoizing reads (see file comment).
+  void CheckSingleReader() const;
+
   std::vector<IndexId> candidates_;
   std::vector<IndexId> truncated_;
   std::unordered_map<IndexId, int> bit_of_;
-  std::unordered_map<Mask, Node> nodes_;
-  /// Memo for CostOf: doi/benefit searches revisit the same masks often.
-  mutable std::unordered_map<Mask, double> cost_cache_;
+  /// Node table: open-addressed, pre-sized from min(closure, budget) at
+  /// build time; immutable afterwards.
+  FlatMaskMap<Node> nodes_;
+  /// Memo for CostOf misses outside the dense enumeration domain.
+  mutable FlatMaskMap<double> cost_cache_;
+  /// Dense cost table over enum_universe_ (lazy; see PrepareEnumeration).
+  mutable std::vector<double> enum_costs_;
+  mutable Mask enum_universe_ = 0;
+  mutable bool enum_ready_ = false;
+  /// Dense rank of each universe bit, for mask compression.
+  mutable uint8_t enum_pos_[32] = {};
+  /// Hashed id of the single thread allowed to issue memoizing reads;
+  /// 0 = unclaimed.
+  mutable std::atomic<uint64_t> reader_{0};
+  /// Probe fan-out pool during construction only; nulled afterwards.
+  WorkerPool* pool_ = nullptr;
   Mask root_ = 0;
   Mask relevant_used_ = 0;
   uint64_t build_calls_ = 0;

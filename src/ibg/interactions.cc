@@ -17,7 +17,9 @@ double DegreeOfInteraction(const IndexBenefitGraph& ibg, int bit_a,
   }
   // Contexts are enumerated within the plan-relevant indices, truncated to
   // the IBG's enumeration budget (doi is pairwise, so the budget is spent
-  // per pair).
+  // per pair). The contexts (and their a/b/ab extensions within the lowest
+  // 12 relevant bits) land in the IBG's dense enumeration table.
+  ibg.PrepareEnumeration();
   const Mask universe =
       KeepLowestBits(ibg.relevant_used() & ~(mask_a | mask_b),
                      IndexBenefitGraph::kMaxEnumerationBits - 2);

@@ -12,18 +12,65 @@ const CostModel* BaseModel(const WhatIfOptimizer* base) {
 
 }  // namespace
 
-CachingWhatIfOptimizer::CachingWhatIfOptimizer(const WhatIfOptimizer* base)
-    : WhatIfOptimizer(BaseModel(base)), base_(base) {}
+CachingWhatIfOptimizer::CachingWhatIfOptimizer(
+    const WhatIfOptimizer* base, const CrossStatementCacheOptions& cross_options)
+    : WhatIfOptimizer(BaseModel(base)),
+      base_(base),
+      cross_options_(cross_options) {}
 
 void CachingWhatIfOptimizer::BeginStatement(const Statement* q) {
   std::lock_guard<std::mutex> lock(mu_);
   scope_ = q;
   cache_.clear();
+  cross_ = nullptr;
+  if (q == nullptr || cross_options_.max_templates == 0) return;
+
+  const uint64_t fp = q->Fingerprint();
+  auto it = template_index_.find(fp);
+  if (it != template_index_.end()) {
+    if (SameCostShape(it->second->shape, *q)) {
+      // Warm template: move to the LRU front and attach.
+      templates_.splice(templates_.begin(), templates_, it->second);
+      cross_ = &templates_.front().plans;
+      return;
+    }
+    // Fingerprint collision with a different shape: serving it would be
+    // wrong, keeping both under one key needs chaining — evict instead
+    // (counted; expected ~never).
+    fingerprint_collisions_.fetch_add(1, std::memory_order_relaxed);
+    templates_.erase(it->second);
+    template_index_.erase(it);
+  }
+  // Second-touch admission: the first sighting only leaves a footprint; an
+  // entry (and the per-probe caching work that comes with it) is created
+  // when the template provably repeats.
+  if (seen_once_.insert(fp).second) {
+    if (seen_once_.size() > 8 * cross_options_.max_templates) {
+      seen_once_.clear();  // coarse reset; costs a template one cold repeat
+    }
+    return;
+  }
+  if (templates_.size() >= cross_options_.max_templates) {
+    template_index_.erase(templates_.back().fingerprint);
+    templates_.pop_back();
+  }
+  TemplateEntry entry;
+  entry.fingerprint = fp;
+  entry.shape = *q;
+  entry.shape.sql.clear();
+  templates_.push_front(std::move(entry));
+  template_index_.emplace(fp, templates_.begin());
+  cross_ = &templates_.front().plans;
 }
 
 size_t CachingWhatIfOptimizer::scoped_entries() const {
   std::lock_guard<std::mutex> lock(mu_);
   return cache_.size();
+}
+
+size_t CachingWhatIfOptimizer::cross_templates() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return templates_.size();
 }
 
 PlanSummary CachingWhatIfOptimizer::Optimize(const Statement& q,
@@ -40,15 +87,29 @@ PlanSummary CachingWhatIfOptimizer::Optimize(const Statement& q,
       hits_.fetch_add(1, std::memory_order_relaxed);
       return it->second;
     }
+    if (cross_ != nullptr) {
+      auto cit = cross_->find(x);
+      if (cit != cross_->end()) {
+        cross_hits_.fetch_add(1, std::memory_order_relaxed);
+        // Promote into tier 1 so repeats within this statement are
+        // statement-tier hits (keeps the tier metrics meaningful).
+        cache_.emplace(x, cit->second);
+        return cit->second;
+      }
+    }
   }
   // Computed outside the lock: concurrent probes of the same configuration
   // may both run the base optimizer (each counted as a miss); the values
-  // are identical, so the duplicate insert below is a benign no-op.
+  // are identical, so the duplicate inserts below are benign no-ops.
   PlanSummary plan = base_->Optimize(q, x);
   misses_.fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mu_);
     cache_.emplace(x, plan);
+    if (cross_ != nullptr &&
+        cross_->size() < cross_options_.max_configs_per_template) {
+      cross_->emplace(x, plan);
+    }
   }
   return plan;
 }

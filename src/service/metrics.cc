@@ -27,9 +27,19 @@ double MetricsSnapshot::mean_batch() const {
 }
 
 double MetricsSnapshot::what_if_cache_hit_rate() const {
-  uint64_t probes = what_if_cache_hits + what_if_cache_misses;
+  uint64_t probes =
+      what_if_cache_hits + what_if_cross_hits + what_if_cache_misses;
+  return probes == 0
+             ? 0.0
+             : static_cast<double>(what_if_cache_hits + what_if_cross_hits) /
+                   static_cast<double>(probes);
+}
+
+double MetricsSnapshot::what_if_cross_hit_rate() const {
+  uint64_t probes =
+      what_if_cache_hits + what_if_cross_hits + what_if_cache_misses;
   return probes == 0 ? 0.0
-                     : static_cast<double>(what_if_cache_hits) /
+                     : static_cast<double>(what_if_cross_hits) /
                            static_cast<double>(probes);
 }
 
@@ -99,6 +109,8 @@ void ExportText(const MetricsSnapshot& s, std::ostream& os) {
           "What-if probes served from the statement-scoped memo");
   Counter(os, "what_if_cache_misses_total", s.what_if_cache_misses,
           "What-if probes that reached the real optimizer");
+  Counter(os, "what_if_cross_hits_total", s.what_if_cross_hits,
+          "What-if probes served from the cross-statement template cache");
   Gauge(os, "recommendation_version", s.snapshot_version,
         "Version of the published recommendation snapshot");
   Counter(os, "checkpoints_written_total", s.checkpoints_written,
@@ -198,6 +210,7 @@ MetricsSnapshot ServiceMetrics::Snapshot() const {
   s.repartitions = repartitions_.load(std::memory_order_relaxed);
   s.what_if_cache_hits = wi_hits_.load(std::memory_order_relaxed);
   s.what_if_cache_misses = wi_misses_.load(std::memory_order_relaxed);
+  s.what_if_cross_hits = wi_cross_hits_.load(std::memory_order_relaxed);
   s.analysis_threads = analysis_threads_.load(std::memory_order_relaxed);
   s.snapshot_version = version_.load(std::memory_order_relaxed);
   s.checkpoints_written = checkpoints_.load(std::memory_order_relaxed);

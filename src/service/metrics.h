@@ -39,10 +39,12 @@ struct MetricsSnapshot {
   uint64_t repartitions = 0;  // from Tuner::RepartitionCount()
   uint64_t analysis_threads = 1;  // worker-pool width (1 = serial)
 
-  // What-if memoization (statement-scoped cache inside the tuner; from
-  // Tuner::WhatIfCache()). Every hit is one avoided optimizer call.
+  // What-if memoization (two-tier cache inside the tuner; from
+  // Tuner::WhatIfCache()). Every hit — statement-scoped or
+  // cross-statement — is one avoided optimizer call.
   uint64_t what_if_cache_hits = 0;
   uint64_t what_if_cache_misses = 0;
+  uint64_t what_if_cross_hits = 0;  // cross-statement (template) tier
 
   // Snapshot publication.
   uint64_t snapshot_version = 0;
@@ -77,8 +79,10 @@ struct MetricsSnapshot {
   uint64_t latency_count() const;
   double mean_latency_us() const;
   double mean_batch() const;
-  /// hits / (hits + misses); 0 when no probes were memoized.
+  /// (hits + cross_hits) / all probes; 0 when no probes were memoized.
   double what_if_cache_hit_rate() const;
+  /// cross_hits / all probes (the cross-statement tier's contribution).
+  double what_if_cross_hit_rate() const;
   /// Smallest bucket upper bound covering quantile `q` of latencies (a
   /// conservative estimate; exact values are not retained).
   double LatencyQuantileUpperUs(double q) const;
@@ -104,9 +108,10 @@ class ServiceMetrics {
   void SetRepartitions(uint64_t n) {
     repartitions_.store(n, std::memory_order_relaxed);
   }
-  void SetWhatIfCache(uint64_t hits, uint64_t misses) {
+  void SetWhatIfCache(uint64_t hits, uint64_t misses, uint64_t cross_hits) {
     wi_hits_.store(hits, std::memory_order_relaxed);
     wi_misses_.store(misses, std::memory_order_relaxed);
+    wi_cross_hits_.store(cross_hits, std::memory_order_relaxed);
   }
   void SetAnalysisThreads(uint64_t n) {
     analysis_threads_.store(n, std::memory_order_relaxed);
@@ -162,6 +167,7 @@ class ServiceMetrics {
   std::atomic<uint64_t> repartitions_{0};
   std::atomic<uint64_t> wi_hits_{0};
   std::atomic<uint64_t> wi_misses_{0};
+  std::atomic<uint64_t> wi_cross_hits_{0};
   std::atomic<uint64_t> analysis_threads_{1};
   std::atomic<uint64_t> version_{0};
   std::atomic<uint64_t> checkpoints_{0};

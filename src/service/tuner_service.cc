@@ -468,7 +468,7 @@ void TunerService::WorkerLoop() {
       metrics_.OnAnalyzed(MicrosSince(start));
       metrics_.SetRepartitions(tuner_->RepartitionCount());
       WhatIfCacheCounters cache = tuner_->WhatIfCache();
-      metrics_.SetWhatIfCache(cache.hits, cache.misses);
+      metrics_.SetWhatIfCache(cache.hits, cache.misses, cache.cross_hits);
       // Deterministic interleave: votes keyed to this statement apply
       // right after it, before its recommendation is recorded.
       fed |= ApplyFeedback(seq, /*inclusive=*/true, /*with_asap=*/false,

@@ -56,6 +56,14 @@ struct Statement {
 
   bool IsUpdateStatement() const { return kind != StatementKind::kSelect; }
 
+  /// Structural fingerprint over every cost-relevant field (everything but
+  /// `sql`): two statements with equal fingerprints are the same template
+  /// with the same bound parameters, so the optimizer's answer for any
+  /// configuration is interchangeable between them. Computed lazily and
+  /// cached (statements are immutable once bound). Collisions are possible
+  /// (it is a hash); exact users must confirm with SameCostShape().
+  uint64_t Fingerprint() const;
+
   /// The table slice for `id`, or nullptr if the statement doesn't touch it.
   const StatementTable* FindTable(TableId id) const {
     for (const StatementTable& t : tables) {
@@ -70,7 +78,18 @@ struct Statement {
     for (const ScanPredicate& p : t.predicates) s *= p.selectivity;
     return s;
   }
+
+ private:
+  /// Fingerprint() memo; 0 = not yet computed (the hash is salted so no
+  /// statement hashes to 0).
+  mutable uint64_t fingerprint_cache_ = 0;
 };
+
+/// True when `a` and `b` are structurally identical in every cost-relevant
+/// field — the exact relation Fingerprint() approximates. The cross-statement
+/// what-if cache verifies candidates with this before serving a memoized
+/// plan, so a fingerprint collision can never surface a wrong cost.
+bool SameCostShape(const Statement& a, const Statement& b);
 
 /// A workload: the paper's stream Q, materialized as a vector.
 using Workload = std::vector<Statement>;

@@ -11,6 +11,19 @@ TEST(RecencyWindowTest, EmptyWindowIsZero) {
   EXPECT_TRUE(w.empty());
 }
 
+TEST(RecencyWindowTest, ZeroHistSizeDisablesHistory) {
+  // hist_size = 0 is a legal knob value: records are dropped and the
+  // window stays permanently empty (and must not crash the ring indexing).
+  RecencyWindow w(0);
+  w.Record(1, 5.0);
+  w.Record(2, 7.0);
+  EXPECT_TRUE(w.empty());
+  EXPECT_DOUBLE_EQ(w.CurrentValue(3), 0.0);
+  EXPECT_TRUE(w.Entries().empty());
+  w.RestoreEntries({{1, 5.0}, {2, 7.0}});
+  EXPECT_TRUE(w.empty());
+}
+
 TEST(RecencyWindowTest, SingleEntryFormula) {
   RecencyWindow w(10);
   w.Record(5, 12.0);

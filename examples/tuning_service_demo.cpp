@@ -18,6 +18,8 @@
 // finishes the workload, and checks its recommendation trajectory against
 // the uninterrupted reference — bit-for-bit.
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdint>
 #include <cstdlib>
@@ -35,6 +37,7 @@
 #include "core/wfit.h"
 #include "harness/reporting.h"
 #include "optimizer/what_if.h"
+#include "service/tenant_router.h"
 #include "service/tuner_service.h"
 #include "workload/benchmark_trace.h"
 
@@ -49,6 +52,7 @@ struct Flags {
   size_t statements = 600;
   uint64_t checkpoint_every = 200;
   uint64_t kill_after = 0;  // 0 = never
+  size_t tenants = 1;       // > 1 routes through a TenantRouter
 };
 
 Flags ParseFlags(int argc, char** argv) {
@@ -72,12 +76,14 @@ Flags ParseFlags(int argc, char** argv) {
       flags.checkpoint_every = std::strtoull(v, nullptr, 10);
     } else if (const char* v = value("kill_after")) {
       flags.kill_after = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("tenants")) {
+      flags.tenants = static_cast<size_t>(std::strtoull(v, nullptr, 10));
     } else {
       std::cerr << "unknown flag: " << arg << "\n"
                 << "usage: tuning_service_demo [--checkpoint_dir=DIR] "
                    "[--statements=N] [--checkpoint_every=N] "
                    "[--kill_after=K] [--trajectory_out=F] "
-                   "[--reference=F]\n";
+                   "[--reference=F] [--tenants=N]\n";
       std::exit(64);
     }
   }
@@ -99,10 +105,263 @@ Vote VoteForStage(size_t stage, const std::vector<IndexId>& candidates) {
   return v;
 }
 
+/// One tenant's fully private environment: catalog, pool, optimizer and a
+/// seeded workload — tenants are independent databases.
+struct TenantEnv {
+  explicit TenantEnv(size_t tenant, size_t statements) {
+    catalog = BuildBenchmarkCatalog(BenchmarkScale{0.2});
+    pool = std::make_unique<IndexPool>(&catalog);
+    cost_model = std::make_unique<CostModel>(&catalog, pool.get());
+    optimizer = std::make_unique<WhatIfOptimizer>(cost_model.get());
+    TraceOptions trace_options;
+    trace_options.seed += 31 * static_cast<uint64_t>(tenant);
+    trace_options.num_phases = 4;
+    trace_options.statements_per_phase = (statements + 3) / 4;
+    workload = ToWorkload(GenerateBenchmarkTrace(catalog, trace_options));
+    workload.resize(statements);
+    auto intern = [&](const char* table, std::vector<const char*> cols) {
+      IndexDef def;
+      def.table = *catalog.FindTable(table);
+      for (const char* c : cols) {
+        def.columns.push_back(*catalog.FindColumn(def.table, c));
+      }
+      return pool->Intern(def);
+    };
+    vote_candidates = {
+        intern("tpch.lineitem", {"l_shipdate"}),
+        intern("tpch.lineitem", {"l_partkey"}),
+        intern("tpch.orders", {"o_orderdate"}),
+    };
+  }
+
+  Catalog catalog;
+  std::unique_ptr<IndexPool> pool;
+  std::unique_ptr<CostModel> cost_model;
+  std::unique_ptr<WhatIfOptimizer> optimizer;
+  Workload workload;
+  std::vector<IndexId> vote_candidates;
+};
+
+std::string TenantName(size_t t) { return "tenant-" + std::to_string(t); }
+
+/// Writes the "<seq> {ids}" trajectory lines (when out_path is nonempty)
+/// and verifies them against a reference run's file (when ref_path is
+/// nonempty). `label` prefixes the report lines ("" for the single-tenant
+/// flow, "tenant-i " per tenant). Returns 0 when consistent, 1 on an
+/// unreadable reference, 2 on trajectory divergence — the demo's
+/// exit-code convention.
+int WriteAndVerifyTrajectory(const std::vector<IndexSet>& history,
+                             uint64_t history_start,
+                             const std::string& out_path,
+                             const std::string& ref_path,
+                             const std::string& label) {
+  if (!out_path.empty()) {
+    std::ofstream out(out_path, std::ios::trunc);
+    for (size_t i = 0; i < history.size(); ++i) {
+      out << (history_start + i) << " " << history[i].ToString() << "\n";
+    }
+    std::cout << "[trajectory] " << label << "wrote " << history.size()
+              << " entries to " << out_path << "\n";
+  }
+  if (ref_path.empty()) return 0;
+  std::ifstream ref(ref_path);
+  if (!ref) {
+    std::cerr << "cannot read reference " << ref_path << "\n";
+    return 1;
+  }
+  std::unordered_map<uint64_t, std::string> expected;
+  std::string line;
+  while (std::getline(ref, line)) {
+    std::istringstream is(line);
+    uint64_t seq = 0;
+    is >> seq;
+    std::string rest;
+    std::getline(is, rest);
+    expected[seq] = rest;
+  }
+  size_t mismatches = 0;
+  for (size_t i = 0; i < history.size(); ++i) {
+    const uint64_t seq = history_start + i;
+    auto it = expected.find(seq);
+    std::string got = " ";
+    got += history[i].ToString();
+    if (it == expected.end() || it->second != got) {
+      if (++mismatches <= 5) {
+        std::cerr << "[verify] " << label << "statement " << seq << ": got"
+                  << got << ", reference"
+                  << (it == expected.end() ? std::string(" <missing>")
+                                           : it->second)
+                  << "\n";
+      }
+    }
+  }
+  if (mismatches > 0) {
+    std::cerr << "[verify] " << label << "FAILED: " << mismatches << " of "
+              << history.size()
+              << " recommendations diverge from the reference\n";
+    return 2;
+  }
+  std::cout << "[verify] " << label << "OK: " << history.size()
+            << " recommendations match the reference trajectory"
+            << " (statements " << history_start << ".."
+            << (history_start + history.size()) << ")\n";
+  return 0;
+}
+
+/// The multi-tenant flow (--tenants=N): N independent databases behind one
+/// TenantRouter with a shared drain pool and a per-tenant checkpoint tree
+/// under --checkpoint_dir. Supports the same kill/recover/verify protocol
+/// as the single-tenant path, with per-tenant trajectory files
+/// (<trajectory_out>.<i> / <reference>.<i>).
+int RunMultiTenant(const Flags& flags) {
+  const size_t n = flags.tenants;
+  std::vector<std::unique_ptr<TenantEnv>> envs;
+  for (size_t t = 0; t < n; ++t) {
+    envs.push_back(std::make_unique<TenantEnv>(t, flags.statements));
+  }
+
+  WfitOptions wfit_options;
+  wfit_options.candidates.idx_cnt = 16;
+  wfit_options.candidates.state_cnt = 256;
+  service::TenantRouterOptions options;
+  options.shard.queue_capacity = 64;
+  options.shard.max_batch = 16;
+  options.shard.record_history = true;
+  options.shard.checkpoint_every_statements = flags.checkpoint_every;
+  options.checkpoint_root = flags.checkpoint_dir;
+  options.analysis_threads = 1;
+  options.drain_threads = 2;
+  // Crash-safe vote pinning: the repin hook runs at every (re-)admission,
+  // after recovery but before the shard is scheduled, so votes whose
+  // journal record died with a crash are re-registered before the
+  // requeued intake can be analyzed. Boundaries are deterministic, so a
+  // cold start pins all of them and a recovery pins exactly the suffix.
+  const size_t kStage = 100;
+  const uint64_t kVoteOffset = 50;
+  options.repin = [&](const std::string& id,
+                      const service::RecoveryStats& recovery) {
+    size_t t = std::strtoull(id.substr(7).c_str(), nullptr, 10);
+    std::vector<service::PinnedVote> votes;
+    for (size_t stage_start = kStage;
+         stage_start < envs[t]->workload.size(); stage_start += kStage) {
+      const uint64_t vote_at = stage_start + kVoteOffset - 1;
+      if (recovery.analyzed <= vote_at &&
+          vote_at + 1 < envs[t]->workload.size()) {
+        Vote vote = VoteForStage(stage_start / kStage + t,
+                                 envs[t]->vote_candidates);
+        votes.push_back({vote_at, vote.plus, vote.minus});
+      }
+    }
+    return votes;
+  };
+  service::TenantRouter router(
+      [&](const std::string& id) {
+        size_t t = std::strtoull(id.substr(7).c_str(), nullptr, 10);
+        service::TenantTuner made;
+        made.tuner = std::make_unique<Wfit>(envs[t]->pool.get(),
+                                            envs[t]->optimizer.get(),
+                                            IndexSet{}, wfit_options);
+        made.pool = envs[t]->pool.get();
+        return made;
+      },
+      options);
+  router.Start();
+
+  // Admit every tenant (recovering any checkpoint subtree; the repin hook
+  // pins the surviving vote boundaries during admission).
+  std::vector<service::RecoveryStats> recoveries(n);
+  for (size_t t = 0; t < n; ++t) {
+    recoveries[t] = router.LastRecovery(TenantName(t));
+    if (!flags.checkpoint_dir.empty()) {
+      std::cout << "[recover] " << TenantName(t)
+                << " snapshot_loaded=" << recoveries[t].snapshot_loaded
+                << " replayed=" << recoveries[t].replayed_statements
+                << " resumed_at=" << recoveries[t].analyzed << "\n";
+    }
+  }
+
+  // Crash injection: SIGKILL once the fleet as a whole analyzed enough
+  // statements — no destructors, exactly like a machine reset.
+  std::thread killer;
+  std::atomic<bool> done{false};
+  if (flags.kill_after > 0) {
+    killer = std::thread([&] {
+      while (!done.load()) {
+        uint64_t total = 0;
+        for (size_t t = 0; t < n; ++t) total += router.analyzed(TenantName(t));
+        if (total >= flags.kill_after) {
+          std::cout << "[crash] SIGKILL after " << total
+                    << " aggregate statements\n"
+                    << std::flush;
+          ::raise(SIGKILL);
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+  }
+
+  // One producer per tenant replays the whole workload with explicit
+  // sequence numbers; sequences the recovered state already covers are
+  // dropped (exactly-once per tenant).
+  std::vector<std::thread> producers;
+  for (size_t t = 0; t < n; ++t) {
+    producers.emplace_back([&, t] {
+      for (size_t seq = 0; seq < envs[t]->workload.size(); ++seq) {
+        router.SubmitAt(TenantName(t), seq, envs[t]->workload[seq]);
+      }
+    });
+  }
+  for (auto& p : producers) p.join();
+  for (size_t t = 0; t < n; ++t) {
+    router.WaitUntilAnalyzed(TenantName(t), envs[t]->workload.size());
+  }
+  router.Shutdown();
+  done.store(true);
+  if (killer.joinable()) killer.join();
+
+  for (size_t t = 0; t < n; ++t) {
+    auto snap = router.Recommendation(TenantName(t));
+    std::cout << "[" << TenantName(t) << "] final after " << snap->analyzed
+              << " statements: "
+              << snap->configuration.ToString(*envs[t]->pool) << "\n";
+  }
+  harness::PrintRouterMetrics(std::cout, "multi-tenant tuning service",
+                              router.Metrics());
+  std::cout << "\n--- labelled export (excerpt) ---\n";
+  std::string text = router.ExportText();
+  size_t tenant_families = text.find("# HELP wfit_tenant_stmts_total");
+  if (tenant_families != std::string::npos) {
+    std::cout << text.substr(tenant_families,
+                             std::min<size_t>(600, text.size() -
+                                                       tenant_families))
+              << "...\n";
+  }
+
+  // Per-tenant trajectory files: "<seq> {ids}" starting at the tenant's
+  // recovery point; verification compares against the reference run.
+  int worst = 0;
+  for (size_t t = 0; t < n; ++t) {
+    std::vector<IndexSet> history = router.History(TenantName(t));
+    const uint64_t history_start = recoveries[t].snapshot_loaded
+                                       ? recoveries[t].snapshot_analyzed
+                                       : 0;
+    std::string suffix = ".";
+    suffix += std::to_string(t);
+    int code = WriteAndVerifyTrajectory(
+        history, history_start,
+        flags.trajectory_out.empty() ? "" : flags.trajectory_out + suffix,
+        flags.reference.empty() ? "" : flags.reference + suffix,
+        TenantName(t) + " ");
+    worst = std::max(worst, code);
+  }
+  return worst;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Flags flags = ParseFlags(argc, argv);
+  if (flags.tenants > 1) return RunMultiTenant(flags);
 
   // Environment: the benchmark catalog at reduced scale plus a generated
   // 4-phase trace, so the demo runs in seconds. Everything is seeded, so
@@ -164,6 +423,31 @@ int main(int argc, char** argv) {
               << " replayed_feedback=" << recovery.replayed_feedback
               << " resumed_at=" << recovered << "\n";
   }
+  // Pin every future DBA vote BEFORE Start(): recovery may have requeued
+  // journaled-but-unanalyzed statements that the worker analyzes the
+  // moment it spawns, and a vote whose boundary lies inside that window
+  // must already be registered or it would apply late (votes lost to the
+  // crash always have boundaries >= `recovered`, so this re-pins exactly
+  // what the journal could not replay). The vote for stage s applies
+  // after statement s+49 (mid-next-stage), so its boundary is pinned no
+  // matter how threads interleave — which is what makes the trajectory
+  // reproducible across crashes.
+  const size_t kStage = 100;
+  const uint64_t kVoteOffset = 50;
+  for (size_t stage_start = kStage; stage_start < workload.size();
+       stage_start += kStage) {
+    const uint64_t vote_at = stage_start + kVoteOffset - 1;
+    // Skip votes the recovered state already reflects (their effect was
+    // journaled before the crash).
+    if (recovered <= vote_at && vote_at + 1 < workload.size()) {
+      Vote vote = VoteForStage(stage_start / kStage, vote_candidates);
+      std::cout << "[dba] stage " << stage_start << ": endorse "
+                << vote.plus.ToString(pool) << ", veto "
+                << vote.minus.ToString(pool) << " (after statement "
+                << vote_at << ")\n";
+      service.FeedbackAfter(vote_at, vote.plus, vote.minus);
+    }
+  }
   service.Start();
 
   // Optional crash injection: a real SIGKILL once enough statements have
@@ -182,29 +466,11 @@ int main(int argc, char** argv) {
   }
 
   // Deterministic staged replay: submit one stage from 3 producers, wait
-  // for it to be analyzed, let the DBA inspect + vote, move on. The vote
-  // for stage s applies after statement s+49 (mid-next-stage), so its
-  // boundary is pinned no matter how threads interleave — which is what
-  // makes the trajectory reproducible across crashes.
-  const size_t kStage = 100;
-  const uint64_t kVoteOffset = 50;
+  // for it to be analyzed, let the DBA inspect the snapshot, move on.
   for (size_t stage_start = 0; stage_start < workload.size();
        stage_start += kStage) {
     const size_t stage_end =
         std::min(stage_start + kStage, workload.size());
-    if (stage_start > 0) {
-      const uint64_t vote_at = stage_start + kVoteOffset - 1;
-      // Skip votes the recovered state already reflects (their effect was
-      // journaled before the crash).
-      if (recovered <= vote_at && vote_at + 1 < workload.size()) {
-        Vote vote = VoteForStage(stage_start / kStage, vote_candidates);
-        std::cout << "[dba] stage " << stage_start << ": endorse "
-                  << vote.plus.ToString(pool) << ", veto "
-                  << vote.minus.ToString(pool) << " (after statement "
-                  << vote_at << ")\n";
-        service.FeedbackAfter(vote_at, vote.plus, vote.minus);
-      }
-    }
     if (stage_end <= recovered) continue;  // replayed from the journal
     const size_t first = std::max<size_t>(stage_start, recovered);
     const int kProducers = 3;
@@ -243,58 +509,8 @@ int main(int argc, char** argv) {
   // Trajectory lines: "seq {ids}" for every statement THIS run analyzed
   // (after a recovery that starts at the snapshot the replay resumed
   // from). The reference run covers the whole workload.
-  std::vector<IndexSet> history = service.History();
-  const uint64_t history_start =
-      recovery.snapshot_loaded ? recovery.snapshot_analyzed : 0;
-  if (!flags.trajectory_out.empty()) {
-    std::ofstream out(flags.trajectory_out, std::ios::trunc);
-    for (size_t i = 0; i < history.size(); ++i) {
-      out << (history_start + i) << " " << history[i].ToString() << "\n";
-    }
-    std::cout << "[trajectory] wrote " << history.size() << " entries to "
-              << flags.trajectory_out << "\n";
-  }
-  if (!flags.reference.empty()) {
-    std::ifstream ref(flags.reference);
-    if (!ref) {
-      std::cerr << "cannot read reference " << flags.reference << "\n";
-      return 1;
-    }
-    std::unordered_map<uint64_t, std::string> expected;
-    std::string line;
-    while (std::getline(ref, line)) {
-      std::istringstream is(line);
-      uint64_t seq = 0;
-      is >> seq;
-      std::string rest;
-      std::getline(is, rest);
-      expected[seq] = rest;
-    }
-    size_t mismatches = 0;
-    for (size_t i = 0; i < history.size(); ++i) {
-      const uint64_t seq = history_start + i;
-      auto it = expected.find(seq);
-      std::string got = " " + history[i].ToString();
-      if (it == expected.end() || it->second != got) {
-        if (++mismatches <= 5) {
-          std::cerr << "[verify] statement " << seq << ": got" << got
-                    << ", reference"
-                    << (it == expected.end() ? std::string(" <missing>")
-                                             : it->second)
-                    << "\n";
-        }
-      }
-    }
-    if (mismatches > 0) {
-      std::cerr << "[verify] FAILED: " << mismatches << " of "
-                << history.size()
-                << " recommendations diverge from the reference\n";
-      return 2;
-    }
-    std::cout << "[verify] OK: " << history.size()
-              << " recommendations match the reference trajectory"
-              << " (statements " << history_start << ".."
-              << (history_start + history.size()) << ")\n";
-  }
-  return 0;
+  return WriteAndVerifyTrajectory(
+      service.History(),
+      recovery.snapshot_loaded ? recovery.snapshot_analyzed : 0,
+      flags.trajectory_out, flags.reference, /*label=*/"");
 }

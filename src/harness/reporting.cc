@@ -134,6 +134,29 @@ void PrintServiceMetrics(std::ostream& os, const std::string& title,
   os.flush();
 }
 
+void PrintRouterMetrics(std::ostream& os, const std::string& title,
+                        const service::RouterMetricsSnapshot& m) {
+  PrintServiceMetrics(os, title + " (aggregate)", m.aggregate);
+  os << std::setw(26) << "tenants known/resident" << std::setw(14)
+     << m.tenants_known << "   (resident " << m.tenants_resident
+     << ", admissions " << m.admissions << ", evictions " << m.evictions
+     << ")\n";
+  os << std::setw(26) << "resident footprint" << std::setw(14)
+     << m.resident_footprint_bytes << " bytes (estimated)\n";
+  os << std::setw(14) << "tenant" << std::setw(12) << "analyzed"
+     << std::setw(10) << "queue" << std::setw(10) << "evicted"
+     << std::setw(14) << "mean lat us" << "\n";
+  for (const service::TenantMetricsEntry& t : m.tenants) {
+    os << std::setw(14) << t.id << std::setw(12)
+       << t.service.statements_analyzed << std::setw(10)
+       << t.service.queue_depth << std::setw(10) << t.evictions
+       << std::setw(14) << std::fixed << std::setprecision(1)
+       << t.service.mean_latency_us() << (t.resident ? "" : "   (evicted)")
+       << "\n";
+  }
+  os.flush();
+}
+
 namespace {
 
 /// Parses a flat one-level JSON object of numeric members, as written by

@@ -10,6 +10,7 @@
 
 #include "harness/experiment.h"
 #include "service/metrics.h"
+#include "service/tenant_router.h"
 
 namespace wfit::harness {
 
@@ -35,6 +36,12 @@ void PrintOverheadTable(std::ostream& os,
 /// (Machine-readable export is service::ExportText.)
 void PrintServiceMetrics(std::ostream& os, const std::string& title,
                          const service::MetricsSnapshot& m);
+
+/// Human-readable summary of a multi-tenant router run: the aggregate
+/// rollup plus a per-tenant table (statements, queue, evictions, latency).
+/// (Machine-readable export is service::ExportRouterText.)
+void PrintRouterMetrics(std::ostream& os, const std::string& title,
+                        const service::RouterMetricsSnapshot& m);
 
 /// Merges flat numeric metrics into a JSON file of one object with
 /// "key": value members (the benches' machine-readable perf trajectory,

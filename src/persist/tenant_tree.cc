@@ -1,0 +1,98 @@
+#include "persist/tenant_tree.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+namespace wfit::persist {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool SafeChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '-';
+}
+
+int HexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string EncodeTenantDir(const std::string& tenant_id) {
+  std::string out;
+  out.reserve(tenant_id.size());
+  for (char c : tenant_id) {
+    if (SafeChar(c)) {  // '%' is not safe, so decoding is unambiguous
+      out += c;
+    } else {
+      char buf[4];
+      std::snprintf(buf, sizeof(buf), "%%%02X",
+                    static_cast<unsigned char>(c));
+      out += buf;
+    }
+  }
+  // "." and ".." are legal tenant ids but reserved path names.
+  if (out == ".") return "%2E";
+  if (out == "..") return "%2E%2E";
+  if (out.empty()) return "%";  // the empty id still needs a directory name
+  return out;
+}
+
+std::string DecodeTenantDir(const std::string& dir_name) {
+  if (dir_name == "%") return "";
+  std::string out;
+  out.reserve(dir_name.size());
+  for (size_t i = 0; i < dir_name.size(); ++i) {
+    if (dir_name[i] == '%' && i + 2 < dir_name.size()) {
+      int hi = HexDigit(dir_name[i + 1]);
+      int lo = HexDigit(dir_name[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out += static_cast<char>(hi * 16 + lo);
+        i += 2;
+        continue;
+      }
+    }
+    out += dir_name[i];
+  }
+  return out;
+}
+
+std::string TenantCheckpointDir(const std::string& root,
+                                const std::string& tenant_id) {
+  return (fs::path(root) / EncodeTenantDir(tenant_id)).string();
+}
+
+StatusOr<std::vector<std::string>> ListTenantIds(const std::string& root) {
+  std::vector<std::string> ids;
+  std::error_code ec;
+  if (!fs::exists(root, ec)) return ids;
+  // Error-code overloads throughout: a subtree vanishing or turning
+  // unreadable mid-listing (external cleanup racing us) must surface as a
+  // Status, not a std::filesystem_error.
+  fs::directory_iterator it(root, ec);
+  if (ec) {
+    return Status::Internal("cannot list checkpoint root " + root + ": " +
+                            ec.message());
+  }
+  for (fs::directory_iterator end; it != end;) {
+    std::error_code type_ec;
+    if (it->is_directory(type_ec) && !type_ec) {
+      ids.push_back(DecodeTenantDir(it->path().filename().string()));
+    }
+    it.increment(ec);
+    if (ec) {  // a failed increment lands on end, so check before looping
+      return Status::Internal("cannot list checkpoint root " + root + ": " +
+                              ec.message());
+    }
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace wfit::persist

@@ -1,0 +1,33 @@
+// The multi-tenant checkpoint tree: <root>/<tenant_dir>/ holds each
+// tenant's snapshots + write-ahead journal, where <tenant_dir> is the
+// tenant id percent-encoded so any id is filesystem-safe and the mapping
+// is reversible (ListTenantIds recovers the original ids on restart).
+#ifndef WFIT_PERSIST_TENANT_TREE_H_
+#define WFIT_PERSIST_TENANT_TREE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace wfit::persist {
+
+/// Percent-encodes every byte outside [A-Za-z0-9_.-] (plus '.' and '..'
+/// themselves) so the result is a safe, reversible directory name.
+std::string EncodeTenantDir(const std::string& tenant_id);
+
+/// Inverse of EncodeTenantDir; malformed escapes decode to themselves.
+std::string DecodeTenantDir(const std::string& dir_name);
+
+/// The tenant's checkpoint directory under `root` (not created).
+std::string TenantCheckpointDir(const std::string& root,
+                                const std::string& tenant_id);
+
+/// Decoded tenant ids of every subdirectory of `root`, sorted — what a
+/// restarted router can re-admit. NotFound-free: a missing root is just an
+/// empty tree.
+StatusOr<std::vector<std::string>> ListTenantIds(const std::string& root);
+
+}  // namespace wfit::persist
+
+#endif  // WFIT_PERSIST_TENANT_TREE_H_

@@ -83,6 +83,20 @@ size_t IngestQueue::PopBatch(std::vector<Statement>* out, size_t max_batch,
              "PopBatch requires an output vector and a positive batch size");
   std::unique_lock<std::mutex> lock(mu_);
   not_empty_.wait(lock, [&] { return SlotReady(next_pop_seq_) || closed_; });
+  return PopBatchLocked(out, max_batch, first_seq);
+}
+
+size_t IngestQueue::TryPopBatch(std::vector<Statement>* out, size_t max_batch,
+                                uint64_t* first_seq) {
+  WFIT_CHECK(out != nullptr && max_batch > 0,
+             "TryPopBatch requires an output vector and a positive batch "
+             "size");
+  std::unique_lock<std::mutex> lock(mu_);
+  return PopBatchLocked(out, max_batch, first_seq);
+}
+
+size_t IngestQueue::PopBatchLocked(std::vector<Statement>* out,
+                                   size_t max_batch, uint64_t* first_seq) {
   size_t popped = 0;
   while (popped < max_batch) {
     // Tombstones from pushes abandoned at close are skipped, so accepted
@@ -104,6 +118,14 @@ size_t IngestQueue::PopBatch(std::vector<Statement>* out, size_t max_batch,
   }
   if (popped > 0) not_full_.notify_all();
   return popped;
+}
+
+bool IngestQueue::CanPop() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Tombstones are skippable, so look past a contiguous run of them.
+  uint64_t seq = next_pop_seq_;
+  while (abandoned_.count(seq) != 0) ++seq;
+  return buffered_ > 0 && SlotReady(seq);
 }
 
 void IngestQueue::Close() {

@@ -65,6 +65,17 @@ class IngestQueue {
   size_t PopBatch(std::vector<Statement>* out, size_t max_batch,
                   uint64_t* first_seq = nullptr);
 
+  /// Non-blocking PopBatch for externally-scheduled consumers (the tenant
+  /// router's shared drain threads): pops whatever contiguous prefix is
+  /// deliverable right now, up to `max_batch`, and returns the count — 0
+  /// when nothing is deliverable yet (a predecessor sequence is missing)
+  /// or the queue is drained.
+  size_t TryPopBatch(std::vector<Statement>* out, size_t max_batch,
+                     uint64_t* first_seq = nullptr);
+
+  /// True when TryPopBatch would deliver at least one statement now.
+  bool CanPop() const;
+
   /// Closes the intake: subsequent pushes fail, and PopBatch drains what
   /// remains of the contiguous prefix, then reports end-of-stream.
   void Close();
@@ -86,6 +97,8 @@ class IngestQueue {
  private:
   bool PushLocked(std::unique_lock<std::mutex>& lock, uint64_t seq,
                   Statement&& stmt, bool drop_duplicate);
+  size_t PopBatchLocked(std::vector<Statement>* out, size_t max_batch,
+                        uint64_t* first_seq);
   bool SlotReady(uint64_t seq) const {
     return ring_[seq % capacity_].has_value();
   }

@@ -176,6 +176,157 @@ std::string ExportText(const MetricsSnapshot& snapshot) {
   return os.str();
 }
 
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+void AccumulateCounters(MetricsSnapshot* into, const MetricsSnapshot& from) {
+  into->statements_submitted += from.statements_submitted;
+  into->submit_rejected += from.submit_rejected;
+  into->queue_depth += from.queue_depth;
+  into->queue_capacity += from.queue_capacity;
+  into->queue_high_water =
+      std::max(into->queue_high_water, from.queue_high_water);
+  into->push_waits += from.push_waits;
+  into->statements_analyzed += from.statements_analyzed;
+  into->batches += from.batches;
+  into->max_batch = std::max(into->max_batch, from.max_batch);
+  into->feedback_applied += from.feedback_applied;
+  into->repartitions += from.repartitions;
+  into->analysis_threads =
+      std::max(into->analysis_threads, from.analysis_threads);
+  into->what_if_cache_hits += from.what_if_cache_hits;
+  into->what_if_cache_misses += from.what_if_cache_misses;
+  into->what_if_cross_hits += from.what_if_cross_hits;
+  into->snapshot_version += from.snapshot_version;
+  into->checkpoints_written += from.checkpoints_written;
+  into->checkpoint_failures += from.checkpoint_failures;
+  into->last_checkpoint_seq =
+      std::max(into->last_checkpoint_seq, from.last_checkpoint_seq);
+  into->last_checkpoint_unix_seconds = std::max(
+      into->last_checkpoint_unix_seconds, from.last_checkpoint_unix_seconds);
+  into->last_snapshot_bytes += from.last_snapshot_bytes;
+  into->journal_records += from.journal_records;
+  into->journal_bytes += from.journal_bytes;
+  into->journal_syncs += from.journal_syncs;
+  into->journal_failures += from.journal_failures;
+  into->recovery_snapshot_loaded += from.recovery_snapshot_loaded;
+  into->recovery_snapshots_skipped += from.recovery_snapshots_skipped;
+  into->recovery_replayed_statements += from.recovery_replayed_statements;
+  into->recovery_replayed_feedback += from.recovery_replayed_feedback;
+  for (size_t i = 0; i < into->latency_counts.size(); ++i) {
+    into->latency_counts[i] += from.latency_counts[i];
+  }
+  into->latency_total_us += from.latency_total_us;
+}
+
+namespace {
+
+/// One labelled family: HELP/TYPE header, then one sample per tenant drawn
+/// through `value`.
+template <typename ValueFn>
+void TenantFamily(
+    const std::vector<std::pair<std::string, MetricsSnapshot>>& tenants,
+    std::ostream& os, const char* name, const char* type, const char* help,
+    ValueFn value) {
+  os << "# HELP wfit_tenant_" << name << " " << help << "\n"
+     << "# TYPE wfit_tenant_" << name << " " << type << "\n";
+  for (const auto& [id, snapshot] : tenants) {
+    os << "wfit_tenant_" << name << "{tenant=\"" << EscapeLabelValue(id)
+       << "\"} " << value(snapshot) << "\n";
+  }
+}
+
+}  // namespace
+
+void ExportTenantText(
+    const std::vector<std::pair<std::string, MetricsSnapshot>>& tenants,
+    std::ostream& os) {
+  auto counter = [&](const char* name, const char* help,
+                     uint64_t MetricsSnapshot::* field) {
+    TenantFamily(tenants, os, name, "counter", help,
+                 [field](const MetricsSnapshot& s) { return s.*field; });
+  };
+  auto gauge = [&](const char* name, const char* help,
+                   uint64_t MetricsSnapshot::* field) {
+    TenantFamily(tenants, os, name, "gauge", help,
+                 [field](const MetricsSnapshot& s) { return s.*field; });
+  };
+  counter("stmts_total", "Statements analyzed for this tenant",
+          &MetricsSnapshot::statements_analyzed);
+  counter("stmts_submitted_total", "Statements accepted for this tenant",
+          &MetricsSnapshot::statements_submitted);
+  counter("submit_rejected_total",
+          "Non-blocking submissions refused (tenant queue full)",
+          &MetricsSnapshot::submit_rejected);
+  counter("batches_total", "Analysis batches drained for this tenant",
+          &MetricsSnapshot::batches);
+  counter("feedback_applied_total", "DBA feedback events applied",
+          &MetricsSnapshot::feedback_applied);
+  counter("repartitions_total", "Tuner state repartitions",
+          &MetricsSnapshot::repartitions);
+  counter("what_if_cache_hits_total",
+          "What-if probes served from the statement-scoped memo",
+          &MetricsSnapshot::what_if_cache_hits);
+  counter("what_if_cache_misses_total",
+          "What-if probes that reached the real optimizer",
+          &MetricsSnapshot::what_if_cache_misses);
+  counter("what_if_cross_hits_total",
+          "What-if probes served from the cross-statement template cache",
+          &MetricsSnapshot::what_if_cross_hits);
+  counter("checkpoints_written_total", "Durable state snapshots written",
+          &MetricsSnapshot::checkpoints_written);
+  counter("journal_records_total", "Records in the tenant's WAL",
+          &MetricsSnapshot::journal_records);
+  gauge("queue_depth", "Current tenant ingest queue depth",
+        &MetricsSnapshot::queue_depth);
+  gauge("queue_capacity", "Tenant ingest queue capacity",
+        &MetricsSnapshot::queue_capacity);
+  gauge("snapshot_bytes", "Size of the tenant's last state snapshot",
+        &MetricsSnapshot::last_snapshot_bytes);
+
+  // Per-tenant analysis latency histogram: bucket series per tenant, then
+  // the _sum/_count samples, all under one family header.
+  os << "# HELP wfit_tenant_analysis_latency_us AnalyzeQuery latency\n"
+     << "# TYPE wfit_tenant_analysis_latency_us histogram\n";
+  for (const auto& [id, s] : tenants) {
+    const std::string label = EscapeLabelValue(id);
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < s.latency_counts.size(); ++i) {
+      cumulative += s.latency_counts[i];
+      os << "wfit_tenant_analysis_latency_us_bucket{tenant=\"" << label
+         << "\",le=\"";
+      if (i < kLatencyBucketUpperUs.size()) {
+        os << kLatencyBucketUpperUs[i];
+      } else {
+        os << "+Inf";
+      }
+      os << "\"} " << cumulative << "\n";
+    }
+    os << "wfit_tenant_analysis_latency_us_sum{tenant=\"" << label << "\"} "
+       << s.latency_total_us << "\n"
+       << "wfit_tenant_analysis_latency_us_count{tenant=\"" << label
+       << "\"} " << cumulative << "\n";
+  }
+}
+
 void ServiceMetrics::OnBatch(uint64_t size) {
   batches_.fetch_add(1, std::memory_order_relaxed);
   uint64_t prev = max_batch_.load(std::memory_order_relaxed);

@@ -93,6 +93,26 @@ struct MetricsSnapshot {
 void ExportText(const MetricsSnapshot& snapshot, std::ostream& os);
 std::string ExportText(const MetricsSnapshot& snapshot);
 
+/// Escapes a Prometheus label value per the text exposition format:
+/// backslash, double-quote and newline become \\, \" and \n.
+std::string EscapeLabelValue(const std::string& value);
+
+/// Accumulates `from` into `into`: counters and histogram buckets add,
+/// watermark gauges (max_batch, queue_high_water, checkpoint recency) take
+/// the maximum, and instantaneous gauges (queue depth/capacity, snapshot
+/// bytes) add. Used both to roll per-tenant series up into an aggregate
+/// and to carry a tenant's counters across evict/re-admit cycles, so
+/// accumulated counters stay monotone.
+void AccumulateCounters(MetricsSnapshot* into, const MetricsSnapshot& from);
+
+/// Writes per-tenant labelled series (`wfit_tenant_*{tenant="..."}`
+/// families) for every (tenant id, snapshot) pair — one HELP/TYPE header
+/// per family, one labelled sample per tenant, tenants in the order given
+/// (the router passes them sorted by id).
+void ExportTenantText(
+    const std::vector<std::pair<std::string, MetricsSnapshot>>& tenants,
+    std::ostream& os);
+
 /// The live, concurrently-updated metrics. TunerService owns one; the
 /// ingest queue contributes its gauges when the service snapshots.
 class ServiceMetrics {

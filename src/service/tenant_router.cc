@@ -1,0 +1,520 @@
+#include "service/tenant_router.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/check.h"
+#include "persist/tenant_tree.h"
+
+namespace wfit::service {
+
+namespace {
+
+void RouterCounter(std::ostream& os, const char* name, uint64_t v,
+                   const char* help) {
+  os << "# HELP wfit_router_" << name << " " << help << "\n"
+     << "# TYPE wfit_router_" << name << " counter\n"
+     << "wfit_router_" << name << " " << v << "\n";
+}
+
+void RouterGauge(std::ostream& os, const char* name, uint64_t v,
+                 const char* help) {
+  os << "# HELP wfit_router_" << name << " " << help << "\n"
+     << "# TYPE wfit_router_" << name << " gauge\n"
+     << "wfit_router_" << name << " " << v << "\n";
+}
+
+}  // namespace
+
+void ExportRouterText(const RouterMetricsSnapshot& s, std::ostream& os) {
+  // Aggregate rollup first (the familiar wfit_service_* families), then
+  // the labelled per-tenant series, then router-level families.
+  ExportText(s.aggregate, os);
+  std::vector<std::pair<std::string, MetricsSnapshot>> tenants;
+  tenants.reserve(s.tenants.size());
+  for (const TenantMetricsEntry& t : s.tenants) {
+    tenants.emplace_back(t.id, t.service);
+  }
+  ExportTenantText(tenants, os);
+  os << "# HELP wfit_tenant_evictions_total Checkpoint-then-close evictions"
+        " of this tenant's shard\n"
+     << "# TYPE wfit_tenant_evictions_total counter\n";
+  for (const TenantMetricsEntry& t : s.tenants) {
+    os << "wfit_tenant_evictions_total{tenant=\"" << EscapeLabelValue(t.id)
+       << "\"} " << t.evictions << "\n";
+  }
+  os << "# HELP wfit_tenant_resident 1 when the tenant's shard is live\n"
+     << "# TYPE wfit_tenant_resident gauge\n";
+  for (const TenantMetricsEntry& t : s.tenants) {
+    os << "wfit_tenant_resident{tenant=\"" << EscapeLabelValue(t.id)
+       << "\"} " << (t.resident ? 1 : 0) << "\n";
+  }
+  RouterGauge(os, "tenants_known", s.tenants_known,
+              "Tenants ever routed through this process");
+  RouterGauge(os, "tenants_resident", s.tenants_resident,
+              "Tenants with a live shard");
+  RouterCounter(os, "admissions_total", s.admissions,
+                "Shard creations, including re-admissions after eviction");
+  RouterCounter(os, "evictions_total", s.evictions,
+                "Checkpoint-then-close shard evictions");
+  RouterGauge(os, "resident_footprint_bytes", s.resident_footprint_bytes,
+              "Estimated aggregate footprint of resident shards");
+}
+
+std::string ExportRouterText(const RouterMetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  ExportRouterText(snapshot, os);
+  return os.str();
+}
+
+TenantRouter::TenantRouter(TunerFactory factory, TenantRouterOptions options)
+    : factory_(std::move(factory)), options_(std::move(options)) {
+  WFIT_CHECK(factory_ != nullptr, "TenantRouter requires a tuner factory");
+  WFIT_CHECK(options_.shard.checkpoint_dir.empty(),
+             "per-tenant checkpoint directories are derived from "
+             "checkpoint_root; shard.checkpoint_dir must be empty");
+}
+
+TenantRouter::~TenantRouter() { Shutdown(); }
+
+void TenantRouter::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  WFIT_CHECK(!started_, "TenantRouter::Start called twice");
+  started_ = true;
+  const size_t analysis = options_.analysis_threads == 0
+                              ? WorkerPool::DefaultThreads()
+                              : options_.analysis_threads;
+  if (analysis > 1) {
+    // Draining threads participate in every ParallelFor, so a pool of
+    // analysis - 1 helpers yields `analysis` concurrent workers per
+    // statement — shared by every shard.
+    analysis_pool_ = std::make_unique<WorkerPool>(analysis - 1);
+  }
+  drain_threads_.reserve(options_.drain_threads);
+  for (size_t i = 0; i < options_.drain_threads; ++i) {
+    drain_threads_.emplace_back([this] { DrainLoop(); });
+  }
+}
+
+void TenantRouter::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_ || stopping_) return;
+    stopping_ = true;
+  }
+  ready_cv_.notify_all();
+  for (std::thread& t : drain_threads_) t.join();
+  drain_threads_.clear();
+  std::unique_lock<std::mutex> lock(mu_);
+  // An embedder-driven DrainOne turn (drain_threads = 0) may still be
+  // inside ProcessBatch; wait it out so each shard's inline drain below is
+  // properly serialized. Producers racing Shutdown see closed queues.
+  ready_cv_.wait(lock, [&] {
+    for (const auto& [id, tenant] : tenants_) {
+      if (tenant->sched == Tenant::Sched::kRunning) return false;
+    }
+    return true;
+  });
+  // An evicted tenant may hold votes that were keyed past its eviction
+  // point; a dedicated service's Shutdown applies ALL pending feedback,
+  // so flush them by re-admitting (the carried votes re-register during
+  // admission and the inline Shutdown below applies + checkpoints them).
+  for (auto& [id, tenant] : tenants_) {
+    if (tenant->service == nullptr && !tenant->carried_votes.empty()) {
+      GetOrAdmitLocked(id, /*admit_while_stopping=*/true);
+    }
+  }
+  for (auto& [id, tenant] : tenants_) {
+    if (tenant->service != nullptr) {
+      tenant->service->Shutdown();
+    }
+  }
+}
+
+TenantRouter::Tenant* TenantRouter::GetOrAdmitLocked(
+    const std::string& id, bool admit_while_stopping) {
+  WFIT_CHECK(started_, "TenantRouter used before Start()");
+  auto it = tenants_.find(id);
+  if (it == tenants_.end()) {
+    if (stopping_ && !admit_while_stopping) return nullptr;
+    auto tenant = std::make_unique<Tenant>();
+    tenant->id = id;
+    it = tenants_.emplace(id, std::move(tenant)).first;
+  }
+  Tenant* t = it->second.get();
+  t->last_active = ++activity_clock_;
+  if (t->service != nullptr) return t;
+  // A shard admitted after Shutdown began would never be scheduled.
+  if (stopping_ && !admit_while_stopping) return nullptr;
+
+  // Lazy (re-)admission: make room, build the tuner, recover the tenant's
+  // checkpoint directory, and re-register votes carried over the eviction.
+  const uint64_t incoming_bytes =
+      std::max(t->footprint_hint, options_.min_tenant_footprint_bytes);
+  EnsureCapacityLocked(incoming_bytes);
+  TenantTuner made = factory_(id);
+  if (made.tuner == nullptr) {
+    std::fprintf(stderr, "[tenant_router] factory returned no tuner for %s\n",
+                 id.c_str());
+    return nullptr;
+  }
+  TunerServiceOptions shard_options = options_.shard;
+  if (!options_.checkpoint_root.empty()) {
+    shard_options.checkpoint_dir =
+        persist::TenantCheckpointDir(options_.checkpoint_root, id);
+    WFIT_CHECK(made.pool != nullptr,
+               "a checkpointing TenantRouter requires the factory to "
+               "supply the tenant's index pool");
+  }
+  RecoveryStats recovery;
+  auto opened = TunerService::Open(std::move(made.tuner), made.pool,
+                                   std::move(shard_options), &recovery);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "[tenant_router] admission of %s failed: %s\n",
+                 id.c_str(), opened.status().ToString().c_str());
+    return nullptr;
+  }
+  t->service = std::move(*opened);
+  t->last_recovery = recovery;
+  t->service->StartDetached(analysis_pool_.get());
+  for (auto& [after_seq, votes] : t->carried_votes) {
+    t->service->FeedbackAfter(after_seq, std::move(votes.first),
+                              std::move(votes.second));
+  }
+  t->carried_votes.clear();
+  if (options_.repin) {
+    // Votes lost to a crash have boundaries >= the recovery point; they
+    // must be pinned before any requeued intake is scheduled below, or
+    // they would apply late.
+    for (PinnedVote& vote : options_.repin(id, recovery)) {
+      if (vote.after_seq >= recovery.analyzed) {
+        t->service->FeedbackAfter(vote.after_seq, std::move(vote.f_plus),
+                                  std::move(vote.f_minus));
+      }
+    }
+  }
+  t->footprint = incoming_bytes;
+  resident_bytes_ += t->footprint;
+  ++resident_count_;
+  ++admissions_;
+  // Intake requeued by recovery is deliverable right away; schedule it.
+  NotifyReadyLocked(t);
+  return t;
+}
+
+void TenantRouter::EnsureCapacityLocked(uint64_t incoming_bytes) {
+  // Best-effort: only idle shards can be closed losslessly, and without a
+  // checkpoint root eviction would lose state, so the bound is advisory
+  // when every resident shard is busy. During Shutdown's carried-vote
+  // flush the bound is moot (everything closes in a moment anyway) and
+  // evicting mid-iteration would churn.
+  if (options_.checkpoint_root.empty() || stopping_) return;
+  auto over = [&] {
+    bool count_over = options_.max_resident_tenants != 0 &&
+                      resident_count_ + 1 > options_.max_resident_tenants;
+    bool bytes_over = options_.max_resident_bytes != 0 &&
+                      resident_bytes_ + incoming_bytes >
+                          options_.max_resident_bytes;
+    return count_over || bytes_over;
+  };
+  while (over()) {
+    Tenant* victim = nullptr;
+    for (auto& [id, tenant] : tenants_) {
+      Tenant* t = tenant.get();
+      if (t->service == nullptr || t->sched != Tenant::Sched::kIdle ||
+          t->refs != 0 || t->service->QueueDepth() != 0) {
+        continue;
+      }
+      if (victim == nullptr || t->last_active < victim->last_active) {
+        victim = t;
+      }
+    }
+    if (victim == nullptr || !EvictLocked(victim)) break;
+  }
+}
+
+bool TenantRouter::EvictLocked(Tenant* t) {
+  if (t->service == nullptr || t->sched != Tenant::Sched::kIdle ||
+      t->refs != 0 || t->service->QueueDepth() != 0 ||
+      options_.checkpoint_root.empty()) {
+    return false;
+  }
+  // Checkpoint-then-close: due feedback applies and is journaled, a final
+  // snapshot seals the state, and future-keyed votes come back to us for
+  // the next incarnation.
+  t->carried_votes = t->service->CloseForEviction();
+  MetricsSnapshot metrics = t->service->Metrics();
+  t->footprint_hint = std::max(metrics.last_snapshot_bytes,
+                               options_.min_tenant_footprint_bytes);
+  // Only counters carry across incarnations. Instantaneous gauges
+  // (queue depth/capacity, snapshot size, publication version) describe
+  // the live shard; folding them into `retired` would inflate the
+  // tenant's series by one capacity/snapshot per eviction cycle.
+  metrics.queue_depth = 0;
+  metrics.queue_capacity = 0;
+  metrics.last_snapshot_bytes = 0;
+  metrics.snapshot_version = 0;
+  AccumulateCounters(&t->retired, metrics);
+  if (options_.shard.record_history) {
+    std::vector<IndexSet> history = t->service->History();
+    t->retired_history.insert(t->retired_history.end(), history.begin(),
+                              history.end());
+  }
+  t->service.reset();
+  resident_bytes_ -= t->footprint;
+  t->footprint = 0;
+  --resident_count_;
+  ++t->evictions;
+  ++evictions_;
+  return true;
+}
+
+void TenantRouter::NotifyReadyLocked(Tenant* t) {
+  if (t->sched == Tenant::Sched::kIdle && t->service != nullptr &&
+      t->service->HasDeliverableWork()) {
+    t->sched = Tenant::Sched::kReady;
+    ready_.push_back(t);
+    ready_cv_.notify_one();
+  }
+}
+
+void TenantRouter::FinishTurnLocked(Tenant* t) {
+  t->last_active = ++activity_clock_;
+  if (t->service != nullptr && t->service->HasDeliverableWork()) {
+    // Tail of the ready ring: round-robin across backlogged shards.
+    t->sched = Tenant::Sched::kReady;
+    ready_.push_back(t);
+  } else {
+    t->sched = Tenant::Sched::kIdle;
+  }
+  // Wakes both drain threads (more work) and a Shutdown waiting for the
+  // last in-flight turn to leave kRunning.
+  ready_cv_.notify_all();
+}
+
+TenantRouter::Tenant* TenantRouter::NextReadyLocked() {
+  if (ready_.empty()) return nullptr;
+  Tenant* t = ready_.front();
+  ready_.pop_front();
+  t->sched = Tenant::Sched::kRunning;
+  return t;
+}
+
+void TenantRouter::DrainLoop() {
+  while (true) {
+    Tenant* t = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      ready_cv_.wait(lock, [&] { return stopping_ || !ready_.empty(); });
+      if (stopping_) return;  // Shutdown drains shards inline afterwards
+      t = NextReadyLocked();
+      if (t == nullptr) continue;
+    }
+    t->service->ProcessBatch();
+    std::lock_guard<std::mutex> lock(mu_);
+    FinishTurnLocked(t);
+  }
+}
+
+std::string TenantRouter::DrainOne() {
+  Tenant* t = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return "";
+    t = NextReadyLocked();
+    if (t == nullptr) return "";
+  }
+  t->service->ProcessBatch();
+  std::lock_guard<std::mutex> lock(mu_);
+  FinishTurnLocked(t);
+  return t->id;
+}
+
+bool TenantRouter::Submit(const std::string& tenant, Statement stmt) {
+  Tenant* t = nullptr;
+  TunerService* service = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return false;
+    t = GetOrAdmitLocked(tenant);
+    if (t == nullptr) return false;
+    service = t->service.get();
+    ++t->refs;
+  }
+  bool ok = service->Submit(std::move(stmt));  // may block on backpressure
+  std::lock_guard<std::mutex> lock(mu_);
+  --t->refs;
+  if (ok) NotifyReadyLocked(t);
+  return ok;
+}
+
+bool TenantRouter::TrySubmit(const std::string& tenant, Statement stmt) {
+  Tenant* t = nullptr;
+  TunerService* service = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return false;
+    t = GetOrAdmitLocked(tenant);
+    if (t == nullptr) return false;
+    service = t->service.get();
+    ++t->refs;
+  }
+  bool ok = service->TrySubmit(std::move(stmt));
+  std::lock_guard<std::mutex> lock(mu_);
+  --t->refs;
+  if (ok) NotifyReadyLocked(t);
+  return ok;
+}
+
+bool TenantRouter::SubmitAt(const std::string& tenant, uint64_t seq,
+                            Statement stmt) {
+  Tenant* t = nullptr;
+  TunerService* service = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return false;
+    t = GetOrAdmitLocked(tenant);
+    if (t == nullptr) return false;
+    service = t->service.get();
+    ++t->refs;
+  }
+  bool ok = service->SubmitAt(seq, std::move(stmt));
+  std::lock_guard<std::mutex> lock(mu_);
+  --t->refs;
+  // A successful out-of-order push is not deliverable yet, but CanPop
+  // decides that — notify is cheap and exact.
+  if (ok) NotifyReadyLocked(t);
+  return ok;
+}
+
+void TenantRouter::Feedback(const std::string& tenant, IndexSet f_plus,
+                            IndexSet f_minus) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopping_) return;
+  Tenant* t = GetOrAdmitLocked(tenant);
+  if (t == nullptr) return;
+  t->service->Feedback(std::move(f_plus), std::move(f_minus));
+}
+
+void TenantRouter::FeedbackAfter(const std::string& tenant,
+                                 uint64_t after_seq, IndexSet f_plus,
+                                 IndexSet f_minus) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopping_) return;
+  Tenant* t = GetOrAdmitLocked(tenant);
+  if (t == nullptr) return;
+  t->service->FeedbackAfter(after_seq, std::move(f_plus),
+                            std::move(f_minus));
+}
+
+std::shared_ptr<const RecommendationSnapshot> TenantRouter::Recommendation(
+    const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Tenant* t = GetOrAdmitLocked(tenant);
+  if (t == nullptr) return nullptr;
+  return t->service->Recommendation();
+}
+
+bool TenantRouter::WaitUntilAnalyzed(const std::string& tenant, uint64_t n) {
+  Tenant* t = nullptr;
+  TunerService* service = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    t = GetOrAdmitLocked(tenant);
+    if (t == nullptr) return false;
+    service = t->service.get();
+    ++t->refs;
+  }
+  bool reached = service->WaitUntilAnalyzed(n);
+  std::lock_guard<std::mutex> lock(mu_);
+  --t->refs;
+  return reached;
+}
+
+uint64_t TenantRouter::analyzed(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Tenant* t = GetOrAdmitLocked(tenant);
+  return t == nullptr ? 0 : t->service->analyzed();
+}
+
+std::vector<IndexSet> TenantRouter::History(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return {};
+  Tenant* t = it->second.get();
+  std::vector<IndexSet> history = t->retired_history;
+  if (t->service != nullptr) {
+    std::vector<IndexSet> live = t->service->History();
+    history.insert(history.end(), live.begin(), live.end());
+  }
+  return history;
+}
+
+RecoveryStats TenantRouter::LastRecovery(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Tenant* t = GetOrAdmitLocked(tenant);
+  return t == nullptr ? RecoveryStats{} : t->last_recovery;
+}
+
+bool TenantRouter::Evict(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return false;
+  return EvictLocked(it->second.get());
+}
+
+size_t TenantRouter::EvictIdle() {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t evicted = 0;
+  for (auto& [id, tenant] : tenants_) {
+    if (tenant->service != nullptr && EvictLocked(tenant.get())) {
+      ++evicted;
+    }
+  }
+  return evicted;
+}
+
+std::vector<std::string> TenantRouter::ResidentTenants() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> ids;
+  for (const auto& [id, tenant] : tenants_) {
+    if (tenant->service != nullptr) ids.push_back(id);
+  }
+  return ids;
+}
+
+std::vector<std::string> TenantRouter::PersistedTenants() const {
+  if (options_.checkpoint_root.empty()) return {};
+  auto ids = persist::ListTenantIds(options_.checkpoint_root);
+  return ids.ok() ? *ids : std::vector<std::string>{};
+}
+
+RouterMetricsSnapshot TenantRouter::Metrics() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RouterMetricsSnapshot s;
+  for (const auto& [id, tenant] : tenants_) {
+    TenantMetricsEntry entry;
+    entry.id = id;
+    entry.service = tenant->retired;
+    if (tenant->service != nullptr) {
+      AccumulateCounters(&entry.service, tenant->service->Metrics());
+      entry.resident = true;
+    }
+    entry.evictions = tenant->evictions;
+    AccumulateCounters(&s.aggregate, entry.service);
+    s.tenants.push_back(std::move(entry));
+  }
+  s.tenants_known = tenants_.size();
+  s.tenants_resident = resident_count_;
+  s.admissions = admissions_;
+  s.evictions = evictions_;
+  s.resident_footprint_bytes = resident_bytes_;
+  return s;
+}
+
+std::string TenantRouter::ExportText() const {
+  return ExportRouterText(Metrics());
+}
+
+}  // namespace wfit::service

@@ -1,0 +1,298 @@
+// TenantRouter: one deployment tuning many databases at once. The router
+// owns N independent TunerService shards — one per tenant, each with its
+// own Tuner, ingest queue and checkpoint directory <root>/<tenant>/ — all
+// multiplexed over ONE shared analysis WorkerPool and a small fixed set of
+// drain threads, so aggregate thread count stays bounded no matter how
+// many tenants exist.
+//
+//   Submit(tenant, stmt) ──▶ shard ingest queue ──▶ ready ring (FIFO)
+//                                                       │ one batch per turn
+//                            drain threads ◀────────────┘
+//                     (round-robin across ready shards; intra-statement
+//                      work fans out on the shared analysis pool)
+//
+// Scheduling is round-robin at batch granularity: a shard that still has
+// deliverable work after its turn re-enters the ready ring at the TAIL, so
+// with R backlogged shards every one of them is served again within R
+// turns — one hot tenant can never starve the rest (starvation-freedom is
+// proven deterministically in tenant_router_test via DrainOne).
+//
+// Shards are created lazily by a tuner-factory callback the first time a
+// tenant is routed. Under a configurable aggregate bound (resident tenant
+// count and/or estimated resident bytes) the router evicts
+// least-recently-active idle shards with a checkpoint-then-close
+// lifecycle: the shard takes a final state snapshot, votes keyed to future
+// statements are carried over, and the next touch re-admits the tenant by
+// recovering that checkpoint — so eviction is lossless and the tenant's
+// recommendation trajectory is bit-for-bit the one a dedicated,
+// never-evicted TunerService would have produced.
+//
+// Every tenant's counters are exported as labelled Prometheus series
+// (`wfit_tenant_*{tenant="..."}`) under one registry, with aggregate
+// rollups (`wfit_service_*`) and router-level families (`wfit_router_*`).
+#ifndef WFIT_SERVICE_TENANT_ROUTER_H_
+#define WFIT_SERVICE_TENANT_ROUTER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/worker_pool.h"
+#include "core/index_set.h"
+#include "core/tuner.h"
+#include "service/metrics.h"
+#include "service/tuner_service.h"
+
+namespace wfit::service {
+
+/// What the tuner factory returns for one tenant. The pool must be the one
+/// the tuner interns into; it is required (and must outlive the router)
+/// when the router checkpoints, and must be the same pool across
+/// re-admissions of the tenant (snapshot restore re-interns and verifies
+/// ids against it).
+struct TenantTuner {
+  std::unique_ptr<Tuner> tuner;
+  IndexPool* pool = nullptr;
+};
+
+/// Called under the router lock whenever a tenant is (re-)admitted; must
+/// construct the tenant's tuner with the same configuration every time
+/// (the recovery determinism contract).
+using TunerFactory = std::function<TenantTuner(const std::string& tenant_id)>;
+
+/// A DBA vote pinned to a statement boundary (see
+/// TunerService::FeedbackAfter).
+struct PinnedVote {
+  uint64_t after_seq = 0;
+  IndexSet f_plus;
+  IndexSet f_minus;
+};
+
+/// Called at every (re-)admission, after recovery but BEFORE the shard is
+/// scheduled: returns the votes to pin for boundaries the recovered state
+/// has not reached. This is the crash-safe way to re-register votes whose
+/// journal record died with the process — registering them after admission
+/// races the analysis of requeued intake (a vote whose boundary lies
+/// inside that window would apply late). Boundaries below
+/// `recovery.analyzed` are already reflected in the recovered state and
+/// are dropped.
+using VoteRepinner = std::function<std::vector<PinnedVote>(
+    const std::string& tenant_id, const RecoveryStats& recovery)>;
+
+struct TenantRouterOptions {
+  /// Per-shard template (queue capacity, max_batch, history, checkpoint
+  /// cadence...). checkpoint_dir must be empty — per-tenant directories
+  /// are derived from checkpoint_root.
+  TunerServiceOptions shard;
+  /// Root of the multi-tenant checkpoint tree; each tenant persists under
+  /// <root>/<encoded tenant id>/. Empty disables durability AND eviction
+  /// (evicting without a checkpoint would lose state).
+  std::string checkpoint_root;
+  /// Width of the shared analysis pool for intra-statement parallelism,
+  /// counting the draining thread: 1 = serial, 0 = hardware_concurrency,
+  /// k = pool of k-1 helpers. Shared by every shard.
+  size_t analysis_threads = 1;
+  /// Concurrent shard drains (scheduler threads). 0 = no threads: the
+  /// embedder steps the scheduler manually via DrainOne (tests, or an
+  /// external event loop).
+  size_t drain_threads = 1;
+  /// Evict least-recently-active idle shards so at most this many tenants
+  /// are resident. 0 = unbounded.
+  size_t max_resident_tenants = 0;
+  /// Evict so the estimated resident footprint stays under this bound.
+  /// A shard's footprint is max(last snapshot size,
+  /// min_tenant_footprint_bytes). 0 = unbounded.
+  uint64_t max_resident_bytes = 0;
+  /// Floor of the per-shard footprint estimate (a shard that has not
+  /// checkpointed yet has no measured size).
+  uint64_t min_tenant_footprint_bytes = 64 * 1024;
+  /// Optional crash-safe vote re-registration hook (see VoteRepinner).
+  VoteRepinner repin;
+};
+
+/// Per-tenant slice of RouterMetricsSnapshot. `service` is merged across
+/// the tenant's incarnations (counters from evicted incarnations are
+/// carried), so its counters are monotone for the lifetime of the router.
+struct TenantMetricsEntry {
+  std::string id;
+  MetricsSnapshot service;
+  uint64_t evictions = 0;
+  bool resident = false;
+};
+
+struct RouterMetricsSnapshot {
+  /// Counter rollup over every tenant (incl. evicted incarnations).
+  MetricsSnapshot aggregate;
+  /// Sorted by tenant id.
+  std::vector<TenantMetricsEntry> tenants;
+  uint64_t tenants_known = 0;
+  uint64_t tenants_resident = 0;
+  uint64_t admissions = 0;  // shard creations, incl. re-admissions
+  uint64_t evictions = 0;
+  uint64_t resident_footprint_bytes = 0;
+};
+
+/// Prometheus text export of the whole registry: aggregate wfit_service_*
+/// families, labelled wfit_tenant_*{tenant="..."} series, and router-level
+/// wfit_router_* families.
+void ExportRouterText(const RouterMetricsSnapshot& snapshot,
+                      std::ostream& os);
+std::string ExportRouterText(const RouterMetricsSnapshot& snapshot);
+
+class TenantRouter {
+ public:
+  explicit TenantRouter(TunerFactory factory,
+                        TenantRouterOptions options = {});
+  /// Shuts down (draining every resident shard) if still running.
+  ~TenantRouter();
+
+  TenantRouter(const TenantRouter&) = delete;
+  TenantRouter& operator=(const TenantRouter&) = delete;
+
+  /// Spawns the drain threads (if any) and the shared analysis pool. Must
+  /// be called exactly once, before any routed operation.
+  void Start();
+
+  /// Stops the scheduler, then drains and closes every resident shard
+  /// (applying pending feedback, taking shutdown checkpoints per the shard
+  /// options). Idempotent. Routed operations fail afterwards.
+  void Shutdown();
+
+  // --- Routed operations (create the shard on first touch) --------------
+  /// Blocking submission in the tenant's arrival order; returns false iff
+  /// the router is shut down or the tenant failed to admit.
+  bool Submit(const std::string& tenant, Statement stmt);
+  /// Non-blocking submission; false when the tenant's queue is full (a
+  /// rejection in that tenant's metrics), the router is shut down, or the
+  /// tenant failed to admit.
+  bool TrySubmit(const std::string& tenant, Statement stmt);
+  /// Deterministic submission at an explicit per-tenant sequence number
+  /// (see TunerService::SubmitAt; sequences already covered by recovered
+  /// state are dropped — exactly-once per tenant).
+  bool SubmitAt(const std::string& tenant, uint64_t seq, Statement stmt);
+
+  /// DBA votes, routed by tenant (see TunerService::Feedback*).
+  void Feedback(const std::string& tenant, IndexSet f_plus,
+                IndexSet f_minus);
+  void FeedbackAfter(const std::string& tenant, uint64_t after_seq,
+                     IndexSet f_plus, IndexSet f_minus);
+
+  /// The tenant's current published recommendation (recovered state for a
+  /// freshly re-admitted tenant); nullptr if admission failed.
+  std::shared_ptr<const RecommendationSnapshot> Recommendation(
+      const std::string& tenant);
+
+  /// Blocks until the tenant analyzed `n` statements or its shard stopped.
+  bool WaitUntilAnalyzed(const std::string& tenant, uint64_t n);
+  uint64_t analyzed(const std::string& tenant);
+
+  /// Per-statement recommendation history across incarnations: history
+  /// retired at evictions, then the live shard's (requires
+  /// options.shard.record_history). After clean evictions the
+  /// concatenation is seamless; after a crash the live part starts at the
+  /// recovered snapshot (see RecoveryStats).
+  std::vector<IndexSet> History(const std::string& tenant);
+
+  /// What the tenant's latest (re-)admission recovered.
+  RecoveryStats LastRecovery(const std::string& tenant);
+
+  // --- Scheduling / lifecycle hooks --------------------------------------
+  /// Manually runs one scheduler turn: drains one batch from the shard at
+  /// the head of the ready ring and re-queues it at the tail if it still
+  /// has work. Returns the tenant drained, or "" when nothing was ready.
+  /// The deterministic stepping mode used with drain_threads = 0.
+  std::string DrainOne();
+
+  /// Checkpoint-then-close the tenant's shard now. Returns false when the
+  /// tenant is not resident, is mid-drain, has buffered statements, or the
+  /// router has no checkpoint_root (eviction would be lossy). Note the
+  /// eviction (and lazy admission/recovery) runs under the router lock, so
+  /// its snapshot write — single-digit milliseconds for an idle shard —
+  /// briefly serializes routing; a kEvicting state that drops the lock
+  /// around the I/O is the known follow-up if eviction storms ever show up
+  /// in the drain-latency histogram.
+  bool Evict(const std::string& tenant);
+
+  /// Evicts every idle resident tenant; returns how many were evicted.
+  size_t EvictIdle();
+
+  /// Tenant ids with a live shard right now, sorted.
+  std::vector<std::string> ResidentTenants() const;
+
+  /// Tenant ids found under checkpoint_root on disk (what a restarted
+  /// router can re-admit), sorted. Empty without a checkpoint_root.
+  std::vector<std::string> PersistedTenants() const;
+
+  RouterMetricsSnapshot Metrics() const;
+  /// ExportRouterText(Metrics()) plus per-tenant eviction counters.
+  std::string ExportText() const;
+
+ private:
+  struct Tenant {
+    std::string id;
+    std::unique_ptr<TunerService> service;  // null when evicted / failed
+    enum class Sched { kIdle, kReady, kRunning } sched = Sched::kIdle;
+    /// In-flight routed calls holding `service` outside the router lock;
+    /// eviction requires 0.
+    int refs = 0;
+    uint64_t last_active = 0;  // logical LRU stamp
+    uint64_t footprint = 0;    // bytes while resident
+    uint64_t footprint_hint = 0;  // last measured snapshot size
+    uint64_t evictions = 0;
+    /// Carried across incarnations.
+    MetricsSnapshot retired;
+    std::vector<IndexSet> retired_history;
+    TunerService::PendingVotes carried_votes;
+    RecoveryStats last_recovery;
+  };
+
+  /// Finds or lazily admits the tenant; may evict others to make room.
+  /// After Shutdown has begun, admission is refused (a freshly admitted
+  /// shard would never be scheduled) unless `admit_while_stopping` — the
+  /// override Shutdown itself uses to flush carried votes. Returns null
+  /// when admission failed or was refused. Lock held.
+  Tenant* GetOrAdmitLocked(const std::string& id,
+                           bool admit_while_stopping = false);
+  /// Evicts LRU idle shards until the shard about to be admitted (its
+  /// estimated `incoming_bytes`) fits under the residency bounds.
+  void EnsureCapacityLocked(uint64_t incoming_bytes);
+  /// Checkpoint-then-close; requires an idle shard. Lock held.
+  bool EvictLocked(Tenant* t);
+  /// Re-queues the shard after a drain turn (or idles it). Lock held.
+  void FinishTurnLocked(Tenant* t);
+  /// Schedules the shard if it has deliverable work. Lock held.
+  void NotifyReadyLocked(Tenant* t);
+  void DrainLoop();
+  /// Pops the next ready shard, marking it running. Lock held.
+  Tenant* NextReadyLocked();
+
+  TunerFactory factory_;
+  TenantRouterOptions options_;
+  std::unique_ptr<WorkerPool> analysis_pool_;  // shared; null when serial
+
+  mutable std::mutex mu_;
+  std::condition_variable ready_cv_;
+  std::map<std::string, std::unique_ptr<Tenant>> tenants_;
+  std::deque<Tenant*> ready_;
+  std::vector<std::thread> drain_threads_;
+  bool started_ = false;
+  bool stopping_ = false;
+  uint64_t activity_clock_ = 0;
+  uint64_t admissions_ = 0;
+  uint64_t evictions_ = 0;
+  uint64_t resident_count_ = 0;
+  uint64_t resident_bytes_ = 0;
+};
+
+}  // namespace wfit::service
+
+#endif  // WFIT_SERVICE_TENANT_ROUTER_H_

@@ -237,13 +237,73 @@ void TunerService::Start() {
   worker_ = std::thread([this] { WorkerLoop(); });
 }
 
+void TunerService::StartDetached(WorkerPool* analysis_pool) {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  WFIT_CHECK(!started_, "TunerService started twice");
+  started_ = true;
+  detached_ = true;
+  if (analysis_pool != nullptr) {
+    tuner_->SetAnalysisPool(analysis_pool);
+  }
+  // The draining thread participates in every ParallelFor, so the
+  // effective analysis width is the shared pool plus one.
+  metrics_.SetAnalysisThreads(
+      analysis_pool == nullptr ? 1 : analysis_pool->num_threads() + 1);
+  Publish();  // initial configuration (recovered state after Open)
+}
+
 void TunerService::Shutdown() {
   queue_.Close();
   std::lock_guard<std::mutex> lock(lifecycle_mu_);
-  if (started_ && !joined_) {
+  if (!started_) return;
+  if (detached_) {
+    if (finished_) return;
+    finished_ = true;
+    while (ProcessBatch() > 0) {
+    }
+    DrainTail(/*apply_all_feedback=*/true,
+              /*force_checkpoint=*/options_.checkpoint_on_shutdown);
+  } else if (!joined_) {
     worker_.join();
     joined_ = true;
   }
+}
+
+void TunerService::FinishDetached() { Shutdown(); }
+
+size_t TunerService::ProcessBatch() {
+  std::vector<Statement> batch;
+  batch.reserve(options_.max_batch);
+  uint64_t first_seq = 0;
+  size_t n = queue_.TryPopBatch(&batch, options_.max_batch, &first_seq);
+  if (n > 0) AnalyzeBatch(batch, first_seq, n);
+  return n;
+}
+
+TunerService::PendingVotes TunerService::CloseForEviction() {
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    WFIT_CHECK(detached_, "CloseForEviction requires a detached service");
+    WFIT_CHECK(!finished_, "CloseForEviction on a finished service");
+    finished_ = true;
+  }
+  queue_.Close();
+  while (ProcessBatch() > 0) {
+  }
+  // Only votes that are already due: ASAP votes plus votes keyed to
+  // statements this incarnation analyzed. Future-keyed votes must survive
+  // the eviction un-applied.
+  const uint64_t done = analyzed();
+  bool fed = ApplyFeedback(done, /*inclusive=*/false, /*with_asap=*/true,
+                           /*boundary=*/done, /*post=*/true);
+  if (fed) Publish();
+  PendingVotes future;
+  {
+    std::lock_guard<std::mutex> lock(feedback_mu_);
+    future.swap(pending_feedback_);
+  }
+  DrainTail(/*apply_all_feedback=*/false, /*force_checkpoint=*/true);
+  return future;
 }
 
 bool TunerService::Submit(Statement stmt) {
@@ -441,68 +501,78 @@ void TunerService::WorkerLoop() {
     uint64_t first_seq = 0;
     size_t n = queue_.PopBatch(&batch, options_.max_batch, &first_seq);
     if (n == 0) break;  // closed and drained
-    metrics_.OnBatch(n);
-    // Write-ahead: the whole batch hits the journal (one fsync) before any
-    // of it is analyzed, so a crash can lose unanalyzed intake but never
-    // analyzed statements. Statements requeued by recovery are already in
-    // the journal and are not re-appended.
-    for (size_t i = 0; i < n; ++i) {
-      const uint64_t seq = first_seq + i;
-      if (seq < journal_stmt_skip_until_) continue;
-      JournalAppend([&](persist::JournalWriter* j) {
-        return j->AppendStatement(seq, batch[i]);
-      });
-    }
-    // One fsync covers the whole batch: every statement analyzed below is
-    // already durable.
-    SyncJournalIfDirty();
-    for (size_t i = 0; i < n; ++i) {
-      uint64_t seq = first_seq + i;
-      // Votes that arrived since the last boundary (ASAP, or keyed to an
-      // already-analyzed statement) apply before this statement — i.e. at
-      // boundary `seq`.
-      bool fed = ApplyFeedback(seq, /*inclusive=*/false, /*with_asap=*/true,
-                               /*boundary=*/seq, /*post=*/false);
-      Clock::time_point start = Clock::now();
-      tuner_->AnalyzeQuery(batch[i]);
-      metrics_.OnAnalyzed(MicrosSince(start));
-      metrics_.SetRepartitions(tuner_->RepartitionCount());
-      WhatIfCacheCounters cache = tuner_->WhatIfCache();
-      metrics_.SetWhatIfCache(cache.hits, cache.misses, cache.cross_hits);
-      // Deterministic interleave: votes keyed to this statement apply
-      // right after it, before its recommendation is recorded.
-      fed |= ApplyFeedback(seq, /*inclusive=*/true, /*with_asap=*/false,
-                           /*boundary=*/seq + 1, /*post=*/true);
-      (void)fed;
-      // The marker seals this statement's effects (its votes precede it in
-      // the journal): recovery replays the trajectory only through the
-      // last contiguous durable marker, so a crash can never replay past
-      // a boundary whose vote was still in memory. Synced once per batch —
-      // an unsynced tail rolls the recovery point back, never forward.
-      JournalAppend([&](persist::JournalWriter* j) {
-        return j->AppendAnalyzed(seq);
-      });
-      {
-        std::lock_guard<std::mutex> lock(progress_mu_);
-        analyzed_ = seq + 1;
-      }
-      if (options_.record_history) {
-        std::lock_guard<std::mutex> lock(history_mu_);
-        history_.push_back(tuner_->Recommendation());
-      }
-      Publish();
-      progress_cv_.notify_all();
-    }
-    // Trailing votes of the batch become durable before the worker blocks
-    // on the queue again (their effect is already published).
-    SyncJournalIfDirty();
-    MaybeCheckpoint(/*force=*/false);
-    PushJournalMetrics();
+    AnalyzeBatch(batch, first_seq, n);
   }
   // Drain path: votes cast after the final statement still take effect.
-  if (ApplyAllFeedback()) Publish();
+  DrainTail(/*apply_all_feedback=*/true,
+            /*force_checkpoint=*/options_.checkpoint_on_shutdown);
+}
+
+void TunerService::AnalyzeBatch(std::vector<Statement>& batch,
+                                uint64_t first_seq, size_t n) {
+  metrics_.OnBatch(n);
+  // Write-ahead: the whole batch hits the journal (one fsync) before any
+  // of it is analyzed, so a crash can lose unanalyzed intake but never
+  // analyzed statements. Statements requeued by recovery are already in
+  // the journal and are not re-appended.
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t seq = first_seq + i;
+    if (seq < journal_stmt_skip_until_) continue;
+    JournalAppend([&](persist::JournalWriter* j) {
+      return j->AppendStatement(seq, batch[i]);
+    });
+  }
+  // One fsync covers the whole batch: every statement analyzed below is
+  // already durable.
   SyncJournalIfDirty();
-  MaybeCheckpoint(/*force=*/options_.checkpoint_on_shutdown);
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t seq = first_seq + i;
+    // Votes that arrived since the last boundary (ASAP, or keyed to an
+    // already-analyzed statement) apply before this statement — i.e. at
+    // boundary `seq`.
+    bool fed = ApplyFeedback(seq, /*inclusive=*/false, /*with_asap=*/true,
+                             /*boundary=*/seq, /*post=*/false);
+    Clock::time_point start = Clock::now();
+    tuner_->AnalyzeQuery(batch[i]);
+    metrics_.OnAnalyzed(MicrosSince(start));
+    metrics_.SetRepartitions(tuner_->RepartitionCount());
+    WhatIfCacheCounters cache = tuner_->WhatIfCache();
+    metrics_.SetWhatIfCache(cache.hits, cache.misses, cache.cross_hits);
+    // Deterministic interleave: votes keyed to this statement apply
+    // right after it, before its recommendation is recorded.
+    fed |= ApplyFeedback(seq, /*inclusive=*/true, /*with_asap=*/false,
+                         /*boundary=*/seq + 1, /*post=*/true);
+    (void)fed;
+    // The marker seals this statement's effects (its votes precede it in
+    // the journal): recovery replays the trajectory only through the
+    // last contiguous durable marker, so a crash can never replay past
+    // a boundary whose vote was still in memory. Synced once per batch —
+    // an unsynced tail rolls the recovery point back, never forward.
+    JournalAppend([&](persist::JournalWriter* j) {
+      return j->AppendAnalyzed(seq);
+    });
+    {
+      std::lock_guard<std::mutex> lock(progress_mu_);
+      analyzed_ = seq + 1;
+    }
+    if (options_.record_history) {
+      std::lock_guard<std::mutex> lock(history_mu_);
+      history_.push_back(tuner_->Recommendation());
+    }
+    Publish();
+    progress_cv_.notify_all();
+  }
+  // Trailing votes of the batch become durable before the consumer moves
+  // on (their effect is already published).
+  SyncJournalIfDirty();
+  MaybeCheckpoint(/*force=*/false);
+  PushJournalMetrics();
+}
+
+void TunerService::DrainTail(bool apply_all_feedback, bool force_checkpoint) {
+  if (apply_all_feedback && ApplyAllFeedback()) Publish();
+  SyncJournalIfDirty();
+  MaybeCheckpoint(force_checkpoint);
   PushJournalMetrics();
   {
     std::lock_guard<std::mutex> lock(progress_mu_);

@@ -147,7 +147,57 @@ class TunerService {
 
   /// Closes the intake, waits for every buffered statement to be analyzed
   /// and pending feedback to be applied, and joins the worker. Idempotent.
+  /// In detached mode (StartDetached) the caller must have stopped issuing
+  /// ProcessBatch calls first; Shutdown then drains inline.
   void Shutdown();
+
+  // --- Detached mode (TenantRouter) --------------------------------------
+  // A detached service spawns no worker thread: an external scheduler (the
+  // tenant router's shared drain threads) calls ProcessBatch whenever the
+  // queue has deliverable work. ProcessBatch / FinishDetached /
+  // CloseForEviction / Shutdown must be externally serialized per service;
+  // producers (Submit*/Feedback*/Recommendation/Wait*) stay free-threaded
+  // exactly as in owned-worker mode.
+
+  /// Votes keyed to statement boundaries the service has not reached yet
+  /// (extracted at eviction, re-registered on the recovered incarnation).
+  using PendingVotes =
+      std::multimap<uint64_t, std::pair<IndexSet, IndexSet>>;
+
+  /// Starts the service without a worker thread. `analysis_pool` (may be
+  /// null for serial analysis) is shared across services for
+  /// intra-statement fan-out; the service does not own it. Mutually
+  /// exclusive with Start().
+  void StartDetached(WorkerPool* analysis_pool);
+
+  /// Drains at most one batch (non-blocking): pops up to max_batch
+  /// contiguous statements, write-ahead journals them, analyzes each with
+  /// deterministic feedback interleaving, publishes, and checkpoints on
+  /// cadence — the exact per-batch path of the owned worker. Returns the
+  /// number of statements analyzed (0 = nothing deliverable).
+  size_t ProcessBatch();
+
+  /// Closes the intake, drains every remaining batch, applies all pending
+  /// feedback and takes the shutdown checkpoint (if configured). After
+  /// this the service is finished; ProcessBatch must not be called again.
+  void FinishDetached();
+
+  /// True when ProcessBatch would analyze at least one statement now (the
+  /// router's scheduling predicate).
+  bool HasDeliverableWork() const { return queue_.CanPop(); }
+
+  /// Buffered statements (including non-contiguous ones); 0 is the
+  /// idleness predicate for lossless eviction.
+  size_t QueueDepth() const { return queue_.depth(); }
+
+  /// The lossless eviction path: closes the intake (the router only evicts
+  /// idle services, so the drain is empty in practice), applies feedback
+  /// that is already due (ASAP votes and votes keyed to analyzed
+  /// statements), takes a final checkpoint unconditionally, and returns
+  /// the votes keyed to future boundaries so the router can re-register
+  /// them on the recovered incarnation — eviction never applies a vote
+  /// early and never loses one.
+  PendingVotes CloseForEviction();
 
   /// Blocking submission in arrival order; returns false iff shut down.
   bool Submit(Statement stmt);
@@ -193,6 +243,16 @@ class TunerService {
 
  private:
   void WorkerLoop();
+  /// The shared per-batch path: WAL append + fsync, per-statement analysis
+  /// with deterministic feedback interleaving, publication, cadence
+  /// checkpointing. Worker thread or externally-serialized caller only.
+  void AnalyzeBatch(std::vector<Statement>& batch, uint64_t first_seq,
+                    size_t n);
+  /// End-of-stream epilogue: remaining feedback (all of it when
+  /// `apply_all_feedback`, only due votes otherwise), final checkpoint
+  /// (`force_checkpoint` overrides options.checkpoint_on_shutdown), and
+  /// the worker-done handshake.
+  void DrainTail(bool apply_all_feedback, bool force_checkpoint);
   /// Applies ASAP feedback plus keyed feedback with after_seq < `seq`
   /// (with_asap) or after_seq <= `seq` (boundary application), journaling
   /// each applied vote at `boundary` (the analyzed count at application
@@ -240,6 +300,8 @@ class TunerService {
   std::mutex lifecycle_mu_;
   bool started_ = false;
   bool joined_ = false;
+  bool detached_ = false;  // StartDetached: no worker thread
+  bool finished_ = false;  // detached service fully drained/evicted
 
   // Pending feedback: keyed entries apply right after their statement;
   // ASAP entries apply at the next statement boundary. FIFO within a key.

@@ -339,8 +339,12 @@ TEST(RecoveryTest, WalAheadOfAnalysisRequeuesIntakeAndKeepsVoteBoundaries) {
   EXPECT_EQ(stats.analyzed, 6u);
   EXPECT_EQ(stats.replayed_statements, 6u);
   EXPECT_EQ(stats.requeued_statements, 4u);
-  (*service)->Start();
+  // Re-pin the vote BEFORE Start(): statements 6..9 are requeued intake
+  // the worker analyzes the moment it spawns, and a vote registered after
+  // that may land past its boundary (the driver contract: votes for
+  // boundaries >= the recovery point re-register before analysis resumes).
   (*service)->FeedbackAfter(7, IndexSet{ids[0]}, IndexSet{ids[1]});
+  (*service)->Start();
   // The producer replays the whole workload: 0..5 are dropped as already
   // analyzed, 6..9 collide with the requeued copies and are dropped too.
   Produce(**service, w, 0, 10);

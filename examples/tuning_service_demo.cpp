@@ -17,6 +17,16 @@
 // The third run loads the latest snapshot, replays the journal suffix,
 // finishes the workload, and checks its recommendation trajectory against
 // the uninterrupted reference — bit-for-bit.
+//
+// SIGTERM/SIGINT trigger a GRACEFUL shutdown: producers stop, the service
+// drains, applies due feedback, and seals journal + final checkpoint — so
+// a restart recovers from the snapshot with zero journal replay. (SIGKILL
+// via --kill_after stays the crash-path test.)
+//
+// The per-tenant environment, vote schedule and trajectory verifier live
+// in src/cluster/demo_env.* and are shared with the wfit_server /
+// wfit_client fleet examples, so cluster trajectories can be verified
+// against references this demo produces.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -24,26 +34,26 @@
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <iostream>
 #include <memory>
-#include <sstream>
 #include <string>
 #include <thread>
-#include <unordered_map>
 #include <vector>
 
-#include "catalog/benchmark_schemas.h"
-#include "core/wfit.h"
+#include "cluster/demo_env.h"
 #include "harness/reporting.h"
-#include "optimizer/what_if.h"
 #include "service/tenant_router.h"
 #include "service/tuner_service.h"
-#include "workload/benchmark_trace.h"
 
 namespace {
 
 using namespace wfit;
+using cluster::DemoFleetEnv;
+using cluster::kDemoStage;
+using cluster::kDemoVoteOffset;
+using cluster::TenantEnv;
+using cluster::VoteForStage;
+using cluster::WriteAndVerifyTrajectory;
 
 struct Flags {
   std::string checkpoint_dir;
@@ -90,123 +100,18 @@ Flags ParseFlags(int argc, char** argv) {
   return flags;
 }
 
-/// Deterministic DBA votes, recomputable after a crash: each stage
-/// endorses one pre-interned index and vetoes another, rotating through
-/// the list.
-struct Vote {
-  IndexSet plus;
-  IndexSet minus;
-};
+/// Set by the SIGTERM/SIGINT handler; producers poll it and stop
+/// submitting, after which the normal Shutdown path seals everything.
+std::atomic<bool> g_stop{false};
 
-Vote VoteForStage(size_t stage, const std::vector<IndexId>& candidates) {
-  Vote v;
-  v.plus.Add(candidates[stage % candidates.size()]);
-  v.minus.Add(candidates[(stage + 1) % candidates.size()]);
-  return v;
+void InstallSignalHandlers() {
+  struct sigaction sa {};
+  sa.sa_handler = [](int) { g_stop.store(true); };
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
 }
 
-/// One tenant's fully private environment: catalog, pool, optimizer and a
-/// seeded workload — tenants are independent databases.
-struct TenantEnv {
-  explicit TenantEnv(size_t tenant, size_t statements) {
-    catalog = BuildBenchmarkCatalog(BenchmarkScale{0.2});
-    pool = std::make_unique<IndexPool>(&catalog);
-    cost_model = std::make_unique<CostModel>(&catalog, pool.get());
-    optimizer = std::make_unique<WhatIfOptimizer>(cost_model.get());
-    TraceOptions trace_options;
-    trace_options.seed += 31 * static_cast<uint64_t>(tenant);
-    trace_options.num_phases = 4;
-    trace_options.statements_per_phase = (statements + 3) / 4;
-    workload = ToWorkload(GenerateBenchmarkTrace(catalog, trace_options));
-    workload.resize(statements);
-    auto intern = [&](const char* table, std::vector<const char*> cols) {
-      IndexDef def;
-      def.table = *catalog.FindTable(table);
-      for (const char* c : cols) {
-        def.columns.push_back(*catalog.FindColumn(def.table, c));
-      }
-      return pool->Intern(def);
-    };
-    vote_candidates = {
-        intern("tpch.lineitem", {"l_shipdate"}),
-        intern("tpch.lineitem", {"l_partkey"}),
-        intern("tpch.orders", {"o_orderdate"}),
-    };
-  }
-
-  Catalog catalog;
-  std::unique_ptr<IndexPool> pool;
-  std::unique_ptr<CostModel> cost_model;
-  std::unique_ptr<WhatIfOptimizer> optimizer;
-  Workload workload;
-  std::vector<IndexId> vote_candidates;
-};
-
-std::string TenantName(size_t t) { return "tenant-" + std::to_string(t); }
-
-/// Writes the "<seq> {ids}" trajectory lines (when out_path is nonempty)
-/// and verifies them against a reference run's file (when ref_path is
-/// nonempty). `label` prefixes the report lines ("" for the single-tenant
-/// flow, "tenant-i " per tenant). Returns 0 when consistent, 1 on an
-/// unreadable reference, 2 on trajectory divergence — the demo's
-/// exit-code convention.
-int WriteAndVerifyTrajectory(const std::vector<IndexSet>& history,
-                             uint64_t history_start,
-                             const std::string& out_path,
-                             const std::string& ref_path,
-                             const std::string& label) {
-  if (!out_path.empty()) {
-    std::ofstream out(out_path, std::ios::trunc);
-    for (size_t i = 0; i < history.size(); ++i) {
-      out << (history_start + i) << " " << history[i].ToString() << "\n";
-    }
-    std::cout << "[trajectory] " << label << "wrote " << history.size()
-              << " entries to " << out_path << "\n";
-  }
-  if (ref_path.empty()) return 0;
-  std::ifstream ref(ref_path);
-  if (!ref) {
-    std::cerr << "cannot read reference " << ref_path << "\n";
-    return 1;
-  }
-  std::unordered_map<uint64_t, std::string> expected;
-  std::string line;
-  while (std::getline(ref, line)) {
-    std::istringstream is(line);
-    uint64_t seq = 0;
-    is >> seq;
-    std::string rest;
-    std::getline(is, rest);
-    expected[seq] = rest;
-  }
-  size_t mismatches = 0;
-  for (size_t i = 0; i < history.size(); ++i) {
-    const uint64_t seq = history_start + i;
-    auto it = expected.find(seq);
-    std::string got = " ";
-    got += history[i].ToString();
-    if (it == expected.end() || it->second != got) {
-      if (++mismatches <= 5) {
-        std::cerr << "[verify] " << label << "statement " << seq << ": got"
-                  << got << ", reference"
-                  << (it == expected.end() ? std::string(" <missing>")
-                                           : it->second)
-                  << "\n";
-      }
-    }
-  }
-  if (mismatches > 0) {
-    std::cerr << "[verify] " << label << "FAILED: " << mismatches << " of "
-              << history.size()
-              << " recommendations diverge from the reference\n";
-    return 2;
-  }
-  std::cout << "[verify] " << label << "OK: " << history.size()
-            << " recommendations match the reference trajectory"
-            << " (statements " << history_start << ".."
-            << (history_start + history.size()) << ")\n";
-  return 0;
-}
+std::string TenantName(size_t t) { return DemoFleetEnv::TenantName(t); }
 
 /// The multi-tenant flow (--tenants=N): N independent databases behind one
 /// TenantRouter with a shared drain pool and a per-tenant checkpoint tree
@@ -215,14 +120,9 @@ int WriteAndVerifyTrajectory(const std::vector<IndexSet>& history,
 /// (<trajectory_out>.<i> / <reference>.<i>).
 int RunMultiTenant(const Flags& flags) {
   const size_t n = flags.tenants;
-  std::vector<std::unique_ptr<TenantEnv>> envs;
-  for (size_t t = 0; t < n; ++t) {
-    envs.push_back(std::make_unique<TenantEnv>(t, flags.statements));
-  }
+  DemoFleetEnv fleet(flags.statements);
+  for (size_t t = 0; t < n; ++t) fleet.Env(t);  // materialize up front
 
-  WfitOptions wfit_options;
-  wfit_options.candidates.idx_cnt = 16;
-  wfit_options.candidates.state_cnt = 256;
   service::TenantRouterOptions options;
   options.shard.queue_capacity = 64;
   options.shard.max_batch = 16;
@@ -234,37 +134,9 @@ int RunMultiTenant(const Flags& flags) {
   // Crash-safe vote pinning: the repin hook runs at every (re-)admission,
   // after recovery but before the shard is scheduled, so votes whose
   // journal record died with a crash are re-registered before the
-  // requeued intake can be analyzed. Boundaries are deterministic, so a
-  // cold start pins all of them and a recovery pins exactly the suffix.
-  const size_t kStage = 100;
-  const uint64_t kVoteOffset = 50;
-  options.repin = [&](const std::string& id,
-                      const service::RecoveryStats& recovery) {
-    size_t t = std::strtoull(id.substr(7).c_str(), nullptr, 10);
-    std::vector<service::PinnedVote> votes;
-    for (size_t stage_start = kStage;
-         stage_start < envs[t]->workload.size(); stage_start += kStage) {
-      const uint64_t vote_at = stage_start + kVoteOffset - 1;
-      if (recovery.analyzed <= vote_at &&
-          vote_at + 1 < envs[t]->workload.size()) {
-        Vote vote = VoteForStage(stage_start / kStage + t,
-                                 envs[t]->vote_candidates);
-        votes.push_back({vote_at, vote.plus, vote.minus});
-      }
-    }
-    return votes;
-  };
-  service::TenantRouter router(
-      [&](const std::string& id) {
-        size_t t = std::strtoull(id.substr(7).c_str(), nullptr, 10);
-        service::TenantTuner made;
-        made.tuner = std::make_unique<Wfit>(envs[t]->pool.get(),
-                                            envs[t]->optimizer.get(),
-                                            IndexSet{}, wfit_options);
-        made.pool = envs[t]->pool.get();
-        return made;
-      },
-      options);
+  // requeued intake can be analyzed.
+  options.repin = fleet.MakeRepinner();
+  service::TenantRouter router(fleet.MakeTunerFactory(), options);
   router.Start();
 
   // Admit every tenant (recovering any checkpoint subtree; the repin hook
@@ -306,24 +178,36 @@ int RunMultiTenant(const Flags& flags) {
   std::vector<std::thread> producers;
   for (size_t t = 0; t < n; ++t) {
     producers.emplace_back([&, t] {
-      for (size_t seq = 0; seq < envs[t]->workload.size(); ++seq) {
-        router.SubmitAt(TenantName(t), seq, envs[t]->workload[seq]);
+      const Workload& workload = fleet.Env(t).workload;
+      for (size_t seq = 0; seq < workload.size(); ++seq) {
+        if (g_stop.load()) return;
+        router.SubmitAt(TenantName(t), seq, workload[seq]);
       }
     });
   }
   for (auto& p : producers) p.join();
-  for (size_t t = 0; t < n; ++t) {
-    router.WaitUntilAnalyzed(TenantName(t), envs[t]->workload.size());
+  const bool interrupted = g_stop.load();
+  if (!interrupted) {
+    for (size_t t = 0; t < n; ++t) {
+      router.WaitUntilAnalyzed(TenantName(t), fleet.Env(t).workload.size());
+    }
   }
+  // Shutdown drains every shard, applies due feedback, and seals journal
+  // + final checkpoint — the graceful path for SIGTERM too.
   router.Shutdown();
   done.store(true);
   if (killer.joinable()) killer.join();
+  if (interrupted) {
+    std::cout << "[signal] graceful shutdown: all shards checkpointed, "
+                 "journals sealed — restart recovers without replay\n";
+    return 0;
+  }
 
   for (size_t t = 0; t < n; ++t) {
     auto snap = router.Recommendation(TenantName(t));
     std::cout << "[" << TenantName(t) << "] final after " << snap->analyzed
               << " statements: "
-              << snap->configuration.ToString(*envs[t]->pool) << "\n";
+              << snap->configuration.ToString(*fleet.Env(t).pool) << "\n";
   }
   harness::PrintRouterMetrics(std::cout, "multi-tenant tuning service",
                               router.Metrics());
@@ -361,37 +245,16 @@ int RunMultiTenant(const Flags& flags) {
 
 int main(int argc, char** argv) {
   Flags flags = ParseFlags(argc, argv);
+  InstallSignalHandlers();
   if (flags.tenants > 1) return RunMultiTenant(flags);
 
-  // Environment: the benchmark catalog at reduced scale plus a generated
-  // 4-phase trace, so the demo runs in seconds. Everything is seeded, so
-  // every invocation — including a recovery — sees the same workload.
-  Catalog catalog = BuildBenchmarkCatalog(BenchmarkScale{0.2});
-  IndexPool pool(&catalog);
-  CostModel cost_model(&catalog, &pool);
-  WhatIfOptimizer optimizer(&cost_model);
-  TraceOptions trace_options;
-  trace_options.num_phases = 4;
-  trace_options.statements_per_phase = (flags.statements + 3) / 4;
-  Workload workload =
-      ToWorkload(GenerateBenchmarkTrace(catalog, trace_options));
-  workload.resize(flags.statements);
-
-  // Vote candidates interned before anything else, in a fixed order, so
-  // their ids agree between the original and the recovered process.
-  auto intern = [&](const char* table, std::vector<const char*> cols) {
-    IndexDef def;
-    def.table = *catalog.FindTable(table);
-    for (const char* c : cols) {
-      def.columns.push_back(*catalog.FindColumn(def.table, c));
-    }
-    return pool.Intern(def);
-  };
-  std::vector<IndexId> vote_candidates = {
-      intern("tpch.lineitem", {"l_shipdate"}),
-      intern("tpch.lineitem", {"l_partkey"}),
-      intern("tpch.orders", {"o_orderdate"}),
-  };
+  // Environment: tenant 0 of the shared demo fleet — the benchmark
+  // catalog at reduced scale plus a generated 4-phase trace, so the demo
+  // runs in seconds. Everything is seeded, so every invocation —
+  // including a recovery — sees the same workload.
+  TenantEnv env(0, flags.statements);
+  IndexPool& pool = *env.pool;
+  Workload& workload = env.workload;
 
   WfitOptions wfit_options;
   wfit_options.candidates.idx_cnt = 16;
@@ -407,7 +270,8 @@ int main(int argc, char** argv) {
   // recovers whatever an earlier (possibly killed) process left behind.
   service::RecoveryStats recovery;
   auto opened = service::TunerService::Open(
-      std::make_unique<Wfit>(&pool, &optimizer, IndexSet{}, wfit_options),
+      std::make_unique<Wfit>(&pool, env.optimizer.get(), IndexSet{},
+                             wfit_options),
       &pool, service_options, &recovery);
   if (!opened.ok()) {
     std::cerr << "recovery failed: " << opened.status().ToString() << "\n";
@@ -432,15 +296,14 @@ int main(int argc, char** argv) {
   // after statement s+49 (mid-next-stage), so its boundary is pinned no
   // matter how threads interleave — which is what makes the trajectory
   // reproducible across crashes.
-  const size_t kStage = 100;
-  const uint64_t kVoteOffset = 50;
-  for (size_t stage_start = kStage; stage_start < workload.size();
-       stage_start += kStage) {
-    const uint64_t vote_at = stage_start + kVoteOffset - 1;
+  for (size_t stage_start = kDemoStage; stage_start < workload.size();
+       stage_start += kDemoStage) {
+    const uint64_t vote_at = stage_start + kDemoVoteOffset - 1;
     // Skip votes the recovered state already reflects (their effect was
     // journaled before the crash).
     if (recovered <= vote_at && vote_at + 1 < workload.size()) {
-      Vote vote = VoteForStage(stage_start / kStage, vote_candidates);
+      cluster::DemoVote vote =
+          VoteForStage(stage_start / kDemoStage, env.vote_candidates);
       std::cout << "[dba] stage " << stage_start << ": endorse "
                 << vote.plus.ToString(pool) << ", veto "
                 << vote.minus.ToString(pool) << " (after statement "
@@ -467,10 +330,11 @@ int main(int argc, char** argv) {
 
   // Deterministic staged replay: submit one stage from 3 producers, wait
   // for it to be analyzed, let the DBA inspect the snapshot, move on.
-  for (size_t stage_start = 0; stage_start < workload.size();
-       stage_start += kStage) {
+  for (size_t stage_start = 0;
+       stage_start < workload.size() && !g_stop.load();
+       stage_start += kDemoStage) {
     const size_t stage_end =
-        std::min(stage_start + kStage, workload.size());
+        std::min(stage_start + kDemoStage, workload.size());
     if (stage_end <= recovered) continue;  // replayed from the journal
     const size_t first = std::max<size_t>(stage_start, recovered);
     const int kProducers = 3;
@@ -479,21 +343,31 @@ int main(int argc, char** argv) {
       producers.emplace_back([&, p, first, stage_end] {
         for (size_t seq = first + static_cast<size_t>(p); seq < stage_end;
              seq += kProducers) {
+          if (g_stop.load()) return;
           service.SubmitAt(seq, workload[seq]);
         }
       });
     }
     for (auto& t : producers) t.join();
+    if (g_stop.load()) break;
     service.WaitUntilAnalyzed(stage_end);
     auto snap = service.Recommendation();
     std::cout << "[dba] after " << snap->analyzed << " statements (v"
               << snap->version << "): "
               << snap->configuration.ToString(pool) << "\n";
   }
+  // Shutdown applies pending feedback and (by default) takes the final
+  // checkpoint + seals the journal — shared by the normal and the
+  // graceful SIGTERM/SIGINT exits.
   service.Shutdown();
   // Only reached when the kill never fired (or was disabled): the waiter
   // unblocks at worker shutdown.
   if (killer.joinable()) killer.join();
+  if (g_stop.load()) {
+    std::cout << "[signal] graceful shutdown: state checkpointed, journal "
+                 "sealed — restart recovers without replay\n";
+    return 0;
+  }
 
   auto final_snap = service.Recommendation();
   std::cout << "\nFinal recommendation after " << final_snap->analyzed

@@ -1,0 +1,279 @@
+// Fleet client for wfit_server nodes: replays the shared demo workload
+// for N tenants over the wire (exactly-once kSubmitAt with redirect and
+// backpressure handling), registers the deterministic DBA vote schedule
+// up front, optionally triggers a LIVE tenant migration mid-workload,
+// then stitches each tenant's recommendation trajectory back together
+// from per-node kGetHistory segments and verifies it bit-for-bit against
+// a reference file produced by `tuning_service_demo --tenants=N`.
+//
+//   wfit_client --nodes=a=127.0.0.1:7601,b=127.0.0.1:7602 --tenants=2 \
+//       --statements=260 --migrate=tenant-0:120 \
+//       --trajectory_out=got --reference=ref [--shutdown_nodes]
+//
+// Exit codes: 0 consistent, 1 infrastructure failure, 2 trajectory
+// divergence (the demo's convention).
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/cluster_client.h"
+#include "cluster/demo_env.h"
+#include "cluster/placement.h"
+
+namespace {
+
+using namespace wfit;
+using cluster::ClusterClient;
+using cluster::DemoFleetEnv;
+
+struct Flags {
+  std::string nodes;
+  size_t tenants = 2;
+  size_t statements = 600;
+  std::string migrate;  // "TENANT:AFTER_N"
+  std::string trajectory_out;
+  std::string reference;
+  bool shutdown_nodes = false;
+};
+
+Flags ParseFlags(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&](const char* name) -> const char* {
+      std::string prefix = std::string("--") + name + "=";
+      return arg.rfind(prefix, 0) == 0 ? arg.c_str() + prefix.size()
+                                       : nullptr;
+    };
+    if (const char* v = value("nodes")) {
+      flags.nodes = v;
+    } else if (const char* v = value("tenants")) {
+      flags.tenants = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else if (const char* v = value("statements")) {
+      flags.statements = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else if (const char* v = value("migrate")) {
+      flags.migrate = v;
+    } else if (const char* v = value("trajectory_out")) {
+      flags.trajectory_out = v;
+    } else if (const char* v = value("reference")) {
+      flags.reference = v;
+    } else if (arg == "--shutdown_nodes") {
+      flags.shutdown_nodes = true;
+    } else {
+      std::cerr << "unknown flag: " << arg << "\n"
+                << "usage: wfit_client --nodes=SPEC [--tenants=N] "
+                   "[--statements=N] [--migrate=TENANT:AFTER_N] "
+                   "[--trajectory_out=F] [--reference=F] "
+                   "[--shutdown_nodes]\n";
+      std::exit(64);
+    }
+  }
+  if (flags.nodes.empty()) {
+    std::cerr << "wfit_client: --nodes is required\n";
+    std::exit(64);
+  }
+  return flags;
+}
+
+/// Registers tenant `t`'s whole deterministic vote schedule before any
+/// statement is submitted, mirroring the demo's pin-before-start rule.
+bool RegisterVotes(ClusterClient& client, DemoFleetEnv& fleet, size_t t) {
+  const std::string tenant = DemoFleetEnv::TenantName(t);
+  for (const service::PinnedVote& vote : fleet.PinnedVotesFor(t, 0)) {
+    net::Request req;
+    req.type = net::MsgType::kFeedbackAfter;
+    req.seq = vote.after_seq;
+    req.f_plus = vote.f_plus;
+    req.f_minus = vote.f_minus;
+    auto resp = client.Call(tenant, std::move(req));
+    if (!resp.ok() || resp->kind != net::RespKind::kOk) {
+      std::cerr << "[client] vote registration failed for " << tenant
+                << ": "
+                << (resp.ok() ? resp->message : resp.status().ToString())
+                << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags = ParseFlags(argc, argv);
+  auto parsed = cluster::ParseNodeList(flags.nodes);
+  if (!parsed.ok()) {
+    std::cerr << "bad --nodes: " << parsed.status().ToString() << "\n";
+    return 1;
+  }
+  const cluster::ClusterConfig config = std::move(*parsed);
+  DemoFleetEnv fleet(flags.statements);
+
+  // Optional migration trigger: once the tenant has analyzed AFTER_N
+  // statements, ask its current owner to hand it to the first node that
+  // is NOT the owner — a true mid-workload live migration.
+  std::string migrate_tenant;
+  uint64_t migrate_after = 0;
+  if (!flags.migrate.empty()) {
+    const size_t colon = flags.migrate.rfind(':');
+    if (colon == std::string::npos) {
+      std::cerr << "bad --migrate (want TENANT:AFTER_N)\n";
+      return 1;
+    }
+    migrate_tenant = flags.migrate.substr(0, colon);
+    migrate_after =
+        std::strtoull(flags.migrate.c_str() + colon + 1, nullptr, 10);
+    if (config.nodes.size() < 2) {
+      std::cerr << "--migrate needs at least 2 nodes\n";
+      return 1;
+    }
+  }
+
+  std::atomic<bool> failed{false};
+  std::thread migrator;
+  if (!migrate_tenant.empty()) {
+    migrator = std::thread([&] {
+      ClusterClient client(config);
+      while (!failed.load()) {
+        net::Request probe;
+        probe.type = net::MsgType::kGetAnalyzed;
+        auto resp = client.Call(migrate_tenant, probe);
+        if (resp.ok() && resp->kind == net::RespKind::kOk &&
+            resp->analyzed >= migrate_after) {
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+      if (failed.load()) return;
+      const cluster::NodeInfo* owner =
+          cluster::OwnerOf(client.config(), migrate_tenant);
+      std::string target;
+      for (const cluster::NodeInfo& n : client.config().nodes) {
+        if (owner == nullptr || n.id != owner->id) {
+          target = n.id;
+          break;
+        }
+      }
+      net::Request req;
+      req.type = net::MsgType::kMigrate;
+      req.target_node = target;
+      auto resp = client.Call(migrate_tenant, std::move(req));
+      if (!resp.ok() || resp->kind != net::RespKind::kOk) {
+        std::cerr << "[client] migration failed: "
+                  << (resp.ok() ? resp->message : resp.status().ToString())
+                  << "\n";
+        failed.store(true);
+        return;
+      }
+      std::cout << "[client] migrated " << migrate_tenant << " to "
+                << target << " in " << resp->count << "ms\n"
+                << std::flush;
+    });
+  }
+
+  // One producer per tenant: votes first, then the exactly-once replay.
+  std::vector<std::thread> producers;
+  for (size_t t = 0; t < flags.tenants; ++t) {
+    producers.emplace_back([&, t] {
+      ClusterClient client(config);
+      if (!RegisterVotes(client, fleet, t)) {
+        failed.store(true);
+        return;
+      }
+      const std::string tenant = DemoFleetEnv::TenantName(t);
+      const Workload& workload = fleet.Env(t).workload;
+      for (size_t seq = 0; seq < workload.size() && !failed.load();
+           ++seq) {
+        net::Request req;
+        req.type = net::MsgType::kSubmitAt;
+        req.seq = seq;
+        req.has_statement = true;
+        req.statement = workload[seq];
+        auto resp = client.Call(tenant, std::move(req));
+        if (!resp.ok() || resp->kind != net::RespKind::kOk) {
+          std::cerr << "[client] submit " << tenant << "#" << seq
+                    << " failed: "
+                    << (resp.ok() ? resp->message
+                                  : resp.status().ToString())
+                    << "\n";
+          failed.store(true);
+          return;
+        }
+      }
+      // Wait until the shard analyzed everything (it may still be
+      // draining its queue).
+      while (!failed.load()) {
+        net::Request probe;
+        probe.type = net::MsgType::kGetAnalyzed;
+        auto resp = client.Call(tenant, probe);
+        if (resp.ok() && resp->kind == net::RespKind::kOk &&
+            resp->analyzed >= workload.size()) {
+          return;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+    });
+  }
+  for (auto& p : producers) p.join();
+  if (migrator.joinable()) migrator.join();
+  if (failed.load()) return 1;
+
+  // Stitch each tenant's trajectory from per-node segments: a migrated
+  // tenant's prefix stays on the source (retired history), the suffix
+  // lives on the target; every segment self-describes its start.
+  int worst = 0;
+  ClusterClient admin(config);
+  for (size_t t = 0; t < flags.tenants; ++t) {
+    const std::string tenant = DemoFleetEnv::TenantName(t);
+    std::vector<std::optional<IndexSet>> stitched(flags.statements);
+    for (const cluster::NodeInfo& n : config.nodes) {
+      net::Request req;
+      req.type = net::MsgType::kGetHistory;
+      req.tenant = tenant;
+      auto resp = admin.CallNode(n.id, std::move(req));
+      if (!resp.ok() || resp->kind != net::RespKind::kOk) continue;
+      for (size_t i = 0; i < resp->history.size(); ++i) {
+        const uint64_t seq = resp->history_start + i;
+        if (seq < stitched.size()) stitched[seq] = resp->history[i];
+      }
+    }
+    std::vector<IndexSet> history;
+    bool gap = false;
+    for (size_t seq = 0; seq < stitched.size(); ++seq) {
+      if (!stitched[seq].has_value()) {
+        std::cerr << "[client] " << tenant << ": no node holds statement "
+                  << seq << " of the trajectory\n";
+        gap = true;
+        break;
+      }
+      history.push_back(std::move(*stitched[seq]));
+    }
+    if (gap) {
+      worst = std::max(worst, 2);
+      continue;
+    }
+    std::string suffix = ".";
+    suffix += std::to_string(t);
+    int code = cluster::WriteAndVerifyTrajectory(
+        history, /*history_start=*/0,
+        flags.trajectory_out.empty() ? "" : flags.trajectory_out + suffix,
+        flags.reference.empty() ? "" : flags.reference + suffix,
+        tenant + " ");
+    worst = std::max(worst, code);
+  }
+
+  if (flags.shutdown_nodes) {
+    for (const cluster::NodeInfo& n : config.nodes) {
+      net::Request req;
+      req.type = net::MsgType::kShutdownNode;
+      (void)admin.CallNode(n.id, std::move(req));
+    }
+    std::cout << "[client] requested shutdown of every node\n";
+  }
+  return worst;
+}

@@ -1,0 +1,134 @@
+// One node of a tuning fleet: a TunerNode (TenantRouter + RPC server +
+// placement) serving the shared demo environment, so any number of these
+// processes plus one wfit_client form a live multi-node deployment on
+// one machine:
+//
+//   wfit_server --node_id=a --listen=127.0.0.1:7601 \
+//       --nodes=a=127.0.0.1:7601,b=127.0.0.1:7602 --checkpoint_root=na &
+//   wfit_server --node_id=b --listen=127.0.0.1:7602 \
+//       --nodes=a=127.0.0.1:7601,b=127.0.0.1:7602 --checkpoint_root=nb &
+//   wfit_client --nodes=a=127.0.0.1:7601,b=127.0.0.1:7602 --tenants=2 \
+//       --migrate=tenant-0:120 --trajectory_out=got --reference=ref
+//
+// SIGTERM/SIGINT (or a kShutdownNode RPC) shut the node down gracefully:
+// every resident shard drains, applies due feedback, and seals journal +
+// final checkpoint, so a restart recovers with zero journal replay.
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "cluster/demo_env.h"
+#include "cluster/node.h"
+#include "cluster/placement.h"
+
+namespace {
+
+using namespace wfit;
+
+std::atomic<bool> g_stop{false};
+
+struct Flags {
+  std::string node_id;
+  std::string listen = "127.0.0.1:0";
+  std::string nodes;
+  std::string checkpoint_root;
+  size_t statements = 600;
+};
+
+Flags ParseFlags(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&](const char* name) -> const char* {
+      std::string prefix = std::string("--") + name + "=";
+      return arg.rfind(prefix, 0) == 0 ? arg.c_str() + prefix.size()
+                                       : nullptr;
+    };
+    if (const char* v = value("node_id")) {
+      flags.node_id = v;
+    } else if (const char* v = value("listen")) {
+      flags.listen = v;
+    } else if (const char* v = value("nodes")) {
+      flags.nodes = v;
+    } else if (const char* v = value("checkpoint_root")) {
+      flags.checkpoint_root = v;
+    } else if (const char* v = value("statements")) {
+      flags.statements = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else {
+      std::cerr << "unknown flag: " << arg << "\n"
+                << "usage: wfit_server --node_id=ID --nodes=SPEC "
+                   "[--listen=HOST:PORT] [--checkpoint_root=DIR] "
+                   "[--statements=N]\n";
+      std::exit(64);
+    }
+  }
+  if (flags.node_id.empty() || flags.nodes.empty()) {
+    std::cerr << "wfit_server: --node_id and --nodes are required\n";
+    std::exit(64);
+  }
+  return flags;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags = ParseFlags(argc, argv);
+  struct sigaction sa {};
+  sa.sa_handler = [](int) { g_stop.store(true); };
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+
+  auto config = cluster::ParseNodeList(flags.nodes);
+  if (!config.ok()) {
+    std::cerr << "bad --nodes: " << config.status().ToString() << "\n";
+    return 1;
+  }
+  const size_t colon = flags.listen.rfind(':');
+  if (colon == std::string::npos) {
+    std::cerr << "bad --listen (want HOST:PORT)\n";
+    return 1;
+  }
+
+  // Same per-shard settings as the demo's multi-tenant flow, so the
+  // fleet's trajectories verify against demo-produced references.
+  auto fleet =
+      std::make_shared<cluster::DemoFleetEnv>(flags.statements);
+  cluster::TunerNodeOptions options;
+  options.node_id = flags.node_id;
+  options.config = std::move(*config);
+  options.host = flags.listen.substr(0, colon);
+  options.port = static_cast<uint16_t>(
+      std::strtoul(flags.listen.c_str() + colon + 1, nullptr, 10));
+  options.router.shard.queue_capacity = 64;
+  options.router.shard.max_batch = 16;
+  options.router.shard.record_history = true;
+  options.router.shard.checkpoint_every_statements = 200;
+  options.router.checkpoint_root = flags.checkpoint_root;
+  options.router.analysis_threads = 1;
+  options.router.drain_threads = 2;
+  options.router.repin = fleet->MakeRepinner();
+
+  cluster::TunerNode node(fleet->MakeTunerFactory(), std::move(options));
+  Status st = node.Start();
+  if (!st.ok()) {
+    std::cerr << "start failed: " << st.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "[wfit_server] node " << node.node_id() << " listening on "
+            << flags.listen.substr(0, colon) << ":" << node.port() << "\n"
+            << std::flush;
+
+  while (!g_stop.load() && !node.ShutdownRequested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::cout << "[wfit_server] node " << node.node_id()
+            << " shutting down gracefully (final checkpoints + journal "
+               "seal)\n"
+            << std::flush;
+  node.Shutdown();
+  return 0;
+}

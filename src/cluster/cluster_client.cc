@@ -1,0 +1,120 @@
+#include "cluster/cluster_client.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace wfit::cluster {
+
+using net::RespKind;
+using net::Response;
+
+ClusterClient::ClusterClient(ClusterConfig config,
+                             ClusterClientOptions options)
+    : config_(std::move(config)), options_(options) {
+  config_.Normalize();
+}
+
+StatusOr<Response> ClusterClient::CallAddr(const std::string& node_id,
+                                           const std::string& host,
+                                           uint16_t port,
+                                           const net::Request& request) {
+  auto& conn = conns_[node_id];
+  if (conn == nullptr) conn = std::make_unique<net::Client>();
+  if (!conn->connected()) {
+    Status st = conn->Connect(host, port, options_.rpc);
+    if (!st.ok()) return st;
+  }
+  auto result = conn->Call(request);
+  if (!result.ok()) conns_.erase(node_id);  // stale conn; reconnect next time
+  return result;
+}
+
+void ClusterClient::RefreshConfigFrom(const std::string& host,
+                                      uint16_t port) {
+  net::Client probe;
+  if (!probe.Connect(host, port, options_.rpc).ok()) return;
+  net::Request req;
+  req.type = net::MsgType::kGetConfig;
+  auto resp = probe.Call(req);
+  if (!resp.ok() || resp->kind != RespKind::kOk) return;
+  ClusterConfig fresh;
+  if (DecodeClusterConfig(resp->text, &fresh).ok() &&
+      fresh.version > config_.version) {
+    config_ = std::move(fresh);
+  }
+}
+
+StatusOr<Response> ClusterClient::Call(const std::string& tenant,
+                                       net::Request request) {
+  request.tenant = tenant;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(options_.retry_deadline_ms);
+  // Where to aim first; redirects override this below.
+  const NodeInfo* owner = OwnerOf(config_, tenant);
+  if (owner == nullptr) {
+    return Status::FailedPrecondition("cluster client: empty config");
+  }
+  std::string node_id = owner->id;
+  std::string host = owner->host;
+  uint16_t port = owner->port;
+  int backoff_ms = 1;
+  Status last = Status::Internal("cluster client: no attempt made");
+  while (std::chrono::steady_clock::now() < deadline) {
+    auto result = CallAddr(node_id, host, port, request);
+    if (!result.ok()) {
+      // Transport failure (node restarting, handoff window): recompute
+      // the owner from the freshest config and retry after a pause.
+      last = result.status();
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms = std::min(backoff_ms * 2, 100);
+      if (const NodeInfo* again = OwnerOf(config_, tenant)) {
+        node_id = again->id;
+        host = again->host;
+        port = again->port;
+      }
+      continue;
+    }
+    switch (result->kind) {
+      case RespKind::kOk:
+      case RespKind::kError:
+        return result;
+      case RespKind::kNotLeader:
+        // Self-repair: aim at the advertised owner; when it advertises a
+        // newer config, pull the whole thing so FUTURE calls route right
+        // on the first try.
+        node_id = result->owner_id;
+        host = result->owner_host;
+        port = static_cast<uint16_t>(result->owner_port);
+        if (result->config_version > config_.version) {
+          RefreshConfigFrom(host, port);
+        }
+        // A redirect ping-pong during the handoff window resolves once
+        // kMigrateIn installs the target's config; give it a moment.
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+        backoff_ms = std::min(backoff_ms * 2, 100);
+        last = Status::Internal("cluster client: redirected to " + node_id);
+        continue;
+      case RespKind::kBusy:
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        last = Status::Internal("cluster client: backpressure at " +
+                                node_id);
+        continue;
+    }
+  }
+  return Status::Internal("cluster client: deadline exhausted for tenant " +
+                          tenant + " (" + last.ToString() + ")");
+}
+
+StatusOr<Response> ClusterClient::CallNode(const std::string& node_id,
+                                           net::Request request) {
+  const NodeInfo* node = config_.FindNode(node_id);
+  if (node == nullptr) {
+    return Status::NotFound("cluster client: unknown node " + node_id);
+  }
+  return CallAddr(node_id, node->host, node->port, request);
+}
+
+}  // namespace wfit::cluster

@@ -1,0 +1,62 @@
+// Fleet-aware client: routes each tenant's RPCs to the owning node
+// computed from its local copy of the ClusterConfig, and self-repairs
+// when the fleet disagrees. A kNotLeader redirect carries the owner's
+// address and config version — the client follows it, refreshes its
+// config from the node that knows better, and retries; kBusy
+// (backpressure) retries with a small delay. Both are bounded by a
+// deadline so a wedged fleet surfaces as a Status, not a hang.
+//
+// During a migration handoff there is a window where the source
+// redirects to the target while the target still bounces back (its
+// config catches up when kMigrateIn lands); the retry loop rides that
+// ping-pong out. NOT thread-safe: one ClusterClient per producer thread.
+#ifndef WFIT_CLUSTER_CLUSTER_CLIENT_H_
+#define WFIT_CLUSTER_CLUSTER_CLIENT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "cluster/placement.h"
+#include "common/status.h"
+#include "net/client.h"
+#include "net/wire.h"
+
+namespace wfit::cluster {
+
+struct ClusterClientOptions {
+  net::Client::Options rpc;
+  /// Budget for redirect chasing + busy retries per Call.
+  int retry_deadline_ms = 30000;
+};
+
+class ClusterClient {
+ public:
+  explicit ClusterClient(ClusterConfig config,
+                         ClusterClientOptions options = {});
+  /// Routes by tenant ownership, following redirects and riding out
+  /// kBusy backpressure. Returns the first kOk/kError response.
+  StatusOr<net::Response> Call(const std::string& tenant,
+                               net::Request request);
+  /// Sends to one specific node, no routing (admin RPCs, scrapes).
+  StatusOr<net::Response> CallNode(const std::string& node_id,
+                                   net::Request request);
+  const ClusterConfig& config() const { return config_; }
+
+ private:
+  StatusOr<net::Response> CallAddr(const std::string& node_id,
+                                   const std::string& host, uint16_t port,
+                                   const net::Request& request);
+  /// Pulls the full config from a node that advertised a newer version.
+  void RefreshConfigFrom(const std::string& host, uint16_t port);
+
+  ClusterConfig config_;
+  ClusterClientOptions options_;
+  /// Connection per node, reused across calls; dropped on RPC failure.
+  std::map<std::string, std::unique_ptr<net::Client>> conns_;
+};
+
+}  // namespace wfit::cluster
+
+#endif  // WFIT_CLUSTER_CLUSTER_CLIENT_H_

@@ -1,0 +1,155 @@
+#include "cluster/demo_env.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <unordered_map>
+
+namespace wfit::cluster {
+
+DemoVote VoteForStage(size_t stage, const std::vector<IndexId>& candidates) {
+  DemoVote v;
+  v.plus.Add(candidates[stage % candidates.size()]);
+  v.minus.Add(candidates[(stage + 1) % candidates.size()]);
+  return v;
+}
+
+TenantEnv::TenantEnv(size_t tenant, size_t statements) {
+  catalog = BuildBenchmarkCatalog(BenchmarkScale{0.2});
+  pool = std::make_unique<IndexPool>(&catalog);
+  cost_model = std::make_unique<CostModel>(&catalog, pool.get());
+  optimizer = std::make_unique<WhatIfOptimizer>(cost_model.get());
+  TraceOptions trace_options;
+  trace_options.seed += 31 * static_cast<uint64_t>(tenant);
+  trace_options.num_phases = 4;
+  trace_options.statements_per_phase = (statements + 3) / 4;
+  workload = ToWorkload(GenerateBenchmarkTrace(catalog, trace_options));
+  workload.resize(statements);
+  // Vote candidates interned before anything else, in a fixed order, so
+  // their ids agree between every process that builds this tenant.
+  auto intern = [&](const char* table, std::vector<const char*> cols) {
+    IndexDef def;
+    def.table = *catalog.FindTable(table);
+    for (const char* c : cols) {
+      def.columns.push_back(*catalog.FindColumn(def.table, c));
+    }
+    return pool->Intern(def);
+  };
+  vote_candidates = {
+      intern("tpch.lineitem", {"l_shipdate"}),
+      intern("tpch.lineitem", {"l_partkey"}),
+      intern("tpch.orders", {"o_orderdate"}),
+  };
+}
+
+size_t DemoFleetEnv::TenantIndex(const std::string& id) {
+  return static_cast<size_t>(
+      std::strtoull(id.substr(7).c_str(), nullptr, 10));
+}
+
+TenantEnv& DemoFleetEnv::Env(size_t tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = envs_[tenant];
+  if (slot == nullptr) {
+    slot = std::make_unique<TenantEnv>(tenant, statements_);
+  }
+  return *slot;
+}
+
+service::TunerFactory DemoFleetEnv::MakeTunerFactory() {
+  return [this](const std::string& id) {
+    TenantEnv& env = Env(TenantIndex(id));
+    WfitOptions wfit_options;
+    wfit_options.candidates.idx_cnt = 16;
+    wfit_options.candidates.state_cnt = 256;
+    service::TenantTuner made;
+    made.tuner = std::make_unique<Wfit>(env.pool.get(), env.optimizer.get(),
+                                        IndexSet{}, wfit_options);
+    made.pool = env.pool.get();
+    return made;
+  };
+}
+
+service::VoteRepinner DemoFleetEnv::MakeRepinner() {
+  return [this](const std::string& id,
+                const service::RecoveryStats& recovery) {
+    return PinnedVotesFor(TenantIndex(id), recovery.analyzed);
+  };
+}
+
+std::vector<service::PinnedVote> DemoFleetEnv::PinnedVotesFor(
+    size_t tenant, uint64_t from_seq) {
+  TenantEnv& env = Env(tenant);
+  std::vector<service::PinnedVote> votes;
+  for (size_t stage_start = kDemoStage; stage_start < env.workload.size();
+       stage_start += kDemoStage) {
+    const uint64_t vote_at = stage_start + kDemoVoteOffset - 1;
+    if (from_seq <= vote_at && vote_at + 1 < env.workload.size()) {
+      DemoVote vote = VoteForStage(stage_start / kDemoStage + tenant,
+                                   env.vote_candidates);
+      votes.push_back({vote_at, vote.plus, vote.minus});
+    }
+  }
+  return votes;
+}
+
+int WriteAndVerifyTrajectory(const std::vector<IndexSet>& history,
+                             uint64_t history_start,
+                             const std::string& out_path,
+                             const std::string& ref_path,
+                             const std::string& label) {
+  if (!out_path.empty()) {
+    std::ofstream out(out_path, std::ios::trunc);
+    for (size_t i = 0; i < history.size(); ++i) {
+      out << (history_start + i) << " " << history[i].ToString() << "\n";
+    }
+    std::cout << "[trajectory] " << label << "wrote " << history.size()
+              << " entries to " << out_path << "\n";
+  }
+  if (ref_path.empty()) return 0;
+  std::ifstream ref(ref_path);
+  if (!ref) {
+    std::cerr << "cannot read reference " << ref_path << "\n";
+    return 1;
+  }
+  std::unordered_map<uint64_t, std::string> expected;
+  std::string line;
+  while (std::getline(ref, line)) {
+    std::istringstream is(line);
+    uint64_t seq = 0;
+    is >> seq;
+    std::string rest;
+    std::getline(is, rest);
+    expected[seq] = rest;
+  }
+  size_t mismatches = 0;
+  for (size_t i = 0; i < history.size(); ++i) {
+    const uint64_t seq = history_start + i;
+    auto it = expected.find(seq);
+    std::string got = " ";
+    got += history[i].ToString();
+    if (it == expected.end() || it->second != got) {
+      if (++mismatches <= 5) {
+        std::cerr << "[verify] " << label << "statement " << seq << ": got"
+                  << got << ", reference"
+                  << (it == expected.end() ? std::string(" <missing>")
+                                           : it->second)
+                  << "\n";
+      }
+    }
+  }
+  if (mismatches > 0) {
+    std::cerr << "[verify] " << label << "FAILED: " << mismatches << " of "
+              << history.size()
+              << " recommendations diverge from the reference\n";
+    return 2;
+  }
+  std::cout << "[verify] " << label << "OK: " << history.size()
+            << " recommendations match the reference trajectory"
+            << " (statements " << history_start << ".."
+            << (history_start + history.size()) << ")\n";
+  return 0;
+}
+
+}  // namespace wfit::cluster

@@ -1,0 +1,109 @@
+// The deterministic demo fleet environment shared by the tuning-service
+// demo, the wfit_server / wfit_client examples, the cluster bench and
+// the migration tests. Each tenant gets a fully private database world
+// (catalog, index pool, optimizer, seeded workload) derived ONLY from
+// its tenant index — so any process that agrees on (tenant index,
+// statement count) regenerates the identical workload, vote candidates
+// and vote schedule. That is what lets a trajectory produced by a
+// two-node cluster with a mid-workload migration be compared bit-for-bit
+// against a reference produced by a single dedicated process.
+//
+// The environment, vote rotation (VoteForStage) and vote schedule
+// (stage length 100, boundary at stage_start + 49) are lifted verbatim
+// from examples/tuning_service_demo.cpp's multi-tenant flow and must
+// stay in lockstep with nothing — this IS the single definition now.
+#ifndef WFIT_CLUSTER_DEMO_ENV_H_
+#define WFIT_CLUSTER_DEMO_ENV_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "catalog/benchmark_schemas.h"
+#include "core/wfit.h"
+#include "optimizer/what_if.h"
+#include "service/tenant_router.h"
+#include "workload/benchmark_trace.h"
+
+namespace wfit::cluster {
+
+/// Deterministic DBA votes, recomputable anywhere: each stage endorses
+/// one pre-interned index and vetoes another, rotating through the list.
+struct DemoVote {
+  IndexSet plus;
+  IndexSet minus;
+};
+
+DemoVote VoteForStage(size_t stage, const std::vector<IndexId>& candidates);
+
+/// One tenant's fully private environment: catalog, pool, optimizer and
+/// a seeded workload — tenants are independent databases.
+struct TenantEnv {
+  TenantEnv(size_t tenant, size_t statements);
+
+  Catalog catalog;
+  std::unique_ptr<IndexPool> pool;
+  std::unique_ptr<CostModel> cost_model;
+  std::unique_ptr<WhatIfOptimizer> optimizer;
+  Workload workload;
+  std::vector<IndexId> vote_candidates;
+};
+
+/// Stage length of the demo's vote schedule: one vote per 100-statement
+/// stage, its boundary pinned after statement stage_start + 49.
+inline constexpr size_t kDemoStage = 100;
+inline constexpr uint64_t kDemoVoteOffset = 50;
+
+/// Lazily materializes TenantEnvs on demand, thread-safe (the tuner
+/// factory runs under the router lock while producer threads read
+/// workloads concurrently).
+class DemoFleetEnv {
+ public:
+  explicit DemoFleetEnv(size_t statements) : statements_(statements) {}
+
+  static std::string TenantName(size_t t) {
+    return "tenant-" + std::to_string(t);
+  }
+  /// Inverse of TenantName ("tenant-3" -> 3).
+  static size_t TenantIndex(const std::string& id);
+
+  size_t statements() const { return statements_; }
+  TenantEnv& Env(size_t tenant);
+
+  /// The demo's per-tenant tuner (WFIT, idx_cnt=16, state_cnt=256) —
+  /// identical construction on every (re-)admission, as the recovery
+  /// determinism contract requires.
+  service::TunerFactory MakeTunerFactory();
+
+  /// The demo's crash-safe vote re-registration hook: pins every vote
+  /// whose boundary the recovered state has not passed.
+  service::VoteRepinner MakeRepinner();
+
+  /// The votes of tenant `t` with boundaries >= from_seq — what a fresh
+  /// client registers up front (from_seq = 0 pins the whole schedule).
+  std::vector<service::PinnedVote> PinnedVotesFor(size_t tenant,
+                                                  uint64_t from_seq);
+
+ private:
+  size_t statements_;
+  std::mutex mu_;
+  std::map<size_t, std::unique_ptr<TenantEnv>> envs_;
+};
+
+/// Writes "<seq> {ids}" trajectory lines (when out_path is nonempty) and
+/// verifies them against a reference file (when ref_path is nonempty);
+/// `label` prefixes report lines. Returns 0 when consistent, 1 on an
+/// unreadable reference, 2 on divergence — the demo's exit-code
+/// convention, shared by every trajectory-verifying binary.
+int WriteAndVerifyTrajectory(const std::vector<IndexSet>& history,
+                             uint64_t history_start,
+                             const std::string& out_path,
+                             const std::string& ref_path,
+                             const std::string& label);
+
+}  // namespace wfit::cluster
+
+#endif  // WFIT_CLUSTER_DEMO_ENV_H_

@@ -1,0 +1,77 @@
+#include "net/client.h"
+
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "net/socket.h"
+
+namespace wfit::net {
+
+Status Client::Connect(const std::string& host, uint16_t port,
+                       Options options) {
+  Close();
+  options_ = options;
+  auto fd = ConnectTcp(host, port);
+  if (!fd.ok()) return fd.status();
+  fd_ = *fd;
+  timeval tv{};
+  tv.tv_sec = options_.timeout_ms / 1000;
+  tv.tv_usec = (options_.timeout_ms % 1000) * 1000;
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  reader_ = FrameReader(options_.max_frame_bytes);
+  return Status::Ok();
+}
+
+void Client::Close() {
+  CloseFd(fd_);
+  fd_ = -1;
+}
+
+StatusOr<Response> Client::Call(const Request& request) {
+  if (fd_ < 0) return Status::FailedPrecondition("client: not connected");
+  auto result = CallInner(request);
+  // Transport/protocol failure leaves the stream in an unknowable state
+  // (a late or partial response would answer the WRONG request next
+  // call); drop the connection so the caller reconnects cleanly.
+  if (!result.ok()) Close();
+  return result;
+}
+
+StatusOr<Response> Client::CallInner(const Request& request) {
+  WFIT_RETURN_IF_ERROR(WriteAll(fd_, EncodeFrame(EncodeRequest(request))));
+  std::string payload;
+  while (true) {
+    auto next = reader_.Next(&payload);
+    if (!next.ok()) return next.status();
+    if (*next) break;
+    char buf[64 * 1024];
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      reader_.Feed(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      return Status::Internal(
+          reader_.pending_bytes() > 0
+              ? "client: connection closed mid-RPC (torn response)"
+              : "client: connection closed before the response");
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::Internal("client: RPC timed out after " +
+                              std::to_string(options_.timeout_ms) + "ms");
+    }
+    return Status::Internal(std::string("client: recv: ") +
+                            std::strerror(errno));
+  }
+  Response resp;
+  WFIT_RETURN_IF_ERROR(DecodeResponse(payload, &resp));
+  return resp;
+}
+
+}  // namespace wfit::net

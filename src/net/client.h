@@ -1,0 +1,55 @@
+// Blocking RPC client for the framed wire protocol: one request frame
+// out, one response frame back, with socket timeouts so a hung peer
+// turns into a clean Status instead of a stuck thread. One Client is one
+// TCP connection; it is NOT thread-safe — use one per thread (the
+// cluster client in cluster/ wraps per-node connections).
+#ifndef WFIT_NET_CLIENT_H_
+#define WFIT_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "net/frame.h"
+#include "net/wire.h"
+
+namespace wfit::net {
+
+class Client {
+ public:
+  struct Options {
+    /// Send/receive timeout per syscall. Generous because an admin RPC
+    /// (migration handoff) packs and ships a whole checkpoint tree.
+    int timeout_ms = 30000;
+    uint32_t max_frame_bytes = kMaxFrameBytes;
+  };
+
+  Client() = default;
+  ~Client() { Close(); }
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  Status Connect(const std::string& host, uint16_t port, Options options);
+  Status Connect(const std::string& host, uint16_t port) {
+    return Connect(host, port, Options());
+  }
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// One round trip. Any transport or protocol failure closes the
+  /// connection (a half-consumed stream cannot be reused) and returns a
+  /// descriptive Status; the caller may Reconnect and retry.
+  StatusOr<Response> Call(const Request& request);
+
+ private:
+  StatusOr<Response> CallInner(const Request& request);
+
+  int fd_ = -1;
+  Options options_;
+  FrameReader reader_;
+};
+
+}  // namespace wfit::net
+
+#endif  // WFIT_NET_CLIENT_H_

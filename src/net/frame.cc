@@ -1,0 +1,74 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+#include "common/check.h"
+#include "common/crc32.h"
+
+namespace wfit::net {
+
+namespace {
+
+void PutU32(std::string* out, uint32_t v) {
+  char b[4];
+  b[0] = static_cast<char>(v & 0xff);
+  b[1] = static_cast<char>((v >> 8) & 0xff);
+  b[2] = static_cast<char>((v >> 16) & 0xff);
+  b[3] = static_cast<char>((v >> 24) & 0xff);
+  out->append(b, 4);
+}
+
+uint32_t ReadU32(const char* p) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(p[0])) |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[1])) << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[2])) << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[3])) << 24;
+}
+
+}  // namespace
+
+std::string EncodeFrame(std::string_view payload) {
+  WFIT_CHECK(payload.size() <= kMaxFrameBytes,
+             "EncodeFrame: payload exceeds the frame size bound");
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  PutU32(&out, static_cast<uint32_t>(payload.size()));
+  PutU32(&out, Crc32(payload));
+  out.append(payload);
+  return out;
+}
+
+StatusOr<bool> FrameReader::Next(std::string* payload) {
+  if (poisoned_) return poison_;
+  // Compact once the consumed prefix dominates, so a long-lived
+  // connection does not grow its buffer without bound.
+  if (pos_ > 0 && (pos_ >= buf_.size() || pos_ > (64u << 10))) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  if (buf_.size() - pos_ < kFrameHeaderBytes) return false;
+  const char* base = buf_.data() + pos_;
+  const uint32_t len = ReadU32(base);
+  if (len > max_frame_bytes_) {
+    poisoned_ = true;
+    poison_ = Status::InvalidArgument(
+        "frame: length prefix " + std::to_string(len) +
+        " exceeds the maximum frame size " +
+        std::to_string(max_frame_bytes_));
+    return poison_;
+  }
+  if (buf_.size() - pos_ < kFrameHeaderBytes + len) return false;
+  const uint32_t want_crc = ReadU32(base + 4);
+  std::string_view body(base + kFrameHeaderBytes, len);
+  const uint32_t got_crc = Crc32(body);
+  if (got_crc != want_crc) {
+    poisoned_ = true;
+    poison_ = Status::InvalidArgument("frame: payload CRC mismatch");
+    return poison_;
+  }
+  payload->assign(body);
+  pos_ += kFrameHeaderBytes + len;
+  return true;
+}
+
+}  // namespace wfit::net

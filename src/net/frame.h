@@ -1,0 +1,72 @@
+// Length-prefixed, CRC-guarded framing for the wire protocol — the same
+// `[u32 len][u32 crc32(payload)][payload]` layout the write-ahead journal
+// uses on disk (persist/journal), reused on the socket so one corruption
+// story covers both. The reader is incremental: feed it whatever the
+// kernel hands you and pull complete frames as they materialize; torn
+// frames simply wait for more bytes, while structural damage (an absurd
+// length prefix, a CRC mismatch) is a hard protocol error that poisons
+// the stream.
+#ifndef WFIT_NET_FRAME_H_
+#define WFIT_NET_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace wfit::net {
+
+/// Frames above this are refused on both sides: a checkpoint pack for a
+/// large tenant is tens of MiB, so 64 MiB leaves headroom while still
+/// catching a garbage length prefix (which is ~4 GiB half the time).
+inline constexpr uint32_t kMaxFrameBytes = 64u << 20;
+
+/// Bytes of framing overhead per frame (length + CRC words).
+inline constexpr size_t kFrameHeaderBytes = 8;
+
+/// Wraps `payload` in a frame ready to write to a socket.
+std::string EncodeFrame(std::string_view payload);
+
+/// Incremental frame extractor over a TCP byte stream.
+///
+///   reader.Feed(buf, n);                 // whatever recv() returned
+///   std::string payload;
+///   while (true) {
+///     auto next = reader.Next(&payload);
+///     if (!next.ok()) { /* protocol error: close the connection */ }
+///     if (!*next) break;                 // torn frame — need more bytes
+///     Handle(payload);
+///   }
+///
+/// After any non-OK Next() the stream is poisoned and every further call
+/// returns the same error: framing has no resync points, so the only safe
+/// recovery is closing the connection.
+class FrameReader {
+ public:
+  explicit FrameReader(uint32_t max_frame_bytes = kMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  void Feed(const char* data, size_t n) { buf_.append(data, n); }
+  void Feed(std::string_view data) { buf_.append(data); }
+
+  /// True and fills `*payload` when a complete frame was extracted; false
+  /// when more bytes are needed; non-OK on protocol damage.
+  StatusOr<bool> Next(std::string* payload);
+
+  /// Bytes buffered but not yet consumed by a complete frame. A nonzero
+  /// value at connection close means the peer died mid-frame.
+  size_t pending_bytes() const { return buf_.size() - pos_; }
+
+ private:
+  uint32_t max_frame_bytes_;
+  std::string buf_;
+  size_t pos_ = 0;   // consumed prefix of buf_
+  bool poisoned_ = false;
+  Status poison_;
+};
+
+}  // namespace wfit::net
+
+#endif  // WFIT_NET_FRAME_H_

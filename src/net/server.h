@@ -1,0 +1,132 @@
+// A small epoll TCP server for the tuning RPC protocol. One event-loop
+// thread multiplexes every connection (accept, framed reads, framed
+// writes) and runs FAST handlers inline — those must never block, which
+// is why the router grew TrySubmitAt (kBusy backpressure instead of
+// blocking). SLOW requests (migration, drain — seconds of checkpoint
+// I/O) hop to a single admin thread so the data plane stays live while
+// they run.
+//
+// Per-connection response ordering survives the two-thread split: while
+// a connection has a slow RPC in flight it is `busy`, and every frame
+// that arrives in the meantime is parked in that connection's backlog.
+// The admin thread answers the slow RPC, then drains the backlog in
+// arrival order (fast or slow alike) before clearing `busy` — so each
+// connection always sees responses in request order, pipelining included.
+#ifndef WFIT_NET_SERVER_H_
+#define WFIT_NET_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "net/frame.h"
+#include "net/wire.h"
+
+namespace wfit::net {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port; read it back with port().
+  uint16_t port = 0;
+  uint32_t max_frame_bytes = kMaxFrameBytes;
+};
+
+class Server {
+ public:
+  using Handler = std::function<Response(const Request&)>;
+  /// Routes a request type to the admin thread instead of the event loop.
+  using SlowPredicate = std::function<bool(MsgType)>;
+
+  /// `fast` runs on the event-loop thread and must not block; `slow` runs
+  /// on the admin thread and may take seconds. Both must be thread-safe
+  /// against each other (they run concurrently for different requests).
+  Server(Handler fast, Handler slow, SlowPredicate is_slow,
+         ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, spawns the event loop and admin threads. Once only.
+  Status Start();
+
+  /// Stops accepting, finishes queued admin jobs, closes connections
+  /// (best-effort final flush). Idempotent.
+  void Shutdown();
+
+  /// The bound port (after Start).
+  uint16_t port() const { return port_; }
+
+  uint64_t requests_served() const { return requests_served_.load(); }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    FrameReader reader;
+    std::mutex mu;
+    std::string out;            // encoded frames awaiting the socket
+    std::deque<std::string> backlog;  // frames parked while busy
+    bool busy = false;          // a slow RPC (or its backlog) in flight
+    bool closing = false;       // flush out, then close (protocol error)
+    bool dead = false;          // fd closed; drop any late writes
+    bool want_out = false;      // EPOLLOUT currently registered
+
+    explicit Conn(uint32_t max_frame) : reader(max_frame) {}
+  };
+
+  struct AdminJob {
+    std::shared_ptr<Conn> conn;
+    Request request;
+  };
+
+  void EventLoop();
+  void AdminLoop();
+  void AcceptReady();
+  void HandleReadable(const std::shared_ptr<Conn>& conn);
+  /// Decode + route one frame; called with conn not busy.
+  void DispatchInline(const std::shared_ptr<Conn>& conn,
+                      const std::string& payload);
+  /// Appends an encoded response frame; wakes the loop when called off
+  /// the event-loop thread.
+  void WriteResponse(const std::shared_ptr<Conn>& conn,
+                     const Response& resp, bool from_event_loop);
+  /// Flush attempts + epoll interest updates + reaping, every iteration.
+  void SweepConns();
+  void WakeLoop();
+
+  Handler fast_;
+  Handler slow_;
+  SlowPredicate is_slow_;
+  ServerOptions options_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  uint16_t port_ = 0;
+  std::map<int, std::shared_ptr<Conn>> conns_;  // event-loop thread only
+
+  std::thread loop_thread_;
+  std::thread admin_thread_;
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+  bool shut_down_ = false;
+
+  std::mutex admin_mu_;
+  std::condition_variable admin_cv_;
+  std::deque<AdminJob> admin_queue_;
+  bool admin_stop_ = false;
+
+  std::atomic<uint64_t> requests_served_{0};
+};
+
+}  // namespace wfit::net
+
+#endif  // WFIT_NET_SERVER_H_

@@ -1,0 +1,147 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace wfit::net {
+
+namespace {
+
+Status ErrnoStatus(const std::string& what, int err) {
+  return Status::Internal(what + ": " + std::strerror(err));
+}
+
+/// getaddrinfo for a numeric-or-named host; caller frees with
+/// freeaddrinfo.
+StatusOr<addrinfo*> Resolve(const std::string& host, uint16_t port,
+                            bool passive) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = passive ? AI_PASSIVE : 0;
+  addrinfo* result = nullptr;
+  const std::string service = std::to_string(port);
+  int rc = ::getaddrinfo(host.empty() ? nullptr : host.c_str(),
+                         service.c_str(), &hints, &result);
+  if (rc != 0) {
+    return Status::InvalidArgument("resolve " + host + ": " +
+                                   gai_strerror(rc));
+  }
+  return result;
+}
+
+}  // namespace
+
+StatusOr<int> ListenTcp(const std::string& host, uint16_t port,
+                        int backlog) {
+  auto resolved = Resolve(host, port, /*passive=*/true);
+  if (!resolved.ok()) return resolved.status();
+  addrinfo* list = *resolved;
+  Status last = Status::Internal("listen: no usable address");
+  for (addrinfo* ai = list; ai != nullptr; ai = ai->ai_next) {
+    int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last = ErrnoStatus("socket", errno);
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, ai->ai_addr, ai->ai_addrlen) != 0 ||
+        ::listen(fd, backlog) != 0) {
+      last = ErrnoStatus("bind/listen " + host + ":" + std::to_string(port),
+                         errno);
+      CloseFd(fd);
+      continue;
+    }
+    ::freeaddrinfo(list);
+    return fd;
+  }
+  ::freeaddrinfo(list);
+  return last;
+}
+
+StatusOr<int> ConnectTcp(const std::string& host, uint16_t port) {
+  auto resolved = Resolve(host, port, /*passive=*/false);
+  if (!resolved.ok()) return resolved.status();
+  addrinfo* list = *resolved;
+  Status last = Status::Internal("connect: no usable address");
+  for (addrinfo* ai = list; ai != nullptr; ai = ai->ai_next) {
+    int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last = ErrnoStatus("socket", errno);
+      continue;
+    }
+    int rc;
+    do {
+      rc = ::connect(fd, ai->ai_addr, ai->ai_addrlen);
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
+      last = ErrnoStatus("connect " + host + ":" + std::to_string(port),
+                         errno);
+      CloseFd(fd);
+      continue;
+    }
+    // RPCs are request/response; Nagle only adds latency here.
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    ::freeaddrinfo(list);
+    return fd;
+  }
+  ::freeaddrinfo(list);
+  return last;
+}
+
+StatusOr<uint16_t> LocalPort(int fd) {
+  sockaddr_storage addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return ErrnoStatus("getsockname", errno);
+  }
+  if (addr.ss_family == AF_INET) {
+    return ntohs(reinterpret_cast<sockaddr_in*>(&addr)->sin_port);
+  }
+  if (addr.ss_family == AF_INET6) {
+    return ntohs(reinterpret_cast<sockaddr_in6*>(&addr)->sin6_port);
+  }
+  return Status::Internal("getsockname: unexpected address family");
+}
+
+Status SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return ErrnoStatus("fcntl(F_GETFL)", errno);
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return ErrnoStatus("fcntl(F_SETFL)", errno);
+  }
+  return Status::Ok();
+}
+
+Status WriteAll(int fd, std::string_view data) {
+  while (!data.empty()) {
+    ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("send", errno);
+    }
+    data.remove_prefix(static_cast<size_t>(n));
+  }
+  return Status::Ok();
+}
+
+void CloseFd(int fd) {
+  if (fd < 0) return;
+  int rc;
+  do {
+    rc = ::close(fd);
+  } while (rc != 0 && errno == EINTR);
+}
+
+}  // namespace wfit::net

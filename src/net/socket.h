@@ -1,0 +1,40 @@
+// Thin POSIX socket helpers shared by the server and client: address
+// resolution, listen/connect, and full-buffer writes. Everything returns
+// Status instead of errno so callers compose with the rest of the
+// library's error handling.
+#ifndef WFIT_NET_SOCKET_H_
+#define WFIT_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace wfit::net {
+
+/// Creates a listening TCP socket bound to host:port (port 0 picks an
+/// ephemeral port — read it back with LocalPort). SO_REUSEADDR is set so
+/// restarts do not trip over TIME_WAIT.
+StatusOr<int> ListenTcp(const std::string& host, uint16_t port,
+                        int backlog = 64);
+
+/// Blocking connect to host:port.
+StatusOr<int> ConnectTcp(const std::string& host, uint16_t port);
+
+/// The port a socket is actually bound to (ephemeral-bind readback).
+StatusOr<uint16_t> LocalPort(int fd);
+
+Status SetNonBlocking(int fd);
+
+/// Writes the whole buffer, retrying on short writes and EINTR. Only for
+/// blocking sockets (the client); the server's event loop buffers
+/// partial writes itself.
+Status WriteAll(int fd, std::string_view data);
+
+/// close(2) tolerant of EINTR; safe on -1.
+void CloseFd(int fd);
+
+}  // namespace wfit::net
+
+#endif  // WFIT_NET_SOCKET_H_

@@ -77,6 +77,18 @@ bool IngestQueue::TryPush(Statement stmt) {
   return PushLocked(lock, seq, std::move(stmt), /*drop_duplicate=*/false);
 }
 
+PushAtResult IngestQueue::TryPushAt(uint64_t seq, Statement stmt) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (closed_) return PushAtResult::kClosed;
+  if (seq < next_pop_seq_) return PushAtResult::kDuplicate;
+  if (seq >= next_pop_seq_ + capacity_) return PushAtResult::kWouldBlock;
+  if (ring_[seq % capacity_].has_value()) return PushAtResult::kDuplicate;
+  if (seq >= next_ticket_) next_ticket_ = seq + 1;
+  // Preconditions above guarantee PushLocked cannot wait or collide.
+  PushLocked(lock, seq, std::move(stmt), /*drop_duplicate=*/true);
+  return PushAtResult::kAccepted;
+}
+
 size_t IngestQueue::PopBatch(std::vector<Statement>* out, size_t max_batch,
                              uint64_t* first_seq) {
   WFIT_CHECK(out != nullptr && max_batch > 0,

@@ -27,6 +27,17 @@
 
 namespace wfit::service {
 
+/// Outcome of a non-blocking explicit-sequence push (TryPushAt). The
+/// network front end maps these onto wire responses: kWouldBlock becomes a
+/// retryable Busy, kDuplicate is a success (exactly-once semantics — the
+/// statement is already covered), kClosed is a terminal error.
+enum class PushAtResult {
+  kAccepted,
+  kDuplicate,
+  kWouldBlock,
+  kClosed,
+};
+
 class IngestQueue {
  public:
   explicit IngestQueue(size_t capacity);
@@ -51,6 +62,13 @@ class IngestQueue {
   /// Non-blocking Push: returns false (without enqueueing) if the ring is
   /// full or the queue is closed.
   bool TryPush(Statement stmt);
+
+  /// Non-blocking PushAt: never waits for ring space. kWouldBlock when
+  /// `seq` is ≥ capacity slots ahead of the consumer (the caller should
+  /// retry later — backpressure without blocking an event loop), kDuplicate
+  /// when `seq` was already delivered or is already buffered (dropped,
+  /// first push wins), kClosed after Close().
+  PushAtResult TryPushAt(uint64_t seq, Statement stmt);
 
   /// Repositions the sequence domain so the first delivered statement is
   /// `seq` (recovery: statements below `seq` were already analyzed from

@@ -177,23 +177,39 @@ TenantRouter::Tenant* TenantRouter::GetOrAdmitLocked(
   }
   t->service = std::move(*opened);
   t->last_recovery = recovery;
+  if (!t->history_start_set) {
+    t->history_start =
+        recovery.snapshot_loaded ? recovery.snapshot_analyzed : 0;
+    t->history_start_set = true;
+  }
   t->service->StartDetached(analysis_pool_.get());
   for (auto& [after_seq, votes] : t->carried_votes) {
-    t->service->FeedbackAfter(after_seq, std::move(votes.first),
-                              std::move(votes.second));
+    t->service->FeedbackAfter(after_seq, votes.first, votes.second);
   }
-  t->carried_votes.clear();
   if (options_.repin) {
     // Votes lost to a crash have boundaries >= the recovery point; they
     // must be pinned before any requeued intake is scheduled below, or
-    // they would apply late.
+    // they would apply late. Votes the eviction path carried over (clean
+    // evictions and migration handoffs) were just re-registered above —
+    // the hook re-reporting one of those must not register it twice.
     for (PinnedVote& vote : options_.repin(id, recovery)) {
-      if (vote.after_seq >= recovery.analyzed) {
+      if (vote.after_seq < recovery.analyzed) continue;
+      auto [begin, end] = t->carried_votes.equal_range(vote.after_seq);
+      bool carried = false;
+      for (auto it2 = begin; it2 != end; ++it2) {
+        if (it2->second.first == vote.f_plus &&
+            it2->second.second == vote.f_minus) {
+          carried = true;
+          break;
+        }
+      }
+      if (!carried) {
         t->service->FeedbackAfter(vote.after_seq, std::move(vote.f_plus),
                                   std::move(vote.f_minus));
       }
     }
   }
+  t->carried_votes.clear();
   t->footprint = incoming_bytes;
   resident_bytes_ += t->footprint;
   ++resident_count_;
@@ -388,6 +404,25 @@ bool TenantRouter::SubmitAt(const std::string& tenant, uint64_t seq,
   return ok;
 }
 
+PushAtResult TenantRouter::TrySubmitAt(const std::string& tenant,
+                                       uint64_t seq, Statement stmt) {
+  Tenant* t = nullptr;
+  TunerService* service = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return PushAtResult::kClosed;
+    t = GetOrAdmitLocked(tenant);
+    if (t == nullptr) return PushAtResult::kClosed;
+    service = t->service.get();
+    ++t->refs;
+  }
+  PushAtResult result = service->TrySubmitAt(seq, std::move(stmt));
+  std::lock_guard<std::mutex> lock(mu_);
+  --t->refs;
+  if (result == PushAtResult::kAccepted) NotifyReadyLocked(t);
+  return result;
+}
+
 void TenantRouter::Feedback(const std::string& tenant, IndexSet f_plus,
                             IndexSet f_minus) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -455,6 +490,53 @@ RecoveryStats TenantRouter::LastRecovery(const std::string& tenant) {
   std::lock_guard<std::mutex> lock(mu_);
   Tenant* t = GetOrAdmitLocked(tenant);
   return t == nullptr ? RecoveryStats{} : t->last_recovery;
+}
+
+uint64_t TenantRouter::HistoryStart(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 0 : it->second->history_start;
+}
+
+bool TenantRouter::IsResident(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  return it != tenants_.end() && it->second->service != nullptr;
+}
+
+StatusOr<TunerService::PendingVotes> TenantRouter::TakeCarriedVotes(
+    const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return TunerService::PendingVotes{};
+  Tenant* t = it->second.get();
+  if (t->service != nullptr) {
+    return Status::FailedPrecondition(
+        "TakeCarriedVotes: tenant is resident — evict first");
+  }
+  TunerService::PendingVotes votes;
+  votes.swap(t->carried_votes);
+  return votes;
+}
+
+Status TenantRouter::SeedCarriedVotes(const std::string& tenant,
+                                      TunerService::PendingVotes votes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) {
+    auto entry = std::make_unique<Tenant>();
+    entry->id = tenant;
+    it = tenants_.emplace(tenant, std::move(entry)).first;
+  }
+  Tenant* t = it->second.get();
+  if (t->service != nullptr) {
+    return Status::FailedPrecondition(
+        "SeedCarriedVotes: tenant is already resident");
+  }
+  for (auto& [after_seq, vote] : votes) {
+    t->carried_votes.emplace(after_seq, std::move(vote));
+  }
+  return Status::Ok();
 }
 
 bool TenantRouter::Evict(const std::string& tenant) {

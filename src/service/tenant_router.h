@@ -179,6 +179,12 @@ class TenantRouter {
   /// (see TunerService::SubmitAt; sequences already covered by recovered
   /// state are dropped — exactly-once per tenant).
   bool SubmitAt(const std::string& tenant, uint64_t seq, Statement stmt);
+  /// Non-blocking SubmitAt for event-loop callers: kWouldBlock instead of
+  /// backpressure blocking (retry later), kDuplicate when the sequence is
+  /// already covered (exactly-once success), kClosed when the router is
+  /// shut down or admission failed.
+  PushAtResult TrySubmitAt(const std::string& tenant, uint64_t seq,
+                           Statement stmt);
 
   /// DBA votes, routed by tenant (see TunerService::Feedback*).
   void Feedback(const std::string& tenant, IndexSet f_plus,
@@ -205,6 +211,15 @@ class TenantRouter {
   /// What the tenant's latest (re-)admission recovered.
   RecoveryStats LastRecovery(const std::string& tenant);
 
+  /// Sequence number of the first entry History(tenant) covers on this
+  /// router: 0 for a tenant first admitted cold, the handoff snapshot's
+  /// analyzed count for one admitted from a migrated (or crash-recovered)
+  /// checkpoint tree. Non-admitting; 0 for unknown tenants.
+  uint64_t HistoryStart(const std::string& tenant) const;
+
+  /// True when the tenant currently has a live shard. Non-admitting.
+  bool IsResident(const std::string& tenant) const;
+
   // --- Scheduling / lifecycle hooks --------------------------------------
   /// Manually runs one scheduler turn: drains one batch from the shard at
   /// the head of the ready ring and re-queues it at the tail if it still
@@ -224,6 +239,24 @@ class TenantRouter {
 
   /// Evicts every idle resident tenant; returns how many were evicted.
   size_t EvictIdle();
+
+  // --- Migration handoff (cluster/) --------------------------------------
+  /// Moves out the future-keyed votes an eviction carried for this tenant
+  /// so they can be shipped to another node alongside the packed
+  /// checkpoint tree. FailedPrecondition while the tenant is resident
+  /// (evict first — taking votes from under a live shard would lose them);
+  /// an unknown tenant simply has none. After a successful take the next
+  /// local admission no longer re-registers them, so the tenant can only
+  /// continue where the votes went.
+  StatusOr<TunerService::PendingVotes> TakeCarriedVotes(
+      const std::string& tenant);
+
+  /// Registers carried votes ahead of the tenant's next local admission —
+  /// the receiving side of a migration handoff (the shipped checkpoint
+  /// tree must already be under checkpoint_root). FailedPrecondition when
+  /// the tenant is already resident.
+  Status SeedCarriedVotes(const std::string& tenant,
+                          TunerService::PendingVotes votes);
 
   /// Tenant ids with a live shard right now, sorted.
   std::vector<std::string> ResidentTenants() const;
@@ -253,6 +286,9 @@ class TenantRouter {
     std::vector<IndexSet> retired_history;
     TunerService::PendingVotes carried_votes;
     RecoveryStats last_recovery;
+    /// Sequence of the first local history entry (set at first admission).
+    uint64_t history_start = 0;
+    bool history_start_set = false;
   };
 
   /// Finds or lazily admits the tenant; may evict others to make room.

@@ -327,6 +327,22 @@ bool TunerService::SubmitAt(uint64_t seq, Statement stmt) {
   return true;
 }
 
+PushAtResult TunerService::TrySubmitAt(uint64_t seq, Statement stmt) {
+  PushAtResult result = queue_.TryPushAt(seq, std::move(stmt));
+  switch (result) {
+    case PushAtResult::kAccepted:
+      metrics_.OnSubmit();
+      break;
+    case PushAtResult::kWouldBlock:
+      metrics_.OnSubmitRejected();
+      break;
+    case PushAtResult::kDuplicate:
+    case PushAtResult::kClosed:
+      break;
+  }
+  return result;
+}
+
 void TunerService::Feedback(IndexSet f_plus, IndexSet f_minus) {
   std::lock_guard<std::mutex> lock(feedback_mu_);
   asap_feedback_.emplace_back(std::move(f_plus), std::move(f_minus));

@@ -210,6 +210,10 @@ class TunerService {
   /// shut down or when `seq` is already covered by recovered state (the
   /// statement is dropped — exactly-once analysis).
   bool SubmitAt(uint64_t seq, Statement stmt);
+  /// Non-blocking SubmitAt for event-loop callers (the network front end):
+  /// kWouldBlock instead of backpressure blocking, kDuplicate when `seq`
+  /// is already covered (dropped — exactly-once), kClosed when shut down.
+  PushAtResult TrySubmitAt(uint64_t seq, Statement stmt);
 
   /// Registers a DBA vote applied at the next statement boundary (i.e.
   /// before the next AnalyzeQuery), serialized with analysis.

@@ -1,0 +1,166 @@
+// Wire-framing robustness: fragmented and pipelined feeds, torn frames,
+// oversized length prefixes, CRC corruption, and truncated streams must
+// all resolve to either "wait for more bytes" or a clean Status — never
+// an abort, never a bogus payload.
+#include "net/frame.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace wfit::net {
+namespace {
+
+TEST(FrameTest, RoundTripsOneFrame) {
+  FrameReader reader;
+  reader.Feed(EncodeFrame("hello"));
+  std::string payload;
+  auto next = reader.Next(&payload);
+  ASSERT_TRUE(next.ok());
+  ASSERT_TRUE(*next);
+  EXPECT_EQ(payload, "hello");
+  next = reader.Next(&payload);
+  ASSERT_TRUE(next.ok());
+  EXPECT_FALSE(*next);
+  EXPECT_EQ(reader.pending_bytes(), 0u);
+}
+
+TEST(FrameTest, RoundTripsEmptyPayload) {
+  FrameReader reader;
+  reader.Feed(EncodeFrame(""));
+  std::string payload = "sentinel";
+  auto next = reader.Next(&payload);
+  ASSERT_TRUE(next.ok());
+  ASSERT_TRUE(*next);
+  EXPECT_EQ(payload, "");
+}
+
+TEST(FrameTest, ReassemblesByteByByteFragmentation) {
+  const std::string wire = EncodeFrame("fragmented payload");
+  FrameReader reader;
+  std::string payload;
+  for (size_t i = 0; i < wire.size(); ++i) {
+    reader.Feed(wire.data() + i, 1);
+    auto next = reader.Next(&payload);
+    ASSERT_TRUE(next.ok());
+    if (i + 1 < wire.size()) {
+      EXPECT_FALSE(*next) << "frame completed early at byte " << i;
+    } else {
+      EXPECT_TRUE(*next);
+    }
+  }
+  EXPECT_EQ(payload, "fragmented payload");
+}
+
+TEST(FrameTest, ExtractsPipelinedFramesInOrder) {
+  FrameReader reader;
+  std::string wire;
+  for (int i = 0; i < 100; ++i) {
+    wire += EncodeFrame("frame-" + std::to_string(i));
+  }
+  // Feed in awkward 7-byte chunks spanning frame boundaries.
+  size_t pos = 0;
+  int seen = 0;
+  while (pos < wire.size() || seen < 100) {
+    if (pos < wire.size()) {
+      const size_t n = std::min<size_t>(7, wire.size() - pos);
+      reader.Feed(wire.data() + pos, n);
+      pos += n;
+    }
+    while (true) {
+      std::string payload;
+      auto next = reader.Next(&payload);
+      ASSERT_TRUE(next.ok());
+      if (!*next) break;
+      EXPECT_EQ(payload, "frame-" + std::to_string(seen));
+      ++seen;
+    }
+  }
+  EXPECT_EQ(seen, 100);
+}
+
+TEST(FrameTest, RejectsOversizedLengthPrefix) {
+  // A length prefix beyond the bound must fail immediately — before the
+  // reader ever tries to buffer (or allocate) that much.
+  std::string wire = EncodeFrame("x");
+  wire[0] = '\xff';
+  wire[1] = '\xff';
+  wire[2] = '\xff';
+  wire[3] = '\xff';
+  FrameReader reader;
+  reader.Feed(wire);
+  std::string payload;
+  auto next = reader.Next(&payload);
+  ASSERT_FALSE(next.ok());
+  EXPECT_EQ(next.status().code(), StatusCode::kInvalidArgument);
+  // Poisoned: the same error again, not a retry.
+  auto again = reader.Next(&payload);
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FrameTest, RespectsCustomFrameBound) {
+  FrameReader reader(/*max_frame_bytes=*/16);
+  reader.Feed(EncodeFrame(std::string(17, 'a')));
+  std::string payload;
+  auto next = reader.Next(&payload);
+  ASSERT_FALSE(next.ok());
+  EXPECT_EQ(next.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FrameTest, RejectsCrcMismatch) {
+  std::string wire = EncodeFrame("payload under test");
+  wire[kFrameHeaderBytes + 3] ^= 0x40;  // flip one payload bit
+  FrameReader reader;
+  reader.Feed(wire);
+  std::string payload;
+  auto next = reader.Next(&payload);
+  ASSERT_FALSE(next.ok());
+  EXPECT_EQ(next.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(next.status().message().find("CRC"), std::string::npos);
+}
+
+TEST(FrameTest, CorruptHeaderCrcAlsoRejected) {
+  std::string wire = EncodeFrame("another payload");
+  wire[5] ^= 0x01;  // flip a bit of the stored CRC itself
+  FrameReader reader;
+  reader.Feed(wire);
+  std::string payload;
+  auto next = reader.Next(&payload);
+  ASSERT_FALSE(next.ok());
+}
+
+TEST(FrameTest, TruncatedStreamJustWaits) {
+  // A frame cut off mid-payload is indistinguishable from a slow sender:
+  // Next keeps returning false and pending_bytes exposes the leftover so
+  // a connection-close handler can report "torn frame".
+  std::string wire = EncodeFrame("truncated mid-payload");
+  wire.resize(wire.size() - 5);
+  FrameReader reader;
+  reader.Feed(wire);
+  std::string payload;
+  auto next = reader.Next(&payload);
+  ASSERT_TRUE(next.ok());
+  EXPECT_FALSE(*next);
+  EXPECT_EQ(reader.pending_bytes(), wire.size());
+}
+
+TEST(FrameTest, CompactsConsumedPrefix) {
+  // Long-lived connection: many frames through one reader must not grow
+  // the buffer without bound (the compaction path covers itself by the
+  // frames still decoding correctly after it triggers).
+  FrameReader reader;
+  const std::string big(70 * 1024, 'b');
+  for (int i = 0; i < 8; ++i) {
+    reader.Feed(EncodeFrame(big));
+    std::string payload;
+    auto next = reader.Next(&payload);
+    ASSERT_TRUE(next.ok());
+    ASSERT_TRUE(*next);
+    EXPECT_EQ(payload.size(), big.size());
+  }
+  EXPECT_EQ(reader.pending_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace wfit::net

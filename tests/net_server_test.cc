@@ -1,0 +1,282 @@
+// The epoll server + blocking client under friendly and hostile use:
+// round trips, pipelining (including slow-path admin RPCs interleaved
+// with fast ones on one connection — response order must match request
+// order), garbage bytes, half-frames, and peers that vanish mid-RPC.
+// Protocol damage must always surface as a clean Status on the affected
+// connection and leave the server serving everyone else.
+#include "net/server.h"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.h"
+#include "net/socket.h"
+
+namespace wfit::net {
+namespace {
+
+/// Echo server: fast requests answer immediately, kDrain is "slow" (admin
+/// thread + 20ms stall) so tests can overlap the two planes.
+class EchoServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    server_ = std::make_unique<Server>(
+        [this](const Request& req) {
+          fast_count_.fetch_add(1);
+          Response resp;
+          resp.text = "fast:" + req.tenant;
+          return resp;
+        },
+        [this](const Request& req) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+          slow_count_.fetch_add(1);
+          Response resp;
+          resp.text = "slow:" + req.tenant;
+          return resp;
+        },
+        [](MsgType type) { return type == MsgType::kDrain; });
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  Request Ping(const std::string& tag) {
+    Request req;
+    req.type = MsgType::kPing;
+    req.tenant = tag;
+    return req;
+  }
+
+  std::unique_ptr<Server> server_;
+  std::atomic<int> fast_count_{0};
+  std::atomic<int> slow_count_{0};
+};
+
+TEST_F(EchoServerTest, RoundTripsManyRequests) {
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+  for (int i = 0; i < 50; ++i) {
+    auto resp = client.Call(Ping(std::to_string(i)));
+    ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+    EXPECT_EQ(resp->kind, RespKind::kOk);
+    EXPECT_EQ(resp->text, "fast:" + std::to_string(i));
+  }
+  EXPECT_EQ(fast_count_.load(), 50);
+  EXPECT_EQ(server_->requests_served(), 50u);
+}
+
+TEST_F(EchoServerTest, ConcurrentClientsAreIsolated) {
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < 4; ++c) {
+    threads.emplace_back([&, c] {
+      Client client;
+      if (!client.Connect("127.0.0.1", server_->port()).ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int i = 0; i < 25; ++i) {
+        const std::string tag = std::to_string(c) + ":" + std::to_string(i);
+        auto resp = client.Call(Ping(tag));
+        if (!resp.ok() || resp->text != "fast:" + tag) {
+          failures.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+/// Writes raw bytes and reads framed responses without the Client's
+/// one-at-a-time discipline — for pipelining and hostile-input tests.
+struct RawConn {
+  int fd = -1;
+  FrameReader reader;
+
+  explicit RawConn(uint16_t port) {
+    auto connected = ConnectTcp("127.0.0.1", port);
+    if (connected.ok()) fd = *connected;
+  }
+  ~RawConn() { CloseFd(fd); }
+
+  StatusOr<Response> ReadResponse() {
+    std::string payload;
+    while (true) {
+      auto next = reader.Next(&payload);
+      if (!next.ok()) return next.status();
+      if (*next) break;
+      char buf[4096];
+      ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n <= 0) return Status::Internal("connection closed");
+      reader.Feed(buf, static_cast<size_t>(n));
+    }
+    Response resp;
+    WFIT_RETURN_IF_ERROR(DecodeResponse(payload, &resp));
+    return resp;
+  }
+};
+
+TEST_F(EchoServerTest, PipelinedRequestsAnswerInOrder) {
+  RawConn conn(server_->port());
+  ASSERT_GE(conn.fd, 0);
+  std::string wire;
+  for (int i = 0; i < 20; ++i) {
+    Request req;
+    req.type = MsgType::kPing;
+    req.tenant = std::to_string(i);
+    wire += EncodeFrame(EncodeRequest(req));
+  }
+  ASSERT_TRUE(WriteAll(conn.fd, wire).ok());
+  for (int i = 0; i < 20; ++i) {
+    auto resp = conn.ReadResponse();
+    ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+    EXPECT_EQ(resp->text, "fast:" + std::to_string(i));
+  }
+}
+
+TEST_F(EchoServerTest, SlowAndFastInterleavedKeepOrder) {
+  // slow, fast, slow, fast... pipelined in one burst: the admin-thread
+  // hop for slow requests must not let a later fast response overtake.
+  RawConn conn(server_->port());
+  ASSERT_GE(conn.fd, 0);
+  std::string wire;
+  std::vector<std::string> expect;
+  for (int i = 0; i < 6; ++i) {
+    Request req;
+    req.type = (i % 2 == 0) ? MsgType::kDrain : MsgType::kPing;
+    req.tenant = std::to_string(i);
+    expect.push_back((i % 2 == 0 ? "slow:" : "fast:") + req.tenant);
+    wire += EncodeFrame(EncodeRequest(req));
+  }
+  ASSERT_TRUE(WriteAll(conn.fd, wire).ok());
+  for (int i = 0; i < 6; ++i) {
+    auto resp = conn.ReadResponse();
+    ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+    EXPECT_EQ(resp->text, expect[i]) << "response " << i;
+  }
+  EXPECT_EQ(slow_count_.load(), 3);
+}
+
+TEST_F(EchoServerTest, SlowRequestDoesNotBlockOtherConnections) {
+  RawConn slow_conn(server_->port());
+  ASSERT_GE(slow_conn.fd, 0);
+  Request drain;
+  drain.type = MsgType::kDrain;
+  ASSERT_TRUE(
+      WriteAll(slow_conn.fd, EncodeFrame(EncodeRequest(drain))).ok());
+  // While the admin thread stalls 20ms, a fast request on another
+  // connection must complete well within that window.
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+  const auto t0 = std::chrono::steady_clock::now();
+  auto resp = client.Call(Ping("concurrent"));
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  ASSERT_TRUE(resp.ok());
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            1000);
+  auto slow_resp = slow_conn.ReadResponse();
+  ASSERT_TRUE(slow_resp.ok());
+  EXPECT_EQ(slow_resp->text, "slow:");
+}
+
+TEST_F(EchoServerTest, CorruptFrameGetsErrorResponseThenClose) {
+  RawConn conn(server_->port());
+  ASSERT_GE(conn.fd, 0);
+  std::string wire = EncodeFrame(EncodeRequest(Ping("x")));
+  wire[wire.size() - 1] ^= 0x20;  // flip a payload bit -> CRC mismatch
+  ASSERT_TRUE(WriteAll(conn.fd, wire).ok());
+  auto resp = conn.ReadResponse();
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_EQ(resp->kind, RespKind::kError);
+  EXPECT_EQ(resp->code, StatusCode::kInvalidArgument);
+  // After the error the server closes; further reads hit EOF.
+  auto eof = conn.ReadResponse();
+  EXPECT_FALSE(eof.ok());
+  // ...and the server still serves new connections.
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+  EXPECT_TRUE(client.Call(Ping("after")).ok());
+}
+
+TEST_F(EchoServerTest, UndecodablePayloadGetsErrorResponse) {
+  // Valid frame, garbage inside: the wire decoder (not the framer)
+  // rejects it; still an error response, not a dropped connection with
+  // no explanation and never an abort.
+  RawConn conn(server_->port());
+  ASSERT_GE(conn.fd, 0);
+  ASSERT_TRUE(
+      WriteAll(conn.fd, EncodeFrame("\x01\xee not a request")).ok());
+  auto resp = conn.ReadResponse();
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_EQ(resp->kind, RespKind::kError);
+}
+
+TEST_F(EchoServerTest, AbruptDisconnectMidFrameIsHarmless) {
+  {
+    RawConn conn(server_->port());
+    ASSERT_GE(conn.fd, 0);
+    const std::string wire = EncodeFrame(EncodeRequest(Ping("torn")));
+    // Half a frame, then vanish.
+    ASSERT_TRUE(
+        WriteAll(conn.fd, std::string_view(wire).substr(0, wire.size() / 2))
+            .ok());
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+  auto resp = client.Call(Ping("alive"));
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->text, "fast:alive");
+}
+
+TEST(NetClientTest, TornResponseStreamIsACleanStatus) {
+  // A "server" that reads the request and then sends half a response
+  // frame before closing: the client must report a mid-RPC close, not
+  // hang or crash.
+  auto listener = ListenTcp("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok());
+  auto port = LocalPort(*listener);
+  ASSERT_TRUE(port.ok());
+  std::thread fake_server([fd = *listener] {
+    int conn = ::accept(fd, nullptr, nullptr);
+    ASSERT_GE(conn, 0);
+    char buf[4096];
+    (void)::recv(conn, buf, sizeof(buf), 0);
+    Response resp;
+    resp.text = "you will never read all of this";
+    const std::string wire = EncodeFrame(EncodeResponse(resp));
+    (void)WriteAll(conn, std::string_view(wire).substr(0, wire.size() / 2));
+    CloseFd(conn);
+  });
+  Client client;
+  Client::Options opts;
+  opts.timeout_ms = 2000;
+  ASSERT_TRUE(client.Connect("127.0.0.1", *port, opts).ok());
+  Request req;
+  req.type = MsgType::kPing;
+  auto resp = client.Call(req);
+  ASSERT_FALSE(resp.ok());
+  EXPECT_NE(resp.status().message().find("mid-RPC"), std::string::npos)
+      << resp.status().ToString();
+  EXPECT_FALSE(client.connected());  // poisoned stream dropped
+  fake_server.join();
+  CloseFd(*listener);
+}
+
+TEST(NetClientTest, ConnectionRefusedIsAStatus) {
+  Client client;
+  // Port 1 is essentially never listening.
+  EXPECT_FALSE(client.Connect("127.0.0.1", 1).ok());
+}
+
+}  // namespace
+}  // namespace wfit::net

@@ -1,0 +1,211 @@
+// The multi-tenant checkpoint tree: reversible directory encoding,
+// stray-entry-tolerant listing (one foreign file in the root must not
+// take recovery down), and the pack/unpack migration format — which has
+// to reject every corruption a network hop could produce BEFORE writing
+// anything into the target's checkpoint root.
+#include "persist/tenant_tree.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/crc32.h"
+
+namespace fs = std::filesystem;
+
+namespace wfit::persist {
+namespace {
+
+/// Recomputes the trailer CRC after a mutation, so the test reaches the
+/// check BEHIND the CRC (magic, version, name vetting) — a plain bit
+/// flip only ever proves the CRC works.
+std::string Reseal(std::string pack) {
+  const uint32_t crc =
+      Crc32(std::string_view(pack).substr(0, pack.size() - 4));
+  for (int i = 0; i < 4; ++i) {
+    pack[pack.size() - 4 + i] = static_cast<char>((crc >> (8 * i)) & 0xff);
+  }
+  return pack;
+}
+
+std::string TempRoot(const std::string& tag) {
+  std::string dir = (fs::path(::testing::TempDir()) /
+                     ("wfit_tree_" + tag + "_" + std::to_string(::getpid())))
+                        .string();
+  fs::remove_all(dir);
+  return dir;
+}
+
+void WriteFile(const fs::path& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << contents;
+  ASSERT_TRUE(out.good()) << path;
+}
+
+std::string ReadFile(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in), {});
+}
+
+TEST(TenantDirCodecTest, RoundTripsHostileIds) {
+  for (const std::string& id :
+       {std::string("plain"), std::string("tenant-0"),
+        std::string("spaces and/slashes"), std::string(".."),
+        std::string("."), std::string("%41 already escaped"),
+        std::string("\x01\xff" "binary"), std::string("")}) {
+    const std::string dir = EncodeTenantDir(id);
+    EXPECT_EQ(DecodeTenantDir(dir), id) << "via " << dir;
+    // Encoded names are always safe path components.
+    EXPECT_EQ(dir.find('/'), std::string::npos);
+    EXPECT_NE(dir, ".");
+    EXPECT_NE(dir, "..");
+  }
+}
+
+TEST(ListTenantIdsTest, MissingRootIsAnEmptyTree) {
+  auto ids = ListTenantIds(TempRoot("missing"));
+  ASSERT_TRUE(ids.ok());
+  EXPECT_TRUE(ids->empty());
+}
+
+TEST(ListTenantIdsTest, SkipsStrayEntriesInsteadOfFailing) {
+  const std::string root = TempRoot("stray");
+  fs::create_directories(TenantCheckpointDir(root, "tenant-0"));
+  fs::create_directories(TenantCheckpointDir(root, "spaced tenant"));
+  // Strays a deployment can realistically drop into the root: an editor
+  // backup file, a lost+found-style directory whose name EncodeTenantDir
+  // could never have produced, and a tempfile.
+  WriteFile(fs::path(root) / "notes.txt", "not a tenant");
+  fs::create_directories(fs::path(root) / "has%zzbad-escape");
+  WriteFile(fs::path(root) / ".checkpoint.tmp", "");
+
+  uint64_t skipped = 0;
+  auto ids = ListTenantIds(root, &skipped);
+  ASSERT_TRUE(ids.ok()) << ids.status().ToString();
+  EXPECT_EQ(*ids,
+            (std::vector<std::string>{"spaced tenant", "tenant-0"}));
+  EXPECT_EQ(skipped, 3u);
+
+  // The counter is optional.
+  auto again = ListTenantIds(root);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, *ids);
+}
+
+TEST(CheckpointPackTest, RoundTripsATenantTree) {
+  const std::string src = TempRoot("pack_src");
+  fs::create_directories(src);
+  const std::string journal("journal bytes\n\x00\x01\x02", 17);
+  WriteFile(fs::path(src) / "snapshot-000042", std::string(4096, 's'));
+  WriteFile(fs::path(src) / "journal", journal);
+  WriteFile(fs::path(src) / "empty", "");
+
+  auto pack = PackCheckpointDir(src);
+  ASSERT_TRUE(pack.ok()) << pack.status().ToString();
+
+  const std::string dst = TempRoot("pack_dst");
+  // Pre-existing contents must be replaced, not merged: the migrated
+  // tree is authoritative.
+  fs::create_directories(dst);
+  WriteFile(fs::path(dst) / "leftover-snapshot", "stale");
+  ASSERT_TRUE(UnpackCheckpointDir(*pack, dst).ok());
+
+  std::vector<std::string> names;
+  for (const auto& entry : fs::directory_iterator(dst)) {
+    names.push_back(entry.path().filename().string());
+  }
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(names, (std::vector<std::string>{"empty", "journal",
+                                             "snapshot-000042"}));
+  EXPECT_EQ(ReadFile(fs::path(dst) / "snapshot-000042"),
+            std::string(4096, 's'));
+  EXPECT_EQ(ReadFile(fs::path(dst) / "journal"), journal);
+  EXPECT_EQ(ReadFile(fs::path(dst) / "empty"), "");
+}
+
+TEST(CheckpointPackTest, PackingAMissingDirIsNotFound) {
+  auto pack = PackCheckpointDir(TempRoot("pack_none"));
+  ASSERT_FALSE(pack.ok());
+  EXPECT_EQ(pack.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CheckpointPackTest, RejectsEveryCorruptionWithoutWriting) {
+  const std::string src = TempRoot("corrupt_src");
+  fs::create_directories(src);
+  WriteFile(fs::path(src) / "snapshot-000001", "snapshot payload");
+  WriteFile(fs::path(src) / "journal", "journal payload");
+  auto pack = PackCheckpointDir(src);
+  ASSERT_TRUE(pack.ok());
+
+  const std::string dst = TempRoot("corrupt_dst");
+  auto expect_rejected = [&](std::string mutated, const char* what) {
+    Status st = UnpackCheckpointDir(mutated, dst);
+    EXPECT_FALSE(st.ok()) << what;
+    // Rejected before anything was written: the target dir was either
+    // never created or left empty.
+    EXPECT_TRUE(!fs::exists(dst) || fs::is_empty(dst)) << what;
+    fs::remove_all(dst);
+  };
+
+  {
+    std::string bad = *pack;
+    bad[0] ^= 0x01;
+    expect_rejected(Reseal(bad), "bad magic");
+    expect_rejected(bad, "bad magic, stale crc");
+  }
+  {
+    std::string bad = *pack;
+    bad[4] ^= 0x7f;  // version field follows the 4-byte magic
+    expect_rejected(Reseal(bad), "unsupported version");
+  }
+  {
+    std::string bad = *pack;
+    bad[bad.size() / 2] ^= 0x10;
+    expect_rejected(bad, "flipped payload bit (crc)");
+  }
+  {
+    std::string bad = *pack;
+    bad.back() ^= 0x01;
+    expect_rejected(bad, "corrupt crc trailer");
+  }
+  for (size_t cut :
+       {size_t{0}, size_t{3}, pack->size() / 2, pack->size() - 1}) {
+    expect_rejected(pack->substr(0, cut),
+                    "truncation");
+  }
+}
+
+TEST(CheckpointPackTest, RejectsUnsafeFileNames) {
+  // A handcrafted pack must not be able to escape the target directory
+  // or smuggle in subpaths. Build a legitimate pack whose file name we
+  // then corrupt into a traversal — easiest done by packing a file whose
+  // name length matches the attack string.
+  const std::string src = TempRoot("unsafe_src");
+  fs::create_directories(src);
+  const std::string benign = "aaaaaaaaaaa";  // same length as the attack
+  WriteFile(fs::path(src) / benign, "payload");
+  auto pack = PackCheckpointDir(src);
+  ASSERT_TRUE(pack.ok());
+
+  const std::string attack = "../escaped1";
+  ASSERT_EQ(attack.size(), benign.size());
+  const size_t at = pack->find(benign);
+  ASSERT_NE(at, std::string::npos);
+  std::string bad = *pack;
+  bad.replace(at, attack.size(), attack);
+  // Reseal so the CRC passes and the name check itself must reject.
+  const std::string dst = TempRoot("unsafe_dst");
+  Status st = UnpackCheckpointDir(Reseal(bad), dst);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("unsafe file name"), std::string::npos)
+      << st.ToString();
+  EXPECT_FALSE(fs::exists(fs::path(dst).parent_path() / "escaped1"));
+  EXPECT_FALSE(fs::exists(dst));
+}
+
+}  // namespace
+}  // namespace wfit::persist

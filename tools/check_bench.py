@@ -24,6 +24,14 @@ import sys
 GATED = [
     "wfit_auto_stmts_per_min",
     "tenants_aggregate_stmts_per_min",
+    "net_rpc_round_trips_per_sec",
+    "cluster_two_node_stmts_per_min",
+]
+
+# Lower-is-better series: the fresh value may not rise more than
+# --max-regression above the baseline.
+GATED_LOWER = [
+    "migration_handoff_ms",
 ]
 
 
@@ -55,7 +63,8 @@ def main(argv):
     failures = []
 
     print(f"bench-regression gate (max regression {max_regression:.0%})")
-    for key in GATED:
+    for key in GATED + GATED_LOWER:
+        lower_is_better = key in GATED_LOWER
         if key not in baseline:
             print(f"  WARN  {key}: not in baseline (new metric?)")
             continue
@@ -68,8 +77,12 @@ def main(argv):
             print(f"  WARN  {key}: non-positive baseline {base}")
             continue
         change = (now - base) / base
+        regressed = (
+            change > max_regression if lower_is_better
+            else change < -max_regression
+        )
         verdict = "ok"
-        if change < -max_regression:
+        if regressed:
             verdict = "FAIL"
             failures.append(
                 f"{key}: {now:.0f} vs baseline {base:.0f} ({change:+.1%})"
@@ -77,7 +90,8 @@ def main(argv):
         print(f"  {verdict:4}  {key}: {now:.0f} vs {base:.0f} ({change:+.1%})")
 
     informational = sorted(
-        k for k in fresh.keys() & baseline.keys() if k not in GATED
+        k for k in fresh.keys() & baseline.keys()
+        if k not in GATED and k not in GATED_LOWER
     )
     if informational:
         print("informational drift:")

@@ -13,7 +13,14 @@
 //                                       (read on multi-core hardware;
 //                                       a single-core host pins it ~1);
 //   migration_handoff_ms              — evict + pack + ship + seed;
-//   cluster_migration_trajectory_identical — 1.0 iff bit-identical.
+//   cluster_migration_trajectory_identical — 1.0 iff bit-identical;
+//   failover_takeover_ms              — SIGKILL-equivalent crash of the
+//                                       owner to the first successful
+//                                       client RPC against the survivor
+//                                       (lease expiry + adoption);
+//   cluster_failover_trajectory_identical — 1.0 iff the survivor's
+//                                       resumed trajectory matches an
+//                                       undisturbed reference.
 //
 // Numbers merge into BENCH_service.json. WFIT_BENCH_FAST=1 scales the
 // volume down for CI smoke runs.
@@ -30,6 +37,7 @@
 
 #include "cluster/cluster_client.h"
 #include "cluster/demo_env.h"
+#include "cluster/membership.h"
 #include "cluster/node.h"
 #include "cluster/placement.h"
 #include "harness/reporting.h"
@@ -301,6 +309,154 @@ MigrationResult MeasureMigration(size_t statements, uint64_t migrate_after) {
   return result;
 }
 
+struct FailoverResult {
+  double takeover_ms = 0.0;
+  bool identical = false;
+};
+
+/// One tenant pinned to a node that gets crashed (SIGKILL semantics: no
+/// parting checkpoint, journal only) mid-workload in a membership-enabled
+/// two-node fleet. Measures the gap from the crash to the first client
+/// RPC the survivor answers for that tenant — lease expiry, checkpoint
+/// recovery, and config fan-out included — and verifies the survivor's
+/// resumed trajectory bit-for-bit against an undisturbed reference.
+FailoverResult MeasureFailover(size_t statements, uint64_t kill_after) {
+  FailoverResult result;
+  const std::string tenant = DemoFleetEnv::TenantName(0);
+
+  service::TenantRouterOptions router_options;
+  router_options.shard.queue_capacity = 32;
+  router_options.shard.max_batch = 8;
+  router_options.shard.record_history = true;
+  router_options.shard.checkpoint_every_statements = 100;
+  router_options.shard.checkpoint_on_shutdown = false;  // crash realism
+  router_options.analysis_threads = 1;
+  router_options.drain_threads = 1;
+
+  // Reference: one router, never disturbed, votes registered up front.
+  std::vector<IndexSet> reference;
+  {
+    DemoFleetEnv env(statements);
+    auto options = router_options;
+    options.repin = env.MakeRepinner();
+    service::TenantRouter router(env.MakeTunerFactory(), options);
+    router.Start();
+    for (const service::PinnedVote& vote : env.PinnedVotesFor(0, 0)) {
+      router.FeedbackAfter(tenant, vote.after_seq, vote.f_plus,
+                           vote.f_minus);
+    }
+    const Workload& workload = env.Env(0).workload;
+    for (size_t seq = 0; seq < workload.size(); ++seq) {
+      router.SubmitAt(tenant, seq, workload[seq]);
+    }
+    router.WaitUntilAnalyzed(tenant, statements);
+    reference = router.History(tenant);
+    router.Shutdown();
+  }
+
+  // A two-node fleet sharing one checkpoint root, with the tenant
+  // pinned to "a" (the victim) and aggressive failure-detection knobs
+  // so the bench measures takeover, not lease padding.
+  auto env = std::make_shared<DemoFleetEnv>(statements);
+  const std::string fleet_root = TempRoot("failover");
+  cluster::MembershipOptions membership;
+  membership.heartbeat_interval_ms = 20;
+  membership.suspect_after_misses = 2;
+  membership.lease_ms = 250;
+  membership.rpc_timeout_ms = 100;
+
+  ClusterConfig boot;
+  boot.version = 1;
+  boot.nodes.push_back({"a", "127.0.0.1", 0});
+  boot.nodes.push_back({"b", "127.0.0.1", 0});
+  boot.Normalize();
+  std::vector<std::unique_ptr<TunerNode>> nodes;
+  for (const std::string& id : {std::string("a"), std::string("b")}) {
+    cluster::TunerNodeOptions options;
+    options.node_id = id;
+    options.config = boot;
+    options.router = router_options;
+    options.router.repin = env->MakeRepinner();
+    options.fleet_root = fleet_root;
+    options.enable_membership = true;
+    options.membership = membership;
+    nodes.push_back(std::make_unique<TunerNode>(env->MakeTunerFactory(),
+                                                std::move(options)));
+    if (!nodes.back()->Start().ok()) {
+      std::cerr << "failover bench: node start failed\n";
+      return result;
+    }
+  }
+  ClusterConfig config;
+  config.version = 2;
+  for (auto& node : nodes) {
+    config.nodes.push_back({node->node_id(), "127.0.0.1", node->port()});
+  }
+  config.overrides[tenant] = "a";
+  config.Normalize();
+  for (auto& node : nodes) node->InstallConfig(config);
+
+  // Crash-tolerant producer: resubmits from the analyzed watermark when
+  // progress stalls, so the statements that died in a's ingest queue are
+  // replayed against the survivor.
+  std::atomic<bool> replay_ok{false};
+  std::thread producer([&] {
+    cluster::ClusterClientOptions copts;
+    copts.retry_deadline_ms = 3000;
+    copts.jitter_seed = 42;
+    ClusterClient client(config, copts);
+    replay_ok.store(
+        cluster::ReplayTenantWorkload(client, *env, 0, true, 180000));
+  });
+
+  TunerNode& a = *nodes[0];
+  TunerNode& b = *nodes[1];
+  while (a.router().analyzed(tenant) < kill_after) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  const Clock::time_point crash_at = Clock::now();
+  a.Crash();
+  // One client Call spanning the outage: its internal retry/re-aim loop
+  // returns as soon as ANY node answers for the tenant again.
+  double takeover = -1.0;
+  {
+    cluster::ClusterClientOptions copts;
+    copts.retry_deadline_ms = 60000;
+    copts.jitter_seed = 7;
+    ClusterClient monitor(config, copts);
+    net::Request probe;
+    probe.type = net::MsgType::kGetAnalyzed;
+    auto resp = monitor.Call(tenant, std::move(probe));
+    if (resp.ok() && resp->kind == net::RespKind::kOk) {
+      takeover = std::chrono::duration<double, std::milli>(Clock::now() -
+                                                           crash_at)
+                     .count();
+    }
+  }
+  producer.join();
+
+  if (takeover >= 0.0 && replay_ok.load()) {
+    result.takeover_ms = takeover;
+    const uint64_t start = b.router().HistoryStart(tenant);
+    const std::vector<IndexSet> suffix = b.router().History(tenant);
+    result.identical = reference.size() == statements &&
+                       start + suffix.size() == statements;
+    for (size_t i = 0; i < suffix.size() && result.identical; ++i) {
+      result.identical = suffix[i] == reference[start + i];
+      if (!result.identical) {
+        std::cerr << "  FAILOVER DIVERGENCE at statement " << (start + i)
+                  << "\n";
+      }
+    }
+  } else {
+    std::cerr << "failover bench: takeover=" << takeover
+              << " replay_ok=" << replay_ok.load() << "\n";
+  }
+  for (auto& node : nodes) node->Shutdown();
+  return result;
+}
+
 }  // namespace
 }  // namespace wfit
 
@@ -348,6 +504,13 @@ int main() {
             << "trajectory identical   "
             << (migration.identical ? "yes" : "NO") << "\n";
 
+  const size_t fo_statements = fast ? 160 : 300;
+  const uint64_t kill_after = fast ? 60 : 150;
+  FailoverResult failover = MeasureFailover(fo_statements, kill_after);
+  std::cout << "failover takeover      " << failover.takeover_ms << " ms\n"
+            << "failover identical     "
+            << (failover.identical ? "yes" : "NO") << "\n";
+
   harness::UpdateBenchJson(
       "BENCH_service.json",
       {
@@ -358,7 +521,10 @@ int main() {
           {"migration_handoff_ms", migration.handoff_ms},
           {"cluster_migration_trajectory_identical",
            migration.identical ? 1.0 : 0.0},
+          {"failover_takeover_ms", failover.takeover_ms},
+          {"cluster_failover_trajectory_identical",
+           failover.identical ? 1.0 : 0.0},
       });
   std::cout << "wrote BENCH_service.json\n";
-  return migration.identical ? 0 : 1;
+  return (migration.identical && failover.identical) ? 0 : 1;
 }

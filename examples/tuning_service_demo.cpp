@@ -205,9 +205,11 @@ int RunMultiTenant(const Flags& flags) {
 
   for (size_t t = 0; t < n; ++t) {
     auto snap = router.Recommendation(TenantName(t));
+    // Ids, not names: the tuners intern into their factory-scoped pools,
+    // so the shared-scope pool cannot resolve workload-derived indexes.
+    // Same "{ids}" format the trajectory files use.
     std::cout << "[" << TenantName(t) << "] final after " << snap->analyzed
-              << " statements: "
-              << snap->configuration.ToString(*fleet.Env(t).pool) << "\n";
+              << " statements: " << snap->configuration.ToString() << "\n";
   }
   harness::PrintRouterMetrics(std::cout, "multi-tenant tuning service",
                               router.Metrics());

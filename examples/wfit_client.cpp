@@ -10,6 +10,14 @@
 //       --statements=260 --migrate=tenant-0:120 \
 //       --trajectory_out=got --reference=ref [--shutdown_nodes]
 //
+// Producers are crash-tolerant: when a node dies mid-workload they
+// rewind to the analyzed watermark and resubmit (exactly-once dedup
+// absorbs the overlap), so a SIGKILLed fleet node just looks like a
+// stall. With --allow_gap, trajectory verification accepts a missing
+// prefix (history that lived only on a killed node) and instead verifies
+// the longest contiguous suffix bit-for-bit against the reference —
+// which is exactly the failover guarantee.
+//
 // Exit codes: 0 consistent, 1 infrastructure failure, 2 trajectory
 // divergence (the demo's convention).
 #include <atomic>
@@ -39,6 +47,7 @@ struct Flags {
   std::string trajectory_out;
   std::string reference;
   bool shutdown_nodes = false;
+  bool allow_gap = false;
 };
 
 Flags ParseFlags(int argc, char** argv) {
@@ -64,12 +73,14 @@ Flags ParseFlags(int argc, char** argv) {
       flags.reference = v;
     } else if (arg == "--shutdown_nodes") {
       flags.shutdown_nodes = true;
+    } else if (arg == "--allow_gap") {
+      flags.allow_gap = true;
     } else {
       std::cerr << "unknown flag: " << arg << "\n"
                 << "usage: wfit_client --nodes=SPEC [--tenants=N] "
                    "[--statements=N] [--migrate=TENANT:AFTER_N] "
                    "[--trajectory_out=F] [--reference=F] "
-                   "[--shutdown_nodes]\n";
+                   "[--shutdown_nodes] [--allow_gap]\n";
       std::exit(64);
     }
   }
@@ -78,28 +89,6 @@ Flags ParseFlags(int argc, char** argv) {
     std::exit(64);
   }
   return flags;
-}
-
-/// Registers tenant `t`'s whole deterministic vote schedule before any
-/// statement is submitted, mirroring the demo's pin-before-start rule.
-bool RegisterVotes(ClusterClient& client, DemoFleetEnv& fleet, size_t t) {
-  const std::string tenant = DemoFleetEnv::TenantName(t);
-  for (const service::PinnedVote& vote : fleet.PinnedVotesFor(t, 0)) {
-    net::Request req;
-    req.type = net::MsgType::kFeedbackAfter;
-    req.seq = vote.after_seq;
-    req.f_plus = vote.f_plus;
-    req.f_minus = vote.f_minus;
-    auto resp = client.Call(tenant, std::move(req));
-    if (!resp.ok() || resp->kind != net::RespKind::kOk) {
-      std::cerr << "[client] vote registration failed for " << tenant
-                << ": "
-                << (resp.ok() ? resp->message : resp.status().ToString())
-                << "\n";
-      return false;
-    }
-  }
-  return true;
 }
 
 }  // namespace
@@ -176,46 +165,23 @@ int main(int argc, char** argv) {
     });
   }
 
-  // One producer per tenant: votes first, then the exactly-once replay.
+  // One crash-tolerant producer per tenant: votes first, then the
+  // exactly-once replay that rewinds to the analyzed watermark whenever
+  // progress stalls (a killed node's in-queue statements were never
+  // journaled — the survivor needs them again; dedup drops the rest).
   std::vector<std::thread> producers;
   for (size_t t = 0; t < flags.tenants; ++t) {
     producers.emplace_back([&, t] {
-      ClusterClient client(config);
-      if (!RegisterVotes(client, fleet, t)) {
+      cluster::ClusterClientOptions copts;
+      copts.retry_deadline_ms = 5000;
+      copts.jitter_seed = t + 1;
+      ClusterClient client(config, copts);
+      if (!cluster::ReplayTenantWorkload(client, fleet, t,
+                                         /*register_votes=*/true,
+                                         /*overall_deadline_ms=*/180000)) {
+        std::cerr << "[client] replay failed for "
+                  << DemoFleetEnv::TenantName(t) << "\n";
         failed.store(true);
-        return;
-      }
-      const std::string tenant = DemoFleetEnv::TenantName(t);
-      const Workload& workload = fleet.Env(t).workload;
-      for (size_t seq = 0; seq < workload.size() && !failed.load();
-           ++seq) {
-        net::Request req;
-        req.type = net::MsgType::kSubmitAt;
-        req.seq = seq;
-        req.has_statement = true;
-        req.statement = workload[seq];
-        auto resp = client.Call(tenant, std::move(req));
-        if (!resp.ok() || resp->kind != net::RespKind::kOk) {
-          std::cerr << "[client] submit " << tenant << "#" << seq
-                    << " failed: "
-                    << (resp.ok() ? resp->message
-                                  : resp.status().ToString())
-                    << "\n";
-          failed.store(true);
-          return;
-        }
-      }
-      // Wait until the shard analyzed everything (it may still be
-      // draining its queue).
-      while (!failed.load()) {
-        net::Request probe;
-        probe.type = net::MsgType::kGetAnalyzed;
-        auto resp = client.Call(tenant, probe);
-        if (resp.ok() && resp->kind == net::RespKind::kOk &&
-            resp->analyzed >= workload.size()) {
-          return;
-        }
-        std::this_thread::sleep_for(std::chrono::milliseconds(5));
       }
     });
   }
@@ -242,25 +208,37 @@ int main(int argc, char** argv) {
         if (seq < stitched.size()) stitched[seq] = resp->history[i];
       }
     }
-    std::vector<IndexSet> history;
-    bool gap = false;
-    for (size_t seq = 0; seq < stitched.size(); ++seq) {
-      if (!stitched[seq].has_value()) {
-        std::cerr << "[client] " << tenant << ": no node holds statement "
-                  << seq << " of the trajectory\n";
-        gap = true;
-        break;
-      }
-      history.push_back(std::move(*stitched[seq]));
-    }
-    if (gap) {
+    // The verified window: all of [0, statements) normally; with
+    // --allow_gap, the longest contiguous suffix — the prefix may have
+    // lived only in a killed node's history, but everything from the
+    // adopted boundary on must still match the reference bit-for-bit.
+    size_t start = stitched.size();
+    while (start > 0 && stitched[start - 1].has_value()) --start;
+    if (start == stitched.size()) {
+      std::cerr << "[client] " << tenant << ": no node holds any of the "
+                << "trajectory\n";
       worst = std::max(worst, 2);
       continue;
+    }
+    if (start > 0) {
+      if (!flags.allow_gap) {
+        std::cerr << "[client] " << tenant << ": no node holds statement "
+                  << (start - 1) << " of the trajectory\n";
+        worst = std::max(worst, 2);
+        continue;
+      }
+      std::cout << "[client] " << tenant << ": statements [0, " << start
+                << ") died with a killed node; verifying the surviving "
+                << "suffix [" << start << ", " << stitched.size() << ")\n";
+    }
+    std::vector<IndexSet> history;
+    for (size_t seq = start; seq < stitched.size(); ++seq) {
+      history.push_back(std::move(*stitched[seq]));
     }
     std::string suffix = ".";
     suffix += std::to_string(t);
     int code = cluster::WriteAndVerifyTrajectory(
-        history, /*history_start=*/0,
+        history, /*history_start=*/start,
         flags.trajectory_out.empty() ? "" : flags.trajectory_out + suffix,
         flags.reference.empty() ? "" : flags.reference + suffix,
         tenant + " ");

@@ -13,6 +13,12 @@
 // SIGTERM/SIGINT (or a kShutdownNode RPC) shut the node down gracefully:
 // every resident shard drains, applies due feedback, and seals journal +
 // final checkpoint, so a restart recovers with zero journal replay.
+//
+// With --membership (plus --fleet_root=DIR shared by every node) the
+// fleet self-heals: lease-based failure detection, automatic failover of
+// a dead node's tenants from the shared checkpoint tree, and a config
+// fan-out — the process logs "failover completed" when it adopts, which
+// the CI chaos smoke greps for after SIGKILLing a peer.
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -22,6 +28,7 @@
 #include <thread>
 
 #include "cluster/demo_env.h"
+#include "cluster/membership.h"
 #include "cluster/node.h"
 #include "cluster/placement.h"
 
@@ -37,6 +44,11 @@ struct Flags {
   std::string nodes;
   std::string checkpoint_root;
   size_t statements = 600;
+  // Self-healing fleet knobs.
+  bool membership = false;
+  std::string fleet_root;
+  int heartbeat_ms = 50;
+  int lease_ms = 600;
 };
 
 Flags ParseFlags(int argc, char** argv) {
@@ -58,11 +70,20 @@ Flags ParseFlags(int argc, char** argv) {
       flags.checkpoint_root = v;
     } else if (const char* v = value("statements")) {
       flags.statements = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--membership") {
+      flags.membership = true;
+    } else if (const char* v = value("fleet_root")) {
+      flags.fleet_root = v;
+    } else if (const char* v = value("heartbeat_ms")) {
+      flags.heartbeat_ms = static_cast<int>(std::strtol(v, nullptr, 10));
+    } else if (const char* v = value("lease_ms")) {
+      flags.lease_ms = static_cast<int>(std::strtol(v, nullptr, 10));
     } else {
       std::cerr << "unknown flag: " << arg << "\n"
                 << "usage: wfit_server --node_id=ID --nodes=SPEC "
                    "[--listen=HOST:PORT] [--checkpoint_root=DIR] "
-                   "[--statements=N]\n";
+                   "[--statements=N] [--membership --fleet_root=DIR "
+                   "--heartbeat_ms=N --lease_ms=N]\n";
       std::exit(64);
     }
   }
@@ -111,6 +132,20 @@ int main(int argc, char** argv) {
   options.router.analysis_threads = 1;
   options.router.drain_threads = 2;
   options.router.repin = fleet->MakeRepinner();
+  if (flags.membership) {
+    if (flags.fleet_root.empty()) {
+      std::cerr << "--membership requires --fleet_root (the shared "
+                   "checkpoint tree failover recovers from)\n";
+      return 1;
+    }
+    options.fleet_root = flags.fleet_root;
+    options.enable_membership = true;
+    options.membership.heartbeat_interval_ms = flags.heartbeat_ms;
+    options.membership.lease_ms = flags.lease_ms;
+    // Crash realism: a self-healing node must survive on journal +
+    // checkpoint boundaries alone, exactly what a SIGKILL leaves.
+    options.router.shard.checkpoint_on_shutdown = false;
+  }
 
   cluster::TunerNode node(fleet->MakeTunerFactory(), std::move(options));
   Status st = node.Start();
@@ -122,8 +157,20 @@ int main(int argc, char** argv) {
             << flags.listen.substr(0, colon) << ":" << node.port() << "\n"
             << std::flush;
 
+  uint64_t reported_failovers = 0;
   while (!g_stop.load() && !node.ShutdownRequested()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (cluster::Membership* membership = node.membership()) {
+      const cluster::MembershipCounters counters = membership->Counters();
+      if (counters.failovers > reported_failovers) {
+        reported_failovers = counters.failovers;
+        std::cout << "[wfit_server] node " << node.node_id()
+                  << " failover completed: adopted "
+                  << counters.tenants_failed_over << " tenant(s) so far, "
+                  << "takeover " << counters.last_takeover_ms << "ms\n"
+                  << std::flush;
+      }
+    }
   }
   std::cout << "[wfit_server] node " << node.node_id()
             << " shutting down gracefully (final checkpoints + journal "

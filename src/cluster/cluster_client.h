@@ -16,6 +16,8 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <random>
+#include <set>
 #include <string>
 
 #include "cluster/placement.h"
@@ -29,6 +31,16 @@ struct ClusterClientOptions {
   net::Client::Options rpc;
   /// Budget for redirect chasing + busy retries per Call.
   int retry_deadline_ms = 30000;
+  /// Retry pacing: capped exponential backoff with decorrelated jitter
+  /// (sleep ~ uniform[initial, 3 * previous], clamped to the cap), so a
+  /// fleet of producers retrying into the same failover window spreads
+  /// out instead of thundering in lockstep.
+  int backoff_initial_ms = 2;
+  int backoff_cap_ms = 200;
+  /// 0 seeds the jitter from std::random_device; tests pin it. Jitter
+  /// shapes retry TIMING only — it never touches what is submitted, so
+  /// trajectories stay deterministic either way.
+  uint64_t jitter_seed = 0;
 };
 
 class ClusterClient {
@@ -40,9 +52,17 @@ class ClusterClient {
   StatusOr<net::Response> Call(const std::string& tenant,
                                net::Request request);
   /// Sends to one specific node, no routing (admin RPCs, scrapes).
+  /// Fails fast with NotFound once the node is known-dead: a node seen
+  /// in an older config but absent from a newer one was removed by
+  /// failover/decommission and will never answer again.
   StatusOr<net::Response> CallNode(const std::string& node_id,
                                    net::Request request);
   const ClusterConfig& config() const { return config_; }
+  /// True once membership removed `node_id` from a config this client
+  /// has adopted.
+  bool IsKnownDead(const std::string& node_id) const {
+    return dead_nodes_.count(node_id) != 0;
+  }
 
  private:
   StatusOr<net::Response> CallAddr(const std::string& node_id,
@@ -50,11 +70,21 @@ class ClusterClient {
                                    const net::Request& request);
   /// Pulls the full config from a node that advertised a newer version.
   void RefreshConfigFrom(const std::string& host, uint16_t port);
+  /// Asks every node except `skip` for a fresher config (first success
+  /// wins) — the self-repair path when the presumed owner goes dark.
+  void RefreshConfigFromAnyBut(const std::string& skip);
+  /// Adopts `fresh` when newer, recording nodes that vanished as dead.
+  void AdoptConfig(ClusterConfig fresh);
+  /// Decorrelated-jitter backoff; advances *prev_ms.
+  int NextBackoffMs(int* prev_ms);
 
   ClusterConfig config_;
   ClusterClientOptions options_;
   /// Connection per node, reused across calls; dropped on RPC failure.
   std::map<std::string, std::unique_ptr<net::Client>> conns_;
+  /// Nodes that a newer config no longer contains.
+  std::set<std::string> dead_nodes_;
+  std::mt19937_64 jitter_;
 };
 
 }  // namespace wfit::cluster

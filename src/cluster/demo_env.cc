@@ -1,9 +1,11 @@
 #include "cluster/demo_env.h"
 
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <thread>
 #include <unordered_map>
 
 namespace wfit::cluster {
@@ -49,8 +51,12 @@ size_t DemoFleetEnv::TenantIndex(const std::string& id) {
 }
 
 TenantEnv& DemoFleetEnv::Env(size_t tenant) {
+  return EnvScoped(0, tenant);
+}
+
+TenantEnv& DemoFleetEnv::EnvScoped(size_t scope, size_t tenant) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto& slot = envs_[tenant];
+  auto& slot = envs_[{scope, tenant}];
   if (slot == nullptr) {
     slot = std::make_unique<TenantEnv>(tenant, statements_);
   }
@@ -58,8 +64,13 @@ TenantEnv& DemoFleetEnv::Env(size_t tenant) {
 }
 
 service::TunerFactory DemoFleetEnv::MakeTunerFactory() {
-  return [this](const std::string& id) {
-    TenantEnv& env = Env(TenantIndex(id));
+  size_t scope = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    scope = next_scope_++;
+  }
+  return [this, scope](const std::string& id) {
+    TenantEnv& env = EnvScoped(scope, TenantIndex(id));
     WfitOptions wfit_options;
     wfit_options.candidates.idx_cnt = 16;
     wfit_options.candidates.state_cnt = 256;
@@ -92,6 +103,87 @@ std::vector<service::PinnedVote> DemoFleetEnv::PinnedVotesFor(
     }
   }
   return votes;
+}
+
+bool ReplayTenantWorkload(ClusterClient& client, DemoFleetEnv& env,
+                          size_t tenant, bool register_votes,
+                          int overall_deadline_ms) {
+  const std::string id = DemoFleetEnv::TenantName(tenant);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(overall_deadline_ms);
+  auto expired = [&] { return std::chrono::steady_clock::now() >= deadline; };
+  const Workload& workload = env.Env(tenant).workload;
+  const size_t total = workload.size();
+
+  if (register_votes) {
+    for (const service::PinnedVote& vote :
+         env.PinnedVotesFor(tenant, 0)) {
+      for (;;) {
+        if (expired()) return false;
+        net::Request req;
+        req.type = net::MsgType::kFeedbackAfter;
+        req.seq = vote.after_seq;
+        req.f_plus = vote.f_plus;
+        req.f_minus = vote.f_minus;
+        auto resp = client.Call(id, std::move(req));
+        if (resp.ok() && resp->kind == net::RespKind::kOk) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+    }
+  }
+
+  // The tenant's analyzed watermark, or -1 while the fleet is
+  // unreachable (mid-takeover).
+  auto analyzed_now = [&]() -> int64_t {
+    net::Request probe;
+    probe.type = net::MsgType::kGetAnalyzed;
+    auto resp = client.Call(id, probe);
+    if (!resp.ok() || resp->kind != net::RespKind::kOk) return -1;
+    return static_cast<int64_t>(resp->analyzed);
+  };
+
+  size_t pos = 0;
+  int64_t last_analyzed = -1;
+  auto last_progress = std::chrono::steady_clock::now();
+  constexpr auto kStall = std::chrono::milliseconds(500);
+  while (!expired()) {
+    if (pos < total) {
+      net::Request req;
+      req.type = net::MsgType::kSubmitAt;
+      req.seq = pos;
+      req.has_statement = true;
+      req.statement = workload[pos];
+      auto resp = client.Call(id, std::move(req));
+      if (resp.ok() && resp->kind == net::RespKind::kOk) {
+        ++pos;
+        continue;
+      }
+      // Unreachable or rejected: the owner may have just died, or the
+      // adopted replacement recovered to a watermark below `pos` and its
+      // ring cannot accept a sequence that far ahead. Fall through to
+      // the stall logic, which rewinds to the recovered watermark.
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    const int64_t analyzed = analyzed_now();
+    if (analyzed >= static_cast<int64_t>(total)) return true;
+    const auto now = std::chrono::steady_clock::now();
+    if (analyzed > last_analyzed) {
+      last_analyzed = analyzed;
+      last_progress = now;
+    } else if (analyzed >= 0 && now - last_progress >= kStall) {
+      // No analysis progress: statements the dead node accepted but
+      // never journaled are gone. Resubmit from the recovered watermark;
+      // exactly-once dedup absorbs the already-covered prefix.
+      if (static_cast<size_t>(analyzed) < pos) {
+        pos = static_cast<size_t>(analyzed);
+      }
+      last_progress = now;
+    }
+    if (pos >= total) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+  return false;
 }
 
 int WriteAndVerifyTrajectory(const std::vector<IndexSet>& history,

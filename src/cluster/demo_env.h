@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "catalog/benchmark_schemas.h"
+#include "cluster/cluster_client.h"
 #include "core/wfit.h"
 #include "optimizer/what_if.h"
 #include "service/tenant_router.h"
@@ -71,11 +72,20 @@ class DemoFleetEnv {
   static size_t TenantIndex(const std::string& id);
 
   size_t statements() const { return statements_; }
+  /// The shared-scope env: workload + vote-candidate reads (producers,
+  /// reference runs). Tuners never touch this instance — see
+  /// MakeTunerFactory.
   TenantEnv& Env(size_t tenant);
 
   /// The demo's per-tenant tuner (WFIT, idx_cnt=16, state_cnt=256) —
   /// identical construction on every (re-)admission, as the recovery
-  /// determinism contract requires.
+  /// determinism contract requires. Every call returns a factory with
+  /// its own private scope of TenantEnvs: in-process fleet nodes must
+  /// NOT share a tenant's IndexPool/optimizer, because a crashing
+  /// node's final drain interns concurrently with the survivor's
+  /// recovery replay (a real fleet has per-process pools; failover
+  /// already proves ids re-intern identically across them). One node =
+  /// one factory = one scope.
   service::TunerFactory MakeTunerFactory();
 
   /// The demo's crash-safe vote re-registration hook: pins every vote
@@ -88,10 +98,33 @@ class DemoFleetEnv {
                                                   uint64_t from_seq);
 
  private:
+  /// Scope 0 is the shared read-only-ish scope Env() exposes; each
+  /// factory allocates the next scope id.
+  TenantEnv& EnvScoped(size_t scope, size_t tenant);
+
   size_t statements_;
   std::mutex mu_;
-  std::map<size_t, std::unique_ptr<TenantEnv>> envs_;
+  std::map<std::pair<size_t, size_t>, std::unique_ptr<TenantEnv>> envs_;
+  size_t next_scope_ = 1;
 };
+
+/// Replays tenant `tenant`'s full demo workload through `client` with
+/// crash-tolerant, exactly-once semantics: registers the vote schedule
+/// up front (when `register_votes` — recovery re-pins votes server-side
+/// via the repinner, so one registration suffices), submits every
+/// statement via kSubmitAt, and rides out failovers. Statements the dead
+/// node accepted but never journaled die with it; when analysis stalls,
+/// the replay rewinds to the survivor's recovered watermark and
+/// resubmits — kSubmitAt dedup absorbs the overlap, so the trajectory
+/// stays bit-for-bit deterministic. Returns true once the whole
+/// workload is analyzed, false on `overall_deadline_ms`.
+///
+/// The caller's `client` should use a retry_deadline_ms of a few
+/// seconds: a wedged submit (sequence beyond the recovered ring window)
+/// surfaces as a Call failure, which is what triggers the rewind.
+bool ReplayTenantWorkload(ClusterClient& client, DemoFleetEnv& env,
+                          size_t tenant, bool register_votes,
+                          int overall_deadline_ms = 120000);
 
 /// Writes "<seq> {ids}" trajectory lines (when out_path is nonempty) and
 /// verifies them against a reference file (when ref_path is nonempty);

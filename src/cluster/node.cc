@@ -25,7 +25,7 @@ namespace {
 /// else must stay on the event loop.
 bool IsSlowType(MsgType type) {
   return type == MsgType::kMigrate || type == MsgType::kMigrateIn ||
-         type == MsgType::kDrain;
+         type == MsgType::kDrain || type == MsgType::kDecommission;
 }
 
 void NodeCounter(std::ostream& os, const char* name, uint64_t v,
@@ -44,6 +44,13 @@ TunerNode::TunerNode(service::TunerFactory factory, TunerNodeOptions options)
   config_.Normalize();
   WFIT_CHECK(config_.FindNode(options_.node_id) != nullptr,
              "TunerNode: node id is not in the cluster config");
+  if (!options_.fleet_root.empty()) {
+    if (options_.router.checkpoint_root.empty()) {
+      options_.router.checkpoint_root =
+          options_.fleet_root + "/" + options_.node_id;
+    }
+    options_.membership.fleet_root = options_.fleet_root;
+  }
 }
 
 TunerNode::~TunerNode() { Shutdown(); }
@@ -57,16 +64,23 @@ Status TunerNode::Start() {
   net::ServerOptions server_options;
   server_options.host = options_.host;
   server_options.port = options_.port;
+  server_options.max_admin_queue = options_.max_admin_queue;
   server_ = std::make_unique<net::Server>(
       [this](const Request& req) { return HandleFast(req); },
       [this](const Request& req) { return HandleSlow(req); },
       IsSlowType, server_options);
   WFIT_RETURN_IF_ERROR(server_->Start());
-  // An ephemeral bind (port 0) only becomes addressable now; patch our
-  // own config entry so redirects and encoded configs carry it.
-  std::lock_guard<std::mutex> lock(config_mu_);
-  for (NodeInfo& n : config_.nodes) {
-    if (n.id == options_.node_id && n.port == 0) n.port = server_->port();
+  {
+    // An ephemeral bind (port 0) only becomes addressable now; patch our
+    // own config entry so redirects and encoded configs carry it.
+    std::lock_guard<std::mutex> lock(config_mu_);
+    for (NodeInfo& n : config_.nodes) {
+      if (n.id == options_.node_id && n.port == 0) n.port = server_->port();
+    }
+  }
+  if (options_.enable_membership) {
+    membership_ = std::make_unique<Membership>(this, options_.membership);
+    membership_->Start();
   }
   return Status::Ok();
 }
@@ -74,8 +88,11 @@ Status TunerNode::Start() {
 void TunerNode::Shutdown() {
   if (!started_ || shut_down_) return;
   shut_down_ = true;
-  // Server first so no new requests race the router teardown; the router
-  // shutdown then takes every shard's final checkpoint + journal seal.
+  // Membership first (stop probing and orchestrating against a node
+  // that's tearing itself down), then the server so no new requests race
+  // the router teardown; the router shutdown then takes every shard's
+  // final checkpoint + journal seal.
+  if (membership_ != nullptr) membership_->Shutdown();
   server_->Shutdown();
   router_->Shutdown();
 }
@@ -129,6 +146,34 @@ std::string TunerNode::ScrapeText() {
               "Tenants handed off to another node");
   NodeCounter(os, "migrations_in_total", migrations_in_.load(),
               "Tenants received from another node");
+  os << "# HELP wfit_node_admin_queue_depth Admin (slow-path) jobs queued\n"
+     << "# TYPE wfit_node_admin_queue_depth gauge\n"
+     << "wfit_node_admin_queue_depth " << server_->admin_queue_depth()
+     << "\n";
+  NodeCounter(os, "admin_shed_total", server_->admin_shed_total(),
+              "Admin RPCs shed with kBusy (queue at capacity)");
+  if (membership_ != nullptr) {
+    const MembershipCounters mc = membership_->Counters();
+    NodeCounter(os, "heartbeats_sent_total", mc.heartbeats_sent,
+                "Membership probes sent");
+    NodeCounter(os, "heartbeats_received_total", mc.heartbeats_received,
+                "Membership heartbeats received from peers");
+    NodeCounter(os, "probe_misses_total", mc.probe_misses,
+                "Membership probes that failed or timed out");
+    NodeCounter(os, "failovers_total", mc.failovers,
+                "Dead-node takeovers executed by this node");
+    NodeCounter(os, "tenants_failed_over_total", mc.tenants_failed_over,
+                "Tenants re-placed by failover");
+    NodeCounter(os, "rebalance_migrations_total", mc.rebalance_migrations,
+                "Tenants moved by the rebalancer");
+    os << "# HELP wfit_node_peer_health Peer health (0=alive 1=suspect"
+          " 2=dead)\n"
+       << "# TYPE wfit_node_peer_health gauge\n";
+    for (const PeerView& peer : membership_->Peers()) {
+      os << "wfit_node_peer_health{peer=\"" << peer.id << "\"} "
+         << static_cast<int>(peer.health) << "\n";
+    }
+  }
   return os.str();
 }
 
@@ -198,20 +243,29 @@ Response TunerNode::HandleFast(const Request& req) {
       resp.text = ScrapeText();
       return resp;
     case MsgType::kListTenants:
-      // Union of live and persisted: what this node is serving plus what
-      // it could re-admit from disk.
+      // Union of live and persisted: resident tenants first (sorted),
+      // persisted-only after (sorted), with `count` = the resident
+      // prefix so the rebalancer reads load from one RPC.
       resp.tenants = router_->ResidentTenants();
-      for (std::string& id : router_->PersistedTenants()) {
-        bool known = false;
-        for (const std::string& have : resp.tenants) {
-          if (have == id) {
-            known = true;
-            break;
-          }
-        }
-        if (!known) resp.tenants.push_back(std::move(id));
-      }
       std::sort(resp.tenants.begin(), resp.tenants.end());
+      resp.count = resp.tenants.size();
+      {
+        std::vector<std::string> persisted_only;
+        for (std::string& id : router_->PersistedTenants()) {
+          bool known = false;
+          for (const std::string& have : resp.tenants) {
+            if (have == id) {
+              known = true;
+              break;
+            }
+          }
+          if (!known) persisted_only.push_back(std::move(id));
+        }
+        std::sort(persisted_only.begin(), persisted_only.end());
+        for (std::string& id : persisted_only) {
+          resp.tenants.push_back(std::move(id));
+        }
+      }
       return resp;
     case MsgType::kGetHistory:
       // Deliberately NOT ownership-checked: after a migration the source
@@ -238,9 +292,21 @@ Response TunerNode::HandleFast(const Request& req) {
     case MsgType::kShutdownNode:
       shutdown_requested_.store(true);
       return resp;
+    case MsgType::kHeartbeat: {
+      // Answer with who we are and how fresh our config is; the sender's
+      // lease refresh (passive liveness) happens in ObserveHeartbeat.
+      if (membership_ != nullptr) {
+        membership_->ObserveHeartbeat(req.node_id, req.seq);
+      }
+      resp.owner_id = options_.node_id;
+      std::lock_guard<std::mutex> lock(config_mu_);
+      resp.config_version = config_.version;
+      return resp;
+    }
     case MsgType::kMigrate:
     case MsgType::kMigrateIn:
     case MsgType::kDrain:
+    case MsgType::kDecommission:
       // Routed to HandleSlow by the server; reaching here is a bug.
       return net::ErrResp(
           Status::Internal("admin RPC dispatched to the fast path"));
@@ -265,6 +331,15 @@ Response TunerNode::HandleSlow(const Request& req) {
     }
     case MsgType::kMigrateIn:
       return HandleMigrateIn(req);
+    case MsgType::kDecommission: {
+      if (membership_ == nullptr) {
+        return net::ErrResp(Status::FailedPrecondition(
+            "decommission requires membership to be enabled"));
+      }
+      Status st = membership_->Decommission(req.target_node);
+      if (!st.ok()) return net::ErrResp(st);
+      return Response{};
+    }
     default:
       return HandleFast(req);  // backlog drain funnels fast types here
   }
@@ -275,8 +350,13 @@ Response TunerNode::HandleMigrateIn(const Request& req) {
     return net::ErrResp(Status::FailedPrecondition(
         "migration target has no checkpoint root"));
   }
+  // An empty config blob means "tree only": failover lands every
+  // recovered tenant first and fans the successor config out afterwards,
+  // so there is nothing to adopt here. Migration always ships a config.
   ClusterConfig incoming;
-  Status st = DecodeClusterConfig(req.config_blob, &incoming);
+  const bool has_config = !req.config_blob.empty();
+  Status st = has_config ? DecodeClusterConfig(req.config_blob, &incoming)
+                         : Status::Ok();
   if (!st.ok()) return net::ErrResp(st);
   // Land the tree and the carried votes BEFORE adopting the config that
   // names us as owner. Until the install, redirected clients bounce
@@ -296,7 +376,7 @@ Response TunerNode::HandleMigrateIn(const Request& req) {
   }
   st = router_->SeedCarriedVotes(req.tenant, std::move(votes));
   if (!st.ok()) return net::ErrResp(st);
-  InstallConfig(std::move(incoming));
+  if (has_config) InstallConfig(std::move(incoming));
   migrations_in_.fetch_add(1);
   return Response{};
 }

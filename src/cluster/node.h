@@ -33,6 +33,7 @@
 #include <mutex>
 #include <string>
 
+#include "cluster/membership.h"
 #include "cluster/placement.h"
 #include "common/status.h"
 #include "net/server.h"
@@ -51,6 +52,16 @@ struct TunerNodeOptions {
   /// Listen address.
   std::string host = "127.0.0.1";
   uint16_t port = 0;
+  /// Shared checkpoint tree root: this node persists under
+  /// <fleet_root>/<node_id> (overrides router.checkpoint_root when that
+  /// is empty) and failover recovers dead nodes' tenants from their
+  /// slices. Leave empty to manage checkpoint_root directly.
+  std::string fleet_root;
+  /// Runs the lease/heartbeat membership layer (see membership.h).
+  bool enable_membership = false;
+  MembershipOptions membership;
+  /// Bounds the server's admin queue (kBusy shed beyond it).
+  size_t max_admin_queue = 128;
 };
 
 class TunerNode {
@@ -66,9 +77,21 @@ class TunerNode {
   /// stops the server. Idempotent.
   void Shutdown();
 
+  /// Abrupt stop for failure drills: tears the node down without the
+  /// graceful niceties Shutdown() narrates. True SIGKILL semantics (no
+  /// destructors at all) are exercised by the two-process CI smoke; in
+  /// process, crash realism comes from running the router with
+  /// checkpoint_on_shutdown=false so only journaled state survives.
+  void Crash() { Shutdown(); }
+
   const std::string& node_id() const { return options_.node_id; }
   uint16_t port() const { return server_ == nullptr ? 0 : server_->port(); }
   service::TenantRouter& router() { return *router_; }
+  /// Null unless enable_membership (and only after Start()).
+  Membership* membership() { return membership_.get(); }
+  const std::string& checkpoint_root() const {
+    return options_.router.checkpoint_root;
+  }
 
   ClusterConfig Config() const;
   /// Adopts `config` iff its version is higher than the current one.
@@ -102,6 +125,7 @@ class TunerNode {
   TunerNodeOptions options_;
   std::unique_ptr<service::TenantRouter> router_;
   std::unique_ptr<net::Server> server_;
+  std::unique_ptr<Membership> membership_;
 
   mutable std::mutex config_mu_;
   ClusterConfig config_;

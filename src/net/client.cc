@@ -15,7 +15,9 @@ Status Client::Connect(const std::string& host, uint16_t port,
                        Options options) {
   Close();
   options_ = options;
-  auto fd = ConnectTcp(host, port);
+  // Bound the connect by the RPC timeout too: a black-holed peer must
+  // not stall the caller for the kernel's SYN timeout.
+  auto fd = ConnectTcp(host, port, options_.timeout_ms);
   if (!fd.ok()) return fd.status();
   fd_ = *fd;
   timeval tv{};
@@ -50,7 +52,7 @@ StatusOr<Response> Client::CallInner(const Request& request) {
     if (!next.ok()) return next.status();
     if (*next) break;
     char buf[64 * 1024];
-    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    ssize_t n = RecvSome(fd_, buf, sizeof(buf));
     if (n > 0) {
       reader_.Feed(buf, static_cast<size_t>(n));
       continue;

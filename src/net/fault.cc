@@ -1,0 +1,139 @@
+#include "net/fault.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace wfit::net {
+namespace {
+
+std::atomic<FaultInjector*> g_injector{nullptr};
+
+// splitmix64: decorrelates the per-connection streams from the base seed
+// so consecutive connection ordinals don't get correlated mt19937 states.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::string DestKey(const std::string& host, uint16_t port) {
+  return host + ":" + std::to_string(port);
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(const FaultOptions& options)
+    : options_(options), connect_rng_(Mix(options.seed ^ 0xc0fefeULL)) {}
+
+void FaultInjector::Install(const FaultOptions& options) {
+  Uninstall();
+  g_injector.store(new FaultInjector(options), std::memory_order_release);
+}
+
+void FaultInjector::Uninstall() {
+  FaultInjector* old = g_injector.exchange(nullptr, std::memory_order_acq_rel);
+  delete old;
+}
+
+FaultInjector* FaultInjector::Get() {
+  return g_injector.load(std::memory_order_acquire);
+}
+
+void FaultInjector::PartitionTo(const std::string& host, uint16_t port) {
+  std::lock_guard<std::mutex> lock(mu_);
+  blocked_.insert(DestKey(host, port));
+}
+
+void FaultInjector::HealTo(const std::string& host, uint16_t port) {
+  std::lock_guard<std::mutex> lock(mu_);
+  blocked_.erase(DestKey(host, port));
+}
+
+void FaultInjector::HealAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  blocked_.clear();
+}
+
+Status FaultInjector::OnConnect(const std::string& host, uint16_t port) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string dest = DestKey(host, port);
+  if (blocked_.count(dest) != 0) {
+    ++counters_.partition_blocks;
+    return Status::Internal("fault: one-way partition to " + dest);
+  }
+  if (options_.connect_fail > 0.0 &&
+      connect_rng_.Bernoulli(options_.connect_fail)) {
+    ++counters_.connects_failed;
+    return Status::Internal("fault: connect to " + dest + " dropped");
+  }
+  return Status::Ok();
+}
+
+void FaultInjector::RegisterFd(int fd, const std::string& host,
+                               uint16_t port) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t ordinal = next_conn_ordinal_++;
+  conns_.erase(fd);
+  conns_.emplace(fd, Conn(DestKey(host, port),
+                          Mix(options_.seed) ^ Mix(ordinal + 1)));
+}
+
+void FaultInjector::ForgetFd(int fd) {
+  std::lock_guard<std::mutex> lock(mu_);
+  conns_.erase(fd);
+}
+
+FaultInjector::SendPlan FaultInjector::PlanSend(int fd, size_t payload_bytes) {
+  SendPlan plan;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return plan;  // not a dialed connection
+  Conn& conn = it->second;
+  if (blocked_.count(conn.dest) != 0) {
+    ++counters_.partition_blocks;
+    plan.action = SendAction::kDrop;
+    return plan;
+  }
+  if (options_.delay > 0.0 && conn.rng.Bernoulli(options_.delay)) {
+    ++counters_.delays;
+    plan.delay_ms = options_.delay_ms;
+  }
+  if (options_.send_drop > 0.0 && conn.rng.Bernoulli(options_.send_drop)) {
+    ++counters_.sends_dropped;
+    plan.action = SendAction::kDrop;
+    return plan;
+  }
+  if (options_.send_tear > 0.0 && conn.rng.Bernoulli(options_.send_tear) &&
+      payload_bytes > 1) {
+    ++counters_.sends_torn;
+    plan.action = SendAction::kTear;
+    plan.tear_bytes = static_cast<size_t>(conn.rng.UniformInt(
+        1, static_cast<int64_t>(std::min<size_t>(payload_bytes - 1, 1 << 20))));
+    return plan;
+  }
+  if (options_.send_dup > 0.0 && conn.rng.Bernoulli(options_.send_dup)) {
+    ++counters_.sends_duplicated;
+    plan.action = SendAction::kDup;
+    return plan;
+  }
+  return plan;
+}
+
+int FaultInjector::PlanRecvDelayMs(int fd) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return 0;
+  if (options_.delay > 0.0 && it->second.rng.Bernoulli(options_.delay)) {
+    ++counters_.delays;
+    return options_.delay_ms;
+  }
+  return 0;
+}
+
+FaultInjector::Counters FaultInjector::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+}  // namespace wfit::net

@@ -1,0 +1,139 @@
+// Deterministic fault injection below the socket helpers: a process-wide
+// seam that net/socket.cc consults on connect, send and receive, so chaos
+// tests and the failover bench can script transport misbehavior — dropped
+// connects, dropped / torn / duplicated sends, injected delays, and
+// one-way partitions — without touching kernel state or real networks.
+//
+// Determinism: every connection gets its own Rng stream derived from
+// (seed, connection ordinal), so the fault schedule a connection sees
+// depends only on its own operation sequence. Faults never corrupt
+// payloads silently — a torn or duplicated send always fails the calling
+// RPC, which forces the client through the same reconnect/retry path a
+// real mid-stream failure would, and exactly-once submission absorbs the
+// duplicates. That is what keeps fault-injected runs trajectory-identical
+// to clean ones.
+//
+// Partitions are keyed by DESTINATION ("host:port"): blocking a
+// destination stops new connects and poisons established connections
+// toward it while traffic in the other direction flows untouched — a
+// one-way partition as seen from this process.
+//
+// Only connections opened through ConnectTcp participate (the dial side
+// registers the fd); server-accepted fds pass through untouched.
+#ifndef WFIT_NET_FAULT_H_
+#define WFIT_NET_FAULT_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace wfit::net {
+
+struct FaultOptions {
+  uint64_t seed = 1;
+  /// Probability a ConnectTcp attempt fails outright.
+  double connect_fail = 0.0;
+  /// Probability a send fails without writing anything (connection lost).
+  double send_drop = 0.0;
+  /// Probability a send writes a strict prefix, then fails (torn write).
+  double send_tear = 0.0;
+  /// Probability the payload is delivered twice, then the call fails —
+  /// the peer sees a duplicate; the caller reconnects and retries.
+  double send_dup = 0.0;
+  /// Probability of an injected stall before a send or receive.
+  double delay = 0.0;
+  int delay_ms = 2;
+};
+
+class FaultInjector {
+ public:
+  /// What WriteAll should do with one send. `tear_bytes` is meaningful
+  /// only for kTear (strictly less than the payload size).
+  enum class SendAction : uint8_t { kPass, kDrop, kTear, kDup };
+  struct SendPlan {
+    SendAction action = SendAction::kPass;
+    size_t tear_bytes = 0;
+    int delay_ms = 0;
+  };
+
+  struct Counters {
+    uint64_t connects_failed = 0;
+    uint64_t sends_dropped = 0;
+    uint64_t sends_torn = 0;
+    uint64_t sends_duplicated = 0;
+    uint64_t delays = 0;
+    uint64_t partition_blocks = 0;
+    uint64_t total() const {
+      return connects_failed + sends_dropped + sends_torn +
+             sends_duplicated + delays + partition_blocks;
+    }
+  };
+
+  /// Installs the process-wide injector (replacing any previous one).
+  /// Tests pair this with Uninstall, typically via ScopedFaultInjection.
+  static void Install(const FaultOptions& options);
+  static void Uninstall();
+  /// The installed injector, or null when fault injection is off — the
+  /// fast path every socket helper checks first.
+  static FaultInjector* Get();
+
+  // --- Scripted partitions ----------------------------------------------
+  /// Blocks this process's traffic TOWARD host:port (connects fail,
+  /// sends on established connections fail). Traffic FROM host:port is
+  /// untouched — a one-way partition.
+  void PartitionTo(const std::string& host, uint16_t port);
+  void HealTo(const std::string& host, uint16_t port);
+  void HealAll();
+
+  // --- Hooks for socket.cc ----------------------------------------------
+  /// Non-OK when the connect must fail (partition or scripted drop).
+  Status OnConnect(const std::string& host, uint16_t port);
+  /// Associates a successfully connected fd with its destination and a
+  /// fresh deterministic fault stream.
+  void RegisterFd(int fd, const std::string& host, uint16_t port);
+  void ForgetFd(int fd);
+  /// The injector's verdict for one send of `payload_bytes` on fd.
+  SendPlan PlanSend(int fd, size_t payload_bytes);
+  /// Milliseconds to stall before the next receive on fd (usually 0).
+  int PlanRecvDelayMs(int fd);
+
+  Counters counters() const;
+
+ private:
+  explicit FaultInjector(const FaultOptions& options);
+
+  struct Conn {
+    std::string dest;  // "host:port"
+    Rng rng;
+    explicit Conn(std::string d, uint64_t seed)
+        : dest(std::move(d)), rng(seed) {}
+  };
+
+  FaultOptions options_;
+  mutable std::mutex mu_;
+  std::set<std::string> blocked_;
+  std::map<int, Conn> conns_;
+  uint64_t next_conn_ordinal_ = 0;
+  Rng connect_rng_;
+  Counters counters_;
+};
+
+/// RAII install/uninstall for tests.
+class ScopedFaultInjection {
+ public:
+  explicit ScopedFaultInjection(const FaultOptions& options) {
+    FaultInjector::Install(options);
+  }
+  ~ScopedFaultInjection() { FaultInjector::Uninstall(); }
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+};
+
+}  // namespace wfit::net
+
+#endif  // WFIT_NET_FAULT_H_

@@ -7,6 +7,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <utility>
@@ -59,7 +60,10 @@ Status Server::Start() {
 
   started_ = true;
   loop_thread_ = std::thread([this] { EventLoop(); });
-  admin_thread_ = std::thread([this] { AdminLoop(); });
+  const size_t workers = std::max<size_t>(options_.admin_workers, 1);
+  for (size_t i = 0; i < workers; ++i) {
+    admin_threads_.emplace_back([this] { AdminLoop(); });
+  }
   return Status::Ok();
 }
 
@@ -74,7 +78,8 @@ void Server::Shutdown() {
     admin_stop_ = true;
   }
   admin_cv_.notify_all();
-  admin_thread_.join();
+  for (std::thread& t : admin_threads_) t.join();
+  admin_threads_.clear();
   // Best-effort final flush so a response produced during shutdown (e.g.
   // the reply to kShutdownNode itself) still reaches the peer.
   for (auto& [fd, conn] : conns_) {
@@ -221,15 +226,33 @@ void Server::DispatchInline(const std::shared_ptr<Conn>& conn,
     return;
   }
   if (is_slow_(req.type)) {
+    bool shed = false;
     {
-      std::lock_guard<std::mutex> lock(conn->mu);
-      conn->busy = true;
-    }
-    {
+      // Capacity check and enqueue are atomic under admin_mu_; busy is
+      // flipped inside the same critical section (conn->mu nests under
+      // admin_mu_ here and nowhere else) so a shed never leaves a
+      // connection parked busy with no admin job to un-park it.
       std::lock_guard<std::mutex> lock(admin_mu_);
-      admin_queue_.push_back(AdminJob{conn, std::move(req)});
+      if (admin_queue_.size() >= options_.max_admin_queue) {
+        shed = true;
+      } else {
+        {
+          std::lock_guard<std::mutex> clock(conn->mu);
+          conn->busy = true;
+        }
+        admin_queue_.push_back(AdminJob{conn, std::move(req)});
+        admin_queue_depth_.store(admin_queue_.size());
+      }
     }
-    admin_cv_.notify_one();
+    if (!shed) {
+      admin_cv_.notify_one();
+      return;
+    }
+    admin_shed_total_.fetch_add(1);
+    Response busy;
+    busy.kind = RespKind::kBusy;
+    busy.message = "admin queue full";
+    WriteResponse(conn, busy, /*from_event_loop=*/true);
     return;
   }
   Response resp = fast_(req);
@@ -257,6 +280,7 @@ void Server::AdminLoop() {
       if (admin_queue_.empty()) return;  // stop requested, queue drained
       job = std::move(admin_queue_.front());
       admin_queue_.pop_front();
+      admin_queue_depth_.store(admin_queue_.size());
     }
     Response resp = slow_(job.request);
     WriteResponse(job.conn, resp, /*from_event_loop=*/false);

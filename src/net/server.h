@@ -25,6 +25,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "common/status.h"
 #include "net/frame.h"
@@ -37,6 +38,16 @@ struct ServerOptions {
   /// 0 binds an ephemeral port; read it back with port().
   uint16_t port = 0;
   uint32_t max_frame_bytes = kMaxFrameBytes;
+  /// Admin (slow-path) jobs queued beyond this respond kBusy instead of
+  /// queueing unboundedly — a stall in one checkpoint-sized RPC must not
+  /// let a retrying client grow the queue without limit.
+  size_t max_admin_queue = 128;
+  /// Admin worker threads. Must be >= 2: a decommission occupies one
+  /// worker while it orchestrates remote migrations, and the resulting
+  /// kMigrateIn callbacks land on another — with a single worker that
+  /// cycle deadlocks until the RPC times out. Per-connection ordering is
+  /// unaffected (one in-flight admin job per connection, ever).
+  size_t admin_workers = 2;
 };
 
 class Server {
@@ -66,6 +77,10 @@ class Server {
   uint16_t port() const { return port_; }
 
   uint64_t requests_served() const { return requests_served_.load(); }
+  /// Admin jobs currently queued (excludes the one being executed).
+  size_t admin_queue_depth() const { return admin_queue_depth_.load(); }
+  /// Admin jobs shed with kBusy because the queue was at max_admin_queue.
+  uint64_t admin_shed_total() const { return admin_shed_total_.load(); }
 
  private:
   struct Conn {
@@ -114,7 +129,7 @@ class Server {
   std::map<int, std::shared_ptr<Conn>> conns_;  // event-loop thread only
 
   std::thread loop_thread_;
-  std::thread admin_thread_;
+  std::vector<std::thread> admin_threads_;
   std::atomic<bool> stop_{false};
   bool started_ = false;
   bool shut_down_ = false;
@@ -125,6 +140,8 @@ class Server {
   bool admin_stop_ = false;
 
   std::atomic<uint64_t> requests_served_{0};
+  std::atomic<size_t> admin_queue_depth_{0};
+  std::atomic<uint64_t> admin_shed_total_{0};
 };
 
 }  // namespace wfit::net

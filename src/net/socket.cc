@@ -9,8 +9,14 @@
 #include <sys/types.h>
 #include <unistd.h>
 
+#include <poll.h>
+
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
+
+#include "net/fault.h"
 
 namespace wfit::net {
 
@@ -69,7 +75,56 @@ StatusOr<int> ListenTcp(const std::string& host, uint16_t port,
   return last;
 }
 
-StatusOr<int> ConnectTcp(const std::string& host, uint16_t port) {
+namespace {
+
+/// Bounded connect: non-blocking connect + poll, then back to blocking.
+/// Keeps a black-holed or heavily partitioned peer from pinning the
+/// caller (the membership prober in particular) on the kernel's
+/// multi-second SYN timeout.
+Status ConnectWithTimeout(int fd, const addrinfo* ai, int timeout_ms) {
+  Status st = SetNonBlocking(fd);
+  if (!st.ok()) return st;
+  int rc;
+  do {
+    rc = ::connect(fd, ai->ai_addr, ai->ai_addrlen);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0 && errno != EINPROGRESS) return ErrnoStatus("connect", errno);
+  if (rc != 0) {
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    do {
+      rc = ::poll(&pfd, 1, timeout_ms);
+    } while (rc < 0 && errno == EINTR);
+    if (rc == 0) {
+      return Status::Internal("connect timed out after " +
+                              std::to_string(timeout_ms) + "ms");
+    }
+    if (rc < 0) return ErrnoStatus("poll(connect)", errno);
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+      return ErrnoStatus("getsockopt(SO_ERROR)", errno);
+    }
+    if (err != 0) return ErrnoStatus("connect", err);
+  }
+  // Restore blocking mode for the caller's send/recv loops.
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return ErrnoStatus("fcntl(F_GETFL)", errno);
+  if (::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK) < 0) {
+    return ErrnoStatus("fcntl(F_SETFL)", errno);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<int> ConnectTcp(const std::string& host, uint16_t port,
+                         int timeout_ms) {
+  if (FaultInjector* fi = FaultInjector::Get()) {
+    Status st = fi->OnConnect(host, port);
+    if (!st.ok()) return st;
+  }
   auto resolved = Resolve(host, port, /*passive=*/false);
   if (!resolved.ok()) return resolved.status();
   addrinfo* list = *resolved;
@@ -80,20 +135,33 @@ StatusOr<int> ConnectTcp(const std::string& host, uint16_t port) {
       last = ErrnoStatus("socket", errno);
       continue;
     }
-    int rc;
-    do {
-      rc = ::connect(fd, ai->ai_addr, ai->ai_addrlen);
-    } while (rc != 0 && errno == EINTR);
-    if (rc != 0) {
-      last = ErrnoStatus("connect " + host + ":" + std::to_string(port),
-                         errno);
-      CloseFd(fd);
-      continue;
+    if (timeout_ms >= 0) {
+      Status st = ConnectWithTimeout(fd, ai, timeout_ms);
+      if (!st.ok()) {
+        last = Status::Internal(st.message() + " (" + host + ":" +
+                                std::to_string(port) + ")");
+        CloseFd(fd);
+        continue;
+      }
+    } else {
+      int rc;
+      do {
+        rc = ::connect(fd, ai->ai_addr, ai->ai_addrlen);
+      } while (rc != 0 && errno == EINTR);
+      if (rc != 0) {
+        last = ErrnoStatus("connect " + host + ":" + std::to_string(port),
+                           errno);
+        CloseFd(fd);
+        continue;
+      }
     }
     // RPCs are request/response; Nagle only adds latency here.
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     ::freeaddrinfo(list);
+    if (FaultInjector* fi = FaultInjector::Get()) {
+      fi->RegisterFd(fd, host, port);
+    }
     return fd;
   }
   ::freeaddrinfo(list);
@@ -124,7 +192,9 @@ Status SetNonBlocking(int fd) {
   return Status::Ok();
 }
 
-Status WriteAll(int fd, std::string_view data) {
+namespace {
+
+Status WriteAllRaw(int fd, std::string_view data) {
   while (!data.empty()) {
     ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
     if (n < 0) {
@@ -136,8 +206,54 @@ Status WriteAll(int fd, std::string_view data) {
   return Status::Ok();
 }
 
+}  // namespace
+
+Status WriteAll(int fd, std::string_view data) {
+  FaultInjector* fi = FaultInjector::Get();
+  if (fi == nullptr) return WriteAllRaw(fd, data);
+  const FaultInjector::SendPlan plan = fi->PlanSend(fd, data.size());
+  if (plan.delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(plan.delay_ms));
+  }
+  switch (plan.action) {
+    case FaultInjector::SendAction::kPass:
+      return WriteAllRaw(fd, data);
+    case FaultInjector::SendAction::kDrop:
+      return Status::Internal("fault: send dropped");
+    case FaultInjector::SendAction::kTear:
+      // A strict prefix reaches the peer (it will see a truncated frame
+      // or a poisoned stream), then the call fails like a torn write.
+      (void)WriteAllRaw(fd, data.substr(0, plan.tear_bytes));
+      return Status::Internal("fault: torn write (" +
+                              std::to_string(plan.tear_bytes) + "/" +
+                              std::to_string(data.size()) + " bytes)");
+    case FaultInjector::SendAction::kDup: {
+      // The peer receives the payload twice — duplicate delivery — and
+      // the caller still sees a failure, so it reconnects and retries
+      // like any at-least-once client. Exactly-once submission upstream
+      // must absorb the duplicate.
+      Status st = WriteAllRaw(fd, data);
+      if (st.ok()) st = WriteAllRaw(fd, data);
+      if (!st.ok()) return st;
+      return Status::Internal("fault: send duplicated, connection dropped");
+    }
+  }
+  return WriteAllRaw(fd, data);
+}
+
+ssize_t RecvSome(int fd, char* buf, size_t cap) {
+  if (FaultInjector* fi = FaultInjector::Get()) {
+    int delay_ms = fi->PlanRecvDelayMs(fd);
+    if (delay_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+    }
+  }
+  return ::recv(fd, buf, cap, 0);
+}
+
 void CloseFd(int fd) {
   if (fd < 0) return;
+  if (FaultInjector* fi = FaultInjector::Get()) fi->ForgetFd(fd);
   int rc;
   do {
     rc = ::close(fd);

@@ -19,8 +19,14 @@ namespace wfit::net {
 StatusOr<int> ListenTcp(const std::string& host, uint16_t port,
                         int backlog = 64);
 
-/// Blocking connect to host:port.
-StatusOr<int> ConnectTcp(const std::string& host, uint16_t port);
+/// Connect to host:port. With timeout_ms >= 0 the connect itself is
+/// bounded (non-blocking connect + poll) so a black-holed peer cannot
+/// stall the caller for the kernel's SYN timeout; the returned socket is
+/// blocking either way. timeout_ms < 0 keeps the historic fully blocking
+/// behavior. Consults the FaultInjector (partitions, scripted connect
+/// drops) when one is installed.
+StatusOr<int> ConnectTcp(const std::string& host, uint16_t port,
+                         int timeout_ms = -1);
 
 /// The port a socket is actually bound to (ephemeral-bind readback).
 StatusOr<uint16_t> LocalPort(int fd);
@@ -29,8 +35,18 @@ Status SetNonBlocking(int fd);
 
 /// Writes the whole buffer, retrying on short writes and EINTR. Only for
 /// blocking sockets (the client); the server's event loop buffers
-/// partial writes itself.
+/// partial writes itself. When a FaultInjector is installed, dialed
+/// connections may see the send dropped, torn (a strict prefix hits the
+/// wire), duplicated (the peer receives it twice), or delayed — every
+/// injected fault surfaces as a non-OK Status so the caller tears the
+/// connection down exactly as it would for a real transport failure.
 Status WriteAll(int fd, std::string_view data);
+
+/// recv(2) passthrough used by the blocking client: returns the raw
+/// return value with errno preserved (0 = peer closed, <0 = error /
+/// SO_RCVTIMEO timeout). Exists so the FaultInjector can stall reads on
+/// dialed connections.
+ssize_t RecvSome(int fd, char* buf, size_t cap);
 
 /// close(2) tolerant of EINTR; safe on -1.
 void CloseFd(int fd);

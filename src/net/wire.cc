@@ -42,6 +42,7 @@ std::string EncodeRequest(const Request& req) {
     e.PutIndexSet(v.minus);
   }
   e.PutString(req.config_blob);
+  e.PutString(req.node_id);
   return e.Release();
 }
 
@@ -50,7 +51,7 @@ Status DecodeRequest(std::string_view payload, Request* out) {
   uint8_t type_byte = 0;
   WFIT_RETURN_IF_ERROR(CheckVersionAndType(&d, &type_byte));
   if (type_byte < static_cast<uint8_t>(MsgType::kPing) ||
-      type_byte > static_cast<uint8_t>(MsgType::kShutdownNode)) {
+      type_byte > static_cast<uint8_t>(MsgType::kDecommission)) {
     return Status::InvalidArgument("wire: unknown request type " +
                                    std::to_string(type_byte));
   }
@@ -78,6 +79,7 @@ Status DecodeRequest(std::string_view payload, Request* out) {
     out->votes.push_back(std::move(v));
   }
   WFIT_RETURN_IF_ERROR(d.GetString(&out->config_blob));
+  WFIT_RETURN_IF_ERROR(d.GetString(&out->node_id));
   if (!d.done()) {
     return Status::InvalidArgument("wire: trailing bytes after request");
   }

@@ -23,7 +23,9 @@
 namespace wfit::net {
 
 /// Bumped on any incompatible layout change; both sides refuse mismatches.
-inline constexpr uint8_t kWireVersion = 1;
+/// v2: added Request::node_id + the membership RPCs (kHeartbeat,
+/// kDecommission).
+inline constexpr uint8_t kWireVersion = 2;
 
 enum class MsgType : uint8_t {
   kPing = 1,
@@ -45,6 +47,15 @@ enum class MsgType : uint8_t {
   kDrain = 14,       // evict every idle tenant (checkpoint-then-close)
   kSetConfig = 15,   // config_blob: adopt a newer cluster config
   kShutdownNode = 16,
+  // Membership (fast path): node_id = sender, seq = sender's config
+  // version; the receiver answers with its own node id in owner_id and
+  // its config version in config_version, so both sides learn who is
+  // fresher from a single round trip.
+  kHeartbeat = 17,
+  // Admin plane: drain target_node (migrating every tenant to its
+  // rendezvous owner among the remaining nodes) and drop it from the
+  // cluster config. Handled by any membership-enabled node.
+  kDecommission = 18,
 };
 
 /// A future-keyed DBA vote in flight during a migration handoff.
@@ -66,6 +77,7 @@ struct Request {
   std::string pack;         // kMigrateIn: packed checkpoint tree
   std::vector<VoteWire> votes;  // kMigrateIn: carried votes
   std::string config_blob;  // kMigrateIn / kSetConfig: encoded ClusterConfig
+  std::string node_id;      // kHeartbeat: sender's node id
 };
 
 enum class RespKind : uint8_t {
@@ -94,7 +106,10 @@ struct Response {
   uint64_t analyzed = 0;    // kGetRecommendation / kGetAnalyzed
   uint64_t version = 0;     // recommendation publication version
   std::string text;         // kScrapeMetrics / kGetConfig / kPing echo
-  std::vector<std::string> tenants;   // kListTenants
+  // kListTenants: resident tenants first (sorted), then persisted-only
+  // tenants (sorted); `count` holds the resident prefix length so the
+  // rebalancer can read load without a second RPC.
+  std::vector<std::string> tenants;
   std::vector<IndexSet> history;      // kGetHistory
   uint64_t history_start = 0;         // kGetHistory
   uint64_t count = 0;       // kDrain evicted / kMigrate handoff millis

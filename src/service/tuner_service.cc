@@ -261,7 +261,7 @@ void TunerService::Shutdown() {
     finished_ = true;
     while (ProcessBatch() > 0) {
     }
-    DrainTail(/*apply_all_feedback=*/true,
+    DrainTail(/*apply_all_feedback=*/options_.checkpoint_on_shutdown,
               /*force_checkpoint=*/options_.checkpoint_on_shutdown);
   } else if (!joined_) {
     worker_.join();
@@ -519,8 +519,12 @@ void TunerService::WorkerLoop() {
     if (n == 0) break;  // closed and drained
     AnalyzeBatch(batch, first_seq, n);
   }
-  // Drain path: votes cast after the final statement still take effect.
-  DrainTail(/*apply_all_feedback=*/true,
+  // Drain path: votes cast after the final statement still take effect —
+  // except in crash-realistic mode (checkpoint_on_shutdown=false), where
+  // applying a future-keyed vote early would journal it at a boundary a
+  // real crash could never have reached; it dies un-applied instead, and
+  // recovery re-pins it.
+  DrainTail(/*apply_all_feedback=*/options_.checkpoint_on_shutdown,
             /*force_checkpoint=*/options_.checkpoint_on_shutdown);
 }
 

@@ -76,7 +76,10 @@ struct TunerServiceOptions {
   /// Snapshot cadence: a checkpoint is taken at the first batch boundary
   /// after this many statements since the last one.
   uint64_t checkpoint_every_statements = 1024;
-  /// Take a final checkpoint when the worker drains at Shutdown.
+  /// Take a final checkpoint when the worker drains at Shutdown. False is
+  /// crash-realistic shutdown: no parting snapshot, and future-keyed votes
+  /// die un-applied (journaling them at an early boundary is something no
+  /// real crash could do; recovery re-pins them instead).
   bool checkpoint_on_shutdown = true;
   /// fsync the journal once per ingested batch (before analysis) and
   /// whenever applied feedback precedes further analysis. Disabling trades

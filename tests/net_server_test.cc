@@ -278,5 +278,55 @@ TEST(NetClientTest, ConnectionRefusedIsAStatus) {
   EXPECT_FALSE(client.Connect("127.0.0.1", 1).ok());
 }
 
+TEST(AdminQueueTest, ShedsWithBusyUnderBacklogAndDrainsToZero) {
+  // Tiny admin queue + a deliberately slow handler: with two workers
+  // occupied and two jobs queued, every further admin RPC must be shed
+  // with kBusy immediately instead of queueing unboundedly — and once
+  // the burst passes, the depth gauge must read zero again.
+  ServerOptions options;
+  options.max_admin_queue = 2;
+  std::atomic<int> slow_served{0};
+  Server server(
+      [](const Request&) { return Response{}; },
+      [&slow_served](const Request&) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        slow_served.fetch_add(1);
+        return Response{};
+      },
+      [](MsgType type) { return type == MsgType::kDrain; }, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kClients = 10;
+  std::atomic<int> busy{0}, ok{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&server, &busy, &ok] {
+      Client client;
+      ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+      Request req;
+      req.type = MsgType::kDrain;
+      auto resp = client.Call(req);
+      ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+      if (resp->kind == RespKind::kBusy) {
+        busy.fetch_add(1);
+      } else if (resp->kind == RespKind::kOk) {
+        ok.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // 2 workers + 2 queue slots < 10 near-simultaneous jobs: some were
+  // shed, some served, and nobody hung.
+  EXPECT_GT(busy.load(), 0);
+  EXPECT_GT(ok.load(), 0);
+  EXPECT_EQ(busy.load() + ok.load(), kClients);
+  EXPECT_EQ(ok.load(), slow_served.load());
+  EXPECT_GT(server.admin_shed_total(), 0u);
+  EXPECT_EQ(server.admin_queue_depth(), 0u);
+  server.Shutdown();
+}
+
 }  // namespace
 }  // namespace wfit::net

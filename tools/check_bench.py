@@ -32,6 +32,7 @@ GATED = [
 # --max-regression above the baseline.
 GATED_LOWER = [
     "migration_handoff_ms",
+    "failover_takeover_ms",
 ]
 
 

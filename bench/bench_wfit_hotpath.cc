@@ -35,6 +35,7 @@
 #include "common/worker_pool.h"
 #include "core/wfit.h"
 #include "harness/reporting.h"
+#include "obs/trace.h"
 #include "optimizer/index_extractor.h"
 
 namespace wfit {
@@ -228,6 +229,32 @@ int main() {
                       with_cache.cache.cross_hit_rate());
     json.emplace_back("whatif_cross_stmt_speedup",
                       with_cache.stmts_per_minute / without.stmts_per_minute);
+  }
+
+  // --- Tracing overhead: the same single-threaded replay with runtime
+  // tracing off vs on (spans recorded into the per-thread rings). Gated
+  // at <= 5% by tools/check_bench.py; the trajectories must not move.
+  {
+    WfitOptions options;
+    Wfit off_tuner(&env.pool(), &env.optimizer(), IndexSet{}, options);
+    RunStats off = Replay(&off_tuner, workload, env.optimizer());
+    obs::SetTracingEnabled(true);
+    Wfit on_tuner(&env.pool(), &env.optimizer(), IndexSet{}, options);
+    RunStats on = Replay(&on_tuner, workload, env.optimizer());
+    obs::SetTracingEnabled(false);
+    const obs::TraceCounters traced = obs::CollectTraceCounters();
+    obs::ClearTraceForTest();
+    ok &= Check(SameTrajectory(off.trajectory, on.trajectory),
+                "tracing-enabled trajectory mismatch");
+    const double overhead_pct =
+        off.seconds > 0.0 ? (on.seconds - off.seconds) / off.seconds * 100.0
+                          : 0.0;
+    std::cout << "\ntracing overhead: off " << std::fixed
+              << std::setprecision(2) << off.seconds << "s vs on "
+              << on.seconds << "s (" << std::showpos << overhead_pct
+              << "%" << std::noshowpos << ", " << traced.recorded
+              << " spans recorded)\n";
+    json.emplace_back("tracing_overhead_pct", overhead_pct);
   }
 
   json.emplace_back("wfit_hotpath_trajectories_identical", ok ? 1.0 : 0.0);

@@ -23,8 +23,11 @@
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -32,12 +35,48 @@
 #include "cluster/cluster_client.h"
 #include "cluster/demo_env.h"
 #include "cluster/placement.h"
+#include "obs/trace_export.h"
 
 namespace {
 
 using namespace wfit;
 using cluster::ClusterClient;
 using cluster::DemoFleetEnv;
+
+/// Pulls every reachable node's span dump (kDumpTrace), merges them into
+/// one Chrome trace at `path`, and returns the number of distinct trace
+/// ids whose spans appear on two or more nodes — the distributed-trace
+/// stitching the CI smoke asserts on.
+size_t DumpFleetTrace(ClusterClient& client,
+                      const cluster::ClusterConfig& config,
+                      const std::string& path) {
+  std::vector<std::pair<std::string, std::vector<obs::Span>>> processes;
+  std::map<uint64_t, std::set<std::string>> trace_nodes;
+  size_t total = 0;
+  for (const cluster::NodeInfo& n : config.nodes) {
+    net::Request req;
+    req.type = net::MsgType::kDumpTrace;
+    auto resp = client.CallNode(n.id, std::move(req));
+    if (!resp.ok() || resp->kind != net::RespKind::kOk) continue;
+    std::vector<obs::Span> spans = obs::ParseSpanLines(resp->text);
+    for (const obs::Span& s : spans) {
+      if (s.trace_id != 0) trace_nodes[s.trace_id].insert(n.id);
+    }
+    total += spans.size();
+    processes.emplace_back("node " + n.id, std::move(spans));
+  }
+  size_t cross_node = 0;
+  for (const auto& [trace, nodes] : trace_nodes) {
+    if (nodes.size() >= 2) ++cross_node;
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (out) out << obs::ChromeTraceJsonMulti(processes);
+  std::cout << "[client] merged trace: " << total << " spans from "
+            << processes.size() << " node(s), cross-node traces: "
+            << cross_node << ", written to " << path << "\n"
+            << std::flush;
+  return cross_node;
+}
 
 struct Flags {
   std::string nodes;
@@ -48,6 +87,7 @@ struct Flags {
   std::string reference;
   bool shutdown_nodes = false;
   bool allow_gap = false;
+  std::string trace_out;  // merge fleet kDumpTrace dumps into this file
 };
 
 Flags ParseFlags(int argc, char** argv) {
@@ -75,12 +115,14 @@ Flags ParseFlags(int argc, char** argv) {
       flags.shutdown_nodes = true;
     } else if (arg == "--allow_gap") {
       flags.allow_gap = true;
+    } else if (const char* v = value("trace_out")) {
+      flags.trace_out = v;
     } else {
       std::cerr << "unknown flag: " << arg << "\n"
                 << "usage: wfit_client --nodes=SPEC [--tenants=N] "
                    "[--statements=N] [--migrate=TENANT:AFTER_N] "
                    "[--trajectory_out=F] [--reference=F] "
-                   "[--shutdown_nodes] [--allow_gap]\n";
+                   "[--shutdown_nodes] [--allow_gap] [--trace_out=F]\n";
       std::exit(64);
     }
   }
@@ -243,6 +285,10 @@ int main(int argc, char** argv) {
         flags.reference.empty() ? "" : flags.reference + suffix,
         tenant + " ");
     worst = std::max(worst, code);
+  }
+
+  if (!flags.trace_out.empty()) {
+    DumpFleetTrace(admin, config, flags.trace_out);
   }
 
   if (flags.shutdown_nodes) {

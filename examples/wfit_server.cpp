@@ -23,6 +23,7 @@
 #include <chrono>
 #include <csignal>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <thread>
@@ -31,12 +32,28 @@
 #include "cluster/membership.h"
 #include "cluster/node.h"
 #include "cluster/placement.h"
+#include "obs/log.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
 
 namespace {
 
 using namespace wfit;
 
 std::atomic<bool> g_stop{false};
+std::atomic<bool> g_dump_trace{false};  // set by SIGUSR2
+
+void DumpTrace(const std::string& node_id, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::cerr << "[wfit_server] cannot write trace to " << path << "\n";
+    return;
+  }
+  out << obs::ChromeTraceJson(obs::CollectSpans(), "node " + node_id);
+  std::cout << "[wfit_server] node " << node_id << " trace written to "
+            << path << "\n"
+            << std::flush;
+}
 
 struct Flags {
   std::string node_id;
@@ -49,6 +66,9 @@ struct Flags {
   std::string fleet_root;
   int heartbeat_ms = 50;
   int lease_ms = 600;
+  // Observability knobs.
+  bool trace = false;         // force tracing on (WFIT_TRACE also works)
+  std::string trace_out;      // Chrome trace path; default trace_<id>.json
 };
 
 Flags ParseFlags(int argc, char** argv) {
@@ -72,6 +92,10 @@ Flags ParseFlags(int argc, char** argv) {
       flags.statements = static_cast<size_t>(std::strtoull(v, nullptr, 10));
     } else if (arg == "--membership") {
       flags.membership = true;
+    } else if (arg == "--trace") {
+      flags.trace = true;
+    } else if (const char* v = value("trace_out")) {
+      flags.trace_out = v;
     } else if (const char* v = value("fleet_root")) {
       flags.fleet_root = v;
     } else if (const char* v = value("heartbeat_ms")) {
@@ -83,7 +107,8 @@ Flags ParseFlags(int argc, char** argv) {
                 << "usage: wfit_server --node_id=ID --nodes=SPEC "
                    "[--listen=HOST:PORT] [--checkpoint_root=DIR] "
                    "[--statements=N] [--membership --fleet_root=DIR "
-                   "--heartbeat_ms=N --lease_ms=N]\n";
+                   "--heartbeat_ms=N --lease_ms=N] "
+                   "[--trace] [--trace_out=PATH]\n";
       std::exit(64);
     }
   }
@@ -102,6 +127,15 @@ int main(int argc, char** argv) {
   sa.sa_handler = [](int) { g_stop.store(true); };
   ::sigaction(SIGTERM, &sa, nullptr);
   ::sigaction(SIGINT, &sa, nullptr);
+  struct sigaction dump {};
+  dump.sa_handler = [](int) { g_dump_trace.store(true); };
+  ::sigaction(SIGUSR2, &dump, nullptr);
+
+  obs::SetLogNodeId(flags.node_id);
+  if (flags.trace) obs::SetTracingEnabled(true);
+  const std::string trace_path = flags.trace_out.empty()
+                                     ? "trace_" + flags.node_id + ".json"
+                                     : flags.trace_out;
 
   auto config = cluster::ParseNodeList(flags.nodes);
   if (!config.ok()) {
@@ -160,6 +194,9 @@ int main(int argc, char** argv) {
   uint64_t reported_failovers = 0;
   while (!g_stop.load() && !node.ShutdownRequested()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (g_dump_trace.exchange(false)) {
+      DumpTrace(node.node_id(), trace_path);
+    }
     if (cluster::Membership* membership = node.membership()) {
       const cluster::MembershipCounters counters = membership->Counters();
       if (counters.failovers > reported_failovers) {
@@ -177,5 +214,6 @@ int main(int argc, char** argv) {
                "seal)\n"
             << std::flush;
   node.Shutdown();
+  if (obs::TracingEnabled()) DumpTrace(node.node_id(), trace_path);
   return 0;
 }

@@ -175,6 +175,41 @@ StatusOr<Response> ClusterClient::Call(const std::string& tenant,
                           tenant + " (" + last.ToString() + ")");
 }
 
+FleetHealth ClusterClient::FetchFleetHealth() {
+  FleetHealth fleet;
+  // Snapshot: CallNode can adopt a fresher config mid-sweep.
+  const std::vector<NodeInfo> nodes = config_.nodes;
+  for (const NodeInfo& n : nodes) {
+    if (dead_nodes_.count(n.id) != 0) continue;
+    net::Request req;
+    req.type = net::MsgType::kGetHealth;
+    auto resp = CallNode(n.id, req);
+    obs::NodeHealthReport report;
+    if (resp.ok() && resp->kind == RespKind::kOk &&
+        obs::DecodeHealthJson(resp->text, &report)) {
+      fleet.nodes.push_back(std::move(report));
+    } else {
+      fleet.unreachable.push_back(n.id);
+    }
+  }
+  return fleet;
+}
+
+std::string ClusterClient::ScrapeFleet() {
+  std::vector<std::pair<std::string, std::string>> scrapes;
+  const std::vector<NodeInfo> nodes = config_.nodes;
+  for (const NodeInfo& n : nodes) {
+    if (dead_nodes_.count(n.id) != 0) continue;
+    net::Request req;
+    req.type = net::MsgType::kScrapeMetrics;
+    auto resp = CallNode(n.id, req);
+    if (resp.ok() && resp->kind == RespKind::kOk) {
+      scrapes.emplace_back(n.id, std::move(resp->text));
+    }
+  }
+  return obs::MergeFleetScrapeText(scrapes);
+}
+
 StatusOr<Response> ClusterClient::CallNode(const std::string& node_id,
                                            net::Request request) {
   if (dead_nodes_.count(node_id) != 0) {

@@ -24,8 +24,17 @@
 #include "common/status.h"
 #include "net/client.h"
 #include "net/wire.h"
+#include "obs/health.h"
 
 namespace wfit::cluster {
+
+/// One kGetHealth sweep across the fleet: a report per answering node,
+/// plus the ids that could not be reached (known-dead nodes are skipped
+/// entirely — they are expected to be silent).
+struct FleetHealth {
+  std::vector<obs::NodeHealthReport> nodes;
+  std::vector<std::string> unreachable;
+};
 
 struct ClusterClientOptions {
   net::Client::Options rpc;
@@ -57,6 +66,13 @@ class ClusterClient {
   /// failover/decommission and will never answer again.
   StatusOr<net::Response> CallNode(const std::string& node_id,
                                    net::Request request);
+  /// Polls kGetHealth on every live node in the current config. Never
+  /// fails: nodes that do not answer land in `unreachable`.
+  FleetHealth FetchFleetHealth();
+  /// Aggregated Prometheus exposition across the live fleet: every
+  /// node's kScrapeMetrics output merged with a node="<id>" label
+  /// injected on each sample (obs::MergeFleetScrapeText).
+  std::string ScrapeFleet();
   const ClusterConfig& config() const { return config_; }
   /// True once membership removed `node_id` from a config this client
   /// has adopted.

@@ -105,6 +105,27 @@ std::vector<service::PinnedVote> DemoFleetEnv::PinnedVotesFor(
   return votes;
 }
 
+namespace {
+
+/// Deterministic nonzero trace id for statement `pos` of `tenant`. A
+/// crash-rewind resubmission reuses the id, so the retried RPC's spans
+/// join the original statement's trace instead of starting a fresh one.
+uint64_t SubmitTraceId(const std::string& tenant, uint64_t pos) {
+  uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a over the tenant name
+  for (char c : tenant) {
+    h = (h ^ static_cast<uint8_t>(c)) * 0x100000001b3ull;
+  }
+  h ^= pos + 0x9e3779b97f4a7c15ull;
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ull;  // SplitMix64 finalizer
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebull;
+  h ^= h >> 31;
+  return h | 1;  // zero means "no trace" on the wire
+}
+
+}  // namespace
+
 bool ReplayTenantWorkload(ClusterClient& client, DemoFleetEnv& env,
                           size_t tenant, bool register_votes,
                           int overall_deadline_ms) {
@@ -153,6 +174,11 @@ bool ReplayTenantWorkload(ClusterClient& client, DemoFleetEnv& env,
       req.seq = pos;
       req.has_statement = true;
       req.statement = workload[pos];
+      // Root the distributed trace at the submitting client: the node's
+      // srv.submit_at span and the analysis spans of this statement all
+      // inherit this id through the wire context.
+      req.trace_id = SubmitTraceId(id, pos);
+      req.parent_span = 0;
       auto resp = client.Call(id, std::move(req));
       if (resp.ok() && resp->kind == net::RespKind::kOk) {
         ++pos;

@@ -6,6 +6,8 @@
 
 #include "cluster/node.h"
 #include "common/check.h"
+#include "obs/log.h"
+#include "obs/trace.h"
 #include "persist/tenant_tree.h"
 
 namespace wfit::cluster {
@@ -187,7 +189,11 @@ void Membership::ProbeAndEvaluate() {
       if (resp.ok() && resp->kind == RespKind::kOk) {
         ClusterConfig fresh;
         if (DecodeClusterConfig(resp->text, &fresh).ok()) {
+          const uint64_t pulled_version = fresh.version;
           node_->InstallConfig(std::move(fresh));
+          obs::RecordInstant("config.pull",
+                             pull_from + " v" +
+                                 std::to_string(pulled_version));
         }
       }
     }
@@ -202,6 +208,7 @@ void Membership::ProbeAndEvaluate() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (auto& [id, state] : peers_) {
+      const NodeHealth before = state.health;
       if (now - state.last_heard > lease) {
         state.health = NodeHealth::kDead;
       } else if (state.misses >=
@@ -210,6 +217,18 @@ void Membership::ProbeAndEvaluate() {
       } else {
         state.health = NodeHealth::kAlive;
         state.failover_enqueued = false;
+      }
+      if (state.health != before) {
+        obs::RecordInstant("peer.health",
+                           id + ": " + NodeHealthName(before) + "->" +
+                               NodeHealthName(state.health));
+        obs::Log(state.health == NodeHealth::kDead ? obs::LogLevel::kWarn
+                                                   : obs::LogLevel::kInfo,
+                 "membership.transition")
+            .Str("peer", id)
+            .Str("from", NodeHealthName(before))
+            .Str("to", NodeHealthName(state.health))
+            .U64("misses", state.misses);
       }
     }
     if (options_.auto_failover) {
@@ -269,6 +288,9 @@ void Membership::OrchestratorLoop() {
 
 void Membership::FailOverDeadNode(const std::string& dead_id) {
   const auto t0 = Clock::now();
+  obs::SpanGuard span("failover");
+  span.SetDetail(dead_id);
+  obs::Log(obs::LogLevel::kWarn, "failover.start").Str("dead", dead_id);
   uint64_t moved = 0;
   uint64_t errors = 0;
   std::vector<std::string> adopted;
@@ -324,6 +346,7 @@ void Membership::FailOverDeadNode(const std::string& dead_id) {
                 ++errors;
                 continue;
               }
+              obs::RecordInstant("failover.adopt", tenant);
               adopted.push_back(tenant);
             }
           } else {
@@ -354,16 +377,27 @@ void Membership::FailOverDeadNode(const std::string& dead_id) {
     if (node_->Config().FindNode(dead_id) == nullptr) break;
   }
 
+  const uint64_t final_version = node_->Config().version;
   FanOutConfig(node_->Config());
   // Eager admission: adopted tenants start recovering now, not on first
   // client touch — takeover latency is paid here, once.
-  for (const std::string& tenant : adopted) {
-    (void)node_->router().Recommendation(tenant);
+  {
+    obs::SpanGuard recover_span("failover.recover");
+    recover_span.SetDetail(std::to_string(adopted.size()) + " tenants");
+    for (const std::string& tenant : adopted) {
+      (void)node_->router().Recommendation(tenant);
+    }
   }
   const uint64_t takeover_ms = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
                                                             t0)
           .count());
+  obs::Log(obs::LogLevel::kWarn, "failover.done")
+      .Str("dead", dead_id)
+      .U64("tenants_moved", moved)
+      .U64("errors", errors)
+      .U64("takeover_ms", takeover_ms)
+      .U64("config_version", final_version);
   std::lock_guard<std::mutex> lock(mu_);
   ++counters_.failovers;
   counters_.tenants_failed_over += moved;
@@ -451,12 +485,19 @@ void Membership::RebalanceOnce() {
     }
     if (!st.ok()) return;  // try again next round
     --budget;
+    obs::Log(obs::LogLevel::kInfo, "rebalance.moved")
+        .Str("tenant", tenant)
+        .Str("from", hottest->node.id)
+        .Str("to", coldest->node.id)
+        .U64("spread", spread);
     std::lock_guard<std::mutex> lock(mu_);
     ++counters_.rebalance_migrations;
   }
 }
 
 Status Membership::Decommission(const std::string& node_id) {
+  obs::SpanGuard span("decommission");
+  span.SetDetail(node_id);
   const ClusterConfig config = node_->Config();
   const NodeInfo* leaving = config.FindNode(node_id);
   if (leaving == nullptr) {
@@ -555,6 +596,10 @@ Status Membership::Decommission(const std::string& node_id) {
     set.config_blob = EncodeClusterConfig(node_->Config());
     (void)CallPeer(*leaving, set, options_.rpc_timeout_ms);
   }
+  obs::Log(obs::LogLevel::kInfo, "decommission.done")
+      .Str("node", node_id)
+      .U64("tenants_moved", tenants.size())
+      .U64("config_version", node_->Config().version);
   std::lock_guard<std::mutex> lock(mu_);
   ++counters_.decommissions;
   return Status::Ok();

@@ -9,6 +9,10 @@
 
 #include "common/check.h"
 #include "net/client.h"
+#include "obs/health.h"
+#include "obs/log.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
 #include "persist/tenant_tree.h"
 
 namespace wfit::cluster {
@@ -25,7 +29,8 @@ namespace {
 /// else must stay on the event loop.
 bool IsSlowType(MsgType type) {
   return type == MsgType::kMigrate || type == MsgType::kMigrateIn ||
-         type == MsgType::kDrain || type == MsgType::kDecommission;
+         type == MsgType::kDrain || type == MsgType::kDecommission ||
+         type == MsgType::kDumpTrace;
 }
 
 void NodeCounter(std::ostream& os, const char* name, uint64_t v,
@@ -152,6 +157,17 @@ std::string TunerNode::ScrapeText() {
      << "\n";
   NodeCounter(os, "admin_shed_total", server_->admin_shed_total(),
               "Admin RPCs shed with kBusy (queue at capacity)");
+  {
+    const obs::TraceCounters tc = obs::CollectTraceCounters();
+    os << "# HELP wfit_node_tracing_enabled 1 when span recording is on\n"
+       << "# TYPE wfit_node_tracing_enabled gauge\n"
+       << "wfit_node_tracing_enabled " << (obs::TracingEnabled() ? 1 : 0)
+       << "\n";
+    NodeCounter(os, "trace_spans_total", tc.recorded,
+                "Spans recorded into this node's trace rings");
+    NodeCounter(os, "trace_dropped_total", tc.dropped,
+                "Spans overwritten before any collection");
+  }
   if (membership_ != nullptr) {
     const MembershipCounters mc = membership_->Counters();
     NodeCounter(os, "heartbeats_sent_total", mc.heartbeats_sent,
@@ -166,6 +182,14 @@ std::string TunerNode::ScrapeText() {
                 "Tenants re-placed by failover");
     NodeCounter(os, "rebalance_migrations_total", mc.rebalance_migrations,
                 "Tenants moved by the rebalancer");
+    NodeCounter(os, "failover_errors_total", mc.failover_errors,
+                "Failover steps that failed and were retried or skipped");
+    NodeCounter(os, "decommissions_total", mc.decommissions,
+                "Planned node drains executed by this node");
+    os << "# HELP wfit_node_last_takeover_ms Wall-clock cost of the most"
+          " recent failover takeover\n"
+       << "# TYPE wfit_node_last_takeover_ms gauge\n"
+       << "wfit_node_last_takeover_ms " << mc.last_takeover_ms << "\n";
     os << "# HELP wfit_node_peer_health Peer health (0=alive 1=suspect"
           " 2=dead)\n"
        << "# TYPE wfit_node_peer_health gauge\n";
@@ -175,6 +199,47 @@ std::string TunerNode::ScrapeText() {
     }
   }
   return os.str();
+}
+
+obs::NodeHealthReport TunerNode::BuildHealthReport() {
+  obs::NodeHealthReport report;
+  report.node_id = options_.node_id;
+  {
+    std::lock_guard<std::mutex> lock(config_mu_);
+    report.config_version = config_.version;
+  }
+  const service::RouterMetricsSnapshot metrics = router_->Metrics();
+  report.tenants_known = metrics.tenants_known;
+  report.tenants_resident = metrics.tenants_resident;
+  report.queue_depth = metrics.aggregate.queue_depth;
+  report.statements_analyzed = metrics.aggregate.statements_analyzed;
+  report.admin_queue_depth = server_->admin_queue_depth();
+  report.admin_shed_total = server_->admin_shed_total();
+  if (membership_ != nullptr) {
+    report.membership_enabled = true;
+    report.acting_coordinator = membership_->IsActingCoordinator();
+    const MembershipCounters mc = membership_->Counters();
+    report.failovers = mc.failovers;
+    report.tenants_failed_over = mc.tenants_failed_over;
+    report.rebalance_migrations = mc.rebalance_migrations;
+    report.decommissions = mc.decommissions;
+    report.last_takeover_ms = mc.last_takeover_ms;
+    report.heartbeats_sent = mc.heartbeats_sent;
+    report.heartbeats_received = mc.heartbeats_received;
+    for (const PeerView& peer : membership_->Peers()) {
+      obs::PeerHealthEntry entry;
+      entry.id = peer.id;
+      entry.health = NodeHealthName(peer.health);
+      entry.consecutive_misses = peer.consecutive_misses;
+      entry.silence_ms = peer.silence_ms;
+      report.peers.push_back(std::move(entry));
+    }
+  }
+  report.tracing_enabled = obs::TracingEnabled();
+  const obs::TraceCounters tc = obs::CollectTraceCounters();
+  report.trace_spans = tc.recorded;
+  report.trace_dropped = tc.dropped;
+  return report;
 }
 
 Response TunerNode::HandleFast(const Request& req) {
@@ -303,10 +368,14 @@ Response TunerNode::HandleFast(const Request& req) {
       resp.config_version = config_.version;
       return resp;
     }
+    case MsgType::kGetHealth:
+      resp.text = obs::EncodeHealthJson(BuildHealthReport());
+      return resp;
     case MsgType::kMigrate:
     case MsgType::kMigrateIn:
     case MsgType::kDrain:
     case MsgType::kDecommission:
+    case MsgType::kDumpTrace:
       // Routed to HandleSlow by the server; reaching here is a bug.
       return net::ErrResp(
           Status::Internal("admin RPC dispatched to the fast path"));
@@ -331,6 +400,14 @@ Response TunerNode::HandleSlow(const Request& req) {
     }
     case MsgType::kMigrateIn:
       return HandleMigrateIn(req);
+    case MsgType::kDumpTrace: {
+      // Span-line text (one span per line) — cheap to merge and re-parse
+      // on the collecting side without a JSON parser; the final writer
+      // renders Chrome/Perfetto JSON.
+      Response resp;
+      resp.text = obs::FormatSpanLines(obs::CollectSpans());
+      return resp;
+    }
     case MsgType::kDecommission: {
       if (membership_ == nullptr) {
         return net::ErrResp(Status::FailedPrecondition(
@@ -346,6 +423,8 @@ Response TunerNode::HandleSlow(const Request& req) {
 }
 
 Response TunerNode::HandleMigrateIn(const Request& req) {
+  obs::SpanGuard span("migrate.in");
+  span.SetDetail(req.tenant + " " + std::to_string(req.pack.size()) + "B");
   if (options_.router.checkpoint_root.empty()) {
     return net::ErrResp(Status::FailedPrecondition(
         "migration target has no checkpoint root"));
@@ -376,8 +455,13 @@ Response TunerNode::HandleMigrateIn(const Request& req) {
   }
   st = router_->SeedCarriedVotes(req.tenant, std::move(votes));
   if (!st.ok()) return net::ErrResp(st);
+  const uint64_t incoming_version = incoming.version;
   if (has_config) InstallConfig(std::move(incoming));
   migrations_in_.fetch_add(1);
+  obs::Log(obs::LogLevel::kInfo, "migrate.landed")
+      .Str("tenant", req.tenant)
+      .U64("votes", req.votes.size())
+      .U64("config_version", incoming_version);
   return Response{};
 }
 
@@ -385,6 +469,8 @@ Status TunerNode::MigrateTenant(const std::string& tenant,
                                 const std::string& target_node_id,
                                 uint64_t* handoff_ms) {
   const auto t_start = std::chrono::steady_clock::now();
+  obs::SpanGuard mig_span("migrate.out");
+  mig_span.SetDetail(tenant + "->" + target_node_id);
   if (target_node_id == options_.node_id) {
     return Status::InvalidArgument("migration target is this node");
   }
@@ -404,6 +490,8 @@ Status TunerNode::MigrateTenant(const std::string& tenant,
     rollback = config_;
     config_.overrides[tenant] = target_node_id;
     ++config_.version;
+    obs::RecordInstant("migrate.override",
+                       "cfg v" + std::to_string(config_.version));
   }
   auto revert = [&] {
     std::lock_guard<std::mutex> lock(config_mu_);
@@ -417,15 +505,22 @@ Status TunerNode::MigrateTenant(const std::string& tenant,
   // Checkpoint-then-close. Evict refuses while the shard is mid-drain or
   // has buffered statements; in-flight work drains in milliseconds, so
   // retry on a short leash.
-  const auto deadline = t_start + std::chrono::seconds(15);
-  while (router_->IsResident(tenant)) {
-    if (router_->Evict(tenant)) break;
-    if (std::chrono::steady_clock::now() > deadline) {
-      revert();
-      return Status::Internal("migration: tenant " + tenant +
-                              " would not go idle within 15s");
+  {
+    obs::SpanGuard evict_span("migrate.evict");
+    evict_span.SetDetail(tenant);
+    const auto deadline = t_start + std::chrono::seconds(15);
+    while (router_->IsResident(tenant)) {
+      if (router_->Evict(tenant)) break;
+      if (std::chrono::steady_clock::now() > deadline) {
+        revert();
+        obs::Log(obs::LogLevel::kWarn, "migrate.evict_timeout")
+            .Str("tenant", tenant)
+            .Str("target", target_node_id);
+        return Status::Internal("migration: tenant " + tenant +
+                                " would not go idle within 15s");
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
     }
-    std::this_thread::sleep_for(std::chrono::milliseconds(2));
   }
 
   auto votes = router_->TakeCarriedVotes(tenant);
@@ -445,7 +540,11 @@ Status TunerNode::MigrateTenant(const std::string& tenant,
   }
   const std::string dir = persist::TenantCheckpointDir(
       options_.router.checkpoint_root, tenant);
-  auto pack = persist::PackCheckpointDir(dir);
+  StatusOr<std::string> pack = [&] {
+    obs::SpanGuard pack_span("migrate.pack");
+    pack_span.SetDetail(tenant);
+    return persist::PackCheckpointDir(dir);
+  }();
   if (!pack.ok()) {
     reseed();
     revert();
@@ -468,20 +567,30 @@ Status TunerNode::MigrateTenant(const std::string& tenant,
     ship.votes.push_back(std::move(v));
   }
 
-  net::Client client;
-  Status st = client.Connect(target.host, target.port);
-  if (st.ok()) {
-    auto called = client.Call(ship);
-    if (!called.ok()) {
-      st = called.status();
-    } else if (called->kind != RespKind::kOk) {
-      st = Status::Internal("migration target refused: " +
-                            called->message);
+  Status st;
+  {
+    obs::SpanGuard ship_span("migrate.ship");
+    ship_span.SetDetail(tenant + " " + std::to_string(ship.pack.size()) +
+                        "B");
+    net::Client client;
+    st = client.Connect(target.host, target.port);
+    if (st.ok()) {
+      auto called = client.Call(ship);
+      if (!called.ok()) {
+        st = called.status();
+      } else if (called->kind != RespKind::kOk) {
+        st = Status::Internal("migration target refused: " +
+                              called->message);
+      }
     }
   }
   if (!st.ok()) {
     reseed();
     revert();
+    obs::Log(obs::LogLevel::kWarn, "migrate.aborted")
+        .Str("tenant", tenant)
+        .Str("target", target_node_id)
+        .Str("error", st.ToString());
     return st;
   }
 
@@ -502,18 +611,26 @@ Status TunerNode::MigrateTenant(const std::string& tenant,
     std::lock_guard<std::mutex> lock(config_mu_);
     snapshot = config_;
   }
-  for (const NodeInfo& n : snapshot.nodes) {
-    if (n.id == options_.node_id || n.id == target_node_id) continue;
-    net::Client peer;
-    if (peer.Connect(n.host, n.port).ok()) (void)peer.Call(set);
+  {
+    obs::SpanGuard fanout_span("migrate.fanout");
+    fanout_span.SetDetail("cfg v" + std::to_string(snapshot.version));
+    for (const NodeInfo& n : snapshot.nodes) {
+      if (n.id == options_.node_id || n.id == target_node_id) continue;
+      net::Client peer;
+      if (peer.Connect(n.host, n.port).ok()) (void)peer.Call(set);
+    }
   }
 
-  if (handoff_ms != nullptr) {
-    *handoff_ms = static_cast<uint64_t>(
-        std::chrono::duration_cast<std::chrono::milliseconds>(
-            std::chrono::steady_clock::now() - t_start)
-            .count());
-  }
+  const uint64_t elapsed_ms = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - t_start)
+          .count());
+  if (handoff_ms != nullptr) *handoff_ms = elapsed_ms;
+  obs::Log(obs::LogLevel::kInfo, "migrate.done")
+      .Str("tenant", tenant)
+      .Str("target", target_node_id)
+      .U64("handoff_ms", elapsed_ms)
+      .U64("config_version", snapshot.version);
   return Status::Ok();
 }
 

@@ -37,6 +37,7 @@
 #include "cluster/placement.h"
 #include "common/status.h"
 #include "net/server.h"
+#include "obs/health.h"
 #include "service/tenant_router.h"
 
 namespace wfit::cluster {
@@ -114,6 +115,7 @@ class TunerNode {
 
  private:
   net::Response HandleFast(const net::Request& req);
+  obs::NodeHealthReport BuildHealthReport();
   net::Response HandleSlow(const net::Request& req);
   net::Response HandleMigrateIn(const net::Request& req);
   /// Ok-kind response when this node owns `tenant`; kNotLeader (with the

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace wfit {
 
@@ -33,6 +34,16 @@ WorkerPool::~WorkerPool() {
 
 void WorkerPool::Submit(std::function<void()> task) {
   WFIT_CHECK(task != nullptr, "WorkerPool::Submit requires a task");
+  // Tasks inherit the submitter's observability state (trace context +
+  // stage sink): a per-part IBG probe on a pool thread must attribute its
+  // spans and stage time to the statement that spawned it.
+  obs::ThreadState state = obs::CaptureThreadState();
+  if (!state.empty()) {
+    task = [state, inner = std::move(task)] {
+      obs::ScopedThreadState scoped(state);
+      inner();
+    };
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     WFIT_CHECK(!stop_, "WorkerPool::Submit after shutdown");

@@ -1,8 +1,10 @@
 #include "core/wfit.h"
 
 #include <algorithm>
+#include <string>
 
 #include "core/wfa_plus.h"
+#include "obs/trace.h"
 
 namespace wfit {
 
@@ -112,14 +114,20 @@ void Wfit::AnalyzeQuery(const Statement& q) {
 
   // Fig. 6: chooseCands; M = what the DBA has materialized (the adopted
   // recommendation in this library's harness convention).
-  CandidateAnalysis analysis =
-      selector_->ChooseCands(q, Recommendation(), partition_);
+  CandidateAnalysis analysis = [&] {
+    obs::SpanGuard span("choose_cands");
+    return selector_->ChooseCands(q, Recommendation(), partition_);
+  }();
 
   std::vector<IndexSet> new_partition = analysis.partition;
   CanonicalizePartition(&new_partition);
   std::vector<IndexSet> current = partition_;
   CanonicalizePartition(&current);
   if (new_partition != current) {
+    obs::SpanGuard span("repartition");
+    if (span.trace_id() != 0) {
+      span.SetDetail(std::to_string(new_partition.size()) + " parts");
+    }
     Repartition(new_partition);
   }
 
@@ -127,9 +135,15 @@ void Wfit::AnalyzeQuery(const Statement& q) {
   // statement-wide IBG serves the statistics only; per-part graphs keep
   // every monitored candidate's cost signal exact). Per-part work fans out
   // across the analysis pool when one is attached.
-  AnalyzePartitioned(q, *pool_, *memo_,
-                     options_.candidates.ibg_node_budget, &instances_,
-                     analysis_pool_);
+  {
+    obs::SpanGuard span("wfa.update");
+    if (span.trace_id() != 0) {
+      span.SetDetail(std::to_string(instances_.size()) + " parts");
+    }
+    AnalyzePartitioned(q, *pool_, *memo_,
+                       options_.candidates.ibg_node_budget, &instances_,
+                       analysis_pool_);
+  }
   rec_valid_ = false;
 }
 

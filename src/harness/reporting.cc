@@ -117,6 +117,14 @@ void PrintServiceMetrics(std::ostream& os, const std::string& title,
      << std::setprecision(1) << m.mean_latency_us() << " us   (p50<="
      << m.LatencyQuantileUpperUs(0.5) << ", p99<="
      << m.LatencyQuantileUpperUs(0.99) << ")\n";
+  for (int s = 0; s < obs::kStageCount; ++s) {
+    const auto stage = static_cast<obs::Stage>(s);
+    if (m.stage_count(stage) == 0) continue;
+    os << std::setw(26)
+       << (std::string("stage ") + obs::StageName(stage)) << std::setw(14)
+       << m.stage_count(stage) << "   (mean " << std::setprecision(1)
+       << m.stage_mean_us(stage) << " us)\n";
+  }
   if (m.journal_records > 0 || m.checkpoints_written > 0) {
     os << std::setw(26) << "journal records" << std::setw(14)
        << m.journal_records << "   (" << m.journal_bytes << " bytes, "

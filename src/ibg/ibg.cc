@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <limits>
+#include <string>
 #include <thread>
 
 #include "common/worker_pool.h"
+#include "obs/trace.h"
 
 namespace wfit {
 
@@ -32,13 +34,21 @@ IndexBenefitGraph::IndexBenefitGraph(const Statement& q,
   WFIT_CHECK(candidates_.size() <= 25, "IBG: too many candidates for a mask");
   WFIT_CHECK(max_nodes >= 1, "IBG: node budget must allow the root");
   pool_ = pool;
-  while (!TryBuild(q, optimizer, max_nodes, &build_calls_)) {
-    // Budget exceeded: shed the tail half of the candidate list (callers
-    // rank by benefit) and rebuild.
-    size_t keep = candidates_.size() / 2;
-    truncated_.insert(truncated_.end(), candidates_.begin() + keep,
-                      candidates_.end());
-    candidates_.resize(keep);
+  {
+    obs::StageTimer timer(obs::Stage::kIbgBuild);
+    obs::SpanGuard span("ibg.build");
+    while (!TryBuild(q, optimizer, max_nodes, &build_calls_)) {
+      // Budget exceeded: shed the tail half of the candidate list (callers
+      // rank by benefit) and rebuild.
+      size_t keep = candidates_.size() / 2;
+      truncated_.insert(truncated_.end(), candidates_.begin() + keep,
+                        candidates_.end());
+      candidates_.resize(keep);
+    }
+    if (span.trace_id() != 0) {
+      span.SetDetail(std::to_string(nodes_.size()) + " nodes, " +
+                     std::to_string(build_calls_) + " probes");
+    }
   }
   pool_ = nullptr;  // construction-only; not used by lookups
 }

@@ -5,9 +5,11 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 
 #include "net/socket.h"
+#include "obs/trace.h"
 
 namespace wfit::net {
 
@@ -36,6 +38,17 @@ void Client::Close() {
 
 StatusOr<Response> Client::Call(const Request& request) {
   if (fd_ < 0) return Status::FailedPrecondition("client: not connected");
+  // A caller-pinned context (deterministic per-statement ids from the
+  // replay driver) overrides the thread's; either way the client span
+  // below becomes the parent of the server-side handler span.
+  obs::ScopedTraceContext pinned(
+      request.trace_id != 0
+          ? obs::TraceContext{request.trace_id, request.parent_span}
+          : obs::CurrentTraceContext());
+  char span_name[24];
+  std::snprintf(span_name, sizeof(span_name), "cli.%s",
+                MsgTypeName(request.type));
+  obs::SpanGuard span(span_name);
   auto result = CallInner(request);
   // Transport/protocol failure leaves the stream in an unknowable state
   // (a late or partial response would answer the WRONG request next
@@ -45,7 +58,12 @@ StatusOr<Response> Client::Call(const Request& request) {
 }
 
 StatusOr<Response> Client::CallInner(const Request& request) {
-  WFIT_RETURN_IF_ERROR(WriteAll(fd_, EncodeFrame(EncodeRequest(request))));
+  // Stamp the current thread context (Call installed the caller's pin
+  // and its own client span) into the wire extension.
+  const obs::TraceContext ctx = obs::CurrentTraceContext();
+  WFIT_RETURN_IF_ERROR(WriteAll(
+      fd_,
+      EncodeFrame(EncodeRequest(request, ctx.trace_id, ctx.parent_span))));
   std::string payload;
   while (true) {
     auto next = reader_.Next(&payload);

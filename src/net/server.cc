@@ -9,14 +9,34 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <utility>
 #include <vector>
 
 #include "common/check.h"
 #include "net/socket.h"
+#include "obs/trace.h"
 
 namespace wfit::net {
+
+namespace {
+
+// Installs the request's wire trace context around the handler and wraps
+// it in a server-side span, so the client's "cli.<type>" span becomes the
+// parent of "srv.<type>" even across processes.
+Response RunTraced(const Server::Handler& handler, const Request& req) {
+  obs::ScopedTraceContext ctx(
+      obs::TraceContext{req.trace_id, req.parent_span});
+  char span_name[24];
+  std::snprintf(span_name, sizeof(span_name), "srv.%s",
+                MsgTypeName(req.type));
+  obs::SpanGuard span(span_name);
+  if (!req.tenant.empty()) span.SetDetail(req.tenant);
+  return handler(req);
+}
+
+}  // namespace
 
 Server::Server(Handler fast, Handler slow, SlowPredicate is_slow,
                ServerOptions options)
@@ -255,7 +275,7 @@ void Server::DispatchInline(const std::shared_ptr<Conn>& conn,
     WriteResponse(conn, busy, /*from_event_loop=*/true);
     return;
   }
-  Response resp = fast_(req);
+  Response resp = RunTraced(fast_, req);
   WriteResponse(conn, resp, /*from_event_loop=*/true);
 }
 
@@ -282,7 +302,7 @@ void Server::AdminLoop() {
       admin_queue_.pop_front();
       admin_queue_depth_.store(admin_queue_.size());
     }
-    Response resp = slow_(job.request);
+    Response resp = RunTraced(slow_, job.request);
     WriteResponse(job.conn, resp, /*from_event_loop=*/false);
     // Drain frames that arrived while the slow RPC ran, in arrival
     // order. New frames may keep landing (busy stays true), so loop
@@ -311,7 +331,8 @@ void Server::AdminLoop() {
       }
       // Either kind runs inline here — we ARE the admin thread, and the
       // fast handler is thread-safe by contract.
-      Response backlog_resp = is_slow_(req.type) ? slow_(req) : fast_(req);
+      Response backlog_resp =
+          RunTraced(is_slow_(req.type) ? slow_ : fast_, req);
       WriteResponse(job.conn, backlog_resp, /*from_event_loop=*/false);
     }
     WakeLoop();

@@ -10,20 +10,71 @@ using persist::Encoder;
 
 namespace {
 
-Status CheckVersionAndType(Decoder* d, uint8_t* type_byte) {
-  uint8_t version = 0;
-  WFIT_RETURN_IF_ERROR(d->GetU8(&version));
-  if (version != kWireVersion) {
+Status CheckVersionAndType(Decoder* d, uint8_t* version, uint8_t* type_byte) {
+  WFIT_RETURN_IF_ERROR(d->GetU8(version));
+  if (*version < kMinWireVersion || *version > kWireVersion) {
     return Status::InvalidArgument(
-        "wire: protocol version " + std::to_string(version) +
-        " (this build speaks " + std::to_string(kWireVersion) + ")");
+        "wire: protocol version " + std::to_string(*version) +
+        " (this build speaks " + std::to_string(kMinWireVersion) + ".." +
+        std::to_string(kWireVersion) + ")");
   }
   return d->GetU8(type_byte);
 }
 
 }  // namespace
 
+const char* MsgTypeName(MsgType type) {
+  switch (type) {
+    case MsgType::kPing:
+      return "ping";
+    case MsgType::kSubmit:
+      return "submit";
+    case MsgType::kSubmitAt:
+      return "submit_at";
+    case MsgType::kFeedback:
+      return "feedback";
+    case MsgType::kFeedbackAfter:
+      return "feedback_after";
+    case MsgType::kGetRecommendation:
+      return "get_recommendation";
+    case MsgType::kGetAnalyzed:
+      return "get_analyzed";
+    case MsgType::kScrapeMetrics:
+      return "scrape_metrics";
+    case MsgType::kListTenants:
+      return "list_tenants";
+    case MsgType::kGetHistory:
+      return "get_history";
+    case MsgType::kGetConfig:
+      return "get_config";
+    case MsgType::kMigrate:
+      return "migrate";
+    case MsgType::kMigrateIn:
+      return "migrate_in";
+    case MsgType::kDrain:
+      return "drain";
+    case MsgType::kSetConfig:
+      return "set_config";
+    case MsgType::kShutdownNode:
+      return "shutdown_node";
+    case MsgType::kHeartbeat:
+      return "heartbeat";
+    case MsgType::kDecommission:
+      return "decommission";
+    case MsgType::kDumpTrace:
+      return "dump_trace";
+    case MsgType::kGetHealth:
+      return "get_health";
+  }
+  return "unknown";
+}
+
 std::string EncodeRequest(const Request& req) {
+  return EncodeRequest(req, req.trace_id, req.parent_span);
+}
+
+std::string EncodeRequest(const Request& req, uint64_t trace_id,
+                          uint64_t parent_span) {
   Encoder e;
   e.PutU8(kWireVersion);
   e.PutU8(static_cast<uint8_t>(req.type));
@@ -43,15 +94,20 @@ std::string EncodeRequest(const Request& req) {
   }
   e.PutString(req.config_blob);
   e.PutString(req.node_id);
+  // v3 trace-context extension: appended last so a v2 decoder's field
+  // walk never sees it.
+  e.PutU64(trace_id);
+  e.PutU64(parent_span);
   return e.Release();
 }
 
 Status DecodeRequest(std::string_view payload, Request* out) {
   Decoder d(payload);
+  uint8_t version = 0;
   uint8_t type_byte = 0;
-  WFIT_RETURN_IF_ERROR(CheckVersionAndType(&d, &type_byte));
+  WFIT_RETURN_IF_ERROR(CheckVersionAndType(&d, &version, &type_byte));
   if (type_byte < static_cast<uint8_t>(MsgType::kPing) ||
-      type_byte > static_cast<uint8_t>(MsgType::kDecommission)) {
+      type_byte > static_cast<uint8_t>(MsgType::kGetHealth)) {
     return Status::InvalidArgument("wire: unknown request type " +
                                    std::to_string(type_byte));
   }
@@ -80,6 +136,14 @@ Status DecodeRequest(std::string_view payload, Request* out) {
   }
   WFIT_RETURN_IF_ERROR(d.GetString(&out->config_blob));
   WFIT_RETURN_IF_ERROR(d.GetString(&out->node_id));
+  if (version >= 3) {
+    WFIT_RETURN_IF_ERROR(d.GetU64(&out->trace_id));
+    WFIT_RETURN_IF_ERROR(d.GetU64(&out->parent_span));
+  } else {
+    // Version-skew fallback: a v2 peer carries no trace context.
+    out->trace_id = 0;
+    out->parent_span = 0;
+  }
   if (!d.done()) {
     return Status::InvalidArgument("wire: trailing bytes after request");
   }
@@ -111,8 +175,9 @@ std::string EncodeResponse(const Response& resp) {
 
 Status DecodeResponse(std::string_view payload, Response* out) {
   Decoder d(payload);
+  uint8_t version = 0;  // v2 and v3 responses share one layout
   uint8_t kind_byte = 0;
-  WFIT_RETURN_IF_ERROR(CheckVersionAndType(&d, &kind_byte));
+  WFIT_RETURN_IF_ERROR(CheckVersionAndType(&d, &version, &kind_byte));
   if (kind_byte > static_cast<uint8_t>(RespKind::kBusy)) {
     return Status::InvalidArgument("wire: unknown response kind " +
                                    std::to_string(kind_byte));

@@ -22,10 +22,16 @@
 
 namespace wfit::net {
 
-/// Bumped on any incompatible layout change; both sides refuse mismatches.
+/// Bumped on any incompatible layout change; both sides refuse mismatches
+/// beyond the explicit compatibility window below.
 /// v2: added Request::node_id + the membership RPCs (kHeartbeat,
 /// kDecommission).
-inline constexpr uint8_t kWireVersion = 2;
+/// v3: appended the trace-context extension (trace_id + parent_span) to
+/// Request and added kDumpTrace/kGetHealth. v3 decoders still accept v2
+/// payloads — the trace fields read as zero ("no trace"), so a mixed-
+/// version fleet keeps working and merely loses cross-node stitching.
+inline constexpr uint8_t kWireVersion = 3;
+inline constexpr uint8_t kMinWireVersion = 2;
 
 enum class MsgType : uint8_t {
   kPing = 1,
@@ -56,7 +62,13 @@ enum class MsgType : uint8_t {
   // rendezvous owner among the remaining nodes) and drop it from the
   // cluster config. Handled by any membership-enabled node.
   kDecommission = 18,
+  // Observability (v3).
+  kDumpTrace = 19,   // span-line dump of the node's trace rings (slow path)
+  kGetHealth = 20,   // health-plane JSON report (fast path)
 };
+
+/// Stable lowercase name for spans/logs ("submit_at", "migrate_in", ...).
+const char* MsgTypeName(MsgType type);
 
 /// A future-keyed DBA vote in flight during a migration handoff.
 struct VoteWire {
@@ -78,6 +90,11 @@ struct Request {
   std::vector<VoteWire> votes;  // kMigrateIn: carried votes
   std::string config_blob;  // kMigrateIn / kSetConfig: encoded ClusterConfig
   std::string node_id;      // kHeartbeat: sender's node id
+  // Trace-context extension (v3; zero = no trace). Stamped by the client
+  // from the calling thread's context; the server installs it around the
+  // handler so every node's spans stitch into one distributed trace.
+  uint64_t trace_id = 0;
+  uint64_t parent_span = 0;
 };
 
 enum class RespKind : uint8_t {
@@ -116,6 +133,10 @@ struct Response {
 };
 
 std::string EncodeRequest(const Request& req);
+/// Same, with the trace context supplied explicitly (the client stamps
+/// the calling thread's context without copying the request).
+std::string EncodeRequest(const Request& req, uint64_t trace_id,
+                          uint64_t parent_span);
 Status DecodeRequest(std::string_view payload, Request* out);
 
 std::string EncodeResponse(const Response& resp);

@@ -1,0 +1,186 @@
+#include "obs/log.h"
+
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <mutex>
+
+#include "obs/trace.h"
+
+namespace wfit::obs {
+
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+std::atomic<std::FILE*> g_sink{nullptr};
+std::mutex g_write_mu;
+std::mutex g_node_mu;
+std::string g_node_id;  // guarded by g_node_mu
+
+uint64_t UnixMillis() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+void AppendKey(const char* key, std::string* out) {
+  out->push_back(',');
+  out->push_back('"');
+  AppendJsonEscaped(key, out);
+  out->append("\":");
+}
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+void SetLogLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void SetLogSink(std::FILE* sink) {
+  g_sink.store(sink, std::memory_order_relaxed);
+}
+
+void SetLogNodeId(const std::string& node_id) {
+  std::lock_guard<std::mutex> lock(g_node_mu);
+  g_node_id = node_id;
+}
+
+void AppendJsonEscaped(std::string_view value, std::string* out) {
+  for (char c : value) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+LogEvent::LogEvent(LogLevel level, const char* event)
+    : enabled_(static_cast<int>(level) >=
+               g_level.load(std::memory_order_relaxed)) {
+  if (!enabled_) return;
+  line_.reserve(160);
+  char head[64];
+  std::snprintf(head, sizeof(head), "{\"ts_ms\":%" PRIu64 ",\"level\":\"%s\"",
+                UnixMillis(), LogLevelName(level));
+  line_.append(head);
+  {
+    std::lock_guard<std::mutex> lock(g_node_mu);
+    if (!g_node_id.empty()) {
+      line_.append(",\"node\":\"");
+      AppendJsonEscaped(g_node_id, &line_);
+      line_.push_back('"');
+    }
+  }
+  line_.append(",\"event\":\"");
+  AppendJsonEscaped(event, &line_);
+  line_.push_back('"');
+  const TraceContext ctx = CurrentTraceContext();
+  if (ctx.active()) {
+    char ids[64];
+    std::snprintf(ids, sizeof(ids),
+                  ",\"trace\":\"%016" PRIx64 "\",\"span\":\"%016" PRIx64 "\"",
+                  ctx.trace_id, ctx.parent_span);
+    line_.append(ids);
+  }
+}
+
+LogEvent& LogEvent::Str(const char* key, std::string_view value) {
+  if (enabled_) {
+    AppendKey(key, &line_);
+    line_.push_back('"');
+    AppendJsonEscaped(value, &line_);
+    line_.push_back('"');
+  }
+  return *this;
+}
+
+LogEvent& LogEvent::U64(const char* key, uint64_t value) {
+  if (enabled_) {
+    AppendKey(key, &line_);
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+    line_.append(buf);
+  }
+  return *this;
+}
+
+LogEvent& LogEvent::I64(const char* key, int64_t value) {
+  if (enabled_) {
+    AppendKey(key, &line_);
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, value);
+    line_.append(buf);
+  }
+  return *this;
+}
+
+LogEvent& LogEvent::Dbl(const char* key, double value) {
+  if (enabled_) {
+    AppendKey(key, &line_);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    line_.append(buf);
+  }
+  return *this;
+}
+
+LogEvent& LogEvent::Bool(const char* key, bool value) {
+  if (enabled_) {
+    AppendKey(key, &line_);
+    line_.append(value ? "true" : "false");
+  }
+  return *this;
+}
+
+LogEvent::~LogEvent() {
+  if (!enabled_) return;
+  line_.append("}\n");
+  std::FILE* sink = g_sink.load(std::memory_order_relaxed);
+  if (sink == nullptr) sink = stderr;
+  std::lock_guard<std::mutex> lock(g_write_mu);
+  std::fwrite(line_.data(), 1, line_.size(), sink);
+  std::fflush(sink);
+}
+
+}  // namespace wfit::obs

@@ -1,0 +1,67 @@
+// Leveled NDJSON structured logging: one JSON object per line on a
+// configurable FILE* sink (stderr by default), so fleet logs are machine-
+// parseable (jq, log shippers) instead of printf prose. Events carry a
+// millisecond unix timestamp, level, event name, and typed fields; when a
+// trace is active on the logging thread the trace/span ids are attached
+// automatically, linking log lines to spans.
+//
+//   obs::Log(obs::LogLevel::kWarn, "journal.append_failed")
+//       .Str("tenant", id).U64("seq", seq).Str("error", s.ToString());
+//
+// The record is emitted by the builder's destructor (end of the full
+// expression). Thread-safe: the line is assembled locally and written
+// with one fwrite under a process-wide mutex.
+#ifndef WFIT_OBS_LOG_H_
+#define WFIT_OBS_LOG_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace wfit::obs {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+const char* LogLevelName(LogLevel level);
+
+/// Records below the threshold are suppressed (default kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Redirects log output (default stderr; null restores stderr). The sink
+/// must outlive all logging. Tests point this at a tmpfile.
+void SetLogSink(std::FILE* sink);
+
+/// Stamps every record from this process with {"node":"<id>"} — set once
+/// at startup by servers.
+void SetLogNodeId(const std::string& node_id);
+
+/// Appends `value` JSON-escaped (no surrounding quotes) to `out`.
+void AppendJsonEscaped(std::string_view value, std::string* out);
+
+class LogEvent {
+ public:
+  LogEvent(LogLevel level, const char* event);
+  ~LogEvent();  // emits the record
+  LogEvent(const LogEvent&) = delete;
+  LogEvent& operator=(const LogEvent&) = delete;
+
+  LogEvent& Str(const char* key, std::string_view value);
+  LogEvent& U64(const char* key, uint64_t value);
+  LogEvent& I64(const char* key, int64_t value);
+  LogEvent& Dbl(const char* key, double value);
+  LogEvent& Bool(const char* key, bool value);
+
+ private:
+  bool enabled_;
+  std::string line_;
+};
+
+inline LogEvent Log(LogLevel level, const char* event) {
+  return LogEvent(level, event);
+}
+
+}  // namespace wfit::obs
+
+#endif  // WFIT_OBS_LOG_H_

@@ -1,0 +1,84 @@
+// Per-stage timing capture, decoupled from the span ring so stage latency
+// HISTOGRAMS (a metrics concern, always on) survive even when tracing is
+// compiled out. A StageSink is installed thread-locally for the duration
+// of one statement's analysis; code anywhere below — the IBG builder on a
+// pool thread, the what-if decorator, the checkpoint writer — records
+// stage durations into whichever sink is current. WorkerPool propagates
+// the submitter's sink (and trace context) to its tasks, so fan-out work
+// attributes its time to the statement that caused it.
+//
+// Recording is one TLS pointer read when no sink is installed; sinks must
+// be internally thread-safe (pool threads record concurrently).
+#ifndef WFIT_OBS_STAGES_H_
+#define WFIT_OBS_STAGES_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace wfit::obs {
+
+enum class Stage : int {
+  kQueueWait = 0,    // ingest enqueue -> batch pop
+  kIbgBuild = 1,     // level-synchronous IBG construction
+  kProbe = 2,        // real (cache-missing) what-if optimizer calls
+  kCheckpointWrite = 3,  // durable snapshot writes
+};
+inline constexpr int kStageCount = 4;
+
+const char* StageName(Stage stage);
+
+/// A thread-safe receiver of stage durations. ServiceMetrics implements
+/// this; tests may substitute their own.
+class StageSink {
+ public:
+  virtual ~StageSink() = default;
+  virtual void RecordStage(Stage stage, uint64_t ns) = 0;
+};
+
+/// The sink installed on the current thread (null when none).
+StageSink* CurrentStageSink();
+
+/// Installs `sink` on this thread for the guard's lifetime, restoring the
+/// previous sink on destruction. Pass null to suppress recording.
+class ScopedStageSink {
+ public:
+  explicit ScopedStageSink(StageSink* sink);
+  ~ScopedStageSink();
+  ScopedStageSink(const ScopedStageSink&) = delete;
+  ScopedStageSink& operator=(const ScopedStageSink&) = delete;
+
+ private:
+  StageSink* prev_;
+};
+
+/// Records `ns` against the current sink; no-op (one TLS read) without one.
+void RecordStage(Stage stage, uint64_t ns);
+
+/// RAII stage timer. Reads the clock only when a sink is installed, so an
+/// uninstrumented path pays one TLS load per construction.
+class StageTimer {
+ public:
+  explicit StageTimer(Stage stage) : stage_(stage), sink_(CurrentStageSink()) {
+    if (sink_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~StageTimer() {
+    if (sink_ != nullptr) {
+      sink_->RecordStage(
+          stage_, static_cast<uint64_t>(
+                      std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - start_)
+                          .count()));
+    }
+  }
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+ private:
+  Stage stage_;
+  StageSink* sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace wfit::obs
+
+#endif  // WFIT_OBS_STAGES_H_

@@ -1,0 +1,259 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+
+namespace wfit::obs {
+
+namespace {
+
+const char* kStageNames[kStageCount] = {"queue_wait", "ibg_build", "probe",
+                                        "checkpoint_write"};
+
+thread_local StageSink* tls_stage_sink = nullptr;
+
+}  // namespace
+
+const char* StageName(Stage stage) {
+  int i = static_cast<int>(stage);
+  return (i >= 0 && i < kStageCount) ? kStageNames[i] : "unknown";
+}
+
+StageSink* CurrentStageSink() { return tls_stage_sink; }
+
+ScopedStageSink::ScopedStageSink(StageSink* sink) : prev_(tls_stage_sink) {
+  tls_stage_sink = sink;
+}
+
+ScopedStageSink::~ScopedStageSink() { tls_stage_sink = prev_; }
+
+void RecordStage(Stage stage, uint64_t ns) {
+  if (StageSink* sink = tls_stage_sink) sink->RecordStage(stage, ns);
+}
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+#ifndef WFIT_DISABLE_TRACING
+
+namespace {
+
+constexpr size_t kRingSpans = 4096;  // per thread; drops-oldest beyond
+constexpr size_t kSlotWords = sizeof(Span) / 8;
+
+/// A single-writer ring of spans stored as atomic words. The owning
+/// thread stores slot words relaxed then publishes with a release store
+/// of head; collectors detect (and discard) slots the writer lapped.
+struct SpanRing {
+  std::unique_ptr<std::atomic<uint64_t>[]> words{
+      new std::atomic<uint64_t>[kRingSpans * kSlotWords]()};
+  std::atomic<uint64_t> head{0};
+  /// Collection ignores indices below the floor (ClearTraceForTest).
+  std::atomic<uint64_t> floor{0};
+  uint32_t tid = 0;
+
+  void Push(const Span& span) {
+    uint64_t buf[kSlotWords];
+    std::memcpy(buf, &span, sizeof(Span));
+    const uint64_t index = head.load(std::memory_order_relaxed);
+    std::atomic<uint64_t>* slot = &words[(index % kRingSpans) * kSlotWords];
+    for (size_t w = 0; w < kSlotWords; ++w) {
+      slot[w].store(buf[w], std::memory_order_relaxed);
+    }
+    head.store(index + 1, std::memory_order_release);
+  }
+};
+
+struct RingRegistry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<SpanRing>> rings;  // live for the process
+};
+
+RingRegistry& Registry() {
+  static RingRegistry* registry = new RingRegistry();
+  return *registry;
+}
+
+SpanRing& ThreadRing() {
+  thread_local SpanRing* ring = [] {
+    RingRegistry& registry = Registry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    registry.rings.push_back(std::make_unique<SpanRing>());
+    registry.rings.back()->tid =
+        static_cast<uint32_t>(registry.rings.size());
+    return registry.rings.back().get();
+  }();
+  return *ring;
+}
+
+std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> enabled = [] {
+    const char* env = std::getenv("WFIT_TRACE");
+    return env != nullptr && env[0] != '\0' &&
+           !(env[0] == '0' && env[1] == '\0');
+  }();
+  return enabled;
+}
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+uint64_t NextId() {
+  static std::atomic<uint64_t> counter{0};
+  static const uint64_t seed = SplitMix64(NowNs());
+  uint64_t id =
+      SplitMix64(seed ^ counter.fetch_add(1, std::memory_order_relaxed));
+  return id == 0 ? 1 : id;
+}
+
+thread_local TraceContext tls_ctx;
+
+void CopyTruncated(char* dst, size_t cap, std::string_view src) {
+  const size_t n = src.size() < cap - 1 ? src.size() : cap - 1;
+  std::memcpy(dst, src.data(), n);
+  dst[n] = '\0';
+}
+
+}  // namespace
+
+bool TracingEnabled() {
+  return EnabledFlag().load(std::memory_order_relaxed);
+}
+
+void SetTracingEnabled(bool enabled) {
+  EnabledFlag().store(enabled, std::memory_order_relaxed);
+}
+
+uint64_t NewTraceId() { return NextId(); }
+uint64_t NewSpanId() { return NextId(); }
+
+TraceContext CurrentTraceContext() { return tls_ctx; }
+
+ScopedTraceContext::ScopedTraceContext(TraceContext ctx) : prev_(tls_ctx) {
+  tls_ctx = ctx;
+}
+
+ScopedTraceContext::~ScopedTraceContext() { tls_ctx = prev_; }
+
+SpanGuard::SpanGuard(const char* name) {
+  if (!TracingEnabled()) return;
+  enabled_ = true;
+  prev_ = tls_ctx;
+  span_id_ = NewSpanId();
+  ctx_.trace_id = prev_.trace_id != 0 ? prev_.trace_id : NewTraceId();
+  ctx_.parent_span = span_id_;
+  tls_ctx = ctx_;
+  CopyTruncated(name_, sizeof(name_), name);
+  start_ns_ = NowNs();
+}
+
+void SpanGuard::SetDetail(std::string_view detail) {
+  if (enabled_) CopyTruncated(detail_, sizeof(detail_), detail);
+}
+
+SpanGuard::~SpanGuard() {
+  if (!enabled_) return;
+  tls_ctx = prev_;
+  Span span{};
+  span.trace_id = ctx_.trace_id;
+  span.span_id = span_id_;
+  span.parent_span = prev_.parent_span;
+  span.start_ns = start_ns_;
+  span.dur_ns = NowNs() - start_ns_;
+  SpanRing& ring = ThreadRing();
+  span.tid = ring.tid;
+  std::memcpy(span.name, name_, sizeof(name_));
+  std::memcpy(span.detail, detail_, sizeof(detail_));
+  ring.Push(span);
+}
+
+void RecordInstant(const char* name, std::string_view detail) {
+  if (!TracingEnabled()) return;
+  Span span{};
+  span.trace_id = tls_ctx.trace_id;
+  span.span_id = NewSpanId();
+  span.parent_span = tls_ctx.parent_span;
+  span.start_ns = NowNs();
+  span.dur_ns = 0;
+  SpanRing& ring = ThreadRing();
+  span.tid = ring.tid;
+  CopyTruncated(span.name, sizeof(span.name), name);
+  CopyTruncated(span.detail, sizeof(span.detail), detail);
+  ring.Push(span);
+}
+
+std::vector<Span> CollectSpans() {
+  std::vector<SpanRing*> rings;
+  {
+    RingRegistry& registry = Registry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    rings.reserve(registry.rings.size());
+    for (auto& ring : registry.rings) rings.push_back(ring.get());
+  }
+  std::vector<Span> out;
+  for (SpanRing* ring : rings) {
+    const uint64_t head = ring->head.load(std::memory_order_acquire);
+    const uint64_t floor = ring->floor.load(std::memory_order_relaxed);
+    uint64_t begin = head > kRingSpans ? head - kRingSpans : 0;
+    if (begin < floor) begin = floor;
+    for (uint64_t index = begin; index < head; ++index) {
+      uint64_t buf[kSlotWords];
+      const std::atomic<uint64_t>* slot =
+          &ring->words[(index % kRingSpans) * kSlotWords];
+      for (size_t w = 0; w < kSlotWords; ++w) {
+        buf[w] = slot[w].load(std::memory_order_relaxed);
+      }
+      // Lap check: if the writer reached index + capacity it may have
+      // been rewriting this slot during the copy — discard it.
+      if (ring->head.load(std::memory_order_acquire) >= index + kRingSpans) {
+        continue;
+      }
+      Span span;
+      std::memcpy(&span, buf, sizeof(Span));
+      if (span.name[0] == '\0') continue;
+      span.name[sizeof(span.name) - 1] = '\0';
+      span.detail[sizeof(span.detail) - 1] = '\0';
+      out.push_back(span);
+    }
+  }
+  return out;
+}
+
+TraceCounters CollectTraceCounters() {
+  TraceCounters counters;
+  RingRegistry& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (auto& ring : registry.rings) {
+    const uint64_t head = ring->head.load(std::memory_order_acquire);
+    const uint64_t floor = ring->floor.load(std::memory_order_relaxed);
+    const uint64_t recorded = head > floor ? head - floor : 0;
+    counters.recorded += recorded;
+    if (recorded > kRingSpans) counters.dropped += recorded - kRingSpans;
+  }
+  return counters;
+}
+
+void ClearTraceForTest() {
+  RingRegistry& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (auto& ring : registry.rings) {
+    ring->floor.store(ring->head.load(std::memory_order_acquire),
+                      std::memory_order_relaxed);
+  }
+}
+
+#endif  // WFIT_DISABLE_TRACING
+
+}  // namespace wfit::obs

@@ -1,0 +1,134 @@
+#include "obs/trace_export.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "obs/log.h"
+
+namespace wfit::obs {
+
+std::string FormatSpanLine(const Span& span) {
+  char buf[256];
+  int n = std::snprintf(buf, sizeof(buf),
+                        "%016" PRIx64 " %016" PRIx64 " %016" PRIx64
+                        " %" PRIu64 " %" PRIu64 " %u %s %s\n",
+                        span.trace_id, span.span_id, span.parent_span,
+                        span.start_ns, span.dur_ns, span.tid, span.name,
+                        span.detail);
+  if (n < 0) return {};
+  return std::string(buf, static_cast<size_t>(n) < sizeof(buf)
+                              ? static_cast<size_t>(n)
+                              : sizeof(buf) - 1);
+}
+
+bool ParseSpanLine(const std::string& line, Span* out) {
+  Span span{};
+  char name[64] = {};
+  // The detail is everything after the name (may contain spaces).
+  int consumed = -1;
+  unsigned tid = 0;
+  int fields = std::sscanf(line.c_str(),
+                           "%16" SCNx64 " %16" SCNx64 " %16" SCNx64
+                           " %" SCNu64 " %" SCNu64 " %u %63s %n",
+                           &span.trace_id, &span.span_id, &span.parent_span,
+                           &span.start_ns, &span.dur_ns, &tid, name,
+                           &consumed);
+  if (fields < 7 || name[0] == '\0') return false;
+  span.tid = tid;
+  std::snprintf(span.name, sizeof(span.name), "%s", name);
+  if (consumed >= 0 && static_cast<size_t>(consumed) < line.size()) {
+    std::string detail = line.substr(static_cast<size_t>(consumed));
+    while (!detail.empty() &&
+           (detail.back() == '\n' || detail.back() == '\r')) {
+      detail.pop_back();
+    }
+    std::snprintf(span.detail, sizeof(span.detail), "%s", detail.c_str());
+  }
+  *out = span;
+  return true;
+}
+
+std::string FormatSpanLines(const std::vector<Span>& spans) {
+  std::string out;
+  out.reserve(spans.size() * 96);
+  for (const Span& span : spans) out += FormatSpanLine(span);
+  return out;
+}
+
+std::vector<Span> ParseSpanLines(const std::string& text) {
+  std::vector<Span> spans;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    Span span;
+    if (ParseSpanLine(line, &span)) spans.push_back(span);
+  }
+  return spans;
+}
+
+namespace {
+
+void AppendMetadataEvent(int pid, const std::string& process_name,
+                         bool* first, std::string* out) {
+  if (!*first) out->append(",\n");
+  *first = false;
+  char head[96];
+  std::snprintf(head, sizeof(head),
+                "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,"
+                "\"tid\":0,\"args\":{\"name\":\"",
+                pid);
+  out->append(head);
+  AppendJsonEscaped(process_name, out);
+  out->append("\"}}");
+}
+
+void AppendSpanEvent(const Span& span, int pid, bool* first,
+                     std::string* out) {
+  if (!*first) out->append(",\n");
+  *first = false;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"name\":\"%s\",\"ph\":\"X\",\"pid\":%d,\"tid\":%u,"
+                "\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"trace\":\"%016" PRIx64
+                "\",\"span\":\"%016" PRIx64 "\",\"parent\":\"%016" PRIx64
+                "\"",
+                span.name, pid, span.tid,
+                static_cast<double>(span.start_ns) / 1000.0,
+                static_cast<double>(span.dur_ns) / 1000.0, span.trace_id,
+                span.span_id, span.parent_span);
+  out->append(buf);
+  if (span.detail[0] != '\0') {
+    out->append(",\"detail\":\"");
+    AppendJsonEscaped(span.detail, out);
+    out->push_back('"');
+  }
+  out->append("}}");
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const std::vector<Span>& spans,
+                            const std::string& process_name) {
+  return ChromeTraceJsonMulti({{process_name, spans}});
+}
+
+std::string ChromeTraceJsonMulti(
+    const std::vector<std::pair<std::string, std::vector<Span>>>& processes) {
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  int pid = 0;
+  for (const auto& [name, spans] : processes) {
+    ++pid;
+    AppendMetadataEvent(pid, name, &first, &out);
+    for (const Span& span : spans) {
+      AppendSpanEvent(span, pid, &first, &out);
+    }
+  }
+  out.append("\n],\"displayTimeUnit\":\"ms\"}\n");
+  return out;
+}
+
+}  // namespace wfit::obs

@@ -1,0 +1,47 @@
+// Trace exporters. Two formats:
+//
+//  * SPAN LINES — one span per text line, the transport format of the
+//    kDumpTrace RPC. Trivially parseable (fixed leading fields, free-form
+//    detail last), so a client can merge dumps from many nodes, dedup by
+//    (node, span id), and re-export without a JSON parser.
+//
+//  * CHROME TRACE-EVENT JSON — {"traceEvents":[...]} with "X" duration
+//    events, loadable directly in Perfetto (ui.perfetto.dev) or
+//    chrome://tracing. Each process/node becomes one pid row (named via a
+//    process_name metadata event); span timestamps are CLOCK_MONOTONIC
+//    microseconds, which all processes on one machine share, so merged
+//    fleet traces align on a common time axis.
+#ifndef WFIT_OBS_TRACE_EXPORT_H_
+#define WFIT_OBS_TRACE_EXPORT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace wfit::obs {
+
+/// "trace span parent start_ns dur_ns tid name detail\n" (ids in hex).
+std::string FormatSpanLine(const Span& span);
+
+/// Inverse of FormatSpanLine; false on malformed input.
+bool ParseSpanLine(const std::string& line, Span* out);
+
+/// All spans, one line each — the kDumpTrace response body.
+std::string FormatSpanLines(const std::vector<Span>& spans);
+
+/// Every parseable span in `text` (one per line; blank/bad lines skipped).
+std::vector<Span> ParseSpanLines(const std::string& text);
+
+/// One process's spans as a complete Chrome trace JSON document.
+std::string ChromeTraceJson(const std::vector<Span>& spans,
+                            const std::string& process_name);
+
+/// A merged fleet trace: each (process_name, spans) pair becomes one pid.
+std::string ChromeTraceJsonMulti(
+    const std::vector<std::pair<std::string, std::vector<Span>>>& processes);
+
+}  // namespace wfit::obs
+
+#endif  // WFIT_OBS_TRACE_EXPORT_H_

@@ -1,5 +1,7 @@
 #include "optimizer/caching_what_if.h"
 
+#include "obs/trace.h"
+
 namespace wfit {
 
 namespace {
@@ -101,7 +103,11 @@ PlanSummary CachingWhatIfOptimizer::Optimize(const Statement& q,
   // Computed outside the lock: concurrent probes of the same configuration
   // may both run the base optimizer (each counted as a miss); the values
   // are identical, so the duplicate inserts below are benign no-ops.
-  PlanSummary plan = base_->Optimize(q, x);
+  PlanSummary plan = [&] {
+    obs::StageTimer timer(obs::Stage::kProbe);
+    obs::SpanGuard span("probe.real");
+    return base_->Optimize(q, x);
+  }();
   misses_.fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mu_);

@@ -34,7 +34,11 @@ bool IngestQueue::PushLocked(std::unique_lock<std::mutex>& lock, uint64_t seq,
     WFIT_CHECK(drop_duplicate, "IngestQueue: duplicate sequence number");
     return false;
   }
-  ring_[seq % capacity_] = std::move(stmt);
+  Slot slot;
+  slot.stmt = std::move(stmt);
+  slot.meta.enqueue_ns = obs::NowNs();
+  slot.meta.ctx = obs::CurrentTraceContext();
+  ring_[seq % capacity_] = std::move(slot);
   ++buffered_;
   ++total_pushed_;
   if (buffered_ > high_water_) high_water_ = buffered_;
@@ -90,25 +94,28 @@ PushAtResult IngestQueue::TryPushAt(uint64_t seq, Statement stmt) {
 }
 
 size_t IngestQueue::PopBatch(std::vector<Statement>* out, size_t max_batch,
-                             uint64_t* first_seq) {
+                             uint64_t* first_seq,
+                             std::vector<IngestMeta>* meta) {
   WFIT_CHECK(out != nullptr && max_batch > 0,
              "PopBatch requires an output vector and a positive batch size");
   std::unique_lock<std::mutex> lock(mu_);
   not_empty_.wait(lock, [&] { return SlotReady(next_pop_seq_) || closed_; });
-  return PopBatchLocked(out, max_batch, first_seq);
+  return PopBatchLocked(out, max_batch, first_seq, meta);
 }
 
 size_t IngestQueue::TryPopBatch(std::vector<Statement>* out, size_t max_batch,
-                                uint64_t* first_seq) {
+                                uint64_t* first_seq,
+                                std::vector<IngestMeta>* meta) {
   WFIT_CHECK(out != nullptr && max_batch > 0,
              "TryPopBatch requires an output vector and a positive batch "
              "size");
   std::unique_lock<std::mutex> lock(mu_);
-  return PopBatchLocked(out, max_batch, first_seq);
+  return PopBatchLocked(out, max_batch, first_seq, meta);
 }
 
 size_t IngestQueue::PopBatchLocked(std::vector<Statement>* out,
-                                   size_t max_batch, uint64_t* first_seq) {
+                                   size_t max_batch, uint64_t* first_seq,
+                                   std::vector<IngestMeta>* meta) {
   size_t popped = 0;
   while (popped < max_batch) {
     // Tombstones from pushes abandoned at close are skipped, so accepted
@@ -122,7 +129,9 @@ size_t IngestQueue::PopBatchLocked(std::vector<Statement>* out,
     }
     if (!SlotReady(next_pop_seq_)) break;
     if (popped == 0 && first_seq != nullptr) *first_seq = next_pop_seq_;
-    out->push_back(std::move(*ring_[next_pop_seq_ % capacity_]));
+    Slot& slot = *ring_[next_pop_seq_ % capacity_];
+    out->push_back(std::move(slot.stmt));
+    if (meta != nullptr) meta->push_back(slot.meta);
     ring_[next_pop_seq_ % capacity_].reset();
     ++next_pop_seq_;
     --buffered_;

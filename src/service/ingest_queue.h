@@ -23,9 +23,19 @@
 #include <set>
 #include <vector>
 
+#include "obs/trace.h"
 #include "workload/statement.h"
 
 namespace wfit::service {
+
+/// Per-statement intake metadata carried through the queue: when the
+/// statement was enqueued (for the queue-wait stage histogram) and the
+/// producer's trace context at push time (so the analysis worker's spans
+/// stitch under the RPC that submitted the statement).
+struct IngestMeta {
+  uint64_t enqueue_ns = 0;  // obs::NowNs() at push
+  obs::TraceContext ctx;    // zero ids when the producer was untraced
+};
 
 /// Outcome of a non-blocking explicit-sequence push (TryPushAt). The
 /// network front end maps these onto wire responses: kWouldBlock becomes a
@@ -80,8 +90,11 @@ class IngestQueue {
   /// contiguous sequence prefix to `*out` and returns the count; returns 0
   /// only at end-of-stream. The sequence number of the first popped
   /// statement is written to `*first_seq` (if non-null).
+  /// When `meta` is non-null, one IngestMeta per popped statement is
+  /// appended to it (parallel to `*out`).
   size_t PopBatch(std::vector<Statement>* out, size_t max_batch,
-                  uint64_t* first_seq = nullptr);
+                  uint64_t* first_seq = nullptr,
+                  std::vector<IngestMeta>* meta = nullptr);
 
   /// Non-blocking PopBatch for externally-scheduled consumers (the tenant
   /// router's shared drain threads): pops whatever contiguous prefix is
@@ -89,7 +102,8 @@ class IngestQueue {
   /// when nothing is deliverable yet (a predecessor sequence is missing)
   /// or the queue is drained.
   size_t TryPopBatch(std::vector<Statement>* out, size_t max_batch,
-                     uint64_t* first_seq = nullptr);
+                     uint64_t* first_seq = nullptr,
+                     std::vector<IngestMeta>* meta = nullptr);
 
   /// True when TryPopBatch would deliver at least one statement now.
   bool CanPop() const;
@@ -113,10 +127,14 @@ class IngestQueue {
   uint64_t next_pop_seq() const;
 
  private:
+  struct Slot {
+    Statement stmt;
+    IngestMeta meta;
+  };
   bool PushLocked(std::unique_lock<std::mutex>& lock, uint64_t seq,
                   Statement&& stmt, bool drop_duplicate);
   size_t PopBatchLocked(std::vector<Statement>* out, size_t max_batch,
-                        uint64_t* first_seq);
+                        uint64_t* first_seq, std::vector<IngestMeta>* meta);
   bool SlotReady(uint64_t seq) const {
     return ring_[seq % capacity_].has_value();
   }
@@ -125,7 +143,7 @@ class IngestQueue {
   mutable std::mutex mu_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
-  std::vector<std::optional<Statement>> ring_;
+  std::vector<std::optional<Slot>> ring_;
   uint64_t next_ticket_ = 0;   // next implicit sequence number
   uint64_t next_pop_seq_ = 0;  // consumer cursor
   size_t buffered_ = 0;        // slots currently occupied

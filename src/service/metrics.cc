@@ -43,6 +43,19 @@ double MetricsSnapshot::what_if_cross_hit_rate() const {
                            static_cast<double>(probes);
 }
 
+uint64_t MetricsSnapshot::stage_count(obs::Stage stage) const {
+  uint64_t n = 0;
+  for (uint64_t c : stage_counts[static_cast<int>(stage)]) n += c;
+  return n;
+}
+
+double MetricsSnapshot::stage_mean_us(obs::Stage stage) const {
+  uint64_t n = stage_count(stage);
+  return n == 0 ? 0.0
+                : stage_total_us[static_cast<int>(stage)] /
+                      static_cast<double>(n);
+}
+
 double MetricsSnapshot::checkpoint_age_seconds(
     double now_unix_seconds) const {
   if (last_checkpoint_unix_seconds <= 0.0) return 0.0;
@@ -168,6 +181,30 @@ void ExportText(const MetricsSnapshot& s, std::ostream& os) {
   }
   os << "wfit_service_analysis_latency_us_sum " << s.latency_total_us << "\n"
      << "wfit_service_analysis_latency_us_count " << cumulative << "\n";
+
+  // Stage-latency histograms: one family, a stage label per series.
+  os << "# HELP wfit_service_stage_latency_us Per-stage statement latency"
+        " (queue wait, IBG build, what-if probes, checkpoint writes)\n"
+     << "# TYPE wfit_service_stage_latency_us histogram\n";
+  for (int stage = 0; stage < obs::kStageCount; ++stage) {
+    const char* label = obs::StageName(static_cast<obs::Stage>(stage));
+    uint64_t stage_cumulative = 0;
+    for (size_t i = 0; i < s.stage_counts[stage].size(); ++i) {
+      stage_cumulative += s.stage_counts[stage][i];
+      os << "wfit_service_stage_latency_us_bucket{stage=\"" << label
+         << "\",le=\"";
+      if (i < kLatencyBucketUpperUs.size()) {
+        os << kLatencyBucketUpperUs[i];
+      } else {
+        os << "+Inf";
+      }
+      os << "\"} " << stage_cumulative << "\n";
+    }
+    os << "wfit_service_stage_latency_us_sum{stage=\"" << label << "\"} "
+       << s.stage_total_us[stage] << "\n"
+       << "wfit_service_stage_latency_us_count{stage=\"" << label << "\"} "
+       << stage_cumulative << "\n";
+  }
 }
 
 std::string ExportText(const MetricsSnapshot& snapshot) {
@@ -235,6 +272,12 @@ void AccumulateCounters(MetricsSnapshot* into, const MetricsSnapshot& from) {
     into->latency_counts[i] += from.latency_counts[i];
   }
   into->latency_total_us += from.latency_total_us;
+  for (int stage = 0; stage < obs::kStageCount; ++stage) {
+    for (size_t i = 0; i < into->stage_counts[stage].size(); ++i) {
+      into->stage_counts[stage][i] += from.stage_counts[stage][i];
+    }
+    into->stage_total_us[stage] += from.stage_total_us[stage];
+  }
 }
 
 namespace {
@@ -325,6 +368,33 @@ void ExportTenantText(
        << "wfit_tenant_analysis_latency_us_count{tenant=\"" << label
        << "\"} " << cumulative << "\n";
   }
+
+  // Per-tenant, per-stage latency histograms (tenant + stage labels).
+  os << "# HELP wfit_tenant_stage_latency_us Per-stage statement latency\n"
+     << "# TYPE wfit_tenant_stage_latency_us histogram\n";
+  for (const auto& [id, s] : tenants) {
+    const std::string label = EscapeLabelValue(id);
+    for (int stage = 0; stage < obs::kStageCount; ++stage) {
+      const char* stage_name = obs::StageName(static_cast<obs::Stage>(stage));
+      uint64_t cumulative = 0;
+      for (size_t i = 0; i < s.stage_counts[stage].size(); ++i) {
+        cumulative += s.stage_counts[stage][i];
+        os << "wfit_tenant_stage_latency_us_bucket{tenant=\"" << label
+           << "\",stage=\"" << stage_name << "\",le=\"";
+        if (i < kLatencyBucketUpperUs.size()) {
+          os << kLatencyBucketUpperUs[i];
+        } else {
+          os << "+Inf";
+        }
+        os << "\"} " << cumulative << "\n";
+      }
+      os << "wfit_tenant_stage_latency_us_sum{tenant=\"" << label
+         << "\",stage=\"" << stage_name << "\"} " << s.stage_total_us[stage]
+         << "\n"
+         << "wfit_tenant_stage_latency_us_count{tenant=\"" << label
+         << "\",stage=\"" << stage_name << "\"} " << cumulative << "\n";
+    }
+  }
 }
 
 void ServiceMetrics::OnBatch(uint64_t size) {
@@ -348,6 +418,21 @@ void ServiceMetrics::OnAnalyzed(double latency_us) {
   latency_counts_[bucket].fetch_add(1, std::memory_order_relaxed);
   latency_total_ns_.fetch_add(static_cast<uint64_t>(latency_us * 1000.0),
                               std::memory_order_relaxed);
+}
+
+void ServiceMetrics::RecordStage(obs::Stage stage, uint64_t ns) {
+  const int idx = static_cast<int>(stage);
+  if (idx < 0 || idx >= obs::kStageCount) return;
+  const double us = static_cast<double>(ns) / 1000.0;
+  size_t bucket = kLatencyBucketUpperUs.size();
+  for (size_t i = 0; i < kLatencyBucketUpperUs.size(); ++i) {
+    if (us <= kLatencyBucketUpperUs[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  stage_counts_[idx][bucket].fetch_add(1, std::memory_order_relaxed);
+  stage_total_ns_[idx].fetch_add(ns, std::memory_order_relaxed);
 }
 
 MetricsSnapshot ServiceMetrics::Snapshot() const {
@@ -391,6 +476,16 @@ MetricsSnapshot ServiceMetrics::Snapshot() const {
   s.latency_total_us =
       static_cast<double>(latency_total_ns_.load(std::memory_order_relaxed)) /
       1000.0;
+  for (int stage = 0; stage < obs::kStageCount; ++stage) {
+    for (size_t i = 0; i < s.stage_counts[stage].size(); ++i) {
+      s.stage_counts[stage][i] =
+          stage_counts_[stage][i].load(std::memory_order_relaxed);
+    }
+    s.stage_total_us[stage] =
+        static_cast<double>(
+            stage_total_ns_[stage].load(std::memory_order_relaxed)) /
+        1000.0;
+  }
   return s;
 }
 

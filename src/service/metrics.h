@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/stages.h"
+
 namespace wfit::service {
 
 /// Upper bounds (microseconds) of the analysis-latency buckets; the last
@@ -76,6 +78,17 @@ struct MetricsSnapshot {
   std::array<uint64_t, kLatencyBucketCount> latency_counts{};
   double latency_total_us = 0.0;
 
+  // Per-stage latency histograms (same bucket bounds), indexed by
+  // obs::Stage: queue-wait, IBG build, real what-if probes, checkpoint
+  // writes. Captured through the obs::StageSink that ServiceMetrics
+  // implements — populated with or without tracing compiled in.
+  std::array<std::array<uint64_t, kLatencyBucketCount>, obs::kStageCount>
+      stage_counts{};
+  std::array<double, obs::kStageCount> stage_total_us{};
+
+  uint64_t stage_count(obs::Stage stage) const;
+  double stage_mean_us(obs::Stage stage) const;
+
   uint64_t latency_count() const;
   double mean_latency_us() const;
   double mean_batch() const;
@@ -115,7 +128,9 @@ void ExportTenantText(
 
 /// The live, concurrently-updated metrics. TunerService owns one; the
 /// ingest queue contributes its gauges when the service snapshots.
-class ServiceMetrics {
+/// Doubles as the obs::StageSink the service installs around analysis, so
+/// stage timers anywhere below attribute their time here.
+class ServiceMetrics : public obs::StageSink {
  public:
   void OnSubmit() { submitted_.fetch_add(1, std::memory_order_relaxed); }
   void OnSubmitRejected() {
@@ -123,6 +138,8 @@ class ServiceMetrics {
   }
   void OnBatch(uint64_t size);
   void OnAnalyzed(double latency_us);
+  /// obs::StageSink: buckets `ns` into the stage's latency histogram.
+  void RecordStage(obs::Stage stage, uint64_t ns) override;
   void OnFeedback() { feedback_.fetch_add(1, std::memory_order_relaxed); }
   void OnPublish() { version_.fetch_add(1, std::memory_order_relaxed); }
   void SetRepartitions(uint64_t n) {
@@ -205,6 +222,10 @@ class ServiceMetrics {
   std::atomic<uint64_t> recovery_feedback_{0};
   std::array<std::atomic<uint64_t>, kLatencyBucketCount> latency_counts_{};
   std::atomic<uint64_t> latency_total_ns_{0};
+  std::array<std::array<std::atomic<uint64_t>, kLatencyBucketCount>,
+             obs::kStageCount>
+      stage_counts_{};
+  std::array<std::atomic<uint64_t>, obs::kStageCount> stage_total_ns_{};
 };
 
 }  // namespace wfit::service

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "obs/log.h"
 #include "persist/tenant_tree.h"
 
 namespace wfit::service {
@@ -155,8 +156,7 @@ TenantRouter::Tenant* TenantRouter::GetOrAdmitLocked(
   EnsureCapacityLocked(incoming_bytes);
   TenantTuner made = factory_(id);
   if (made.tuner == nullptr) {
-    std::fprintf(stderr, "[tenant_router] factory returned no tuner for %s\n",
-                 id.c_str());
+    obs::Log(obs::LogLevel::kError, "router.factory_failed").Str("tenant", id);
     return nullptr;
   }
   TunerServiceOptions shard_options = options_.shard;
@@ -171,8 +171,9 @@ TenantRouter::Tenant* TenantRouter::GetOrAdmitLocked(
   auto opened = TunerService::Open(std::move(made.tuner), made.pool,
                                    std::move(shard_options), &recovery);
   if (!opened.ok()) {
-    std::fprintf(stderr, "[tenant_router] admission of %s failed: %s\n",
-                 id.c_str(), opened.status().ToString().c_str());
+    obs::Log(obs::LogLevel::kError, "router.admission_failed")
+        .Str("tenant", id)
+        .Str("error", opened.status().ToString());
     return nullptr;
   }
   t->service = std::move(*opened);

@@ -8,6 +8,8 @@
 #include <map>
 
 #include "common/check.h"
+#include "obs/log.h"
+#include "obs/trace.h"
 #include "persist/snapshot.h"
 
 namespace wfit::service {
@@ -201,11 +203,9 @@ Status TunerService::Recover(RecoveryStats* stats) {
   last_checkpoint_analyzed_ = loaded.loaded ? loaded.meta.analyzed : 0;
   have_checkpoint_ = loaded.loaded;
   if (lsn_domain_mismatch) {
-    std::fprintf(stderr,
-                 "[tuner_service] journal behind snapshot (lsn %llu > %llu "
-                 "records) — recovering at the snapshot and re-stamping\n",
-                 static_cast<unsigned long long>(start_lsn),
-                 static_cast<unsigned long long>(total_records));
+    obs::Log(obs::LogLevel::kWarn, "recovery.lsn_mismatch")
+        .U64("snapshot_lsn", start_lsn)
+        .U64("journal_records", total_records);
     // Overwrite the newest snapshot with one whose journal_lsn matches the
     // actual file, so the next recovery replays from a consistent base.
     have_checkpoint_ = false;
@@ -274,9 +274,12 @@ void TunerService::FinishDetached() { Shutdown(); }
 size_t TunerService::ProcessBatch() {
   std::vector<Statement> batch;
   batch.reserve(options_.max_batch);
+  std::vector<IngestMeta> meta;
+  meta.reserve(options_.max_batch);
   uint64_t first_seq = 0;
-  size_t n = queue_.TryPopBatch(&batch, options_.max_batch, &first_seq);
-  if (n > 0) AnalyzeBatch(batch, first_seq, n);
+  size_t n =
+      queue_.TryPopBatch(&batch, options_.max_batch, &first_seq, &meta);
+  if (n > 0) AnalyzeBatch(batch, first_seq, n, meta);
   return n;
 }
 
@@ -430,10 +433,8 @@ void TunerService::JournalAppend(Fn&& fn) {
   if (!st.ok()) {
     // Durability degrades but the service stays up; a stale journal tail
     // simply bounds how far a future recovery can replay.
-    std::fprintf(stderr,
-                 "[tuner_service] journal write failed, disabling "
-                 "persistence: %s\n",
-                 st.ToString().c_str());
+    obs::Log(obs::LogLevel::kError, "journal.write_failed")
+        .Str("error", st.ToString());
     metrics_.OnJournalFailure();
     journal_->Close();
     journal_.reset();
@@ -451,10 +452,8 @@ void TunerService::SyncJournalIfDirty() {
   }
   Status st = journal_->Sync();
   if (!st.ok()) {
-    std::fprintf(stderr,
-                 "[tuner_service] journal fsync failed, disabling "
-                 "persistence: %s\n",
-                 st.ToString().c_str());
+    obs::Log(obs::LogLevel::kError, "journal.fsync_failed")
+        .Str("error", st.ToString());
     metrics_.OnJournalFailure();
     journal_->Close();
     journal_.reset();
@@ -479,10 +478,15 @@ void TunerService::MaybeCheckpoint(bool force) {
   persist::SnapshotMeta meta;
   meta.analyzed = analyzed;
   meta.journal_lsn = journal_->lsn();
+  obs::SpanGuard span("checkpoint");
+  obs::StageTimer timer(obs::Stage::kCheckpointWrite);
   StatusOr<uint64_t> bytes =
       persist::WriteSnapshot(options_.checkpoint_dir, *tuner_, *pool_, meta);
   if (!bytes.ok()) {
     metrics_.OnCheckpointFailure();
+    obs::Log(obs::LogLevel::kWarn, "checkpoint.failed")
+        .U64("analyzed", analyzed)
+        .Str("error", bytes.status().ToString());
     return;
   }
   last_checkpoint_analyzed_ = analyzed;
@@ -512,12 +516,15 @@ void TunerService::Publish() {
 void TunerService::WorkerLoop() {
   std::vector<Statement> batch;
   batch.reserve(options_.max_batch);
+  std::vector<IngestMeta> meta;
+  meta.reserve(options_.max_batch);
   while (true) {
     batch.clear();
+    meta.clear();
     uint64_t first_seq = 0;
-    size_t n = queue_.PopBatch(&batch, options_.max_batch, &first_seq);
+    size_t n = queue_.PopBatch(&batch, options_.max_batch, &first_seq, &meta);
     if (n == 0) break;  // closed and drained
-    AnalyzeBatch(batch, first_seq, n);
+    AnalyzeBatch(batch, first_seq, n, meta);
   }
   // Drain path: votes cast after the final statement still take effect —
   // except in crash-realistic mode (checkpoint_on_shutdown=false), where
@@ -529,32 +536,61 @@ void TunerService::WorkerLoop() {
 }
 
 void TunerService::AnalyzeBatch(std::vector<Statement>& batch,
-                                uint64_t first_seq, size_t n) {
+                                uint64_t first_seq, size_t n,
+                                const std::vector<IngestMeta>& meta) {
+  // Stage timers anywhere below this frame (IBG build on pool threads,
+  // what-if probes, checkpoint writes) attribute to this service.
+  obs::ScopedStageSink stage_sink(&metrics_);
   metrics_.OnBatch(n);
-  // Write-ahead: the whole batch hits the journal (one fsync) before any
-  // of it is analyzed, so a crash can lose unanalyzed intake but never
-  // analyzed statements. Statements requeued by recovery are already in
-  // the journal and are not re-appended.
-  for (size_t i = 0; i < n; ++i) {
-    const uint64_t seq = first_seq + i;
-    if (seq < journal_stmt_skip_until_) continue;
-    JournalAppend([&](persist::JournalWriter* j) {
-      return j->AppendStatement(seq, batch[i]);
-    });
+  const uint64_t pop_ns = obs::NowNs();
+  // WAL spans record under the first statement's submitting trace (the
+  // one fsync covers the whole batch).
+  obs::ScopedTraceContext batch_ctx(meta.empty() ? obs::TraceContext{}
+                                                 : meta[0].ctx);
+  {
+    obs::SpanGuard wal_span("wal.append");
+    // Write-ahead: the whole batch hits the journal (one fsync) before any
+    // of it is analyzed, so a crash can lose unanalyzed intake but never
+    // analyzed statements. Statements requeued by recovery are already in
+    // the journal and are not re-appended.
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t seq = first_seq + i;
+      if (seq < journal_stmt_skip_until_) continue;
+      JournalAppend([&](persist::JournalWriter* j) {
+        return j->AppendStatement(seq, batch[i]);
+      });
+    }
   }
-  // One fsync covers the whole batch: every statement analyzed below is
-  // already durable.
-  SyncJournalIfDirty();
+  {
+    // One fsync covers the whole batch: every statement analyzed below is
+    // already durable.
+    obs::SpanGuard fsync_span("wal.fsync");
+    SyncJournalIfDirty();
+  }
   for (size_t i = 0; i < n; ++i) {
     uint64_t seq = first_seq + i;
+    const IngestMeta stmt_meta = i < meta.size() ? meta[i] : IngestMeta{};
+    if (stmt_meta.enqueue_ns != 0 && pop_ns > stmt_meta.enqueue_ns) {
+      obs::RecordStage(obs::Stage::kQueueWait, pop_ns - stmt_meta.enqueue_ns);
+    }
+    // The submitting RPC's context makes this statement's analysis spans
+    // children of the client's submit span across the process boundary.
+    obs::ScopedTraceContext stmt_ctx(stmt_meta.ctx);
     // Votes that arrived since the last boundary (ASAP, or keyed to an
     // already-analyzed statement) apply before this statement — i.e. at
     // boundary `seq`.
     bool fed = ApplyFeedback(seq, /*inclusive=*/false, /*with_asap=*/true,
                              /*boundary=*/seq, /*post=*/false);
     Clock::time_point start = Clock::now();
-    tuner_->AnalyzeQuery(batch[i]);
-    metrics_.OnAnalyzed(MicrosSince(start));
+    {
+      obs::SpanGuard analyze_span("analyze");
+      if (analyze_span.trace_id() != 0) {
+        analyze_span.SetDetail("seq " + std::to_string(seq));
+      }
+      tuner_->AnalyzeQuery(batch[i]);
+    }
+    const double analyze_us = MicrosSince(start);
+    metrics_.OnAnalyzed(analyze_us);
     metrics_.SetRepartitions(tuner_->RepartitionCount());
     WhatIfCacheCounters cache = tuner_->WhatIfCache();
     metrics_.SetWhatIfCache(cache.hits, cache.misses, cache.cross_hits);
@@ -579,8 +615,26 @@ void TunerService::AnalyzeBatch(std::vector<Statement>& batch,
       std::lock_guard<std::mutex> lock(history_mu_);
       history_.push_back(tuner_->Recommendation());
     }
-    Publish();
+    {
+      obs::SpanGuard publish_span("publish");
+      Publish();
+    }
     progress_cv_.notify_all();
+    if (options_.slow_statement_ms > 0 && stmt_meta.enqueue_ns != 0) {
+      const uint64_t end_ns = obs::NowNs();
+      const uint64_t e2e_ns =
+          end_ns > stmt_meta.enqueue_ns ? end_ns - stmt_meta.enqueue_ns : 0;
+      if (e2e_ns >= options_.slow_statement_ms * 1000000ull) {
+        obs::Log(obs::LogLevel::kWarn, "slow_statement")
+            .U64("seq", seq)
+            .Dbl("total_ms", static_cast<double>(e2e_ns) / 1e6)
+            .Dbl("queue_wait_ms",
+                 static_cast<double>(pop_ns - stmt_meta.enqueue_ns) / 1e6)
+            .Dbl("analyze_ms", analyze_us / 1e3)
+            .U64("batch", n)
+            .U64("repartitions", tuner_->RepartitionCount());
+      }
+    }
   }
   // Trailing votes of the batch become durable before the consumer moves
   // on (their effect is already published).

@@ -85,6 +85,11 @@ struct TunerServiceOptions {
   /// whenever applied feedback precedes further analysis. Disabling trades
   /// crash durability for throughput (the journal is still written).
   bool sync_journal = true;
+
+  /// Statements whose end-to-end latency (ingest enqueue through snapshot
+  /// publication) exceeds this emit one structured NDJSON record with the
+  /// per-stage breakdown. 0 disables the slow-statement log.
+  uint64_t slow_statement_ms = 250;
 };
 
 /// What recovery found and replayed (TunerService::Open).
@@ -254,7 +259,7 @@ class TunerService {
   /// with deterministic feedback interleaving, publication, cadence
   /// checkpointing. Worker thread or externally-serialized caller only.
   void AnalyzeBatch(std::vector<Statement>& batch, uint64_t first_seq,
-                    size_t n);
+                    size_t n, const std::vector<IngestMeta>& meta);
   /// End-of-stream epilogue: remaining feedback (all of it when
   /// `apply_all_feedback`, only due votes otherwise), final checkpoint
   /// (`force_checkpoint` overrides options.checkpoint_on_shutdown), and

@@ -22,6 +22,9 @@
 #include "cluster/cluster_client.h"
 #include "cluster/demo_env.h"
 #include "cluster/placement.h"
+#include "obs/health.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
 
 namespace fs = std::filesystem;
 
@@ -319,6 +322,79 @@ TEST(ClusterMigrationTest, FailedHandoffRevertsAndStaysConsistent) {
     ASSERT_EQ(stitched[seq], reference[seq])
         << "trajectory diverged at statement " << seq;
   }
+  cluster.Shutdown();
+}
+
+// The fleet health plane against a live two-node cluster: kGetHealth
+// reports decode for every node, the merged fleet scrape carries
+// node="..." labels with one header per family, and a trace id stamped
+// by the client at submit time comes back out of kDumpTrace attached to
+// the node-side spans (wire propagation end to end).
+TEST(ClusterHealthTest, HealthScrapeAndTracePlane) {
+  TwoNodeCluster cluster("health");
+#ifndef WFIT_DISABLE_TRACING
+  obs::SetTracingEnabled(true);
+  obs::ClearTraceForTest();
+#endif
+
+  ClusterClient client(cluster.config);
+  const Workload& workload = cluster.env->Env(0).workload;
+  const uint64_t kTrace = 0x7ace1d0000000001ull;
+  const size_t kSubmit = 10;
+  for (size_t seq = 0; seq < kSubmit; ++seq) {
+    net::Request req;
+    req.type = net::MsgType::kSubmitAt;
+    req.seq = seq;
+    req.has_statement = true;
+    req.statement = workload[seq];
+    req.trace_id = kTrace + seq;
+    auto resp = client.Call(kTenant, std::move(req));
+    ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+    ASSERT_EQ(resp->kind, net::RespKind::kOk) << resp->message;
+  }
+  while (AnalyzedNow(client) < kSubmit) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  // kGetHealth: one decoded report per node, with the owner's progress.
+  FleetHealth health = client.FetchFleetHealth();
+  ASSERT_EQ(health.nodes.size(), 2u);
+  uint64_t analyzed = 0;
+  for (const obs::NodeHealthReport& r : health.nodes) {
+    EXPECT_TRUE(r.node_id == "a" || r.node_id == "b") << r.node_id;
+    EXPECT_EQ(r.config_version, cluster.config.version);
+    analyzed += r.statements_analyzed;
+  }
+  EXPECT_GE(analyzed, kSubmit);
+
+  // The merged scrape: per-node series under a single header per family.
+  std::string scrape = client.ScrapeFleet();
+  EXPECT_NE(scrape.find("wfit_node_config_version{node=\"a\"}"),
+            std::string::npos);
+  EXPECT_NE(scrape.find("wfit_node_config_version{node=\"b\"}"),
+            std::string::npos);
+  EXPECT_EQ(scrape.find("# HELP wfit_node_config_version"),
+            scrape.rfind("# HELP wfit_node_config_version"));
+
+#ifndef WFIT_DISABLE_TRACING
+  // kDumpTrace: the client-stamped trace ids reappear on node-side spans
+  // (the wire carried the context into the handler and the analysis).
+  net::Request dump;
+  dump.type = net::MsgType::kDumpTrace;
+  auto resp = client.CallNode(cluster.config.nodes[0].id, std::move(dump));
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  ASSERT_EQ(resp->kind, net::RespKind::kOk);
+  std::vector<obs::Span> spans = obs::ParseSpanLines(resp->text);
+  size_t stamped = 0;
+  for (const obs::Span& s : spans) {
+    if (s.trace_id >= kTrace && s.trace_id < kTrace + kSubmit) ++stamped;
+  }
+  EXPECT_GE(stamped, kSubmit)
+      << "client trace ids did not propagate into node spans ("
+      << spans.size() << " spans collected)";
+  obs::SetTracingEnabled(false);
+  obs::ClearTraceForTest();
+#endif
   cluster.Shutdown();
 }
 

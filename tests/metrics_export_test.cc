@@ -313,6 +313,45 @@ TEST(MetricsExportTest, TenantExportEscapesHostileIdsAndValidates) {
   EXPECT_NE(text.find("new\\nline"), std::string::npos);
 }
 
+TEST(MetricsExportTest, StageHistogramsExportAndValidate) {
+  ServiceMetrics metrics;
+  // One sample per stage, spread across buckets (5 us, 100 us, 2 ms, 2 s).
+  metrics.RecordStage(obs::Stage::kQueueWait, 5'000);
+  metrics.RecordStage(obs::Stage::kIbgBuild, 100'000);
+  metrics.RecordStage(obs::Stage::kProbe, 2'000'000);
+  metrics.RecordStage(obs::Stage::kCheckpointWrite, 2'000'000'000);
+  MetricsSnapshot snapshot = metrics.Snapshot();
+  EXPECT_EQ(snapshot.stage_count(obs::Stage::kQueueWait), 1u);
+  EXPECT_NEAR(snapshot.stage_mean_us(obs::Stage::kProbe), 2000.0, 1.0);
+
+  std::string text = ExportText(snapshot);
+  Exposition exposition;
+  ValidateExposition(text, &exposition);
+  ASSERT_EQ(exposition.types.count("wfit_service_stage_latency_us"), 1u);
+  EXPECT_EQ(exposition.types.at("wfit_service_stage_latency_us"),
+            "histogram");
+  // Every stage appears as its own labelled series with a +Inf bucket.
+  for (const char* stage :
+       {"queue_wait", "ibg_build", "probe", "checkpoint_write"}) {
+    EXPECT_NE(
+        text.find("wfit_service_stage_latency_us_bucket{stage=\"" +
+                  std::string(stage) + "\",le=\"+Inf\"} 1"),
+        std::string::npos)
+        << "missing stage series " << stage << " in:\n" << text;
+  }
+
+  // The per-tenant exporter carries the same families with tenant labels.
+  std::ostringstream os;
+  ExportTenantText({{"t0", snapshot}}, os);
+  std::string tenant_text = os.str();
+  ValidateExposition(tenant_text);
+  EXPECT_NE(tenant_text.find(
+                "wfit_tenant_stage_latency_us_bucket{tenant=\"t0\","
+                "stage=\"queue_wait\""),
+            std::string::npos)
+      << tenant_text;
+}
+
 TEST(MetricsExportTest, CountersAreMonotoneAcrossScrapesAndEviction) {
   TestDb db;
   Workload w = BuildWorkload(db, 30);

@@ -247,6 +247,43 @@ TEST(WireCodecTest, TruncatedResponseNeverAborts) {
   }
 }
 
+TEST(WireCodecTest, TraceContextRoundTrips) {
+  Request req = PingRequest();
+  req.trace_id = 0xdeadbeefcafef00dull;
+  req.parent_span = 0x12345678ull;
+  Request decoded;
+  ASSERT_TRUE(DecodeRequest(EncodeRequest(req), &decoded).ok());
+  EXPECT_EQ(decoded.trace_id, 0xdeadbeefcafef00dull);
+  EXPECT_EQ(decoded.parent_span, 0x12345678ull);
+
+  // The 3-arg overload stamps the context without copying the request.
+  Request stamped;
+  ASSERT_TRUE(DecodeRequest(EncodeRequest(PingRequest(), 7, 9), &stamped).ok());
+  EXPECT_EQ(stamped.trace_id, 7u);
+  EXPECT_EQ(stamped.parent_span, 9u);
+}
+
+TEST(WireCodecTest, V2RequestDecodesWithZeroedTraceContext) {
+  // A v2 peer's payload is the v3 encoding minus the trailing 16-byte
+  // trace extension, with the version byte rewritten. The decoder must
+  // accept it and fall back to "no trace".
+  Request req = PingRequest();
+  req.trace_id = 0xdeadbeefull;
+  req.parent_span = 42;
+  std::string encoded = EncodeRequest(req);
+  ASSERT_GT(encoded.size(), 16u);
+  encoded.resize(encoded.size() - 16);
+  encoded[0] = 2;
+
+  Request decoded;
+  Status s = DecodeRequest(encoded, &decoded);
+  ASSERT_TRUE(s.ok()) << s.message();
+  EXPECT_EQ(decoded.type, MsgType::kGetAnalyzed);
+  EXPECT_EQ(decoded.tenant, "tenant-0");
+  EXPECT_EQ(decoded.trace_id, 0u);
+  EXPECT_EQ(decoded.parent_span, 0u);
+}
+
 TEST(WireCodecTest, VersionSkewRejectedCleanly) {
   std::string encoded = EncodeRequest(PingRequest());
   ASSERT_FALSE(encoded.empty());

@@ -35,6 +35,13 @@ GATED_LOWER = [
     "failover_takeover_ms",
 ]
 
+# Absolute ceilings, enforced against the fresh value alone (no baseline
+# needed). tracing_overhead_pct: runtime-enabled tracing may cost at most
+# this percentage of single-threaded replay wall time.
+GATED_ABSOLUTE_MAX = {
+    "tracing_overhead_pct": 5.0,
+}
+
 
 def load(path):
     try:
@@ -90,9 +97,22 @@ def main(argv):
             )
         print(f"  {verdict:4}  {key}: {now:.0f} vs {base:.0f} ({change:+.1%})")
 
+    for key, bound in GATED_ABSOLUTE_MAX.items():
+        if key not in fresh:
+            failures.append(f"{key}: missing from fresh results")
+            print(f"  FAIL  {key}: missing from fresh results")
+            continue
+        now = fresh[key]
+        if now > bound:
+            failures.append(f"{key}: {now:.2f} exceeds absolute bound {bound}")
+            print(f"  FAIL  {key}: {now:.2f} > {bound} (absolute bound)")
+        else:
+            print(f"  ok    {key}: {now:.2f} <= {bound} (absolute bound)")
+
     informational = sorted(
         k for k in fresh.keys() & baseline.keys()
         if k not in GATED and k not in GATED_LOWER
+        and k not in GATED_ABSOLUTE_MAX
     )
     if informational:
         print("informational drift:")

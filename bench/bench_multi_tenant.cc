@@ -25,7 +25,9 @@
 #include "bench/bench_common.h"
 #include "core/wfit.h"
 #include "harness/reporting.h"
+#include "obs/stages.h"
 #include "service/tenant_router.h"
+#include "service/tuner_service.h"
 
 namespace wfit {
 namespace {
@@ -142,6 +144,188 @@ RunResult RunRouter(Catalog* catalog, const Workload& workload,
   return result;
 }
 
+/// QoS skew: one heavy tenant (DRR weight 4, 8x the volume) beside three
+/// light tenants. The invariant under test: the flood must not push a
+/// light tenant's queue-wait p99 past what weighted scheduling promises —
+/// the light p99 is the gated number.
+struct SkewResult {
+  double light_p99_ms = 0.0;
+  double heavy_p99_ms = 0.0;
+  bool lights_complete = true;
+};
+
+SkewResult RunSkewed(Catalog* catalog, const Workload& workload,
+                     size_t light_per_tenant) {
+  constexpr size_t kTenants = 4;  // db-0 heavy, db-1..3 light
+  const size_t heavy_volume = 8 * light_per_tenant;
+  std::vector<std::unique_ptr<TenantEnv>> envs;
+  for (size_t t = 0; t < kTenants; ++t) {
+    envs.push_back(std::make_unique<TenantEnv>(catalog));
+  }
+  service::TenantRouterOptions options;
+  options.shard.queue_capacity = 256;
+  options.shard.max_batch = 16;
+  options.analysis_threads = 1;
+  options.drain_threads = 2;  // fewer drains than tenants: contention real
+  options.tenant_qos[TenantName(0)] = service::TenantQos{.weight = 4.0};
+  service::TenantRouter router(
+      [&](const std::string& id) {
+        size_t t = std::strtoull(id.substr(3).c_str(), nullptr, 10);
+        service::TenantTuner made;
+        made.tuner = std::make_unique<Wfit>(envs[t]->pool.get(),
+                                            envs[t]->optimizer.get(),
+                                            IndexSet{}, LeanOptions());
+        return made;
+      },
+      options);
+  router.Start();
+
+  std::vector<std::thread> producers;
+  producers.emplace_back([&] {
+    for (size_t i = 0; i < heavy_volume; ++i) {
+      router.Submit(TenantName(0), workload[i % workload.size()]);
+    }
+  });
+  for (size_t t = 1; t < kTenants; ++t) {
+    producers.emplace_back([&, t] {
+      for (size_t i = 0; i < light_per_tenant; ++i) {
+        router.Submit(TenantName(t), workload[i % workload.size()]);
+      }
+    });
+  }
+  for (auto& p : producers) p.join();
+  router.WaitUntilAnalyzed(TenantName(0), heavy_volume);
+  for (size_t t = 1; t < kTenants; ++t) {
+    router.WaitUntilAnalyzed(TenantName(t), light_per_tenant);
+  }
+  router.Shutdown();
+
+  SkewResult result;
+  for (const service::TenantMetricsEntry& e : router.Metrics().tenants) {
+    const double p99_ms =
+        e.service.StageQuantileUpperUs(obs::Stage::kQueueWait, 0.99) / 1000.0;
+    if (e.id == TenantName(0)) {
+      result.heavy_p99_ms = p99_ms;
+    } else {
+      result.light_p99_ms = std::max(result.light_p99_ms, p99_ms);
+      if (e.service.statements_analyzed != light_per_tenant) {
+        result.lights_complete = false;
+      }
+    }
+  }
+  return result;
+}
+
+/// 10x spike into an overload-enabled shard, producers on 2-second
+/// deadline submits: the server may shed (kBusy) but a producer call can
+/// never block past its deadline. Recovery = seconds from the end of the
+/// spike until the controller walks back to Normal under trickle load.
+struct SpikeResult {
+  double recovery_s = 0.0;
+  double max_submit_block_s = 0.0;
+  uint64_t ingress_shed = 0;
+  uint64_t transitions = 0;
+  bool recovered = false;
+};
+
+SpikeResult RunSpike(Catalog* catalog, const Workload& workload,
+                     size_t spike_statements) {
+  TenantEnv env(catalog);
+  service::TenantRouterOptions options;
+  options.shard.queue_capacity = 64;  // 10x spike overwhelms this
+  options.shard.max_batch = 8;
+  options.shard.overload.enabled = true;
+  options.shard.overload.sample_floor = 0.25;
+  options.analysis_threads = 1;
+  options.drain_threads = 1;
+  service::TenantRouter router(
+      [&](const std::string&) {
+        service::TenantTuner made;
+        made.tuner = std::make_unique<Wfit>(env.pool.get(),
+                                            env.optimizer.get(), IndexSet{},
+                                            LeanOptions());
+        return made;
+      },
+      options);
+  router.Start();
+  const std::string id = TenantName(0);
+
+  SpikeResult result;
+  auto deadline_submit = [&](const Statement& stmt) {
+    const Clock::time_point begin = Clock::now();
+    const service::PushAtResult r = router.SubmitWithDeadline(
+        id, stmt, begin + std::chrono::seconds(2));
+    const double blocked =
+        std::chrono::duration<double>(Clock::now() - begin).count();
+    result.max_submit_block_s =
+        std::max(result.max_submit_block_s, blocked);
+    if (r == service::PushAtResult::kWouldBlock) ++result.ingress_shed;
+  };
+
+  // The spike: 10x queue capacity as fast as the producer can push.
+  for (size_t i = 0; i < spike_statements; ++i) {
+    deadline_submit(workload[i % workload.size()]);
+  }
+  const Clock::time_point spike_end = Clock::now();
+
+  // Trickle load while the backlog drains; the controller needs batches
+  // flowing to observe the fill dropping and walk back to Normal.
+  bool recovered = false;
+  for (size_t i = 0; i < 20000; ++i) {
+    if (router.Metrics().aggregate.overload_mode == 0 &&
+        router.Metrics().aggregate.queue_depth == 0) {
+      recovered = true;
+      break;
+    }
+    deadline_submit(workload[i % workload.size()]);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  result.recovered = recovered;
+  result.recovery_s =
+      std::chrono::duration<double>(Clock::now() - spike_end).count();
+  router.Shutdown();
+  result.transitions = router.Metrics().aggregate.overload_transitions;
+  return result;
+}
+
+/// The honesty control: with the controller armed but never tripped (rate
+/// stays 1.0), the recommendation trajectory must be bit-identical to a
+/// run with the controller compiled out of the decision path.
+size_t RateOneDivergence(Catalog* catalog, const Workload& workload,
+                         size_t statements) {
+  std::vector<IndexSet> histories[2];
+  for (int enabled = 0; enabled < 2; ++enabled) {
+    TenantEnv env(catalog);
+    service::TunerServiceOptions options;
+    // Worst-case fill stays under 1/8 — far below the high watermark, so
+    // the armed controller never leaves Normal and the rate stays 1.0.
+    options.queue_capacity = 8 * statements;
+    options.max_batch = 16;
+    options.analysis_threads = 1;
+    options.record_history = true;
+    options.overload.enabled = enabled == 1;
+    service::TunerService svc(
+        std::make_unique<Wfit>(env.pool.get(), env.optimizer.get(),
+                               IndexSet{}, LeanOptions()),
+        options);
+    svc.StartDetached(nullptr);
+    for (size_t i = 0; i < statements; ++i) {
+      svc.SubmitAt(i, workload[i % workload.size()]);
+    }
+    while (svc.ProcessBatch() > 0) {
+    }
+    svc.Shutdown();
+    histories[enabled] = svc.History();
+  }
+  size_t divergence = 0;
+  for (size_t i = 0; i < histories[0].size(); ++i) {
+    if (i >= histories[1].size() || histories[0][i] != histories[1][i]) {
+      ++divergence;
+    }
+  }
+  return divergence;
+}
+
 }  // namespace
 }  // namespace wfit
 
@@ -188,6 +372,37 @@ int main() {
   std::cout << "  all tenants complete " << (every_tenant_finished ? "yes" : "NO")
             << "\n  fairness >= 0.2      " << (fair ? "yes" : "NO") << "\n";
 
+  // QoS skew: a weighted heavy flood beside protected light tenants.
+  SkewResult skew =
+      RunSkewed(&env.catalog(), env.workload(), fast ? 200 : 600);
+  std::cout << "\nskewed load (heavy weight 4, 8x volume):\n"
+            << "  light tenant p99     " << skew.light_p99_ms
+            << " ms queue wait\n"
+            << "  heavy tenant p99     " << skew.heavy_p99_ms
+            << " ms queue wait\n"
+            << "  lights complete      "
+            << (skew.lights_complete ? "yes" : "NO") << "\n";
+
+  // 10x spike into an overload-enabled shard with 2s deadline submits.
+  SpikeResult spike =
+      RunSpike(&env.catalog(), env.workload(), fast ? 640 : 1280);
+  std::cout << "\noverload spike (10x queue capacity):\n"
+            << "  recovery             " << spike.recovery_s << " s\n"
+            << "  max submit block     " << spike.max_submit_block_s
+            << " s\n"
+            << "  ingress shed (kBusy) " << spike.ingress_shed << "\n"
+            << "  controller epochs    " << spike.transitions << "\n"
+            << "  recovered to Normal  " << (spike.recovered ? "yes" : "NO")
+            << "\n";
+
+  size_t divergence =
+      RateOneDivergence(&env.catalog(), env.workload(), fast ? 120 : 300);
+  std::cout << "  rate-1.0 divergence  " << divergence
+            << " statements (must be 0)\n";
+
+  bool producers_bounded = spike.max_submit_block_s < 2.5;
+  bool honest = divergence == 0;
+
   harness::UpdateBenchJson(
       "BENCH_service.json",
       {
@@ -195,7 +410,12 @@ int main() {
           {"tenants_aggregate_stmts_per_min", multi.aggregate_stmts_per_min},
           {"tenants_fairness_min_max_ratio", multi.fairness_min_max_ratio},
           {"tenants_single_stmts_per_min", single.aggregate_stmts_per_min},
+          {"qos_light_tenant_p99_ms", skew.light_p99_ms},
+          {"overload_recovery_s", spike.recovery_s},
       });
   std::cout << "wrote BENCH_service.json\n";
-  return (every_tenant_finished && fair) ? 0 : 1;
+  return (every_tenant_finished && fair && skew.lights_complete &&
+          spike.recovered && producers_bounded && honest)
+             ? 0
+             : 1;
 }

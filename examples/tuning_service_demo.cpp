@@ -34,6 +34,7 @@
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -42,6 +43,8 @@
 
 #include "cluster/demo_env.h"
 #include "harness/reporting.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
 #include "service/tenant_router.h"
 #include "service/tuner_service.h"
 
@@ -63,6 +66,8 @@ struct Flags {
   uint64_t checkpoint_every = 200;
   uint64_t kill_after = 0;  // 0 = never
   size_t tenants = 1;       // > 1 routes through a TenantRouter
+  bool overload = false;    // tiny queue + adaptive overload controller
+  std::string trace_out;    // Chrome trace JSON written at exit
 };
 
 Flags ParseFlags(int argc, char** argv) {
@@ -88,12 +93,17 @@ Flags ParseFlags(int argc, char** argv) {
       flags.kill_after = std::strtoull(v, nullptr, 10);
     } else if (const char* v = value("tenants")) {
       flags.tenants = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--overload") {
+      flags.overload = true;
+    } else if (const char* v = value("trace_out")) {
+      flags.trace_out = v;
     } else {
       std::cerr << "unknown flag: " << arg << "\n"
                 << "usage: tuning_service_demo [--checkpoint_dir=DIR] "
                    "[--statements=N] [--checkpoint_every=N] "
                    "[--kill_after=K] [--trajectory_out=F] "
-                   "[--reference=F] [--tenants=N]\n";
+                   "[--reference=F] [--tenants=N] [--overload] "
+                   "[--trace_out=PATH]\n";
       std::exit(64);
     }
   }
@@ -113,6 +123,20 @@ void InstallSignalHandlers() {
 
 std::string TenantName(size_t t) { return DemoFleetEnv::TenantName(t); }
 
+/// --trace_out: the run executes with tracing on and leaves one Chrome
+/// trace JSON document behind. The CI overload smoke greps it for the
+/// overload.shed / overload.sample_drop / overload.transition instants.
+void MaybeDumpTrace(const Flags& flags) {
+  if (flags.trace_out.empty()) return;
+  std::ofstream out(flags.trace_out, std::ios::trunc);
+  if (!out) {
+    std::cerr << "[trace] cannot write " << flags.trace_out << "\n";
+    return;
+  }
+  out << obs::ChromeTraceJson(obs::CollectSpans(), "tuning_service_demo");
+  std::cout << "[trace] written to " << flags.trace_out << "\n";
+}
+
 /// The multi-tenant flow (--tenants=N): N independent databases behind one
 /// TenantRouter with a shared drain pool and a per-tenant checkpoint tree
 /// under --checkpoint_dir. Supports the same kill/recover/verify protocol
@@ -127,6 +151,16 @@ int RunMultiTenant(const Flags& flags) {
   options.shard.queue_capacity = 64;
   options.shard.max_batch = 16;
   options.shard.record_history = true;
+  if (flags.overload) {
+    // Overload smoke: a queue small enough that free-running producers
+    // push the fill past the high watermark, so the controller walks
+    // Normal → Shedding → Sampling and back while the run still
+    // completes (dropped statements keep their analyzed markers).
+    options.shard.queue_capacity = 16;
+    options.shard.max_batch = 4;
+    options.shard.overload.enabled = true;
+    options.shard.overload.sample_floor = 0.25;
+  }
   options.shard.checkpoint_every_statements = flags.checkpoint_every;
   options.checkpoint_root = flags.checkpoint_dir;
   options.analysis_threads = 1;
@@ -181,7 +215,11 @@ int RunMultiTenant(const Flags& flags) {
       const Workload& workload = fleet.Env(t).workload;
       for (size_t seq = 0; seq < workload.size(); ++seq) {
         if (g_stop.load()) return;
-        router.SubmitAt(TenantName(t), seq, workload[seq]);
+        // Overload runs repeat each template 4x in a row: a duplicate-heavy
+        // burst is exactly the load Shedding exists for, so the smoke
+        // exercises overload.shed as well as the sampling drops.
+        const size_t idx = flags.overload ? seq - (seq % 4) : seq;
+        router.SubmitAt(TenantName(t), seq, workload[idx]);
       }
     });
   }
@@ -248,7 +286,14 @@ int RunMultiTenant(const Flags& flags) {
 int main(int argc, char** argv) {
   Flags flags = ParseFlags(argc, argv);
   InstallSignalHandlers();
-  if (flags.tenants > 1) return RunMultiTenant(flags);
+  // --trace_out is self-sufficient; WFIT_TRACE=1 in the environment also
+  // enables tracing (dump still requires the flag).
+  if (!flags.trace_out.empty()) obs::SetTracingEnabled(true);
+  if (flags.tenants > 1) {
+    int code = RunMultiTenant(flags);
+    MaybeDumpTrace(flags);
+    return code;
+  }
 
   // Environment: tenant 0 of the shared demo fleet — the benchmark
   // catalog at reduced scale plus a generated 4-phase trace, so the demo
@@ -267,6 +312,13 @@ int main(int argc, char** argv) {
   service_options.record_history = true;
   service_options.checkpoint_dir = flags.checkpoint_dir;
   service_options.checkpoint_every_statements = flags.checkpoint_every;
+  if (flags.overload) {
+    // Same overload smoke shape as the multi-tenant path.
+    service_options.queue_capacity = 16;
+    service_options.max_batch = 4;
+    service_options.overload.enabled = true;
+    service_options.overload.sample_floor = 0.25;
+  }
 
   // The service owns the tuner; with a checkpoint_dir, Open() first
   // recovers whatever an earlier (possibly killed) process left behind.
@@ -346,7 +398,9 @@ int main(int argc, char** argv) {
         for (size_t seq = first + static_cast<size_t>(p); seq < stage_end;
              seq += kProducers) {
           if (g_stop.load()) return;
-          service.SubmitAt(seq, workload[seq]);
+          // Same duplicate-heavy shape as the multi-tenant overload run.
+          const size_t idx = flags.overload ? seq - (seq % 4) : seq;
+          service.SubmitAt(seq, workload[idx]);
         }
       });
     }
@@ -385,8 +439,10 @@ int main(int argc, char** argv) {
   // Trajectory lines: "seq {ids}" for every statement THIS run analyzed
   // (after a recovery that starts at the snapshot the replay resumed
   // from). The reference run covers the whole workload.
-  return WriteAndVerifyTrajectory(
+  int code = WriteAndVerifyTrajectory(
       service.History(),
       recovery.snapshot_loaded ? recovery.snapshot_analyzed : 0,
       flags.trajectory_out, flags.reference, /*label=*/"");
+  MaybeDumpTrace(flags);
+  return code;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <filesystem>
+#include <map>
 #include <sstream>
 #include <thread>
 #include <utility>
@@ -108,8 +109,19 @@ ClusterConfig TunerNode::Config() const {
 }
 
 void TunerNode::InstallConfig(ClusterConfig config) {
-  std::lock_guard<std::mutex> lock(config_mu_);
-  if (config.version > config_.version) config_ = std::move(config);
+  std::map<std::string, service::TenantQos> qos_updates;
+  {
+    std::lock_guard<std::mutex> lock(config_mu_);
+    if (config.version <= config_.version) return;
+    config_ = std::move(config);
+    qos_updates = config_.tenant_qos;
+  }
+  // QoS classes ride the config so every node schedules a tenant the
+  // same way wherever it lands; applied outside config_mu_ (the router
+  // has its own lock and never calls back into the node).
+  for (const auto& [tenant, qos] : qos_updates) {
+    router_->SetTenantQos(tenant, qos);
+  }
 }
 
 bool TunerNode::CheckOwnership(const std::string& tenant,
@@ -254,6 +266,26 @@ Response TunerNode::HandleFast(const Request& req) {
         return net::ErrResp(
             Status::InvalidArgument("kSubmit without a statement"));
       }
+      if (options_.submit_deadline_ms > 0) {
+        // Bounded wait for queue space; a full tenant costs at most the
+        // deadline before the client hears kBusy — the server never wedges.
+        const auto deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(options_.submit_deadline_ms);
+        switch (router_->SubmitWithDeadline(req.tenant, req.statement,
+                                            deadline)) {
+          case service::PushAtResult::kAccepted:
+          case service::PushAtResult::kDuplicate:
+            return resp;
+          case service::PushAtResult::kWouldBlock:
+            resp.kind = RespKind::kBusy;
+            return resp;
+          case service::PushAtResult::kClosed:
+            return net::ErrResp(
+                Status::FailedPrecondition("node is shutting down"));
+        }
+        return resp;
+      }
       if (!router_->TrySubmit(req.tenant, req.statement)) {
         resp.kind = RespKind::kBusy;
       }
@@ -264,6 +296,26 @@ Response TunerNode::HandleFast(const Request& req) {
       if (!req.has_statement) {
         return net::ErrResp(
             Status::InvalidArgument("kSubmitAt without a statement"));
+      }
+      if (options_.submit_deadline_ms > 0) {
+        const auto deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(options_.submit_deadline_ms);
+        switch (router_->SubmitAtWithDeadline(req.tenant, req.seq,
+                                              req.statement, deadline)) {
+          case service::PushAtResult::kAccepted:
+            return resp;
+          case service::PushAtResult::kDuplicate:
+            resp.count = 1;  // exactly-once success; already covered
+            return resp;
+          case service::PushAtResult::kWouldBlock:
+            resp.kind = RespKind::kBusy;
+            return resp;
+          case service::PushAtResult::kClosed:
+            return net::ErrResp(
+                Status::FailedPrecondition("node is shutting down"));
+        }
+        return resp;
       }
       switch (router_->TrySubmitAt(req.tenant, req.seq, req.statement)) {
         case service::PushAtResult::kAccepted:

@@ -74,6 +74,18 @@ std::string EncodeClusterConfig(const ClusterConfig& config) {
     e.PutString(tenant);
     e.PutString(node);
   }
+  // QoS trailer, emitted only when present so configs without QoS stay
+  // byte-identical to the pre-QoS encoding (version compares rely on it).
+  if (!config.tenant_qos.empty()) {
+    e.PutU32(static_cast<uint32_t>(config.tenant_qos.size()));
+    for (const auto& [tenant, qos] : config.tenant_qos) {
+      e.PutString(tenant);
+      e.PutDouble(qos.weight);
+      e.PutU64(qos.byte_budget);
+      e.PutDouble(qos.p99_budget_ms);
+      e.PutDouble(qos.sample_floor);
+    }
+  }
   return e.Release();
 }
 
@@ -103,6 +115,26 @@ Status DecodeClusterConfig(std::string_view blob, ClusterConfig* out) {
     WFIT_RETURN_IF_ERROR(d.GetString(&tenant));
     WFIT_RETURN_IF_ERROR(d.GetString(&node));
     out->overrides.emplace(std::move(tenant), std::move(node));
+  }
+  out->tenant_qos.clear();
+  if (!d.done()) {
+    uint32_t qos_count = 0;
+    WFIT_RETURN_IF_ERROR(d.GetU32(&qos_count));
+    for (uint32_t i = 0; i < qos_count; ++i) {
+      std::string tenant;
+      service::TenantQos qos;
+      uint64_t byte_budget = 0;
+      WFIT_RETURN_IF_ERROR(d.GetString(&tenant));
+      WFIT_RETURN_IF_ERROR(d.GetDouble(&qos.weight));
+      WFIT_RETURN_IF_ERROR(d.GetU64(&byte_budget));
+      WFIT_RETURN_IF_ERROR(d.GetDouble(&qos.p99_budget_ms));
+      WFIT_RETURN_IF_ERROR(d.GetDouble(&qos.sample_floor));
+      if (!(qos.weight > 0.0)) {
+        return Status::InvalidArgument("cluster config: qos weight <= 0");
+      }
+      qos.byte_budget = static_cast<size_t>(byte_budget);
+      out->tenant_qos.emplace(std::move(tenant), qos);
+    }
   }
   if (!d.done()) {
     return Status::InvalidArgument("cluster config: trailing bytes");

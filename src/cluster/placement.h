@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "service/tenant_router.h"
 
 namespace wfit::cluster {
 
@@ -37,6 +38,12 @@ struct ClusterConfig {
   /// migrations; an override naming an unknown node is ignored (falls
   /// back to the hash) so a stale override cannot strand a tenant.
   std::map<std::string, std::string> overrides;
+  /// tenant id -> QoS class (DRR weight, byte budget, latency budget,
+  /// sampling floor), distributed with the config so every node schedules
+  /// a migrated tenant identically. Encoded as an optional trailer: a
+  /// config without QoS entries round-trips byte-identically with the
+  /// pre-QoS codec.
+  std::map<std::string, service::TenantQos> tenant_qos;
 
   const NodeInfo* FindNode(const std::string& id) const;
   void Normalize();  // sort nodes by id

@@ -74,6 +74,15 @@ class Tuner {
   /// Cumulative what-if memoization counters; zeros for tuners without a
   /// probe cache.
   virtual WhatIfCacheCounters WhatIfCache() const { return {}; }
+
+  /// Weight applied to the NEXT statements' contribution to windowed
+  /// statistics. The overload controller sets 1/sample_rate while it
+  /// uniformly samples the workload, so per-statement benefit averages
+  /// stay unbiased estimates of the full stream (WFIT's windows are
+  /// means over recent statements; scaling the surviving samples keeps
+  /// the expectation honest). Weight 1.0 is bit-identical to no scaling.
+  /// Tuners without windowed statistics ignore it.
+  virtual void SetStatementWeight(double weight) { (void)weight; }
 };
 
 }  // namespace wfit

@@ -87,6 +87,11 @@ class Wfit : public Tuner {
   WhatIfCacheCounters WhatIfCache() const override {
     return {memo_->hits(), memo_->misses(), memo_->cross_hits()};
   }
+  /// Honest-sampling support: scales the benefit each analyzed statement
+  /// records into the selector's recency windows (see Tuner).
+  void SetStatementWeight(double weight) override {
+    selector_->SetStatementWeight(weight);
+  }
 
   const std::vector<IndexSet>& partition() const { return partition_; }
   const IndexSet& candidate_set() const { return candidate_set_; }

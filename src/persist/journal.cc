@@ -181,6 +181,17 @@ Status JournalWriter::AppendAnalyzed(uint64_t seq) {
   return AppendRecord(e.data());
 }
 
+Status JournalWriter::AppendEpoch(uint64_t seq, uint8_t overload_mode,
+                                  double sample_rate, uint64_t sample_seed) {
+  Encoder e;
+  e.PutU8(static_cast<uint8_t>(JournalRecordType::kEpoch));
+  e.PutU64(seq);
+  e.PutU8(overload_mode);
+  e.PutDouble(sample_rate);
+  e.PutU64(sample_seed);
+  return AppendRecord(e.data());
+}
+
 Status JournalWriter::Sync() {
   WFIT_CHECK(file_ != nullptr, "journal not open");
   if (std::fflush(file_) != 0) return Status::Internal("journal fflush");
@@ -228,6 +239,13 @@ StatusOr<JournalReadResult> ReadJournal(const std::string& path) {
         case JournalRecordType::kAnalyzed:
           record.type = JournalRecordType::kAnalyzed;
           st = d.GetU64(&record.seq);
+          break;
+        case JournalRecordType::kEpoch:
+          record.type = JournalRecordType::kEpoch;
+          st = d.GetU64(&record.seq);
+          if (st.ok()) st = d.GetU8(&record.overload_mode);
+          if (st.ok()) st = d.GetDouble(&record.sample_rate);
+          if (st.ok()) st = d.GetU64(&record.sample_seed);
           break;
         case JournalRecordType::kFeedback: {
           record.type = JournalRecordType::kFeedback;

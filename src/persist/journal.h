@@ -40,6 +40,13 @@ enum class JournalRecordType : uint8_t {
   /// batch WAL fsync and a vote's application can never push the replay
   /// past a boundary whose vote died in memory.
   kAnalyzed = 3,
+  /// Overload-control epoch transition: from statement `seq` onward the
+  /// service analyzes intake in `overload_mode` (0 = Normal, 1 = Shedding,
+  /// 2 = Sampling) at `sample_rate`, with sampling decisions drawn from
+  /// the deterministic per-tenant `sample_seed`. Replay re-derives every
+  /// shed/sample decision from these records, so a recovered tenant's
+  /// trajectory is bit-identical to the uninterrupted run.
+  kEpoch = 4,
 };
 
 struct JournalRecord {
@@ -61,6 +68,10 @@ struct JournalRecord {
   bool post = false;
   IndexSet f_plus;
   IndexSet f_minus;
+  /// kEpoch: overload-control state effective from statement `seq`.
+  uint8_t overload_mode = 0;
+  double sample_rate = 1.0;
+  uint64_t sample_seed = 0;
 };
 
 /// Statement wire codec (shared with snapshots and tests). IndexIds do not
@@ -87,6 +98,8 @@ class JournalWriter {
   Status AppendFeedback(uint64_t boundary, bool post, const IndexSet& f_plus,
                         const IndexSet& f_minus);
   Status AppendAnalyzed(uint64_t seq);
+  Status AppendEpoch(uint64_t seq, uint8_t overload_mode, double sample_rate,
+                     uint64_t sample_seed);
 
   /// Makes every appended record durable (fflush + fsync).
   Status Sync();

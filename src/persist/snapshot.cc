@@ -270,6 +270,45 @@ Status DecodeTuner(Decoder* d, Tuner* tuner) {
   return Status::InvalidArgument("snapshot: unknown tuner kind");
 }
 
+// --- overload trailer ---------------------------------------------------
+//
+// Appended after the tuner payload. Pre-overload snapshots simply end at
+// the tuner payload (the decoder sees d.done() and keeps the defaults), so
+// version 1 files from older builds stay loadable.
+
+void EncodeOverload(const OverloadPersist& o, Encoder* e) {
+  e->PutU8(o.mode);
+  e->PutDouble(o.sample_rate);
+  e->PutU64(o.sample_seed);
+  e->PutU32(static_cast<uint32_t>(o.dup_window.size()));
+  for (uint64_t fp : o.dup_window) e->PutU64(fp);
+}
+
+Status DecodeOverload(Decoder* d, OverloadPersist* out) {
+  WFIT_RETURN_IF_ERROR(d->GetU8(&out->mode));
+  if (out->mode > 2) {
+    return Status::InvalidArgument("snapshot: bad overload mode");
+  }
+  WFIT_RETURN_IF_ERROR(d->GetDouble(&out->sample_rate));
+  if (!(out->sample_rate > 0.0) || out->sample_rate > 1.0) {
+    return Status::InvalidArgument("snapshot: bad sample rate");
+  }
+  WFIT_RETURN_IF_ERROR(d->GetU64(&out->sample_seed));
+  uint32_t count = 0;
+  WFIT_RETURN_IF_ERROR(d->GetU32(&count));
+  if (count > 1 << 16) {
+    return Status::InvalidArgument("snapshot: dup window too large");
+  }
+  out->dup_window.clear();
+  out->dup_window.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint64_t fp = 0;
+    WFIT_RETURN_IF_ERROR(d->GetU64(&fp));
+    out->dup_window.push_back(fp);
+  }
+  return Status::Ok();
+}
+
 std::string EncodeHeader(const std::string& payload) {
   Encoder header;
   header.PutU32(kSnapshotMagic);
@@ -289,6 +328,7 @@ Status WriteSnapshotFile(const std::string& path, const Tuner& tuner,
   payload.PutU64(meta.journal_lsn);
   EncodePool(pool, &payload);
   WFIT_RETURN_IF_ERROR(EncodeTuner(tuner, &payload));
+  EncodeOverload(meta.overload, &payload);
 
   const std::string header = EncodeHeader(payload.data());
   std::FILE* f = std::fopen(path.c_str(), "wb");
@@ -371,6 +411,9 @@ Status ReadSnapshot(const std::string& path, Tuner* tuner, IndexPool* pool,
   WFIT_RETURN_IF_ERROR(d.GetU64(&decoded.journal_lsn));
   WFIT_RETURN_IF_ERROR(DecodePool(&d, pool));
   WFIT_RETURN_IF_ERROR(DecodeTuner(&d, tuner));
+  if (!d.done()) {
+    WFIT_RETURN_IF_ERROR(DecodeOverload(&d, &decoded.overload));
+  }
   if (!d.done()) {
     return Status::InvalidArgument("snapshot: trailing bytes");
   }

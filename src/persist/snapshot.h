@@ -30,12 +30,28 @@ namespace wfit::persist {
 inline constexpr uint32_t kSnapshotMagic = 0x4E534657u;  // "WFSN" (LE)
 inline constexpr uint32_t kSnapshotVersion = 1;
 
+/// Overload-control state persisted with a snapshot so a recovered shard
+/// resumes shedding/sampling exactly where the crashed one left off.
+/// mode: 0 = Normal, 1 = Shedding, 2 = Sampling.
+struct OverloadPersist {
+  uint8_t mode = 0;
+  double sample_rate = 1.0;
+  uint64_t sample_seed = 0;
+  /// Recent analyzed-statement fingerprints (oldest first) — the
+  /// duplicate-template window Shedding consults. Restoring it keeps
+  /// shed decisions deterministic across a crash mid-Shedding.
+  std::vector<uint64_t> dup_window;
+};
+
 struct SnapshotMeta {
   /// Statements analyzed when the snapshot was taken (the paper's n).
   uint64_t analyzed = 0;
   /// Journal records already reflected in this state; recovery replays
   /// only records past this point — exactly once.
   uint64_t journal_lsn = 0;
+  /// Written as an optional payload trailer: snapshots from before the
+  /// overload controller existed decode with the defaults (Normal).
+  OverloadPersist overload;
 };
 
 /// Serializes `tuner` (Wfit or WfaPlus; FailedPrecondition otherwise) and

@@ -10,13 +10,31 @@ IngestQueue::IngestQueue(size_t capacity) : capacity_(capacity) {
 }
 
 bool IngestQueue::PushLocked(std::unique_lock<std::mutex>& lock, uint64_t seq,
-                             Statement&& stmt, bool drop_duplicate) {
+                             Statement&& stmt, bool drop_duplicate,
+                             const std::chrono::steady_clock::time_point*
+                                 deadline,
+                             bool abandon_on_timeout, bool* timed_out) {
   // A producer may enter while its slot is still occupied by an
   // undelivered predecessor lap; wait until the slot's lap is ours.
   bool waited = false;
   while (!closed_ && seq >= next_pop_seq_ + capacity_) {
     waited = true;
-    not_full_.wait(lock);
+    if (deadline == nullptr) {
+      not_full_.wait(lock);
+      continue;
+    }
+    if (not_full_.wait_until(lock, *deadline) == std::cv_status::timeout &&
+        !closed_ && seq >= next_pop_seq_ + capacity_) {
+      ++push_waits_;
+      if (timed_out != nullptr) *timed_out = true;
+      if (abandon_on_timeout) {
+        // The implicit ticket is already assigned; tombstone it so the
+        // consumer drains past the hole instead of stalling forever.
+        abandoned_.insert(seq);
+        not_empty_.notify_all();
+      }
+      return false;
+    }
   }
   if (closed_) {
     // The ticket was already assigned; leave a tombstone so the consumer
@@ -93,30 +111,68 @@ PushAtResult IngestQueue::TryPushAt(uint64_t seq, Statement stmt) {
   return PushAtResult::kAccepted;
 }
 
+PushAtResult IngestQueue::PushWithDeadline(
+    Statement stmt, std::chrono::steady_clock::time_point deadline) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (closed_) return PushAtResult::kClosed;
+  uint64_t seq = next_ticket_++;
+  bool timed_out = false;
+  if (PushLocked(lock, seq, std::move(stmt), /*drop_duplicate=*/false,
+                 &deadline, /*abandon_on_timeout=*/true, &timed_out)) {
+    return PushAtResult::kAccepted;
+  }
+  return timed_out ? PushAtResult::kWouldBlock : PushAtResult::kClosed;
+}
+
+PushAtResult IngestQueue::PushAtWithDeadline(
+    uint64_t seq, Statement stmt,
+    std::chrono::steady_clock::time_point deadline) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (closed_) return PushAtResult::kClosed;
+  if (seq < next_pop_seq_) return PushAtResult::kDuplicate;
+  if (seq >= next_ticket_) next_ticket_ = seq + 1;
+  bool timed_out = false;
+  if (PushLocked(lock, seq, std::move(stmt), /*drop_duplicate=*/true,
+                 &deadline, /*abandon_on_timeout=*/false, &timed_out)) {
+    return PushAtResult::kAccepted;
+  }
+  if (timed_out) return PushAtResult::kWouldBlock;
+  return closed_ ? PushAtResult::kClosed : PushAtResult::kDuplicate;
+}
+
 size_t IngestQueue::PopBatch(std::vector<Statement>* out, size_t max_batch,
                              uint64_t* first_seq,
                              std::vector<IngestMeta>* meta) {
   WFIT_CHECK(out != nullptr && max_batch > 0,
              "PopBatch requires an output vector and a positive batch size");
   std::unique_lock<std::mutex> lock(mu_);
-  not_empty_.wait(lock, [&] { return SlotReady(next_pop_seq_) || closed_; });
+  // Like CanPop, look past a contiguous run of tombstones: a statement
+  // accepted behind an abandoned ticket must still wake the consumer.
+  not_empty_.wait(lock, [&] {
+    uint64_t seq = next_pop_seq_;
+    while (abandoned_.count(seq) != 0) ++seq;
+    return SlotReady(seq) || closed_;
+  });
   return PopBatchLocked(out, max_batch, first_seq, meta);
 }
 
 size_t IngestQueue::TryPopBatch(std::vector<Statement>* out, size_t max_batch,
                                 uint64_t* first_seq,
-                                std::vector<IngestMeta>* meta) {
+                                std::vector<IngestMeta>* meta,
+                                size_t max_bytes) {
   WFIT_CHECK(out != nullptr && max_batch > 0,
              "TryPopBatch requires an output vector and a positive batch "
              "size");
   std::unique_lock<std::mutex> lock(mu_);
-  return PopBatchLocked(out, max_batch, first_seq, meta);
+  return PopBatchLocked(out, max_batch, first_seq, meta, max_bytes);
 }
 
 size_t IngestQueue::PopBatchLocked(std::vector<Statement>* out,
                                    size_t max_batch, uint64_t* first_seq,
-                                   std::vector<IngestMeta>* meta) {
+                                   std::vector<IngestMeta>* meta,
+                                   size_t max_bytes) {
   size_t popped = 0;
+  size_t popped_bytes = 0;
   while (popped < max_batch) {
     // Tombstones from pushes abandoned at close are skipped, so accepted
     // statements behind them still drain. Only at the start of a batch:
@@ -128,8 +184,15 @@ size_t IngestQueue::PopBatchLocked(std::vector<Statement>* out,
       continue;
     }
     if (!SlotReady(next_pop_seq_)) break;
-    if (popped == 0 && first_seq != nullptr) *first_seq = next_pop_seq_;
     Slot& slot = *ring_[next_pop_seq_ % capacity_];
+    // Byte budget: stop before the statement that would exceed it, but
+    // always deliver at least one so a single oversized statement cannot
+    // stall the shard.
+    if (max_bytes > 0 && popped > 0) {
+      popped_bytes += ApproxStatementBytes(slot.stmt);
+      if (popped_bytes > max_bytes) break;
+    }
+    if (popped == 0 && first_seq != nullptr) *first_seq = next_pop_seq_;
     out->push_back(std::move(slot.stmt));
     if (meta != nullptr) meta->push_back(slot.meta);
     ring_[next_pop_seq_ % capacity_].reset();

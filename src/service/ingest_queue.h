@@ -16,6 +16,7 @@
 #ifndef WFIT_SERVICE_INGEST_QUEUE_H_
 #define WFIT_SERVICE_INGEST_QUEUE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
@@ -27,6 +28,22 @@
 #include "workload/statement.h"
 
 namespace wfit::service {
+
+/// Rough in-memory footprint of a buffered statement — the unit of the
+/// router's per-tenant byte budgets. Deterministic (a pure function of the
+/// statement), so byte-capped batch boundaries replay identically.
+inline size_t ApproxStatementBytes(const Statement& s) {
+  size_t bytes = sizeof(Statement) + s.sql.size();
+  for (const StatementTable& t : s.tables) {
+    bytes += sizeof(StatementTable) +
+             t.predicates.size() * sizeof(ScanPredicate) +
+             t.referenced_columns.size() * sizeof(uint32_t);
+  }
+  bytes += s.joins.size() * sizeof(JoinClause);
+  bytes += (s.order_by.size() + s.group_by.size()) * sizeof(ColumnRef);
+  bytes += s.set_columns.size() * sizeof(uint32_t);
+  return bytes;
+}
 
 /// Per-statement intake metadata carried through the queue: when the
 /// statement was enqueued (for the queue-wait stage histogram) and the
@@ -80,6 +97,22 @@ class IngestQueue {
   /// first push wins), kClosed after Close().
   PushAtResult TryPushAt(uint64_t seq, Statement stmt);
 
+  /// Bounded-wait Push: blocks for ring space at most until `deadline`,
+  /// then gives up with kWouldBlock. The implicit ticket taken on entry is
+  /// tombstoned on timeout (the consumer drains past it), so a timed-out
+  /// producer can never wedge the sequence domain — the fix for the
+  /// unbounded full-queue wait that could block a producer forever while
+  /// its shard sat evicted.
+  PushAtResult PushWithDeadline(Statement stmt,
+                                std::chrono::steady_clock::time_point deadline);
+
+  /// Bounded-wait PushAt: same give-up-at-deadline semantics, but the
+  /// caller owns `seq` and may retry it later, so no tombstone is left
+  /// (identical contract to TryPushAt's kWouldBlock).
+  PushAtResult PushAtWithDeadline(
+      uint64_t seq, Statement stmt,
+      std::chrono::steady_clock::time_point deadline);
+
   /// Repositions the sequence domain so the first delivered statement is
   /// `seq` (recovery: statements below `seq` were already analyzed from
   /// the journal). Must be called before any push.
@@ -103,7 +136,8 @@ class IngestQueue {
   /// or the queue is drained.
   size_t TryPopBatch(std::vector<Statement>* out, size_t max_batch,
                      uint64_t* first_seq = nullptr,
-                     std::vector<IngestMeta>* meta = nullptr);
+                     std::vector<IngestMeta>* meta = nullptr,
+                     size_t max_bytes = 0);
 
   /// True when TryPopBatch would deliver at least one statement now.
   bool CanPop() const;
@@ -132,9 +166,13 @@ class IngestQueue {
     IngestMeta meta;
   };
   bool PushLocked(std::unique_lock<std::mutex>& lock, uint64_t seq,
-                  Statement&& stmt, bool drop_duplicate);
+                  Statement&& stmt, bool drop_duplicate,
+                  const std::chrono::steady_clock::time_point* deadline =
+                      nullptr,
+                  bool abandon_on_timeout = false, bool* timed_out = nullptr);
   size_t PopBatchLocked(std::vector<Statement>* out, size_t max_batch,
-                        uint64_t* first_seq, std::vector<IngestMeta>* meta);
+                        uint64_t* first_seq, std::vector<IngestMeta>* meta,
+                        size_t max_bytes = 0);
   bool SlotReady(uint64_t seq) const {
     return ring_[seq % capacity_].has_value();
   }
@@ -147,8 +185,9 @@ class IngestQueue {
   uint64_t next_ticket_ = 0;   // next implicit sequence number
   uint64_t next_pop_seq_ = 0;  // consumer cursor
   size_t buffered_ = 0;        // slots currently occupied
-  /// Sequence numbers whose push was abandoned when the queue closed;
-  /// the consumer drains past them (only non-empty after Close()).
+  /// Sequence numbers whose push was abandoned — at Close(), or when a
+  /// deadline push timed out after taking its implicit ticket. The
+  /// consumer drains past them.
   std::set<uint64_t> abandoned_;
   bool closed_ = false;
   // Stats.

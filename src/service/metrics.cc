@@ -80,6 +80,52 @@ double MetricsSnapshot::LatencyQuantileUpperUs(double q) const {
   return std::numeric_limits<double>::infinity();
 }
 
+double MetricsSnapshot::StageQuantileUpperUs(obs::Stage stage,
+                                             double q) const {
+  const int idx = static_cast<int>(stage);
+  uint64_t n = stage_count(stage);
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t target = static_cast<uint64_t>(std::ceil(q * n));
+  target = std::max<uint64_t>(target, 1);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < stage_counts[idx].size(); ++i) {
+    seen += stage_counts[idx][i];
+    if (seen >= target) {
+      return i < kLatencyBucketUpperUs.size()
+                 ? kLatencyBucketUpperUs[i]
+                 : std::numeric_limits<double>::infinity();
+    }
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+double ServiceMetrics::StageQuantileUpperUs(obs::Stage stage,
+                                            double q) const {
+  const int idx = static_cast<int>(stage);
+  if (idx < 0 || idx >= obs::kStageCount) return 0.0;
+  std::array<uint64_t, kLatencyBucketCount> counts;
+  uint64_t n = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    counts[i] = stage_counts_[idx][i].load(std::memory_order_relaxed);
+    n += counts[i];
+  }
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t target = static_cast<uint64_t>(std::ceil(q * n));
+  target = std::max<uint64_t>(target, 1);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    seen += counts[i];
+    if (seen >= target) {
+      return i < kLatencyBucketUpperUs.size()
+                 ? kLatencyBucketUpperUs[i]
+                 : std::numeric_limits<double>::infinity();
+    }
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
 namespace {
 
 void Counter(std::ostream& os, const char* name, uint64_t v,
@@ -124,6 +170,18 @@ void ExportText(const MetricsSnapshot& s, std::ostream& os) {
           "What-if probes that reached the real optimizer");
   Counter(os, "what_if_cross_hits_total", s.what_if_cross_hits,
           "What-if probes served from the cross-statement template cache");
+  Counter(os, "overload_shed_total", s.overload_shed,
+          "Statements shed as duplicate templates under overload");
+  Counter(os, "overload_sampled_out_total", s.overload_sampled_out,
+          "Statements dropped by uniform sampling under overload");
+  Counter(os, "overload_transitions_total", s.overload_transitions,
+          "Overload-controller epoch transitions journaled");
+  Gauge(os, "overload_mode", s.overload_mode,
+        "Overload state: 0 Normal, 1 Shedding, 2 Sampling");
+  os << "# HELP wfit_service_sample_rate Current uniform sampling rate"
+        " (1 outside Sampling)\n"
+     << "# TYPE wfit_service_sample_rate gauge\n"
+     << "wfit_service_sample_rate " << s.sample_rate << "\n";
   Gauge(os, "recommendation_version", s.snapshot_version,
         "Version of the published recommendation snapshot");
   Counter(os, "checkpoints_written_total", s.checkpoints_written,
@@ -252,6 +310,14 @@ void AccumulateCounters(MetricsSnapshot* into, const MetricsSnapshot& from) {
   into->what_if_cache_hits += from.what_if_cache_hits;
   into->what_if_cache_misses += from.what_if_cache_misses;
   into->what_if_cross_hits += from.what_if_cross_hits;
+  into->overload_shed += from.overload_shed;
+  into->overload_sampled_out += from.overload_sampled_out;
+  into->overload_transitions += from.overload_transitions;
+  // The aggregate reports the most-degraded member: deepest overload mode,
+  // lowest sampling rate. Evicted tenants are reset to Normal/1.0 in the
+  // carried counters, so retired state never pins the aggregate.
+  into->overload_mode = std::max(into->overload_mode, from.overload_mode);
+  into->sample_rate = std::min(into->sample_rate, from.sample_rate);
   into->snapshot_version += from.snapshot_version;
   into->checkpoints_written += from.checkpoints_written;
   into->checkpoint_failures += from.checkpoint_failures;
@@ -334,6 +400,20 @@ void ExportTenantText(
   counter("what_if_cross_hits_total",
           "What-if probes served from the cross-statement template cache",
           &MetricsSnapshot::what_if_cross_hits);
+  counter("overload_shed_total",
+          "Statements shed as duplicate templates under overload",
+          &MetricsSnapshot::overload_shed);
+  counter("overload_sampled_out_total",
+          "Statements dropped by uniform sampling under overload",
+          &MetricsSnapshot::overload_sampled_out);
+  counter("overload_transitions_total",
+          "Overload-controller epoch transitions journaled",
+          &MetricsSnapshot::overload_transitions);
+  gauge("overload_mode", "Overload state: 0 Normal, 1 Shedding, 2 Sampling",
+        &MetricsSnapshot::overload_mode);
+  TenantFamily(tenants, os, "sample_rate", "gauge",
+               "Current uniform sampling rate (1 outside Sampling)",
+               [](const MetricsSnapshot& s) { return s.sample_rate; });
   counter("checkpoints_written_total", "Durable state snapshots written",
           &MetricsSnapshot::checkpoints_written);
   counter("journal_records_total", "Records in the tenant's WAL",
@@ -447,6 +527,13 @@ MetricsSnapshot ServiceMetrics::Snapshot() const {
   s.what_if_cache_hits = wi_hits_.load(std::memory_order_relaxed);
   s.what_if_cache_misses = wi_misses_.load(std::memory_order_relaxed);
   s.what_if_cross_hits = wi_cross_hits_.load(std::memory_order_relaxed);
+  s.overload_shed = shed_.load(std::memory_order_relaxed);
+  s.overload_sampled_out = sampled_out_.load(std::memory_order_relaxed);
+  s.overload_transitions = transitions_.load(std::memory_order_relaxed);
+  s.overload_mode = overload_mode_.load(std::memory_order_relaxed);
+  s.sample_rate =
+      static_cast<double>(sample_rate_ppm_.load(std::memory_order_relaxed)) /
+      1e6;
   s.analysis_threads = analysis_threads_.load(std::memory_order_relaxed);
   s.snapshot_version = version_.load(std::memory_order_relaxed);
   s.checkpoints_written = checkpoints_.load(std::memory_order_relaxed);

@@ -1,6 +1,7 @@
 #include "service/tenant_router.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 
@@ -24,6 +25,29 @@ void RouterGauge(std::ostream& os, const char* name, uint64_t v,
   os << "# HELP wfit_router_" << name << " " << help << "\n"
      << "# TYPE wfit_router_" << name << " gauge\n"
      << "wfit_router_" << name << " " << v << "\n";
+}
+
+/// One per-tenant labelled gauge family under the wfit_router_qos_ prefix.
+template <typename ValueFn>
+void QosFamily(const RouterMetricsSnapshot& s, std::ostream& os,
+               const char* name, const char* help, ValueFn value) {
+  os << "# HELP wfit_router_qos_" << name << " " << help << "\n"
+     << "# TYPE wfit_router_qos_" << name << " gauge\n";
+  for (const TenantMetricsEntry& t : s.tenants) {
+    os << "wfit_router_qos_" << name << "{tenant=\""
+       << EscapeLabelValue(t.id) << "\"} " << value(t) << "\n";
+  }
+}
+
+/// FNV-1a of the tenant id: the default per-tenant sampling seed, so a
+/// tenant's shed/sample decisions are reproducible from its id alone.
+uint64_t TenantSampleSeed(const std::string& id) {
+  uint64_t h = 1469598103934665603ull;
+  for (char c : id) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h == 0 ? 1 : h;
 }
 
 }  // namespace
@@ -61,6 +85,17 @@ void ExportRouterText(const RouterMetricsSnapshot& s, std::ostream& os) {
                 "Checkpoint-then-close shard evictions");
   RouterGauge(os, "resident_footprint_bytes", s.resident_footprint_bytes,
               "Estimated aggregate footprint of resident shards");
+  RouterCounter(os, "empty_turns_total", s.empty_turns,
+                "Scheduler turns that drained nothing (shard idled, not "
+                "re-queued)");
+  QosFamily(s, os, "weight", "DRR weight of the tenant's QoS class",
+            [](const TenantMetricsEntry& t) { return t.qos_weight; });
+  QosFamily(s, os, "byte_budget",
+            "Per-batch byte budget of the tenant's QoS class (0 = none)",
+            [](const TenantMetricsEntry& t) { return t.qos_byte_budget; });
+  QosFamily(s, os, "deficit",
+            "Unspent DRR credit (statements) of the tenant's shard",
+            [](const TenantMetricsEntry& t) { return t.drr_deficit; });
 }
 
 std::string ExportRouterText(const RouterMetricsSnapshot& snapshot) {
@@ -141,6 +176,9 @@ TenantRouter::Tenant* TenantRouter::GetOrAdmitLocked(
     if (stopping_ && !admit_while_stopping) return nullptr;
     auto tenant = std::make_unique<Tenant>();
     tenant->id = id;
+    auto qos_it = options_.tenant_qos.find(id);
+    tenant->qos = qos_it != options_.tenant_qos.end() ? qos_it->second
+                                                      : options_.default_qos;
     it = tenants_.emplace(id, std::move(tenant)).first;
   }
   Tenant* t = it->second.get();
@@ -160,6 +198,19 @@ TenantRouter::Tenant* TenantRouter::GetOrAdmitLocked(
     return nullptr;
   }
   TunerServiceOptions shard_options = options_.shard;
+  // QoS → shard service configuration. The sampling seed is derived from
+  // the tenant id (unless the template pinned one), so a tenant's overload
+  // decisions are reproducible across incarnations and nodes.
+  if (shard_options.overload.sample_seed == 0) {
+    shard_options.overload.sample_seed = TenantSampleSeed(id);
+  }
+  if (t->qos.sample_floor > 0.0) {
+    shard_options.overload.sample_floor = t->qos.sample_floor;
+  }
+  if (t->qos.p99_budget_ms > 0.0) {
+    shard_options.dynamic_batching = true;
+    shard_options.batch_p99_budget_ms = t->qos.p99_budget_ms;
+  }
   if (!options_.checkpoint_root.empty()) {
     shard_options.checkpoint_dir =
         persist::TenantCheckpointDir(options_.checkpoint_root, id);
@@ -272,6 +323,10 @@ bool TenantRouter::EvictLocked(Tenant* t) {
   metrics.queue_capacity = 0;
   metrics.last_snapshot_bytes = 0;
   metrics.snapshot_version = 0;
+  // Overload state describes the live shard too; a retired Shedding/
+  // Sampling reading must not pin the tenant's (max/min-merged) gauges.
+  metrics.overload_mode = 0;
+  metrics.sample_rate = 1.0;
   AccumulateCounters(&t->retired, metrics);
   if (options_.shard.record_history) {
     std::vector<IndexSet> history = t->service->History();
@@ -299,15 +354,72 @@ void TenantRouter::NotifyReadyLocked(Tenant* t) {
 void TenantRouter::FinishTurnLocked(Tenant* t) {
   t->last_active = ++activity_clock_;
   if (t->service != nullptr && t->service->HasDeliverableWork()) {
-    // Tail of the ready ring: round-robin across backlogged shards.
+    // Tail of the ready ring: deficit round-robin across backlogged
+    // shards — residual credit persists until the shard's next turn.
     t->sched = Tenant::Sched::kReady;
     ready_.push_back(t);
   } else {
     t->sched = Tenant::Sched::kIdle;
+    // An empty queue earns no credit (the DRR idleness rule): a tenant
+    // cannot bank scheduling share while it has nothing to drain.
+    t->deficit = 0.0;
   }
   // Wakes both drain threads (more work) and a Shutdown waiting for the
   // last in-flight turn to leave kRunning.
   ready_cv_.notify_all();
+}
+
+double TenantRouter::QuantumLocked(const Tenant* t) const {
+  const double max_batch = static_cast<double>(options_.shard.max_batch);
+  return std::max(1.0, std::round(t->qos.weight * max_batch));
+}
+
+TenantRouter::TurnPlan TenantRouter::BeginTurnLocked(Tenant* t) {
+  const double quantum = QuantumLocked(t);
+  TurnPlan plan;
+  // Cap the accumulated credit at one quantum plus the residual of a
+  // partially spent turn, so a long-idle ready shard cannot burst
+  // arbitrarily far past its proportional share.
+  plan.deficit = std::min(t->deficit + quantum,
+                          quantum + static_cast<double>(
+                                        options_.shard.max_batch));
+  plan.byte_budget = t->qos.byte_budget;
+  return plan;
+}
+
+size_t TenantRouter::RunTurn(Tenant* t, TurnPlan* plan) {
+  // The shard is kRunning: this thread owns its drain exclusively, so
+  // ProcessBatch needs no router lock. Each inner batch is bounded by
+  // max_batch (the service clamps) and by the remaining deficit, so a
+  // heavy tenant's turn drains several batches while a light tenant's
+  // drains a fraction — proportional share at statement granularity.
+  size_t drained = 0;
+  while (plan->deficit >= 1.0) {
+    const size_t allowed = static_cast<size_t>(plan->deficit);
+    const size_t n = t->service->ProcessBatch(allowed, plan->byte_budget);
+    if (n == 0) break;  // ran dry (or the work vanished) — no spin
+    drained += n;
+    plan->deficit -= static_cast<double>(n);
+    if (!t->service->HasDeliverableWork()) break;
+  }
+  return drained;
+}
+
+void TenantRouter::EndTurn(Tenant* t, const TurnPlan& plan, size_t drained) {
+  std::lock_guard<std::mutex> lock(mu_);
+  t->deficit = plan.deficit;
+  if (drained == 0) {
+    // The deliverable work vanished between scheduling and the turn (e.g.
+    // an intake closed under a racing shutdown): count it and idle the
+    // shard rather than re-queueing a shard that cannot drain.
+    ++empty_turns_;
+    t->last_active = ++activity_clock_;
+    t->sched = Tenant::Sched::kIdle;
+    t->deficit = 0.0;
+    ready_cv_.notify_all();
+    return;
+  }
+  FinishTurnLocked(t);
 }
 
 TenantRouter::Tenant* TenantRouter::NextReadyLocked() {
@@ -321,30 +433,32 @@ TenantRouter::Tenant* TenantRouter::NextReadyLocked() {
 void TenantRouter::DrainLoop() {
   while (true) {
     Tenant* t = nullptr;
+    TurnPlan plan;
     {
       std::unique_lock<std::mutex> lock(mu_);
       ready_cv_.wait(lock, [&] { return stopping_ || !ready_.empty(); });
       if (stopping_) return;  // Shutdown drains shards inline afterwards
       t = NextReadyLocked();
       if (t == nullptr) continue;
+      plan = BeginTurnLocked(t);
     }
-    t->service->ProcessBatch();
-    std::lock_guard<std::mutex> lock(mu_);
-    FinishTurnLocked(t);
+    size_t drained = RunTurn(t, &plan);
+    EndTurn(t, plan, drained);
   }
 }
 
 std::string TenantRouter::DrainOne() {
   Tenant* t = nullptr;
+  TurnPlan plan;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) return "";
     t = NextReadyLocked();
     if (t == nullptr) return "";
+    plan = BeginTurnLocked(t);
   }
-  t->service->ProcessBatch();
-  std::lock_guard<std::mutex> lock(mu_);
-  FinishTurnLocked(t);
+  size_t drained = RunTurn(t, &plan);
+  EndTurn(t, plan, drained);
   return t->id;
 }
 
@@ -422,6 +536,65 @@ PushAtResult TenantRouter::TrySubmitAt(const std::string& tenant,
   --t->refs;
   if (result == PushAtResult::kAccepted) NotifyReadyLocked(t);
   return result;
+}
+
+PushAtResult TenantRouter::SubmitWithDeadline(
+    const std::string& tenant, Statement stmt,
+    std::chrono::steady_clock::time_point deadline) {
+  Tenant* t = nullptr;
+  TunerService* service = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return PushAtResult::kClosed;
+    t = GetOrAdmitLocked(tenant);
+    if (t == nullptr) return PushAtResult::kClosed;
+    service = t->service.get();
+    ++t->refs;
+  }
+  PushAtResult result = service->SubmitWithDeadline(std::move(stmt), deadline);
+  std::lock_guard<std::mutex> lock(mu_);
+  --t->refs;
+  if (result == PushAtResult::kAccepted) NotifyReadyLocked(t);
+  return result;
+}
+
+PushAtResult TenantRouter::SubmitAtWithDeadline(
+    const std::string& tenant, uint64_t seq, Statement stmt,
+    std::chrono::steady_clock::time_point deadline) {
+  Tenant* t = nullptr;
+  TunerService* service = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return PushAtResult::kClosed;
+    t = GetOrAdmitLocked(tenant);
+    if (t == nullptr) return PushAtResult::kClosed;
+    service = t->service.get();
+    ++t->refs;
+  }
+  PushAtResult result =
+      service->SubmitAtWithDeadline(seq, std::move(stmt), deadline);
+  std::lock_guard<std::mutex> lock(mu_);
+  --t->refs;
+  if (result == PushAtResult::kAccepted) NotifyReadyLocked(t);
+  return result;
+}
+
+void TenantRouter::SetTenantQos(const std::string& tenant, TenantQos qos) {
+  std::lock_guard<std::mutex> lock(mu_);
+  options_.tenant_qos[tenant] = qos;
+  auto it = tenants_.find(tenant);
+  // Weight and byte budget act at the next BeginTurnLocked; the service
+  // knobs (latency budget, sampling floor) bind at (re-)admission.
+  if (it != tenants_.end()) it->second->qos = qos;
+}
+
+TenantQos TenantRouter::GetTenantQos(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  if (it != tenants_.end()) return it->second->qos;
+  auto qos_it = options_.tenant_qos.find(tenant);
+  return qos_it != options_.tenant_qos.end() ? qos_it->second
+                                             : options_.default_qos;
 }
 
 void TenantRouter::Feedback(const std::string& tenant, IndexSet f_plus,
@@ -585,6 +758,9 @@ RouterMetricsSnapshot TenantRouter::Metrics() const {
       entry.resident = true;
     }
     entry.evictions = tenant->evictions;
+    entry.qos_weight = tenant->qos.weight;
+    entry.qos_byte_budget = tenant->qos.byte_budget;
+    entry.drr_deficit = tenant->deficit;
     AccumulateCounters(&s.aggregate, entry.service);
     s.tenants.push_back(std::move(entry));
   }
@@ -593,6 +769,7 @@ RouterMetricsSnapshot TenantRouter::Metrics() const {
   s.admissions = admissions_;
   s.evictions = evictions_;
   s.resident_footprint_bytes = resident_bytes_;
+  s.empty_turns = empty_turns_;
   return s;
 }
 

@@ -33,6 +33,7 @@
 #ifndef WFIT_SERVICE_TENANT_ROUTER_H_
 #define WFIT_SERVICE_TENANT_ROUTER_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -88,6 +89,31 @@ struct PinnedVote {
 using VoteRepinner = std::function<std::vector<PinnedVote>(
     const std::string& tenant_id, const RecoveryStats& recovery)>;
 
+/// Per-tenant QoS class for the weighted deficit-round-robin scheduler.
+/// Scheduling is DRR at statement granularity: every turn a backlogged
+/// shard's deficit grows by its quantum (weight × shard max_batch) and the
+/// turn drains batches until the deficit is spent, so over any backlogged
+/// interval tenants drain in proportion to their weights. The defaults
+/// (weight 1, no byte budget) reproduce the previous one-batch-per-turn
+/// round-robin exactly — per-tenant analysis trajectories are untouched by
+/// scheduling either way, since DRR only reorders across tenants.
+struct TenantQos {
+  /// Relative drain share. Quantum per turn =
+  /// max(1, round(weight × shard.max_batch)).
+  double weight = 1.0;
+  /// Per-batch byte budget: a turn's batches each stop before the
+  /// statement that would exceed this many approximate statement bytes
+  /// (always at least one statement). 0 = unbounded.
+  size_t byte_budget = 0;
+  /// Queue-wait p99 budget: enables the shard's dynamic batcher with this
+  /// budget (small backlog → small batches for latency; full batches once
+  /// the budget is blown). 0 = fixed max_batch batches.
+  double p99_budget_ms = 0.0;
+  /// Overload sampling floor for this tenant (overrides the shard
+  /// template's OverloadOptions::sample_floor when positive).
+  double sample_floor = 0.0;
+};
+
 struct TenantRouterOptions {
   /// Per-shard template (queue capacity, max_batch, history, checkpoint
   /// cadence...). checkpoint_dir must be empty — per-tenant directories
@@ -117,6 +143,11 @@ struct TenantRouterOptions {
   uint64_t min_tenant_footprint_bytes = 64 * 1024;
   /// Optional crash-safe vote re-registration hook (see VoteRepinner).
   VoteRepinner repin;
+  /// QoS class applied to tenants without an explicit entry below.
+  TenantQos default_qos;
+  /// Per-tenant QoS overrides (weight, byte budget, latency budget,
+  /// sampling floor). Mutable at runtime via SetTenantQos.
+  std::map<std::string, TenantQos> tenant_qos;
 };
 
 /// Per-tenant slice of RouterMetricsSnapshot. `service` is merged across
@@ -127,6 +158,10 @@ struct TenantMetricsEntry {
   MetricsSnapshot service;
   uint64_t evictions = 0;
   bool resident = false;
+  // Effective QoS class and scheduler state (wfit_router_qos_* series).
+  double qos_weight = 1.0;
+  uint64_t qos_byte_budget = 0;
+  double drr_deficit = 0.0;
 };
 
 struct RouterMetricsSnapshot {
@@ -139,6 +174,10 @@ struct RouterMetricsSnapshot {
   uint64_t admissions = 0;  // shard creations, incl. re-admissions
   uint64_t evictions = 0;
   uint64_t resident_footprint_bytes = 0;
+  /// Scheduler turns that drained nothing (e.g. a shard whose deliverable
+  /// work vanished between scheduling and the turn); such a shard is idled
+  /// instead of being re-queued, so the ring never spins on it.
+  uint64_t empty_turns = 0;
 };
 
 /// Prometheus text export of the whole registry: aggregate wfit_service_*
@@ -185,6 +224,26 @@ class TenantRouter {
   /// shut down or admission failed.
   PushAtResult TrySubmitAt(const std::string& tenant, uint64_t seq,
                            Statement stmt);
+  /// Bounded-wait submission: blocks on the tenant's backpressure at most
+  /// until `deadline`, then reports kWouldBlock — a producer can never
+  /// wedge past its deadline no matter how overloaded the shard is.
+  PushAtResult SubmitWithDeadline(const std::string& tenant, Statement stmt,
+                                  std::chrono::steady_clock::time_point
+                                      deadline);
+  /// Bounded-wait SubmitAt (kWouldBlock after `deadline`; the caller owns
+  /// the sequence and may retry it).
+  PushAtResult SubmitAtWithDeadline(const std::string& tenant, uint64_t seq,
+                                    Statement stmt,
+                                    std::chrono::steady_clock::time_point
+                                        deadline);
+
+  /// Replaces the tenant's QoS class. Weight and byte budget take effect
+  /// at the shard's next scheduler turn; the latency budget and sampling
+  /// floor configure the shard service and take effect at its next
+  /// (re-)admission.
+  void SetTenantQos(const std::string& tenant, TenantQos qos);
+  /// The tenant's effective QoS class (the default when never set).
+  TenantQos GetTenantQos(const std::string& tenant) const;
 
   /// DBA votes, routed by tenant (see TunerService::Feedback*).
   void Feedback(const std::string& tenant, IndexSet f_plus,
@@ -289,6 +348,19 @@ class TenantRouter {
     /// Sequence of the first local history entry (set at first admission).
     uint64_t history_start = 0;
     bool history_start_set = false;
+    /// Effective QoS class (options default/overrides; SetTenantQos).
+    TenantQos qos;
+    /// DRR credit in statements. Grows by the quantum at each turn, spent
+    /// by draining; residual (< 1) persists while backlogged, reset when
+    /// the shard idles (an empty queue earns no credit).
+    double deficit = 0.0;
+  };
+
+  /// One scheduler turn's inputs, copied under the router lock so the
+  /// drain runs lock-free against SetTenantQos.
+  struct TurnPlan {
+    double deficit = 0.0;
+    size_t byte_budget = 0;
   };
 
   /// Finds or lazily admits the tenant; may evict others to make room.
@@ -303,8 +375,20 @@ class TenantRouter {
   void EnsureCapacityLocked(uint64_t incoming_bytes);
   /// Checkpoint-then-close; requires an idle shard. Lock held.
   bool EvictLocked(Tenant* t);
-  /// Re-queues the shard after a drain turn (or idles it). Lock held.
+  /// Re-queues the shard after a drain turn (or idles it, resetting its
+  /// deficit). Lock held.
   void FinishTurnLocked(Tenant* t);
+  /// The tenant's quantum in statements: max(1, round(weight×max_batch)).
+  double QuantumLocked(const Tenant* t) const;
+  /// Charges the turn's quantum and snapshots the QoS inputs. Lock held.
+  TurnPlan BeginTurnLocked(Tenant* t);
+  /// Runs the DRR turn against the running shard (lock NOT held): drains
+  /// batches until the deficit is spent or the shard runs dry. Returns
+  /// statements drained; the residual deficit is written back in `plan`.
+  size_t RunTurn(Tenant* t, TurnPlan* plan);
+  /// Writes the residual deficit back and re-queues or idles the shard;
+  /// a zero-drain turn is counted and never re-queued. Lock taken inside.
+  void EndTurn(Tenant* t, const TurnPlan& plan, size_t drained);
   /// Schedules the shard if it has deliverable work. Lock held.
   void NotifyReadyLocked(Tenant* t);
   void DrainLoop();
@@ -327,6 +411,7 @@ class TenantRouter {
   uint64_t evictions_ = 0;
   uint64_t resident_count_ = 0;
   uint64_t resident_bytes_ = 0;
+  uint64_t empty_turns_ = 0;
 };
 
 }  // namespace wfit::service

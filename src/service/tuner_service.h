@@ -31,8 +31,10 @@
 #ifndef WFIT_SERVICE_TUNER_SERVICE_H_
 #define WFIT_SERVICE_TUNER_SERVICE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -51,6 +53,40 @@
 #include "workload/statement.h"
 
 namespace wfit::service {
+
+/// Adaptive overload control: a three-state controller (Normal → Shedding
+/// → Sampling) evaluated once per batch from the queue fill fraction.
+/// Shedding drops statements whose template fingerprint matches a recent
+/// analyzed statement (duplicates carry little new evidence); Sampling
+/// uniformly keeps each statement with probability `rate`, drawn from a
+/// deterministic per-tenant seeded stream, and scales every kept
+/// statement's benefit contribution by 1/rate so WFIT's windowed
+/// statistics stay unbiased estimates of the full stream ("honest
+/// sampling"). Every transition is journaled as an epoch record and the
+/// controller state rides in snapshots, so a recovered tenant re-derives
+/// the exact shed/sample decisions — the trajectory is reproducible.
+/// Dropped statements still ride the full durability path (WAL record,
+/// vote slots, analyzed marker, publication); only AnalyzeQuery is
+/// skipped, so sequence contiguity and exactly-once semantics hold.
+struct OverloadOptions {
+  /// Master switch; off preserves the pre-QoS trajectory bit-for-bit.
+  bool enabled = false;
+  /// Queue fill fraction at/above which the controller degrades one step
+  /// per batch: Normal → Shedding → Sampling → halve the rate.
+  double high_watermark = 0.75;
+  /// Queue fill fraction at/below which it recovers one step per batch:
+  /// double the rate → Shedding → Normal.
+  double low_watermark = 0.25;
+  /// Sampling never drops below this rate (QoS knob: sample_floor).
+  double sample_floor = 0.10;
+  /// Seed of the per-tenant sampling stream. The router derives it from
+  /// the tenant id, so a tenant's decisions are reproducible across
+  /// incarnations; a journaled/snapshotted seed wins on recovery.
+  uint64_t sample_seed = 0;
+  /// Fingerprints of recently analyzed statements retained for duplicate
+  /// shedding.
+  size_t dup_window = 64;
+};
 
 struct TunerServiceOptions {
   /// Bound on buffered statements; producers beyond it experience
@@ -90,6 +126,20 @@ struct TunerServiceOptions {
   /// publication) exceeds this emit one structured NDJSON record with the
   /// per-stage breakdown. 0 disables the slow-statement log.
   uint64_t slow_statement_ms = 250;
+
+  // --- QoS / overload ---------------------------------------------------
+  /// Adaptive overload control (see OverloadOptions). Disabled by default.
+  OverloadOptions overload;
+  /// Admission control: when true, parameterless ProcessBatch sizes each
+  /// batch from the current queue depth (small backlog → small batch →
+  /// lower per-statement queue wait) instead of always asking for
+  /// max_batch. Does not change the analysis trajectory — only how intake
+  /// is grouped into batches.
+  bool dynamic_batching = false;
+  /// With dynamic batching, a queue-wait p99 (from the stage-latency
+  /// histogram) above this budget forces full max_batch batches — drain
+  /// throughput wins once latency is already blown. 0 disables the check.
+  double batch_p99_budget_ms = 0.0;
 };
 
 /// What recovery found and replayed (TunerService::Open).
@@ -185,6 +235,13 @@ class TunerService {
   /// number of statements analyzed (0 = nothing deliverable).
   size_t ProcessBatch();
 
+  /// ProcessBatch with explicit admission limits (the router's DRR
+  /// scheduler): drains at most `max_statements`, and once `max_bytes` is
+  /// positive the batch also stops before the statement that would exceed
+  /// that many approximate statement bytes (always delivering at least
+  /// one). Same per-batch path otherwise.
+  size_t ProcessBatch(size_t max_statements, size_t max_bytes);
+
   /// Closes the intake, drains every remaining batch, applies all pending
   /// feedback and takes the shutdown checkpoint (if configured). After
   /// this the service is finished; ProcessBatch must not be called again.
@@ -222,6 +279,19 @@ class TunerService {
   /// kWouldBlock instead of backpressure blocking, kDuplicate when `seq`
   /// is already covered (dropped — exactly-once), kClosed when shut down.
   PushAtResult TrySubmitAt(uint64_t seq, Statement stmt);
+  /// Bounded-wait submission: blocks on backpressure at most until
+  /// `deadline`, then reports kWouldBlock (counted as a rejection) — the
+  /// queue-full answer for callers that must never wedge, e.g. the cluster
+  /// node's request threads. kClosed when shut down.
+  PushAtResult SubmitWithDeadline(Statement stmt,
+                                  std::chrono::steady_clock::time_point
+                                      deadline);
+  /// Bounded-wait SubmitAt: kWouldBlock after `deadline` (the caller owns
+  /// `seq` and may retry), kDuplicate when already covered (exactly-once),
+  /// kClosed when shut down.
+  PushAtResult SubmitAtWithDeadline(uint64_t seq, Statement stmt,
+                                    std::chrono::steady_clock::time_point
+                                        deadline);
 
   /// Registers a DBA vote applied at the next statement boundary (i.e.
   /// before the next AnalyzeQuery), serialized with analysis.
@@ -275,6 +345,44 @@ class TunerService {
   /// Applies everything still pending (drain path).
   bool ApplyAllFeedback();
   void Publish();
+
+  // --- Overload controller (analysis thread only) -----------------------
+  /// A journaled epoch transition pending adoption: recovery collects
+  /// epochs whose effect point lies beyond the replayed trajectory (they
+  /// cover re-queued intake); the worker adopts each one when it reaches
+  /// that sequence, before deciding any transition of its own.
+  struct PendingEpoch {
+    uint64_t seq = 0;
+    uint8_t mode = 0;
+    double rate = 1.0;
+    uint64_t seed = 0;
+  };
+  /// Applies every pending epoch whose effect point is <= `seq`.
+  void AdoptEpochsUpTo(uint64_t seq);
+  /// Evaluates the three-state transition from the current queue fill and
+  /// journals an epoch record effective at `first_seq` if the state
+  /// changed. Batch start only, after epoch adoption.
+  void MaybeTransition(uint64_t first_seq);
+  /// The keep/drop decision for one statement under the current epoch,
+  /// also maintaining the duplicate window. Deterministic: a pure function
+  /// of (epoch state, seq, statement fingerprints seen so far), so replay
+  /// re-derives identical decisions. Sets `*shed` when the drop was a
+  /// duplicate shed (vs. sampled out).
+  bool OverloadDecide(uint64_t seq, const Statement& stmt, bool* shed);
+  /// Installs the statement weight (1/rate in Sampling, else 1.0) into the
+  /// tuner if it changed.
+  void ApplyStatementWeight();
+  /// Batch size for the parameterless ProcessBatch under dynamic batching.
+  size_t DynamicBatchLimit() const;
+
+  uint8_t overload_mode_ = 0;  // 0 Normal, 1 Shedding, 2 Sampling
+  double sample_rate_ = 1.0;
+  uint64_t sample_seed_ = 0;
+  /// Fingerprints of recently kept statements, oldest first.
+  std::deque<uint64_t> dup_window_;
+  double current_weight_ = 1.0;
+  std::vector<PendingEpoch> pending_epochs_;  // sorted by seq (stable)
+  size_t pending_epoch_cursor_ = 0;
 
   // --- persist/ integration (worker thread only) ------------------------
   /// Recovery at Open: snapshot restore + journal suffix replay.

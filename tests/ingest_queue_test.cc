@@ -174,5 +174,61 @@ TEST(IngestQueueTest, MultiProducerExplicitSequenceRestoresTotalOrder) {
   }
 }
 
+TEST(IngestQueueTest, PushWithDeadlineTimesOutAndTombstonesItsTicket) {
+  IngestQueue q(2);
+  EXPECT_EQ(q.PushWithDeadline(Tagged("a"), std::chrono::steady_clock::now()),
+            PushAtResult::kAccepted);
+  EXPECT_TRUE(q.Push(Tagged("b")));
+  // Full ring: the bounded wait gives up at the deadline instead of
+  // blocking the producer forever.
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(q.PushWithDeadline(Tagged("never"),
+                               start + std::chrono::milliseconds(30)),
+            PushAtResult::kWouldBlock);
+  EXPECT_LT(std::chrono::steady_clock::now() - start,
+            std::chrono::seconds(2));
+  // The timed-out implicit ticket is tombstoned: the consumer drains past
+  // it, and a later push (seq 3) is still deliverable — the sequence
+  // domain never wedges on the abandoned slot.
+  std::vector<Statement> batch;
+  EXPECT_EQ(q.PopBatch(&batch, 10), 2u);
+  EXPECT_EQ(Tags(batch), (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(q.Push(Tagged("c")));
+  batch.clear();
+  EXPECT_EQ(q.PopBatch(&batch, 10), 1u);
+  EXPECT_EQ(Tags(batch), (std::vector<std::string>{"c"}));
+}
+
+TEST(IngestQueueTest, PushAtWithDeadlineLeavesSeqRetryable) {
+  IngestQueue q(2);
+  EXPECT_EQ(q.PushAtWithDeadline(0, Tagged("0"),
+                                 std::chrono::steady_clock::now()),
+            PushAtResult::kAccepted);
+  EXPECT_EQ(q.PushAtWithDeadline(1, Tagged("1"),
+                                 std::chrono::steady_clock::now()),
+            PushAtResult::kAccepted);
+  // seq 2 is a full capacity ahead of the consumer: bounded wait, then
+  // kWouldBlock — and because the caller owns the sequence number, no
+  // tombstone is left and the same seq succeeds on retry after a pop.
+  EXPECT_EQ(q.PushAtWithDeadline(
+                2, Tagged("2"),
+                std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(30)),
+            PushAtResult::kWouldBlock);
+  std::vector<Statement> batch;
+  EXPECT_EQ(q.PopBatch(&batch, 1), 1u);
+  EXPECT_EQ(q.PushAtWithDeadline(2, Tagged("2"),
+                                 std::chrono::steady_clock::now()),
+            PushAtResult::kAccepted);
+  batch.clear();
+  EXPECT_EQ(q.PopBatch(&batch, 10), 2u);
+  EXPECT_EQ(Tags(batch), (std::vector<std::string>{"1", "2"}));
+  // Duplicate of a delivered seq stays a duplicate through the deadline
+  // path (exactly-once).
+  EXPECT_EQ(q.PushAtWithDeadline(0, Tagged("0"),
+                                 std::chrono::steady_clock::now()),
+            PushAtResult::kDuplicate);
+}
+
 }  // namespace
 }  // namespace wfit::service

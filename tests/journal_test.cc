@@ -104,6 +104,38 @@ TEST_F(JournalTest, AppendAndReadBack) {
   EXPECT_EQ(result->records[3].seq, 1u);
 }
 
+TEST_F(JournalTest, EpochRecordsRoundTrip) {
+  const std::string path = TempPath("epochs.wfj");
+  fs::remove(path);
+  Statement s0 = db_.Bind("SELECT count(*) FROM t1 WHERE a BETWEEN 0 AND 150");
+  {
+    JournalWriter w;
+    ASSERT_TRUE(w.Open(path, 0, 0).ok());
+    // Epoch before its batch's statements, the order AnalyzeBatch writes.
+    ASSERT_TRUE(w.AppendEpoch(0, /*overload_mode=*/1, /*sample_rate=*/1.0,
+                              /*sample_seed=*/42)
+                    .ok());
+    ASSERT_TRUE(w.AppendStatement(0, s0).ok());
+    ASSERT_TRUE(w.AppendEpoch(1, /*overload_mode=*/2, /*sample_rate=*/0.25,
+                              /*sample_seed=*/42)
+                    .ok());
+    ASSERT_TRUE(w.Sync().ok());
+  }
+  auto result = ReadJournal(path);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->records.size(), 3u);
+  EXPECT_EQ(result->records[0].type, JournalRecordType::kEpoch);
+  EXPECT_EQ(result->records[0].seq, 0u);
+  EXPECT_EQ(result->records[0].overload_mode, 1);
+  EXPECT_DOUBLE_EQ(result->records[0].sample_rate, 1.0);
+  EXPECT_EQ(result->records[0].sample_seed, 42u);
+  EXPECT_EQ(result->records[1].type, JournalRecordType::kStatement);
+  EXPECT_EQ(result->records[2].type, JournalRecordType::kEpoch);
+  EXPECT_EQ(result->records[2].seq, 1u);
+  EXPECT_EQ(result->records[2].overload_mode, 2);
+  EXPECT_DOUBLE_EQ(result->records[2].sample_rate, 0.25);
+}
+
 TEST_F(JournalTest, MissingFileIsNotFound) {
   auto result = ReadJournal(TempPath("does_not_exist.wfj"));
   ASSERT_FALSE(result.ok());

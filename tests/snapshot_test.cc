@@ -129,6 +129,49 @@ TEST(SnapshotTest, WfitRoundTripContinuesIdentically) {
   EXPECT_EQ(restored.selector().universe(), original.selector().universe());
 }
 
+TEST(SnapshotTest, OverloadStateRoundTripsThroughSnapshot) {
+  const std::string dir = FreshDir("overload_roundtrip");
+  TestDb db1;
+  Workload w1 = BuildWorkload(db1, 5);
+  Wfit original(&db1.pool(), &db1.optimizer(), IndexSet{}, FastOptions());
+  for (const Statement& s : w1) original.AnalyzeQuery(s);
+
+  SnapshotMeta meta;
+  meta.analyzed = 5;
+  meta.overload.mode = 2;
+  meta.overload.sample_rate = 0.25;
+  meta.overload.sample_seed = 987654321;
+  meta.overload.dup_window = {11, 22, 33};
+  ASSERT_TRUE(WriteSnapshot(dir, original, db1.pool(), meta).ok());
+
+  TestDb db2;
+  BuildWorkload(db2, 5);
+  Wfit restored(&db2.pool(), &db2.optimizer(), IndexSet{}, FastOptions());
+  SnapshotLoadResult loaded = LoadLatestSnapshot(dir, &restored, &db2.pool());
+  ASSERT_TRUE(loaded.loaded);
+  EXPECT_EQ(loaded.meta.overload.mode, 2);
+  EXPECT_DOUBLE_EQ(loaded.meta.overload.sample_rate, 0.25);
+  EXPECT_EQ(loaded.meta.overload.sample_seed, 987654321u);
+  EXPECT_EQ(loaded.meta.overload.dup_window,
+            (std::vector<uint64_t>{11, 22, 33}));
+
+  // A snapshot written with default (Normal) overload state decodes to
+  // the defaults — the trailer is optional, not load-bearing.
+  const std::string dir2 = FreshDir("overload_default");
+  SnapshotMeta plain;
+  plain.analyzed = 5;
+  ASSERT_TRUE(WriteSnapshot(dir2, original, db1.pool(), plain).ok());
+  TestDb db3;
+  BuildWorkload(db3, 5);
+  Wfit restored2(&db3.pool(), &db3.optimizer(), IndexSet{}, FastOptions());
+  SnapshotLoadResult loaded2 =
+      LoadLatestSnapshot(dir2, &restored2, &db3.pool());
+  ASSERT_TRUE(loaded2.loaded);
+  EXPECT_EQ(loaded2.meta.overload.mode, 0);
+  EXPECT_DOUBLE_EQ(loaded2.meta.overload.sample_rate, 1.0);
+  EXPECT_TRUE(loaded2.meta.overload.dup_window.empty());
+}
+
 TEST(SnapshotTest, WfaPlusRoundTripContinuesIdentically) {
   const std::string dir = FreshDir("wfa_roundtrip");
   const size_t kTotal = 40;

@@ -241,6 +241,64 @@ TEST(TenantRouterTest, RoundRobinDrainingIsStarvationFree) {
   router.Shutdown();
 }
 
+TEST(TenantRouterTest, DeficitRoundRobinHonorsWeights) {
+  MultiDb env(4);
+  const std::string heavy = TenantName(0);   // weight 2.0: 8/turn
+  const std::string light1 = TenantName(1);  // weight 1.0: 4/turn
+  const std::string light2 = TenantName(2);  // weight 0.5: 2/turn
+  const std::string light3 = TenantName(3);  // default (1.0): 4/turn
+  Workload heavy_w = BuildWorkload(*env.dbs[0], 24, 0);
+  Workload l1_w = BuildWorkload(*env.dbs[1], 8, 1);
+  Workload l2_w = BuildWorkload(*env.dbs[2], 8, 2);
+  Workload l3_w = BuildWorkload(*env.dbs[3], 8, 3);
+
+  TenantRouterOptions options;
+  options.shard.queue_capacity = 64;
+  options.shard.max_batch = 4;
+  options.drain_threads = 0;  // deterministic manual stepping
+  options.tenant_qos[heavy] = TenantQos{.weight = 2.0};
+  options.tenant_qos[light2] = TenantQos{.weight = 0.5};
+  TenantRouter router(env.Factory(), options);
+  router.Start();
+
+  for (const Statement& q : heavy_w) ASSERT_TRUE(router.Submit(heavy, q));
+  for (const Statement& q : l1_w) ASSERT_TRUE(router.Submit(light1, q));
+  for (const Statement& q : l2_w) ASSERT_TRUE(router.Submit(light2, q));
+  for (const Statement& q : l3_w) ASSERT_TRUE(router.Submit(light3, q));
+
+  // Ring order is admission order. Per DRR turn a backlogged tenant
+  // drains round(weight * max_batch) statements (split into max_batch
+  // batches); a tenant that empties goes idle inside its turn and leaves
+  // the ring. Expected drain order, with per-turn deficits computed by
+  // hand:
+  //   heavy  8, l1 4, l2 2, l3 4   (cycle 1: 8/4/2/4 analyzed)
+  //   heavy  8, l1 4, l2 2, l3 4   (l1, l3 empty -> idle; cycle 2)
+  //   heavy  8                     (heavy empty -> idle)
+  //   l2 2, l2 2                   (l2 alone until its 8 are done)
+  std::vector<std::string> turns;
+  for (std::string t = router.DrainOne(); !t.empty(); t = router.DrainOne()) {
+    turns.push_back(t);
+  }
+  std::vector<std::string> expected = {heavy, light1, light2, light3,
+                                       heavy, light1, light2, light3,
+                                       heavy, light2, light2};
+  EXPECT_EQ(turns, expected);
+  EXPECT_EQ(router.analyzed(heavy), 24u);
+  EXPECT_EQ(router.analyzed(light1), 8u);
+  EXPECT_EQ(router.analyzed(light2), 8u);
+  EXPECT_EQ(router.analyzed(light3), 8u);
+
+  RouterMetricsSnapshot m = router.Metrics();
+  EXPECT_EQ(m.empty_turns, 0u) << "emptied tenants go idle in-turn";
+  for (const TenantMetricsEntry& e : m.tenants) {
+    if (e.id == heavy) EXPECT_DOUBLE_EQ(e.qos_weight, 2.0);
+    if (e.id == light2) EXPECT_DOUBLE_EQ(e.qos_weight, 0.5);
+    if (e.id == light1) EXPECT_DOUBLE_EQ(e.qos_weight, 1.0);
+    EXPECT_DOUBLE_EQ(e.drr_deficit, 0.0) << e.id << " drained dry";
+  }
+  router.Shutdown();
+}
+
 TEST(TenantRouterTest, EvictionIsLosslessAndCarriesFutureVotes) {
   constexpr size_t kStatements = 60;
   constexpr size_t kEvictAt = 40;

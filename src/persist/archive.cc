@@ -1,0 +1,376 @@
+#include "persist/archive.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "common/crc32.h"
+#include "persist/codec.h"
+
+namespace wfit::persist {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr char kSegmentPrefix[] = "archive-";
+constexpr char kSegmentSuffix[] = ".wfseg";
+constexpr char kTombstoneFile[] = "tombstones.wfat";
+constexpr size_t kSegmentHeaderBytes = 8;   // magic + version
+constexpr size_t kSegmentTrailerBytes = 16;  // footer_off + footer_crc + magic
+
+std::string SegmentName(uint64_t seq) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s%020llu%s", kSegmentPrefix,
+                static_cast<unsigned long long>(seq), kSegmentSuffix);
+  return buf;
+}
+
+bool ParseSegmentName(const std::string& filename, uint64_t* seq) {
+  const size_t prefix = sizeof(kSegmentPrefix) - 1;
+  const size_t suffix = sizeof(kSegmentSuffix) - 1;
+  if (filename.size() != prefix + 20 + suffix) return false;
+  if (filename.compare(0, prefix, kSegmentPrefix) != 0) return false;
+  if (filename.compare(prefix + 20, suffix, kSegmentSuffix) != 0) {
+    return false;
+  }
+  uint64_t v = 0;
+  for (size_t i = prefix; i < prefix + 20; ++i) {
+    char c = filename[i];
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *seq = v;
+  return true;
+}
+
+Status SyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Status::Internal("archive: open dir " + dir);
+  Status st = ::fsync(fd) == 0 ? Status::Ok()
+                               : Status::Internal("archive: fsync dir " + dir);
+  ::close(fd);
+  return st;
+}
+
+StatusOr<std::string> PreadSlice(const std::string& path, uint64_t offset,
+                                 uint64_t len) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::NotFound("archive: cannot open " + path);
+  std::string out(len, '\0');
+  size_t got = 0;
+  while (got < len) {
+    ssize_t n = ::pread(fd, out.data() + got, len - got,
+                        static_cast<off_t>(offset + got));
+    if (n <= 0) {
+      ::close(fd);
+      return Status::Internal("archive: short read from " + path);
+    }
+    got += static_cast<size_t>(n);
+  }
+  ::close(fd);
+  return out;
+}
+
+}  // namespace
+
+std::string ArchiveDir(const std::string& checkpoint_root) {
+  return (fs::path(checkpoint_root) / "_archive").string();
+}
+
+StatusOr<ArchiveStore> ArchiveStore::Open(const std::string& checkpoint_root) {
+  return Open(checkpoint_root, Options());
+}
+
+StatusOr<ArchiveStore> ArchiveStore::Open(const std::string& checkpoint_root,
+                                          Options options) {
+  ArchiveStore store(ArchiveDir(checkpoint_root), options);
+  std::error_code ec;
+  if (!fs::exists(store.dir_, ec)) return store;
+
+  // Segments ascending by seq so a tenant re-archived later overwrites
+  // its older entry.
+  std::vector<std::pair<uint64_t, std::string>> segments;
+  for (const auto& entry : fs::directory_iterator(store.dir_, ec)) {
+    uint64_t seq = 0;
+    if (ParseSegmentName(entry.path().filename().string(), &seq)) {
+      segments.emplace_back(seq, entry.path().string());
+    }
+  }
+  std::sort(segments.begin(), segments.end());
+  for (const auto& [seq, path] : segments) {
+    store.next_seq_ = std::max(store.next_seq_, seq + 1);
+    uint64_t size = fs::file_size(path, ec);
+    if (ec || size < kSegmentHeaderBytes + kSegmentTrailerBytes) {
+      ++store.corrupt_segments_;
+      continue;
+    }
+    auto header = PreadSlice(path, 0, kSegmentHeaderBytes);
+    auto trailer =
+        PreadSlice(path, size - kSegmentTrailerBytes, kSegmentTrailerBytes);
+    if (!header.ok() || !trailer.ok()) {
+      ++store.corrupt_segments_;
+      continue;
+    }
+    Decoder hd(*header);
+    Decoder td(*trailer);
+    uint32_t magic = 0, version = 0, footer_crc = 0, trailer_magic = 0;
+    uint64_t footer_off = 0;
+    if (!hd.GetU32(&magic).ok() || !hd.GetU32(&version).ok() ||
+        !td.GetU64(&footer_off).ok() || !td.GetU32(&footer_crc).ok() ||
+        !td.GetU32(&trailer_magic).ok() || magic != kArchiveMagic ||
+        version != kArchiveVersion || trailer_magic != kArchiveMagic ||
+        footer_off < kSegmentHeaderBytes ||
+        footer_off > size - kSegmentTrailerBytes) {
+      ++store.corrupt_segments_;
+      continue;
+    }
+    auto footer =
+        PreadSlice(path, footer_off, size - kSegmentTrailerBytes - footer_off);
+    if (!footer.ok() || Crc32(*footer) != footer_crc) {
+      ++store.corrupt_segments_;
+      continue;
+    }
+    Decoder fd(*footer);
+    uint32_t count = 0;
+    bool bad = !fd.GetU32(&count).ok();
+    for (uint32_t i = 0; !bad && i < count; ++i) {
+      Entry e;
+      std::string tenant;
+      bad = !fd.GetString(&tenant).ok() || !fd.GetU64(&e.offset).ok() ||
+            !fd.GetU64(&e.len).ok() || !fd.GetU32(&e.crc).ok() ||
+            e.offset < kSegmentHeaderBytes || e.offset + e.len > footer_off;
+      if (!bad) {
+        e.segment_path = path;
+        e.seq = seq;
+        store.entries_[tenant] = std::move(e);
+      }
+    }
+    if (bad || !fd.done()) ++store.corrupt_segments_;
+  }
+
+  // Tombstones: {tenant, seq} frames; an entry at seq <= the tombstone's
+  // seq is dead. A torn tail truncates cleanly (stop at first bad frame).
+  const std::string ts_path =
+      (fs::path(store.dir_) / kTombstoneFile).string();
+  std::ifstream in(ts_path, std::ios::binary);
+  if (in) {
+    std::string contents((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+    size_t pos = 0;
+    while (pos + 8 <= contents.size()) {
+      uint32_t len = 0, crc = 0;
+      std::memcpy(&len, contents.data() + pos, 4);
+      std::memcpy(&crc, contents.data() + pos + 4, 4);
+      if (pos + 8 + len > contents.size()) break;
+      std::string_view payload(contents.data() + pos + 8, len);
+      if (Crc32(payload) != crc) break;
+      Decoder d(payload);
+      std::string tenant;
+      uint64_t seq = 0;
+      if (!d.GetString(&tenant).ok() || !d.GetU64(&seq).ok() || !d.done()) {
+        break;
+      }
+      auto it = store.entries_.find(tenant);
+      if (it != store.entries_.end() && it->second.seq <= seq) {
+        store.entries_.erase(it);
+      }
+      ++store.tombstones_;
+      pos += 8 + len;
+    }
+  }
+  return store;
+}
+
+Status ArchiveStore::Stage(const std::string& tenant_id, std::string pack) {
+  staged_bytes_ += pack.size();
+  auto it = staged_.find(tenant_id);
+  if (it != staged_.end()) staged_bytes_ -= it->second.size();
+  staged_[tenant_id] = std::move(pack);
+  if (staged_bytes_ >= options_.max_segment_bytes) return Flush();
+  return Status::Ok();
+}
+
+Status ArchiveStore::WriteSegment(
+    const std::map<std::string, std::string>& packs) {
+  const uint64_t seq = next_seq_;
+  Encoder header;
+  header.PutU32(kArchiveMagic);
+  header.PutU32(kArchiveVersion);
+  std::string body = header.Release();
+
+  Encoder footer;
+  footer.PutU32(static_cast<uint32_t>(packs.size()));
+  for (const auto& [tenant, pack] : packs) {
+    footer.PutString(tenant);
+    footer.PutU64(body.size());
+    footer.PutU64(pack.size());
+    footer.PutU32(Crc32(pack));
+    body += pack;
+  }
+  const uint64_t footer_off = body.size();
+  body += footer.data();
+  Encoder trailer;
+  trailer.PutU64(footer_off);
+  trailer.PutU32(Crc32(footer.data()));
+  trailer.PutU32(kArchiveMagic);
+  body += trailer.data();
+
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) return Status::Internal("archive: create_directories " + dir_);
+  const std::string final_path = (fs::path(dir_) / SegmentName(seq)).string();
+  const std::string tmp_path = final_path + ".tmp";
+  std::FILE* f = std::fopen(tmp_path.c_str(), "wb");
+  if (f == nullptr) return Status::Internal("archive: open " + tmp_path);
+  bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size() &&
+            std::fflush(f) == 0 && ::fsync(fileno(f)) == 0;
+  std::fclose(f);
+  if (!ok) return Status::Internal("archive: write failed: " + tmp_path);
+  fs::rename(tmp_path, final_path, ec);
+  if (ec) return Status::Internal("archive: rename " + tmp_path);
+  WFIT_RETURN_IF_ERROR(SyncDir(dir_));
+
+  // Durable: adopt the new entries.
+  ++next_seq_;
+  uint64_t offset = kSegmentHeaderBytes;
+  for (const auto& [tenant, pack] : packs) {
+    Entry e;
+    e.segment_path = final_path;
+    e.seq = seq;
+    e.offset = offset;
+    e.len = pack.size();
+    e.crc = Crc32(pack);
+    entries_[tenant] = std::move(e);
+    offset += pack.size();
+  }
+  return Status::Ok();
+}
+
+Status ArchiveStore::Flush() {
+  if (staged_.empty()) return Status::Ok();
+  WFIT_RETURN_IF_ERROR(WriteSegment(staged_));
+  staged_.clear();
+  staged_bytes_ = 0;
+  return Status::Ok();
+}
+
+bool ArchiveStore::Contains(const std::string& tenant_id) const {
+  return staged_.count(tenant_id) > 0 || entries_.count(tenant_id) > 0;
+}
+
+StatusOr<std::string> ArchiveStore::Fetch(
+    const std::string& tenant_id) const {
+  auto sit = staged_.find(tenant_id);
+  if (sit != staged_.end()) return sit->second;
+  auto it = entries_.find(tenant_id);
+  if (it == entries_.end()) {
+    return Status::NotFound("archive: tenant not archived: " + tenant_id);
+  }
+  auto pack = PreadSlice(it->second.segment_path, it->second.offset,
+                         it->second.len);
+  WFIT_RETURN_IF_ERROR(pack.status());
+  if (Crc32(*pack) != it->second.crc) {
+    return Status::InvalidArgument("archive: entry checksum mismatch for " +
+                                   tenant_id);
+  }
+  return pack;
+}
+
+Status ArchiveStore::Drop(const std::string& tenant_id) {
+  auto sit = staged_.find(tenant_id);
+  if (sit != staged_.end()) {
+    staged_bytes_ -= sit->second.size();
+    staged_.erase(sit);
+  }
+  auto it = entries_.find(tenant_id);
+  if (it == entries_.end()) return Status::Ok();
+
+  Encoder payload;
+  payload.PutString(tenant_id);
+  payload.PutU64(it->second.seq);
+  Encoder frame;
+  frame.PutU32(static_cast<uint32_t>(payload.size()));
+  frame.PutU32(Crc32(payload.data()));
+  const std::string ts_path = (fs::path(dir_) / kTombstoneFile).string();
+  std::FILE* f = std::fopen(ts_path.c_str(), "ab");
+  if (f == nullptr) return Status::Internal("archive: open " + ts_path);
+  bool ok = std::fwrite(frame.data().data(), 1, frame.size(), f) ==
+                frame.size() &&
+            std::fwrite(payload.data().data(), 1, payload.size(), f) ==
+                payload.size() &&
+            std::fflush(f) == 0 && ::fsync(fileno(f)) == 0;
+  std::fclose(f);
+  if (!ok) return Status::Internal("archive: tombstone append failed");
+  entries_.erase(it);
+  ++tombstones_;
+  return Status::Ok();
+}
+
+std::vector<std::string> ArchiveStore::Tenants() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size() + staged_.size());
+  for (const auto& [tenant, entry] : entries_) out.push_back(tenant);
+  for (const auto& [tenant, pack] : staged_) {
+    if (entries_.count(tenant) == 0) out.push_back(tenant);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+ArchiveStats ArchiveStore::GetStats() const {
+  ArchiveStats stats;
+  stats.live_tenants = Tenants().size();
+  stats.tombstones = tombstones_;
+  stats.corrupt_segments = corrupt_segments_;
+  for (const auto& [tenant, entry] : entries_) stats.live_bytes += entry.len;
+  stats.live_bytes += staged_bytes_;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    uint64_t seq = 0;
+    if (ParseSegmentName(entry.path().filename().string(), &seq)) {
+      ++stats.segments;
+      stats.segment_bytes += fs::file_size(entry.path(), ec);
+    }
+  }
+  return stats;
+}
+
+Status ArchiveStore::Compact() {
+  // Materialize every live entry, rewrite them as one fresh segment,
+  // then delete the superseded files. Crash-safe: until the deletes, the
+  // store just holds redundant copies and newest-seq-wins picks the new
+  // one; the tombstone journal is cleared last (it only names seqs older
+  // than the new segment, so it is inert against it).
+  std::map<std::string, std::string> live;
+  for (const auto& [tenant, entry] : entries_) {
+    auto pack = Fetch(tenant);
+    WFIT_RETURN_IF_ERROR(pack.status());
+    live[tenant] = std::move(pack).value();
+  }
+  uint64_t new_seq = next_seq_;
+  if (!live.empty()) {
+    WFIT_RETURN_IF_ERROR(WriteSegment(live));
+  }
+  std::error_code ec;
+  std::vector<std::string> stale;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    uint64_t seq = 0;
+    if (ParseSegmentName(entry.path().filename().string(), &seq) &&
+        seq < new_seq) {
+      stale.push_back(entry.path().string());
+    }
+  }
+  for (const std::string& path : stale) fs::remove(path, ec);
+  fs::remove((fs::path(dir_) / kTombstoneFile).string(), ec);
+  tombstones_ = 0;
+  return Status::Ok();
+}
+
+}  // namespace wfit::persist

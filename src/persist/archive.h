@@ -1,0 +1,134 @@
+// Cold-tenant archival tier: packed checkpoint trees of idle evicted
+// tenants, batched into append-only segment files so a fleet of mostly
+// idle tenants stops costing a directory (and an inode per snapshot)
+// each.
+//
+// Layout, under `<checkpoint root>/_archive/` (a reserved name
+// EncodeTenantDir can never produce):
+//
+//   archive-<seq>.wfseg   one batch of Pack/UnpackCheckpointDir buffers:
+//                         [u32 magic][u32 version][pack bytes...]
+//                         [footer: u32 count + per entry
+//                          {string tenant, u64 offset, u64 len, u32 crc}]
+//                         [trailer: u64 footer_off, u32 footer_crc,
+//                          u32 magic]
+//                         Opening a store reads only trailers + footers;
+//                         Fetch preads one entry's slice and CRC-checks
+//                         it. A damaged segment is skipped whole.
+//   tombstones.wfat       journal-framed {tenant, seq} records: the
+//                         tenant's archived entries in segments with
+//                         seq <= the tombstone's seq are dead (it was
+//                         re-admitted). A torn tail truncates cleanly.
+//
+// The same tenant re-archived later lands in a newer segment; the newest
+// segment's entry wins. Everywhere, a LIVE tenant checkpoint directory
+// wins over any archive entry — the archival two-phase is pack + flush
+// (durable) first, remove directories second, so a crash between the two
+// leaves the directory authoritative and the archive entry is dropped on
+// re-admission.
+//
+// Externally synchronized, like the rest of the persistence layer: the
+// router calls it under its own lock.
+#ifndef WFIT_PERSIST_ARCHIVE_H_
+#define WFIT_PERSIST_ARCHIVE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace wfit::persist {
+
+inline constexpr uint32_t kArchiveMagic = 0x52414657u;  // "WFAR" (LE)
+inline constexpr uint32_t kArchiveVersion = 1;
+
+/// The reserved archive subdirectory of a checkpoint root.
+std::string ArchiveDir(const std::string& checkpoint_root);
+
+struct ArchiveStats {
+  uint64_t segments = 0;
+  uint64_t live_tenants = 0;
+  /// Bytes of live (reachable) pack entries, across segments + staged.
+  uint64_t live_bytes = 0;
+  /// Total bytes of all segment files, including dead entries.
+  uint64_t segment_bytes = 0;
+  uint64_t tombstones = 0;
+  /// Segments skipped at Open because of damage.
+  uint64_t corrupt_segments = 0;
+};
+
+class ArchiveStore {
+ public:
+  struct Options {
+    /// Staged packs are flushed into a segment once their combined size
+    /// reaches this; Flush() forces the rest out.
+    uint64_t max_segment_bytes = 4 * 1024 * 1024;
+  };
+
+  /// Scans `<checkpoint_root>/_archive/`. A missing directory is an empty
+  /// store (created lazily on the first Flush).
+  static StatusOr<ArchiveStore> Open(const std::string& checkpoint_root,
+                                     Options options);
+  static StatusOr<ArchiveStore> Open(const std::string& checkpoint_root);
+
+  /// Buffers one tenant's packed checkpoint tree for the next segment;
+  /// auto-flushes when the staged batch reaches max_segment_bytes.
+  /// Staged entries are NOT durable until Flush returns Ok.
+  Status Stage(const std::string& tenant_id, std::string pack);
+
+  /// Writes all staged packs as one durable segment (tmp + fsync +
+  /// rename + dir fsync). No-op when nothing is staged.
+  Status Flush();
+
+  bool Contains(const std::string& tenant_id) const;
+
+  /// The tenant's packed checkpoint tree (staged or read+CRC-verified
+  /// from its segment). NotFound if absent or tombstoned.
+  StatusOr<std::string> Fetch(const std::string& tenant_id) const;
+
+  /// Marks the tenant's archived entry dead (durable tombstone append).
+  /// Ok if it was not archived.
+  Status Drop(const std::string& tenant_id);
+
+  /// Live archived tenant ids, sorted (staged entries included).
+  std::vector<std::string> Tenants() const;
+
+  ArchiveStats GetStats() const;
+
+  /// Rewrites live entries into a fresh segment, deletes superseded
+  /// segment files and clears the tombstone journal. Reclaims the space
+  /// dead entries hold; crash-safe at every step (the new segment is
+  /// durable before anything is deleted, and newest-seq-wins makes the
+  /// overlap window harmless).
+  Status Compact();
+
+ private:
+  struct Entry {
+    std::string segment_path;
+    uint64_t seq = 0;
+    uint64_t offset = 0;
+    uint64_t len = 0;
+    uint32_t crc = 0;
+  };
+
+  explicit ArchiveStore(std::string dir, Options options)
+      : dir_(std::move(dir)), options_(options) {}
+
+  Status WriteSegment(const std::map<std::string, std::string>& packs);
+
+  std::string dir_;
+  Options options_;
+  std::map<std::string, Entry> entries_;  // live, post-tombstone
+  std::map<std::string, std::string> staged_;
+  uint64_t staged_bytes_ = 0;
+  uint64_t next_seq_ = 1;
+  uint64_t tombstones_ = 0;
+  uint64_t corrupt_segments_ = 0;
+};
+
+}  // namespace wfit::persist
+
+#endif  // WFIT_PERSIST_ARCHIVE_H_

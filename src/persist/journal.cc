@@ -1,5 +1,6 @@
 #include "persist/journal.h"
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -200,6 +201,17 @@ Status JournalWriter::Sync() {
   return Status::Ok();
 }
 
+Status JournalWriter::Flush() {
+  WFIT_CHECK(file_ != nullptr, "journal not open");
+  if (std::fflush(file_) != 0) return Status::Internal("journal fflush");
+  return Status::Ok();
+}
+
+int JournalWriter::fd() const {
+  WFIT_CHECK(file_ != nullptr, "journal not open");
+  return fileno(file_);
+}
+
 void JournalWriter::Close() {
   if (file_ != nullptr) {
     std::fflush(file_);
@@ -240,6 +252,22 @@ StatusOr<JournalReadResult> ReadJournal(const std::string& path) {
           record.type = JournalRecordType::kAnalyzed;
           st = d.GetU64(&record.seq);
           break;
+        case JournalRecordType::kCompactionBase:
+          // Only legal as the very first frame; anywhere else it is a
+          // foreign record and replay stops before it.
+          if (pos != 0) {
+            st = Status::InvalidArgument("journal: misplaced compaction base");
+            break;
+          }
+          st = d.GetU64(&result.base_lsn);
+          if (st.ok() && !d.done()) {
+            st = Status::InvalidArgument("journal: trailing base bytes");
+          }
+          if (st.ok()) {
+            pos += 8 + len;
+            continue;  // metadata, not a replayable record
+          }
+          break;
         case JournalRecordType::kEpoch:
           record.type = JournalRecordType::kEpoch;
           st = d.GetU64(&record.seq);
@@ -269,6 +297,117 @@ StatusOr<JournalReadResult> ReadJournal(const std::string& path) {
   }
   result.valid_bytes = pos;
   result.truncated_tail = pos < contents.size();
+  return result;
+}
+
+StatusOr<CompactionResult> CompactJournal(const std::string& path,
+                                          uint64_t cover_lsn) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("journal not found: " + path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+
+  // Raw frame scan: find the current base and the byte offset of the
+  // first record to keep. Payloads are never decoded — kept records are
+  // byte-copied so compaction cannot corrupt what it retains.
+  uint64_t base_lsn = 0;
+  uint64_t lsn = 0;       // absolute LSN of the last record scanned
+  uint64_t keep_off = 0;  // offset of the first kept record
+  uint64_t kept = 0;
+  size_t pos = 0;
+  bool first = true;
+  while (pos < contents.size()) {
+    if (contents.size() - pos < 8) break;
+    Decoder frame(std::string_view(contents).substr(pos, 8));
+    uint32_t len = 0, crc = 0;
+    WFIT_CHECK(frame.GetU32(&len).ok() && frame.GetU32(&crc).ok(),
+               "8-byte frame header must decode");
+    if (contents.size() - pos - 8 < len) break;
+    std::string_view payload = std::string_view(contents).substr(pos + 8, len);
+    if (Crc32(payload) != crc) break;
+    bool is_base = false;
+    if (first && !payload.empty() &&
+        payload[0] == static_cast<char>(JournalRecordType::kCompactionBase)) {
+      Decoder d(payload.substr(1));
+      if (!d.GetU64(&base_lsn).ok()) {
+        return Status::InvalidArgument("journal: bad compaction base");
+      }
+      lsn = base_lsn;
+      is_base = true;
+    }
+    first = false;
+    pos += 8 + len;
+    if (is_base) {
+      keep_off = pos;
+      continue;
+    }
+    ++lsn;
+    if (lsn <= cover_lsn) {
+      keep_off = pos;  // still inside the dropped prefix
+    } else {
+      ++kept;
+    }
+  }
+
+  CompactionResult result;
+  result.old_bytes = contents.size();
+  if (cover_lsn <= base_lsn) {  // nothing new to drop
+    result.new_bytes = contents.size();
+    result.base_lsn = base_lsn;
+    result.valid_bytes = pos;
+    result.record_count = lsn - base_lsn;
+    return result;
+  }
+  const uint64_t new_base = std::min(cover_lsn, lsn);
+
+  Encoder marker;
+  marker.PutU8(static_cast<uint8_t>(JournalRecordType::kCompactionBase));
+  marker.PutU64(new_base);
+  Encoder framed;
+  framed.PutU32(static_cast<uint32_t>(marker.size()));
+  framed.PutU32(Crc32(marker.data()));
+
+  const std::string tmp = path + ".compact.tmp";
+  {
+    std::FILE* out = std::fopen(tmp.c_str(), "wb");
+    if (out == nullptr) return ErrnoStatus("open", tmp);
+    const std::string& head = framed.data();
+    const std::string& body = marker.data();
+    bool ok =
+        std::fwrite(head.data(), 1, head.size(), out) == head.size() &&
+        std::fwrite(body.data(), 1, body.size(), out) == body.size() &&
+        (pos == keep_off ||
+         std::fwrite(contents.data() + keep_off, 1, pos - keep_off, out) ==
+             pos - keep_off);
+    if (ok) ok = std::fflush(out) == 0 && ::fsync(fileno(out)) == 0;
+    std::fclose(out);
+    if (!ok) {
+      std::remove(tmp.c_str());
+      return Status::Internal("journal compact: write failed for " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return ErrnoStatus("rename", tmp);
+  }
+  // The rename must survive a crash too: fsync the containing directory.
+  {
+    std::string dir = path;
+    const size_t slash = dir.find_last_of('/');
+    dir = slash == std::string::npos ? "." : dir.substr(0, slash);
+    int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd >= 0) {
+      ::fsync(fd);
+      ::close(fd);
+    }
+  }
+
+  result.new_bytes = framed.size() + marker.size() + (pos - keep_off);
+  result.dropped_records = new_base - base_lsn;
+  result.base_lsn = new_base;
+  result.valid_bytes = result.new_bytes;
+  result.record_count = kept;
   return result;
 }
 

@@ -47,6 +47,12 @@ enum class JournalRecordType : uint8_t {
   /// shed/sample decision from these records, so a recovered tenant's
   /// trajectory is bit-identical to the uninterrupted run.
   kEpoch = 4,
+  /// Compaction base marker: only ever the FIRST record of a journal,
+  /// written by CompactJournal when it drops a prefix already covered by
+  /// durable checkpoints. Its `seq` is the LSN of the last dropped record,
+  /// so record i of the remaining sequence has absolute LSN seq + i. The
+  /// marker itself has no LSN — it is framing metadata, not history.
+  kCompactionBase = 5,
 };
 
 struct JournalRecord {
@@ -104,6 +110,15 @@ class JournalWriter {
   /// Makes every appended record durable (fflush + fsync).
   Status Sync();
 
+  /// Pushes buffered appends into the kernel (fflush only, no fsync) so a
+  /// group-commit batcher can make them durable with one fdatasync across
+  /// many journals. Counts nothing toward syncs().
+  Status Flush();
+
+  /// The underlying descriptor, for batched fsync. Only valid while open;
+  /// the owner must Forget() it from any batcher before Close().
+  int fd() const;
+
   void Close();
   bool is_open() const { return file_ != nullptr; }
 
@@ -128,11 +143,41 @@ struct JournalReadResult {
   uint64_t valid_bytes = 0;
   /// True when a torn/corrupt tail was skipped.
   bool truncated_tail = false;
+  /// LSN of the last record compacted away (0 for an uncompacted journal):
+  /// records[i] has absolute LSN base_lsn + i + 1. Reopening for append
+  /// must re-stamp the writer at base_lsn + records.size().
+  uint64_t base_lsn = 0;
 };
 
 /// Reads every complete record of `path`; tolerant of a torn or corrupt
 /// tail (replay simply stops there). NotFound if the file does not exist.
+/// A kCompactionBase marker (first record only) sets base_lsn and is not
+/// returned in `records`.
 StatusOr<JournalReadResult> ReadJournal(const std::string& path);
+
+struct CompactionResult {
+  uint64_t old_bytes = 0;
+  uint64_t new_bytes = 0;
+  uint64_t dropped_records = 0;
+  /// The journal's base LSN after compaction.
+  uint64_t base_lsn = 0;
+  /// Append position / record count of the rewritten journal, for
+  /// reopening a JournalWriter without a second read pass.
+  uint64_t valid_bytes = 0;
+  uint64_t record_count = 0;
+};
+
+/// Rewrites `path` without the records at absolute LSN <= cover_lsn,
+/// prefixed by a kCompactionBase marker carrying the new base. The caller
+/// must have closed any writer on `path`, and cover_lsn must be a
+/// checkpoint-covered horizon (DeltaCheckpointer::Result::cover_lsn) —
+/// compaction does not check that anything re-creates the dropped history.
+/// Kept records are byte-copied, never re-encoded; the rewrite is durable
+/// (tmp + fsync + rename + directory fsync) before the old bytes are gone.
+/// A cover_lsn at or below the current base is a no-op. Any torn tail is
+/// dropped, as reopening a writer would anyway.
+StatusOr<CompactionResult> CompactJournal(const std::string& path,
+                                          uint64_t cover_lsn);
 
 }  // namespace wfit::persist
 

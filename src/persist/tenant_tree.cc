@@ -58,7 +58,12 @@ std::string EncodeTenantDir(const std::string& tenant_id) {
   std::string out;
   out.reserve(tenant_id.size());
   for (char c : tenant_id) {
-    if (SafeChar(c)) {  // '%' is not safe, so decoding is unambiguous
+    // A leading '_' is escaped even though '_' is safe elsewhere: names
+    // starting with '_' are reserved for non-tenant subtrees of the
+    // checkpoint root (the "_archive" cold tier), so the encoder must
+    // never produce one. Decoding is unchanged ("%5F" was always an
+    // escape for '_').
+    if (SafeChar(c) && !(out.empty() && c == '_')) {
       out += c;
     } else {
       char buf[4];
@@ -125,7 +130,10 @@ StatusOr<std::vector<std::string>> ListTenantIds(const std::string& root,
       // whose re-admission would then fail.
       const std::string name = it->path().filename().string();
       const std::string id = DecodeTenantDir(name);
-      if (EncodeTenantDir(id) == name) {
+      if (!name.empty() && name[0] == '_') {
+        // Reserved non-tenant subtree (the "_archive" cold tier): not a
+        // stray, not a tenant.
+      } else if (EncodeTenantDir(id) == name) {
         ids.push_back(id);
       } else {
         skip();

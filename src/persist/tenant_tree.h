@@ -21,7 +21,9 @@
 namespace wfit::persist {
 
 /// Percent-encodes every byte outside [A-Za-z0-9_.-] (plus '.' and '..'
-/// themselves) so the result is a safe, reversible directory name.
+/// themselves, and a *leading* '_' — names starting with '_' are reserved
+/// for non-tenant subtrees like the "_archive" cold tier) so the result is
+/// a safe, reversible directory name.
 std::string EncodeTenantDir(const std::string& tenant_id);
 
 /// Inverse of EncodeTenantDir; malformed escapes decode to themselves.

@@ -1,0 +1,128 @@
+#include "service/fsync_batcher.h"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <string>
+#include <utility>
+
+namespace wfit::service {
+
+FsyncBatcher::FsyncBatcher(Options options) : options_(options) {
+  drain_ = std::thread([this] { DrainLoop(); });
+}
+
+FsyncBatcher::~FsyncBatcher() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  drain_.join();
+}
+
+Status FsyncBatcher::SyncRequired(int fd) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (stop_) return Status::Internal("fsync batcher stopped");
+  dirty_.insert(fd);
+  // The drain snapshots ALL dirty fds into the generation it stamps, so
+  // this call is served exactly when `my_gen` has been drained.
+  const uint64_t my_gen = queued_gen_;
+  ++waiters_;
+  ++stats_.required;
+  work_cv_.notify_one();
+  done_cv_.wait(lock, [&] { return drained_gen_ >= my_gen || stop_; });
+  Status result = Status::Ok();
+  if (drained_gen_ < my_gen) {
+    result = Status::Internal("fsync batcher stopped with syncs pending");
+  } else if (auto it = failed_gens_.find(my_gen); it != failed_gens_.end()) {
+    result = it->second;
+  }
+  if (--waiters_ == 0) failed_gens_.clear();
+  return result;
+}
+
+void FsyncBatcher::SyncDeferred(int fd) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stop_) return;
+  dirty_.insert(fd);
+  ++stats_.deferred;
+  work_cv_.notify_one();
+}
+
+void FsyncBatcher::Forget(int fd) {
+  std::unique_lock<std::mutex> lock(mu_);
+  dirty_.erase(fd);
+  // A drain may have the fd snapshotted right now; closing it during that
+  // sync would race a recycled descriptor number. Wait the cycle out.
+  done_cv_.wait(lock, [&] { return in_flight_.count(fd) == 0 || stop_; });
+}
+
+FsyncBatcher::Stats FsyncBatcher::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void FsyncBatcher::DrainLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    if (dirty_.empty()) {
+      work_cv_.wait(lock, [&] { return stop_ || !dirty_.empty(); });
+      continue;
+    }
+    // Let the window fill: everyone who arrives during this nap shares
+    // the single pass below.
+    work_cv_.wait_for(lock, std::chrono::microseconds(options_.window_us),
+                      [&] { return stop_; });
+    if (stop_) break;
+    const uint64_t gen = queued_gen_++;
+    in_flight_ = std::move(dirty_);
+    dirty_.clear();
+    lock.unlock();
+    Status st = SyncAll(in_flight_);
+    lock.lock();
+    drained_gen_ = gen;
+    ++stats_.cycles;
+    if (!st.ok() && waiters_ > 0) failed_gens_[gen] = st;
+    in_flight_.clear();
+    done_cv_.notify_all();
+  }
+  // Unblock everyone; pending syncs report failure via the stop branch.
+  done_cv_.notify_all();
+}
+
+Status FsyncBatcher::SyncAll(const std::set<int>& fds) {
+  if (fds.empty()) return Status::Ok();
+#ifdef __linux__
+  if (fds.size() >= options_.syncfs_min_fds) {
+    // One filesystem-wide barrier beats N per-file ones once enough
+    // journals share the window (they share the checkpoint root's drive).
+    if (::syncfs(*fds.begin()) != 0) {
+      return Status::Internal("syncfs failed");
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.sync_calls;
+    ++stats_.syncfs_calls;
+    return Status::Ok();
+  }
+#endif
+  Status result = Status::Ok();
+  uint64_t calls = 0;
+  for (int fd : fds) {
+#ifdef __linux__
+    const int rc = ::fdatasync(fd);
+#else
+    const int rc = ::fsync(fd);
+#endif
+    ++calls;
+    if (rc != 0 && result.ok()) {
+      result = Status::Internal("fdatasync failed for fd " +
+                                std::to_string(fd));
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.sync_calls += calls;
+  return result;
+}
+
+}  // namespace wfit::service

@@ -1,0 +1,110 @@
+// Group commit for journal fsyncs: tenant shards on one node each own a
+// journal, and at steady state every analysis batch ends with an fsync —
+// thousands of tiny fdatasyncs per second across the fleet, almost all of
+// them against the same drive. The batcher coalesces them: shards hand
+// their (already flushed) descriptors to a shared drain thread, which
+// makes every descriptor dirty at the start of a window durable with one
+// pass — one fdatasync per distinct descriptor, or a single syncfs(2)
+// when enough descriptors share the window.
+//
+// Two durability grades:
+//   - SyncRequired(fd): blocks until the fd is durable. Same guarantee as
+//     JournalWriter::Sync(), minus the per-caller fsync — concurrent
+//     requireds in one window share a single pass.
+//   - SyncDeferred(fd): marks the fd dirty and returns; the next window
+//     makes it durable (~window_us later). For tail syncs whose loss a
+//     crash already tolerates (the records replay as fresh intake).
+//
+// Lifetime: Forget(fd) must be called before an fd is closed — a batched
+// sync against a recycled descriptor number would silently "succeed"
+// against the wrong file. The batcher never owns descriptors.
+//
+// Error handling: a failed fsync poisons every waiter of that window (the
+// caller treats it like its own Sync() failing — journal lost, tenant
+// fails over). Deferred failures surface on the NEXT required sync of the
+// same fd, which is before any new analysis depends on the deferred
+// records' durability.
+#ifndef WFIT_SERVICE_FSYNC_BATCHER_H_
+#define WFIT_SERVICE_FSYNC_BATCHER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <thread>
+
+#include "common/status.h"
+
+namespace wfit::service {
+
+class FsyncBatcher {
+ public:
+  struct Options {
+    /// Drain cadence: dirty descriptors wait at most this long. Also the
+    /// upper bound a SyncRequired caller waits for companions to pile in.
+    uint64_t window_us = 200;
+    /// With at least this many distinct dirty descriptors in one window,
+    /// Linux builds issue one syncfs(2) instead of per-fd fdatasync.
+    uint64_t syncfs_min_fds = 4;
+  };
+
+  struct Stats {
+    uint64_t sync_calls = 0;    // kernel flush syscalls issued
+    uint64_t cycles = 0;        // windows drained
+    uint64_t required = 0;      // SyncRequired calls served
+    uint64_t deferred = 0;      // SyncDeferred calls accepted
+    uint64_t syncfs_calls = 0;  // cycles that used syncfs
+  };
+
+  FsyncBatcher() : FsyncBatcher(Options()) {}
+  explicit FsyncBatcher(Options options);
+  ~FsyncBatcher();
+
+  FsyncBatcher(const FsyncBatcher&) = delete;
+  FsyncBatcher& operator=(const FsyncBatcher&) = delete;
+
+  /// Blocks until everything written to `fd` before the call is durable.
+  /// The caller must have flushed its userspace buffers first
+  /// (JournalWriter::Flush()).
+  Status SyncRequired(int fd);
+
+  /// Marks `fd` dirty for the next drain window and returns immediately.
+  void SyncDeferred(int fd);
+
+  /// Drops any pending state for `fd`. MUST precede closing the fd.
+  /// Pending deferred durability for it is abandoned (callers only defer
+  /// syncs whose loss recovery tolerates).
+  void Forget(int fd);
+
+  Stats GetStats() const;
+
+ private:
+  void DrainLoop();
+  /// Syncs `fds` outside the lock; returns the first failure.
+  Status SyncAll(const std::set<int>& fds);
+
+  const Options options_;
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // wakes the drain thread
+  std::condition_variable done_cv_;   // wakes required-sync waiters
+  std::set<int> dirty_;
+  /// The generation currently being synced outside the lock. Only the
+  /// drain thread writes it (under the lock); Forget reads it to avoid
+  /// closing a descriptor mid-sync.
+  std::set<int> in_flight_;
+  /// Window generation counter: a waiter is served once the generation it
+  /// enqueued under has been drained.
+  uint64_t drained_gen_ = 0;
+  uint64_t queued_gen_ = 1;
+  /// Sticky per-generation failure for waiter poisoning.
+  std::map<uint64_t, Status> failed_gens_;
+  uint64_t waiters_ = 0;
+  Stats stats_;
+  bool stop_ = false;
+  std::thread drain_;
+};
+
+}  // namespace wfit::service
+
+#endif  // WFIT_SERVICE_FSYNC_BATCHER_H_

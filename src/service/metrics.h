@@ -67,9 +67,17 @@ struct MetricsSnapshot {
   uint64_t last_checkpoint_seq = 0;       // analyzed count at last snapshot
   double last_checkpoint_unix_seconds = 0.0;  // wall time of last snapshot
   uint64_t last_snapshot_bytes = 0;
+  /// Delta snapshots: checkpoints that shipped only the state diff since
+  /// the previous checkpoint. checkpoints_written counts both kinds.
+  uint64_t checkpoints_delta = 0;
+  uint64_t last_delta_bytes = 0;
   uint64_t journal_records = 0;           // records in the journal file
   uint64_t journal_bytes = 0;
   uint64_t journal_syncs = 0;
+  /// Journal prefix rewrites after a full checkpoint, and the bytes they
+  /// reclaimed.
+  uint64_t journal_compactions = 0;
+  uint64_t journal_compacted_bytes = 0;
   /// Journal write/fsync failures; any nonzero value means journaling was
   /// permanently disabled for this process (durability degraded).
   uint64_t journal_failures = 0;
@@ -181,11 +189,19 @@ class ServiceMetrics : public obs::StageSink {
   void SetAnalysisThreads(uint64_t n) {
     analysis_threads_.store(n, std::memory_order_relaxed);
   }
+  /// `full` distinguishes a complete snapshot from a delta: snapshot_bytes
+  /// stays the size of the last FULL image (the recovery floor), while
+  /// delta writes only advance the delta gauges.
   void OnCheckpoint(uint64_t analyzed_seq, uint64_t bytes,
-                    double unix_seconds) {
+                    double unix_seconds, bool full = true) {
     checkpoints_.fetch_add(1, std::memory_order_relaxed);
     last_checkpoint_seq_.store(analyzed_seq, std::memory_order_relaxed);
-    last_snapshot_bytes_.store(bytes, std::memory_order_relaxed);
+    if (full) {
+      last_snapshot_bytes_.store(bytes, std::memory_order_relaxed);
+    } else {
+      checkpoints_delta_.fetch_add(1, std::memory_order_relaxed);
+      last_delta_bytes_.store(bytes, std::memory_order_relaxed);
+    }
     last_checkpoint_unix_ms_.store(
         static_cast<uint64_t>(unix_seconds * 1000.0),
         std::memory_order_relaxed);
@@ -195,6 +211,11 @@ class ServiceMetrics : public obs::StageSink {
   }
   void OnJournalFailure() {
     journal_failures_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void OnJournalCompaction(uint64_t reclaimed_bytes) {
+    journal_compactions_.fetch_add(1, std::memory_order_relaxed);
+    journal_compacted_bytes_.fetch_add(reclaimed_bytes,
+                                       std::memory_order_relaxed);
   }
   /// Journal gauges are pushed by the worker after each batch (the writer
   /// is single-threaded; readers just need a coherent snapshot).
@@ -245,10 +266,14 @@ class ServiceMetrics : public obs::StageSink {
   std::atomic<uint64_t> last_checkpoint_seq_{0};
   std::atomic<uint64_t> last_checkpoint_unix_ms_{0};
   std::atomic<uint64_t> last_snapshot_bytes_{0};
+  std::atomic<uint64_t> checkpoints_delta_{0};
+  std::atomic<uint64_t> last_delta_bytes_{0};
   std::atomic<uint64_t> journal_records_{0};
   std::atomic<uint64_t> journal_bytes_{0};
   std::atomic<uint64_t> journal_syncs_{0};
   std::atomic<uint64_t> journal_failures_{0};
+  std::atomic<uint64_t> journal_compactions_{0};
+  std::atomic<uint64_t> journal_compacted_bytes_{0};
   std::atomic<uint64_t> recovery_loaded_{0};
   std::atomic<uint64_t> recovery_skipped_{0};
   std::atomic<uint64_t> recovery_statements_{0};

@@ -11,6 +11,7 @@
 #include "obs/log.h"
 #include "obs/trace.h"
 #include "persist/snapshot.h"
+#include "service/fsync_batcher.h"
 
 namespace wfit::service {
 
@@ -104,11 +105,18 @@ Status TunerService::Recover(RecoveryStats* stats) {
     return Status::Internal("cannot create checkpoint dir " + dir);
   }
 
-  persist::SnapshotLoadResult loaded =
-      persist::LoadLatestSnapshot(dir, tuner_.get(), pool_);
+  {
+    persist::DeltaCheckpointer::Options copts;
+    copts.enable_deltas = options_.delta_snapshots;
+    copts.full_every = options_.full_snapshot_every;
+    checkpointer_ = persist::DeltaCheckpointer(copts);
+  }
+  persist::SnapshotLoadResult loaded = persist::LoadLatestCheckpoint(
+      dir, tuner_.get(), pool_, &checkpointer_);
   stats->snapshot_loaded = loaded.loaded;
   stats->snapshot_analyzed = loaded.meta.analyzed;
   stats->snapshots_skipped = loaded.skipped;
+  stats->deltas_applied = loaded.deltas_applied;
   if (loaded.loaded) {
     // Overload-controller state at the snapshot point; journaled epoch
     // records past the snapshot LSN override it below as replay reaches
@@ -138,13 +146,20 @@ Status TunerService::Recover(RecoveryStats* stats) {
   std::vector<const persist::JournalRecord*> requeue;
   StatusOr<persist::JournalReadResult> read =
       persist::ReadJournal(journal_path);
-  if (read.ok() && start_lsn > read->records.size()) {
+  // A compacted journal holds records (base_lsn, base_lsn + size]; the
+  // writer and snapshot metas keep speaking absolute LSNs.
+  const uint64_t journal_base = read.ok() ? read->base_lsn : 0;
+  if (read.ok() && (start_lsn > journal_base + read->records.size() ||
+                    start_lsn < journal_base)) {
+    // Above the tail: records the snapshot references were lost. Below
+    // the base: compaction dropped history this (older, stale) snapshot
+    // still needs. Either way the snapshot alone is authoritative.
     valid_bytes = read->valid_bytes;
-    total_records = read->records.size();
+    total_records = journal_base + read->records.size();
     lsn_domain_mismatch = true;
   } else if (read.ok()) {
     valid_bytes = read->valid_bytes;
-    total_records = read->records.size();
+    total_records = journal_base + read->records.size();
     // Replay the suffix past the snapshot, exactly once. Statements appear
     // in sequence order; votes may be journaled after the batch's WAL
     // statement records, so they are split into a separate queue — but
@@ -160,7 +175,7 @@ Status TunerService::Recover(RecoveryStats* stats) {
     std::vector<const persist::JournalRecord*> votes;
     std::vector<const persist::JournalRecord*> epochs;
     uint64_t durable = analyzed;  // contiguous analyzed markers
-    for (size_t i = static_cast<size_t>(start_lsn);
+    for (size_t i = static_cast<size_t>(start_lsn - journal_base);
          i < read->records.size(); ++i) {
       const persist::JournalRecord& r = read->records[i];
       switch (r.type) {
@@ -182,6 +197,8 @@ Status TunerService::Recover(RecoveryStats* stats) {
         case persist::JournalRecordType::kEpoch:
           epochs.push_back(&r);
           break;
+        case persist::JournalRecordType::kCompactionBase:
+          break;  // framing metadata; never surfaced in records
       }
     }
     // Epochs take effect at their sequence; a restart after a requeue can
@@ -308,7 +325,13 @@ Status TunerService::Recover(RecoveryStats* stats) {
   return Status::Ok();
 }
 
-TunerService::~TunerService() { Shutdown(); }
+TunerService::~TunerService() {
+  Shutdown();
+  // Forget the journal fd from any shared batcher before the writer's own
+  // destructor closes it (a batched sync against a recycled descriptor
+  // number would hit the wrong file).
+  CloseJournal();
+}
 
 void TunerService::Start() {
   std::lock_guard<std::mutex> lock(lifecycle_mu_);
@@ -675,12 +698,20 @@ void TunerService::JournalAppend(Fn&& fn) {
     obs::Log(obs::LogLevel::kError, "journal.write_failed")
         .Str("error", st.ToString());
     metrics_.OnJournalFailure();
-    journal_->Close();
-    journal_.reset();
+    CloseJournal();
     journal_dirty_ = false;
     return;
   }
   journal_dirty_ = true;
+}
+
+void TunerService::CloseJournal() {
+  if (journal_ == nullptr) return;
+  if (options_.fsync_batcher != nullptr && journal_->is_open()) {
+    options_.fsync_batcher->Forget(journal_->fd());
+  }
+  journal_->Close();
+  journal_.reset();
 }
 
 void TunerService::SyncJournalIfDirty() {
@@ -689,15 +720,50 @@ void TunerService::SyncJournalIfDirty() {
     journal_dirty_ = false;
     return;
   }
-  Status st = journal_->Sync();
+  Status st;
+  if (options_.fsync_batcher != nullptr) {
+    // Group commit: flush userspace buffers, then share one kernel flush
+    // with every other shard that syncs in this drain window.
+    st = journal_->Flush();
+    if (st.ok()) {
+      st = options_.fsync_batcher->SyncRequired(journal_->fd());
+      if (st.ok()) ++batched_syncs_;
+    }
+  } else {
+    st = journal_->Sync();
+  }
   if (!st.ok()) {
     obs::Log(obs::LogLevel::kError, "journal.fsync_failed")
         .Str("error", st.ToString());
     metrics_.OnJournalFailure();
-    journal_->Close();
-    journal_.reset();
+    CloseJournal();
   }
   journal_dirty_ = false;
+}
+
+void TunerService::TailSyncJournal() {
+  if (journal_ == nullptr || !journal_dirty_ || !options_.sync_journal) {
+    SyncJournalIfDirty();
+    return;
+  }
+  if (options_.fsync_batcher == nullptr) {
+    SyncJournalIfDirty();
+    return;
+  }
+  // The tail of a batch only needs durability before the NEXT analysis
+  // depends on it — which the next batch's front barrier (a required
+  // sync) already guarantees. Defer to the batcher's window and leave the
+  // journal marked dirty so that barrier stays required.
+  Status st = journal_->Flush();
+  if (!st.ok()) {
+    obs::Log(obs::LogLevel::kError, "journal.fsync_failed")
+        .Str("error", st.ToString());
+    metrics_.OnJournalFailure();
+    CloseJournal();
+    journal_dirty_ = false;
+    return;
+  }
+  options_.fsync_batcher->SyncDeferred(journal_->fd());
 }
 
 void TunerService::MaybeCheckpoint(bool force) {
@@ -723,24 +789,76 @@ void TunerService::MaybeCheckpoint(bool force) {
   meta.overload.dup_window.assign(dup_window_.begin(), dup_window_.end());
   obs::SpanGuard span("checkpoint");
   obs::StageTimer timer(obs::Stage::kCheckpointWrite);
-  StatusOr<uint64_t> bytes =
-      persist::WriteSnapshot(options_.checkpoint_dir, *tuner_, *pool_, meta);
-  if (!bytes.ok()) {
+  StatusOr<persist::DeltaCheckpointer::Result> result =
+      checkpointer_.Write(options_.checkpoint_dir, *tuner_, *pool_, meta);
+  if (!result.ok()) {
     metrics_.OnCheckpointFailure();
     obs::Log(obs::LogLevel::kWarn, "checkpoint.failed")
         .U64("analyzed", analyzed)
-        .Str("error", bytes.status().ToString());
+        .Str("error", result.status().ToString());
     return;
   }
   last_checkpoint_analyzed_ = analyzed;
   have_checkpoint_ = true;
-  metrics_.OnCheckpoint(analyzed, *bytes, UnixSeconds());
+  metrics_.OnCheckpoint(analyzed, result->bytes, UnixSeconds(),
+                        result->wrote_full);
+  if (result->wrote_full && result->cover_lsn > 0) {
+    MaybeCompactJournal(result->cover_lsn);
+  }
+}
+
+void TunerService::MaybeCompactJournal(uint64_t cover_lsn) {
+  namespace fs = std::filesystem;
+  if (!options_.compact_journal || journal_ == nullptr) return;
+  if (journal_->bytes() < options_.journal_compact_min_bytes) return;
+  const std::string path =
+      (fs::path(options_.checkpoint_dir) / kJournalFile).string();
+  // The rewrite needs the writer closed (and its fd forgotten from any
+  // batcher) — everything durable already, since a full checkpoint just
+  // synced.
+  const uint64_t old_bytes = journal_->bytes();
+  CloseJournal();
+  StatusOr<persist::CompactionResult> compacted =
+      persist::CompactJournal(path, cover_lsn);
+  if (!compacted.ok()) {
+    obs::Log(obs::LogLevel::kWarn, "journal.compact_failed")
+        .Str("error", compacted.status().ToString());
+    // The original file is intact (compaction replaces it only via
+    // rename); reopen by re-reading its tail.
+    StatusOr<persist::JournalReadResult> read = persist::ReadJournal(path);
+    if (read.ok()) {
+      journal_ = std::make_unique<persist::JournalWriter>();
+      Status st = journal_->Open(path, read->valid_bytes,
+                                 read->base_lsn + read->records.size());
+      if (!st.ok()) journal_.reset();
+    }
+    if (journal_ == nullptr) metrics_.OnJournalFailure();
+    return;
+  }
+  journal_ = std::make_unique<persist::JournalWriter>();
+  Status st = journal_->Open(path, compacted->valid_bytes,
+                             compacted->base_lsn + compacted->record_count);
+  if (!st.ok()) {
+    obs::Log(obs::LogLevel::kError, "journal.reopen_failed")
+        .Str("error", st.ToString());
+    metrics_.OnJournalFailure();
+    journal_.reset();
+    return;
+  }
+  metrics_.OnJournalCompaction(old_bytes > compacted->new_bytes
+                                   ? old_bytes - compacted->new_bytes
+                                   : 0);
+  obs::Log(obs::LogLevel::kInfo, "journal.compacted")
+      .U64("old_bytes", old_bytes)
+      .U64("new_bytes", compacted->new_bytes)
+      .U64("dropped_records", compacted->dropped_records)
+      .U64("base_lsn", compacted->base_lsn);
 }
 
 void TunerService::PushJournalMetrics() {
   if (journal_ == nullptr) return;
   metrics_.SetJournal(journal_->lsn(), journal_->bytes(),
-                      journal_->syncs());
+                      journal_->syncs() + batched_syncs_);
 }
 
 void TunerService::Publish() {
@@ -903,8 +1021,10 @@ void TunerService::AnalyzeBatch(std::vector<Statement>& batch,
     }
   }
   // Trailing votes of the batch become durable before the consumer moves
-  // on (their effect is already published).
-  SyncJournalIfDirty();
+  // on — immediately without a batcher, within the next drain window with
+  // one (the next batch's front barrier upgrades the guarantee before any
+  // further analysis depends on it).
+  TailSyncJournal();
   MaybeCheckpoint(/*force=*/false);
   PushJournalMetrics();
 }

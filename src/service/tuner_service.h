@@ -47,12 +47,15 @@
 #include "common/worker_pool.h"
 #include "core/index_set.h"
 #include "core/tuner.h"
+#include "persist/delta.h"
 #include "persist/journal.h"
 #include "service/ingest_queue.h"
 #include "service/metrics.h"
 #include "workload/statement.h"
 
 namespace wfit::service {
+
+class FsyncBatcher;
 
 /// Adaptive overload control: a three-state controller (Normal → Shedding
 /// → Sampling) evaluated once per batch from the queue fill fraction.
@@ -121,6 +124,25 @@ struct TunerServiceOptions {
   /// whenever applied feedback precedes further analysis. Disabling trades
   /// crash durability for throughput (the journal is still written).
   bool sync_journal = true;
+  /// Write most checkpoints as delta snapshots (the diff since the last
+  /// checkpoint, chained by CRC back to a full image). Recovery applies
+  /// the chain; any corruption falls back to the newest intact full.
+  bool delta_snapshots = true;
+  /// Force a full snapshot after this many consecutive deltas. Bounds both
+  /// recovery work and the blast radius of a corrupt delta.
+  uint64_t full_snapshot_every = 8;
+  /// After a full checkpoint covers a journal prefix (two durable fulls),
+  /// rewrite the journal without it. Keeps steady-state journal size
+  /// proportional to the checkpoint interval, not total history.
+  bool compact_journal = true;
+  /// Skip compaction while the journal is smaller than this — rewriting a
+  /// tiny file buys nothing and costs three fsyncs.
+  uint64_t journal_compact_min_bytes = 64 * 1024;
+  /// Group commit: when set, journal fsyncs go through this shared batcher
+  /// (one kernel flush per drain window across all shards on the node)
+  /// instead of per-service fdatasync. The batcher must outlive the
+  /// service. sync_journal=false ignores it.
+  FsyncBatcher* fsync_batcher = nullptr;
 
   /// Statements whose end-to-end latency (ingest enqueue through snapshot
   /// publication) exceeds this emit one structured NDJSON record with the
@@ -150,6 +172,8 @@ struct RecoveryStats {
   uint64_t snapshot_analyzed = 0;
   /// Corrupt / version-mismatched snapshots skipped before one loaded.
   uint64_t snapshots_skipped = 0;
+  /// Delta snapshots applied on top of the restored full image.
+  uint64_t deltas_applied = 0;
   uint64_t replayed_statements = 0;
   uint64_t replayed_feedback = 0;
   /// Statements that were WAL-journaled but not yet durably analyzed at
@@ -392,9 +416,21 @@ class TunerService {
   template <typename Fn>
   void JournalAppend(Fn&& fn);
   void SyncJournalIfDirty();
+  /// The trailing per-batch sync: with a group-commit batcher this defers
+  /// durability to the next drain window (the journal stays dirty, so the
+  /// next batch's front barrier still blocks before further analysis
+  /// depends on it); without one it is a plain SyncJournalIfDirty.
+  void TailSyncJournal();
+  /// Closes the journal, first Forgetting its fd from any batcher (a
+  /// batched sync against a recycled descriptor would hit the wrong file).
+  void CloseJournal();
   /// Snapshot at a batch boundary once the cadence has elapsed (`force`
   /// for the shutdown checkpoint).
   void MaybeCheckpoint(bool force);
+  /// After a full checkpoint extended the covered horizon: rewrite the
+  /// journal without the covered prefix and reopen the writer in the
+  /// shifted LSN domain.
+  void MaybeCompactJournal(uint64_t cover_lsn);
   void PushJournalMetrics();
 
   std::unique_ptr<Tuner> tuner_;
@@ -405,6 +441,13 @@ class TunerService {
   IndexPool* pool_ = nullptr;
   std::unique_ptr<persist::JournalWriter> journal_;
   bool journal_dirty_ = false;
+  /// Delta/full checkpoint state machine (diff base, chain position,
+  /// covered-LSN horizon). Lives even when delta_snapshots is off — it
+  /// then just writes fulls and tracks the compaction horizon.
+  persist::DeltaCheckpointer checkpointer_;
+  /// Required syncs served through the shared batcher; added to the
+  /// writer's own syncs() for the journal_syncs metric.
+  uint64_t batched_syncs_ = 0;
   uint64_t last_checkpoint_analyzed_ = 0;
   bool have_checkpoint_ = false;
   /// Statements below this sequence are already in the journal (recovery

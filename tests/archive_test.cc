@@ -1,0 +1,360 @@
+// Cold-tenant archival: ArchiveStore's segment format survives reopen,
+// tombstones, re-staging, and byte-level corruption; and the router's
+// archival tier is lossless end-to-end — a tenant archived cold and
+// lazily unarchived on its next touch follows the exact trajectory of a
+// dedicated uninterrupted run, carried future votes included.
+#include "persist/archive.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/wfit.h"
+#include "persist/tenant_tree.h"
+#include "service/tenant_router.h"
+#include "tests/test_util.h"
+
+namespace wfit::persist {
+namespace {
+
+namespace fs = std::filesystem;
+using wfit::testing::TestDb;
+
+std::string TempRoot(const std::string& tag) {
+  std::string dir =
+      (fs::path(::testing::TempDir()) /
+       ("wfit_archive_" + tag + "_" + std::to_string(::getpid())))
+          .string();
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+ArchiveStore OpenOrDie(const std::string& root) {
+  auto opened = ArchiveStore::Open(root);
+  EXPECT_TRUE(opened.ok()) << opened.status().ToString();
+  return std::move(opened).value();
+}
+
+TEST(ArchiveStoreTest, RoundTripSurvivesReopen) {
+  const std::string root = TempRoot("roundtrip");
+  const std::string pack_a(2000, 'a');
+  const std::string pack_b = "tenant-b bytes \x00\xff with binary";
+  {
+    ArchiveStore store = OpenOrDie(root);
+    ASSERT_TRUE(store.Stage("a", pack_a).ok());
+    ASSERT_TRUE(store.Stage("b", pack_b).ok());
+    // Staged but unflushed entries are already visible to this instance.
+    EXPECT_TRUE(store.Contains("a"));
+    ASSERT_TRUE(store.Flush().ok());
+  }
+  ArchiveStore store = OpenOrDie(root);
+  EXPECT_EQ(store.Tenants(), (std::vector<std::string>{"a", "b"}));
+  auto got_a = store.Fetch("a");
+  auto got_b = store.Fetch("b");
+  ASSERT_TRUE(got_a.ok());
+  ASSERT_TRUE(got_b.ok());
+  EXPECT_EQ(*got_a, pack_a);
+  EXPECT_EQ(*got_b, pack_b);
+  EXPECT_FALSE(store.Fetch("missing").ok());
+  ArchiveStats stats = store.GetStats();
+  EXPECT_EQ(stats.segments, 1u);
+  EXPECT_EQ(stats.live_tenants, 2u);
+  EXPECT_EQ(stats.corrupt_segments, 0u);
+}
+
+TEST(ArchiveStoreTest, TombstonesPersistAcrossReopen) {
+  const std::string root = TempRoot("tombstone");
+  {
+    ArchiveStore store = OpenOrDie(root);
+    ASSERT_TRUE(store.Stage("a", "aaaa").ok());
+    ASSERT_TRUE(store.Stage("b", "bbbb").ok());
+    ASSERT_TRUE(store.Flush().ok());
+    ASSERT_TRUE(store.Drop("a").ok());
+    EXPECT_FALSE(store.Contains("a"));
+    EXPECT_TRUE(store.Contains("b"));
+    // Dropping a never-archived tenant is Ok (idempotent admission path).
+    EXPECT_TRUE(store.Drop("never-there").ok());
+  }
+  ArchiveStore store = OpenOrDie(root);
+  EXPECT_FALSE(store.Contains("a")) << "tombstone lost across reopen";
+  EXPECT_TRUE(store.Contains("b"));
+  EXPECT_EQ(store.Tenants(), std::vector<std::string>{"b"});
+}
+
+TEST(ArchiveStoreTest, NewestStageWinsAfterRearchival) {
+  const std::string root = TempRoot("reseq");
+  {
+    ArchiveStore store = OpenOrDie(root);
+    ASSERT_TRUE(store.Stage("t", "old-incarnation").ok());
+    ASSERT_TRUE(store.Flush().ok());
+    // Unarchive (Drop) then archive again with newer state — two segments
+    // now hold entries for "t"; the newest sequence must win.
+    ASSERT_TRUE(store.Drop("t").ok());
+    ASSERT_TRUE(store.Stage("t", "new-incarnation").ok());
+    ASSERT_TRUE(store.Flush().ok());
+  }
+  ArchiveStore store = OpenOrDie(root);
+  auto got = store.Fetch("t");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "new-incarnation");
+}
+
+void FlipByteAt(const fs::path& path, std::streamoff off) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.good());
+  char c = 0;
+  f.seekg(off);
+  f.get(c);
+  f.seekp(off);
+  f.put(static_cast<char>(c ^ 0x5a));
+}
+
+std::vector<fs::path> SegmentFiles(const std::string& root) {
+  std::vector<fs::path> segments;
+  for (const auto& entry :
+       fs::directory_iterator((fs::path(root) / "_archive"))) {
+    if (entry.path().extension() == ".wfseg") {
+      segments.push_back(entry.path());
+    }
+  }
+  std::sort(segments.begin(), segments.end());
+  return segments;
+}
+
+TEST(ArchiveStoreTest, CorruptFooterSkipsTheWholeSegment) {
+  const std::string root = TempRoot("corrupt_footer");
+  const std::string keep(512, 'k');
+  {
+    ArchiveStore store = OpenOrDie(root);
+    ASSERT_TRUE(store.Stage("victim", std::string(512, 'v')).ok());
+    ASSERT_TRUE(store.Flush().ok());
+    ASSERT_TRUE(store.Stage("keeper", keep).ok());
+    ASSERT_TRUE(store.Flush().ok());
+  }
+  std::vector<fs::path> segments = SegmentFiles(root);
+  ASSERT_EQ(segments.size(), 2u);
+  // Flip a footer byte of the FIRST segment (the footer sits just before
+  // the 16-byte trailer): the footer CRC no longer matches, so the whole
+  // segment is skipped at Open — its entries never served from a
+  // directory that cannot be trusted.
+  FlipByteAt(segments[0],
+             static_cast<std::streamoff>(fs::file_size(segments[0])) - 18);
+  ArchiveStore store = OpenOrDie(root);
+  ArchiveStats stats = store.GetStats();
+  EXPECT_EQ(stats.corrupt_segments, 1u);
+  EXPECT_FALSE(store.Contains("victim"))
+      << "entry served from a damaged segment";
+  auto got = store.Fetch("keeper");
+  ASSERT_TRUE(got.ok()) << "undamaged segment must still serve";
+  EXPECT_EQ(*got, keep);
+}
+
+TEST(ArchiveStoreTest, CorruptPayloadFailsFetchButNotTheSegment) {
+  const std::string root = TempRoot("corrupt_payload");
+  {
+    ArchiveStore store = OpenOrDie(root);
+    ASSERT_TRUE(store.Stage("a", std::string(512, 'a')).ok());
+    ASSERT_TRUE(store.Stage("b", std::string(512, 'b')).ok());
+    ASSERT_TRUE(store.Flush().ok());
+  }
+  std::vector<fs::path> segments = SegmentFiles(root);
+  ASSERT_EQ(segments.size(), 1u);
+  // Flip a byte inside "a"'s pack payload (the first entry, right after
+  // the 8-byte header). The footer is intact, so the directory still
+  // loads — but Fetch must catch the per-entry CRC mismatch instead of
+  // unpacking a damaged tree.
+  FlipByteAt(segments[0], 8 + 100);
+  ArchiveStore store = OpenOrDie(root);
+  EXPECT_EQ(store.GetStats().corrupt_segments, 0u);
+  EXPECT_TRUE(store.Contains("a"));
+  EXPECT_FALSE(store.Fetch("a").ok())
+      << "damaged payload served without CRC verification";
+  auto got = store.Fetch("b");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, std::string(512, 'b'));
+}
+
+TEST(ArchiveStoreTest, CompactReclaimsDeadEntries) {
+  const std::string root = TempRoot("compact");
+  ArchiveStore store = OpenOrDie(root);
+  ASSERT_TRUE(store.Stage("dead", std::string(4096, 'd')).ok());
+  ASSERT_TRUE(store.Flush().ok());
+  ASSERT_TRUE(store.Stage("live", std::string(256, 'l')).ok());
+  ASSERT_TRUE(store.Flush().ok());
+  ASSERT_TRUE(store.Drop("dead").ok());
+  const uint64_t before = store.GetStats().segment_bytes;
+  ASSERT_TRUE(store.Compact().ok());
+  ArchiveStats stats = store.GetStats();
+  EXPECT_LT(stats.segment_bytes, before);
+  EXPECT_EQ(stats.tombstones, 0u);
+  EXPECT_EQ(stats.live_tenants, 1u);
+  auto got = store.Fetch("live");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->size(), 256u);
+  // And the compacted store reopens cleanly.
+  ArchiveStore reopened = OpenOrDie(root);
+  EXPECT_TRUE(reopened.Contains("live"));
+  EXPECT_FALSE(reopened.Contains("dead"));
+}
+
+}  // namespace
+}  // namespace wfit::persist
+
+namespace wfit::service {
+namespace {
+
+namespace fs = std::filesystem;
+using wfit::testing::TestDb;
+
+WfitOptions FastOptions() {
+  WfitOptions options;
+  options.candidates.idx_cnt = 8;
+  options.candidates.state_cnt = 64;
+  options.candidates.hist_size = 50;
+  options.candidates.creation_penalty_factor = 1e-6;
+  return options;
+}
+
+Workload BuildWorkload(TestDb& db, size_t n) {
+  const char* shapes[] = {
+      "SELECT count(*) FROM t1 WHERE a BETWEEN 0 AND 150",
+      "SELECT count(*) FROM t1 WHERE b BETWEEN 100 AND 220",
+      "SELECT count(*) FROM t1, t2 WHERE t1.k = t2.fk AND t1.a = 5",
+      "SELECT count(*) FROM t2 WHERE x BETWEEN 10 AND 40",
+      "UPDATE t1 SET d = 1 WHERE a = 77",
+      "SELECT count(*) FROM t1 WHERE a BETWEEN 0 AND 150 AND c = 3",
+      "SELECT count(*) FROM t3 WHERE v = 9",
+      "UPDATE t2 SET y = 2 WHERE x = 17",
+  };
+  Workload w;
+  for (size_t i = 0; i < n; ++i) {
+    w.push_back(db.Bind(shapes[i % (sizeof(shapes) / sizeof(shapes[0]))]));
+  }
+  return w;
+}
+
+std::vector<IndexId> SeedIds(TestDb& db) {
+  return {db.Ix("t1", {"a"}), db.Ix("t2", {"x"}), db.Ix("t1", {"b"})};
+}
+
+TEST(ArchiveRouterTest, ArchivalRoundTripCarriesFutureVotes) {
+  // The eviction-losslessness invariant, extended through the cold tier:
+  // evict → archive (directory replaced by a segment entry) → lazy
+  // unarchive on the next touch → finish. Trajectory must equal the
+  // dedicated uninterrupted run, including a vote registered before
+  // archival that fires after unarchival.
+  constexpr size_t kStatements = 60;
+  constexpr size_t kEvictAt = 40;
+  const std::string root =
+      (fs::path(::testing::TempDir()) /
+       ("wfit_archive_router_" + std::to_string(::getpid())))
+          .string();
+  fs::remove_all(root);
+
+  TestDb db;
+  std::vector<IndexId> ids = SeedIds(db);
+  Workload w = BuildWorkload(db, kStatements);
+  const std::string id = "db-0";
+
+  TenantRouterOptions options;
+  options.shard.queue_capacity = 64;
+  options.shard.max_batch = 5;
+  options.shard.record_history = true;
+  options.shard.checkpoint_every_statements = 1000;  // only eviction seals
+  options.checkpoint_root = root;
+  options.drain_threads = 0;
+  options.archive_cold_tenants = true;
+  TenantRouter router(
+      [&db](const std::string&) {
+        TenantTuner made;
+        made.tuner = std::make_unique<Wfit>(&db.pool(), &db.optimizer(),
+                                            IndexSet{}, FastOptions());
+        made.pool = &db.pool();
+        return made;
+      },
+      options);
+  router.Start();
+
+  // A vote keyed past the archival point: it must survive eviction AND
+  // archival un-applied, then fire at its boundary after unarchival.
+  router.FeedbackAfter(id, 7, IndexSet{ids[0]}, IndexSet{});
+  router.FeedbackAfter(id, kEvictAt + 9, IndexSet{ids[2]},
+                       IndexSet{ids[0]});
+
+  for (size_t i = 0; i < kEvictAt; ++i) {
+    ASSERT_TRUE(router.Submit(id, w[i]));
+  }
+  while (!router.DrainOne().empty()) {
+  }
+  ASSERT_EQ(router.analyzed(id), kEvictAt);
+  ASSERT_TRUE(router.Evict(id));
+
+  // Archive the cold tenant: the live directory is replaced by an archive
+  // segment entry, and PersistedTenants still reports it.
+  auto archived = router.ArchiveColdTenants();
+  ASSERT_TRUE(archived.ok()) << archived.status().ToString();
+  EXPECT_EQ(*archived, 1u);
+  const std::string dir = persist::TenantCheckpointDir(root, id);
+  EXPECT_FALSE(fs::exists(dir)) << "directory must be gone once archived";
+  ASSERT_NE(router.archive(), nullptr);
+  EXPECT_TRUE(router.archive()->Contains(id));
+  EXPECT_EQ(router.PersistedTenants(), std::vector<std::string>{id});
+  // Archiving again is a no-op: nothing cold is left unarchived.
+  auto again = router.ArchiveColdTenants();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, 0u);
+
+  // The next touch materializes the tree from the archive transparently
+  // and resumes at the eviction checkpoint — replaying nothing.
+  for (size_t i = kEvictAt; i < kStatements; ++i) {
+    ASSERT_TRUE(router.Submit(id, w[i]));
+  }
+  while (!router.DrainOne().empty()) {
+  }
+  ASSERT_EQ(router.analyzed(id), kStatements);
+  RecoveryStats recovery = router.LastRecovery(id);
+  EXPECT_TRUE(recovery.snapshot_loaded);
+  EXPECT_EQ(recovery.snapshot_analyzed, kEvictAt);
+  EXPECT_EQ(recovery.replayed_statements, 0u);
+  // The unarchived entry was dropped from the cold tier (the directory is
+  // live again and authoritative).
+  EXPECT_FALSE(router.archive()->Contains(id));
+  router.Shutdown();
+
+  std::vector<IndexSet> routed = router.History(id);
+  TestDb ref_db;
+  std::vector<IndexId> ref_ids = SeedIds(ref_db);
+  Workload ref_w = BuildWorkload(ref_db, kStatements);
+  Wfit ref(&ref_db.pool(), &ref_db.optimizer(), IndexSet{}, FastOptions());
+  std::vector<IndexSet> dedicated;
+  for (size_t i = 0; i < kStatements; ++i) {
+    ref.AnalyzeQuery(ref_w[i]);
+    if (i == 7) ref.Feedback(IndexSet{ref_ids[0]}, IndexSet{});
+    if (i == kEvictAt + 9) {
+      ref.Feedback(IndexSet{ref_ids[2]}, IndexSet{ref_ids[0]});
+    }
+    dedicated.push_back(ref.Recommendation());
+  }
+  ASSERT_EQ(routed.size(), dedicated.size());
+  for (size_t i = 0; i < dedicated.size(); ++i) {
+    ASSERT_EQ(routed[i], dedicated[i])
+        << "trajectory diverged across archival at statement " << i;
+  }
+
+  RouterMetricsSnapshot metrics = router.Metrics();
+  EXPECT_EQ(metrics.tenants_archived, 1u);
+  EXPECT_EQ(metrics.tenants_unarchived, 1u);
+  EXPECT_EQ(metrics.evictions, 1u);
+  EXPECT_EQ(metrics.admissions, 2u);
+}
+
+}  // namespace
+}  // namespace wfit::service

@@ -1,0 +1,414 @@
+#include "persist/delta.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/crc32.h"
+#include "core/wfit.h"
+#include "persist/codec.h"
+#include "persist/snapshot.h"
+#include "tests/test_util.h"
+
+namespace wfit::persist {
+namespace {
+
+namespace fs = std::filesystem;
+using wfit::testing::TestDb;
+
+WfitOptions FastOptions() {
+  WfitOptions options;
+  options.candidates.idx_cnt = 8;
+  options.candidates.state_cnt = 64;
+  options.candidates.hist_size = 50;
+  options.candidates.creation_penalty_factor = 1e-6;
+  return options;
+}
+
+Workload BuildWorkload(TestDb& db, size_t n) {
+  const char* shapes[] = {
+      "SELECT count(*) FROM t1 WHERE a BETWEEN 0 AND 150",
+      "SELECT count(*) FROM t1 WHERE b BETWEEN 100 AND 220",
+      "SELECT count(*) FROM t1, t2 WHERE t1.k = t2.fk AND t1.a = 5",
+      "SELECT count(*) FROM t2 WHERE x BETWEEN 10 AND 40",
+      "UPDATE t1 SET d = 1 WHERE a = 77",
+      "SELECT count(*) FROM t1 WHERE a BETWEEN 0 AND 150 AND c = 3",
+      "SELECT count(*) FROM t3 WHERE v = 9",
+      "UPDATE t2 SET y = 2 WHERE x = 17",
+  };
+  Workload w;
+  for (size_t i = 0; i < n; ++i) {
+    w.push_back(db.Bind(shapes[i % (sizeof(shapes) / sizeof(shapes[0]))]));
+  }
+  return w;
+}
+
+std::string FreshDir(const std::string& name) {
+  fs::path dir = fs::path(::testing::TempDir()) /
+                 ("wfit_delta_" + name + "_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << contents;
+}
+
+void FlipByte(const std::string& path, size_t offset_from_mid) {
+  std::string contents = ReadFile(path);
+  ASSERT_GT(contents.size(), offset_from_mid + 32);
+  contents[contents.size() / 2 + offset_from_mid] ^= 0x5A;
+  WriteFile(path, contents);
+}
+
+SnapshotMeta MetaAt(uint64_t analyzed, uint64_t lsn) {
+  SnapshotMeta meta;
+  meta.analyzed = analyzed;
+  meta.journal_lsn = lsn;
+  return meta;
+}
+
+/// Fixture state for a chain-building run: one tuner advanced through a
+/// deterministic workload, checkpointed at chosen points. Chain tests
+/// checkpoint past statement ~100: by then this workload's candidate set
+/// and part layout are stable, so checkpoints diff as deltas instead of
+/// being (correctly) forced full by structural change. The early churny
+/// region is what FullForcedEveryKDeltas-style tests would trip over.
+struct ChainRun {
+  ChainRun() : tuner(&db.pool(), &db.optimizer(), IndexSet{}, FastOptions()) {
+    workload = BuildWorkload(db, 220);
+  }
+  void AdvanceTo(size_t n) {
+    while (at < n) tuner.AnalyzeQuery(workload[at++]);
+  }
+  TestDb db;
+  Workload workload;
+  Wfit tuner;
+  size_t at = 0;
+};
+
+// --- the chain rule, pinned before deltas exist --------------------------
+
+// A corrupt *full* snapshot must invalidate every delta chained to it: the
+// loader falls back to the previous full snapshot (or a cold start), never
+// to a delta whose base is gone. This is the PR 3 fallback fix extended to
+// chains — without it, a delta applied onto the wrong base would decode
+// garbage or, worse, a plausible-but-divergent trajectory.
+TEST(DeltaChainTest, CorruptFullSnapshotInvalidatesChainedDeltas) {
+  const std::string dir = FreshDir("corrupt_base");
+  ChainRun run;
+
+  DeltaCheckpointer::Options copts;
+  copts.full_every = 100;  // never force a full mid-test
+  DeltaCheckpointer cp(copts);
+
+  // Chain 0: a full snapshot at 104 (the fallback target).
+  run.AdvanceTo(104);
+  auto r0 = cp.Write(dir, run.tuner, run.db.pool(), MetaAt(104, 104));
+  ASSERT_TRUE(r0.ok()) << r0.status().ToString();
+  EXPECT_TRUE(r0->wrote_full);
+
+  // Chain 1: full at 112, deltas at 118 and 124.
+  cp.Reset();
+  run.AdvanceTo(112);
+  auto r1 = cp.Write(dir, run.tuner, run.db.pool(), MetaAt(112, 112));
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  EXPECT_TRUE(r1->wrote_full);
+  run.AdvanceTo(118);
+  auto r2 = cp.Write(dir, run.tuner, run.db.pool(), MetaAt(118, 118));
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  EXPECT_FALSE(r2->wrote_full);
+  run.AdvanceTo(124);
+  auto r3 = cp.Write(dir, run.tuner, run.db.pool(), MetaAt(124, 124));
+  ASSERT_TRUE(r3.ok()) << r3.status().ToString();
+  EXPECT_FALSE(r3->wrote_full);
+
+  // Damage chain 1's full snapshot (payload byte flip).
+  std::vector<std::string> fulls = ListSnapshots(dir);
+  ASSERT_EQ(fulls.size(), 2u);  // newest first: 112, 104
+  FlipByte(fulls[0], 0);
+
+  // The loader must land on the chain-0 full at 104 — NOT on a delta of
+  // the damaged chain, even though those files are newer and intact.
+  TestDb db2;
+  Wfit restored(&db2.pool(), &db2.optimizer(), IndexSet{}, FastOptions());
+  SnapshotLoadResult loaded =
+      LoadLatestCheckpoint(dir, &restored, &db2.pool(), nullptr);
+  ASSERT_TRUE(loaded.loaded);
+  EXPECT_EQ(loaded.meta.analyzed, 104u);
+  EXPECT_EQ(loaded.deltas_applied, 0u);
+  EXPECT_GE(loaded.skipped, 1u);
+
+  // And the restored state really is the statement-104 state: a reference
+  // run advanced to 104 continues bit-identically with it.
+  ChainRun ref;
+  ref.AdvanceTo(104);
+  EXPECT_EQ(restored.Recommendation(), ref.tuner.Recommendation());
+  Workload w2 = BuildWorkload(db2, 220);
+  for (size_t i = 104; i < 180; ++i) {
+    ref.tuner.AnalyzeQuery(ref.workload[i]);
+    restored.AnalyzeQuery(w2[i]);
+  }
+  EXPECT_EQ(restored.Recommendation(), ref.tuner.Recommendation());
+  EXPECT_EQ(restored.TotalStates(), ref.tuner.TotalStates());
+}
+
+// --- chain round trips ---------------------------------------------------
+
+TEST(DeltaChainTest, FullPlusDeltasRestoreTheChainTailExactly) {
+  const std::string dir = FreshDir("roundtrip");
+  ChainRun run;
+
+  DeltaCheckpointer cp;
+  run.AdvanceTo(104);
+  auto rf = cp.Write(dir, run.tuner, run.db.pool(), MetaAt(104, 104));
+  ASSERT_TRUE(rf.ok());
+  EXPECT_TRUE(rf->wrote_full);
+  const uint64_t full_bytes = rf->bytes;
+
+  run.AdvanceTo(110);
+  auto rd1 = cp.Write(dir, run.tuner, run.db.pool(), MetaAt(110, 110));
+  ASSERT_TRUE(rd1.ok());
+  EXPECT_FALSE(rd1->wrote_full);
+  // Deltas must pay for themselves: a 6-statement gap in this fixture
+  // still churns every selector window, so this bound is what the
+  // ring-shift patch ops buy.
+  EXPECT_LT(rd1->bytes, full_bytes / 2);
+
+  run.AdvanceTo(116);
+  auto rd2 = cp.Write(dir, run.tuner, run.db.pool(), MetaAt(116, 116));
+  ASSERT_TRUE(rd2.ok());
+  EXPECT_FALSE(rd2->wrote_full);
+
+  TestDb db2;
+  Wfit restored(&db2.pool(), &db2.optimizer(), IndexSet{}, FastOptions());
+  SnapshotLoadResult loaded =
+      LoadLatestCheckpoint(dir, &restored, &db2.pool(), nullptr);
+  ASSERT_TRUE(loaded.loaded);
+  EXPECT_EQ(loaded.meta.analyzed, 116u);
+  EXPECT_EQ(loaded.meta.journal_lsn, 116u);
+  EXPECT_EQ(loaded.deltas_applied, 2u);
+  EXPECT_EQ(loaded.skipped, 0u);
+
+  // Bit-for-bit: the reconstructed chain tail continues identically.
+  EXPECT_EQ(restored.Recommendation(), run.tuner.Recommendation());
+  EXPECT_EQ(restored.FeedbackCount(), run.tuner.FeedbackCount());
+  Workload w2 = BuildWorkload(db2, 220);
+  for (size_t i = 116; i < 200; ++i) {
+    run.tuner.AnalyzeQuery(run.workload[i]);
+    restored.AnalyzeQuery(w2[i]);
+  }
+  EXPECT_EQ(restored.Recommendation(), run.tuner.Recommendation());
+  EXPECT_EQ(restored.RepartitionCount(), run.tuner.RepartitionCount());
+  EXPECT_EQ(restored.TotalStates(), run.tuner.TotalStates());
+}
+
+TEST(DeltaChainTest, CorruptDeltaTruncatesTheChainThere) {
+  const std::string dir = FreshDir("corrupt_delta");
+  ChainRun run;
+
+  DeltaCheckpointer cp;
+  run.AdvanceTo(104);
+  ASSERT_TRUE(cp.Write(dir, run.tuner, run.db.pool(), MetaAt(104, 104)).ok());
+  run.AdvanceTo(110);
+  ASSERT_TRUE(cp.Write(dir, run.tuner, run.db.pool(), MetaAt(110, 110)).ok());
+  run.AdvanceTo(116);
+  ASSERT_TRUE(cp.Write(dir, run.tuner, run.db.pool(), MetaAt(116, 116)).ok());
+
+  // Damage the *newest* delta: the chain prefix (full@104 + delta@110)
+  // must still restore.
+  std::vector<std::string> deltas = ListDeltas(dir);
+  ASSERT_EQ(deltas.size(), 2u);
+  FlipByte(deltas.back(), 1);
+
+  TestDb db2;
+  Wfit restored(&db2.pool(), &db2.optimizer(), IndexSet{}, FastOptions());
+  SnapshotLoadResult loaded =
+      LoadLatestCheckpoint(dir, &restored, &db2.pool(), nullptr);
+  ASSERT_TRUE(loaded.loaded);
+  EXPECT_EQ(loaded.meta.analyzed, 110u);
+  EXPECT_EQ(loaded.deltas_applied, 1u);
+  EXPECT_GE(loaded.skipped, 1u);
+
+  ChainRun ref;
+  ref.AdvanceTo(110);
+  EXPECT_EQ(restored.Recommendation(), ref.tuner.Recommendation());
+}
+
+TEST(DeltaChainTest, FullForcedEveryKDeltas) {
+  const std::string dir = FreshDir("full_every");
+  ChainRun run;
+
+  DeltaCheckpointer::Options copts;
+  copts.full_every = 2;
+  DeltaCheckpointer cp(copts);
+  size_t fulls = 0;
+  for (size_t n = 100; n <= 124; n += 4) {
+    run.AdvanceTo(n);
+    auto r = cp.Write(dir, run.tuner, run.db.pool(), MetaAt(n, n));
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    if (r->wrote_full) ++fulls;
+  }
+  // 7 writes with full_every=2: full, d, d, full, d, d, full.
+  EXPECT_EQ(fulls, 3u);
+}
+
+TEST(DeltaChainTest, SeededCheckpointerContinuesTheChainAcrossRestart) {
+  const std::string dir = FreshDir("seeded");
+  ChainRun run;
+
+  DeltaCheckpointer cp;
+  run.AdvanceTo(104);
+  ASSERT_TRUE(cp.Write(dir, run.tuner, run.db.pool(), MetaAt(104, 104)).ok());
+  run.AdvanceTo(110);
+  ASSERT_TRUE(cp.Write(dir, run.tuner, run.db.pool(), MetaAt(110, 110)).ok());
+
+  // "Restart": load with a fresh checkpointer, advance, checkpoint again —
+  // the new checkpoint must be a delta on the restored chain, not a full.
+  TestDb db2;
+  Wfit restored(&db2.pool(), &db2.optimizer(), IndexSet{}, FastOptions());
+  DeltaCheckpointer cp2;
+  SnapshotLoadResult loaded =
+      LoadLatestCheckpoint(dir, &restored, &db2.pool(), &cp2);
+  ASSERT_TRUE(loaded.loaded);
+  ASSERT_TRUE(cp2.seeded());
+  EXPECT_EQ(cp2.deltas_in_chain(), 1u);
+
+  Workload w2 = BuildWorkload(db2, 220);
+  for (size_t i = 110; i < 116; ++i) restored.AnalyzeQuery(w2[i]);
+  auto r = cp2.Write(dir, restored, db2.pool(), MetaAt(116, 116));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FALSE(r->wrote_full);
+
+  // The extended chain still restores to the exact statement-116 state.
+  run.AdvanceTo(116);
+  TestDb db3;
+  Wfit again(&db3.pool(), &db3.optimizer(), IndexSet{}, FastOptions());
+  SnapshotLoadResult l3 = LoadLatestCheckpoint(dir, &again, &db3.pool(),
+                                               nullptr);
+  ASSERT_TRUE(l3.loaded);
+  EXPECT_EQ(l3.meta.analyzed, 116u);
+  EXPECT_EQ(l3.deltas_applied, 2u);
+  EXPECT_EQ(again.Recommendation(), run.tuner.Recommendation());
+  EXPECT_EQ(again.TotalStates(), run.tuner.TotalStates());
+}
+
+TEST(DeltaChainTest, PruneDropsOrphanedDeltasWithTheirChain) {
+  const std::string dir = FreshDir("prune");
+  ChainRun run;
+
+  DeltaCheckpointer::Options copts;
+  copts.full_every = 1;  // every other write is a full
+  copts.keep_chains = 2;
+  DeltaCheckpointer cp(copts);
+  for (size_t n = 10; n <= 80; n += 10) {
+    run.AdvanceTo(n);
+    ASSERT_TRUE(cp.Write(dir, run.tuner, run.db.pool(), MetaAt(n, n)).ok());
+  }
+  // Only the 2 newest fulls survive, and every remaining delta's root is
+  // one of them.
+  std::vector<std::string> fulls = ListSnapshots(dir);
+  EXPECT_EQ(fulls.size(), 2u);
+  for (const std::string& path : ListDeltas(dir)) {
+    uint64_t root = 0, analyzed = 0;
+    ASSERT_TRUE(ParseDeltaName(fs::path(path).filename().string(), &root,
+                               &analyzed));
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%020llu",
+                  static_cast<unsigned long long>(root));
+    bool retained = false;
+    for (const std::string& f : fulls) {
+      if (f.find(buf) != std::string::npos) retained = true;
+    }
+    EXPECT_TRUE(retained) << path << " orphaned";
+  }
+}
+
+TEST(DeltaChainTest, CoverLsnRequiresTwoDurableFulls) {
+  const std::string dir = FreshDir("cover");
+  ChainRun run;
+
+  DeltaCheckpointer::Options copts;
+  copts.full_every = 1;
+  DeltaCheckpointer cp(copts);
+  run.AdvanceTo(104);
+  auto r1 = cp.Write(dir, run.tuner, run.db.pool(), MetaAt(104, 100));
+  ASSERT_TRUE(r1.ok());
+  // One full: nothing compactable yet (a lone snapshot's failure would
+  // otherwise orphan the journal prefix).
+  EXPECT_EQ(r1->cover_lsn, 0u);
+
+  run.AdvanceTo(108);
+  auto r2 = cp.Write(dir, run.tuner, run.db.pool(), MetaAt(108, 150));
+  ASSERT_TRUE(r2.ok());
+  EXPECT_FALSE(r2->wrote_full);  // first delta of the chain
+  EXPECT_EQ(r2->cover_lsn, 0u);  // deltas never advance the horizon
+  run.AdvanceTo(112);
+  auto r3 = cp.Write(dir, run.tuner, run.db.pool(), MetaAt(112, 200));
+  ASSERT_TRUE(r3.ok());
+  ASSERT_TRUE(r3->wrote_full);
+  // Retained full snapshots are now lsn 100 and lsn 200: records below
+  // 100 are reflected in both, so that prefix is safely compactable.
+  EXPECT_EQ(r3->cover_lsn, 100u);
+}
+
+// --- chunker -------------------------------------------------------------
+
+TEST(DeltaChainTest, ChunkerCoversEveryPayloadByteContiguously) {
+  ChainRun run;
+  run.AdvanceTo(45);
+  auto payload = EncodeSnapshotPayload(run.tuner, run.db.pool(),
+                                       MetaAt(45, 45));
+  ASSERT_TRUE(payload.ok()) << payload.status().ToString();
+  auto units = ChunkSnapshotPayload(*payload);
+  ASSERT_TRUE(units.ok()) << units.status().ToString();
+  ASSERT_FALSE(units->empty());
+  uint64_t pos = 0;
+  for (const SnapshotUnit& u : *units) {
+    EXPECT_EQ(u.offset, pos) << "gap before section "
+                             << static_cast<int>(u.section);
+    pos += u.len;
+  }
+  EXPECT_EQ(pos, payload->size());
+  EXPECT_EQ((*units)[0].section, kSectionMeta);
+  EXPECT_EQ((*units)[0].len, 16u);
+}
+
+TEST(DeltaChainTest, PoolGrowthShipsOnlyAppendedDefinitions) {
+  const std::string dir = FreshDir("pool_append");
+  ChainRun run;
+
+  DeltaCheckpointer cp;
+  run.AdvanceTo(30);
+  ASSERT_TRUE(cp.Write(dir, run.tuner, run.db.pool(), MetaAt(30, 30)).ok());
+  const size_t pool_before = run.db.pool().size();
+  // Advance through statements that intern new candidate indexes.
+  run.AdvanceTo(60);
+  auto r = cp.Write(dir, run.tuner, run.db.pool(), MetaAt(60, 60));
+  ASSERT_TRUE(r.ok());
+
+  TestDb db2;
+  Wfit restored(&db2.pool(), &db2.optimizer(), IndexSet{}, FastOptions());
+  SnapshotLoadResult loaded =
+      LoadLatestCheckpoint(dir, &restored, &db2.pool(), nullptr);
+  ASSERT_TRUE(loaded.loaded);
+  EXPECT_EQ(db2.pool().size(), run.db.pool().size());
+  EXPECT_GE(run.db.pool().size(), pool_before);
+  EXPECT_EQ(restored.Recommendation(), run.tuner.Recommendation());
+}
+
+}  // namespace
+}  // namespace wfit::persist

@@ -44,6 +44,18 @@ GATED_ABSOLUTE_MAX = {
     "tracing_overhead_pct": 5.0,
 }
 
+# Absolute floors, enforced against the fresh value alone. These pin the
+# two scale-out claims of the durability layer: a steady-state delta
+# snapshot must stay several times smaller than a full snapshot (the
+# ~6.4 KiB serialized RNG stream plus the touched selector windows are
+# the irreducible floor, so the ratio is bounded but deterministic), and
+# the shared fsync batcher must coalesce shard syncs by at least this
+# factor even on a loaded machine where some shards miss a drain window.
+GATED_ABSOLUTE_MIN = {
+    "checkpoint_delta_reduction": 3.0,
+    "group_commit_fsync_reduction": 4.0,
+}
+
 
 def load(path):
     try:
@@ -111,10 +123,23 @@ def main(argv):
         else:
             print(f"  ok    {key}: {now:.2f} <= {bound} (absolute bound)")
 
+    for key, bound in GATED_ABSOLUTE_MIN.items():
+        if key not in fresh:
+            failures.append(f"{key}: missing from fresh results")
+            print(f"  FAIL  {key}: missing from fresh results")
+            continue
+        now = fresh[key]
+        if now < bound:
+            failures.append(f"{key}: {now:.2f} below absolute floor {bound}")
+            print(f"  FAIL  {key}: {now:.2f} < {bound} (absolute floor)")
+        else:
+            print(f"  ok    {key}: {now:.2f} >= {bound} (absolute floor)")
+
     informational = sorted(
         k for k in fresh.keys() & baseline.keys()
         if k not in GATED and k not in GATED_LOWER
         and k not in GATED_ABSOLUTE_MAX
+        and k not in GATED_ABSOLUTE_MIN
     )
     if informational:
         print("informational drift:")

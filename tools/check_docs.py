@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Docs-coverage gate: every exported wfit_* metric family must be
+documented.
+
+Scans the metric emitters under src/ for the Prometheus families they
+export — both fully spelled literals ("# HELP wfit_node_config_version
+...") and spliced ones (Counter(os, "statements_analyzed_total", ...)
+inside a helper whose body stamps the "wfit_service_" prefix) — and fails
+if any family name is absent from the operator docs (docs/*.md, README.md).
+
+An alerting runbook that lags the code is worse than none: a family that
+ships undocumented is invisible to the operator reading OPERATIONS.md.
+
+Usage: check_docs.py [repo_root]
+"""
+
+import os
+import re
+import sys
+
+# Files that emit Prometheus text. Extend when a new export surface
+# appears (the scan below also reports stray prefixes it cannot resolve).
+EMITTER_FILES = [
+    "src/service/metrics.cc",
+    "src/service/tenant_router.cc",
+    "src/cluster/node.cc",
+]
+
+DOC_FILES_GLOB = ["docs", "README.md"]
+
+PREFIX_RE = re.compile(r'"(?:# (?:HELP|TYPE) )?(wfit_[a-z0-9_]*_)"')
+FULL_NAME_RE = re.compile(r'"(?:# (?:HELP|TYPE) )?(wfit_[a-z0-9_]*[a-z0-9])[ "{]')
+HELPER_DEF_RE = re.compile(r"^\s*(?:template.*\n)?\s*void (\w+)\(", re.M)
+LAMBDA_DEF_RE = re.compile(r"^\s*auto (\w+) = \[", re.M)
+CALL_RE_TMPL = r'\b%s\(\s*[^");]*?"([a-z][a-z0-9_]*)"'
+
+
+def body_after(text, start, lines=16):
+    """The next `lines` lines after offset `start` — an approximation of a
+    small function/lambda body, enough to find the prefix it stamps."""
+    end = start
+    for _ in range(lines):
+        nl = text.find("\n", end + 1)
+        if nl < 0:
+            return text[start:]
+        end = nl
+    return text[start:end]
+
+
+def emitter_prefixes(text):
+    """Map helper/lambda name -> wfit_* prefix it splices before `name`."""
+    prefixes = {}
+    for m in HELPER_DEF_RE.finditer(text):
+        body = body_after(text, m.start())
+        pm = PREFIX_RE.search(body)
+        if pm and "<< name" in body:
+            prefixes[m.group(1)] = pm.group(1)
+    # One level of indirection: lambdas that forward to a known helper
+    # (e.g. `auto counter = [&](const char* name, ...) { TenantFamily(...`).
+    for m in LAMBDA_DEF_RE.finditer(text):
+        body = body_after(text, m.start())
+        for helper, prefix in list(prefixes.items()):
+            if helper + "(" in body:
+                prefixes[m.group(1)] = prefix
+                break
+    return prefixes
+
+
+def families_in(path):
+    with open(path) as f:
+        text = f.read()
+    found = set()
+    # Fully spelled family names (raw `os << "# HELP wfit_..."` blocks).
+    for m in FULL_NAME_RE.finditer(text):
+        found.add(m.group(1))
+    # Spliced names: helper calls whose first string literal is the family
+    # name minus the prefix the helper stamps.
+    for helper, prefix in emitter_prefixes(text).items():
+        for m in re.finditer(CALL_RE_TMPL % re.escape(helper), text):
+            # A call may pass `name` as a variable (wrapper forwarding), in
+            # which case the first literal is the TYPE string, not a name.
+            if m.group(1) not in ("counter", "gauge", "histogram"):
+                found.add(prefix + m.group(1))
+    return found
+
+
+def doc_text(root):
+    chunks = []
+    for entry in DOC_FILES_GLOB:
+        path = os.path.join(root, entry)
+        if os.path.isdir(path):
+            for name in sorted(os.listdir(path)):
+                if name.endswith(".md"):
+                    with open(os.path.join(path, name)) as f:
+                        chunks.append(f.read())
+        elif os.path.isfile(path):
+            with open(path) as f:
+                chunks.append(f.read())
+    return "\n".join(chunks)
+
+
+def main(argv):
+    root = argv[1] if len(argv) > 1 else "."
+    families = set()
+    for rel in EMITTER_FILES:
+        path = os.path.join(root, rel)
+        if not os.path.isfile(path):
+            sys.exit(f"check_docs: emitter file missing: {rel}")
+        families |= families_in(path)
+    if not families:
+        sys.exit("check_docs: no families extracted — emitter idiom changed?")
+
+    docs = doc_text(root)
+    missing = sorted(f for f in families if f not in docs)
+    print(f"check_docs: {len(families)} exported metric families")
+    if missing:
+        for name in missing:
+            print(f"  UNDOCUMENTED  {name}")
+        print(f"\nFAILED: {len(missing)} families missing from docs/ — "
+              "add them to docs/OPERATIONS.md")
+        return 1
+    print("PASS: every family documented")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
